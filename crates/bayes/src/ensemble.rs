@@ -1,0 +1,135 @@
+//! Deep-ensemble baseline.
+//!
+//! The paper motivates multi-exit MCD BayesNNs as a cheap approximation to
+//! deep ensembles, which remain the calibration gold standard. This module
+//! provides that baseline: `M` independently initialised copies of the same
+//! architecture whose softmax outputs are averaged with equal weights.
+
+use crate::BayesError;
+use bnn_models::{MultiExitNetwork, NetworkSpec};
+use bnn_nn::layer::Mode;
+use bnn_nn::network::Network;
+use bnn_tensor::ops::softmax;
+use bnn_tensor::Tensor;
+
+/// An ensemble of independently initialised networks sharing one architecture.
+#[derive(Debug)]
+pub struct DeepEnsemble {
+    members: Vec<MultiExitNetwork>,
+}
+
+impl DeepEnsemble {
+    /// Builds an ensemble of `size` members from the same spec, each with a
+    /// different deterministic seed derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec is invalid or `size` is zero.
+    pub fn from_spec(spec: &NetworkSpec, size: usize, seed: u64) -> Result<Self, BayesError> {
+        if size == 0 {
+            return Err(BayesError::Invalid("ensemble size must be positive".into()));
+        }
+        let mut members = Vec::with_capacity(size);
+        for i in 0..size {
+            members.push(spec.build(seed.wrapping_add(1 + i as u64 * 7919))?);
+        }
+        Ok(DeepEnsemble { members })
+    }
+
+    /// Number of ensemble members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the ensemble has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Mutable access to the members (for training each one independently).
+    pub fn members_mut(&mut self) -> &mut [MultiExitNetwork] {
+        &mut self.members
+    }
+
+    /// Immutable access to the members.
+    pub fn members(&self) -> &[MultiExitNetwork] {
+        &self.members
+    }
+
+    /// Equally weighted ensemble prediction (mean of per-member softmax of the
+    /// final exit), evaluated deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors.
+    pub fn predict(&mut self, inputs: &Tensor) -> Result<Tensor, BayesError> {
+        let mut per_member = Vec::with_capacity(self.members.len());
+        for member in &mut self.members {
+            let logits = member.forward_final(inputs, Mode::Eval)?;
+            per_member.push(softmax(&logits)?);
+        }
+        Ok(Tensor::mean_of(&per_member)?)
+    }
+
+    /// Total FLOPs of one ensemble prediction (every member runs fully) for a
+    /// batch-1 input, used to compare against multi-exit MCD costs.
+    pub fn flops(&self) -> u64 {
+        self.members
+            .iter()
+            .map(|m| {
+                let spec = m.spec();
+                spec.total_flops().unwrap_or(0)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_models::{zoo, ModelConfig};
+
+    fn spec() -> NetworkSpec {
+        zoo::lenet5(
+            &ModelConfig::mnist()
+                .with_resolution(12, 12)
+                .with_width_divisor(4),
+        )
+    }
+
+    #[test]
+    fn ensemble_construction_and_size() {
+        let ens = DeepEnsemble::from_spec(&spec(), 3, 1).unwrap();
+        assert_eq!(ens.len(), 3);
+        assert!(!ens.is_empty());
+        assert!(DeepEnsemble::from_spec(&spec(), 0, 1).is_err());
+    }
+
+    #[test]
+    fn members_have_different_weights() {
+        let mut ens = DeepEnsemble::from_spec(&spec(), 2, 2).unwrap();
+        let x = Tensor::ones(&[1, 1, 12, 12]);
+        let a = ens.members_mut()[0].forward_final(&x, Mode::Eval).unwrap();
+        let b = ens.members_mut()[1].forward_final(&x, Mode::Eval).unwrap();
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn prediction_is_a_distribution() {
+        let mut ens = DeepEnsemble::from_spec(&spec(), 3, 3).unwrap();
+        let x = Tensor::ones(&[2, 1, 12, 12]);
+        let probs = ens.predict(&x).unwrap();
+        assert_eq!(probs.dims(), &[2, 10]);
+        for b in 0..2 {
+            let s: f32 = probs.as_slice()[b * 10..(b + 1) * 10].iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn ensemble_flops_scale_with_members() {
+        let one = DeepEnsemble::from_spec(&spec(), 1, 4).unwrap();
+        let three = DeepEnsemble::from_spec(&spec(), 3, 4).unwrap();
+        assert_eq!(three.flops(), 3 * one.flops());
+    }
+}

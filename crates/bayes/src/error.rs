@@ -1,0 +1,76 @@
+//! Error type for Bayesian inference utilities.
+
+use bnn_models::ModelError;
+use bnn_nn::NnError;
+use bnn_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by sampling, ensembling and metric computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BayesError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A layer or network operation failed.
+    Nn(NnError),
+    /// A model construction failed.
+    Model(ModelError),
+    /// The inputs to a metric or sampler were inconsistent.
+    Invalid(String),
+}
+
+impl fmt::Display for BayesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BayesError::Tensor(e) => write!(f, "tensor error: {e}"),
+            BayesError::Nn(e) => write!(f, "network error: {e}"),
+            BayesError::Model(e) => write!(f, "model error: {e}"),
+            BayesError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl Error for BayesError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BayesError::Tensor(e) => Some(e),
+            BayesError::Nn(e) => Some(e),
+            BayesError::Model(e) => Some(e),
+            BayesError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<TensorError> for BayesError {
+    fn from(e: TensorError) -> Self {
+        BayesError::Tensor(e)
+    }
+}
+
+impl From<NnError> for BayesError {
+    fn from(e: NnError) -> Self {
+        BayesError::Nn(e)
+    }
+}
+
+impl From<ModelError> for BayesError {
+    fn from(e: ModelError) -> Self {
+        BayesError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = BayesError::Invalid("x".into());
+        assert!(e.to_string().contains("x"));
+        assert!(e.source().is_none());
+        let e = BayesError::from(TensorError::InvalidArgument("y".into()));
+        assert!(e.source().is_some());
+        let e = BayesError::from(NnError::InvalidConfig("z".into()));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,78 @@
+//! One-call evaluation summary combining every metric used by the paper.
+
+use crate::metrics::{
+    accuracy, brier_score, expected_calibration_error, maximum_calibration_error,
+    mean_predictive_entropy, negative_log_likelihood,
+};
+use crate::BayesError;
+use bnn_tensor::Tensor;
+
+/// A full quality summary of a set of predictive probabilities.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Evaluation {
+    /// Top-1 accuracy.
+    pub accuracy: f64,
+    /// Expected calibration error.
+    pub ece: f64,
+    /// Maximum calibration error.
+    pub mce: f64,
+    /// Mean negative log-likelihood.
+    pub nll: f64,
+    /// Mean Brier score.
+    pub brier: f64,
+    /// Mean predictive entropy (nats).
+    pub mean_entropy: f64,
+}
+
+impl Evaluation {
+    /// Evaluates probabilities against labels using `bins` calibration bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::Invalid`] for shape/label mismatches or zero bins.
+    pub fn from_probs(probs: &Tensor, labels: &[usize], bins: usize) -> Result<Self, BayesError> {
+        Ok(Evaluation {
+            accuracy: accuracy(probs, labels)?,
+            ece: expected_calibration_error(probs, labels, bins)?,
+            mce: maximum_calibration_error(probs, labels, bins)?,
+            nll: negative_log_likelihood(probs, labels)?,
+            brier: brier_score(probs, labels)?,
+            mean_entropy: mean_predictive_entropy(probs)?,
+        })
+    }
+}
+
+impl std::fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "acc={:.4} ece={:.4} mce={:.4} nll={:.4} brier={:.4} entropy={:.4}",
+            self.accuracy, self.ece, self.mce, self.nll, self.brier, self.mean_entropy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_aggregates_all_metrics() {
+        let probs = Tensor::from_vec(vec![0.9, 0.1, 0.3, 0.7, 0.6, 0.4], &[3, 2]).unwrap();
+        let eval = Evaluation::from_probs(&probs, &[0, 1, 0], 10).unwrap();
+        assert!((eval.accuracy - 1.0).abs() < 1e-9);
+        assert!(eval.ece >= 0.0 && eval.ece <= 1.0);
+        assert!(eval.mce >= eval.ece - 1e-12);
+        assert!(eval.nll > 0.0);
+        assert!(eval.brier >= 0.0);
+        assert!(eval.mean_entropy > 0.0);
+        let text = eval.to_string();
+        assert!(text.contains("acc=") && text.contains("ece="));
+    }
+
+    #[test]
+    fn propagates_validation_errors() {
+        let probs = Tensor::zeros(&[2, 3]);
+        assert!(Evaluation::from_probs(&probs, &[0], 10).is_err());
+    }
+}

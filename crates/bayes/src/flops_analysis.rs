@@ -1,0 +1,133 @@
+//! Sampling-cost analysis (paper Eqs. 1–3).
+//!
+//! The closed-form formulas live in [`bnn_nn::flops`]; this module ties them to
+//! concrete [`NetworkSpec`]s and provides the parameter sweeps the benchmark
+//! harness prints.
+
+use crate::BayesError;
+use bnn_models::NetworkSpec;
+use bnn_nn::flops::{
+    flop_reduction_rate, multi_exit_sampling_flops, single_exit_sampling_flops, FlopReport,
+};
+
+/// One row of a sampling-cost sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionPoint {
+    /// Number of MC samples drawn.
+    pub n_samples: u64,
+    /// Number of exits in the multi-exit network.
+    pub n_exits: u64,
+    /// The exit/backbone FLOP ratio alpha.
+    pub alpha: f64,
+    /// FLOPs of single-exit sampling (Eq. 1).
+    pub single_exit_flops: u64,
+    /// FLOPs of multi-exit sampling (Eq. 2).
+    pub multi_exit_flops: u64,
+    /// Analytic reduction rate (Eq. 3).
+    pub reduction_rate: f64,
+}
+
+/// Sampling-cost analysis bound to a specific multi-exit architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingCostModel {
+    report: FlopReport,
+}
+
+impl SamplingCostModel {
+    /// Builds the cost model from a network spec's FLOP breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-propagation errors from the spec.
+    pub fn from_spec(spec: &NetworkSpec) -> Result<Self, BayesError> {
+        Ok(SamplingCostModel {
+            report: spec.flop_report()?,
+        })
+    }
+
+    /// The underlying FLOP breakdown.
+    pub fn report(&self) -> &FlopReport {
+        &self.report
+    }
+
+    /// Cost comparison for drawing `n_samples` MC samples.
+    pub fn point(&self, n_samples: u64) -> ReductionPoint {
+        let n_exits = self.report.num_exits().max(1) as u64;
+        let mean_exit = self.report.exit_total() / n_exits.max(1);
+        let single = single_exit_sampling_flops(self.report.main_body, mean_exit, n_samples);
+        let multi = multi_exit_sampling_flops(
+            self.report.main_body,
+            self.report.exit_total(),
+            n_samples,
+            n_exits,
+        );
+        ReductionPoint {
+            n_samples,
+            n_exits,
+            alpha: self.report.alpha(),
+            single_exit_flops: single,
+            multi_exit_flops: multi,
+            reduction_rate: flop_reduction_rate(
+                self.report.alpha(),
+                n_samples as f64,
+                n_exits as f64,
+            ),
+        }
+    }
+
+    /// Sweeps the number of MC samples and returns one [`ReductionPoint`] per value.
+    pub fn sweep(&self, sample_counts: &[u64]) -> Vec<ReductionPoint> {
+        sample_counts.iter().map(|&n| self.point(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_models::{zoo, ModelConfig};
+
+    fn multi_exit_spec() -> NetworkSpec {
+        zoo::resnet18(
+            &ModelConfig::cifar100()
+                .with_resolution(16, 16)
+                .with_width_divisor(8),
+        )
+        .with_exits_after_every_block()
+        .unwrap()
+    }
+
+    #[test]
+    fn reduction_grows_with_sample_count() {
+        let model = SamplingCostModel::from_spec(&multi_exit_spec()).unwrap();
+        let sweep = model.sweep(&[1, 2, 4, 8, 16]);
+        assert_eq!(sweep.len(), 5);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].reduction_rate >= pair[0].reduction_rate);
+        }
+        // With more samples than exits, multi-exit must be cheaper.
+        let p = model.point(16);
+        assert!(p.multi_exit_flops < p.single_exit_flops);
+        assert!(p.reduction_rate > 1.0);
+    }
+
+    #[test]
+    fn measured_ratio_tracks_analytic_rate() {
+        let model = SamplingCostModel::from_spec(&multi_exit_spec()).unwrap();
+        let p = model.point(8);
+        let measured = p.single_exit_flops as f64 / p.multi_exit_flops as f64;
+        // Eq. 3 assumes n_samples divisible by n_exits and a uniform per-exit
+        // cost; the measured ratio should still be within ~25 %.
+        assert!(
+            (measured - p.reduction_rate).abs() / p.reduction_rate < 0.25,
+            "measured {measured} vs analytic {}",
+            p.reduction_rate
+        );
+    }
+
+    #[test]
+    fn alpha_matches_report() {
+        let spec = multi_exit_spec();
+        let model = SamplingCostModel::from_spec(&spec).unwrap();
+        assert!((model.point(4).alpha - model.report().alpha()).abs() < 1e-12);
+    }
+}

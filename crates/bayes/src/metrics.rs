@@ -1,0 +1,362 @@
+//! Calibration and uncertainty metrics.
+//!
+//! All metrics take a `[batch, classes]` tensor of predictive probabilities
+//! (rows on the simplex) and the ground-truth labels. Expected calibration
+//! error follows the standard equal-width binning of the maximum-probability
+//! confidence, the definition used by the paper's Table I.
+
+use crate::BayesError;
+use bnn_tensor::ops::{argmax_rows, max_rows, row_entropy};
+use bnn_tensor::Tensor;
+
+fn validate(probs: &Tensor, labels: &[usize]) -> Result<(usize, usize), BayesError> {
+    let (batch, classes) = probs.shape().as_matrix().map_err(BayesError::from)?;
+    if labels.len() != batch {
+        return Err(BayesError::Invalid(format!(
+            "{} labels for {batch} predictions",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+        return Err(BayesError::Invalid(format!(
+            "label {bad} out of range for {classes} classes"
+        )));
+    }
+    if batch == 0 {
+        return Err(BayesError::Invalid("empty prediction batch".into()));
+    }
+    Ok((batch, classes))
+}
+
+/// Top-1 classification accuracy.
+///
+/// # Errors
+///
+/// Returns [`BayesError::Invalid`] for shape/label mismatches.
+pub fn accuracy(probs: &Tensor, labels: &[usize]) -> Result<f64, BayesError> {
+    validate(probs, labels)?;
+    let preds = argmax_rows(probs)?;
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(correct as f64 / labels.len() as f64)
+}
+
+/// Per-bin calibration statistics produced by [`reliability_diagram`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CalibrationBin {
+    /// Lower edge of the confidence bin.
+    pub lower: f64,
+    /// Upper edge of the confidence bin.
+    pub upper: f64,
+    /// Number of samples whose confidence fell in this bin.
+    pub count: usize,
+    /// Mean confidence of those samples.
+    pub mean_confidence: f64,
+    /// Empirical accuracy of those samples.
+    pub accuracy: f64,
+}
+
+/// Computes the reliability diagram (per-bin confidence vs accuracy).
+///
+/// # Errors
+///
+/// Returns [`BayesError::Invalid`] for shape/label mismatches or zero bins.
+pub fn reliability_diagram(
+    probs: &Tensor,
+    labels: &[usize],
+    bins: usize,
+) -> Result<Vec<CalibrationBin>, BayesError> {
+    validate(probs, labels)?;
+    if bins == 0 {
+        return Err(BayesError::Invalid("bin count must be positive".into()));
+    }
+    let confidences = max_rows(probs)?;
+    let predictions = argmax_rows(probs)?;
+    let mut out: Vec<CalibrationBin> = (0..bins)
+        .map(|b| CalibrationBin {
+            lower: b as f64 / bins as f64,
+            upper: (b + 1) as f64 / bins as f64,
+            ..CalibrationBin::default()
+        })
+        .collect();
+    let mut conf_sum = vec![0.0f64; bins];
+    let mut correct = vec![0usize; bins];
+    for ((&conf, &pred), &label) in confidences.iter().zip(&predictions).zip(labels) {
+        let mut bin = (conf as f64 * bins as f64) as usize;
+        if bin >= bins {
+            bin = bins - 1;
+        }
+        out[bin].count += 1;
+        conf_sum[bin] += conf as f64;
+        if pred == label {
+            correct[bin] += 1;
+        }
+    }
+    for (b, bin) in out.iter_mut().enumerate() {
+        if bin.count > 0 {
+            bin.mean_confidence = conf_sum[b] / bin.count as f64;
+            bin.accuracy = correct[b] as f64 / bin.count as f64;
+        }
+    }
+    Ok(out)
+}
+
+/// Expected calibration error with `bins` equal-width confidence bins.
+///
+/// # Errors
+///
+/// Returns [`BayesError::Invalid`] for shape/label mismatches or zero bins.
+pub fn expected_calibration_error(
+    probs: &Tensor,
+    labels: &[usize],
+    bins: usize,
+) -> Result<f64, BayesError> {
+    let diagram = reliability_diagram(probs, labels, bins)?;
+    let total: usize = diagram.iter().map(|b| b.count).sum();
+    Ok(diagram
+        .iter()
+        .filter(|b| b.count > 0)
+        .map(|b| (b.count as f64 / total as f64) * (b.accuracy - b.mean_confidence).abs())
+        .sum())
+}
+
+/// Maximum calibration error (largest per-bin |accuracy − confidence| gap).
+///
+/// # Errors
+///
+/// Returns [`BayesError::Invalid`] for shape/label mismatches or zero bins.
+pub fn maximum_calibration_error(
+    probs: &Tensor,
+    labels: &[usize],
+    bins: usize,
+) -> Result<f64, BayesError> {
+    let diagram = reliability_diagram(probs, labels, bins)?;
+    Ok(diagram
+        .iter()
+        .filter(|b| b.count > 0)
+        .map(|b| (b.accuracy - b.mean_confidence).abs())
+        .fold(0.0, f64::max))
+}
+
+/// Mean negative log-likelihood of the true class.
+///
+/// # Errors
+///
+/// Returns [`BayesError::Invalid`] for shape/label mismatches.
+pub fn negative_log_likelihood(probs: &Tensor, labels: &[usize]) -> Result<f64, BayesError> {
+    let (batch, classes) = validate(probs, labels)?;
+    let data = probs.as_slice();
+    let mut nll = 0.0f64;
+    for (b, &label) in labels.iter().enumerate() {
+        let p = data[b * classes + label].max(1e-12) as f64;
+        nll -= p.ln();
+    }
+    Ok(nll / batch as f64)
+}
+
+/// Mean Brier score (mean squared error against the one-hot label).
+///
+/// # Errors
+///
+/// Returns [`BayesError::Invalid`] for shape/label mismatches.
+pub fn brier_score(probs: &Tensor, labels: &[usize]) -> Result<f64, BayesError> {
+    let (batch, classes) = validate(probs, labels)?;
+    let data = probs.as_slice();
+    let mut total = 0.0f64;
+    for (b, &label) in labels.iter().enumerate() {
+        for c in 0..classes {
+            let target = if c == label { 1.0 } else { 0.0 };
+            let diff = data[b * classes + c] as f64 - target;
+            total += diff * diff;
+        }
+    }
+    Ok(total / batch as f64)
+}
+
+/// Mean predictive entropy (nats) of the probability rows.
+///
+/// # Errors
+///
+/// Returns [`BayesError::Invalid`] if the tensor is not `[batch, classes]`.
+pub fn mean_predictive_entropy(probs: &Tensor) -> Result<f64, BayesError> {
+    let entropies = row_entropy(probs)?;
+    if entropies.is_empty() {
+        return Err(BayesError::Invalid("empty prediction batch".into()));
+    }
+    Ok(entropies.iter().map(|&e| e as f64).sum::<f64>() / entropies.len() as f64)
+}
+
+/// Mutual information between the prediction and the model posterior, estimated
+/// from per-sample MC predictive distributions:
+/// `MI = H(mean_s p_s) - mean_s H(p_s)` (the "BALD" epistemic-uncertainty score).
+///
+/// `per_sample_probs` holds one `[batch, classes]` tensor per MC sample.
+///
+/// # Errors
+///
+/// Returns [`BayesError::Invalid`] if the list is empty or shapes disagree.
+pub fn mutual_information(per_sample_probs: &[Tensor]) -> Result<Vec<f64>, BayesError> {
+    let first = per_sample_probs
+        .first()
+        .ok_or_else(|| BayesError::Invalid("need at least one MC sample".into()))?;
+    let mean = Tensor::mean_of(per_sample_probs)?;
+    let total_entropy = row_entropy(&mean)?;
+    let (batch, _classes) = first.shape().as_matrix()?;
+    let mut expected_entropy = vec![0.0f64; batch];
+    for sample in per_sample_probs {
+        let h = row_entropy(sample)?;
+        for (acc, &v) in expected_entropy.iter_mut().zip(&h) {
+            *acc += v as f64;
+        }
+    }
+    let s = per_sample_probs.len() as f64;
+    Ok(total_entropy
+        .iter()
+        .zip(&expected_entropy)
+        .map(|(&total, &exp)| (total as f64 - exp / s).max(0.0))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn probs(rows: &[&[f32]]) -> Tensor {
+        let classes = rows[0].len();
+        let data: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Tensor::from_vec(data, &[rows.len(), classes]).unwrap()
+    }
+
+    #[test]
+    fn accuracy_counts_correct_predictions() {
+        let p = probs(&[&[0.9, 0.1], &[0.3, 0.7], &[0.6, 0.4]]);
+        assert!((accuracy(&p, &[0, 1, 1]).unwrap() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfectly_calibrated_predictions_have_zero_ece() {
+        // Confidence 1.0, always correct.
+        let p = probs(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let ece = expected_calibration_error(&p, &[0, 1], 10).unwrap();
+        assert!(ece < 1e-9);
+    }
+
+    #[test]
+    fn overconfident_wrong_predictions_have_high_ece() {
+        // Confidence ~1.0 but always wrong.
+        let p = probs(&[&[0.99, 0.01], &[0.99, 0.01]]);
+        let ece = expected_calibration_error(&p, &[1, 1], 10).unwrap();
+        assert!(ece > 0.9);
+    }
+
+    #[test]
+    fn ece_hand_computed_case() {
+        // Two samples at confidence 0.75 (bin 7), one correct -> acc 0.5, gap 0.25.
+        // Two samples at confidence 0.95 (bin 9), both correct -> gap 0.05.
+        let p = probs(&[
+            &[0.75, 0.25],
+            &[0.75, 0.25],
+            &[0.95, 0.05],
+            &[0.95, 0.05],
+        ]);
+        let labels = [0, 1, 0, 0];
+        let ece = expected_calibration_error(&p, &labels, 10).unwrap();
+        let expected = 0.5 * 0.25 + 0.5 * 0.05;
+        assert!((ece - expected).abs() < 1e-6, "ece {ece}");
+        let mce = maximum_calibration_error(&p, &labels, 10).unwrap();
+        assert!((mce - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reliability_diagram_bins_sum_to_batch() {
+        let p = probs(&[&[0.6, 0.4], &[0.4, 0.6], &[0.9, 0.1], &[0.2, 0.8]]);
+        let diagram = reliability_diagram(&p, &[0, 1, 0, 1], 5).unwrap();
+        assert_eq!(diagram.len(), 5);
+        assert_eq!(diagram.iter().map(|b| b.count).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn nll_and_brier_known_values() {
+        let p = probs(&[&[0.5, 0.5]]);
+        assert!((negative_log_likelihood(&p, &[0]).unwrap() - (2.0f64).ln()).abs() < 1e-6);
+        assert!((brier_score(&p, &[0]).unwrap() - 0.5).abs() < 1e-6);
+        let p = probs(&[&[1.0, 0.0]]);
+        assert!(negative_log_likelihood(&p, &[0]).unwrap() < 1e-6);
+        assert!(brier_score(&p, &[0]).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_is_maximal_for_uniform() {
+        let uniform = probs(&[&[0.25; 4]]);
+        let confident = probs(&[&[0.97, 0.01, 0.01, 0.01]]);
+        assert!(
+            mean_predictive_entropy(&uniform).unwrap()
+                > mean_predictive_entropy(&confident).unwrap()
+        );
+    }
+
+    #[test]
+    fn mutual_information_zero_when_samples_agree() {
+        let s = probs(&[&[0.7, 0.3], &[0.2, 0.8]]);
+        let mi = mutual_information(&[s.clone(), s.clone(), s]).unwrap();
+        assert!(mi.iter().all(|&v| v < 1e-6));
+    }
+
+    #[test]
+    fn mutual_information_positive_when_samples_disagree() {
+        let a = probs(&[&[0.9, 0.1]]);
+        let b = probs(&[&[0.1, 0.9]]);
+        let mi = mutual_information(&[a, b]).unwrap();
+        assert!(mi[0] > 0.3);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let p = probs(&[&[0.5, 0.5]]);
+        assert!(accuracy(&p, &[0, 1]).is_err());
+        assert!(accuracy(&p, &[2]).is_err());
+        assert!(expected_calibration_error(&p, &[0], 0).is_err());
+        assert!(mutual_information(&[]).is_err());
+        let empty = Tensor::zeros(&[0, 2]);
+        assert!(accuracy(&empty, &[]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn ece_in_unit_interval(
+            raw in proptest::collection::vec(0.01f32..1.0, 12..=12),
+            labels in proptest::collection::vec(0usize..3, 4..=4),
+        ) {
+            // build 4 samples x 3 classes, normalised rows
+            let mut data = raw;
+            for b in 0..4 {
+                let s: f32 = data[b * 3..(b + 1) * 3].iter().sum();
+                for c in 0..3 {
+                    data[b * 3 + c] /= s;
+                }
+            }
+            let p = Tensor::from_vec(data, &[4, 3]).unwrap();
+            let ece = expected_calibration_error(&p, &labels, 10).unwrap();
+            prop_assert!((0.0..=1.0).contains(&ece));
+            let mce = maximum_calibration_error(&p, &labels, 10).unwrap();
+            prop_assert!(mce + 1e-12 >= ece);
+        }
+
+        #[test]
+        fn brier_bounded_by_two(
+            raw in proptest::collection::vec(0.01f32..1.0, 6..=6),
+            labels in proptest::collection::vec(0usize..3, 2..=2),
+        ) {
+            let mut data = raw;
+            for b in 0..2 {
+                let s: f32 = data[b * 3..(b + 1) * 3].iter().sum();
+                for c in 0..3 {
+                    data[b * 3 + c] /= s;
+                }
+            }
+            let p = Tensor::from_vec(data, &[2, 3]).unwrap();
+            let brier = brier_score(&p, &labels).unwrap();
+            prop_assert!((0.0..=2.0).contains(&brier));
+        }
+    }
+}

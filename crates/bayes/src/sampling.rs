@@ -1,0 +1,358 @@
+//! Monte-Carlo Dropout prediction for multi-exit networks.
+//!
+//! Two prediction paths are provided:
+//!
+//! * [`McSampler::predict`] — the paper's multi-exit MCD inference: the
+//!   deterministic backbone runs **once**, its block activations are cached,
+//!   and every additional MC sample only re-runs the (cheap) exit branches
+//!   with fresh dropout masks. One forward pass of all exits yields
+//!   `N_exit` samples, so `N_pass = ceil(N_sample / N_exit)` (paper §IV-B).
+//! * [`McSampler::predict_single_exit`] — the vanilla MCD baseline that
+//!   re-runs the whole network for every sample (paper Eq. 1).
+//!
+//! Confidence-threshold early exiting (used for the ECE-optimal rows of
+//! Table I) is provided by [`McSampler::confidence_exit_predict`].
+
+use crate::BayesError;
+use bnn_models::MultiExitNetwork;
+use bnn_nn::layer::Mode;
+use bnn_nn::network::Network;
+use bnn_tensor::ops::softmax;
+use bnn_tensor::Tensor;
+
+/// Configuration of an MC-Dropout prediction run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingConfig {
+    /// Total number of MC samples to draw (across all exits).
+    pub n_samples: usize,
+    /// Calibration bin count used by downstream evaluation (carried along for
+    /// convenience in reports).
+    pub bins: usize,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig { n_samples: 4, bins: 15 }
+    }
+}
+
+impl SamplingConfig {
+    /// Creates a configuration drawing `n_samples` MC samples.
+    pub fn new(n_samples: usize) -> Self {
+        SamplingConfig { n_samples, bins: 15 }
+    }
+
+    /// Number of exit forward passes needed for a network with `n_exits` exits.
+    pub fn passes_for(&self, n_exits: usize) -> usize {
+        if n_exits == 0 {
+            return 0;
+        }
+        self.n_samples.div_ceil(n_exits)
+    }
+}
+
+/// The result of an MC-Dropout prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McPrediction {
+    /// Equally weighted mean of all per-sample probability tensors, `[batch, classes]`.
+    pub mean_probs: Tensor,
+    /// Every individual sample's probabilities (one `[batch, classes]` tensor
+    /// per exit per pass).
+    pub per_sample: Vec<Tensor>,
+    /// Number of exit forward passes that were executed.
+    pub passes: usize,
+}
+
+impl McPrediction {
+    /// Number of MC samples that contributed to the mean.
+    pub fn num_samples(&self) -> usize {
+        self.per_sample.len()
+    }
+}
+
+/// The result of confidence-threshold early exiting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EarlyExitPrediction {
+    /// Final probabilities for every sample, `[batch, classes]`.
+    pub probs: Tensor,
+    /// Index of the exit each sample stopped at.
+    pub exit_taken: Vec<usize>,
+    /// Mean fraction of the full-network FLOPs actually spent, per sample.
+    pub mean_flops_fraction: f64,
+}
+
+/// Monte-Carlo Dropout sampler.
+#[derive(Debug, Clone, Default)]
+pub struct McSampler {
+    config: SamplingConfig,
+}
+
+impl McSampler {
+    /// Creates a sampler with the given configuration.
+    pub fn new(config: SamplingConfig) -> Self {
+        McSampler { config }
+    }
+
+    /// The sampler configuration.
+    pub fn config(&self) -> &SamplingConfig {
+        &self.config
+    }
+
+    /// Multi-exit MCD prediction with backbone caching (paper Eq. 2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors.
+    pub fn predict(
+        &self,
+        network: &mut MultiExitNetwork,
+        inputs: &Tensor,
+    ) -> Result<McPrediction, BayesError> {
+        let n_exits = network.num_exits();
+        if n_exits == 0 {
+            return Err(BayesError::Invalid("network has no exits".into()));
+        }
+        let passes = self.config.passes_for(n_exits).max(1);
+        let activations = network.forward_backbone(inputs, Mode::Eval)?;
+        let mut per_sample = Vec::with_capacity(passes * n_exits);
+        for _ in 0..passes {
+            let exits = network.forward_exits_from_activations(&activations, Mode::McSample)?;
+            for logits in exits {
+                per_sample.push(softmax(&logits)?);
+            }
+        }
+        // Keep exactly n_samples samples if the pass granularity overshot.
+        if self.config.n_samples > 0 && per_sample.len() > self.config.n_samples {
+            per_sample.truncate(self.config.n_samples);
+        }
+        let mean_probs = Tensor::mean_of(&per_sample)?;
+        Ok(McPrediction { mean_probs, per_sample, passes })
+    }
+
+    /// Vanilla single-exit MCD prediction: the whole network is re-run for
+    /// every MC sample and only the final exit is used (paper Eq. 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors.
+    pub fn predict_single_exit(
+        &self,
+        network: &mut dyn Network,
+        inputs: &Tensor,
+    ) -> Result<McPrediction, BayesError> {
+        let samples = self.config.n_samples.max(1);
+        let mut per_sample = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let logits = network.forward_final(inputs, Mode::McSample)?;
+            per_sample.push(softmax(&logits)?);
+        }
+        let mean_probs = Tensor::mean_of(&per_sample)?;
+        Ok(McPrediction { mean_probs, per_sample, passes: samples })
+    }
+
+    /// Deterministic (dropout-disabled) prediction of the final exit — the
+    /// non-Bayesian baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors.
+    pub fn predict_deterministic(
+        &self,
+        network: &mut dyn Network,
+        inputs: &Tensor,
+    ) -> Result<Tensor, BayesError> {
+        let logits = network.forward_final(inputs, Mode::Eval)?;
+        Ok(softmax(&logits)?)
+    }
+
+    /// Confidence-threshold early exiting using the running ensemble of exits
+    /// (the "largest possible ensemble at each exit" variant of the paper).
+    ///
+    /// For each sample, exits are consulted in order; the running equally
+    /// weighted ensemble of the exits seen so far is used, and the sample stops
+    /// at the first exit whose ensemble confidence exceeds `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors or an invalid threshold.
+    pub fn confidence_exit_predict(
+        &self,
+        network: &mut MultiExitNetwork,
+        inputs: &Tensor,
+        threshold: f64,
+    ) -> Result<EarlyExitPrediction, BayesError> {
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(BayesError::Invalid(format!(
+                "confidence threshold must be in [0, 1], got {threshold}"
+            )));
+        }
+        let exits = network.forward_exits(inputs, Mode::Eval)?;
+        let n_exits = exits.len();
+        let probs_per_exit: Result<Vec<Tensor>, BayesError> = exits
+            .iter()
+            .map(|e| softmax(e).map_err(BayesError::from))
+            .collect();
+        let probs_per_exit = probs_per_exit?;
+        let (batch, classes) = probs_per_exit[0].shape().as_matrix()?;
+
+        // Cumulative FLOPs fraction consumed when stopping at exit i.
+        let report = network.spec().flop_report()?;
+        let full = report.total().max(1) as f64;
+        let block_flops = backbone_cumulative_flops(network)?;
+        let mut cumulative = Vec::with_capacity(n_exits);
+        let mut exit_acc = 0u64;
+        for (i, exit_spec) in network.spec().exits.iter().enumerate() {
+            exit_acc += report.exits[i];
+            cumulative.push((block_flops[exit_spec.after_block] + exit_acc) as f64 / full);
+        }
+
+        let mut out = vec![0.0f32; batch * classes];
+        let mut exit_taken = vec![0usize; batch];
+        let mut flops_sum = 0.0f64;
+        for b in 0..batch {
+            let mut running = vec![0.0f32; classes];
+            let mut chosen = n_exits - 1;
+            for (i, exit_probs) in probs_per_exit.iter().enumerate() {
+                let row = &exit_probs.as_slice()[b * classes..(b + 1) * classes];
+                for (acc, &p) in running.iter_mut().zip(row) {
+                    *acc += p;
+                }
+                let denom = (i + 1) as f32;
+                let confidence = running.iter().copied().fold(f32::NEG_INFINITY, f32::max) / denom;
+                if confidence as f64 >= threshold || i == n_exits - 1 {
+                    chosen = i;
+                    for c in 0..classes {
+                        out[b * classes + c] = running[c] / denom;
+                    }
+                    break;
+                }
+            }
+            exit_taken[b] = chosen;
+            flops_sum += cumulative[chosen];
+        }
+        Ok(EarlyExitPrediction {
+            probs: Tensor::from_vec(out, &[batch, classes])?,
+            exit_taken,
+            mean_flops_fraction: flops_sum / batch.max(1) as f64,
+        })
+    }
+}
+
+/// Cumulative backbone FLOPs up to and including each block (batch size 1).
+fn backbone_cumulative_flops(network: &MultiExitNetwork) -> Result<Vec<u64>, BayesError> {
+    let spec = network.spec();
+    let mut shape = spec.input_shape(1);
+    let mut acc = 0u64;
+    let mut out = Vec::with_capacity(spec.blocks.len());
+    for block in &spec.blocks {
+        for layer in block {
+            acc += layer.flops(&shape);
+            shape = layer.output_shape(&shape)?;
+        }
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_models::{zoo, ModelConfig};
+
+    fn small_net() -> MultiExitNetwork {
+        let config = ModelConfig::cifar10()
+            .with_resolution(12, 12)
+            .with_width_divisor(16);
+        zoo::resnet18(&config)
+            .with_exits_after_every_block()
+            .unwrap()
+            .with_exit_mcd(0.3)
+            .unwrap()
+            .build(11)
+            .unwrap()
+    }
+
+    #[test]
+    fn sampling_config_pass_arithmetic() {
+        let cfg = SamplingConfig::new(8);
+        assert_eq!(cfg.passes_for(4), 2);
+        assert_eq!(cfg.passes_for(3), 3);
+        assert_eq!(cfg.passes_for(0), 0);
+        assert_eq!(SamplingConfig::default().n_samples, 4);
+    }
+
+    #[test]
+    fn multi_exit_prediction_shape_and_simplex() {
+        let mut net = small_net();
+        let sampler = McSampler::new(SamplingConfig::new(8));
+        let x = Tensor::ones(&[3, 3, 12, 12]);
+        let pred = sampler.predict(&mut net, &x).unwrap();
+        assert_eq!(pred.mean_probs.dims(), &[3, 10]);
+        assert_eq!(pred.num_samples(), 8);
+        assert_eq!(pred.passes, 2);
+        // rows sum to one
+        for b in 0..3 {
+            let s: f32 = pred.mean_probs.as_slice()[b * 10..(b + 1) * 10].iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn samples_vary_across_passes() {
+        let mut net = small_net();
+        let sampler = McSampler::new(SamplingConfig::new(8));
+        let x = Tensor::ones(&[1, 3, 12, 12]);
+        let pred = sampler.predict(&mut net, &x).unwrap();
+        let a = pred.per_sample[0].as_slice();
+        let b = pred.per_sample[4].as_slice(); // same exit, next pass
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_exit_prediction_uses_requested_samples() {
+        let mut net = small_net();
+        let sampler = McSampler::new(SamplingConfig::new(5));
+        let x = Tensor::ones(&[2, 3, 12, 12]);
+        let pred = sampler.predict_single_exit(&mut net, &x).unwrap();
+        assert_eq!(pred.num_samples(), 5);
+        assert_eq!(pred.mean_probs.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn deterministic_prediction_is_repeatable() {
+        let mut net = small_net();
+        let sampler = McSampler::default();
+        let x = Tensor::ones(&[1, 3, 12, 12]);
+        let a = sampler.predict_deterministic(&mut net, &x).unwrap();
+        let b = sampler.predict_deterministic(&mut net, &x).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn confidence_exit_reduces_flops_at_low_threshold() {
+        let mut net = small_net();
+        let sampler = McSampler::default();
+        let x = Tensor::ones(&[4, 3, 12, 12]);
+        let eager = sampler.confidence_exit_predict(&mut net, &x, 0.0).unwrap();
+        let strict = sampler.confidence_exit_predict(&mut net, &x, 0.999_999).unwrap();
+        // threshold 0 stops at the first exit; threshold ~1 runs to the end
+        assert!(eager.exit_taken.iter().all(|&e| e == 0));
+        assert!(strict.exit_taken.iter().all(|&e| e == net.num_exits() - 1));
+        assert!(eager.mean_flops_fraction < strict.mean_flops_fraction);
+        assert!(eager.mean_flops_fraction > 0.0);
+        assert!(strict.mean_flops_fraction <= 1.0 + 1e-9);
+        assert!(sampler.confidence_exit_predict(&mut net, &x, 1.5).is_err());
+    }
+
+    #[test]
+    fn early_exit_probs_are_distributions() {
+        let mut net = small_net();
+        let sampler = McSampler::default();
+        let x = Tensor::ones(&[2, 3, 12, 12]);
+        let pred = sampler.confidence_exit_predict(&mut net, &x, 0.5).unwrap();
+        for b in 0..2 {
+            let s: f32 = pred.probs.as_slice()[b * 10..(b + 1) * 10].iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Criterion bench for the ablation sweeps (mapping / MCD depth / bitwidth).
+
+use bnn_bench::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("all_sweeps", |b| b.iter(|| experiments::ablations().unwrap()));
+    group.bench_function("flop_reduction_eq3", |b| {
+        b.iter(|| experiments::flop_reduction().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

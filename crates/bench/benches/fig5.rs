@@ -1,0 +1,19 @@
+//! Criterion bench for the Fig. 5 hardware estimations.
+
+use bnn_bench::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("resources_sweep_3_mcd_layers", |b| {
+        b.iter(|| experiments::fig5_resources(3).unwrap())
+    });
+    group.bench_function("latency_sweep_4_samples", |b| {
+        b.iter(|| experiments::fig5_latency(4).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

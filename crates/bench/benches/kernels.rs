@@ -1,0 +1,60 @@
+//! Criterion micro-benches of the core computational kernels: convolution
+//! forward pass, multi-exit MC-dropout prediction and calibration metrics.
+
+use bnn_bayes::metrics::expected_calibration_error;
+use bnn_bayes::sampling::{McSampler, SamplingConfig};
+use bnn_models::{zoo, ModelConfig};
+use bnn_nn::layer::Mode;
+use bnn_nn::layers::conv2d::Conv2d;
+use bnn_nn::Layer;
+use bnn_tensor::rng::{Rng, Xoshiro256StarStar};
+use bnn_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+
+    let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+    let mut conv = Conv2d::new(16, 32, 3, 1, 1, 0).unwrap();
+    let input = Tensor::randn(&[4, 16, 16, 16], &mut rng);
+    group.bench_function("conv2d_forward_4x16x16x16", |b| {
+        b.iter(|| conv.forward(&input, Mode::Eval).unwrap())
+    });
+
+    let spec = zoo::lenet5(&ModelConfig::mnist().with_resolution(12, 12).with_width_divisor(4))
+        .with_exits_after_every_block()
+        .unwrap()
+        .with_exit_mcd(0.25)
+        .unwrap();
+    let mut network = spec.build(3).unwrap();
+    let images = Tensor::randn(&[8, 1, 12, 12], &mut rng);
+    let sampler = McSampler::new(SamplingConfig::new(8));
+    group.bench_function("mc_predict_8_samples_batch8", |b| {
+        b.iter(|| sampler.predict(&mut network, &images).unwrap())
+    });
+
+    let n = 512;
+    let classes = 10;
+    let mut probs = vec![0.0f32; n * classes];
+    for row in probs.chunks_mut(classes) {
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = rng.next_f32() + 1e-3;
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    let probs = Tensor::from_vec(probs, &[n, classes]).unwrap();
+    let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+    group.bench_function("ece_512x10", |b| {
+        b.iter(|| expected_calibration_error(&probs, &labels, 15).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

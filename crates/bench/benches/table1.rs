@@ -1,0 +1,16 @@
+//! Criterion bench for the Table I algorithmic pipeline (smoke scale).
+
+use bnn_bench::experiments::{table1, Table1Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("micro_scale_full_pipeline", |b| {
+        b.iter(|| table1(Table1Scale::Micro).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench for the Table II platform comparison.
+
+use bnn_bench::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+    group.bench_function("platform_comparison", |b| {
+        b.iter(|| experiments::table2().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench for the Table III power breakdown.
+
+use bnn_bench::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(20);
+    group.bench_function("power_breakdown", |b| {
+        b.iter(|| experiments::table3().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

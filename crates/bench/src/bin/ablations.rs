@@ -1,0 +1,8 @@
+//! Ablation studies: mapping strategy, MCD placement depth, bitwidth frontier.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (title, table) in bnn_bench::experiments::ablations()? {
+        println!("Ablation: {title}\n{table}");
+    }
+    Ok(())
+}

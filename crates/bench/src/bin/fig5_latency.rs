@@ -1,0 +1,8 @@
+//! Regenerates Fig. 5 (right): latency vs number of MC samples.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Figure 5 (right): latency vs number of MC samples");
+    println!("(1 MCD layer, spatial mapping vs unoptimized single engine)\n");
+    println!("{}", bnn_bench::experiments::fig5_latency(8)?);
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 5 (left): resource consumption vs number of MCD layers.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Figure 5 (left): resource consumption vs number of MCD layers");
+    println!("(temporal mapping, 8-bit datapath, reuse factor 32, XCKU115)\n");
+    println!("{}", bnn_bench::experiments::fig5_resources(7)?);
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Regenerates the Eq. 1-3 FLOP-reduction analysis.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Eq. 1-3: FLOP reduction of multi-exit vs single-exit MC sampling (ResNet-18)\n");
+    println!("{}", bnn_bench::experiments::flop_reduction()?);
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table I: SE / MCD / ME / MCD+ME accuracy, ECE and relative FLOPs.
+//!
+//! Set `BNN_TABLE1_SMOKE=1` to run the tiny smoke configuration.
+
+use bnn_bench::experiments::{table1, Table1Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = if std::env::var("BNN_TABLE1_SMOKE").is_ok() {
+        Table1Scale::Smoke
+    } else {
+        Table1Scale::Quick
+    };
+    println!("Table I: multi-exit MCD BayesNNs vs baselines (synthetic CIFAR-100-like task)");
+    println!("(accuracy-optimal and ECE-optimal configurations per variant)\n");
+    println!("{}", table1(scale)?);
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table II: CPU / GPU / prior-FPGA / our-design comparison.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Table II: platform comparison on Bayes-LeNet-5 (MNIST), 3 MC samples\n");
+    println!("{}", bnn_bench::experiments::table2()?);
+    Ok(())
+}

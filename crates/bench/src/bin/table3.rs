@@ -1,0 +1,7 @@
+//! Regenerates Table III: power breakdown of the final FPGA accelerator.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Table III: power breakdown of the estimated XCKU115 accelerator\n");
+    println!("{}", bnn_bench::experiments::table3()?);
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! # bnn-bench
+//!
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation section. Each experiment is a plain function returning printable
+//! rows, so the same code backs:
+//!
+//! * the `src/bin/*` binaries (`cargo run -p bnn-bench --bin table1`, ...),
+//!   which print the tables recorded in `EXPERIMENTS.md`, and
+//! * the Criterion benches under `benches/`, which time the underlying
+//!   computations.
+//!
+//! | Experiment | Paper artefact | Function |
+//! |---|---|---|
+//! | Fig. 5 (left) | resources vs #MCD layers | [`experiments::fig5_resources`] |
+//! | Fig. 5 (right) | latency vs #MC samples | [`experiments::fig5_latency`] |
+//! | Table I | SE/MCD/ME/MCD+ME accuracy, ECE, FLOPs | [`experiments::table1`] |
+//! | Table II | CPU/GPU/FPGA platform comparison | [`experiments::table2`] |
+//! | Table III | power breakdown | [`experiments::table3`] |
+//! | Eq. 1–3 | FLOP reduction analysis | [`experiments::flop_reduction`] |
+//! | Ablations | mapping / MCD depth / bitwidth | [`experiments::ablations`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::TextTable;

@@ -1,0 +1,113 @@
+//! Error type for the transformation framework.
+
+use bnn_bayes::BayesError;
+use bnn_data::DataError;
+use bnn_hls::HlsError;
+use bnn_hw::HwError;
+use bnn_models::ModelError;
+use bnn_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by any phase of the transformation framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameworkError {
+    /// Model specification or construction failed.
+    Model(ModelError),
+    /// Training or inference failed.
+    Nn(NnError),
+    /// Dataset generation failed.
+    Data(DataError),
+    /// Bayesian evaluation failed.
+    Bayes(BayesError),
+    /// Hardware estimation failed.
+    Hw(HwError),
+    /// HLS generation failed.
+    Hls(HlsError),
+    /// The framework configuration is inconsistent.
+    InvalidConfig(String),
+    /// No candidate satisfied the user constraints.
+    NoFeasibleDesign(String),
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::Model(e) => write!(f, "model error: {e}"),
+            FrameworkError::Nn(e) => write!(f, "training error: {e}"),
+            FrameworkError::Data(e) => write!(f, "dataset error: {e}"),
+            FrameworkError::Bayes(e) => write!(f, "evaluation error: {e}"),
+            FrameworkError::Hw(e) => write!(f, "hardware estimation error: {e}"),
+            FrameworkError::Hls(e) => write!(f, "HLS generation error: {e}"),
+            FrameworkError::InvalidConfig(msg) => write!(f, "invalid framework configuration: {msg}"),
+            FrameworkError::NoFeasibleDesign(msg) => {
+                write!(f, "no design satisfies the constraints: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for FrameworkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameworkError::Model(e) => Some(e),
+            FrameworkError::Nn(e) => Some(e),
+            FrameworkError::Data(e) => Some(e),
+            FrameworkError::Bayes(e) => Some(e),
+            FrameworkError::Hw(e) => Some(e),
+            FrameworkError::Hls(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for FrameworkError {
+    fn from(e: ModelError) -> Self {
+        FrameworkError::Model(e)
+    }
+}
+
+impl From<NnError> for FrameworkError {
+    fn from(e: NnError) -> Self {
+        FrameworkError::Nn(e)
+    }
+}
+
+impl From<DataError> for FrameworkError {
+    fn from(e: DataError) -> Self {
+        FrameworkError::Data(e)
+    }
+}
+
+impl From<BayesError> for FrameworkError {
+    fn from(e: BayesError) -> Self {
+        FrameworkError::Bayes(e)
+    }
+}
+
+impl From<HwError> for FrameworkError {
+    fn from(e: HwError) -> Self {
+        FrameworkError::Hw(e)
+    }
+}
+
+impl From<HlsError> for FrameworkError {
+    fn from(e: HlsError) -> Self {
+        FrameworkError::Hls(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(FrameworkError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(FrameworkError::NoFeasibleDesign("y".into()).to_string().contains("y"));
+        let e = FrameworkError::from(ModelError::InvalidSpec("z".into()));
+        assert!(e.source().is_some());
+        let e = FrameworkError::from(HwError::InvalidConfig("h".into()));
+        assert!(e.source().is_some());
+    }
+}

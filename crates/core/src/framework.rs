@@ -1,0 +1,272 @@
+//! The end-to-end transformation framework driver.
+
+use crate::constraints::{OptPriority, UserConstraints};
+use crate::error::FrameworkError;
+use crate::phase1::{self, Phase1Config, Phase1Result};
+use crate::phase2::{self, Phase2Result};
+use crate::phase3::{self, Phase3Config, Phase3Result};
+use crate::phase4::{self, Phase4Output};
+use bnn_hw::accelerator::AcceleratorConfig;
+use bnn_hw::FpgaDevice;
+use bnn_models::zoo::Architecture;
+
+/// Configuration of a full framework run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameworkConfig {
+    /// Name of the generated HLS project.
+    pub project_name: String,
+    /// Phase 1 (multi-exit optimization) configuration.
+    pub phase1: Phase1Config,
+    /// Phase 3 (co-exploration) configuration.
+    pub phase3: Phase3Config,
+    /// Target FPGA device.
+    pub device: FpgaDevice,
+    /// Accelerator clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Number of MC samples the accelerator draws per input.
+    pub mc_samples: usize,
+    /// User constraints applied at every phase.
+    pub constraints: UserConstraints,
+    /// Optimization priority.
+    pub priority: OptPriority,
+}
+
+impl FrameworkConfig {
+    /// A laptop-scale end-to-end demonstration configuration for the given
+    /// backbone architecture: reduced-width model, small synthetic dataset,
+    /// the paper's default device (XCKU115 at 181 MHz) and 3 MC samples.
+    pub fn quick_demo(architecture: Architecture) -> Self {
+        FrameworkConfig {
+            project_name: format!("bayes_{architecture}"),
+            phase1: Phase1Config::quick(architecture),
+            phase3: Phase3Config::default(),
+            device: FpgaDevice::xcku115(),
+            clock_mhz: 181.0,
+            mc_samples: 3,
+            constraints: UserConstraints::none(),
+            priority: OptPriority::Calibration,
+        }
+    }
+
+    /// Sets the optimization priority.
+    pub fn with_priority(mut self, priority: OptPriority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the user constraints.
+    pub fn with_constraints(mut self, constraints: UserConstraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+}
+
+/// The result of a full framework run.
+#[derive(Debug)]
+pub struct FrameworkOutcome {
+    /// Phase 1 result (algorithmic exploration).
+    pub phase1: Phase1Result,
+    /// Phase 2 result (mapping exploration).
+    pub phase2: Phase2Result,
+    /// Phase 3 result (bitwidth/reuse co-exploration).
+    pub phase3: Phase3Result,
+    /// Phase 4 output (generated HLS project + predicted implementation).
+    pub phase4: Phase4Output,
+}
+
+impl FrameworkOutcome {
+    /// A human-readable multi-line summary of the selected design.
+    pub fn summary(&self) -> String {
+        let best1 = self.phase1.best();
+        let best2 = self.phase2.best();
+        let best3 = self.phase3.best();
+        let report = &self.phase4.report;
+        format!(
+            "selected variant : {} (dropout {:.3})\n\
+             accuracy / ECE   : {:.4} / {:.4}\n\
+             flops ratio      : {:.3}x single-exit\n\
+             mapping          : {} ({} MC engine(s))\n\
+             precision        : {} | reuse factor {}\n\
+             latency          : {:.3} ms  ({} cycles)\n\
+             power            : {:.2} W (dynamic {:.0}%)\n\
+             energy / image   : {:.4} J\n\
+             resources        : {}\n\
+             fits device      : {}",
+            best1.variant,
+            best1.metrics.dropout_rate,
+            best1.metrics.evaluation.accuracy,
+            best1.metrics.evaluation.ece,
+            best1.metrics.flops_ratio,
+            best2.mapping,
+            report.mc_engines,
+            best3.format,
+            best3.reuse_factor,
+            report.latency_ms,
+            report.latency_cycles,
+            report.power.total_w(),
+            100.0 * report.power.dynamic_fraction(),
+            report.energy_per_image_j,
+            report.total_resources,
+            report.fits,
+        )
+    }
+}
+
+/// The four-phase transformation framework (paper Fig. 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformationFramework {
+    config: FrameworkConfig,
+}
+
+impl TransformationFramework {
+    /// Creates a framework instance after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::InvalidConfig`] for non-positive clock
+    /// frequencies or empty search grids.
+    pub fn new(config: FrameworkConfig) -> Result<Self, FrameworkError> {
+        if config.clock_mhz <= 0.0 {
+            return Err(FrameworkError::InvalidConfig(format!(
+                "clock frequency must be positive, got {}",
+                config.clock_mhz
+            )));
+        }
+        if config.phase1.variants.is_empty() {
+            return Err(FrameworkError::InvalidConfig(
+                "phase 1 must explore at least one model variant".into(),
+            ));
+        }
+        if config.phase3.formats.is_empty() || config.phase3.reuse_factors.is_empty() {
+            return Err(FrameworkError::InvalidConfig(
+                "phase 3 must have at least one bitwidth and one reuse factor".into(),
+            ));
+        }
+        Ok(TransformationFramework { config })
+    }
+
+    /// The configuration of this framework instance.
+    pub fn config(&self) -> &FrameworkConfig {
+        &self.config
+    }
+
+    /// Runs all four phases and returns the selected design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any phase error, including
+    /// [`FrameworkError::NoFeasibleDesign`] when the constraints cannot be met.
+    pub fn run(&self) -> Result<FrameworkOutcome, FrameworkError> {
+        let cfg = &self.config;
+
+        // Phase 1: multi-exit optimization.
+        let phase1_result = phase1::run(&cfg.phase1, &cfg.constraints, cfg.priority)?;
+        let best_spec = phase1_result.best().spec.clone();
+
+        // Shared accelerator baseline for the hardware phases.
+        let accel_base = AcceleratorConfig::new(cfg.device.clone())
+            .with_clock_mhz(cfg.clock_mhz)
+            .with_mc_samples(cfg.mc_samples);
+
+        // Phase 2: spatial/temporal mapping.
+        let phase2_result = phase2::run(&best_spec, &accel_base, &cfg.constraints, cfg.priority)?;
+        let mapping = phase2_result.best().mapping;
+
+        // Phase 3: algorithm/hardware co-exploration (needs a trained model).
+        let data = cfg.phase1.dataset.generate(cfg.phase1.seed)?;
+        let mut trained = phase1::train_spec(&best_spec, &data, &cfg.phase1)?;
+        let phase3_result = phase3::run(
+            &best_spec,
+            &mut trained,
+            &data.test,
+            &accel_base.clone().with_mapping(mapping),
+            &cfg.phase3,
+            &cfg.constraints,
+            cfg.priority,
+        )?;
+        let best_point = phase3_result.best().clone();
+
+        // Phase 4: accelerator generation with every decision applied.
+        let final_config = accel_base
+            .with_mapping(mapping)
+            .with_bits(best_point.format.total_bits())
+            .with_reuse_factor(best_point.reuse_factor);
+        let phase4_output = phase4::run(
+            &best_spec,
+            &cfg.project_name,
+            &final_config,
+            best_point.format,
+        )?;
+
+        Ok(FrameworkOutcome {
+            phase1: phase1_result,
+            phase2: phase2_result,
+            phase3: phase3_result,
+            phase4: phase4_output,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1::ModelVariant;
+    use bnn_data::{DatasetSpec, SyntheticConfig};
+    use bnn_models::ModelConfig;
+
+    fn tiny_framework_config() -> FrameworkConfig {
+        let mut config = FrameworkConfig::quick_demo(Architecture::LeNet5);
+        config.phase1.model = ModelConfig::mnist()
+            .with_resolution(10, 10)
+            .with_width_divisor(8)
+            .with_classes(4);
+        config.phase1.dataset = SyntheticConfig::new(
+            DatasetSpec::mnist_like().with_resolution(10, 10).with_classes(4),
+        )
+        .with_samples(80, 48);
+        config.phase1.train.epochs = 2;
+        config.phase1.variants = vec![ModelVariant::SingleExit, ModelVariant::McdMultiExit];
+        config.phase1.confidence_thresholds = vec![0.8];
+        config.phase3.reuse_factors = vec![16, 64];
+        config.phase3.formats = vec![
+            bnn_quant::FixedPointFormat::new(8, 3).unwrap(),
+            bnn_quant::FixedPointFormat::new(16, 6).unwrap(),
+        ];
+        config
+    }
+
+    #[test]
+    fn configuration_validation() {
+        let mut config = tiny_framework_config();
+        config.clock_mhz = 0.0;
+        assert!(TransformationFramework::new(config).is_err());
+        let mut config = tiny_framework_config();
+        config.phase1.variants.clear();
+        assert!(TransformationFramework::new(config).is_err());
+        let mut config = tiny_framework_config();
+        config.phase3.formats.clear();
+        assert!(TransformationFramework::new(config).is_err());
+    }
+
+    #[test]
+    fn end_to_end_run_produces_a_complete_design() {
+        let framework = TransformationFramework::new(tiny_framework_config()).unwrap();
+        let outcome = framework.run().unwrap();
+        // Phase 1 explored both requested variants.
+        assert_eq!(outcome.phase1.candidates.len(), 2);
+        // Phase 2 selected a feasible mapping.
+        assert!(outcome.phase2.best().feasible);
+        // Phase 3 kept quality within tolerance.
+        assert!(outcome.phase3.best().feasible);
+        // Phase 4 produced a project that fits the device.
+        assert!(outcome.phase4.report.fits);
+        assert!(outcome
+            .phase4
+            .project
+            .file("firmware/bayes_lenet5.cpp")
+            .is_some());
+        let summary = outcome.summary();
+        assert!(summary.contains("latency"));
+        assert!(summary.contains("energy / image"));
+    }
+}

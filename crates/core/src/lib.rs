@@ -1,0 +1,53 @@
+//! # bnn-core
+//!
+//! The paper's primary contribution: the transformation framework that turns a
+//! conventional (non-Bayesian) CNN description into an FPGA accelerator for a
+//! multi-exit Monte-Carlo-Dropout BayesNN.
+//!
+//! The framework runs four phases (paper Fig. 2):
+//!
+//! 1. [`phase1`] — **multi-exit optimization**: construct multi-exit MCD
+//!    variants (SE / MCD / ME / MCD+ME), train them, evaluate accuracy,
+//!    calibration (ECE) and FLOPs, filter by user constraints and pick the best
+//!    configuration for the chosen optimization priority.
+//! 2. [`phase2`] — **spatial & temporal mapping**: choose how Monte-Carlo
+//!    passes map onto hardware MC engines under latency/resource constraints.
+//! 3. [`phase3`] — **algorithm/hardware co-exploration**: grid-search the
+//!    datapath bitwidth, channel scaling and reuse factor subject to not
+//!    degrading algorithmic quality.
+//! 4. [`phase4`] — **accelerator generation**: emit the HLS project
+//!    (`bnn-hls`) and the predicted implementation report (`bnn-hw`).
+//!
+//! [`framework::TransformationFramework`] chains all four phases behind a
+//! single call; each phase is also usable on its own (the benchmark harness
+//! drives them individually to regenerate the paper's tables).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use bnn_core::framework::{FrameworkConfig, TransformationFramework};
+//! use bnn_models::zoo::Architecture;
+//!
+//! # fn main() -> Result<(), bnn_core::FrameworkError> {
+//! let config = FrameworkConfig::quick_demo(Architecture::LeNet5);
+//! let outcome = TransformationFramework::new(config)?.run()?;
+//! println!("{}", outcome.summary());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod error;
+pub mod framework;
+pub mod phase1;
+pub mod phase2;
+pub mod phase3;
+pub mod phase4;
+
+pub use constraints::{OptPriority, UserConstraints};
+pub use error::FrameworkError;
+pub use framework::{FrameworkConfig, FrameworkOutcome, TransformationFramework};
+pub use phase1::{ModelVariant, Phase1Candidate, Phase1Config, Phase1Result};

@@ -1,0 +1,546 @@
+//! Phase 1 — multi-exit optimization.
+//!
+//! Constructs the four model variants the paper compares in Table I
+//! (single-exit, MCD, multi-exit, MCD+multi-exit), trains each candidate on
+//! the target dataset, evaluates accuracy / calibration / FLOPs, filters the
+//! candidates against the user constraints and selects the best configuration
+//! for the chosen optimization priority (Fig. 3).
+
+use crate::constraints::{OptPriority, UserConstraints};
+use crate::error::FrameworkError;
+use bnn_bayes::sampling::{McSampler, SamplingConfig};
+use bnn_bayes::Evaluation;
+use bnn_data::{Dataset, SyntheticConfig, TrainTestSplit};
+use bnn_models::zoo::Architecture;
+use bnn_models::{ModelConfig, MultiExitNetwork, NetworkSpec};
+use bnn_nn::network::Network;
+use bnn_nn::optimizer::Sgd;
+use bnn_nn::trainer::{train, LabelledBatchSource, TrainConfig};
+use bnn_tensor::Tensor;
+
+/// The four model variants compared in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelVariant {
+    /// Single-exit, no MCD (the original non-Bayesian network).
+    SingleExit,
+    /// MCD applied to the single exit (vanilla MCD BayesNN).
+    Mcd,
+    /// Multi-exit without MCD.
+    MultiExit,
+    /// Multi-exit with MCD at every exit — the paper's proposal.
+    McdMultiExit,
+}
+
+impl ModelVariant {
+    /// All four variants in the paper's Table I order.
+    pub fn all() -> [ModelVariant; 4] {
+        [
+            ModelVariant::SingleExit,
+            ModelVariant::Mcd,
+            ModelVariant::MultiExit,
+            ModelVariant::McdMultiExit,
+        ]
+    }
+
+    /// The label used in Table I.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelVariant::SingleExit => "SE",
+            ModelVariant::Mcd => "MCD",
+            ModelVariant::MultiExit => "ME",
+            ModelVariant::McdMultiExit => "MCD+ME",
+        }
+    }
+
+    /// Whether this variant uses Monte-Carlo Dropout.
+    pub fn uses_mcd(&self) -> bool {
+        matches!(self, ModelVariant::Mcd | ModelVariant::McdMultiExit)
+    }
+
+    /// Whether this variant uses multiple exits.
+    pub fn uses_multi_exit(&self) -> bool {
+        matches!(self, ModelVariant::MultiExit | ModelVariant::McdMultiExit)
+    }
+
+    /// Builds the variant's network spec from the base single-exit spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec transformation errors.
+    pub fn build_spec(
+        &self,
+        base: &NetworkSpec,
+        dropout_rate: f64,
+    ) -> Result<NetworkSpec, FrameworkError> {
+        let spec = match self {
+            ModelVariant::SingleExit => base.clone(),
+            ModelVariant::Mcd => base.clone().with_exit_mcd(dropout_rate)?,
+            ModelVariant::MultiExit => base.clone().with_exits_after_every_block()?,
+            ModelVariant::McdMultiExit => base
+                .clone()
+                .with_exits_after_every_block()?
+                .with_exit_mcd(dropout_rate)?,
+        };
+        Ok(spec)
+    }
+}
+
+impl std::fmt::Display for ModelVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Configuration of the Phase 1 exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase1Config {
+    /// Backbone architecture.
+    pub architecture: Architecture,
+    /// Model geometry (input size, classes, width divisor).
+    pub model: ModelConfig,
+    /// Synthetic dataset generator configuration.
+    pub dataset: SyntheticConfig,
+    /// Dropout rates searched for MCD variants (paper: 0.125, 0.25, 0.375, 0.5).
+    pub dropout_rates: Vec<f64>,
+    /// Confidence thresholds searched for early exiting (paper §V-B).
+    pub confidence_thresholds: Vec<f64>,
+    /// Number of MC samples drawn when evaluating MCD variants.
+    pub mc_samples: usize,
+    /// Training hyper-parameters.
+    pub train: TrainConfig,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Variants to explore (defaults to all four).
+    pub variants: Vec<ModelVariant>,
+    /// Calibration bin count for ECE.
+    pub calibration_bins: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Phase1Config {
+    /// A laptop-scale configuration: reduced resolution/width, small grids.
+    pub fn quick(architecture: Architecture) -> Self {
+        let model = ModelConfig::cifar10()
+            .with_resolution(12, 12)
+            .with_width_divisor(16);
+        let dataset = SyntheticConfig::new(
+            bnn_data::DatasetSpec::cifar10_like().with_resolution(12, 12),
+        )
+        .with_samples(240, 120)
+        .with_noise(0.45)
+        .with_label_noise(0.08);
+        Phase1Config {
+            architecture,
+            model,
+            dataset,
+            dropout_rates: vec![0.25],
+            confidence_thresholds: vec![0.5, 0.8, 0.95],
+            mc_samples: 4,
+            train: TrainConfig {
+                epochs: 6,
+                batch_size: 32,
+                distillation_weight: 0.5,
+                temperature: 2.0,
+                seed: 7,
+                shuffle: true,
+            },
+            learning_rate: 0.05,
+            variants: ModelVariant::all().to_vec(),
+            calibration_bins: 10,
+            seed: 2023,
+        }
+    }
+
+    /// The paper's full grid (dropout rates and confidence thresholds of §V-B).
+    pub fn paper_grid(mut self) -> Self {
+        self.dropout_rates = vec![0.125, 0.25, 0.375, 0.5];
+        self.confidence_thresholds = vec![
+            0.1, 0.15, 0.25, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 0.999,
+        ];
+        self
+    }
+}
+
+/// Metrics of one evaluated configuration of one variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateMetrics {
+    /// Dropout rate used (0 for non-MCD variants).
+    pub dropout_rate: f64,
+    /// Confidence threshold used for early exiting, if any.
+    pub confidence_threshold: Option<f64>,
+    /// Full evaluation of the predictive distribution.
+    pub evaluation: Evaluation,
+    /// FLOPs relative to the single-exit baseline (per forward pass, or the
+    /// measured average fraction when confidence exiting is active).
+    pub flops_ratio: f64,
+}
+
+/// One fully evaluated Phase 1 candidate (one variant × one dropout rate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase1Candidate {
+    /// The model variant.
+    pub variant: ModelVariant,
+    /// The trained network's spec.
+    pub spec: NetworkSpec,
+    /// Metrics of the plain (no early-exit) ensemble prediction.
+    pub metrics: CandidateMetrics,
+    /// Metrics of the additional configurations searched by the grid:
+    /// per-exit predictions and confidence-exiting thresholds.
+    pub threshold_metrics: Vec<CandidateMetrics>,
+}
+
+impl Phase1Candidate {
+    /// The configuration with the highest accuracy among all evaluated settings.
+    pub fn accuracy_optimal(&self) -> &CandidateMetrics {
+        std::iter::once(&self.metrics)
+            .chain(&self.threshold_metrics)
+            .max_by(|a, b| {
+                a.evaluation
+                    .accuracy
+                    .partial_cmp(&b.evaluation.accuracy)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("at least the base metrics exist")
+    }
+
+    /// The configuration with the lowest ECE among all evaluated settings.
+    pub fn ece_optimal(&self) -> &CandidateMetrics {
+        std::iter::once(&self.metrics)
+            .chain(&self.threshold_metrics)
+            .min_by(|a, b| {
+                a.evaluation
+                    .ece
+                    .partial_cmp(&b.evaluation.ece)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("at least the base metrics exist")
+    }
+}
+
+/// Aggregated result of the Phase 1 exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase1Result {
+    /// Every evaluated candidate.
+    pub candidates: Vec<Phase1Candidate>,
+    /// Index (into `candidates`) of the selected best design.
+    pub best_index: usize,
+    /// FLOPs of the single-exit baseline (the denominator of `flops_ratio`).
+    pub baseline_flops: u64,
+}
+
+impl Phase1Result {
+    /// The selected best candidate.
+    pub fn best(&self) -> &Phase1Candidate {
+        &self.candidates[self.best_index]
+    }
+
+    /// The best candidate of a given variant, if it was explored.
+    pub fn best_of_variant(&self, variant: ModelVariant) -> Option<&Phase1Candidate> {
+        self.candidates
+            .iter()
+            .filter(|c| c.variant == variant)
+            .max_by(|a, b| {
+                a.metrics
+                    .evaluation
+                    .accuracy
+                    .partial_cmp(&b.metrics.evaluation.accuracy)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+}
+
+fn dataset_to_batches(dataset: &Dataset) -> Result<LabelledBatchSource, FrameworkError> {
+    Ok(LabelledBatchSource::new(
+        dataset.inputs().clone(),
+        dataset.labels().to_vec(),
+    )?)
+}
+
+/// Trains one spec and returns the trained runtime network.
+///
+/// Exposed so later phases (and the framework driver) can retrain the selected
+/// Phase 1 candidate without duplicating the training setup.
+///
+/// # Errors
+///
+/// Propagates dataset and training errors.
+pub fn train_spec(
+    spec: &NetworkSpec,
+    data: &TrainTestSplit,
+    config: &Phase1Config,
+) -> Result<MultiExitNetwork, FrameworkError> {
+    let mut network = spec.build(config.seed)?;
+    let mut optimizer = Sgd::new(config.learning_rate)
+        .with_momentum(0.9)
+        .with_weight_decay(5e-4);
+    let train_data = dataset_to_batches(&data.train)?;
+    let mut train_cfg = config.train.clone();
+    if !spec
+        .exits
+        .iter()
+        .take(spec.exits.len().saturating_sub(1))
+        .any(|_| true)
+    {
+        // single-exit models do not use distillation
+        train_cfg.distillation_weight = 0.0;
+    }
+    train(&mut network, &train_data, &mut optimizer, &train_cfg)?;
+    Ok(network)
+}
+
+/// Evaluates one trained network under its variant's prediction rule.
+fn evaluate_network(
+    variant: ModelVariant,
+    network: &mut MultiExitNetwork,
+    test_inputs: &Tensor,
+    test_labels: &[usize],
+    config: &Phase1Config,
+    baseline_flops: u64,
+    spec: &NetworkSpec,
+) -> Result<(CandidateMetrics, Vec<CandidateMetrics>), FrameworkError> {
+    let sampler = McSampler::new(SamplingConfig::new(config.mc_samples));
+    let spec_flops = spec.total_flops()? as f64;
+    let base_ratio = spec_flops / baseline_flops.max(1) as f64;
+
+    let probs = match variant {
+        ModelVariant::SingleExit => sampler.predict_deterministic(network, test_inputs)?,
+        ModelVariant::Mcd => sampler.predict_single_exit(network, test_inputs)?.mean_probs,
+        ModelVariant::MultiExit | ModelVariant::McdMultiExit => {
+            sampler.predict(network, test_inputs)?.mean_probs
+        }
+    };
+    let metrics = CandidateMetrics {
+        dropout_rate: spec
+            .exits
+            .first()
+            .and_then(|e| {
+                e.layers.iter().find_map(|l| match l {
+                    bnn_models::LayerSpec::McDropout { rate } => Some(*rate),
+                    _ => None,
+                })
+            })
+            .unwrap_or(0.0),
+        confidence_threshold: None,
+        evaluation: Evaluation::from_probs(&probs, test_labels, config.calibration_bins)?,
+        flops_ratio: base_ratio,
+    };
+
+    // Additional configurations searched by the paper's grid (§V-B): the
+    // prediction of each individual exit (MC-averaged over that exit's
+    // samples) and confidence-threshold early exiting over exit ensembles.
+    let mut threshold_metrics = Vec::new();
+    if variant.uses_multi_exit() {
+        let prediction = sampler.predict(network, test_inputs)?;
+        let n_exits = network.num_exits();
+        for exit in 0..n_exits {
+            let exit_samples: Vec<Tensor> = prediction
+                .per_sample
+                .iter()
+                .skip(exit)
+                .step_by(n_exits)
+                .cloned()
+                .collect();
+            if exit_samples.is_empty() {
+                continue;
+            }
+            let exit_probs = Tensor::mean_of(&exit_samples).map_err(bnn_bayes::BayesError::from)?;
+            threshold_metrics.push(CandidateMetrics {
+                dropout_rate: metrics.dropout_rate,
+                confidence_threshold: None,
+                evaluation: Evaluation::from_probs(
+                    &exit_probs,
+                    test_labels,
+                    config.calibration_bins,
+                )?,
+                flops_ratio: base_ratio,
+            });
+        }
+        for &threshold in &config.confidence_thresholds {
+            let pred = sampler.confidence_exit_predict(network, test_inputs, threshold)?;
+            threshold_metrics.push(CandidateMetrics {
+                dropout_rate: metrics.dropout_rate,
+                confidence_threshold: Some(threshold),
+                evaluation: Evaluation::from_probs(
+                    &pred.probs,
+                    test_labels,
+                    config.calibration_bins,
+                )?,
+                flops_ratio: base_ratio * pred.mean_flops_fraction,
+            });
+        }
+    }
+    Ok((metrics, threshold_metrics))
+}
+
+/// Runs the full Phase 1 exploration.
+///
+/// # Errors
+///
+/// Returns [`FrameworkError::NoFeasibleDesign`] if every candidate violates the
+/// constraints, or propagates training/evaluation errors.
+pub fn run(
+    config: &Phase1Config,
+    constraints: &UserConstraints,
+    priority: OptPriority,
+) -> Result<Phase1Result, FrameworkError> {
+    let data = config.dataset.generate(config.seed)?;
+    let base_spec = config.architecture.spec(&config.model);
+    let baseline_flops = base_spec.total_flops()?;
+    let test_labels = data.test.labels().to_vec();
+    let test_inputs = data.test.inputs().clone();
+
+    let mut candidates = Vec::new();
+    for &variant in &config.variants {
+        let rates: Vec<f64> = if variant.uses_mcd() {
+            config.dropout_rates.clone()
+        } else {
+            vec![0.0]
+        };
+        for rate in rates {
+            let spec = variant.build_spec(&base_spec, rate)?;
+            let mut network = train_spec(&spec, &data, config)?;
+            let (metrics, threshold_metrics) = evaluate_network(
+                variant,
+                &mut network,
+                &test_inputs,
+                &test_labels,
+                config,
+                baseline_flops,
+                &spec,
+            )?;
+            candidates.push(Phase1Candidate {
+                variant,
+                spec,
+                metrics,
+                threshold_metrics,
+            });
+        }
+    }
+
+    // Constraint filtering, then priority-based selection.
+    let feasible: Vec<usize> = candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            constraints.accepts_algorithm(
+                c.metrics.evaluation.accuracy,
+                c.metrics.evaluation.ece,
+                c.metrics.flops_ratio,
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if feasible.is_empty() {
+        return Err(FrameworkError::NoFeasibleDesign(
+            "no Phase 1 candidate satisfies the accuracy/ECE/FLOPs constraints".into(),
+        ));
+    }
+    let best_index = feasible
+        .into_iter()
+        .max_by(|&a, &b| {
+            let score = |i: usize| -> f64 {
+                let c = &candidates[i];
+                match priority {
+                    OptPriority::Accuracy => c.accuracy_optimal().evaluation.accuracy,
+                    OptPriority::Calibration => -c.ece_optimal().evaluation.ece,
+                    OptPriority::Flops => -c.ece_optimal().flops_ratio,
+                    // Latency/energy are hardware priorities; at this phase they
+                    // reduce to minimising FLOPs.
+                    OptPriority::Latency | OptPriority::Energy => -c.metrics.flops_ratio,
+                }
+            };
+            score(a)
+                .partial_cmp(&score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("feasible set is non-empty");
+
+    Ok(Phase1Result {
+        candidates,
+        best_index,
+        baseline_flops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> Phase1Config {
+        let mut config = Phase1Config::quick(Architecture::LeNet5);
+        config.model = ModelConfig::cifar10()
+            .with_resolution(10, 10)
+            .with_width_divisor(16)
+            .with_classes(4);
+        config.dataset = SyntheticConfig::new(
+            bnn_data::DatasetSpec::cifar10_like()
+                .with_resolution(10, 10)
+                .with_classes(4),
+        )
+        .with_samples(96, 64)
+        .with_noise(0.4)
+        .with_label_noise(0.05);
+        config.train.epochs = 3;
+        config.mc_samples = 4;
+        config.confidence_thresholds = vec![0.6, 0.9];
+        config
+    }
+
+    #[test]
+    fn variant_spec_construction() {
+        let base = Architecture::LeNet5.spec(&ModelConfig::mnist().with_width_divisor(8));
+        let se = ModelVariant::SingleExit.build_spec(&base, 0.25).unwrap();
+        assert_eq!(se.num_exits(), 1);
+        assert_eq!(se.mcd_layer_count(), 0);
+        let mcd = ModelVariant::Mcd.build_spec(&base, 0.25).unwrap();
+        assert_eq!(mcd.num_exits(), 1);
+        assert_eq!(mcd.mcd_layer_count(), 1);
+        let me = ModelVariant::MultiExit.build_spec(&base, 0.25).unwrap();
+        assert!(me.num_exits() > 1);
+        assert_eq!(me.mcd_layer_count(), 0);
+        let both = ModelVariant::McdMultiExit.build_spec(&base, 0.25).unwrap();
+        assert_eq!(both.mcd_layer_count(), both.num_exits());
+        assert_eq!(ModelVariant::McdMultiExit.label(), "MCD+ME");
+    }
+
+    #[test]
+    fn phase1_runs_and_orders_variants() {
+        let config = tiny_config();
+        let result = run(&config, &UserConstraints::none(), OptPriority::Calibration).unwrap();
+        assert_eq!(result.candidates.len(), 4);
+        assert!(result.baseline_flops > 0);
+        // every variant produced usable metrics
+        for candidate in &result.candidates {
+            let eval = &candidate.metrics.evaluation;
+            assert!((0.0..=1.0).contains(&eval.accuracy));
+            assert!((0.0..=1.0).contains(&eval.ece));
+            assert!(candidate.metrics.flops_ratio > 0.0);
+        }
+        // multi-exit candidates evaluated per-exit and threshold configurations
+        let me = result.best_of_variant(ModelVariant::McdMultiExit).unwrap();
+        assert!(me.threshold_metrics.len() >= 2);
+        // the selected best is a feasible candidate
+        assert!(result.best_index < result.candidates.len());
+    }
+
+    #[test]
+    fn impossible_constraints_are_reported() {
+        let config = tiny_config();
+        let constraints = UserConstraints::none().with_min_accuracy(1.01);
+        let err = run(&config, &constraints, OptPriority::Accuracy).unwrap_err();
+        assert!(matches!(err, FrameworkError::NoFeasibleDesign(_)));
+    }
+
+    #[test]
+    fn accuracy_and_ece_optimal_selection() {
+        let config = tiny_config();
+        let result = run(&config, &UserConstraints::none(), OptPriority::Accuracy).unwrap();
+        for candidate in &result.candidates {
+            let acc_opt = candidate.accuracy_optimal();
+            let ece_opt = candidate.ece_optimal();
+            assert!(acc_opt.evaluation.accuracy >= candidate.metrics.evaluation.accuracy - 1e-12);
+            assert!(ece_opt.evaluation.ece <= candidate.metrics.evaluation.ece + 1e-12);
+        }
+    }
+}

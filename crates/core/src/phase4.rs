@@ -1,0 +1,100 @@
+//! Phase 4 — generation of the HLS-based BayesNN accelerator.
+//!
+//! Combines the Phase 1 network, the Phase 2 mapping and the Phase 3
+//! bitwidth/reuse choice into an emitted HLS project (`bnn-hls`) plus the
+//! predicted implementation report (`bnn-hw`), the artefacts a user would hand
+//! to Vivado-HLS / Vivado for synthesis, place-and-route and onboard testing.
+
+use crate::error::FrameworkError;
+use bnn_hls::{HlsConfig, HlsProject};
+use bnn_hw::accelerator::{AcceleratorConfig, AcceleratorModel, AcceleratorReport};
+use bnn_models::NetworkSpec;
+use bnn_quant::FixedPointFormat;
+use std::path::Path;
+
+/// Output of Phase 4: the generated project and its predicted implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase4Output {
+    /// The generated HLS project.
+    pub project: HlsProject,
+    /// The predicted post-implementation report.
+    pub report: AcceleratorReport,
+    /// The HLS generation configuration that was used.
+    pub hls_config: HlsConfig,
+}
+
+impl Phase4Output {
+    /// Writes the generated project under `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn write_project(&self, root: &Path) -> Result<(), FrameworkError> {
+        self.project.write_to_dir(root)?;
+        Ok(())
+    }
+}
+
+/// Generates the accelerator for a network spec with a fully decided
+/// accelerator configuration.
+///
+/// # Errors
+///
+/// Propagates spec validation, estimation and generation errors.
+pub fn run(
+    spec: &NetworkSpec,
+    project_name: &str,
+    accel_config: &AcceleratorConfig,
+    format: FixedPointFormat,
+) -> Result<Phase4Output, FrameworkError> {
+    let report = AcceleratorModel::new(spec.clone(), accel_config.clone())?.estimate()?;
+    let hls_config = HlsConfig::new(project_name)
+        .with_format(format)
+        .with_reuse_factor(accel_config.layer_model.reuse_factor)
+        .with_mapping(accel_config.mapping)
+        .with_mc_samples(accel_config.mc_samples);
+    let project = HlsProject::generate(spec, &hls_config)?;
+    Ok(Phase4Output {
+        project,
+        report,
+        hls_config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_hw::{FpgaDevice, MappingStrategy};
+    use bnn_models::{zoo, ModelConfig};
+
+    #[test]
+    fn generates_project_and_report() {
+        let spec = zoo::lenet5(&ModelConfig::mnist().with_width_divisor(4))
+            .with_exits_after_every_block()
+            .unwrap()
+            .with_exit_mcd(0.25)
+            .unwrap();
+        let config = AcceleratorConfig::new(FpgaDevice::xcku115())
+            .with_bits(8)
+            .with_mapping(MappingStrategy::Spatial)
+            .with_mc_samples(3);
+        let output = run(&spec, "bayes_lenet", &config, FixedPointFormat::new(8, 3).unwrap()).unwrap();
+        assert!(output.report.fits);
+        assert!(output.project.file("firmware/bayes_lenet.cpp").is_some());
+        assert_eq!(output.hls_config.mc_samples, 3);
+        assert_eq!(output.hls_config.cpp_type(), "ap_fixed<8,3>");
+    }
+
+    #[test]
+    fn project_round_trips_to_disk() {
+        let spec = zoo::lenet5(&ModelConfig::mnist().with_width_divisor(8))
+            .with_mcd_layers(1, 0.25)
+            .unwrap();
+        let config = AcceleratorConfig::new(FpgaDevice::xcku115());
+        let output = run(&spec, "disk_roundtrip", &config, FixedPointFormat::default_hls()).unwrap();
+        let dir = std::env::temp_dir().join(format!("bnn_phase4_{}", std::process::id()));
+        output.write_project(&dir).unwrap();
+        assert!(dir.join("build_prj.tcl").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

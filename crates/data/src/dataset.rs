@@ -1,0 +1,233 @@
+//! In-memory labelled datasets and train/test splits.
+
+use bnn_tensor::{Tensor, TensorError};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by dataset construction and manipulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// The dataset parameters were inconsistent (label/sample count mismatch,
+    /// zero classes, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataError::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            DataError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+/// A labelled, in-memory dataset of NCHW images.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: String,
+    inputs: Tensor,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from an input tensor (`[n, c, h, w]` or `[n, features]`)
+    /// and one label per sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Invalid`] if the label count differs from the
+    /// number of samples, `classes` is zero, or any label is out of range.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Tensor,
+        labels: Vec<usize>,
+        classes: usize,
+    ) -> Result<Self, DataError> {
+        let n = inputs.dims().first().copied().unwrap_or(0);
+        if labels.len() != n {
+            return Err(DataError::Invalid(format!(
+                "{} labels for {n} samples",
+                labels.len()
+            )));
+        }
+        if classes == 0 {
+            return Err(DataError::Invalid("class count must be positive".into()));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+            return Err(DataError::Invalid(format!(
+                "label {bad} out of range for {classes} classes"
+            )));
+        }
+        Ok(Dataset {
+            name: name.into(),
+            inputs,
+            labels,
+            classes,
+        })
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The full input tensor (first axis is the sample index).
+    pub fn inputs(&self) -> &Tensor {
+        &self.inputs
+    }
+
+    /// The label of every sample.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Gathers the samples at `indices` into a contiguous `(inputs, labels)` batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if an index is out of range.
+    pub fn gather(&self, indices: &[usize]) -> Result<(Tensor, Vec<usize>), DataError> {
+        let mut samples = Vec::with_capacity(indices.len());
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            samples.push(self.inputs.select_batch(i)?);
+            labels.push(self.labels[i]);
+        }
+        Ok((Tensor::stack(&samples)?, labels))
+    }
+
+    /// Returns the first `n` samples as a new dataset (useful for quick runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors.
+    pub fn take(&self, n: usize) -> Result<Dataset, DataError> {
+        let n = n.min(self.len());
+        let indices: Vec<usize> = (0..n).collect();
+        let (inputs, labels) = self.gather(&indices)?;
+        Dataset::new(self.name.clone(), inputs, labels, self.classes)
+    }
+
+    /// Applies a function to every sample tensor, producing a new dataset with
+    /// the same labels (used by [`crate::Corruption`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors.
+    pub fn map_inputs<F>(&self, mut f: F) -> Result<Dataset, DataError>
+    where
+        F: FnMut(Tensor, usize) -> Tensor,
+    {
+        let mut samples = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            let sample = self.inputs.select_batch(i)?;
+            samples.push(f(sample, i));
+        }
+        let inputs = Tensor::stack(&samples)?;
+        Dataset::new(self.name.clone(), inputs, self.labels.clone(), self.classes)
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.classes];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+/// A train/test split of a synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainTestSplit {
+    /// Training partition.
+    pub train: Dataset,
+    /// Held-out test partition.
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let inputs = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[4, 3]).unwrap();
+        Dataset::new("toy", inputs, vec![0, 1, 1, 0], 2).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Dataset::new("x", Tensor::zeros(&[2, 3]), vec![0], 2).is_err());
+        assert!(Dataset::new("x", Tensor::zeros(&[2, 3]), vec![0, 2], 2).is_err());
+        assert!(Dataset::new("x", Tensor::zeros(&[2, 3]), vec![0, 1], 0).is_err());
+        assert!(Dataset::new("x", Tensor::zeros(&[2, 3]), vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn gather_and_take() {
+        let d = toy();
+        let (batch, labels) = d.gather(&[2, 0]).unwrap();
+        assert_eq!(batch.dims(), &[2, 3]);
+        assert_eq!(labels, vec![1, 0]);
+        let head = d.take(2).unwrap();
+        assert_eq!(head.len(), 2);
+        assert_eq!(head.labels(), &[0, 1]);
+        let all = d.take(100).unwrap();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let d = toy();
+        assert_eq!(d.class_histogram(), vec![2, 2]);
+    }
+
+    #[test]
+    fn map_inputs_preserves_labels() {
+        let d = toy();
+        let doubled = d.map_inputs(|t, _| t.scale(2.0)).unwrap();
+        assert_eq!(doubled.labels(), d.labels());
+        assert_eq!(doubled.inputs().as_slice()[3], d.inputs().as_slice()[3] * 2.0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DataError::Invalid("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e = DataError::from(TensorError::InvalidArgument("x".into()));
+        assert!(e.source().is_some());
+    }
+}

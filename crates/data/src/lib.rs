@@ -1,0 +1,42 @@
+//! # bnn-data
+//!
+//! Synthetic vision datasets standing in for MNIST, SVHN, CIFAR-10 and
+//! CIFAR-100 in the paper reproduction.
+//!
+//! The real datasets cannot be downloaded in this environment, so each dataset
+//! is replaced by a procedurally generated class-conditional image
+//! distribution with the same tensor shape and class count (see `DESIGN.md`
+//! §2 for the substitution argument). Images are built from class-specific
+//! sinusoidal gratings and blob patterns plus per-sample noise and a
+//! configurable label-noise fraction, which keeps the tasks learnable but not
+//! trivially separable — exactly what is needed for accuracy/calibration
+//! comparisons between single-exit, MCD, multi-exit and MCD+multi-exit models.
+//!
+//! # Example
+//!
+//! ```
+//! use bnn_data::{DatasetSpec, SyntheticConfig};
+//!
+//! # fn main() -> Result<(), bnn_data::DataError> {
+//! let data = SyntheticConfig::new(DatasetSpec::mnist_like())
+//!     .with_samples(64, 32)
+//!     .generate(42)?;
+//! assert_eq!(data.train.len(), 64);
+//! assert_eq!(data.test.len(), 32);
+//! assert_eq!(data.train.inputs().dims(), &[64, 1, 28, 28]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corruption;
+pub mod dataset;
+pub mod spec;
+pub mod synthetic;
+
+pub use corruption::Corruption;
+pub use dataset::{DataError, Dataset, TrainTestSplit};
+pub use spec::DatasetSpec;
+pub use synthetic::SyntheticConfig;

@@ -1,0 +1,116 @@
+//! Dataset specifications matching the shapes and class counts used in the paper.
+
+/// Shape and class count of a (synthetic) vision dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DatasetSpec {
+    /// Dataset name (used in reports and generated file names).
+    pub name: String,
+    /// Number of image channels.
+    pub channels: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl DatasetSpec {
+    /// Creates a custom specification.
+    pub fn new(
+        name: impl Into<String>,
+        channels: usize,
+        height: usize,
+        width: usize,
+        classes: usize,
+    ) -> Self {
+        DatasetSpec {
+            name: name.into(),
+            channels,
+            height,
+            width,
+            classes,
+        }
+    }
+
+    /// MNIST-like: 1×28×28 grayscale digits, 10 classes (used with LeNet-5).
+    pub fn mnist_like() -> Self {
+        DatasetSpec::new("mnist-like", 1, 28, 28, 10)
+    }
+
+    /// CIFAR-10-like: 3×32×32 colour images, 10 classes (used with ResNet-18).
+    pub fn cifar10_like() -> Self {
+        DatasetSpec::new("cifar10-like", 3, 32, 32, 10)
+    }
+
+    /// CIFAR-100-like: 3×32×32 colour images, 100 classes (used in Table I).
+    pub fn cifar100_like() -> Self {
+        DatasetSpec::new("cifar100-like", 3, 32, 32, 100)
+    }
+
+    /// SVHN-like: 3×32×32 colour digit crops, 10 classes (used with VGG-11).
+    pub fn svhn_like() -> Self {
+        DatasetSpec::new("svhn-like", 3, 32, 32, 10)
+    }
+
+    /// Returns a copy with a reduced spatial resolution.
+    ///
+    /// Small resolutions keep from-scratch CPU training tractable in the
+    /// benchmark harness while preserving the dataset's class structure.
+    pub fn with_resolution(mut self, height: usize, width: usize) -> Self {
+        self.height = height;
+        self.width = width;
+        self
+    }
+
+    /// Returns a copy with a different class count (e.g. a CIFAR-100-like task
+    /// reduced to 20 classes for faster experiments).
+    pub fn with_classes(mut self, classes: usize) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Number of scalar features per image.
+    pub fn features(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// The NCHW dims of a batch of `n` samples from this dataset.
+    pub fn batch_dims(&self, n: usize) -> Vec<usize> {
+        vec![n, self.channels, self.height, self.width]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dataset_shapes() {
+        let m = DatasetSpec::mnist_like();
+        assert_eq!((m.channels, m.height, m.width, m.classes), (1, 28, 28, 10));
+        let c10 = DatasetSpec::cifar10_like();
+        assert_eq!((c10.channels, c10.height, c10.width, c10.classes), (3, 32, 32, 10));
+        let c100 = DatasetSpec::cifar100_like();
+        assert_eq!(c100.classes, 100);
+        let svhn = DatasetSpec::svhn_like();
+        assert_eq!(svhn.classes, 10);
+        assert_eq!(svhn.channels, 3);
+    }
+
+    #[test]
+    fn feature_count_and_batch_dims() {
+        let spec = DatasetSpec::cifar10_like();
+        assert_eq!(spec.features(), 3 * 32 * 32);
+        assert_eq!(spec.batch_dims(8), vec![8, 3, 32, 32]);
+    }
+
+    #[test]
+    fn resolution_and_class_overrides() {
+        let spec = DatasetSpec::cifar100_like().with_resolution(16, 16).with_classes(20);
+        assert_eq!(spec.height, 16);
+        assert_eq!(spec.width, 16);
+        assert_eq!(spec.classes, 20);
+        assert_eq!(spec.name, "cifar100-like");
+    }
+}

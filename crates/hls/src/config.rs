@@ -1,0 +1,107 @@
+//! HLS project generation configuration.
+
+use bnn_hw::MappingStrategy;
+use bnn_quant::FixedPointFormat;
+
+/// Configuration of an HLS project generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HlsConfig {
+    /// Project (and top-level function) name.
+    pub project_name: String,
+    /// Fixed-point format of weights and activations.
+    pub format: FixedPointFormat,
+    /// Reuse factor applied to every layer.
+    pub reuse_factor: usize,
+    /// Target clock period in nanoseconds.
+    pub clock_period_ns: f64,
+    /// Target FPGA part string.
+    pub part: String,
+    /// Mapping of MC passes onto engines (controls how many MC engines the top
+    /// function instantiates).
+    pub mapping: MappingStrategy,
+    /// Number of MC samples the accelerator produces per input.
+    pub mc_samples: usize,
+}
+
+impl HlsConfig {
+    /// Creates a configuration with the paper's defaults: `ap_fixed<16,6>`,
+    /// reuse factor 32, 5.5 ns clock (≈181 MHz), XCKU115 part, temporal mapping,
+    /// 3 MC samples.
+    pub fn new(project_name: impl Into<String>) -> Self {
+        HlsConfig {
+            project_name: project_name.into(),
+            format: FixedPointFormat::default_hls(),
+            reuse_factor: 32,
+            clock_period_ns: 5.5,
+            part: "xcku115-flvb2104-2-e".into(),
+            mapping: MappingStrategy::Temporal,
+            mc_samples: 3,
+        }
+    }
+
+    /// Sets the fixed-point format.
+    pub fn with_format(mut self, format: FixedPointFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Sets the reuse factor.
+    pub fn with_reuse_factor(mut self, reuse_factor: usize) -> Self {
+        self.reuse_factor = reuse_factor.max(1);
+        self
+    }
+
+    /// Sets the mapping strategy.
+    pub fn with_mapping(mut self, mapping: MappingStrategy) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Sets the number of MC samples.
+    pub fn with_mc_samples(mut self, mc_samples: usize) -> Self {
+        self.mc_samples = mc_samples.max(1);
+        self
+    }
+
+    /// The `ap_fixed<W,I>` C++ type string for this configuration.
+    pub fn cpp_type(&self) -> String {
+        format!(
+            "ap_fixed<{},{}>",
+            self.format.total_bits(),
+            self.format.integer_bits()
+        )
+    }
+
+    /// Clock frequency in MHz implied by the clock period.
+    pub fn clock_mhz(&self) -> f64 {
+        1e3 / self.clock_period_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let cfg = HlsConfig::new("bayes_lenet");
+        assert_eq!(cfg.cpp_type(), "ap_fixed<16,6>");
+        assert_eq!(cfg.reuse_factor, 32);
+        assert!((cfg.clock_mhz() - 181.8).abs() < 1.0);
+        assert!(cfg.part.contains("xcku115"));
+        assert_eq!(cfg.mc_samples, 3);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let cfg = HlsConfig::new("p")
+            .with_format(FixedPointFormat::new(8, 3).unwrap())
+            .with_reuse_factor(0)
+            .with_mapping(MappingStrategy::Spatial)
+            .with_mc_samples(0);
+        assert_eq!(cfg.cpp_type(), "ap_fixed<8,3>");
+        assert_eq!(cfg.reuse_factor, 1);
+        assert_eq!(cfg.mapping, MappingStrategy::Spatial);
+        assert_eq!(cfg.mc_samples, 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for HLS code generation.
+
+use bnn_models::ModelError;
+use bnn_quant::QuantError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the HLS project generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HlsError {
+    /// The architecture spec could not be analysed.
+    Model(ModelError),
+    /// The fixed-point configuration is invalid.
+    Quant(QuantError),
+    /// The generator configuration is invalid.
+    InvalidConfig(String),
+    /// Writing the project to disk failed.
+    Io(String),
+}
+
+impl fmt::Display for HlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlsError::Model(e) => write!(f, "model error: {e}"),
+            HlsError::Quant(e) => write!(f, "quantization error: {e}"),
+            HlsError::InvalidConfig(msg) => write!(f, "invalid HLS configuration: {msg}"),
+            HlsError::Io(msg) => write!(f, "failed to write HLS project: {msg}"),
+        }
+    }
+}
+
+impl Error for HlsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HlsError::Model(e) => Some(e),
+            HlsError::Quant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for HlsError {
+    fn from(e: ModelError) -> Self {
+        HlsError::Model(e)
+    }
+}
+
+impl From<QuantError> for HlsError {
+    fn from(e: QuantError) -> Self {
+        HlsError::Quant(e)
+    }
+}
+
+impl From<std::io::Error> for HlsError {
+    fn from(e: std::io::Error) -> Self {
+        HlsError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(HlsError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(HlsError::Io("y".into()).to_string().contains("y"));
+        let e = HlsError::from(ModelError::InvalidSpec("z".into()));
+        assert!(e.source().is_some());
+        let e = HlsError::from(QuantError::InvalidFormat("q".into()));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,45 @@
+//! # bnn-hls
+//!
+//! HLS C++ code generation for multi-exit MCD BayesNN accelerators — the
+//! Phase 4 backend of the transformation framework.
+//!
+//! The generator follows the hls4ml project layout the paper builds on: a
+//! top-level dataflow function, a `defines.h` with the fixed-point types and
+//! layer dimensions, a `parameters.h` with per-layer configuration structs, a
+//! weights header, the custom `nnet_mc_dropout.h` template implementing the
+//! paper's Algorithm 1 (pipelined elementwise loop, on-chip LFSR uniform RNG,
+//! keep-rate comparator and multiplier), and a `build_prj.tcl` script that
+//! would drive Vivado-HLS C-synthesis.
+//!
+//! Because Vivado-HLS itself is unavailable in this environment, the emitted
+//! project is validated structurally (tests check the presence of the
+//! dataflow/pipeline pragmas, one instantiation per layer, correct fixed-point
+//! widths) and its performance is predicted by `bnn-hw` instead of a
+//! C-synthesis report.
+//!
+//! # Example
+//!
+//! ```
+//! use bnn_hls::{HlsConfig, HlsProject};
+//! use bnn_models::{zoo, ModelConfig};
+//!
+//! # fn main() -> Result<(), bnn_hls::HlsError> {
+//! let spec = zoo::lenet5(&ModelConfig::mnist().with_width_divisor(4))
+//!     .with_mcd_layers(1, 0.25)?;
+//! let project = HlsProject::generate(&spec, &HlsConfig::new("bayes_lenet"))?;
+//! assert!(project.file("firmware/bayes_lenet.cpp").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod project;
+pub mod templates;
+
+pub use config::HlsConfig;
+pub use error::HlsError;
+pub use project::HlsProject;

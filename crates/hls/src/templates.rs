@@ -1,0 +1,235 @@
+//! HLS C++ layer templates.
+//!
+//! Every function here returns a snippet of C++ that would be compiled by
+//! Vivado-HLS. The templates mirror the hls4ml `nnet_utils` layer headers plus
+//! the custom Monte-Carlo Dropout template the paper adds (Algorithm 1).
+
+use crate::config::HlsConfig;
+use bnn_models::LayerSpec;
+
+/// The custom MCD layer header implementing the paper's Algorithm 1.
+///
+/// The generated function:
+/// 1. iterates over the dropout buffer with `#pragma HLS PIPELINE II=1`,
+/// 2. draws a uniform random number from a free-running 32-bit LFSR,
+/// 3. zeroes the element when `uniform_random > keep_rate`,
+/// 4. multiplies the kept element by `keep_rate` (the paper's scaling; the
+///    framework folds the matching `1/keep_rate` factor into the next layer's
+///    weights so the algorithmic semantics match inverted dropout).
+pub fn mc_dropout_header(config: &HlsConfig) -> String {
+    let data_t = config.cpp_type();
+    format!(
+        r#"#ifndef NNET_MC_DROPOUT_H_
+#define NNET_MC_DROPOUT_H_
+
+#include "ap_fixed.h"
+#include "nnet_common.h"
+
+namespace nnet {{
+
+struct mc_dropout_config {{
+    static const unsigned dropout_size = 10;
+    static const unsigned lfsr_seed = 0xACE1u;
+}};
+
+// 32-bit Fibonacci LFSR (taps 32, 22, 2, 1): one uniform word per call.
+inline ap_uint<32> lfsr32_next(ap_uint<32> &state) {{
+#pragma HLS INLINE
+    ap_uint<1> bit = state[0] ^ state[10] ^ state[30] ^ state[31];
+    state = (state >> 1) | (ap_uint<32>(bit) << 31);
+    return state;
+}}
+
+// Monte-Carlo Dropout layer (Algorithm 1 of the paper).
+//   Input : input[dropout_size], keep_rate
+//   Output: output[dropout_size]
+template<class data_T, class res_T, typename CONFIG_T>
+void mc_dropout(
+    hls::stream<data_T> &input,
+    hls::stream<res_T>  &output,
+    {data_t} keep_rate
+) {{
+    static ap_uint<32> lfsr_state = CONFIG_T::lfsr_seed;
+
+DropoutLoop:
+    for (unsigned i = 0; i < CONFIG_T::dropout_size; i++) {{
+#pragma HLS PIPELINE II=1
+        data_T temp = input.read();
+        ap_uint<32> raw = lfsr32_next(lfsr_state);
+        {data_t} uniform_random;
+        uniform_random.range() = raw.range(31, 32 - uniform_random.width);
+        if (uniform_random > keep_rate) {{
+            temp = 0;
+        }}
+        output.write(temp * keep_rate);
+    }}
+}}
+
+}} // namespace nnet
+
+#endif
+"#
+    )
+}
+
+/// Returns the C++ call statement instantiating one layer inside the top-level
+/// dataflow function, plus the name of its output stream.
+pub fn layer_call(index: usize, layer: &LayerSpec, input_stream: &str, config: &HlsConfig) -> (String, String) {
+    let out = format!("layer{index}_out");
+    let reuse = config.reuse_factor;
+    let call = match layer {
+        LayerSpec::Conv2d { in_channels, out_channels, kernel, stride, padding } => format!(
+            "    // conv2d: {in_channels}->{out_channels}, k={kernel}, s={stride}, p={padding}\n    nnet::conv_2d_cl<data_t, data_t, config{index}>({input_stream}, {out}, w{index}, b{index}); // REUSE={reuse}"
+        ),
+        LayerSpec::Dense { in_features, out_features } => format!(
+            "    // dense: {in_features}->{out_features}\n    nnet::dense<data_t, data_t, config{index}>({input_stream}, {out}, w{index}, b{index}); // REUSE={reuse}"
+        ),
+        LayerSpec::BatchNorm2d { channels } => format!(
+            "    // batchnorm: {channels} channels (folded scale/shift)\n    nnet::normalize<data_t, data_t, config{index}>({input_stream}, {out}, scale{index}, bias{index});"
+        ),
+        LayerSpec::Relu => format!(
+            "    nnet::relu<data_t, data_t, config{index}>({input_stream}, {out});"
+        ),
+        LayerSpec::Softmax => format!(
+            "    nnet::softmax<data_t, data_t, config{index}>({input_stream}, {out});"
+        ),
+        LayerSpec::MaxPool2d { kernel, stride } => format!(
+            "    // maxpool k={kernel} s={stride}\n    nnet::pooling2d_cl<data_t, data_t, config{index}>({input_stream}, {out});"
+        ),
+        LayerSpec::AvgPool2d { kernel, stride } => format!(
+            "    // avgpool k={kernel} s={stride}\n    nnet::pooling2d_cl<data_t, data_t, config{index}>({input_stream}, {out});"
+        ),
+        LayerSpec::GlobalAvgPool2d => format!(
+            "    nnet::global_pooling2d_cl<data_t, data_t, config{index}>({input_stream}, {out});"
+        ),
+        LayerSpec::Flatten => format!(
+            "    nnet::flatten<data_t, data_t, config{index}>({input_stream}, {out});"
+        ),
+        LayerSpec::Dropout { .. } => format!(
+            "    // standard dropout is identity at inference\n    nnet::passthrough<data_t, data_t, config{index}>({input_stream}, {out});"
+        ),
+        LayerSpec::McDropout { rate } => format!(
+            "    // Monte-Carlo dropout, rate={rate} (Algorithm 1)\n    nnet::mc_dropout<data_t, data_t, config{index}>({input_stream}, {out}, keep_rate{index});"
+        ),
+        LayerSpec::Residual { .. } => format!(
+            "    // residual basic block (main + shortcut + add + relu)\n    nnet::residual_block<data_t, data_t, config{index}>({input_stream}, {out});"
+        ),
+    };
+    (call, out)
+}
+
+/// Per-layer configuration struct emitted into `parameters.h`.
+pub fn layer_config_struct(index: usize, layer: &LayerSpec, config: &HlsConfig) -> String {
+    let reuse = config.reuse_factor;
+    match layer {
+        LayerSpec::Conv2d { in_channels, out_channels, kernel, stride, padding } => format!(
+            "struct config{index} {{\n    static const unsigned in_chan = {in_channels};\n    static const unsigned out_chan = {out_channels};\n    static const unsigned filt_size = {kernel};\n    static const unsigned stride = {stride};\n    static const unsigned pad = {padding};\n    static const unsigned reuse_factor = {reuse};\n}};\n"
+        ),
+        LayerSpec::Dense { in_features, out_features } => format!(
+            "struct config{index} {{\n    static const unsigned n_in = {in_features};\n    static const unsigned n_out = {out_features};\n    static const unsigned reuse_factor = {reuse};\n}};\n"
+        ),
+        LayerSpec::McDropout { rate } => {
+            let keep = 1.0 - rate;
+            format!(
+                "struct config{index} : nnet::mc_dropout_config {{\n    static const unsigned dropout_size = DROPOUT_SIZE_{index};\n    // keep_rate = {keep}\n    static const unsigned reuse_factor = {reuse};\n}};\n"
+            )
+        }
+        other => format!(
+            "struct config{index} {{\n    // {other:?}\n    static const unsigned reuse_factor = {reuse};\n}};\n"
+        ),
+    }
+}
+
+/// Number of weight/bias scalars a layer needs in the weights header.
+pub fn weight_counts(layer: &LayerSpec) -> (usize, usize) {
+    match layer {
+        LayerSpec::Conv2d { in_channels, out_channels, kernel, .. } => {
+            (in_channels * out_channels * kernel * kernel, *out_channels)
+        }
+        LayerSpec::Dense { in_features, out_features } => (in_features * out_features, *out_features),
+        LayerSpec::BatchNorm2d { channels } => (*channels, *channels),
+        LayerSpec::Residual { main, shortcut } => {
+            let mut w = 0;
+            let mut b = 0;
+            for l in main.iter().chain(shortcut) {
+                let (lw, lb) = weight_counts(l);
+                w += lw;
+                b += lb;
+            }
+            (w, b)
+        }
+        _ => (0, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcd_header_reproduces_algorithm_1() {
+        let header = mc_dropout_header(&HlsConfig::new("p"));
+        // Pipelined loop over the dropout buffer.
+        assert!(header.contains("#pragma HLS PIPELINE II=1"));
+        assert!(header.contains("for (unsigned i = 0; i < CONFIG_T::dropout_size"));
+        // Uniform RNG and keep-rate comparison and multiplication.
+        assert!(header.contains("lfsr32_next"));
+        assert!(header.contains("if (uniform_random > keep_rate)"));
+        assert!(header.contains("temp = 0"));
+        assert!(header.contains("output.write(temp * keep_rate)"));
+        // Uses the configured fixed-point type.
+        assert!(header.contains("ap_fixed<16,6>"));
+    }
+
+    #[test]
+    fn mcd_header_respects_bitwidth() {
+        let cfg = HlsConfig::new("p").with_format(bnn_quant::FixedPointFormat::new(8, 3).unwrap());
+        let header = mc_dropout_header(&cfg);
+        assert!(header.contains("ap_fixed<8,3>"));
+    }
+
+    #[test]
+    fn layer_calls_name_streams_consistently() {
+        let cfg = HlsConfig::new("p");
+        let conv = LayerSpec::Conv2d { in_channels: 3, out_channels: 8, kernel: 3, stride: 1, padding: 1 };
+        let (call, out) = layer_call(4, &conv, "layer3_out", &cfg);
+        assert_eq!(out, "layer4_out");
+        assert!(call.contains("conv_2d_cl"));
+        assert!(call.contains("layer3_out"));
+        assert!(call.contains("layer4_out"));
+        let mcd = LayerSpec::McDropout { rate: 0.25 };
+        let (call, _) = layer_call(5, &mcd, "layer4_out", &cfg);
+        assert!(call.contains("mc_dropout"));
+        assert!(call.contains("keep_rate5"));
+    }
+
+    #[test]
+    fn config_structs_embed_dimensions() {
+        let cfg = HlsConfig::new("p").with_reuse_factor(16);
+        let dense = LayerSpec::Dense { in_features: 64, out_features: 10 };
+        let s = layer_config_struct(2, &dense, &cfg);
+        assert!(s.contains("n_in = 64"));
+        assert!(s.contains("n_out = 10"));
+        assert!(s.contains("reuse_factor = 16"));
+        let mcd = layer_config_struct(3, &LayerSpec::McDropout { rate: 0.5 }, &cfg);
+        assert!(mcd.contains("mc_dropout_config"));
+    }
+
+    #[test]
+    fn weight_counts_cover_parametrised_layers() {
+        assert_eq!(
+            weight_counts(&LayerSpec::Conv2d { in_channels: 3, out_channels: 8, kernel: 3, stride: 1, padding: 1 }),
+            (216, 8)
+        );
+        assert_eq!(
+            weight_counts(&LayerSpec::Dense { in_features: 10, out_features: 4 }),
+            (40, 4)
+        );
+        assert_eq!(weight_counts(&LayerSpec::Relu), (0, 0));
+        let res = LayerSpec::Residual {
+            main: vec![LayerSpec::Conv2d { in_channels: 4, out_channels: 4, kernel: 3, stride: 1, padding: 1 }],
+            shortcut: vec![],
+        };
+        assert_eq!(weight_counts(&res), (144, 4));
+    }
+}

@@ -1,0 +1,136 @@
+//! Literature baselines quoted in Table II.
+//!
+//! The paper compares against four prior FPGA BayesNN accelerators using the
+//! numbers those papers report; this module carries the same rows so the
+//! Table II harness can print the full comparison.
+
+/// One row of the Table II platform comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRow {
+    /// Work identifier (venue'year or platform name).
+    pub work: String,
+    /// Hardware platform.
+    pub platform: String,
+    /// Clock frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Process technology in nanometres.
+    pub technology_nm: u32,
+    /// Power in watts.
+    pub power_w: f64,
+    /// End-to-end latency in milliseconds (Bayes-LeNet-5-class workload,
+    /// 3 MC samples, as used by the paper's comparison).
+    pub latency_ms: f64,
+}
+
+impl BaselineRow {
+    /// Energy per image in joules.
+    pub fn energy_per_image_j(&self) -> f64 {
+        self.power_w * self.latency_ms / 1e3
+    }
+}
+
+/// The prior FPGA accelerators quoted by the paper (Table II).
+pub fn fpga_baselines() -> Vec<BaselineRow> {
+    vec![
+        BaselineRow {
+            work: "ASPLOS'18 (VIBNN)".into(),
+            platform: "Altera Cyclone V".into(),
+            frequency_mhz: 213.0,
+            technology_nm: 28,
+            power_w: 6.11,
+            latency_ms: 5.5,
+        },
+        BaselineRow {
+            work: "DATE'20 (BYNQNet)".into(),
+            platform: "Zynq XC7Z020".into(),
+            frequency_mhz: 200.0,
+            technology_nm: 28,
+            power_w: 2.76,
+            latency_ms: 4.5,
+        },
+        BaselineRow {
+            work: "DAC'21".into(),
+            platform: "Arria 10 GX1150".into(),
+            frequency_mhz: 225.0,
+            technology_nm: 20,
+            power_w: 45.0,
+            latency_ms: 0.42,
+        },
+        BaselineRow {
+            work: "TPDS'22".into(),
+            platform: "Arria 10 GX1150".into(),
+            frequency_mhz: 220.0,
+            technology_nm: 20,
+            power_w: 43.6,
+            latency_ms: 0.32,
+        },
+    ]
+}
+
+/// The CPU and GPU rows exactly as quoted by the paper (measured values).
+pub fn software_baselines_quoted() -> Vec<BaselineRow> {
+    vec![
+        BaselineRow {
+            work: "CPU".into(),
+            platform: "Intel Core i9-9900K".into(),
+            frequency_mhz: 3600.0,
+            technology_nm: 14,
+            power_w: 205.0,
+            latency_ms: 1.26,
+        },
+        BaselineRow {
+            work: "GPU".into(),
+            platform: "NVIDIA RTX 2080".into(),
+            frequency_mhz: 1545.0,
+            technology_nm: 12,
+            power_w: 236.0,
+            latency_ms: 0.57,
+        },
+    ]
+}
+
+/// The paper's own result row ("Our Work"), for comparison against this
+/// reproduction's analytically estimated design.
+pub fn paper_our_work_quoted() -> BaselineRow {
+    BaselineRow {
+        work: "DAC'23 (paper)".into(),
+        platform: "Xilinx XCKU115".into(),
+        frequency_mhz: 181.0,
+        technology_nm: 20,
+        power_w: 4.6,
+        latency_ms: 0.89,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_matches_paper_columns() {
+        // Paper Table II energy-efficiency column (J/image).
+        let rows = fpga_baselines();
+        let energies: Vec<f64> = rows.iter().map(BaselineRow::energy_per_image_j).collect();
+        assert!((energies[0] - 0.033).abs() < 0.002); // VIBNN
+        assert!((energies[1] - 0.012).abs() < 0.002); // BYNQNet
+        assert!((energies[2] - 0.019).abs() < 0.002); // DAC'21
+        assert!((energies[3] - 0.014).abs() < 0.002); // TPDS'22
+        let ours = paper_our_work_quoted();
+        assert!((ours.energy_per_image_j() - 0.004).abs() < 0.001);
+    }
+
+    #[test]
+    fn cpu_gpu_quoted_energy() {
+        let rows = software_baselines_quoted();
+        assert!((rows[0].energy_per_image_j() - 0.258).abs() < 0.01);
+        assert!((rows[1].energy_per_image_j() - 0.134).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_design_is_most_efficient() {
+        let ours = paper_our_work_quoted().energy_per_image_j();
+        for row in fpga_baselines().iter().chain(&software_baselines_quoted()) {
+            assert!(ours < row.energy_per_image_j(), "{} should be worse", row.work);
+        }
+    }
+}

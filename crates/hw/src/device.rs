@@ -1,0 +1,118 @@
+//! FPGA device database.
+//!
+//! Resource capacities are taken from the public device tables of the parts
+//! used in Table II of the paper and its baselines.
+
+use crate::resource::ResourceUsage;
+
+/// An FPGA device with its resource budget and electrical characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaDevice {
+    /// Device name (e.g. "Xilinx Kintex UltraScale XCKU115").
+    pub name: String,
+    /// Vendor name.
+    pub vendor: String,
+    /// Process technology in nanometres.
+    pub technology_nm: u32,
+    /// Available resources.
+    pub resources: ResourceUsage,
+    /// Maximum practical clock frequency for dense DSP designs (MHz).
+    pub max_frequency_mhz: f64,
+    /// Device static power at nominal conditions (W).
+    pub static_power_w: f64,
+}
+
+impl FpgaDevice {
+    /// Xilinx Kintex UltraScale XCKU115 — the paper's target device (20 nm).
+    pub fn xcku115() -> Self {
+        FpgaDevice {
+            name: "Xilinx Kintex UltraScale XCKU115".into(),
+            vendor: "Xilinx".into(),
+            technology_nm: 20,
+            resources: ResourceUsage::new(2160, 5520, 1_326_720, 663_360),
+            max_frequency_mhz: 300.0,
+            // The paper's Table III reports 1.299 W static for the placed design.
+            static_power_w: 1.299,
+        }
+    }
+
+    /// Xilinx Zynq XC7Z020 (28 nm) — used by BYNQNet (DATE'20).
+    pub fn zynq_7020() -> Self {
+        FpgaDevice {
+            name: "Xilinx Zynq XC7Z020".into(),
+            vendor: "Xilinx".into(),
+            technology_nm: 28,
+            resources: ResourceUsage::new(140, 220, 106_400, 53_200),
+            max_frequency_mhz: 200.0,
+            static_power_w: 0.2,
+        }
+    }
+
+    /// Intel Arria 10 GX1150 (20 nm) — used by DAC'21 and TPDS'22.
+    pub fn arria10_gx1150() -> Self {
+        FpgaDevice {
+            name: "Intel Arria 10 GX1150".into(),
+            vendor: "Intel".into(),
+            technology_nm: 20,
+            // M20K blocks expressed as 36 Kb-equivalents (~2713 M20K / 2).
+            resources: ResourceUsage::new(1518, 1518, 1_708_800, 854_400),
+            max_frequency_mhz: 300.0,
+            static_power_w: 2.0,
+        }
+    }
+
+    /// Altera Cyclone V (28 nm) — used by VIBNN (ASPLOS'18).
+    pub fn cyclone_v() -> Self {
+        FpgaDevice {
+            name: "Altera Cyclone V".into(),
+            vendor: "Intel".into(),
+            technology_nm: 28,
+            resources: ResourceUsage::new(397, 112, 166_036, 83_018),
+            max_frequency_mhz: 250.0,
+            static_power_w: 0.35,
+        }
+    }
+
+    /// Every device in the database.
+    pub fn all() -> Vec<FpgaDevice> {
+        vec![
+            FpgaDevice::xcku115(),
+            FpgaDevice::zynq_7020(),
+            FpgaDevice::arria10_gx1150(),
+            FpgaDevice::cyclone_v(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xcku115_capacities() {
+        let d = FpgaDevice::xcku115();
+        assert_eq!(d.technology_nm, 20);
+        assert_eq!(d.resources.dsp, 5520);
+        assert_eq!(d.resources.bram_36k, 2160);
+        assert!(d.resources.lut > 600_000);
+    }
+
+    #[test]
+    fn database_is_consistent() {
+        for device in FpgaDevice::all() {
+            assert!(!device.name.is_empty());
+            assert!(device.max_frequency_mhz > 0.0);
+            assert!(device.static_power_w > 0.0);
+            assert!(device.resources.lut > 0);
+            assert!(device.resources.dsp > 0);
+        }
+    }
+
+    #[test]
+    fn big_devices_dominate_small_ones() {
+        let big = FpgaDevice::xcku115();
+        let small = FpgaDevice::zynq_7020();
+        assert!(small.resources.fits_within(&big.resources));
+        assert!(!big.resources.fits_within(&small.resources));
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the hardware model.
+
+use bnn_models::ModelError;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by hardware estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwError {
+    /// The architecture spec could not be analysed.
+    Model(ModelError),
+    /// The accelerator configuration is invalid (zero clock, zero reuse factor, ...).
+    InvalidConfig(String),
+    /// The design cannot be mapped (e.g. no MCD layer where one is required).
+    Unmappable(String),
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::Model(e) => write!(f, "model error: {e}"),
+            HwError::InvalidConfig(msg) => write!(f, "invalid accelerator configuration: {msg}"),
+            HwError::Unmappable(msg) => write!(f, "design cannot be mapped: {msg}"),
+        }
+    }
+}
+
+impl Error for HwError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HwError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for HwError {
+    fn from(e: ModelError) -> Self {
+        HwError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(HwError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(HwError::Unmappable("y".into()).to_string().contains("y"));
+        let e = HwError::from(ModelError::InvalidSpec("z".into()));
+        assert!(e.source().is_some());
+    }
+}

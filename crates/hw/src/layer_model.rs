@@ -1,0 +1,388 @@
+//! Per-layer hardware estimation (resources and cycles).
+//!
+//! The model follows the structure of hls4ml's "resource" strategy: each layer
+//! instantiates `ceil(total multiplies / reuse_factor)` parallel multipliers,
+//! pipelined with an initiation interval equal to the reuse factor, and keeps
+//! its weights in on-chip BRAM. The Monte-Carlo Dropout layer follows the
+//! paper's Algorithm 1: a pipelined elementwise loop with an on-chip uniform
+//! RNG, a comparator and a multiplier — and, notably, **no BRAM**, which is why
+//! Fig. 5 shows flat BRAM across MCD-layer counts.
+
+use crate::resource::ResourceUsage;
+use crate::rng::Lfsr32;
+use bnn_models::LayerSpec;
+use bnn_tensor::Shape;
+
+/// Hardware estimate of a single layer instance.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LayerHardware {
+    /// Short layer kind label.
+    pub kind: String,
+    /// Resources consumed by the layer.
+    pub resources: ResourceUsage,
+    /// Cycles to process one input (initiation-interval dominated).
+    pub cycles: u64,
+    /// Whether this layer belongs to the Bayesian component (MCD layer).
+    pub is_mc_dropout: bool,
+}
+
+/// Hardware estimation parameters shared by every layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerModelConfig {
+    /// Datapath bit width (weights and activations).
+    pub bits: u32,
+    /// Reuse factor: how many multiplies share one physical multiplier.
+    pub reuse_factor: usize,
+}
+
+impl Default for LayerModelConfig {
+    fn default() -> Self {
+        LayerModelConfig { bits: 16, reuse_factor: 32 }
+    }
+}
+
+impl LayerModelConfig {
+    /// Creates a configuration.
+    pub fn new(bits: u32, reuse_factor: usize) -> Self {
+        LayerModelConfig {
+            bits,
+            reuse_factor: reuse_factor.max(1),
+        }
+    }
+}
+
+const BRAM_BITS: u64 = 36 * 1024;
+const PIPELINE_DEPTH: u64 = 12;
+
+fn div_ceil(a: u64, b: u64) -> u64 {
+    a.div_ceil(b.max(1))
+}
+
+/// DSP / LUT cost of `multipliers` parallel multiply-accumulate units at a
+/// given bit width. Narrow multipliers pack two per DSP slice; 4-bit and below
+/// are implemented in LUTs.
+fn mac_array(multipliers: u64, bits: u32) -> ResourceUsage {
+    let (dsp, extra_lut) = if bits <= 4 {
+        (0, multipliers * (6 * bits as u64 + 8))
+    } else if bits <= 8 {
+        (div_ceil(multipliers, 2), multipliers * 4)
+    } else {
+        (multipliers, multipliers * 2)
+    };
+    // Accumulators and control.
+    let ff = multipliers * (2 * bits as u64) + 64;
+    let lut = extra_lut + multipliers * bits as u64 + 128;
+    ResourceUsage::new(0, dsp, ff, lut)
+}
+
+/// BRAM blocks needed to hold `params` weights of `bits` width (dual-ported,
+/// one block minimum when any weights exist).
+fn weight_bram(params: u64, bits: u32) -> u64 {
+    if params == 0 {
+        0
+    } else {
+        div_ceil(params * bits as u64, BRAM_BITS).max(1)
+    }
+}
+
+/// Estimates the hardware of one layer given its input shape (batch size 1).
+pub fn estimate_layer(
+    layer: &LayerSpec,
+    input: &Shape,
+    config: &LayerModelConfig,
+) -> LayerHardware {
+    let bits = config.bits;
+    let reuse = config.reuse_factor.max(1) as u64;
+    let elements = input.len() as u64;
+    match layer {
+        LayerSpec::Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        } => {
+            let (oh, ow) = match input.as_nchw() {
+                Ok((_, _, h, w)) => {
+                    let oh = (h + 2 * padding).saturating_sub(*kernel) / stride + 1;
+                    let ow = (w + 2 * padding).saturating_sub(*kernel) / stride + 1;
+                    (oh as u64, ow as u64)
+                }
+                Err(_) => (1, 1),
+            };
+            let macs_per_pixel = (kernel * kernel * in_channels * out_channels) as u64;
+            let multipliers = div_ceil(macs_per_pixel, reuse);
+            let mut res = mac_array(multipliers, bits);
+            let params = (kernel * kernel * in_channels * out_channels + out_channels) as u64;
+            // Weights plus (kernel-1) line buffers for the streaming window.
+            let line_buffer_bits = ((kernel - 1) * in_channels) as u64
+                * input.dims().last().copied().unwrap_or(1) as u64
+                * bits as u64;
+            res.bram_36k = weight_bram(params, bits) + div_ceil(line_buffer_bits, BRAM_BITS);
+            LayerHardware {
+                kind: "conv2d".into(),
+                resources: res,
+                cycles: oh * ow * reuse + PIPELINE_DEPTH,
+                is_mc_dropout: false,
+            }
+        }
+        LayerSpec::Dense { in_features, out_features } => {
+            let macs = (in_features * out_features) as u64;
+            let multipliers = div_ceil(macs, reuse);
+            let mut res = mac_array(multipliers, bits);
+            res.bram_36k = weight_bram((in_features * out_features + out_features) as u64, bits);
+            LayerHardware {
+                kind: "dense".into(),
+                resources: res,
+                cycles: reuse + PIPELINE_DEPTH,
+                is_mc_dropout: false,
+            }
+        }
+        LayerSpec::BatchNorm2d { channels } => {
+            // Folded scale+shift per channel.
+            let multipliers = div_ceil(*channels as u64, reuse);
+            let mut res = mac_array(multipliers, bits);
+            res.bram_36k = weight_bram(2 * *channels as u64, bits);
+            LayerHardware {
+                kind: "batchnorm2d".into(),
+                resources: res,
+                cycles: elements / (*channels as u64).max(1) + PIPELINE_DEPTH,
+                is_mc_dropout: false,
+            }
+        }
+        LayerSpec::Relu => LayerHardware {
+            kind: "relu".into(),
+            resources: ResourceUsage::new(0, 0, 2 * bits as u64, 3 * bits as u64 + 16),
+            cycles: elements / 8 + 2,
+            is_mc_dropout: false,
+        },
+        LayerSpec::Softmax => LayerHardware {
+            kind: "softmax".into(),
+            // exp/inv lookup tables plus normalisation logic (hls4ml keeps these in BRAM).
+            resources: ResourceUsage::new(2, 1, 1_200, 2_400),
+            cycles: elements + PIPELINE_DEPTH,
+            is_mc_dropout: false,
+        },
+        LayerSpec::MaxPool2d { kernel, .. } | LayerSpec::AvgPool2d { kernel, .. } => {
+            let window = (kernel * kernel) as u64;
+            LayerHardware {
+                kind: "pool2d".into(),
+                resources: ResourceUsage::new(
+                    0,
+                    0,
+                    window * bits as u64 + 32,
+                    window * (bits as u64 + 4) + 64,
+                ),
+                cycles: elements / 4 + PIPELINE_DEPTH,
+                is_mc_dropout: false,
+            }
+        }
+        LayerSpec::GlobalAvgPool2d => {
+            let channels = input.dims().get(1).copied().unwrap_or(1) as u64;
+            LayerHardware {
+                kind: "global_avg_pool2d".into(),
+                resources: ResourceUsage::new(0, 0, channels * bits as u64, channels * 6 + 128),
+                cycles: elements + PIPELINE_DEPTH,
+                is_mc_dropout: false,
+            }
+        }
+        LayerSpec::Flatten => LayerHardware {
+            kind: "flatten".into(),
+            resources: ResourceUsage::new(0, 0, 16, 32),
+            cycles: 1,
+            is_mc_dropout: false,
+        },
+        LayerSpec::Dropout { .. } => LayerHardware {
+            // Training-only dropout is a no-op in inference hardware.
+            kind: "dropout".into(),
+            resources: ResourceUsage::new(0, 0, 0, 0),
+            cycles: 0,
+            is_mc_dropout: false,
+        },
+        LayerSpec::McDropout { .. } => {
+            // Algorithm 1: pipelined loop over dropout_size with II=1, an LFSR
+            // uniform RNG, one comparator, one multiplier by the keep rate and
+            // the output multiplexer. No BRAM.
+            let rng = Lfsr32::hardware_cost();
+            let mult = mac_array(1, bits);
+            let comparator = ResourceUsage::new(0, 0, bits as u64, 2 * bits as u64);
+            let mux = ResourceUsage::new(0, 0, bits as u64, bits as u64 + 8);
+            LayerHardware {
+                kind: "mc_dropout".into(),
+                resources: rng + mult + comparator + mux,
+                cycles: elements + PIPELINE_DEPTH,
+                is_mc_dropout: true,
+            }
+        }
+        LayerSpec::Residual { main, shortcut } => {
+            let mut resources = ResourceUsage::zero();
+            let mut cycles = 0u64;
+            let mut shape = input.clone();
+            for l in main {
+                let est = estimate_layer(l, &shape, config);
+                resources += est.resources;
+                cycles += est.cycles;
+                if let Ok(next) = l.output_shape(&shape) {
+                    shape = next;
+                }
+            }
+            let mut short_shape = input.clone();
+            let mut short_cycles = 0u64;
+            for l in shortcut {
+                let est = estimate_layer(l, &short_shape, config);
+                resources += est.resources;
+                short_cycles += est.cycles;
+                if let Ok(next) = l.output_shape(&short_shape) {
+                    short_shape = next;
+                }
+            }
+            // Element-wise adder + ReLU at the merge point.
+            let out_len = shape.len() as u64;
+            resources += ResourceUsage::new(0, 0, 4 * bits as u64, 6 * bits as u64 + 32);
+            LayerHardware {
+                kind: "residual".into(),
+                resources,
+                cycles: cycles.max(short_cycles) + out_len / 8 + PIPELINE_DEPTH,
+                is_mc_dropout: main.iter().any(LayerSpec::is_mc_dropout)
+                    || shortcut.iter().any(LayerSpec::is_mc_dropout),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(in_c: usize, out_c: usize) -> LayerSpec {
+        LayerSpec::Conv2d {
+            in_channels: in_c,
+            out_channels: out_c,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        }
+    }
+
+    #[test]
+    fn conv_resources_scale_with_channels() {
+        let cfg = LayerModelConfig::default();
+        let shape = Shape::new(vec![1, 16, 16, 16]);
+        let small = estimate_layer(&conv(16, 16), &shape, &cfg);
+        let big = estimate_layer(&conv(16, 64), &shape, &cfg);
+        assert!(big.resources.dsp > small.resources.dsp);
+        assert!(big.resources.lut > small.resources.lut);
+        assert!(big.resources.bram_36k >= small.resources.bram_36k);
+    }
+
+    #[test]
+    fn reuse_factor_trades_cycles_for_resources() {
+        let shape = Shape::new(vec![1, 16, 16, 16]);
+        let fast = estimate_layer(&conv(16, 32), &shape, &LayerModelConfig::new(16, 4));
+        let slow = estimate_layer(&conv(16, 32), &shape, &LayerModelConfig::new(16, 64));
+        assert!(fast.cycles < slow.cycles);
+        assert!(fast.resources.dsp > slow.resources.dsp);
+    }
+
+    #[test]
+    fn narrow_bitwidths_use_fewer_dsp() {
+        let shape = Shape::new(vec![1, 16, 16, 16]);
+        let w16 = estimate_layer(&conv(16, 32), &shape, &LayerModelConfig::new(16, 16));
+        let w8 = estimate_layer(&conv(16, 32), &shape, &LayerModelConfig::new(8, 16));
+        let w4 = estimate_layer(&conv(16, 32), &shape, &LayerModelConfig::new(4, 16));
+        assert!(w8.resources.dsp < w16.resources.dsp);
+        assert_eq!(w4.resources.dsp, 0);
+        assert!(w4.resources.lut > w8.resources.lut);
+    }
+
+    #[test]
+    fn mcd_layer_uses_no_bram_or_heavy_dsp() {
+        let cfg = LayerModelConfig::new(8, 16);
+        let shape = Shape::new(vec![1, 64, 8, 8]);
+        let est = estimate_layer(&LayerSpec::McDropout { rate: 0.25 }, &shape, &cfg);
+        assert!(est.is_mc_dropout);
+        assert_eq!(est.resources.bram_36k, 0);
+        assert!(est.resources.dsp <= 1);
+        assert!(est.resources.lut > 0 && est.resources.ff > 0);
+        // cycles follow the dropout buffer size (Algorithm 1's pipelined loop)
+        assert!(est.cycles >= shape.len() as u64);
+    }
+
+    #[test]
+    fn training_only_dropout_is_free_in_hardware() {
+        let cfg = LayerModelConfig::default();
+        let est = estimate_layer(
+            &LayerSpec::Dropout { rate: 0.5 },
+            &Shape::new(vec![1, 64, 8, 8]),
+            &cfg,
+        );
+        assert_eq!(est.resources, ResourceUsage::zero());
+        assert_eq!(est.cycles, 0);
+    }
+
+    #[test]
+    fn dense_weight_bram_scales_with_parameters() {
+        let cfg = LayerModelConfig::new(16, 64);
+        let small = estimate_layer(
+            &LayerSpec::Dense { in_features: 64, out_features: 10 },
+            &Shape::new(vec![1, 64]),
+            &cfg,
+        );
+        let big = estimate_layer(
+            &LayerSpec::Dense { in_features: 1024, out_features: 512 },
+            &Shape::new(vec![1, 1024]),
+            &cfg,
+        );
+        assert!(big.resources.bram_36k > small.resources.bram_36k);
+    }
+
+    #[test]
+    fn residual_aggregates_member_costs() {
+        let cfg = LayerModelConfig::default();
+        let shape = Shape::new(vec![1, 16, 8, 8]);
+        let single = estimate_layer(&conv(16, 16), &shape, &cfg);
+        let res = estimate_layer(
+            &LayerSpec::Residual {
+                main: vec![conv(16, 16), conv(16, 16)],
+                shortcut: vec![],
+            },
+            &shape,
+            &cfg,
+        );
+        assert!(res.resources.dsp >= 2 * single.resources.dsp);
+        assert!(res.cycles > single.cycles);
+        assert!(!res.is_mc_dropout);
+    }
+
+    #[test]
+    fn residual_with_inner_mcd_is_flagged() {
+        let cfg = LayerModelConfig::default();
+        let shape = Shape::new(vec![1, 8, 4, 4]);
+        let res = estimate_layer(
+            &LayerSpec::Residual {
+                main: vec![conv(8, 8), LayerSpec::McDropout { rate: 0.5 }],
+                shortcut: vec![],
+            },
+            &shape,
+            &cfg,
+        );
+        assert!(res.is_mc_dropout);
+    }
+
+    #[test]
+    fn pool_and_activation_are_cheap() {
+        let cfg = LayerModelConfig::default();
+        let shape = Shape::new(vec![1, 32, 16, 16]);
+        let conv_est = estimate_layer(&conv(32, 32), &shape, &cfg);
+        for layer in [
+            LayerSpec::Relu,
+            LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+            LayerSpec::GlobalAvgPool2d,
+            LayerSpec::Flatten,
+        ] {
+            let est = estimate_layer(&layer, &shape, &cfg);
+            assert!(est.resources.lut < conv_est.resources.lut / 4);
+            assert_eq!(est.resources.dsp, 0);
+        }
+    }
+}

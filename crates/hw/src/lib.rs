@@ -1,0 +1,54 @@
+//! # bnn-hw
+//!
+//! Analytic FPGA hardware model for multi-exit MCD BayesNN accelerators.
+//!
+//! The paper obtains its hardware numbers from Vivado-HLS C-synthesis reports,
+//! Vivado place-and-route and the Xilinx Power Estimator. None of those tools
+//! can run here, so this crate provides the analytic stand-in (see `DESIGN.md`
+//! §2): per-layer resource and latency estimation in the style of hls4ml's
+//! resource strategy, a spatial/temporal mapping model for the Monte-Carlo
+//! engines, an XPE-style power estimator, CPU/GPU roofline models and the
+//! literature baselines quoted in Table II.
+//!
+//! The models are calibrated to reproduce the *shapes* the paper reports:
+//! logic grows with the number of MCD layers while BRAM stays flat (Fig. 5
+//! left), spatial mapping flattens latency against the number of MC samples
+//! (Fig. 5 right), the final XCKU115 design lands in the few-watt / sub-ms
+//! regime with dynamic power dominated by logic+signal and IO (Tables II-III).
+//!
+//! # Example
+//!
+//! ```
+//! use bnn_hw::accelerator::{AcceleratorConfig, AcceleratorModel};
+//! use bnn_hw::device::FpgaDevice;
+//! use bnn_models::{zoo, ModelConfig};
+//!
+//! # fn main() -> Result<(), bnn_hw::HwError> {
+//! let spec = zoo::lenet5(&ModelConfig::mnist()).with_mcd_layers(1, 0.25)?;
+//! let config = AcceleratorConfig::new(FpgaDevice::xcku115());
+//! let report = AcceleratorModel::new(spec, config)?.estimate()?;
+//! assert!(report.fits);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accelerator;
+pub mod baselines;
+pub mod device;
+pub mod error;
+pub mod layer_model;
+pub mod mapping;
+pub mod perf;
+pub mod power;
+pub mod resource;
+pub mod rng;
+
+pub use accelerator::{AcceleratorConfig, AcceleratorModel, AcceleratorReport};
+pub use device::FpgaDevice;
+pub use error::HwError;
+pub use mapping::MappingStrategy;
+pub use power::PowerBreakdown;
+pub use resource::ResourceUsage;

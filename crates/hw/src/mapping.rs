@@ -1,0 +1,194 @@
+//! Spatial and temporal mapping of the Bayesian component onto MC engines.
+//!
+//! The Bayesian component (the layers at and after the first MCD layer) must be
+//! evaluated once per Monte-Carlo forward pass. The paper's Phase 2 explores
+//! two mappings (Fig. 4):
+//!
+//! * **Spatial** — one hardware MC engine per pass, all running in parallel on
+//!   clones of the cached backbone tensor. Latency stays flat as the number of
+//!   samples grows; resources grow linearly.
+//! * **Temporal** — a single shared MC engine processes the cloned tensors one
+//!   after another. Resources stay flat; latency grows linearly.
+//! * **Hybrid** — `engines` engines each time-multiplex a share of the passes,
+//!   interpolating between the two extremes.
+
+use crate::resource::ResourceUsage;
+
+/// How Monte-Carlo passes are mapped onto hardware MC engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingStrategy {
+    /// One engine per MC pass (fully parallel).
+    Spatial,
+    /// A single engine shared by all MC passes (fully sequential).
+    Temporal,
+    /// A fixed number of engines, each sequentially processing its share.
+    Hybrid {
+        /// Number of physical MC engines.
+        engines: usize,
+    },
+}
+
+impl Default for MappingStrategy {
+    fn default() -> Self {
+        MappingStrategy::Temporal
+    }
+}
+
+impl MappingStrategy {
+    /// Number of physical MC engines instantiated for `passes` MC passes.
+    pub fn engines(&self, passes: usize) -> usize {
+        match *self {
+            MappingStrategy::Spatial => passes.max(1),
+            MappingStrategy::Temporal => 1,
+            MappingStrategy::Hybrid { engines } => engines.clamp(1, passes.max(1)),
+        }
+    }
+
+    /// Number of sequential engine runs needed for `passes` MC passes.
+    pub fn sequential_runs(&self, passes: usize) -> usize {
+        let engines = self.engines(passes);
+        passes.max(1).div_ceil(engines)
+    }
+
+    /// Every strategy the Phase 2 explorer enumerates for `passes` MC passes.
+    pub fn candidates(passes: usize) -> Vec<MappingStrategy> {
+        let mut out = vec![MappingStrategy::Temporal];
+        let mut engines = 2;
+        while engines < passes {
+            out.push(MappingStrategy::Hybrid { engines });
+            engines *= 2;
+        }
+        if passes > 1 {
+            out.push(MappingStrategy::Spatial);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for MappingStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingStrategy::Spatial => write!(f, "spatial"),
+            MappingStrategy::Temporal => write!(f, "temporal"),
+            MappingStrategy::Hybrid { engines } => write!(f, "hybrid({engines})"),
+        }
+    }
+}
+
+/// Latency/resource model of the mapped Bayesian component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappedBayesianComponent {
+    /// Cycles of one engine evaluating one MC pass.
+    pub engine_cycles: u64,
+    /// Resources of one engine.
+    pub engine_resources: ResourceUsage,
+    /// Cycles to clone/concatenate the cached tensor per pass (stream copy).
+    pub clone_cycles: u64,
+}
+
+impl MappedBayesianComponent {
+    /// Total cycles spent in the Bayesian component for `passes` MC passes
+    /// under the given mapping.
+    pub fn latency_cycles(&self, mapping: MappingStrategy, passes: usize) -> u64 {
+        let runs = mapping.sequential_runs(passes) as u64;
+        // Cloning the cached tensor happens once per pass but is overlapped
+        // across parallel engines, so it is charged per sequential run.
+        runs * (self.engine_cycles + self.clone_cycles)
+    }
+
+    /// Total resources of the Bayesian component under the given mapping.
+    pub fn resources(&self, mapping: MappingStrategy, passes: usize) -> ResourceUsage {
+        self.engine_resources.scaled(mapping.engines(passes) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn component() -> MappedBayesianComponent {
+        MappedBayesianComponent {
+            engine_cycles: 1000,
+            engine_resources: ResourceUsage::new(0, 4, 2000, 3000),
+            clone_cycles: 50,
+        }
+    }
+
+    #[test]
+    fn engine_counts() {
+        assert_eq!(MappingStrategy::Spatial.engines(5), 5);
+        assert_eq!(MappingStrategy::Temporal.engines(5), 1);
+        assert_eq!(MappingStrategy::Hybrid { engines: 2 }.engines(5), 2);
+        assert_eq!(MappingStrategy::Hybrid { engines: 9 }.engines(5), 5);
+        assert_eq!(MappingStrategy::Hybrid { engines: 0 }.engines(5), 1);
+    }
+
+    #[test]
+    fn sequential_runs() {
+        assert_eq!(MappingStrategy::Spatial.sequential_runs(5), 1);
+        assert_eq!(MappingStrategy::Temporal.sequential_runs(5), 5);
+        assert_eq!(MappingStrategy::Hybrid { engines: 2 }.sequential_runs(5), 3);
+    }
+
+    #[test]
+    fn spatial_latency_flat_temporal_linear() {
+        let c = component();
+        let spatial_1 = c.latency_cycles(MappingStrategy::Spatial, 1);
+        let spatial_8 = c.latency_cycles(MappingStrategy::Spatial, 8);
+        assert_eq!(spatial_1, spatial_8);
+        let temporal_1 = c.latency_cycles(MappingStrategy::Temporal, 1);
+        let temporal_8 = c.latency_cycles(MappingStrategy::Temporal, 8);
+        assert_eq!(temporal_8, 8 * temporal_1);
+    }
+
+    #[test]
+    fn spatial_resources_linear_temporal_flat() {
+        let c = component();
+        assert_eq!(
+            c.resources(MappingStrategy::Spatial, 4).dsp,
+            4 * c.engine_resources.dsp
+        );
+        assert_eq!(c.resources(MappingStrategy::Temporal, 4), c.engine_resources);
+    }
+
+    #[test]
+    fn candidate_enumeration() {
+        let cands = MappingStrategy::candidates(8);
+        assert!(cands.contains(&MappingStrategy::Temporal));
+        assert!(cands.contains(&MappingStrategy::Spatial));
+        assert!(cands.contains(&MappingStrategy::Hybrid { engines: 2 }));
+        assert!(cands.contains(&MappingStrategy::Hybrid { engines: 4 }));
+        assert_eq!(MappingStrategy::candidates(1), vec![MappingStrategy::Temporal]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MappingStrategy::Spatial.to_string(), "spatial");
+        assert_eq!(MappingStrategy::Hybrid { engines: 3 }.to_string(), "hybrid(3)");
+    }
+
+    proptest! {
+        #[test]
+        fn spatial_is_never_slower_and_never_smaller(passes in 1usize..16) {
+            let c = component();
+            let spatial = c.latency_cycles(MappingStrategy::Spatial, passes);
+            let temporal = c.latency_cycles(MappingStrategy::Temporal, passes);
+            prop_assert!(spatial <= temporal);
+            let rs = c.resources(MappingStrategy::Spatial, passes);
+            let rt = c.resources(MappingStrategy::Temporal, passes);
+            prop_assert!(rt.fits_within(&rs));
+        }
+
+        #[test]
+        fn hybrid_interpolates(passes in 2usize..16, engines in 1usize..16) {
+            let c = component();
+            let hybrid = MappingStrategy::Hybrid { engines };
+            let latency = c.latency_cycles(hybrid, passes);
+            prop_assert!(latency >= c.latency_cycles(MappingStrategy::Spatial, passes));
+            prop_assert!(latency <= c.latency_cycles(MappingStrategy::Temporal, passes));
+            // runs * engines covers all passes
+            prop_assert!(hybrid.sequential_runs(passes) * hybrid.engines(passes) >= passes);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Analytic CPU/GPU performance models.
+//!
+//! Table II compares the FPGA accelerator against an Intel i9-9900K and an
+//! NVIDIA RTX 2080 running the vanilla MCD BayesNN. Those machines are not
+//! available here, so a simple launch-overhead + effective-throughput model is
+//! used; its two parameters per platform are chosen so that a Bayes-LeNet-5
+//! inference with 3 MC samples lands near the paper's measured latencies.
+
+/// An analytic model of a software platform (CPU or GPU).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformModel {
+    /// Platform name as it appears in Table II.
+    pub name: String,
+    /// Clock frequency in MHz (reported, not used by the model).
+    pub frequency_mhz: f64,
+    /// Process technology in nanometres.
+    pub technology_nm: u32,
+    /// Board/package power draw under load (W).
+    pub power_w: f64,
+    /// Fixed per-inference overhead (framework dispatch, kernel launch), ms.
+    pub overhead_ms: f64,
+    /// Effective sustained throughput on small-batch CNN inference (GFLOP/s).
+    pub effective_gflops: f64,
+}
+
+impl PlatformModel {
+    /// Intel Core i9-9900K running PyTorch MCD inference (paper: 205 W, 1.26 ms).
+    pub fn cpu_i9_9900k() -> Self {
+        PlatformModel {
+            name: "Intel Core i9-9900K".into(),
+            frequency_mhz: 3600.0,
+            technology_nm: 14,
+            power_w: 205.0,
+            overhead_ms: 0.95,
+            effective_gflops: 9.0,
+        }
+    }
+
+    /// NVIDIA RTX 2080 running PyTorch MCD inference (paper: 236 W, 0.57 ms).
+    pub fn gpu_rtx_2080() -> Self {
+        PlatformModel {
+            name: "NVIDIA RTX 2080".into(),
+            frequency_mhz: 1545.0,
+            technology_nm: 12,
+            power_w: 236.0,
+            overhead_ms: 0.52,
+            effective_gflops: 120.0,
+        }
+    }
+
+    /// Predicted end-to-end latency in milliseconds for a workload of `flops`
+    /// floating-point operations.
+    pub fn latency_ms(&self, flops: u64) -> f64 {
+        self.overhead_ms + flops as f64 / (self.effective_gflops * 1e9) * 1e3
+    }
+
+    /// Energy per inference in joules for a workload of `flops`.
+    pub fn energy_per_inference_j(&self, flops: u64) -> f64 {
+        self.power_w * self.latency_ms(flops) / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bayes-LeNet-5 with 3 MC samples is roughly 2.5 MFLOPs of work.
+    const BAYES_LENET_3_SAMPLES_FLOPS: u64 = 2_500_000;
+
+    #[test]
+    fn cpu_latency_near_paper_measurement() {
+        let cpu = PlatformModel::cpu_i9_9900k();
+        let latency = cpu.latency_ms(BAYES_LENET_3_SAMPLES_FLOPS);
+        assert!((0.9..1.8).contains(&latency), "latency {latency}");
+        let energy = cpu.energy_per_inference_j(BAYES_LENET_3_SAMPLES_FLOPS);
+        assert!((0.15..0.40).contains(&energy), "energy {energy}");
+    }
+
+    #[test]
+    fn gpu_latency_near_paper_measurement() {
+        let gpu = PlatformModel::gpu_rtx_2080();
+        let latency = gpu.latency_ms(BAYES_LENET_3_SAMPLES_FLOPS);
+        assert!((0.45..0.80).contains(&latency), "latency {latency}");
+        let energy = gpu.energy_per_inference_j(BAYES_LENET_3_SAMPLES_FLOPS);
+        assert!((0.08..0.25).contains(&energy), "energy {energy}");
+    }
+
+    #[test]
+    fn gpu_is_faster_but_both_are_power_hungry() {
+        let cpu = PlatformModel::cpu_i9_9900k();
+        let gpu = PlatformModel::gpu_rtx_2080();
+        assert!(
+            gpu.latency_ms(BAYES_LENET_3_SAMPLES_FLOPS)
+                < cpu.latency_ms(BAYES_LENET_3_SAMPLES_FLOPS)
+        );
+        assert!(cpu.power_w > 100.0 && gpu.power_w > 100.0);
+    }
+
+    #[test]
+    fn latency_grows_with_workload() {
+        let cpu = PlatformModel::cpu_i9_9900k();
+        assert!(cpu.latency_ms(10_000_000) > cpu.latency_ms(1_000_000));
+    }
+}

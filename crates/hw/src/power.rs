@@ -1,0 +1,212 @@
+//! XPE-style power estimation.
+//!
+//! The model mirrors the structure of the Xilinx Power Estimator report the
+//! paper quotes in Table III: device static power plus dynamic components for
+//! clocking, logic & signal, BRAM, IO and DSP. Dynamic power scales linearly
+//! with clock frequency and with the amount of switching fabric; IO power
+//! additionally scales with the number of parallel MC engines, because the
+//! spatial mapping streams several cloned tensors concurrently (the paper
+//! attributes its high IO power to exactly this).
+
+use crate::device::FpgaDevice;
+use crate::resource::ResourceUsage;
+
+/// Power breakdown in watts, mirroring the paper's Table III columns.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Clock-tree power.
+    pub clocking_w: f64,
+    /// Logic and signal (interconnect) power.
+    pub logic_signal_w: f64,
+    /// Block-RAM power.
+    pub bram_w: f64,
+    /// IO power.
+    pub io_w: f64,
+    /// DSP power.
+    pub dsp_w: f64,
+    /// Device static power.
+    pub static_w: f64,
+}
+
+/// Coefficients of the analytic power model (watts per resource-MHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// W per FF-MHz (clock tree + register clocking).
+    pub clk_per_ff_mhz: f64,
+    /// W per LUT-MHz (logic and routed signals).
+    pub logic_per_lut_mhz: f64,
+    /// W per BRAM-MHz.
+    pub bram_per_block_mhz: f64,
+    /// W per DSP-MHz.
+    pub dsp_per_slice_mhz: f64,
+    /// Baseline IO power (W) for the AXI/host interface.
+    pub io_base_w: f64,
+    /// W per engine-MHz of concurrent streaming IO.
+    pub io_per_engine_mhz: f64,
+    /// Average toggle rate applied to the logic/clock terms.
+    pub toggle_rate: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        // Calibrated so a Bayes-LeNet-class design (~150 k FF, ~190 k LUT,
+        // ~50 BRAM, ~1.5 k DSP, 3 spatial MC engines) at 181 MHz on XCKU115
+        // lands near the paper's Table III: total ≈ 4.6 W with dynamic ≈ 72 %.
+        PowerModel {
+            clk_per_ff_mhz: 1.4e-8,
+            logic_per_lut_mhz: 4.0e-8,
+            bram_per_block_mhz: 4.5e-5,
+            dsp_per_slice_mhz: 7.0e-7,
+            io_base_w: 0.25,
+            io_per_engine_mhz: 1.35e-3,
+            toggle_rate: 1.0,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Estimates the power breakdown of a design.
+    ///
+    /// * `resources` — post-mapping resource usage of the whole accelerator.
+    /// * `clock_mhz` — operating clock frequency.
+    /// * `mc_engines` — number of parallel MC engines (drives IO power).
+    pub fn estimate(
+        &self,
+        device: &FpgaDevice,
+        resources: &ResourceUsage,
+        clock_mhz: f64,
+        mc_engines: usize,
+    ) -> PowerBreakdown {
+        let toggle = self.toggle_rate;
+        PowerBreakdown {
+            clocking_w: self.clk_per_ff_mhz * resources.ff as f64 * clock_mhz * toggle,
+            logic_signal_w: self.logic_per_lut_mhz * resources.lut as f64 * clock_mhz * toggle,
+            bram_w: self.bram_per_block_mhz * resources.bram_36k as f64 * clock_mhz,
+            io_w: self.io_base_w + self.io_per_engine_mhz * mc_engines as f64 * clock_mhz,
+            dsp_w: self.dsp_per_slice_mhz * resources.dsp as f64 * clock_mhz,
+            static_w: device.static_power_w,
+        }
+    }
+}
+
+impl PowerBreakdown {
+    /// Total dynamic power (everything except static).
+    pub fn dynamic_w(&self) -> f64 {
+        self.clocking_w + self.logic_signal_w + self.bram_w + self.io_w + self.dsp_w
+    }
+
+    /// Total power.
+    pub fn total_w(&self) -> f64 {
+        self.dynamic_w() + self.static_w
+    }
+
+    /// Fraction of total power that is dynamic.
+    pub fn dynamic_fraction(&self) -> f64 {
+        if self.total_w() == 0.0 {
+            0.0
+        } else {
+            self.dynamic_w() / self.total_w()
+        }
+    }
+
+    /// Percentage share of each component, in the paper's Table III column
+    /// order: clocking, logic&signal, BRAM, IO, DSP, static.
+    pub fn percentages(&self) -> [f64; 6] {
+        let total = self.total_w().max(1e-12);
+        [
+            100.0 * self.clocking_w / total,
+            100.0 * self.logic_signal_w / total,
+            100.0 * self.bram_w / total,
+            100.0 * self.io_w / total,
+            100.0 * self.dsp_w / total,
+            100.0 * self.static_w / total,
+        ]
+    }
+}
+
+impl std::fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "clocking={:.3}W logic&signal={:.3}W bram={:.3}W io={:.3}W dsp={:.3}W static={:.3}W total={:.3}W",
+            self.clocking_w,
+            self.logic_signal_w,
+            self.bram_w,
+            self.io_w,
+            self.dsp_w,
+            self.static_w,
+            self.total_w()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_resources() -> ResourceUsage {
+        // Roughly a Bayes-LeNet design with 3 spatial MC engines.
+        ResourceUsage::new(50, 1500, 150_000, 190_000)
+    }
+
+    #[test]
+    fn reference_design_lands_near_paper_total() {
+        let model = PowerModel::default();
+        let power = model.estimate(&FpgaDevice::xcku115(), &reference_resources(), 181.0, 3);
+        let total = power.total_w();
+        assert!((3.0..6.5).contains(&total), "total {total}");
+        // dynamic share near the paper's 72 %
+        assert!((0.55..0.85).contains(&power.dynamic_fraction()));
+    }
+
+    #[test]
+    fn logic_and_io_dominate_dynamic_power() {
+        let model = PowerModel::default();
+        let power = model.estimate(&FpgaDevice::xcku115(), &reference_resources(), 181.0, 3);
+        assert!(power.logic_signal_w > power.bram_w);
+        assert!(power.logic_signal_w > power.dsp_w);
+        assert!(power.io_w > power.dsp_w);
+        assert!(power.io_w > power.bram_w);
+    }
+
+    #[test]
+    fn power_scales_with_clock() {
+        let model = PowerModel::default();
+        let slow = model.estimate(&FpgaDevice::xcku115(), &reference_resources(), 100.0, 3);
+        let fast = model.estimate(&FpgaDevice::xcku115(), &reference_resources(), 200.0, 3);
+        assert!(fast.dynamic_w() > slow.dynamic_w());
+        assert_eq!(fast.static_w, slow.static_w);
+    }
+
+    #[test]
+    fn io_power_grows_with_engines() {
+        let model = PowerModel::default();
+        let one = model.estimate(&FpgaDevice::xcku115(), &reference_resources(), 181.0, 1);
+        let eight = model.estimate(&FpgaDevice::xcku115(), &reference_resources(), 181.0, 8);
+        assert!(eight.io_w > one.io_w);
+        assert_eq!(eight.logic_signal_w, one.logic_signal_w);
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let model = PowerModel::default();
+        let power = model.estimate(&FpgaDevice::xcku115(), &reference_resources(), 181.0, 3);
+        let sum: f64 = power.percentages().iter().sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let model = PowerModel::default();
+        let power = model.estimate(&FpgaDevice::xcku115(), &reference_resources(), 181.0, 3);
+        assert!(power.to_string().contains("total="));
+    }
+
+    #[test]
+    fn zero_design_draws_only_static_and_io_base() {
+        let model = PowerModel::default();
+        let power = model.estimate(&FpgaDevice::xcku115(), &ResourceUsage::zero(), 181.0, 0);
+        assert!(power.dynamic_w() - power.io_w < 1e-12);
+        assert!(power.total_w() > power.static_w);
+    }
+}

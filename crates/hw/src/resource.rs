@@ -1,0 +1,209 @@
+//! FPGA resource vectors (BRAM / DSP / FF / LUT).
+
+use std::ops::{Add, AddAssign, Mul};
+
+/// A count of the four primary FPGA resource types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct ResourceUsage {
+    /// 36 Kb block RAMs.
+    pub bram_36k: u64,
+    /// DSP slices.
+    pub dsp: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// Look-up tables.
+    pub lut: u64,
+}
+
+impl ResourceUsage {
+    /// Creates a resource vector.
+    pub fn new(bram_36k: u64, dsp: u64, ff: u64, lut: u64) -> Self {
+        ResourceUsage { bram_36k, dsp, ff, lut }
+    }
+
+    /// The zero vector.
+    pub fn zero() -> Self {
+        ResourceUsage::default()
+    }
+
+    /// Scales every component by an integer factor (e.g. replicating an engine).
+    pub fn scaled(self, factor: u64) -> Self {
+        ResourceUsage {
+            bram_36k: self.bram_36k * factor,
+            dsp: self.dsp * factor,
+            ff: self.ff * factor,
+            lut: self.lut * factor,
+        }
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Self) -> Self {
+        ResourceUsage {
+            bram_36k: self.bram_36k.max(other.bram_36k),
+            dsp: self.dsp.max(other.dsp),
+            ff: self.ff.max(other.ff),
+            lut: self.lut.max(other.lut),
+        }
+    }
+
+    /// Returns `true` if every component fits within `budget`.
+    pub fn fits_within(&self, budget: &ResourceUsage) -> bool {
+        self.bram_36k <= budget.bram_36k
+            && self.dsp <= budget.dsp
+            && self.ff <= budget.ff
+            && self.lut <= budget.lut
+    }
+
+    /// Per-component utilisation (0.0–…) against a budget; components with a
+    /// zero budget report 0 utilisation when unused and infinity when used.
+    pub fn utilization(&self, budget: &ResourceUsage) -> ResourceUtilization {
+        let ratio = |used: u64, avail: u64| {
+            if avail == 0 {
+                if used == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                used as f64 / avail as f64
+            }
+        };
+        ResourceUtilization {
+            bram_36k: ratio(self.bram_36k, budget.bram_36k),
+            dsp: ratio(self.dsp, budget.dsp),
+            ff: ratio(self.ff, budget.ff),
+            lut: ratio(self.lut, budget.lut),
+        }
+    }
+}
+
+impl Add for ResourceUsage {
+    type Output = ResourceUsage;
+
+    fn add(self, rhs: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            bram_36k: self.bram_36k + rhs.bram_36k,
+            dsp: self.dsp + rhs.dsp,
+            ff: self.ff + rhs.ff,
+            lut: self.lut + rhs.lut,
+        }
+    }
+}
+
+impl AddAssign for ResourceUsage {
+    fn add_assign(&mut self, rhs: ResourceUsage) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for ResourceUsage {
+    type Output = ResourceUsage;
+
+    fn mul(self, rhs: u64) -> ResourceUsage {
+        self.scaled(rhs)
+    }
+}
+
+impl std::fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BRAM={} DSP={} FF={} LUT={}",
+            self.bram_36k, self.dsp, self.ff, self.lut
+        )
+    }
+}
+
+/// Fractional utilisation of each resource type against a device budget.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceUtilization {
+    /// BRAM utilisation fraction.
+    pub bram_36k: f64,
+    /// DSP utilisation fraction.
+    pub dsp: f64,
+    /// FF utilisation fraction.
+    pub ff: f64,
+    /// LUT utilisation fraction.
+    pub lut: f64,
+}
+
+impl ResourceUtilization {
+    /// The largest utilisation across all resource types.
+    pub fn max_fraction(&self) -> f64 {
+        self.bram_36k.max(self.dsp).max(self.ff).max(self.lut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn addition_and_scaling() {
+        let a = ResourceUsage::new(1, 2, 3, 4);
+        let b = ResourceUsage::new(10, 20, 30, 40);
+        assert_eq!(a + b, ResourceUsage::new(11, 22, 33, 44));
+        assert_eq!(a.scaled(3), ResourceUsage::new(3, 6, 9, 12));
+        assert_eq!(a * 2, ResourceUsage::new(2, 4, 6, 8));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, ResourceUsage::new(11, 22, 33, 44));
+    }
+
+    #[test]
+    fn fits_and_utilization() {
+        let used = ResourceUsage::new(10, 100, 1000, 2000);
+        let device = ResourceUsage::new(100, 1000, 10_000, 10_000);
+        assert!(used.fits_within(&device));
+        let util = used.utilization(&device);
+        assert!((util.dsp - 0.1).abs() < 1e-12);
+        assert!((util.lut - 0.2).abs() < 1e-12);
+        assert!((util.max_fraction() - 0.2).abs() < 1e-12);
+        let too_big = ResourceUsage::new(1000, 1, 1, 1);
+        assert!(!too_big.fits_within(&device));
+    }
+
+    #[test]
+    fn zero_budget_utilization() {
+        let used = ResourceUsage::new(0, 1, 0, 0);
+        let budget = ResourceUsage::new(0, 0, 10, 10);
+        let util = used.utilization(&budget);
+        assert_eq!(util.bram_36k, 0.0);
+        assert!(util.dsp.is_infinite());
+    }
+
+    #[test]
+    fn max_is_componentwise() {
+        let a = ResourceUsage::new(1, 20, 3, 40);
+        let b = ResourceUsage::new(10, 2, 30, 4);
+        assert_eq!(a.max(b), ResourceUsage::new(10, 20, 30, 40));
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let text = ResourceUsage::new(1, 2, 3, 4).to_string();
+        assert!(text.contains("BRAM=1") && text.contains("LUT=4"));
+    }
+
+    proptest! {
+        #[test]
+        fn addition_is_commutative(
+            a in (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000),
+            b in (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000),
+        ) {
+            let x = ResourceUsage::new(a.0, a.1, a.2, a.3);
+            let y = ResourceUsage::new(b.0, b.1, b.2, b.3);
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn sum_always_fits_budget_of_itself(
+            a in (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000),
+        ) {
+            let x = ResourceUsage::new(a.0, a.1, a.2, a.3);
+            prop_assert!(x.fits_within(&x));
+            prop_assert!(x.utilization(&x).max_fraction() <= 1.0);
+        }
+    }
+}

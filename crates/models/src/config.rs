@@ -1,0 +1,114 @@
+//! Model configuration: input geometry, class count and width scaling.
+
+/// Configuration shared by every architecture builder in [`crate::zoo`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Width divisor: every channel count of the reference architecture is
+    /// divided by this value (and clamped to at least 1). The paper's Phase 3
+    /// co-exploration searches channel numbers in `{C, C/2, C/4, C/8}`; the
+    /// reproduction additionally uses divisors > 1 to keep CPU training fast.
+    pub width_divisor: usize,
+}
+
+impl ModelConfig {
+    /// Creates a configuration for the given input geometry and class count
+    /// (width divisor 1, i.e. full-width reference models).
+    pub fn new(in_channels: usize, height: usize, width: usize, classes: usize) -> Self {
+        ModelConfig {
+            in_channels,
+            height,
+            width,
+            classes,
+            width_divisor: 1,
+        }
+    }
+
+    /// Configuration for MNIST-shaped inputs (1×28×28, 10 classes).
+    pub fn mnist() -> Self {
+        ModelConfig::new(1, 28, 28, 10)
+    }
+
+    /// Configuration for CIFAR-10-shaped inputs (3×32×32, 10 classes).
+    pub fn cifar10() -> Self {
+        ModelConfig::new(3, 32, 32, 10)
+    }
+
+    /// Configuration for CIFAR-100-shaped inputs (3×32×32, 100 classes).
+    pub fn cifar100() -> Self {
+        ModelConfig::new(3, 32, 32, 100)
+    }
+
+    /// Configuration for SVHN-shaped inputs (3×32×32, 10 classes).
+    pub fn svhn() -> Self {
+        ModelConfig::new(3, 32, 32, 10)
+    }
+
+    /// Sets the width divisor.
+    pub fn with_width_divisor(mut self, divisor: usize) -> Self {
+        self.width_divisor = divisor.max(1);
+        self
+    }
+
+    /// Sets the input resolution.
+    pub fn with_resolution(mut self, height: usize, width: usize) -> Self {
+        self.height = height;
+        self.width = width;
+        self
+    }
+
+    /// Sets the class count.
+    pub fn with_classes(mut self, classes: usize) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Scales a reference channel count by the width divisor.
+    pub fn scale(&self, channels: usize) -> usize {
+        (channels / self.width_divisor).max(1)
+    }
+
+    /// Input dims in NCHW order for a batch of `n`.
+    pub fn input_dims(&self, n: usize) -> Vec<usize> {
+        vec![n, self.in_channels, self.height, self.width]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(ModelConfig::mnist().in_channels, 1);
+        assert_eq!(ModelConfig::cifar10().classes, 10);
+        assert_eq!(ModelConfig::cifar100().classes, 100);
+        assert_eq!(ModelConfig::svhn().height, 32);
+    }
+
+    #[test]
+    fn width_scaling() {
+        let c = ModelConfig::cifar10().with_width_divisor(8);
+        assert_eq!(c.scale(512), 64);
+        assert_eq!(c.scale(4), 1); // clamped to 1
+        let c = ModelConfig::cifar10().with_width_divisor(0);
+        assert_eq!(c.width_divisor, 1);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = ModelConfig::cifar100()
+            .with_resolution(16, 16)
+            .with_classes(20)
+            .with_width_divisor(4);
+        assert_eq!(c.input_dims(2), vec![2, 3, 16, 16]);
+        assert_eq!(c.classes, 20);
+    }
+}

@@ -1,0 +1,396 @@
+//! Runtime multi-exit network built from a [`NetworkSpec`].
+
+use crate::error::ModelError;
+use crate::spec::NetworkSpec;
+use bnn_nn::layer::{Mode, Param};
+use bnn_nn::network::Network;
+use bnn_nn::{NnError, Sequential};
+use bnn_tensor::{Shape, Tensor};
+
+/// A trainable multi-exit network: a chain of backbone blocks with one or more
+/// exit branches attached at block boundaries.
+///
+/// The final exit (the network's original classifier head) is always attached
+/// after the last block. Exit logits are returned in attachment order, so the
+/// last element of [`Network::forward_exits`] is the final exit.
+#[derive(Debug)]
+pub struct MultiExitNetwork {
+    name: String,
+    classes: usize,
+    blocks: Vec<Sequential>,
+    /// `(after_block, branch)` pairs, sorted by `after_block` with the final
+    /// exit last.
+    exits: Vec<(usize, Sequential)>,
+    spec: NetworkSpec,
+}
+
+impl MultiExitNetwork {
+    /// Instantiates the runtime network from a validated spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any layer fails to construct.
+    pub fn from_spec(spec: &NetworkSpec, seed: u64) -> Result<Self, ModelError> {
+        let mut layer_seed = seed;
+        let mut blocks = Vec::with_capacity(spec.blocks.len());
+        for (i, block_layers) in spec.blocks.iter().enumerate() {
+            let mut block = Sequential::new(format!("{}-block{i}", spec.name));
+            for layer in block_layers {
+                block.push_boxed(layer.build(&mut layer_seed)?);
+            }
+            blocks.push(block);
+        }
+        let mut exits = Vec::with_capacity(spec.exits.len());
+        for (i, exit) in spec.exits.iter().enumerate() {
+            let mut branch = Sequential::new(format!("{}-exit{i}", spec.name));
+            for layer in &exit.layers {
+                branch.push_boxed(layer.build(&mut layer_seed)?);
+            }
+            exits.push((exit.after_block, branch));
+        }
+        Ok(MultiExitNetwork {
+            name: spec.name.clone(),
+            classes: spec.classes,
+            blocks,
+            exits,
+            spec: spec.clone(),
+        })
+    }
+
+    /// The architecture specification this network was built from.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// Number of backbone blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of Monte-Carlo Dropout layers in the whole network.
+    pub fn mcd_layer_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(Sequential::mc_dropout_count)
+            .sum::<usize>()
+            + self
+                .exits
+                .iter()
+                .map(|(_, e)| e.mc_dropout_count())
+                .sum::<usize>()
+    }
+
+    /// Runs the backbone only, returning the activation after every block.
+    /// This is the tensor the accelerator caches and clones for MC sampling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn forward_backbone(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+    ) -> Result<Vec<Tensor>, NnError> {
+        let mut activations = Vec::with_capacity(self.blocks.len());
+        let mut current = input.clone();
+        for block in &mut self.blocks {
+            current = block.forward(&current, mode)?;
+            activations.push(current.clone());
+        }
+        Ok(activations)
+    }
+
+    /// Runs only the exit branches on pre-computed backbone activations.
+    ///
+    /// Re-running this with [`Mode::McSample`] on the *same* activations is how
+    /// multi-exit MCD BayesNNs draw additional MC samples without recomputing
+    /// the (deterministic, non-Bayesian) backbone — the computational saving
+    /// formalised by the paper's Eq. 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `activations` does not contain one tensor per block.
+    pub fn forward_exits_from_activations(
+        &mut self,
+        activations: &[Tensor],
+        mode: Mode,
+    ) -> Result<Vec<Tensor>, NnError> {
+        if activations.len() != self.blocks.len() {
+            return Err(NnError::InvalidConfig(format!(
+                "expected {} block activations, got {}",
+                self.blocks.len(),
+                activations.len()
+            )));
+        }
+        let mut outputs = Vec::with_capacity(self.exits.len());
+        for (after_block, branch) in &mut self.exits {
+            outputs.push(branch.forward(&activations[*after_block], mode)?);
+        }
+        Ok(outputs)
+    }
+}
+
+impl Network for MultiExitNetwork {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward_exits(&mut self, input: &Tensor, mode: Mode) -> Result<Vec<Tensor>, NnError> {
+        let activations = self.forward_backbone(input, mode)?;
+        self.forward_exits_from_activations(&activations, mode)
+    }
+
+    fn backward_exits(&mut self, grads: &[Tensor]) -> Result<(), NnError> {
+        if grads.len() != self.exits.len() {
+            return Err(NnError::InvalidConfig(format!(
+                "expected {} exit gradients, got {}",
+                self.exits.len(),
+                grads.len()
+            )));
+        }
+        // Gradient with respect to each block output, accumulated from exits
+        // attached there and from downstream blocks.
+        let mut pending: Vec<Option<Tensor>> = vec![None; self.blocks.len()];
+        for ((after_block, branch), grad) in self.exits.iter_mut().zip(grads) {
+            let g = branch.backward(grad)?;
+            match &mut pending[*after_block] {
+                Some(acc) => acc.add_scaled_inplace(&g, 1.0)?,
+                slot => *slot = Some(g),
+            }
+        }
+        let mut downstream: Option<Tensor> = None;
+        for (i, block) in self.blocks.iter_mut().enumerate().rev() {
+            let mut grad_out = match (pending[i].take(), downstream.take()) {
+                (Some(mut a), Some(b)) => {
+                    a.add_scaled_inplace(&b, 1.0)?;
+                    a
+                }
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => {
+                    return Err(NnError::InvalidConfig(format!(
+                        "no gradient reaches block {i}; every trailing block needs an exit"
+                    )))
+                }
+            };
+            grad_out = block.backward(&grad_out)?;
+            downstream = Some(grad_out);
+        }
+        Ok(())
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = Vec::new();
+        for block in &mut self.blocks {
+            params.extend(block.params_mut());
+        }
+        for (_, exit) in &mut self.exits {
+            params.extend(exit.params_mut());
+        }
+        params
+    }
+
+    fn num_exits(&self) -> usize {
+        self.exits.len()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn flops(&self, input: &Shape) -> u64 {
+        let mut shape = input.clone();
+        let mut total = 0u64;
+        let mut block_shapes = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            total += block.flops(&shape);
+            match block.output_shape(&shape) {
+                Ok(next) => shape = next,
+                Err(_) => return total,
+            }
+            block_shapes.push(shape.clone());
+        }
+        for (after_block, exit) in &self.exits {
+            if let Some(s) = block_shapes.get(*after_block) {
+                total += exit.flops(s);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{LayerSpec, NetworkSpec};
+    use bnn_nn::loss::cross_entropy;
+    use bnn_nn::optimizer::Sgd;
+    use bnn_tensor::rng::{Rng, Xoshiro256StarStar};
+
+    fn tiny_multi_exit_spec() -> NetworkSpec {
+        NetworkSpec::single_exit(
+            "tiny",
+            1,
+            8,
+            8,
+            3,
+            vec![
+                vec![
+                    LayerSpec::Conv2d { in_channels: 1, out_channels: 4, kernel: 3, stride: 1, padding: 1 },
+                    LayerSpec::Relu,
+                    LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+                ],
+                vec![
+                    LayerSpec::Conv2d { in_channels: 4, out_channels: 8, kernel: 3, stride: 1, padding: 1 },
+                    LayerSpec::Relu,
+                    LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+                ],
+            ],
+            vec![
+                LayerSpec::GlobalAvgPool2d,
+                LayerSpec::Dense { in_features: 8, out_features: 3 },
+            ],
+        )
+        .with_exits_after_every_block()
+        .unwrap()
+        .with_exit_mcd(0.25)
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_produces_one_logit_tensor_per_exit() {
+        let spec = tiny_multi_exit_spec();
+        let mut net = spec.build(1).unwrap();
+        let x = Tensor::ones(&[2, 1, 8, 8]);
+        let exits = net.forward_exits(&x, Mode::Eval).unwrap();
+        assert_eq!(exits.len(), 2);
+        for logits in &exits {
+            assert_eq!(logits.dims(), &[2, 3]);
+        }
+        assert_eq!(net.num_exits(), 2);
+        assert_eq!(net.num_classes(), 3);
+        assert_eq!(net.mcd_layer_count(), 2);
+    }
+
+    #[test]
+    fn backbone_caching_matches_full_forward_in_eval() {
+        let spec = tiny_multi_exit_spec();
+        let mut net = spec.build(2).unwrap();
+        let x = Tensor::ones(&[1, 1, 8, 8]);
+        let full = net.forward_exits(&x, Mode::Eval).unwrap();
+        let acts = net.forward_backbone(&x, Mode::Eval).unwrap();
+        let cached = net.forward_exits_from_activations(&acts, Mode::Eval).unwrap();
+        for (a, b) in full.iter().zip(&cached) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn mc_samples_differ_only_through_exit_dropout() {
+        let spec = tiny_multi_exit_spec();
+        let mut net = spec.build(3).unwrap();
+        let x = Tensor::ones(&[1, 1, 8, 8]);
+        let acts = net.forward_backbone(&x, Mode::Eval).unwrap();
+        let s1 = net.forward_exits_from_activations(&acts, Mode::McSample).unwrap();
+        let s2 = net.forward_exits_from_activations(&acts, Mode::McSample).unwrap();
+        // same cached backbone, different dropout masks -> different logits
+        assert_ne!(s1[0].as_slice(), s2[0].as_slice());
+    }
+
+    #[test]
+    fn backward_accumulates_gradients_from_all_exits() {
+        let spec = tiny_multi_exit_spec();
+        let mut net = spec.build(4).unwrap();
+        let x = Tensor::ones(&[2, 1, 8, 8]);
+        let exits = net.forward_exits(&x, Mode::Train).unwrap();
+        let grads: Vec<Tensor> = exits.iter().map(|e| Tensor::ones(e.dims())).collect();
+        net.zero_grad();
+        net.backward_exits(&grads).unwrap();
+        let any_grad = net.params_mut().iter().any(|p| p.grad.norm() > 0.0);
+        assert!(any_grad);
+        // wrong gradient count is rejected
+        assert!(net.backward_exits(&grads[..1]).is_err());
+    }
+
+    #[test]
+    fn flops_match_spec_flops() {
+        let spec = tiny_multi_exit_spec();
+        let net = spec.build(5).unwrap();
+        let spec_total = spec.total_flops().unwrap();
+        assert_eq!(net.flops(&spec.input_shape(1)), spec_total);
+    }
+
+    #[test]
+    fn multi_exit_training_learns_toy_task() {
+        // Two-class images: class 0 bright top half, class 1 bright bottom half.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        let n = 32;
+        let mut data = vec![0.0f32; n * 64];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            for y in 0..8 {
+                for x in 0..8 {
+                    let bright = if class == 0 { y < 4 } else { y >= 4 };
+                    data[i * 64 + y * 8 + x] =
+                        if bright { 1.0 } else { 0.0 } + 0.1 * rng.normal();
+                }
+            }
+            labels.push(class);
+        }
+        let inputs = Tensor::from_vec(data, &[n, 1, 8, 8]).unwrap();
+
+        let spec = NetworkSpec::single_exit(
+            "toy",
+            1,
+            8,
+            8,
+            2,
+            vec![
+                vec![
+                    LayerSpec::Conv2d { in_channels: 1, out_channels: 4, kernel: 3, stride: 1, padding: 1 },
+                    LayerSpec::Relu,
+                    LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+                ],
+                vec![
+                    LayerSpec::Conv2d { in_channels: 4, out_channels: 8, kernel: 3, stride: 1, padding: 1 },
+                    LayerSpec::Relu,
+                    LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+                ],
+            ],
+            vec![
+                LayerSpec::GlobalAvgPool2d,
+                LayerSpec::Dense { in_features: 8, out_features: 2 },
+            ],
+        )
+        .with_exits_after_every_block()
+        .unwrap();
+        let mut net = spec.build(7).unwrap();
+        let mut sgd = Sgd::new(0.1).with_momentum(0.9);
+
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..40 {
+            let exits = net.forward_exits(&inputs, Mode::Train).unwrap();
+            let mut grads = Vec::new();
+            let mut loss = 0.0;
+            for logits in &exits {
+                let out = cross_entropy(logits, &labels).unwrap();
+                loss += out.loss;
+                grads.push(out.grad);
+            }
+            net.zero_grad();
+            net.backward_exits(&grads).unwrap();
+            let mut params = net.params_mut();
+            sgd.step(&mut params);
+            if first_loss.is_none() {
+                first_loss = Some(loss);
+            }
+            last_loss = loss;
+        }
+        assert!(
+            last_loss < first_loss.unwrap() * 0.5,
+            "loss {first_loss:?} -> {last_loss}"
+        );
+    }
+}

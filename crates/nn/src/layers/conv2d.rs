@@ -1,0 +1,381 @@
+//! 2-D convolution layer implemented with im2col + matrix multiplication.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::NnError;
+use bnn_tensor::init::Init;
+use bnn_tensor::linalg::{col2im, im2col, matmul, transpose, ConvGeometry};
+use bnn_tensor::rng::Xoshiro256StarStar;
+use bnn_tensor::{Shape, Tensor};
+
+/// A 2-D convolution over NCHW tensors.
+///
+/// The weight tensor has shape `[out_channels, in_channels, kernel, kernel]`
+/// and the bias `[out_channels]`. Forward evaluation lowers the convolution to
+/// a matrix product through [`im2col`]; the same columns are cached and reused
+/// for the backward pass.
+///
+/// # Example
+///
+/// ```
+/// use bnn_nn::prelude::*;
+/// use bnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), bnn_nn::NnError> {
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, 0)?;
+/// let y = conv.forward(&Tensor::ones(&[2, 3, 16, 16]), Mode::Eval)?;
+/// assert_eq!(y.dims(), &[2, 8, 16, 16]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    weight: Param,
+    bias: Param,
+    cached_cols: Option<Tensor>,
+    cached_input_dims: Option<Vec<usize>>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-normal weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if any of the channel counts, kernel
+    /// size or stride is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        if in_channels == 0 || out_channels == 0 || kernel == 0 || stride == 0 {
+            return Err(NnError::InvalidConfig(format!(
+                "conv2d parameters must be positive: in={in_channels} out={out_channels} k={kernel} s={stride}"
+            )));
+        }
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weight = Init::KaimingNormal.create(
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            fan_out,
+            &mut rng,
+        );
+        Ok(Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weight: Param::new(weight, true),
+            bias: Param::new(Tensor::zeros(&[out_channels]), false),
+            cached_cols: None,
+            cached_input_dims: None,
+        })
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel size (square).
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride (same on both axes).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding (same on both axes).
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    fn geometry(&self, in_h: usize, in_w: usize) -> ConvGeometry {
+        ConvGeometry::square(in_h, in_w, self.kernel, self.stride, self.padding)
+    }
+
+    fn check_input(&self, dims: &[usize]) -> Result<(usize, usize, usize, usize), NnError> {
+        let shape = Shape::from(dims);
+        let (n, c, h, w) = shape.as_nchw().map_err(NnError::from)?;
+        if c != self.in_channels {
+            return Err(NnError::BadInputShape {
+                layer: "conv2d".into(),
+                got: dims.to_vec(),
+                expected: format!("[batch, {}, h, w]", self.in_channels),
+            });
+        }
+        Ok((n, c, h, w))
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor, NnError> {
+        let (batch, _c, in_h, in_w) = self.check_input(input.dims())?;
+        let geom = self.geometry(in_h, in_w);
+        let out_h = geom.out_h();
+        let out_w = geom.out_w();
+        let cols = im2col(input, &geom)?;
+        let w2d = self
+            .weight
+            .value
+            .reshape(&[self.out_channels, self.in_channels * self.kernel * self.kernel])?;
+        let out2d = matmul(&w2d, &cols)?; // [out_c, batch*out_h*out_w]
+        // Reorder [out_c, b*oh*ow] -> [b, out_c, oh, ow] and add bias.
+        let mut out = vec![0.0f32; batch * self.out_channels * out_h * out_w];
+        let o2 = out2d.as_slice();
+        let bias = self.bias.value.as_slice();
+        let plane = out_h * out_w;
+        for co in 0..self.out_channels {
+            for b in 0..batch {
+                for p in 0..plane {
+                    out[((b * self.out_channels + co) * plane) + p] =
+                        o2[co * (batch * plane) + b * plane + p] + bias[co];
+                }
+            }
+        }
+        self.cached_cols = Some(cols);
+        self.cached_input_dims = Some(input.dims().to_vec());
+        Tensor::from_vec(out, &[batch, self.out_channels, out_h, out_w]).map_err(NnError::from)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let cols = self
+            .cached_cols
+            .as_ref()
+            .ok_or_else(|| NnError::MissingForwardCache { layer: "conv2d".into() })?;
+        let input_dims = self
+            .cached_input_dims
+            .clone()
+            .ok_or_else(|| NnError::MissingForwardCache { layer: "conv2d".into() })?;
+        let (batch, _c, in_h, in_w) = self.check_input(&input_dims)?;
+        let geom = self.geometry(in_h, in_w);
+        let out_h = geom.out_h();
+        let out_w = geom.out_w();
+        let plane = out_h * out_w;
+
+        // Reorder grad_output [b, out_c, oh, ow] -> g2d [out_c, b*oh*ow].
+        let g = grad_output.as_slice();
+        let mut g2d = vec![0.0f32; self.out_channels * batch * plane];
+        for b in 0..batch {
+            for co in 0..self.out_channels {
+                for p in 0..plane {
+                    g2d[co * (batch * plane) + b * plane + p] =
+                        g[(b * self.out_channels + co) * plane + p];
+                }
+            }
+        }
+        let g2d = Tensor::from_vec(g2d, &[self.out_channels, batch * plane])?;
+
+        // dW = g2d * cols^T, reshaped to the weight layout.
+        let grad_w2d = matmul(&g2d, &transpose(cols)?)?;
+        let grad_w = grad_w2d.reshape(&[
+            self.out_channels,
+            self.in_channels,
+            self.kernel,
+            self.kernel,
+        ])?;
+        self.weight.grad.add_scaled_inplace(&grad_w, 1.0)?;
+
+        // db = row sums of g2d.
+        let gd = g2d.as_slice();
+        let db = self.bias.grad.as_mut_slice();
+        for co in 0..self.out_channels {
+            let row_sum: f32 = gd[co * batch * plane..(co + 1) * batch * plane].iter().sum();
+            db[co] += row_sum;
+        }
+
+        // dcols = W2d^T * g2d, folded back to the input shape.
+        let w2d = self
+            .weight
+            .value
+            .reshape(&[self.out_channels, self.in_channels * self.kernel * self.kernel])?;
+        let dcols = matmul(&transpose(&w2d)?, &g2d)?;
+        let grad_input = col2im(&dcols, batch, self.in_channels, &geom)?;
+        Ok(grad_input)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn output_shape(&self, input: &Shape) -> Result<Shape, NnError> {
+        let (n, _c, h, w) = {
+            let dims = input.dims();
+            let (n, c, h, w) = input.as_nchw().map_err(NnError::from)?;
+            if c != self.in_channels {
+                return Err(NnError::BadInputShape {
+                    layer: "conv2d".into(),
+                    got: dims.to_vec(),
+                    expected: format!("[batch, {}, h, w]", self.in_channels),
+                });
+            }
+            (n, c, h, w)
+        };
+        let geom = self.geometry(h, w);
+        Ok(Shape::new(vec![n, self.out_channels, geom.out_h(), geom.out_w()]))
+    }
+
+    fn flops(&self, input: &Shape) -> u64 {
+        match input.as_nchw() {
+            Ok((n, _c, h, w)) => {
+                let geom = self.geometry(h, w);
+                let macs = (self.kernel * self.kernel * self.in_channels) as u64
+                    * self.out_channels as u64
+                    * (geom.out_h() * geom.out_w()) as u64;
+                n as u64 * (2 * macs + (self.out_channels * geom.out_h() * geom.out_w()) as u64)
+            }
+            Err(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape() {
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, 0).unwrap();
+        let y = conv.forward(&Tensor::ones(&[2, 3, 16, 16]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 16, 16]);
+        let mut conv = Conv2d::new(3, 4, 5, 1, 0, 0).unwrap();
+        let y = conv.forward(&Tensor::ones(&[1, 3, 28, 28]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 4, 24, 24]);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input_channel() {
+        // A 1x1 conv with identity weights copies the selected input channel.
+        let mut conv = Conv2d::new(2, 2, 1, 1, 0, 0).unwrap();
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2, 1, 1]).unwrap();
+        conv.weight.value = w;
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, 0).unwrap();
+        for w in conv.weight.value.as_mut_slice() {
+            *w = 0.0;
+        }
+        conv.bias.value = Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap();
+        let y = conv.forward(&Tensor::ones(&[1, 1, 2, 2]), Mode::Eval).unwrap();
+        assert_eq!(y.get(&[0, 0, 1, 1]).unwrap(), 1.5);
+        assert_eq!(y.get(&[0, 1, 0, 0]).unwrap(), -2.0);
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, 0).unwrap();
+        assert!(conv.forward(&Tensor::ones(&[1, 2, 8, 8]), Mode::Eval).is_err());
+        assert!(Conv2d::new(0, 4, 3, 1, 1, 0).is_err());
+        assert!(Conv2d::new(3, 4, 0, 1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn gradient_check_small() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 7).unwrap();
+        let x = Tensor::randn(&[2, 2, 5, 5], &mut rng);
+        let out = conv.forward(&x, Mode::Train).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        conv.zero_grad();
+        let grad_in = conv.backward(&grad_out).unwrap();
+
+        let eps = 1e-2f32;
+        // input gradient spot checks
+        for idx in [0usize, 13, x.len() / 2, x.len() - 1] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fp = conv.forward(&xp, Mode::Train).unwrap().sum();
+            let fm = conv.forward(&xm, Mode::Train).unwrap().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = grad_in.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 0.05 * ana.abs().max(1.0),
+                "input grad mismatch at {idx}: {num} vs {ana}"
+            );
+        }
+        // weight gradient spot checks
+        let wl = conv.weight.value.len();
+        for idx in [0usize, wl / 2, wl - 1] {
+            let orig = conv.weight.value.as_slice()[idx];
+            conv.weight.value.as_mut_slice()[idx] = orig + eps;
+            let fp = conv.forward(&x, Mode::Train).unwrap().sum();
+            conv.weight.value.as_mut_slice()[idx] = orig - eps;
+            let fm = conv.forward(&x, Mode::Train).unwrap().sum();
+            conv.weight.value.as_mut_slice()[idx] = orig;
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = conv.weight.grad.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 0.05 * ana.abs().max(1.0),
+                "weight grad mismatch at {idx}: {num} vs {ana}"
+            );
+        }
+        // bias gradient: each bias sees out_h*out_w*batch ones
+        for &b in conv.bias.grad.as_slice() {
+            assert!((b - (2 * 5 * 5) as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn flops_known_case() {
+        // 3x3 conv, 16->32 channels, 8x8 output, batch 1:
+        // MACs = 9*16*32*64, FLOPs = 2*MACs + bias adds (32*64)
+        let conv = Conv2d::new(16, 32, 3, 1, 1, 0).unwrap();
+        let shape = Shape::new(vec![1, 16, 8, 8]);
+        let macs = 9u64 * 16 * 32 * 64;
+        assert_eq!(conv.flops(&shape), 2 * macs + 32 * 64);
+    }
+
+    #[test]
+    fn output_shape_matches_forward() {
+        let mut conv = Conv2d::new(3, 6, 3, 2, 1, 0).unwrap();
+        let shape = Shape::new(vec![2, 3, 32, 32]);
+        let predicted = conv.output_shape(&shape).unwrap();
+        let actual = conv.forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval).unwrap();
+        assert_eq!(predicted.dims(), actual.dims());
+    }
+
+    #[test]
+    fn stride_two_halves_resolution() {
+        let conv = Conv2d::new(4, 4, 3, 2, 1, 0).unwrap();
+        let out = conv.output_shape(&Shape::new(vec![1, 4, 32, 32])).unwrap();
+        assert_eq!(out.dims(), &[1, 4, 16, 16]);
+    }
+
+    #[test]
+    fn num_params_counts_weights_and_bias() {
+        let conv = Conv2d::new(3, 8, 3, 1, 1, 0).unwrap();
+        assert_eq!(conv.num_params(), 3 * 8 * 9 + 8);
+    }
+}

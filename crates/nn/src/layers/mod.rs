@@ -1,0 +1,10 @@
+//! Layer implementations: convolution, dense, pooling, normalisation,
+//! activations, flattening and (Monte-Carlo) dropout.
+
+pub mod activation;
+pub mod batchnorm;
+pub mod conv2d;
+pub mod dense;
+pub mod dropout;
+pub mod flatten;
+pub mod pool;

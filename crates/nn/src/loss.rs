@@ -1,0 +1,252 @@
+//! Loss functions: softmax cross-entropy and the distillation KL term used by
+//! exit-ensemble training.
+
+use crate::NnError;
+use bnn_tensor::ops::{log_softmax, softmax};
+use bnn_tensor::Tensor;
+
+/// Value and gradient of a loss evaluated on a batch of logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits, shape `[batch, classes]`.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy from raw logits and integer labels.
+///
+/// Returns the batch-mean loss and its gradient with respect to the logits
+/// (`(softmax(z) - onehot(y)) / batch`).
+///
+/// # Errors
+///
+/// Returns [`NnError::BadLabels`] if the label count differs from the batch
+/// size or a label is out of range.
+///
+/// # Example
+///
+/// ```
+/// use bnn_nn::loss::cross_entropy;
+/// use bnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), bnn_nn::NnError> {
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 0.0, 3.0, 0.0], &[2, 3])?;
+/// let out = cross_entropy(&logits, &[0, 1])?;
+/// assert!(out.loss > 0.0);
+/// assert_eq!(out.grad.dims(), &[2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput, NnError> {
+    let (batch, classes) = logits.shape().as_matrix().map_err(NnError::from)?;
+    if labels.len() != batch {
+        return Err(NnError::BadLabels(format!(
+            "got {} labels for a batch of {batch}",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+        return Err(NnError::BadLabels(format!(
+            "label {bad} out of range for {classes} classes"
+        )));
+    }
+    let log_probs = log_softmax(logits)?;
+    let probs = softmax(logits)?;
+    let lp = log_probs.as_slice();
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let g = grad.as_mut_slice();
+    let inv_batch = 1.0 / batch as f32;
+    for (b, &label) in labels.iter().enumerate() {
+        loss -= lp[b * classes + label];
+        g[b * classes + label] -= 1.0;
+    }
+    for v in g.iter_mut() {
+        *v *= inv_batch;
+    }
+    Ok(LossOutput {
+        loss: loss * inv_batch,
+        grad,
+    })
+}
+
+/// Distillation loss: temperature-scaled KL divergence between a teacher
+/// probability distribution and the student's logits,
+/// `KL(teacher_T || softmax(student/T)) * T^2`.
+///
+/// Used by the exit-ensemble ("bidirectional") distillation training of
+/// multi-exit networks, where every exit is the student and the ensemble of
+/// exits is the teacher.
+///
+/// # Errors
+///
+/// Returns an error if the two tensors are not both `[batch, classes]` with
+/// identical shape, or if `temperature` is not positive.
+pub fn distillation_kl(
+    student_logits: &Tensor,
+    teacher_probs: &Tensor,
+    temperature: f32,
+) -> Result<LossOutput, NnError> {
+    if temperature <= 0.0 {
+        return Err(NnError::InvalidConfig(format!(
+            "distillation temperature must be positive, got {temperature}"
+        )));
+    }
+    let (batch, classes) = student_logits.shape().as_matrix().map_err(NnError::from)?;
+    let (tb, tc) = teacher_probs.shape().as_matrix().map_err(NnError::from)?;
+    if (tb, tc) != (batch, classes) {
+        return Err(NnError::BadLabels(format!(
+            "teacher shape [{tb}, {tc}] does not match student [{batch}, {classes}]"
+        )));
+    }
+    // Teacher distribution re-sharpened at the same temperature.
+    let t_log: Vec<f32> = teacher_probs
+        .as_slice()
+        .iter()
+        .map(|&p| (p.max(1e-12)).ln() / temperature)
+        .collect();
+    let t_scaled = softmax(&Tensor::from_vec(t_log, &[batch, classes])?)?;
+    let scaled_student = student_logits.scale(1.0 / temperature);
+    let s_log = log_softmax(&scaled_student)?;
+    let s_prob = softmax(&scaled_student)?;
+
+    let tp = t_scaled.as_slice();
+    let sl = s_log.as_slice();
+    let sp = s_prob.as_slice();
+    let inv_batch = 1.0 / batch as f32;
+    let mut loss = 0.0f32;
+    let mut grad = vec![0.0f32; batch * classes];
+    for i in 0..batch * classes {
+        let t = tp[i];
+        if t > 1e-12 {
+            loss += t * (t.ln() - sl[i]);
+        }
+        // d/dz_student of KL*T^2 with z scaled by 1/T: (softmax(z/T) - t) * T / T = (p - t)
+        grad[i] = (sp[i] - t) * temperature * inv_batch;
+    }
+    Ok(LossOutput {
+        loss: loss * temperature * temperature * inv_batch,
+        grad: Tensor::from_vec(grad, &[batch, classes])?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_tensor::rng::Xoshiro256StarStar;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let out = cross_entropy(&logits, &[0]).unwrap();
+        assert!(out.loss < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_is_log_k() {
+        let logits = Tensor::zeros(&[1, 10]);
+        let out = cross_entropy(&logits, &[3]).unwrap();
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_numerical() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let logits = Tensor::randn(&[3, 4], &mut rng);
+        let labels = [1usize, 3, 0];
+        let out = cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let fp = cross_entropy(&lp, &labels).unwrap().loss;
+            let fm = cross_entropy(&lm, &labels).unwrap().loss;
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = out.grad.as_slice()[idx];
+            assert!((num - ana).abs() < 1e-3, "idx {idx}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_rejects_bad_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(cross_entropy(&logits, &[0]).is_err());
+        assert!(cross_entropy(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn distillation_zero_when_student_matches_teacher() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.5, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let teacher = softmax(&logits).unwrap();
+        let out = distillation_kl(&logits, &teacher, 1.0).unwrap();
+        assert!(out.loss.abs() < 1e-4, "loss {}", out.loss);
+        assert!(out.grad.norm() < 1e-3);
+    }
+
+    #[test]
+    fn distillation_positive_when_distributions_differ() {
+        let student = Tensor::from_vec(vec![3.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let teacher = Tensor::from_vec(vec![0.1, 0.8, 0.1], &[1, 3]).unwrap();
+        let out = distillation_kl(&student, &teacher, 2.0).unwrap();
+        assert!(out.loss > 0.0);
+    }
+
+    #[test]
+    fn distillation_gradient_matches_numerical() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let student = Tensor::randn(&[2, 4], &mut rng);
+        let teacher = softmax(&Tensor::randn(&[2, 4], &mut rng)).unwrap();
+        let temperature = 2.0;
+        let out = distillation_kl(&student, &teacher, temperature).unwrap();
+        let eps = 1e-2f32;
+        for idx in 0..student.len() {
+            let mut sp = student.clone();
+            sp.as_mut_slice()[idx] += eps;
+            let mut sm = student.clone();
+            sm.as_mut_slice()[idx] -= eps;
+            let fp = distillation_kl(&sp, &teacher, temperature).unwrap().loss;
+            let fm = distillation_kl(&sm, &teacher, temperature).unwrap().loss;
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = out.grad.as_slice()[idx];
+            assert!((num - ana).abs() < 5e-3, "idx {idx}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn distillation_validates_inputs() {
+        let a = Tensor::zeros(&[1, 3]);
+        let b = Tensor::zeros(&[1, 4]);
+        assert!(distillation_kl(&a, &b, 1.0).is_err());
+        assert!(distillation_kl(&a, &a, 0.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn cross_entropy_is_nonnegative(
+            vals in proptest::collection::vec(-5.0f32..5.0, 8..=8),
+            label in 0usize..4,
+        ) {
+            let logits = Tensor::from_vec(vals, &[2, 4]).unwrap();
+            let out = cross_entropy(&logits, &[label, 3 - label.min(3)]).unwrap();
+            prop_assert!(out.loss >= 0.0);
+        }
+
+        #[test]
+        fn cross_entropy_grad_rows_sum_to_zero(
+            vals in proptest::collection::vec(-5.0f32..5.0, 6..=6),
+            label in 0usize..3,
+        ) {
+            let logits = Tensor::from_vec(vals, &[2, 3]).unwrap();
+            let out = cross_entropy(&logits, &[label, label]).unwrap();
+            let g = out.grad.as_slice();
+            for b in 0..2 {
+                let s: f32 = g[b * 3..(b + 1) * 3].iter().sum();
+                prop_assert!(s.abs() < 1e-5);
+            }
+        }
+    }
+}

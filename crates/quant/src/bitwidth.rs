@@ -1,0 +1,140 @@
+//! Bitwidth search: pick the narrowest format that does not degrade quality.
+
+use crate::fixed::FixedPointFormat;
+use crate::QuantError;
+
+/// Result of evaluating one candidate format.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateResult {
+    /// The candidate format.
+    pub format: FixedPointFormat,
+    /// Quality metric of the quantized model (higher is better, e.g. accuracy).
+    pub quality: f64,
+    /// Whether the candidate met the degradation tolerance.
+    pub accepted: bool,
+}
+
+/// Greedy bitwidth search over a candidate list.
+///
+/// Candidates are evaluated narrowest-first; the first candidate whose quality
+/// is within `tolerance` of the full-precision baseline wins. This mirrors the
+/// paper's Phase 3 requirement of "not reducing the algorithmic performance
+/// compared to the default configurations" while minimising hardware cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitwidthSearch {
+    candidates: Vec<FixedPointFormat>,
+    tolerance: f64,
+}
+
+impl BitwidthSearch {
+    /// Creates a search over the given candidates with an absolute quality
+    /// degradation tolerance (e.g. 0.01 = at most one accuracy point drop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidSearch`] if there are no candidates or the
+    /// tolerance is negative.
+    pub fn new(candidates: Vec<FixedPointFormat>, tolerance: f64) -> Result<Self, QuantError> {
+        if candidates.is_empty() {
+            return Err(QuantError::InvalidSearch("no candidate formats".into()));
+        }
+        if tolerance < 0.0 {
+            return Err(QuantError::InvalidSearch(format!(
+                "tolerance must be non-negative, got {tolerance}"
+            )));
+        }
+        let mut candidates = candidates;
+        candidates.sort_by_key(FixedPointFormat::total_bits);
+        Ok(BitwidthSearch { candidates, tolerance })
+    }
+
+    /// The paper's search space (`{4, 6, 8, 16}` bits) with the given tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidSearch`] if the tolerance is negative.
+    pub fn paper_defaults(tolerance: f64) -> Result<Self, QuantError> {
+        BitwidthSearch::new(FixedPointFormat::search_space(), tolerance)
+    }
+
+    /// Runs the search. `evaluate` maps a candidate format to a quality metric
+    /// (higher is better); `baseline_quality` is the full-precision reference.
+    ///
+    /// Returns every evaluated candidate plus the selected one (the narrowest
+    /// accepted candidate, or the widest candidate if none is accepted).
+    pub fn run<F>(
+        &self,
+        baseline_quality: f64,
+        mut evaluate: F,
+    ) -> (Vec<CandidateResult>, FixedPointFormat)
+    where
+        F: FnMut(FixedPointFormat) -> f64,
+    {
+        let mut results = Vec::with_capacity(self.candidates.len());
+        let mut selected = None;
+        for &format in &self.candidates {
+            let quality = evaluate(format);
+            let accepted = quality + self.tolerance >= baseline_quality;
+            results.push(CandidateResult { format, quality, accepted });
+            if accepted && selected.is_none() {
+                selected = Some(format);
+            }
+        }
+        let fallback = *self.candidates.last().expect("non-empty");
+        (results, selected.unwrap_or(fallback))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(BitwidthSearch::new(vec![], 0.01).is_err());
+        assert!(BitwidthSearch::paper_defaults(-0.1).is_err());
+        assert!(BitwidthSearch::paper_defaults(0.01).is_ok());
+    }
+
+    #[test]
+    fn picks_narrowest_acceptable_format() {
+        let search = BitwidthSearch::paper_defaults(0.01).unwrap();
+        // Simulated quality: 4 bits bad, 6 bits bad, 8 bits fine, 16 bits fine.
+        let (results, chosen) = search.run(0.80, |fmt| match fmt.total_bits() {
+            4 => 0.60,
+            6 => 0.75,
+            8 => 0.795,
+            _ => 0.80,
+        });
+        assert_eq!(chosen.total_bits(), 8);
+        assert_eq!(results.len(), 4);
+        assert!(!results[0].accepted);
+        assert!(results[2].accepted);
+    }
+
+    #[test]
+    fn falls_back_to_widest_when_nothing_accepted() {
+        let search = BitwidthSearch::paper_defaults(0.0).unwrap();
+        let (_, chosen) = search.run(0.99, |_| 0.5);
+        assert_eq!(chosen.total_bits(), 16);
+    }
+
+    #[test]
+    fn candidates_sorted_narrowest_first() {
+        let search = BitwidthSearch::new(
+            vec![
+                FixedPointFormat::new(16, 6).unwrap(),
+                FixedPointFormat::new(4, 2).unwrap(),
+                FixedPointFormat::new(8, 3).unwrap(),
+            ],
+            0.0,
+        )
+        .unwrap();
+        let mut seen = Vec::new();
+        let (_, _) = search.run(0.0, |fmt| {
+            seen.push(fmt.total_bits());
+            1.0
+        });
+        assert_eq!(seen, vec![4, 8, 16]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type for quantization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by quantization configuration and search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// The fixed-point format is invalid (zero width, integer bits > width, ...).
+    InvalidFormat(String),
+    /// A search was configured with no candidates or an invalid tolerance.
+    InvalidSearch(String),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::InvalidFormat(msg) => write!(f, "invalid fixed-point format: {msg}"),
+            QuantError::InvalidSearch(msg) => write!(f, "invalid bitwidth search: {msg}"),
+        }
+    }
+}
+
+impl Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(QuantError::InvalidFormat("w".into()).to_string().contains("w"));
+        assert!(QuantError::InvalidSearch("s".into()).to_string().contains("s"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # bnn-quant
+//!
+//! Fixed-point quantization for the BayesNN-FPGA reproduction, playing the
+//! role QKeras plays in the paper: Phase 3 of the transformation framework
+//! searches bitwidths in `{4, 6, 8, 16}` and channel scalings, subject to not
+//! degrading algorithmic quality.
+//!
+//! The central type is [`FixedPointFormat`], an `ap_fixed<W, I>`-style signed
+//! fixed-point format. Quantization here is *fake quantization*: values are
+//! rounded to the representable grid but kept as `f32`, which is exactly how
+//! post-training quantization error is evaluated before HLS code generation
+//! commits to the arbitrary-precision types.
+//!
+//! # Example
+//!
+//! ```
+//! use bnn_quant::FixedPointFormat;
+//!
+//! # fn main() -> Result<(), bnn_quant::QuantError> {
+//! let q = FixedPointFormat::new(8, 3)?; // ap_fixed<8,3>
+//! assert_eq!(q.quantize(0.3751), 0.375);
+//! assert!(q.quantize(100.0) <= q.max_value());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitwidth;
+pub mod error;
+pub mod fixed;
+pub mod model;
+
+pub use bitwidth::{BitwidthSearch, CandidateResult};
+pub use error::QuantError;
+pub use fixed::{FixedPointFormat, QuantizationError};
+pub use model::{quantize_network, quantize_tensor, tensor_quantization_error};

@@ -1,0 +1,102 @@
+//! Error type shared by all fallible tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two tensors (or a tensor and an expected shape) had incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left-hand operand (or the actual shape).
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand (or the expected shape).
+        rhs: Vec<usize>,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// The number of elements does not match the requested shape.
+    ElementCountMismatch {
+        /// Number of elements provided.
+        elements: usize,
+        /// Number of elements the shape requires.
+        expected: usize,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// An operation required a tensor of a specific rank.
+    RankMismatch {
+        /// Actual rank.
+        actual: usize,
+        /// Expected rank.
+        expected: usize,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// A parameter was invalid (zero-sized dimension, empty axis list, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in `{op}`: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::ElementCountMismatch { elements, expected } => write!(
+                f,
+                "element count mismatch: got {elements} elements, shape requires {expected}"
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::RankMismatch { actual, expected, op } => {
+                write!(f, "rank mismatch in `{op}`: expected rank {expected}, got {actual}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+            op: "add",
+        };
+        let text = err.to_string();
+        assert!(text.contains("add"));
+        assert!(text.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn display_other_variants_nonempty() {
+        let errs = [
+            TensorError::ElementCountMismatch { elements: 3, expected: 4 },
+            TensorError::IndexOutOfBounds { index: vec![9], shape: vec![2] },
+            TensorError::RankMismatch { actual: 1, expected: 4, op: "conv2d" },
+            TensorError::InvalidArgument("bad".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Weight initialisers (Kaiming / Xavier).
+//!
+//! The reproduction trains small CNNs from scratch, so correct fan-in/fan-out
+//! scaling matters for stable optimisation.
+
+use crate::rng::Rng;
+use crate::Tensor;
+
+/// Weight initialisation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Init {
+    /// Kaiming (He) normal initialisation — recommended for ReLU networks.
+    #[default]
+    KaimingNormal,
+    /// Kaiming (He) uniform initialisation.
+    KaimingUniform,
+    /// Xavier (Glorot) normal initialisation.
+    XavierNormal,
+    /// Xavier (Glorot) uniform initialisation.
+    XavierUniform,
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+impl Init {
+    /// Creates a tensor of the given shape initialised with this scheme.
+    ///
+    /// `fan_in` and `fan_out` are the effective fan counts of the layer the
+    /// tensor parameterises (for a conv layer, `fan_in = in_c * kh * kw`).
+    pub fn create<R: Rng>(self, dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+        let fan_in = fan_in.max(1) as f32;
+        let fan_out = fan_out.max(1) as f32;
+        match self {
+            Init::KaimingNormal => {
+                let std = (2.0 / fan_in).sqrt();
+                let mut t = Tensor::zeros(dims);
+                for v in t.as_mut_slice() {
+                    *v = rng.normal_with(0.0, std);
+                }
+                t
+            }
+            Init::KaimingUniform => {
+                let bound = (6.0 / fan_in).sqrt();
+                Tensor::rand_uniform(dims, -bound, bound, rng)
+            }
+            Init::XavierNormal => {
+                let std = (2.0 / (fan_in + fan_out)).sqrt();
+                let mut t = Tensor::zeros(dims);
+                for v in t.as_mut_slice() {
+                    *v = rng.normal_with(0.0, std);
+                }
+                t
+            }
+            Init::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out)).sqrt();
+                Tensor::rand_uniform(dims, -bound, bound, rng)
+            }
+            Init::Zeros => Tensor::zeros(dims),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn kaiming_normal_std_scales_with_fan_in() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let t = Init::KaimingNormal.create(&[1000, 10], 100, 10, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|x| x * x).mean() - mean * mean;
+        let expected = 2.0 / 100.0;
+        assert!((var - expected).abs() < expected * 0.2, "var {var}");
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let t = Init::XavierUniform.create(&[64, 64], 64, 64, &mut rng);
+        let bound = (6.0f32 / 128.0).sqrt();
+        assert!(t.max() <= bound && t.min() >= -bound);
+    }
+
+    #[test]
+    fn kaiming_uniform_bounds() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let t = Init::KaimingUniform.create(&[32, 32], 32, 32, &mut rng);
+        let bound = (6.0f32 / 32.0).sqrt();
+        assert!(t.max() <= bound && t.min() >= -bound);
+    }
+
+    #[test]
+    fn zeros_init() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let t = Init::Zeros.create(&[4, 4], 4, 4, &mut rng);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    fn xavier_normal_variance() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let t = Init::XavierNormal.create(&[200, 200], 200, 200, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|x| x * x).mean() - mean * mean;
+        let expected = 2.0 / 400.0;
+        assert!((var - expected).abs() < expected * 0.25, "var {var}");
+    }
+
+    #[test]
+    fn default_is_kaiming_normal() {
+        assert_eq!(Init::default(), Init::KaimingNormal);
+    }
+
+    #[test]
+    fn zero_fan_does_not_panic() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        let t = Init::KaimingNormal.create(&[2, 2], 0, 0, &mut rng);
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

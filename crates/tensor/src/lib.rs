@@ -1,0 +1,45 @@
+//! # bnn-tensor
+//!
+//! Minimal, dependency-free tensor library underpinning the BayesNN-FPGA
+//! reproduction. It provides:
+//!
+//! * [`Tensor`] — a dense, row-major, `f32` tensor with NCHW conventions for
+//!   image data.
+//! * [`Shape`] — shape algebra (strides, element counts, reshaping).
+//! * [`rng`] — deterministic pseudo-random number generators (SplitMix64 and
+//!   Xoshiro256**) used for weight initialisation, synthetic data generation
+//!   and Monte-Carlo Dropout masks. Determinism matters here: every experiment
+//!   in the paper reproduction is seeded so tables regenerate identically.
+//! * [`init`] — Kaiming / Xavier weight initialisers.
+//! * [`linalg`] — matrix multiplication and the im2col/col2im transforms that
+//!   the convolution layers are built on.
+//!
+//! # Example
+//!
+//! ```
+//! use bnn_tensor::{Tensor, rng::Xoshiro256StarStar};
+//!
+//! # fn main() -> Result<(), bnn_tensor::TensorError> {
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+//! let a = Tensor::randn(&[2, 3], &mut rng);
+//! let b = Tensor::ones(&[2, 3]);
+//! let c = a.add(&b)?;
+//! assert_eq!(c.shape().dims(), &[2, 3]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod init;
+pub mod linalg;
+pub mod ops;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,427 @@
+//! Dense linear-algebra kernels: matrix multiplication and the im2col /
+//! col2im transforms used to express convolution as a matrix product.
+
+use crate::{Tensor, TensorError};
+
+/// Multiplies two matrices: `[m, k] x [k, n] -> [m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ or
+/// either operand is not rank 2.
+///
+/// # Example
+///
+/// ```
+/// use bnn_tensor::{Tensor, linalg::matmul};
+///
+/// # fn main() -> Result<(), bnn_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// assert_eq!(matmul(&a, &b)?.as_slice(), a.as_slice());
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k_a) = a.shape().as_matrix()?;
+    let (k_b, n) = b.shape().as_matrix()?;
+    if k_a != k_b {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    let k = k_a;
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    // ikj loop order keeps the inner loop contiguous over both b and out.
+    for i in 0..m {
+        for p in 0..k {
+            let a_ip = a_data[i * k + p];
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[p * n..(p + 1) * n];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transposes a matrix `[m, n] -> [n, m]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the operand is not rank 2.
+pub fn transpose(a: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, n) = a.shape().as_matrix()?;
+    let data = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = data[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+/// Geometry of a 2-D convolution / pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride along height.
+    pub stride_h: usize,
+    /// Stride along width.
+    pub stride_w: usize,
+    /// Zero padding along height (applied on both sides).
+    pub pad_h: usize,
+    /// Zero padding along width (applied on both sides).
+    pub pad_w: usize,
+}
+
+impl ConvGeometry {
+    /// Creates a square geometry with identical kernel/stride/padding on both axes.
+    pub fn square(in_h: usize, in_w: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        ConvGeometry {
+            in_h,
+            in_w,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride_h: stride,
+            stride_w: stride,
+            pad_h: pad,
+            pad_w: pad,
+        }
+    }
+
+    /// Output height of the convolution.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad_h).saturating_sub(self.kernel_h) / self.stride_h + 1
+    }
+
+    /// Output width of the convolution.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad_w).saturating_sub(self.kernel_w) / self.stride_w + 1
+    }
+}
+
+/// Unfolds an NCHW input into columns: output shape
+/// `[channels * kernel_h * kernel_w, batch * out_h * out_w]`.
+///
+/// Convolution then becomes `weights [out_c, c*kh*kw] x columns`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the input is not rank 4.
+pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError> {
+    let (batch, channels, in_h, in_w) = input.shape().as_nchw()?;
+    debug_assert_eq!(in_h, geom.in_h);
+    debug_assert_eq!(in_w, geom.in_w);
+    let out_h = geom.out_h();
+    let out_w = geom.out_w();
+    let rows = channels * geom.kernel_h * geom.kernel_w;
+    let cols = batch * out_h * out_w;
+    let data = input.as_slice();
+    let mut out = vec![0.0f32; rows * cols];
+    for b in 0..batch {
+        for c in 0..channels {
+            for kh in 0..geom.kernel_h {
+                for kw in 0..geom.kernel_w {
+                    let row = (c * geom.kernel_h + kh) * geom.kernel_w + kw;
+                    for oh in 0..out_h {
+                        let ih = oh * geom.stride_h + kh;
+                        let ih = ih as isize - geom.pad_h as isize;
+                        for ow in 0..out_w {
+                            let iw = ow * geom.stride_w + kw;
+                            let iw = iw as isize - geom.pad_w as isize;
+                            let col = (b * out_h + oh) * out_w + ow;
+                            let value = if ih >= 0
+                                && iw >= 0
+                                && (ih as usize) < in_h
+                                && (iw as usize) < in_w
+                            {
+                                data[((b * channels + c) * in_h + ih as usize) * in_w
+                                    + iw as usize]
+                            } else {
+                                0.0
+                            };
+                            out[row * cols + col] = value;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Folds columns back into an NCHW gradient tensor — the adjoint of [`im2col`].
+///
+/// Overlapping contributions are accumulated, which is exactly the gradient of
+/// the unfold operation.
+///
+/// # Errors
+///
+/// Returns an error if `columns` does not have the shape produced by
+/// [`im2col`] for the given geometry and output dimensions.
+pub fn col2im(
+    columns: &Tensor,
+    batch: usize,
+    channels: usize,
+    geom: &ConvGeometry,
+) -> Result<Tensor, TensorError> {
+    let out_h = geom.out_h();
+    let out_w = geom.out_w();
+    let rows = channels * geom.kernel_h * geom.kernel_w;
+    let cols = batch * out_h * out_w;
+    let (r, c) = columns.shape().as_matrix()?;
+    if r != rows || c != cols {
+        return Err(TensorError::ShapeMismatch {
+            lhs: columns.dims().to_vec(),
+            rhs: vec![rows, cols],
+            op: "col2im",
+        });
+    }
+    let data = columns.as_slice();
+    let mut out = vec![0.0f32; batch * channels * geom.in_h * geom.in_w];
+    for b in 0..batch {
+        for ch in 0..channels {
+            for kh in 0..geom.kernel_h {
+                for kw in 0..geom.kernel_w {
+                    let row = (ch * geom.kernel_h + kh) * geom.kernel_w + kw;
+                    for oh in 0..out_h {
+                        let ih = (oh * geom.stride_h + kh) as isize - geom.pad_h as isize;
+                        if ih < 0 || ih as usize >= geom.in_h {
+                            continue;
+                        }
+                        for ow in 0..out_w {
+                            let iw = (ow * geom.stride_w + kw) as isize - geom.pad_w as isize;
+                            if iw < 0 || iw as usize >= geom.in_w {
+                                continue;
+                            }
+                            let col = (b * out_h + oh) * out_w + ow;
+                            out[((b * channels + ch) * geom.in_h + ih as usize) * geom.in_w
+                                + iw as usize] += data[row * cols + col];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch, channels, geom.in_h, geom.in_w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let eye = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+            &[3, 3],
+        )
+        .unwrap();
+        let c = matmul(&a, &eye).unwrap();
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_checks() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let t = transpose(&a).unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        let back = transpose(&t).unwrap();
+        assert_eq!(back.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn conv_geometry_output_dims() {
+        let g = ConvGeometry::square(32, 32, 3, 1, 1);
+        assert_eq!((g.out_h(), g.out_w()), (32, 32));
+        let g = ConvGeometry::square(28, 28, 5, 1, 0);
+        assert_eq!((g.out_h(), g.out_w()), (24, 24));
+        let g = ConvGeometry::square(32, 32, 2, 2, 0);
+        assert_eq!((g.out_h(), g.out_w()), (16, 16));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no padding: im2col is just a reshuffle.
+        let input = Tensor::from_vec((0..8).map(|x| x as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let geom = ConvGeometry::square(2, 2, 1, 1, 0);
+        let cols = im2col(&input, &geom).unwrap();
+        assert_eq!(cols.dims(), &[2, 4]);
+        assert_eq!(cols.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn im2col_known_patch() {
+        // 2x2 input, 2x2 kernel -> a single column listing the whole image.
+        let input =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let geom = ConvGeometry::square(2, 2, 2, 1, 0);
+        let cols = im2col(&input, &geom).unwrap();
+        assert_eq!(cols.dims(), &[4, 1]);
+        assert_eq!(cols.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let input = Tensor::ones(&[1, 1, 1, 1]);
+        let geom = ConvGeometry::square(1, 1, 3, 1, 1);
+        let cols = im2col(&input, &geom).unwrap();
+        // Only the centre tap sees the single input pixel.
+        assert_eq!(cols.dims(), &[9, 1]);
+        assert_eq!(cols.sum(), 1.0);
+        assert_eq!(cols.as_slice()[4], 1.0);
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct() {
+        // Direct 3x3 convolution vs im2col+matmul on a small random case.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+        let (b, c_in, h, w, c_out, k) = (2usize, 3usize, 5usize, 5usize, 4usize, 3usize);
+        let input = Tensor::randn(&[b, c_in, h, w], &mut rng);
+        let weight = Tensor::randn(&[c_out, c_in, k, k], &mut rng);
+        let geom = ConvGeometry::square(h, w, k, 1, 1);
+        let out_h = geom.out_h();
+        let out_w = geom.out_w();
+
+        // im2col path
+        let cols = im2col(&input, &geom).unwrap();
+        let w2d = weight.reshape(&[c_out, c_in * k * k]).unwrap();
+        let out2d = matmul(&w2d, &cols).unwrap(); // [c_out, b*oh*ow]
+
+        // direct path
+        let mut direct = vec![0.0f32; b * c_out * out_h * out_w];
+        for bi in 0..b {
+            for co in 0..c_out {
+                for oh in 0..out_h {
+                    for ow in 0..out_w {
+                        let mut acc = 0.0f32;
+                        for ci in 0..c_in {
+                            for kh in 0..k {
+                                for kw in 0..k {
+                                    let ih = (oh + kh) as isize - 1;
+                                    let iw = (ow + kw) as isize - 1;
+                                    if ih >= 0 && iw >= 0 && (ih as usize) < h && (iw as usize) < w
+                                    {
+                                        acc += input
+                                            .get(&[bi, ci, ih as usize, iw as usize])
+                                            .unwrap()
+                                            * weight.get(&[co, ci, kh, kw]).unwrap();
+                                    }
+                                }
+                            }
+                        }
+                        direct[((bi * c_out + co) * out_h + oh) * out_w + ow] = acc;
+                    }
+                }
+            }
+        }
+        // Compare: out2d[co, bi*oh*ow + ...] vs direct[bi, co, ...]
+        for bi in 0..b {
+            for co in 0..c_out {
+                for oh in 0..out_h {
+                    for ow in 0..out_w {
+                        let col = (bi * out_h + oh) * out_w + ow;
+                        let v_cols = out2d.get(&[co, col]).unwrap();
+                        let v_direct = direct[((bi * c_out + co) * out_h + oh) * out_w + ow];
+                        assert!(
+                            (v_cols - v_direct).abs() < 1e-3,
+                            "mismatch at ({bi},{co},{oh},{ow}): {v_cols} vs {v_direct}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint property).
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let (b, c, h, w, k) = (1usize, 2usize, 4usize, 4usize, 3usize);
+        let geom = ConvGeometry::square(h, w, k, 1, 1);
+        let x = Tensor::randn(&[b, c, h, w], &mut rng);
+        let cols = im2col(&x, &geom).unwrap();
+        let y = Tensor::randn(cols.dims(), &mut rng);
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let folded = col2im(&y, b, c, &geom).unwrap();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(folded.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_shape_validation() {
+        let geom = ConvGeometry::square(4, 4, 3, 1, 1);
+        let wrong = Tensor::zeros(&[3, 3]);
+        assert!(col2im(&wrong, 1, 2, &geom).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_distributes_over_addition(
+            a_vals in proptest::collection::vec(-2.0f32..2.0, 6..=6),
+            b_vals in proptest::collection::vec(-2.0f32..2.0, 6..=6),
+            c_vals in proptest::collection::vec(-2.0f32..2.0, 6..=6),
+        ) {
+            let a = Tensor::from_vec(a_vals, &[2, 3]).unwrap();
+            let b = Tensor::from_vec(b_vals, &[3, 2]).unwrap();
+            let c = Tensor::from_vec(c_vals, &[3, 2]).unwrap();
+            let lhs = matmul(&a, &b.add(&c).unwrap()).unwrap();
+            let rhs = matmul(&a, &b).unwrap().add(&matmul(&a, &c).unwrap()).unwrap();
+            for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn transpose_involution(vals in proptest::collection::vec(-5.0f32..5.0, 12..=12)) {
+            let a = Tensor::from_vec(vals, &[3, 4]).unwrap();
+            let back = transpose(&transpose(&a).unwrap()).unwrap();
+            prop_assert_eq!(a.as_slice(), back.as_slice());
+        }
+    }
+}

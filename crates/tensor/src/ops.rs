@@ -1,0 +1,266 @@
+//! Higher-level tensor operations: softmax, log-softmax, axis reductions and
+//! one-hot encoding. These operate on the batched 2-D layouts used by the
+//! classifier heads (`[batch, classes]`).
+
+use crate::{Tensor, TensorError};
+
+/// Numerically stable softmax over the last axis of a `[batch, classes]` tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+///
+/// # Example
+///
+/// ```
+/// use bnn_tensor::{Tensor, ops::softmax};
+///
+/// # fn main() -> Result<(), bnn_tensor::TensorError> {
+/// let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3])?;
+/// let probs = softmax(&logits)?;
+/// assert!((probs.sum() - 1.0).abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax(logits: &Tensor) -> Result<Tensor, TensorError> {
+    logits.shape().expect_rank(2, "softmax")?;
+    let (batch, classes) = logits.shape().as_matrix()?;
+    let mut out = vec![0.0f32; batch * classes];
+    let data = logits.as_slice();
+    for b in 0..batch {
+        let row = &data[b * classes..(b + 1) * classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let denom: f32 = exps.iter().sum();
+        for (c, &e) in exps.iter().enumerate() {
+            out[b * classes + c] = e / denom;
+        }
+    }
+    Tensor::from_vec(out, &[batch, classes])
+}
+
+/// Numerically stable log-softmax over the last axis of a `[batch, classes]` tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+pub fn log_softmax(logits: &Tensor) -> Result<Tensor, TensorError> {
+    logits.shape().expect_rank(2, "log_softmax")?;
+    let (batch, classes) = logits.shape().as_matrix()?;
+    let mut out = vec![0.0f32; batch * classes];
+    let data = logits.as_slice();
+    for b in 0..batch {
+        let row = &data[b * classes..(b + 1) * classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_denom: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+        for c in 0..classes {
+            out[b * classes + c] = row[c] - max - log_denom;
+        }
+    }
+    Tensor::from_vec(out, &[batch, classes])
+}
+
+/// Per-row argmax of a `[batch, classes]` tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>, TensorError> {
+    t.shape().expect_rank(2, "argmax_rows")?;
+    let (batch, classes) = t.shape().as_matrix()?;
+    let data = t.as_slice();
+    let mut result = Vec::with_capacity(batch);
+    for b in 0..batch {
+        let row = &data[b * classes..(b + 1) * classes];
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (c, &v) in row.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = c;
+            }
+        }
+        result.push(best);
+    }
+    Ok(result)
+}
+
+/// Per-row maximum value of a `[batch, classes]` tensor (the "confidence" of
+/// the predicted class when applied to probabilities).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+pub fn max_rows(t: &Tensor) -> Result<Vec<f32>, TensorError> {
+    t.shape().expect_rank(2, "max_rows")?;
+    let (batch, classes) = t.shape().as_matrix()?;
+    let data = t.as_slice();
+    Ok((0..batch)
+        .map(|b| {
+            data[b * classes..(b + 1) * classes]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max)
+        })
+        .collect())
+}
+
+/// One-hot encodes integer labels into a `[batch, classes]` tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if any label is `>= classes`.
+pub fn one_hot(labels: &[usize], classes: usize) -> Result<Tensor, TensorError> {
+    let mut data = vec![0.0f32; labels.len() * classes];
+    for (i, &label) in labels.iter().enumerate() {
+        if label >= classes {
+            return Err(TensorError::InvalidArgument(format!(
+                "label {label} out of range for {classes} classes"
+            )));
+        }
+        data[i * classes + label] = 1.0;
+    }
+    Tensor::from_vec(data, &[labels.len(), classes])
+}
+
+/// Mean over the batch axis of a `[batch, features]` tensor, producing `[features]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+pub fn mean_over_batch(t: &Tensor) -> Result<Tensor, TensorError> {
+    t.shape().expect_rank(2, "mean_over_batch")?;
+    let (batch, features) = t.shape().as_matrix()?;
+    let mut out = vec![0.0f32; features];
+    let data = t.as_slice();
+    for b in 0..batch {
+        for f in 0..features {
+            out[f] += data[b * features + f];
+        }
+    }
+    for v in &mut out {
+        *v /= batch.max(1) as f32;
+    }
+    Tensor::from_vec(out, &[features])
+}
+
+/// Shannon entropy (nats) of each row of a `[batch, classes]` probability tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+pub fn row_entropy(probs: &Tensor) -> Result<Vec<f32>, TensorError> {
+    probs.shape().expect_rank(2, "row_entropy")?;
+    let (batch, classes) = probs.shape().as_matrix()?;
+    let data = probs.as_slice();
+    Ok((0..batch)
+        .map(|b| {
+            data[b * classes..(b + 1) * classes]
+                .iter()
+                .map(|&p| if p > 1e-12 { -p * p.ln() } else { 0.0 })
+                .sum()
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let probs = softmax(&logits).unwrap();
+        let data = probs.as_slice();
+        for b in 0..2 {
+            let s: f32 = data[b * 3..(b + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = Tensor::from_vec(vec![101.0, 102.0, 103.0], &[1, 3]).unwrap();
+        let pa = softmax(&a).unwrap();
+        let pb = softmax(&b).unwrap();
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[1, 3]).unwrap();
+        let ls = log_softmax(&logits).unwrap();
+        let s = softmax(&logits).unwrap();
+        for (l, p) in ls.as_slice().iter().zip(s.as_slice()) {
+            assert!((l - p.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_and_max_rows() {
+        let t = Tensor::from_vec(vec![0.1, 0.7, 0.2, 0.5, 0.3, 0.2], &[2, 3]).unwrap();
+        assert_eq!(argmax_rows(&t).unwrap(), vec![1, 0]);
+        assert_eq!(max_rows(&t).unwrap(), vec![0.7, 0.5]);
+    }
+
+    #[test]
+    fn one_hot_encoding() {
+        let t = one_hot(&[2, 0], 3).unwrap();
+        assert_eq!(t.dims(), &[2, 3]);
+        assert_eq!(t.as_slice(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+        assert!(one_hot(&[3], 3).is_err());
+    }
+
+    #[test]
+    fn mean_over_batch_averages_rows() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 5.0], &[2, 2]).unwrap();
+        let m = mean_over_batch(&t).unwrap();
+        assert_eq!(m.as_slice(), &[2.0, 3.5]);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log_k() {
+        let probs = Tensor::from_vec(vec![0.25; 4], &[1, 4]).unwrap();
+        let h = row_entropy(&probs).unwrap();
+        assert!((h[0] - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn entropy_of_one_hot_is_zero() {
+        let probs = Tensor::from_vec(vec![1.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let h = row_entropy(&probs).unwrap();
+        assert!(h[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn rank_checks() {
+        let t = Tensor::zeros(&[3]);
+        assert!(softmax(&t).is_err());
+        assert!(log_softmax(&t).is_err());
+        assert!(argmax_rows(&t).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_simplex(values in proptest::collection::vec(-8.0f32..8.0, 2..12)) {
+            let n = values.len();
+            let logits = Tensor::from_vec(values, &[1, n]).unwrap();
+            let probs = softmax(&logits).unwrap();
+            let s: f32 = probs.as_slice().iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(probs.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+
+        #[test]
+        fn argmax_matches_softmax_argmax(values in proptest::collection::vec(-8.0f32..8.0, 2..12)) {
+            let n = values.len();
+            let logits = Tensor::from_vec(values, &[1, n]).unwrap();
+            let probs = softmax(&logits).unwrap();
+            prop_assert_eq!(argmax_rows(&logits).unwrap(), argmax_rows(&probs).unwrap());
+        }
+    }
+}

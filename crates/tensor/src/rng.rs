@@ -1,0 +1,281 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The reproduction relies on seeded, portable PRNGs so every table and figure
+//! regenerates bit-identically. Two generators are provided:
+//!
+//! * [`SplitMix64`] — tiny state, used to expand a single `u64` seed into the
+//!   larger Xoshiro state and for cheap decorrelated streams.
+//! * [`Xoshiro256StarStar`] — the workhorse generator used for weight
+//!   initialisation, synthetic data and Monte-Carlo Dropout masks.
+//!
+//! The hardware-oriented LFSR generator that models the on-chip uniform RNG of
+//! the paper's MCD layer (Algorithm 1) lives in `bnn-hw::rng`, because its cost
+//! model belongs with the hardware estimation.
+
+/// A source of pseudo-random numbers.
+///
+/// All generators in this workspace implement this trait so that layers,
+/// datasets and samplers can be generic over the RNG used.
+pub trait Rng {
+    /// Returns the next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // Use the upper 53 bits for a uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly distributed `f32` in `[0, 1)`.
+    fn next_f32(&mut self) -> f32 {
+        self.next_f64() as f32
+    }
+
+    /// Returns a uniform `f32` in `[low, high)`.
+    fn uniform(&mut self, low: f32, high: f32) -> f32 {
+        low + (high - low) * self.next_f32()
+    }
+
+    /// Returns a standard normal `f32` using the Box–Muller transform.
+    fn normal(&mut self) -> f32 {
+        // Avoid log(0) by nudging u1 away from zero.
+        let u1 = self.next_f64().max(1e-12);
+        let u2 = self.next_f64();
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    }
+
+    /// Returns a normal `f32` with the given mean and standard deviation.
+    fn normal_with(&mut self, mean: f32, std_dev: f32) -> f32 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Returns `true` with probability `p` (a Bernoulli draw).
+    fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        (self.next_f64() * bound as f64) as usize % bound
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// SplitMix64 generator (Steele, Lea & Flood).
+///
+/// Mainly used to seed [`Xoshiro256StarStar`] and to derive decorrelated
+/// sub-streams from a single experiment seed.
+///
+/// # Example
+///
+/// ```
+/// use bnn_tensor::rng::{Rng, SplitMix64};
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Xoshiro256** generator (Blackman & Vigna): fast, high quality, 256-bit state.
+///
+/// # Example
+///
+/// ```
+/// use bnn_tensor::rng::{Rng, Xoshiro256StarStar};
+///
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(2023);
+/// let x = rng.next_f32();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator from a full 256-bit state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zeros (the generator would be stuck).
+    pub fn from_state(state: [u64; 4]) -> Self {
+        assert!(state.iter().any(|&w| w != 0), "state must not be all zeros");
+        Xoshiro256StarStar { s: state }
+    }
+
+    /// Creates a generator by expanding a single `u64` seed with SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256StarStar {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Derives an independent child generator, useful for per-worker streams.
+    pub fn split(&mut self) -> Self {
+        Xoshiro256StarStar::seed_from_u64(self.next_u64())
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl Default for Xoshiro256StarStar {
+    fn default() -> Self {
+        Xoshiro256StarStar::seed_from_u64(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Rng, SplitMix64, Xoshiro256StarStar};
+    use proptest::prelude::{any, proptest, prop_assert};
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xoshiro_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(1);
+        let mut b = Xoshiro256StarStar::seed_from_u64(1);
+        let mut c = Xoshiro256StarStar::seed_from_u64(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_mean_and_variance() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal() as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.25)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let mut data: Vec<usize> = (0..64).collect();
+        rng.shuffle(&mut data);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_streams_differ() {
+        let mut parent = Xoshiro256StarStar::seed_from_u64(77);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "all zeros")]
+    fn zero_state_rejected() {
+        let _ = Xoshiro256StarStar::from_state([0; 4]);
+    }
+
+    proptest! {
+        #[test]
+        fn f64_in_unit_interval(seed in any::<u64>()) {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            for _ in 0..64 {
+                let x = rng.next_f64();
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn uniform_in_range(seed in any::<u64>(), low in -10.0f32..0.0, width in 0.1f32..20.0) {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            let high = low + width;
+            for _ in 0..32 {
+                let x = rng.uniform(low, high);
+                prop_assert!(x >= low && x < high + 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Shape algebra for dense row-major tensors.
+
+use crate::TensorError;
+
+/// The shape of a dense, row-major tensor.
+///
+/// A [`Shape`] records the size of every dimension. The convention used across
+/// the workspace for image tensors is NCHW: `[batch, channels, height, width]`.
+///
+/// # Example
+///
+/// ```
+/// use bnn_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4, 4]);
+/// assert_eq!(s.len(), 2 * 3 * 4 * 4);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.strides(), vec![48, 16, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// Creates a scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for scalars).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns `true` if the shape contains no elements (some dimension is 0).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements) for each dimension.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index rank differs from
+    /// the shape rank or any component is out of range.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.dims.len()
+            || index.iter().zip(&self.dims).any(|(i, d)| i >= d)
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.dims.clone(),
+            });
+        }
+        let strides = self.strides();
+        Ok(index.iter().zip(strides.iter()).map(|(i, s)| i * s).sum())
+    }
+
+    /// Checks this shape has exactly `expected` dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] otherwise.
+    pub fn expect_rank(&self, expected: usize, op: &'static str) -> Result<(), TensorError> {
+        if self.rank() != expected {
+            return Err(TensorError::RankMismatch {
+                actual: self.rank(),
+                expected,
+                op,
+            });
+        }
+        Ok(())
+    }
+
+    /// Interprets this shape as NCHW and returns `(n, c, h, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the rank is not 4.
+    pub fn as_nchw(&self) -> Result<(usize, usize, usize, usize), TensorError> {
+        self.expect_rank(4, "as_nchw")?;
+        Ok((self.dims[0], self.dims[1], self.dims[2], self.dims[3]))
+    }
+
+    /// Interprets this shape as a matrix and returns `(rows, cols)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the rank is not 2.
+    pub fn as_matrix(&self) -> Result<(usize, usize), TensorError> {
+        self.expect_rank(2, "as_matrix")?;
+        Ok((self.dims[0], self.dims[1]))
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[0, 1, 2]).unwrap(), 6);
+    }
+
+    #[test]
+    fn offset_out_of_bounds() {
+        let s = Shape::new(vec![2, 3]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn nchw_accessor() {
+        let s = Shape::new(vec![8, 3, 32, 32]);
+        assert_eq!(s.as_nchw().unwrap(), (8, 3, 32, 32));
+        assert!(Shape::new(vec![3, 2]).as_nchw().is_err());
+    }
+
+    #[test]
+    fn matrix_accessor() {
+        let s = Shape::new(vec![5, 7]);
+        assert_eq!(s.as_matrix().unwrap(), (5, 7));
+        assert!(Shape::new(vec![5, 7, 2]).as_matrix().is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "(2, 3)");
+        assert_eq!(Shape::scalar().to_string(), "()");
+    }
+
+    #[test]
+    fn zero_dim_is_empty() {
+        assert!(Shape::new(vec![0, 4]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn offsets_are_unique_and_bounded(dims in proptest::collection::vec(1usize..5, 1..4)) {
+            let shape = Shape::new(dims.clone());
+            let mut seen = std::collections::HashSet::new();
+            let mut index = vec![0usize; dims.len()];
+            loop {
+                let off = shape.offset(&index).unwrap();
+                prop_assert!(off < shape.len());
+                prop_assert!(seen.insert(off));
+                // advance odometer
+                let mut axis = dims.len();
+                loop {
+                    if axis == 0 {
+                        break;
+                    }
+                    axis -= 1;
+                    index[axis] += 1;
+                    if index[axis] < dims[axis] {
+                        break;
+                    }
+                    index[axis] = 0;
+                    if axis == 0 {
+                        // wrapped around completely
+                        prop_assert_eq!(seen.len(), shape.len());
+                        return Ok(());
+                    }
+                }
+                if index.iter().all(|&i| i == 0) {
+                    break;
+                }
+            }
+            prop_assert_eq!(seen.len(), shape.len());
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! The dense `f32` tensor type.
+
+use crate::rng::Rng;
+use crate::{Shape, TensorError};
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// Image tensors follow the NCHW convention: `[batch, channels, height, width]`.
+///
+/// # Example
+///
+/// ```
+/// use bnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), bnn_tensor::TensorError> {
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// assert_eq!(t.get(&[1, 0])?, 3.0);
+/// assert_eq!(t.sum(), 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::from(dims);
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::from(dims);
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor from a flat vector and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCountMismatch`] if `data.len()` does not
+    /// equal the number of elements implied by `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::from(dims);
+        if data.len() != shape.len() {
+            return Err(TensorError::ElementCountMismatch {
+                elements: data.len(),
+                expected: shape.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// Creates a tensor of standard-normal samples.
+    pub fn randn<R: Rng>(dims: &[usize], rng: &mut R) -> Self {
+        let shape = Shape::from(dims);
+        let data = (0..shape.len()).map(|_| rng.normal()).collect();
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor of uniform samples in `[low, high)`.
+    pub fn rand_uniform<R: Rng>(dims: &[usize], low: f32, high: f32, rng: &mut R) -> Self {
+        let shape = Shape::from(dims);
+        let data = (0..shape.len()).map(|_| rng.uniform(low, high)).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the underlying data in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying data in row-major order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its flat data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for invalid indices.
+    pub fn get(&self, index: &[usize]) -> Result<f32, TensorError> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for invalid indices.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a copy with a new shape holding the same elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCountMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, TensorError> {
+        let shape = Shape::from(dims);
+        if shape.len() != self.len() {
+            return Err(TensorError::ElementCountMismatch {
+                elements: self.len(),
+                expected: shape.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise binary operation against another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_with<F: Fn(f32, f32) -> f32>(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: F,
+    ) -> Result<Tensor, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op,
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(other, "mul", |a, b| a * b)
+    }
+
+    /// Adds `other * scale` into `self` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_scaled_inplace(&mut self, other: &Tensor, scale: f32) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+                op: "add_scaled_inplace",
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `scale`, returning a new tensor.
+    pub fn scale(&self, scale: f32) -> Tensor {
+        self.map(|x| x * scale)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element in flat row-major order (0 when empty).
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            })
+            .0
+    }
+
+    /// L2 norm of the tensor viewed as a flat vector.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Extracts sample `index` from a batched tensor (first axis), keeping the
+    /// remaining axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor is rank-0 or the index is out of bounds.
+    pub fn select_batch(&self, index: usize) -> Result<Tensor, TensorError> {
+        if self.shape.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                actual: 0,
+                expected: 1,
+                op: "select_batch",
+            });
+        }
+        let batch = self.shape.dim(0);
+        if index >= batch {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![index],
+                shape: self.dims().to_vec(),
+            });
+        }
+        let inner: usize = self.dims()[1..].iter().product::<usize>().max(1);
+        let start = index * inner;
+        let data = self.data[start..start + inner].to_vec();
+        Ok(Tensor {
+            shape: Shape::from(&self.dims()[1..]),
+            data,
+        })
+    }
+
+    /// Stacks tensors of identical shape along a new leading batch axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `items` is empty or shapes differ.
+    pub fn stack(items: &[Tensor]) -> Result<Tensor, TensorError> {
+        let first = items.first().ok_or_else(|| {
+            TensorError::InvalidArgument("cannot stack an empty list of tensors".into())
+        })?;
+        let mut data = Vec::with_capacity(first.len() * items.len());
+        for item in items {
+            if item.shape != first.shape {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.dims().to_vec(),
+                    rhs: item.dims().to_vec(),
+                    op: "stack",
+                });
+            }
+            data.extend_from_slice(&item.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(first.dims());
+        Ok(Tensor {
+            shape: Shape::new(dims),
+            data,
+        })
+    }
+
+    /// Returns the mean of several tensors of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `items` is empty or shapes differ.
+    pub fn mean_of(items: &[Tensor]) -> Result<Tensor, TensorError> {
+        let first = items.first().ok_or_else(|| {
+            TensorError::InvalidArgument("cannot average an empty list of tensors".into())
+        })?;
+        let mut acc = Tensor::zeros(first.dims());
+        for item in items {
+            acc.add_scaled_inplace(item, 1.0)?;
+        }
+        Ok(acc.scale(1.0 / items.len() as f32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(&[2, 3]).sum(), 0.0);
+        assert_eq!(Tensor::ones(&[2, 3]).sum(), 6.0);
+        assert_eq!(Tensor::full(&[4], 2.5).sum(), 10.0);
+        assert_eq!(Tensor::scalar(3.0).len(), 1);
+    }
+
+    #[test]
+    fn from_vec_checks_count() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 5.0).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 5.0);
+        assert_eq!(t.get(&[0, 0]).unwrap(), 0.0);
+        assert!(t.get(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(a.add(&b).is_err());
+        assert!(a.mul(&b).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[4]).unwrap();
+        assert_eq!(t.sum(), 2.5);
+        assert_eq!(t.mean(), 0.625);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), 2);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn select_batch_extracts_rows() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let row = t.select_batch(1).unwrap();
+        assert_eq!(row.dims(), &[3]);
+        assert_eq!(row.as_slice(), &[4.0, 5.0, 6.0]);
+        assert!(t.select_batch(2).is_err());
+    }
+
+    #[test]
+    fn stack_and_mean_of() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        let s = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(s.dims(), &[2, 2]);
+        let m = Tensor::mean_of(&[a, b]).unwrap();
+        assert_eq!(m.as_slice(), &[2.0, 3.0]);
+        assert!(Tensor::stack(&[]).is_err());
+        assert!(Tensor::mean_of(&[]).is_err());
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let t = Tensor::randn(&[100, 100], &mut rng);
+        assert!(t.mean().abs() < 0.05);
+        let var = t.map(|x| x * x).mean() - t.mean() * t.mean();
+        assert!((var - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn add_scaled_inplace_accumulates() {
+        let mut acc = Tensor::zeros(&[3]);
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        acc.add_scaled_inplace(&g, 0.5).unwrap();
+        acc.add_scaled_inplace(&g, 0.5).unwrap();
+        assert_eq!(acc.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(values in proptest::collection::vec(-10.0f32..10.0, 1..32)) {
+            let n = values.len();
+            let a = Tensor::from_vec(values.clone(), &[n]).unwrap();
+            let b = Tensor::from_vec(values.iter().map(|v| v * 0.5 + 1.0).collect(), &[n]).unwrap();
+            let ab = a.add(&b).unwrap();
+            let ba = b.add(&a).unwrap();
+            prop_assert_eq!(ab.as_slice(), ba.as_slice());
+        }
+
+        #[test]
+        fn reshape_round_trip(values in proptest::collection::vec(-5.0f32..5.0, 12..=12)) {
+            let t = Tensor::from_vec(values, &[3, 4]).unwrap();
+            let back = t.reshape(&[2, 6]).unwrap().reshape(&[3, 4]).unwrap();
+            prop_assert_eq!(t.as_slice(), back.as_slice());
+        }
+
+        #[test]
+        fn scale_then_sum_is_linear(values in proptest::collection::vec(-3.0f32..3.0, 1..64), k in -2.0f32..2.0) {
+            let n = values.len();
+            let t = Tensor::from_vec(values, &[n]).unwrap();
+            let lhs = t.scale(k).sum();
+            let rhs = k * t.sum();
+            prop_assert!((lhs - rhs).abs() < 1e-3);
+        }
+    }
+}

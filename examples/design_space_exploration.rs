@@ -1,0 +1,63 @@
+//! Design-space exploration: sweep the MC-engine mapping and the datapath
+//! bitwidth for a Bayes-ResNet-18 accelerator and print the latency/resource/
+//! energy trade-off surface (the space Phases 2-3 of the framework search).
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use bayesnn_fpga::hw::accelerator::{AcceleratorConfig, AcceleratorModel};
+use bayesnn_fpga::hw::{FpgaDevice, MappingStrategy};
+use bayesnn_fpga::models::{zoo, ModelConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = zoo::resnet18(&ModelConfig::cifar10().with_width_divisor(8))
+        .with_exits_after_every_block()?
+        .with_exit_mcd(0.25)?;
+    println!(
+        "design space for {} ({} exits, {} MCD layers) on XCKU115, 8 MC samples\n",
+        spec.name,
+        spec.num_exits(),
+        spec.mcd_layer_count()
+    );
+    println!("{:>10} {:>6} {:>8} {:>10} {:>8} {:>8} {:>10} {:>6}",
+        "mapping", "bits", "reuse", "latency_ms", "lut_k", "dsp", "energy_mJ", "fits");
+
+    let mut best: Option<(f64, String)> = None;
+    for mapping in [
+        MappingStrategy::Temporal,
+        MappingStrategy::Hybrid { engines: 2 },
+        MappingStrategy::Spatial,
+    ] {
+        for bits in [4u32, 8, 16] {
+            for reuse in [16usize, 64] {
+                let config = AcceleratorConfig::new(FpgaDevice::xcku115())
+                    .with_bits(bits)
+                    .with_reuse_factor(reuse)
+                    .with_mapping(mapping)
+                    .with_mc_samples(8);
+                let report = AcceleratorModel::new(spec.clone(), config)?.estimate()?;
+                let label = format!("{mapping}/{bits}b/r{reuse}");
+                println!(
+                    "{:>10} {:>6} {:>8} {:>10.4} {:>8} {:>8} {:>10.3} {:>6}",
+                    mapping.to_string(),
+                    bits,
+                    reuse,
+                    report.latency_ms,
+                    report.total_resources.lut / 1000,
+                    report.total_resources.dsp,
+                    report.energy_per_image_j * 1e3,
+                    report.fits,
+                );
+                if report.fits {
+                    let energy = report.energy_per_image_j;
+                    if best.as_ref().map_or(true, |(e, _)| energy < *e) {
+                        best = Some((energy, label));
+                    }
+                }
+            }
+        }
+    }
+    if let Some((energy, label)) = best {
+        println!("\nmost energy-efficient feasible point: {label} at {:.3} mJ/image", energy * 1e3);
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Autonomous-perception dataset shift: compare how a plain single-exit CNN
+//! and a multi-exit MCD BayesNN behave as the test distribution drifts away
+//! from the training distribution (fog/noise-like corruptions).
+//!
+//! The desirable behaviour for a safety-critical perception stack is that
+//! predictive entropy *rises* with corruption severity — the model knows that
+//! it does not know — while the deterministic network stays overconfident.
+//!
+//! Run with: `cargo run --release --example perception_shift`
+
+use bayesnn_fpga::bayes::metrics::mean_predictive_entropy;
+use bayesnn_fpga::bayes::sampling::{McSampler, SamplingConfig};
+use bayesnn_fpga::bayes::Evaluation;
+use bayesnn_fpga::data::{Corruption, DatasetSpec, SyntheticConfig};
+use bayesnn_fpga::models::{zoo, ModelConfig};
+use bayesnn_fpga::nn::optimizer::Sgd;
+use bayesnn_fpga::nn::trainer::{train, LabelledBatchSource, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic "road scene patch" classification task.
+    let data = SyntheticConfig::new(DatasetSpec::new("synthetic-road", 3, 16, 16, 6))
+        .with_samples(480, 240)
+        .with_noise(0.4)
+        .generate(21)?;
+    let config = ModelConfig::new(3, 16, 16, 6).with_width_divisor(8);
+
+    // Deterministic single-exit baseline.
+    let se_spec = zoo::vgg11(&config);
+    let mut se = se_spec.build(1)?;
+    // Multi-exit MCD BayesNN.
+    let bayes_spec = zoo::vgg11(&config)
+        .with_exits_after_every_block()?
+        .with_exit_mcd(0.25)?;
+    let mut bayes = bayes_spec.build(2)?;
+
+    let batches = LabelledBatchSource::new(data.train.inputs().clone(), data.train.labels().to_vec())?;
+    let cfg = TrainConfig { epochs: 8, batch_size: 32, distillation_weight: 0.5, ..TrainConfig::default() };
+    let mut sgd1 = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(5e-4);
+    train(&mut se, &batches, &mut sgd1, &TrainConfig { distillation_weight: 0.0, ..cfg.clone() })?;
+    let mut sgd2 = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(5e-4);
+    train(&mut bayes, &batches, &mut sgd2, &cfg)?;
+
+    let sampler = McSampler::new(SamplingConfig::new(8));
+    println!("severity | SE acc  SE ECE  SE entropy | MCD+ME acc  MCD+ME ECE  MCD+ME entropy");
+    println!("---------+----------------------------+---------------------------------------");
+    for severity in 0..=4usize {
+        // Apply the corruption ladder for this severity.
+        let mut shifted = data.test.clone();
+        for (i, corruption) in Corruption::severity_ladder(severity).iter().enumerate() {
+            shifted = corruption.apply(&shifted, 100 + severity as u64 * 10 + i as u64)?;
+        }
+        let labels = shifted.labels();
+
+        let se_probs = sampler.predict_deterministic(&mut se, shifted.inputs())?;
+        let se_eval = Evaluation::from_probs(&se_probs, labels, 15)?;
+        let se_entropy = mean_predictive_entropy(&se_probs)?;
+
+        let bayes_probs = sampler.predict(&mut bayes, shifted.inputs())?.mean_probs;
+        let bayes_eval = Evaluation::from_probs(&bayes_probs, labels, 15)?;
+        let bayes_entropy = mean_predictive_entropy(&bayes_probs)?;
+
+        println!(
+            "    {severity}    | {:.3}   {:.3}   {:.3}      | {:.3}        {:.3}        {:.3}",
+            se_eval.accuracy, se_eval.ece, se_entropy,
+            bayes_eval.accuracy, bayes_eval.ece, bayes_entropy,
+        );
+    }
+    println!("\nExpected shape: both accuracies fall with severity, but the MCD+ME model's");
+    println!("entropy rises faster and its ECE stays lower — calibrated uncertainty under shift.");
+    Ok(())
+}

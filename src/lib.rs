@@ -1,0 +1,48 @@
+//! # bayesnn-fpga
+//!
+//! Facade crate for the Rust reproduction of the DAC'23 paper *"When
+//! Monte-Carlo Dropout Meets Multi-Exit: Optimizing Bayesian Neural Networks
+//! on FPGA"*. It re-exports every workspace crate under a single dependency so
+//! examples and downstream users can write `use bayesnn_fpga::core::...`.
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Example
+//!
+//! ```
+//! use bayesnn_fpga::tensor::Tensor;
+//!
+//! let t = Tensor::ones(&[1, 3, 8, 8]);
+//! assert_eq!(t.dims(), &[1, 3, 8, 8]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Tensor and PRNG substrate ([`bnn_tensor`]).
+pub use bnn_tensor as tensor;
+
+/// Neural-network layers, training and FLOP accounting ([`bnn_nn`]).
+pub use bnn_nn as nn;
+
+/// Synthetic vision datasets ([`bnn_data`]).
+pub use bnn_data as data;
+
+/// CNN model zoo with multi-exit attachment ([`bnn_models`]).
+pub use bnn_models as models;
+
+/// Monte-Carlo Dropout sampling, ensembling and calibration metrics ([`bnn_bayes`]).
+pub use bnn_bayes as bayes;
+
+/// Fixed-point quantization ([`bnn_quant`]).
+pub use bnn_quant as quant;
+
+/// Analytic FPGA hardware model ([`bnn_hw`]).
+pub use bnn_hw as hw;
+
+/// HLS C++ code generation ([`bnn_hls`]).
+pub use bnn_hls as hls;
+
+/// The transformation framework — the paper's primary contribution ([`bnn_core`]).
+pub use bnn_core as core;

@@ -1,0 +1,119 @@
+//! Integration test: the hardware model reproduces the qualitative shapes of
+//! the paper's Fig. 5 and Tables II-III through the public facade API.
+
+use bayesnn_fpga::hw::accelerator::{AcceleratorConfig, AcceleratorModel};
+use bayesnn_fpga::hw::baselines::{fpga_baselines, software_baselines_quoted};
+use bayesnn_fpga::hw::{FpgaDevice, MappingStrategy};
+use bayesnn_fpga::models::{zoo, ModelConfig};
+
+fn base_config() -> AcceleratorConfig {
+    AcceleratorConfig::new(FpgaDevice::xcku115())
+        .with_bits(8)
+        .with_reuse_factor(32)
+}
+
+#[test]
+fn fig5_left_shape_logic_up_bram_flat_across_models() {
+    for (config, arch) in [
+        (ModelConfig::mnist().with_width_divisor(2), zoo::Architecture::LeNet5),
+        (ModelConfig::cifar10().with_width_divisor(8), zoo::Architecture::ResNet18),
+        (ModelConfig::svhn().with_width_divisor(8), zoo::Architecture::Vgg11),
+    ] {
+        let base = arch.spec(&config);
+        let mut last_lut = 0;
+        let mut first_bram = None;
+        for n in 1..=4usize {
+            let spec = base.clone().with_mcd_layers(n, 0.25).unwrap();
+            let report = AcceleratorModel::new(spec, base_config()).unwrap().estimate().unwrap();
+            assert!(report.total_resources.lut >= last_lut, "{arch}: LUT not monotone");
+            last_lut = report.total_resources.lut;
+            match first_bram {
+                None => first_bram = Some(report.total_resources.bram_36k),
+                Some(b) => assert_eq!(report.total_resources.bram_36k, b, "{arch}: BRAM not flat"),
+            }
+        }
+    }
+}
+
+#[test]
+fn fig5_right_shape_spatial_flat_unoptimized_linear() {
+    let spec = zoo::lenet5(&ModelConfig::mnist().with_width_divisor(2))
+        .with_mcd_layers(1, 0.25)
+        .unwrap();
+    let latency = |samples: usize, optimized: bool| {
+        let model = AcceleratorModel::new(
+            spec.clone(),
+            base_config()
+                .with_mapping(MappingStrategy::Spatial)
+                .with_mc_samples(samples),
+        )
+        .unwrap();
+        if optimized {
+            model.estimate().unwrap().latency_ms
+        } else {
+            model.estimate_unoptimized().unwrap().latency_ms
+        }
+    };
+    assert!(latency(8, false) > 6.0 * latency(1, false));
+    assert!(latency(8, true) < 1.05 * latency(1, true));
+}
+
+#[test]
+fn table2_shape_fpga_design_is_most_energy_efficient() {
+    let spec = zoo::lenet5(&ModelConfig::mnist()).with_mcd_layers(1, 0.25).unwrap();
+    let ours = AcceleratorModel::new(
+        spec,
+        base_config()
+            .with_mapping(MappingStrategy::Spatial)
+            .with_mc_samples(3),
+    )
+    .unwrap()
+    .estimate()
+    .unwrap();
+    assert!(ours.fits);
+    // Our estimated design must beat every quoted software baseline on energy,
+    // and be competitive with (same order of magnitude as) the prior FPGA work.
+    for row in software_baselines_quoted() {
+        assert!(
+            ours.energy_per_image_j < row.energy_per_image_j(),
+            "FPGA {} J vs {} {} J",
+            ours.energy_per_image_j,
+            row.work,
+            row.energy_per_image_j()
+        );
+    }
+    let best_prior = fpga_baselines()
+        .iter()
+        .map(|r| r.energy_per_image_j())
+        .fold(f64::INFINITY, f64::min);
+    assert!(ours.energy_per_image_j < best_prior * 10.0);
+}
+
+#[test]
+fn table3_shape_dynamic_power_dominated_by_logic_and_io() {
+    let spec = zoo::lenet5(&ModelConfig::mnist()).with_mcd_layers(1, 0.25).unwrap();
+    let report = AcceleratorModel::new(
+        spec,
+        base_config()
+            .with_mapping(MappingStrategy::Spatial)
+            .with_mc_samples(3),
+    )
+    .unwrap()
+    .estimate()
+    .unwrap();
+    let power = &report.power;
+    // Dynamic power is the majority share (the paper reports 72 %).
+    assert!(power.dynamic_fraction() > 0.5);
+    // Logic&signal and IO are the two largest dynamic components.
+    let mut dynamic = [
+        ("clocking", power.clocking_w),
+        ("logic", power.logic_signal_w),
+        ("bram", power.bram_w),
+        ("io", power.io_w),
+        ("dsp", power.dsp_w),
+    ];
+    dynamic.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let top_two: Vec<&str> = dynamic[..2].iter().map(|(n, _)| *n).collect();
+    assert!(top_two.contains(&"logic"), "top dynamic components {top_two:?}");
+    assert!(top_two.contains(&"io"), "top dynamic components {top_two:?}");
+}

@@ -1,0 +1,50 @@
+//! Integration test: Phase 4 HLS generation works for every architecture in
+//! the zoo and the emitted MCD template follows the paper's Algorithm 1.
+
+use bayesnn_fpga::hls::{HlsConfig, HlsProject};
+use bayesnn_fpga::models::zoo::Architecture;
+use bayesnn_fpga::models::ModelConfig;
+use bayesnn_fpga::quant::FixedPointFormat;
+
+#[test]
+fn every_architecture_generates_a_project() {
+    let config = ModelConfig::cifar10()
+        .with_resolution(16, 16)
+        .with_width_divisor(8);
+    for arch in Architecture::all() {
+        let spec = arch
+            .spec(&config)
+            .with_exits_after_every_block()
+            .unwrap()
+            .with_exit_mcd(0.25)
+            .unwrap();
+        let project = HlsProject::generate(
+            &spec,
+            &HlsConfig::new(format!("bayes_{arch}"))
+                .with_format(FixedPointFormat::new(8, 3).unwrap())
+                .with_mc_samples(4),
+        )
+        .unwrap();
+        let cpp = project.file(&format!("firmware/bayes_{arch}.cpp")).unwrap();
+        assert!(cpp.contains("#pragma HLS DATAFLOW"), "{arch}");
+        assert!(cpp.contains("nnet::mc_dropout"), "{arch}");
+        let defines = project.file("firmware/defines.h").unwrap();
+        assert!(defines.contains("ap_fixed<8,3>"), "{arch}");
+    }
+}
+
+#[test]
+fn mcd_template_matches_algorithm_1() {
+    let spec = Architecture::LeNet5
+        .spec(&ModelConfig::mnist().with_width_divisor(4))
+        .with_mcd_layers(1, 0.25)
+        .unwrap();
+    let project = HlsProject::generate(&spec, &HlsConfig::new("alg1")).unwrap();
+    let header = project.file("firmware/nnet_utils/nnet_mc_dropout.h").unwrap();
+    // Algorithm 1 structure: pipelined loop, uniform RNG, threshold against the
+    // keep rate, multiply the kept value by the keep rate.
+    assert!(header.contains("#pragma HLS PIPELINE II=1"));
+    assert!(header.contains("uniform_random > keep_rate"));
+    assert!(header.contains("temp * keep_rate"));
+    assert!(header.contains("lfsr"));
+}
