@@ -1,0 +1,38 @@
+# Developer entry points for the bayesnn-fpga workspace.
+#
+#   make build   - release build of every crate
+#   make test    - full test suite (unit + integration + doctests)
+#   make bench   - run the criterion bench targets
+#   make lint    - rustfmt check + clippy with warnings denied
+#   make ci      - everything the merge gate runs
+
+CARGO ?= cargo
+
+.PHONY: all build test bench bench-build lint fmt clean ci
+
+all: build
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+bench:
+	$(CARGO) bench -p bnn-bench
+
+# Compile the bench targets without running them (fast CI signal).
+bench-build:
+	$(CARGO) bench --no-run
+
+lint:
+	$(CARGO) fmt --check
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+fmt:
+	$(CARGO) fmt
+
+clean:
+	$(CARGO) clean
+
+ci: lint build test bench-build

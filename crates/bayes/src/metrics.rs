@@ -253,12 +253,7 @@ mod tests {
     fn ece_hand_computed_case() {
         // Two samples at confidence 0.75 (bin 7), one correct -> acc 0.5, gap 0.25.
         // Two samples at confidence 0.95 (bin 9), both correct -> gap 0.05.
-        let p = probs(&[
-            &[0.75, 0.25],
-            &[0.75, 0.25],
-            &[0.95, 0.05],
-            &[0.95, 0.05],
-        ]);
+        let p = probs(&[&[0.75, 0.25], &[0.75, 0.25], &[0.95, 0.05], &[0.95, 0.05]]);
         let labels = [0, 1, 0, 0];
         let ece = expected_calibration_error(&p, &labels, 10).unwrap();
         let expected = 0.5 * 0.25 + 0.5 * 0.05;

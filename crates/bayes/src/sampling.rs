@@ -32,14 +32,20 @@ pub struct SamplingConfig {
 
 impl Default for SamplingConfig {
     fn default() -> Self {
-        SamplingConfig { n_samples: 4, bins: 15 }
+        SamplingConfig {
+            n_samples: 4,
+            bins: 15,
+        }
     }
 }
 
 impl SamplingConfig {
     /// Creates a configuration drawing `n_samples` MC samples.
     pub fn new(n_samples: usize) -> Self {
-        SamplingConfig { n_samples, bins: 15 }
+        SamplingConfig {
+            n_samples,
+            bins: 15,
+        }
     }
 
     /// Number of exit forward passes needed for a network with `n_exits` exits.
@@ -126,7 +132,11 @@ impl McSampler {
             per_sample.truncate(self.config.n_samples);
         }
         let mean_probs = Tensor::mean_of(&per_sample)?;
-        Ok(McPrediction { mean_probs, per_sample, passes })
+        Ok(McPrediction {
+            mean_probs,
+            per_sample,
+            passes,
+        })
     }
 
     /// Vanilla single-exit MCD prediction: the whole network is re-run for
@@ -147,7 +157,11 @@ impl McSampler {
             per_sample.push(softmax(&logits)?);
         }
         let mean_probs = Tensor::mean_of(&per_sample)?;
-        Ok(McPrediction { mean_probs, per_sample, passes: samples })
+        Ok(McPrediction {
+            mean_probs,
+            per_sample,
+            passes: samples,
+        })
     }
 
     /// Deterministic (dropout-disabled) prediction of the final exit — the
@@ -292,7 +306,9 @@ mod tests {
         assert_eq!(pred.passes, 2);
         // rows sum to one
         for b in 0..3 {
-            let s: f32 = pred.mean_probs.as_slice()[b * 10..(b + 1) * 10].iter().sum();
+            let s: f32 = pred.mean_probs.as_slice()[b * 10..(b + 1) * 10]
+                .iter()
+                .sum();
             assert!((s - 1.0).abs() < 1e-4);
         }
     }
@@ -334,7 +350,9 @@ mod tests {
         let sampler = McSampler::default();
         let x = Tensor::ones(&[4, 3, 12, 12]);
         let eager = sampler.confidence_exit_predict(&mut net, &x, 0.0).unwrap();
-        let strict = sampler.confidence_exit_predict(&mut net, &x, 0.999_999).unwrap();
+        let strict = sampler
+            .confidence_exit_predict(&mut net, &x, 0.999_999)
+            .unwrap();
         // threshold 0 stops at the first exit; threshold ~1 runs to the end
         assert!(eager.exit_taken.iter().all(|&e| e == 0));
         assert!(strict.exit_taken.iter().all(|&e| e == net.num_exits() - 1));

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
-    group.bench_function("all_sweeps", |b| b.iter(|| experiments::ablations().unwrap()));
+    group.bench_function("all_sweeps", |b| {
+        b.iter(|| experiments::ablations().unwrap())
+    });
     group.bench_function("flop_reduction_eq3", |b| {
         b.iter(|| experiments::flop_reduction().unwrap())
     });

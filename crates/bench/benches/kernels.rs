@@ -22,11 +22,23 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| conv.forward(&input, Mode::Eval).unwrap())
     });
 
-    let spec = zoo::lenet5(&ModelConfig::mnist().with_resolution(12, 12).with_width_divisor(4))
-        .with_exits_after_every_block()
-        .unwrap()
-        .with_exit_mcd(0.25)
-        .unwrap();
+    // Covers the slice-based layout reorders on both sides of the im2col
+    // matmul (forward output reorder + backward gradient reorder).
+    let out = conv.forward(&input, Mode::Train).unwrap();
+    let grad_out = Tensor::ones(out.dims());
+    group.bench_function("conv2d_backward_4x16x16x16", |b| {
+        b.iter(|| conv.backward(&grad_out).unwrap())
+    });
+
+    let spec = zoo::lenet5(
+        &ModelConfig::mnist()
+            .with_resolution(12, 12)
+            .with_width_divisor(4),
+    )
+    .with_exits_after_every_block()
+    .unwrap()
+    .with_exit_mcd(0.25)
+    .unwrap();
     let mut network = spec.build(3).unwrap();
     let images = Tensor::randn(&[8, 1, 12, 12], &mut rng);
     let sampler = McSampler::new(SamplingConfig::new(8));

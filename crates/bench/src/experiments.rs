@@ -53,9 +53,7 @@ fn fig5_accel_config() -> AcceleratorConfig {
 ///
 /// Propagates spec/estimation errors.
 pub fn fig5_resources(max_mcd_layers: usize) -> Result<TextTable, ExperimentError> {
-    let mut table = TextTable::new(vec![
-        "model", "mcd_layers", "bram", "dsp", "ff", "lut",
-    ]);
+    let mut table = TextTable::new(vec!["model", "mcd_layers", "bram", "dsp", "ff", "lut"]);
     for (name, spec) in fig5_models() {
         for n in 1..=max_mcd_layers {
             // Models with fewer insertion points than requested stop early
@@ -63,8 +61,7 @@ pub fn fig5_resources(max_mcd_layers: usize) -> Result<TextTable, ExperimentErro
             let Ok(bayes_spec) = spec.clone().with_mcd_layers(n, 0.25) else {
                 break;
             };
-            let report =
-                AcceleratorModel::new(bayes_spec, fig5_accel_config())?.estimate()?;
+            let report = AcceleratorModel::new(bayes_spec, fig5_accel_config())?.estimate()?;
             table.add_row(vec![
                 name.to_string(),
                 n.to_string(),
@@ -242,7 +239,14 @@ pub fn table2() -> Result<TextTable, ExperimentError> {
     // Analytic CPU/GPU models.
     for platform in [PlatformModel::cpu_i9_9900k(), PlatformModel::gpu_rtx_2080()] {
         table.add_row(vec![
-            format!("{} (modelled)", if platform.name.contains("Intel") { "CPU" } else { "GPU" }),
+            format!(
+                "{} (modelled)",
+                if platform.name.contains("Intel") {
+                    "CPU"
+                } else {
+                    "GPU"
+                }
+            ),
             platform.name.clone(),
             format!("{:.0}", platform.frequency_mhz),
             platform.technology_nm.to_string(),
@@ -369,7 +373,13 @@ pub fn ablations() -> Result<Vec<(String, TextTable)>, ExperimentError> {
         .spec(&ModelConfig::mnist().with_width_divisor(2))
         .with_mcd_layers(2, 0.25)?;
     let mut mapping_table = TextTable::new(vec![
-        "mapping", "engines", "latency_ms", "lut", "dsp", "power_w", "energy_j",
+        "mapping",
+        "engines",
+        "latency_ms",
+        "lut",
+        "dsp",
+        "power_w",
+        "energy_j",
     ]);
     for mapping in MappingStrategy::candidates(8) {
         let report = AcceleratorModel::new(
@@ -391,18 +401,19 @@ pub fn ablations() -> Result<Vec<(String, TextTable)>, ExperimentError> {
 
     // (b) MCD placement depth: exit-proximal vs deeper insertion.
     let base = Architecture::ResNet18.spec(&ModelConfig::cifar10().with_width_divisor(8));
-    let mut depth_table = TextTable::new(vec![
-        "mcd_layers", "bayes_lut", "bayes_share", "latency_ms",
-    ]);
+    let mut depth_table =
+        TextTable::new(vec!["mcd_layers", "bayes_lut", "bayes_share", "latency_ms"]);
     for depth in [1usize, 2, 4, 6] {
         let spec = base.clone().with_mcd_layers(depth, 0.25)?;
         let report = AcceleratorModel::new(
             spec,
-            fig5_accel_config().with_mapping(MappingStrategy::Temporal).with_mc_samples(4),
+            fig5_accel_config()
+                .with_mapping(MappingStrategy::Temporal)
+                .with_mc_samples(4),
         )?
         .estimate()?;
-        let share = report.mc_engine_resources.lut as f64
-            / report.total_resources.lut.max(1) as f64;
+        let share =
+            report.mc_engine_resources.lut as f64 / report.total_resources.lut.max(1) as f64;
         depth_table.add_row(vec![
             depth.to_string(),
             report.mc_engine_resources.lut.to_string(),
@@ -415,9 +426,7 @@ pub fn ablations() -> Result<Vec<(String, TextTable)>, ExperimentError> {
     // (c) Bitwidth frontier: quantization error vs hardware cost.
     let mut rng = Xoshiro256StarStar::seed_from_u64(7);
     let weights = Tensor::randn(&[4096], &mut rng).scale(0.5);
-    let mut bits_table = TextTable::new(vec![
-        "format", "weight_mse", "lut", "dsp", "power_w",
-    ]);
+    let mut bits_table = TextTable::new(vec!["format", "weight_mse", "lut", "dsp", "power_w"]);
     for format in FixedPointFormat::search_space() {
         let err = tensor_quantization_error(&weights, format);
         let report = AcceleratorModel::new(
@@ -448,8 +457,8 @@ mod tests {
     fn fig5_resources_monotone_in_logic() {
         let table = fig5_resources(3).unwrap();
         assert_eq!(table.len(), 9); // 3 models x 3 MCD counts
-        // LeNet-5 only has five insertion points, so a deeper sweep keeps the
-        // other models but stops LeNet at its maximum.
+                                    // LeNet-5 only has five insertion points, so a deeper sweep keeps the
+                                    // other models but stops LeNet at its maximum.
         let deep = fig5_resources(7).unwrap();
         assert!(deep.len() > 9);
     }

@@ -39,7 +39,9 @@ impl fmt::Display for FrameworkError {
             FrameworkError::Bayes(e) => write!(f, "evaluation error: {e}"),
             FrameworkError::Hw(e) => write!(f, "hardware estimation error: {e}"),
             FrameworkError::Hls(e) => write!(f, "HLS generation error: {e}"),
-            FrameworkError::InvalidConfig(msg) => write!(f, "invalid framework configuration: {msg}"),
+            FrameworkError::InvalidConfig(msg) => {
+                write!(f, "invalid framework configuration: {msg}")
+            }
             FrameworkError::NoFeasibleDesign(msg) => {
                 write!(f, "no design satisfies the constraints: {msg}")
             }
@@ -103,8 +105,12 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        assert!(FrameworkError::InvalidConfig("x".into()).to_string().contains("x"));
-        assert!(FrameworkError::NoFeasibleDesign("y".into()).to_string().contains("y"));
+        assert!(FrameworkError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(FrameworkError::NoFeasibleDesign("y".into())
+            .to_string()
+            .contains("y"));
         let e = FrameworkError::from(ModelError::InvalidSpec("z".into()));
         assert!(e.source().is_some());
         let e = FrameworkError::from(HwError::InvalidConfig("h".into()));

@@ -221,7 +221,9 @@ mod tests {
             .with_width_divisor(8)
             .with_classes(4);
         config.phase1.dataset = SyntheticConfig::new(
-            DatasetSpec::mnist_like().with_resolution(10, 10).with_classes(4),
+            DatasetSpec::mnist_like()
+                .with_resolution(10, 10)
+                .with_classes(4),
         )
         .with_samples(80, 48);
         config.phase1.train.epochs = 2;

@@ -124,12 +124,11 @@ impl Phase1Config {
         let model = ModelConfig::cifar10()
             .with_resolution(12, 12)
             .with_width_divisor(16);
-        let dataset = SyntheticConfig::new(
-            bnn_data::DatasetSpec::cifar10_like().with_resolution(12, 12),
-        )
-        .with_samples(240, 120)
-        .with_noise(0.45)
-        .with_label_noise(0.08);
+        let dataset =
+            SyntheticConfig::new(bnn_data::DatasetSpec::cifar10_like().with_resolution(12, 12))
+                .with_samples(240, 120)
+                .with_noise(0.45)
+                .with_label_noise(0.08);
         Phase1Config {
             architecture,
             model,
@@ -155,9 +154,8 @@ impl Phase1Config {
     /// The paper's full grid (dropout rates and confidence thresholds of §V-B).
     pub fn paper_grid(mut self) -> Self {
         self.dropout_rates = vec![0.125, 0.25, 0.375, 0.5];
-        self.confidence_thresholds = vec![
-            0.1, 0.15, 0.25, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 0.999,
-        ];
+        self.confidence_thresholds =
+            vec![0.1, 0.15, 0.25, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 0.999];
         self
     }
 }
@@ -305,7 +303,11 @@ fn evaluate_network(
 
     let probs = match variant {
         ModelVariant::SingleExit => sampler.predict_deterministic(network, test_inputs)?,
-        ModelVariant::Mcd => sampler.predict_single_exit(network, test_inputs)?.mean_probs,
+        ModelVariant::Mcd => {
+            sampler
+                .predict_single_exit(network, test_inputs)?
+                .mean_probs
+        }
         ModelVariant::MultiExit | ModelVariant::McdMultiExit => {
             sampler.predict(network, test_inputs)?.mean_probs
         }

@@ -68,7 +68,11 @@ pub fn run(
                 &report.total_resources,
                 &config.device.resources,
             );
-        candidates.push(MappingCandidate { mapping, report, feasible });
+        candidates.push(MappingCandidate {
+            mapping,
+            report,
+            feasible,
+        });
     }
 
     let feasible: Vec<usize> = candidates
@@ -100,7 +104,10 @@ pub fn run(
         })
         .expect("feasible set is non-empty");
 
-    Ok(Phase2Result { candidates, best_index })
+    Ok(Phase2Result {
+        candidates,
+        best_index,
+    })
 }
 
 #[cfg(test)]

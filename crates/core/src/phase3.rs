@@ -14,8 +14,8 @@
 
 use crate::constraints::{OptPriority, UserConstraints};
 use crate::error::FrameworkError;
-use bnn_bayes::sampling::{McSampler, SamplingConfig};
 use bnn_bayes::metrics::accuracy;
+use bnn_bayes::sampling::{McSampler, SamplingConfig};
 use bnn_data::Dataset;
 use bnn_hw::accelerator::{AcceleratorConfig, AcceleratorModel, AcceleratorReport};
 use bnn_models::{MultiExitNetwork, NetworkSpec};
@@ -107,7 +107,11 @@ pub fn run(
     // Snapshot the trained weights so each quantization candidate starts fresh.
     let reference_weights: Vec<bnn_tensor::Tensor> = {
         use bnn_nn::network::Network;
-        trained.params_mut().iter().map(|p| p.value.clone()).collect()
+        trained
+            .params_mut()
+            .iter()
+            .map(|p| p.value.clone())
+            .collect()
     };
     let restore = |network: &mut MultiExitNetwork| {
         use bnn_nn::network::Network;
@@ -206,7 +210,9 @@ mod tests {
             .with_exit_mcd(0.25)
             .unwrap();
         let data = SyntheticConfig::new(
-            DatasetSpec::mnist_like().with_resolution(10, 10).with_classes(4),
+            DatasetSpec::mnist_like()
+                .with_resolution(10, 10)
+                .with_classes(4),
         )
         .with_samples(64, 48)
         .generate(5)
@@ -216,7 +222,11 @@ mod tests {
             LabelledBatchSource::new(data.train.inputs().clone(), data.train.labels().to_vec())
                 .unwrap();
         let mut sgd = Sgd::new(0.05).with_momentum(0.9);
-        let cfg = TrainConfig { epochs: 3, batch_size: 16, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            ..TrainConfig::default()
+        };
         train(&mut network, &batches, &mut sgd, &cfg).unwrap();
         (spec, network, data.test)
     }

@@ -78,7 +78,13 @@ mod tests {
             .with_bits(8)
             .with_mapping(MappingStrategy::Spatial)
             .with_mc_samples(3);
-        let output = run(&spec, "bayes_lenet", &config, FixedPointFormat::new(8, 3).unwrap()).unwrap();
+        let output = run(
+            &spec,
+            "bayes_lenet",
+            &config,
+            FixedPointFormat::new(8, 3).unwrap(),
+        )
+        .unwrap();
         assert!(output.report.fits);
         assert!(output.project.file("firmware/bayes_lenet.cpp").is_some());
         assert_eq!(output.hls_config.mc_samples, 3);
@@ -91,7 +97,13 @@ mod tests {
             .with_mcd_layers(1, 0.25)
             .unwrap();
         let config = AcceleratorConfig::new(FpgaDevice::xcku115());
-        let output = run(&spec, "disk_roundtrip", &config, FixedPointFormat::default_hls()).unwrap();
+        let output = run(
+            &spec,
+            "disk_roundtrip",
+            &config,
+            FixedPointFormat::default_hls(),
+        )
+        .unwrap();
         let dir = std::env::temp_dir().join(format!("bnn_phase4_{}", std::process::id()));
         output.write_project(&dir).unwrap();
         assert!(dir.join("build_prj.tcl").exists());

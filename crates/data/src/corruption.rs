@@ -49,9 +49,7 @@ impl Corruption {
                 }
                 t
             }),
-            Corruption::Brightness { shift } => {
-                dataset.map_inputs(|t, _| t.map(|v| v + shift))
-            }
+            Corruption::Brightness { shift } => dataset.map_inputs(|t, _| t.map(|v| v + shift)),
             Corruption::PixelDropout { fraction } => dataset.map_inputs(|mut t, _| {
                 for v in t.as_mut_slice() {
                     if rng.bernoulli(fraction) {
@@ -76,7 +74,9 @@ impl Corruption {
         vec![
             Corruption::GaussianNoise { std_dev: 0.2 * s },
             Corruption::Brightness { shift: 0.15 * s },
-            Corruption::Contrast { factor: 1.0 + 0.25 * s },
+            Corruption::Contrast {
+                factor: 1.0 + 0.25 * s,
+            },
         ]
     }
 }
@@ -98,7 +98,9 @@ mod tests {
     #[test]
     fn gaussian_noise_changes_pixels_not_labels() {
         let d = small_dataset();
-        let c = Corruption::GaussianNoise { std_dev: 0.5 }.apply(&d, 3).unwrap();
+        let c = Corruption::GaussianNoise { std_dev: 0.5 }
+            .apply(&d, 3)
+            .unwrap();
         assert_eq!(c.labels(), d.labels());
         assert_ne!(c.inputs().as_slice(), d.inputs().as_slice());
         assert_eq!(c.inputs().dims(), d.inputs().dims());
@@ -115,7 +117,9 @@ mod tests {
     #[test]
     fn pixel_dropout_zeroes_expected_fraction() {
         let d = small_dataset();
-        let c = Corruption::PixelDropout { fraction: 0.4 }.apply(&d, 5).unwrap();
+        let c = Corruption::PixelDropout { fraction: 0.4 }
+            .apply(&d, 5)
+            .unwrap();
         let zeros = c.inputs().as_slice().iter().filter(|&&v| v == 0.0).count();
         let frac = zeros as f64 / c.inputs().len() as f64;
         assert!((frac - 0.4).abs() < 0.08, "fraction {frac}");
@@ -148,8 +152,12 @@ mod tests {
     #[test]
     fn corruption_is_deterministic_per_seed() {
         let d = small_dataset();
-        let a = Corruption::GaussianNoise { std_dev: 0.3 }.apply(&d, 9).unwrap();
-        let b = Corruption::GaussianNoise { std_dev: 0.3 }.apply(&d, 9).unwrap();
+        let a = Corruption::GaussianNoise { std_dev: 0.3 }
+            .apply(&d, 9)
+            .unwrap();
+        let b = Corruption::GaussianNoise { std_dev: 0.3 }
+            .apply(&d, 9)
+            .unwrap();
         assert_eq!(a.inputs().as_slice(), b.inputs().as_slice());
     }
 }

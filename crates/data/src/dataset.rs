@@ -220,7 +220,10 @@ mod tests {
         let d = toy();
         let doubled = d.map_inputs(|t, _| t.scale(2.0)).unwrap();
         assert_eq!(doubled.labels(), d.labels());
-        assert_eq!(doubled.inputs().as_slice()[3], d.inputs().as_slice()[3] * 2.0);
+        assert_eq!(
+            doubled.inputs().as_slice()[3],
+            d.inputs().as_slice()[3] * 2.0
+        );
     }
 
     #[test]

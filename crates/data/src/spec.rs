@@ -90,7 +90,10 @@ mod tests {
         let m = DatasetSpec::mnist_like();
         assert_eq!((m.channels, m.height, m.width, m.classes), (1, 28, 28, 10));
         let c10 = DatasetSpec::cifar10_like();
-        assert_eq!((c10.channels, c10.height, c10.width, c10.classes), (3, 32, 32, 10));
+        assert_eq!(
+            (c10.channels, c10.height, c10.width, c10.classes),
+            (3, 32, 32, 10)
+        );
         let c100 = DatasetSpec::cifar100_like();
         assert_eq!(c100.classes, 100);
         let svhn = DatasetSpec::svhn_like();
@@ -107,7 +110,9 @@ mod tests {
 
     #[test]
     fn resolution_and_class_overrides() {
-        let spec = DatasetSpec::cifar100_like().with_resolution(16, 16).with_classes(20);
+        let spec = DatasetSpec::cifar100_like()
+            .with_resolution(16, 16)
+            .with_classes(20);
         assert_eq!(spec.height, 16);
         assert_eq!(spec.width, 16);
         assert_eq!(spec.classes, 20);

@@ -73,7 +73,9 @@ impl SyntheticConfig {
             return Err(DataError::Invalid("class count must be positive".into()));
         }
         if self.spec.features() == 0 {
-            return Err(DataError::Invalid("image must have at least one pixel".into()));
+            return Err(DataError::Invalid(
+                "image must have at least one pixel".into(),
+            ));
         }
         let prototypes = self.class_prototypes(seed);
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed ^ 0x5EED_DA7A);
@@ -242,8 +244,7 @@ mod tests {
     }
 
     #[test]
-    fn classes_are_separable_without_noise()
-    {
+    fn classes_are_separable_without_noise() {
         // With no pixel noise, nearest-prototype classification must be perfect.
         let cfg = SyntheticConfig::new(DatasetSpec::cifar10_like().with_resolution(8, 8))
             .with_samples(50, 50)
@@ -277,10 +278,14 @@ mod tests {
 
     #[test]
     fn nearest_prototype_beats_chance_with_noise() {
-        let cfg = SyntheticConfig::new(DatasetSpec::cifar100_like().with_resolution(8, 8).with_classes(20))
-            .with_samples(10, 200)
-            .with_noise(0.5)
-            .with_label_noise(0.0);
+        let cfg = SyntheticConfig::new(
+            DatasetSpec::cifar100_like()
+                .with_resolution(8, 8)
+                .with_classes(20),
+        )
+        .with_samples(10, 200)
+        .with_noise(0.5)
+        .with_label_noise(0.0);
         let split = cfg.generate(13).unwrap();
         let prototypes = cfg.class_prototypes(13);
         let mut correct = 0usize;

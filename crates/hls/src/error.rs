@@ -63,7 +63,9 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        assert!(HlsError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(HlsError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
         assert!(HlsError::Io("y".into()).to_string().contains("y"));
         let e = HlsError::from(ModelError::InvalidSpec("z".into()));
         assert!(e.source().is_some());

@@ -74,7 +74,12 @@ DropoutLoop:
 
 /// Returns the C++ call statement instantiating one layer inside the top-level
 /// dataflow function, plus the name of its output stream.
-pub fn layer_call(index: usize, layer: &LayerSpec, input_stream: &str, config: &HlsConfig) -> (String, String) {
+pub fn layer_call(
+    index: usize,
+    layer: &LayerSpec,
+    input_stream: &str,
+    config: &HlsConfig,
+) -> (String, String) {
     let out = format!("layer{index}_out");
     let reuse = config.reuse_factor;
     let call = match layer {
@@ -143,10 +148,16 @@ pub fn layer_config_struct(index: usize, layer: &LayerSpec, config: &HlsConfig) 
 /// Number of weight/bias scalars a layer needs in the weights header.
 pub fn weight_counts(layer: &LayerSpec) -> (usize, usize) {
     match layer {
-        LayerSpec::Conv2d { in_channels, out_channels, kernel, .. } => {
-            (in_channels * out_channels * kernel * kernel, *out_channels)
-        }
-        LayerSpec::Dense { in_features, out_features } => (in_features * out_features, *out_features),
+        LayerSpec::Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            ..
+        } => (in_channels * out_channels * kernel * kernel, *out_channels),
+        LayerSpec::Dense {
+            in_features,
+            out_features,
+        } => (in_features * out_features, *out_features),
         LayerSpec::BatchNorm2d { channels } => (*channels, *channels),
         LayerSpec::Residual { main, shortcut } => {
             let mut w = 0;
@@ -191,7 +202,13 @@ mod tests {
     #[test]
     fn layer_calls_name_streams_consistently() {
         let cfg = HlsConfig::new("p");
-        let conv = LayerSpec::Conv2d { in_channels: 3, out_channels: 8, kernel: 3, stride: 1, padding: 1 };
+        let conv = LayerSpec::Conv2d {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let (call, out) = layer_call(4, &conv, "layer3_out", &cfg);
         assert_eq!(out, "layer4_out");
         assert!(call.contains("conv_2d_cl"));
@@ -206,7 +223,10 @@ mod tests {
     #[test]
     fn config_structs_embed_dimensions() {
         let cfg = HlsConfig::new("p").with_reuse_factor(16);
-        let dense = LayerSpec::Dense { in_features: 64, out_features: 10 };
+        let dense = LayerSpec::Dense {
+            in_features: 64,
+            out_features: 10,
+        };
         let s = layer_config_struct(2, &dense, &cfg);
         assert!(s.contains("n_in = 64"));
         assert!(s.contains("n_out = 10"));
@@ -218,16 +238,31 @@ mod tests {
     #[test]
     fn weight_counts_cover_parametrised_layers() {
         assert_eq!(
-            weight_counts(&LayerSpec::Conv2d { in_channels: 3, out_channels: 8, kernel: 3, stride: 1, padding: 1 }),
+            weight_counts(&LayerSpec::Conv2d {
+                in_channels: 3,
+                out_channels: 8,
+                kernel: 3,
+                stride: 1,
+                padding: 1
+            }),
             (216, 8)
         );
         assert_eq!(
-            weight_counts(&LayerSpec::Dense { in_features: 10, out_features: 4 }),
+            weight_counts(&LayerSpec::Dense {
+                in_features: 10,
+                out_features: 4
+            }),
             (40, 4)
         );
         assert_eq!(weight_counts(&LayerSpec::Relu), (0, 0));
         let res = LayerSpec::Residual {
-            main: vec![LayerSpec::Conv2d { in_channels: 4, out_channels: 4, kernel: 3, stride: 1, padding: 1 }],
+            main: vec![LayerSpec::Conv2d {
+                in_channels: 4,
+                out_channels: 4,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            }],
             shortcut: vec![],
         };
         assert_eq!(weight_counts(&res), (144, 4));

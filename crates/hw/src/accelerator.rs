@@ -184,7 +184,11 @@ impl AcceleratorModel {
             passes: samples,
             latency_cycles: cycles,
             latency_ms,
-            throughput_ips: if latency_ms > 0.0 { 1e3 / latency_ms } else { 0.0 },
+            throughput_ips: if latency_ms > 0.0 {
+                1e3 / latency_ms
+            } else {
+                0.0
+            },
             energy_per_image_j: power.total_w() * latency_ms / 1e3,
             power,
         })
@@ -281,12 +285,9 @@ impl AcceleratorModel {
         };
 
         let latency_ms = total_cycles as f64 / (cfg.clock_mhz * 1e3);
-        let power = cfg.power_model.estimate(
-            &cfg.device,
-            &total_resources,
-            cfg.clock_mhz,
-            engines.max(1),
-        );
+        let power =
+            cfg.power_model
+                .estimate(&cfg.device, &total_resources, cfg.clock_mhz, engines.max(1));
         let energy = power.total_w() * latency_ms / 1e3;
         let utilization = total_resources.utilization(&cfg.device.resources);
 
@@ -300,7 +301,11 @@ impl AcceleratorModel {
             passes,
             latency_cycles: total_cycles,
             latency_ms,
-            throughput_ips: if latency_ms > 0.0 { 1e3 / latency_ms } else { 0.0 },
+            throughput_ips: if latency_ms > 0.0 {
+                1e3 / latency_ms
+            } else {
+                0.0
+            },
             power,
             energy_per_image_j: energy,
         })
@@ -343,10 +348,13 @@ mod tests {
             if let Some(prev) = &previous {
                 assert!(report.total_resources.lut >= prev.total_resources.lut);
                 assert!(report.total_resources.ff >= prev.total_resources.ff);
-                assert_eq!(report.total_resources.bram_36k, prev.total_resources.bram_36k);
+                assert_eq!(
+                    report.total_resources.bram_36k,
+                    prev.total_resources.bram_36k
+                );
                 // DSP increase is minor (the paper reports <= 8 %)
-                let dsp_growth = report.total_resources.dsp as f64
-                    / prev.total_resources.dsp.max(1) as f64;
+                let dsp_growth =
+                    report.total_resources.dsp as f64 / prev.total_resources.dsp.max(1) as f64;
                 assert!(dsp_growth < 1.10, "dsp grew by {dsp_growth}");
             }
             previous = Some(report);
@@ -398,14 +406,18 @@ mod tests {
         let spec = lenet_spec(1);
         let temporal = AcceleratorModel::new(
             spec.clone(),
-            base_config().with_mapping(MappingStrategy::Temporal).with_mc_samples(8),
+            base_config()
+                .with_mapping(MappingStrategy::Temporal)
+                .with_mc_samples(8),
         )
         .unwrap()
         .estimate()
         .unwrap();
         let spatial = AcceleratorModel::new(
             spec,
-            base_config().with_mapping(MappingStrategy::Spatial).with_mc_samples(8),
+            base_config()
+                .with_mapping(MappingStrategy::Spatial)
+                .with_mc_samples(8),
         )
         .unwrap()
         .estimate()
@@ -429,7 +441,11 @@ mod tests {
         .unwrap()
         .estimate()
         .unwrap();
-        assert!(report.fits, "design must fit XCKU115: {}", report.total_resources);
+        assert!(
+            report.fits,
+            "design must fit XCKU115: {}",
+            report.total_resources
+        );
         assert!(report.latency_ms < 10.0, "latency {}", report.latency_ms);
         assert!(
             (1.5..10.0).contains(&report.power.total_w()),

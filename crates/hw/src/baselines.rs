@@ -130,7 +130,11 @@ mod tests {
     fn paper_design_is_most_efficient() {
         let ours = paper_our_work_quoted().energy_per_image_j();
         for row in fpga_baselines().iter().chain(&software_baselines_quoted()) {
-            assert!(ours < row.energy_per_image_j(), "{} should be worse", row.work);
+            assert!(
+                ours < row.energy_per_image_j(),
+                "{} should be worse",
+                row.work
+            );
         }
     }
 }

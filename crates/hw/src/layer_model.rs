@@ -37,7 +37,10 @@ pub struct LayerModelConfig {
 
 impl Default for LayerModelConfig {
     fn default() -> Self {
-        LayerModelConfig { bits: 16, reuse_factor: 32 }
+        LayerModelConfig {
+            bits: 16,
+            reuse_factor: 32,
+        }
     }
 }
 
@@ -126,7 +129,10 @@ pub fn estimate_layer(
                 is_mc_dropout: false,
             }
         }
-        LayerSpec::Dense { in_features, out_features } => {
+        LayerSpec::Dense {
+            in_features,
+            out_features,
+        } => {
             let macs = (in_features * out_features) as u64;
             let multipliers = div_ceil(macs, reuse);
             let mut res = mac_array(multipliers, bits);
@@ -324,12 +330,18 @@ mod tests {
     fn dense_weight_bram_scales_with_parameters() {
         let cfg = LayerModelConfig::new(16, 64);
         let small = estimate_layer(
-            &LayerSpec::Dense { in_features: 64, out_features: 10 },
+            &LayerSpec::Dense {
+                in_features: 64,
+                out_features: 10,
+            },
             &Shape::new(vec![1, 64]),
             &cfg,
         );
         let big = estimate_layer(
-            &LayerSpec::Dense { in_features: 1024, out_features: 512 },
+            &LayerSpec::Dense {
+                in_features: 1024,
+                out_features: 512,
+            },
             &Shape::new(vec![1, 1024]),
             &cfg,
         );
@@ -376,7 +388,10 @@ mod tests {
         let conv_est = estimate_layer(&conv(32, 32), &shape, &cfg);
         for layer in [
             LayerSpec::Relu,
-            LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+            LayerSpec::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            },
             LayerSpec::GlobalAvgPool2d,
             LayerSpec::Flatten,
         ] {

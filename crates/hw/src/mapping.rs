@@ -15,23 +15,18 @@
 use crate::resource::ResourceUsage;
 
 /// How Monte-Carlo passes are mapped onto hardware MC engines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MappingStrategy {
     /// One engine per MC pass (fully parallel).
     Spatial,
     /// A single engine shared by all MC passes (fully sequential).
+    #[default]
     Temporal,
     /// A fixed number of engines, each sequentially processing its share.
     Hybrid {
         /// Number of physical MC engines.
         engines: usize,
     },
-}
-
-impl Default for MappingStrategy {
-    fn default() -> Self {
-        MappingStrategy::Temporal
-    }
 }
 
 impl MappingStrategy {
@@ -105,7 +100,6 @@ impl MappedBayesianComponent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn component() -> MappedBayesianComponent {
         MappedBayesianComponent {
@@ -149,7 +143,10 @@ mod tests {
             c.resources(MappingStrategy::Spatial, 4).dsp,
             4 * c.engine_resources.dsp
         );
-        assert_eq!(c.resources(MappingStrategy::Temporal, 4), c.engine_resources);
+        assert_eq!(
+            c.resources(MappingStrategy::Temporal, 4),
+            c.engine_resources
+        );
     }
 
     #[test]
@@ -159,36 +156,57 @@ mod tests {
         assert!(cands.contains(&MappingStrategy::Spatial));
         assert!(cands.contains(&MappingStrategy::Hybrid { engines: 2 }));
         assert!(cands.contains(&MappingStrategy::Hybrid { engines: 4 }));
-        assert_eq!(MappingStrategy::candidates(1), vec![MappingStrategy::Temporal]);
+        assert_eq!(
+            MappingStrategy::candidates(1),
+            vec![MappingStrategy::Temporal]
+        );
     }
 
     #[test]
     fn display_names() {
         assert_eq!(MappingStrategy::Spatial.to_string(), "spatial");
-        assert_eq!(MappingStrategy::Hybrid { engines: 3 }.to_string(), "hybrid(3)");
+        assert_eq!(
+            MappingStrategy::Hybrid { engines: 3 }.to_string(),
+            "hybrid(3)"
+        );
     }
 
-    proptest! {
-        #[test]
-        fn spatial_is_never_slower_and_never_smaller(passes in 1usize..16) {
-            let c = component();
+    // Exhaustive sweeps standing in for the original proptest properties
+    // (proptest is unavailable in the offline build environment).
+    #[test]
+    fn spatial_is_never_slower_and_never_smaller() {
+        let c = component();
+        for passes in 1usize..16 {
             let spatial = c.latency_cycles(MappingStrategy::Spatial, passes);
             let temporal = c.latency_cycles(MappingStrategy::Temporal, passes);
-            prop_assert!(spatial <= temporal);
+            assert!(spatial <= temporal, "passes={passes}");
             let rs = c.resources(MappingStrategy::Spatial, passes);
             let rt = c.resources(MappingStrategy::Temporal, passes);
-            prop_assert!(rt.fits_within(&rs));
+            assert!(rt.fits_within(&rs), "passes={passes}");
         }
+    }
 
-        #[test]
-        fn hybrid_interpolates(passes in 2usize..16, engines in 1usize..16) {
-            let c = component();
-            let hybrid = MappingStrategy::Hybrid { engines };
-            let latency = c.latency_cycles(hybrid, passes);
-            prop_assert!(latency >= c.latency_cycles(MappingStrategy::Spatial, passes));
-            prop_assert!(latency <= c.latency_cycles(MappingStrategy::Temporal, passes));
-            // runs * engines covers all passes
-            prop_assert!(hybrid.sequential_runs(passes) * hybrid.engines(passes) >= passes);
+    #[test]
+    fn hybrid_interpolates() {
+        let c = component();
+        for passes in 2usize..16 {
+            for engines in 1usize..16 {
+                let hybrid = MappingStrategy::Hybrid { engines };
+                let latency = c.latency_cycles(hybrid, passes);
+                assert!(
+                    latency >= c.latency_cycles(MappingStrategy::Spatial, passes),
+                    "passes={passes} engines={engines}"
+                );
+                assert!(
+                    latency <= c.latency_cycles(MappingStrategy::Temporal, passes),
+                    "passes={passes} engines={engines}"
+                );
+                // runs * engines covers all passes
+                assert!(
+                    hybrid.sequential_runs(passes) * hybrid.engines(passes) >= passes,
+                    "passes={passes} engines={engines}"
+                );
+            }
         }
     }
 }

@@ -55,7 +55,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(ModelError::InvalidSpec("x".into()).to_string().contains("x"));
+        assert!(ModelError::InvalidSpec("x".into())
+            .to_string()
+            .contains("x"));
         let e = ModelError::from(NnError::InvalidConfig("y".into()));
         assert!(e.to_string().contains("y"));
         assert!(e.source().is_some());

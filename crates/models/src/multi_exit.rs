@@ -86,11 +86,7 @@ impl MultiExitNetwork {
     /// # Errors
     ///
     /// Propagates layer errors.
-    pub fn forward_backbone(
-        &mut self,
-        input: &Tensor,
-        mode: Mode,
-    ) -> Result<Vec<Tensor>, NnError> {
+    pub fn forward_backbone(&mut self, input: &Tensor, mode: Mode) -> Result<Vec<Tensor>, NnError> {
         let mut activations = Vec::with_capacity(self.blocks.len());
         let mut current = input.clone();
         for block in &mut self.blocks {
@@ -236,19 +232,40 @@ mod tests {
             3,
             vec![
                 vec![
-                    LayerSpec::Conv2d { in_channels: 1, out_channels: 4, kernel: 3, stride: 1, padding: 1 },
+                    LayerSpec::Conv2d {
+                        in_channels: 1,
+                        out_channels: 4,
+                        kernel: 3,
+                        stride: 1,
+                        padding: 1,
+                    },
                     LayerSpec::Relu,
-                    LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+                    LayerSpec::MaxPool2d {
+                        kernel: 2,
+                        stride: 2,
+                    },
                 ],
                 vec![
-                    LayerSpec::Conv2d { in_channels: 4, out_channels: 8, kernel: 3, stride: 1, padding: 1 },
+                    LayerSpec::Conv2d {
+                        in_channels: 4,
+                        out_channels: 8,
+                        kernel: 3,
+                        stride: 1,
+                        padding: 1,
+                    },
                     LayerSpec::Relu,
-                    LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+                    LayerSpec::MaxPool2d {
+                        kernel: 2,
+                        stride: 2,
+                    },
                 ],
             ],
             vec![
                 LayerSpec::GlobalAvgPool2d,
-                LayerSpec::Dense { in_features: 8, out_features: 3 },
+                LayerSpec::Dense {
+                    in_features: 8,
+                    out_features: 3,
+                },
             ],
         )
         .with_exits_after_every_block()
@@ -279,7 +296,9 @@ mod tests {
         let x = Tensor::ones(&[1, 1, 8, 8]);
         let full = net.forward_exits(&x, Mode::Eval).unwrap();
         let acts = net.forward_backbone(&x, Mode::Eval).unwrap();
-        let cached = net.forward_exits_from_activations(&acts, Mode::Eval).unwrap();
+        let cached = net
+            .forward_exits_from_activations(&acts, Mode::Eval)
+            .unwrap();
         for (a, b) in full.iter().zip(&cached) {
             assert_eq!(a.as_slice(), b.as_slice());
         }
@@ -291,8 +310,12 @@ mod tests {
         let mut net = spec.build(3).unwrap();
         let x = Tensor::ones(&[1, 1, 8, 8]);
         let acts = net.forward_backbone(&x, Mode::Eval).unwrap();
-        let s1 = net.forward_exits_from_activations(&acts, Mode::McSample).unwrap();
-        let s2 = net.forward_exits_from_activations(&acts, Mode::McSample).unwrap();
+        let s1 = net
+            .forward_exits_from_activations(&acts, Mode::McSample)
+            .unwrap();
+        let s2 = net
+            .forward_exits_from_activations(&acts, Mode::McSample)
+            .unwrap();
         // same cached backbone, different dropout masks -> different logits
         assert_ne!(s1[0].as_slice(), s2[0].as_slice());
     }
@@ -332,8 +355,7 @@ mod tests {
             for y in 0..8 {
                 for x in 0..8 {
                     let bright = if class == 0 { y < 4 } else { y >= 4 };
-                    data[i * 64 + y * 8 + x] =
-                        if bright { 1.0 } else { 0.0 } + 0.1 * rng.normal();
+                    data[i * 64 + y * 8 + x] = if bright { 1.0 } else { 0.0 } + 0.1 * rng.normal();
                 }
             }
             labels.push(class);
@@ -348,19 +370,40 @@ mod tests {
             2,
             vec![
                 vec![
-                    LayerSpec::Conv2d { in_channels: 1, out_channels: 4, kernel: 3, stride: 1, padding: 1 },
+                    LayerSpec::Conv2d {
+                        in_channels: 1,
+                        out_channels: 4,
+                        kernel: 3,
+                        stride: 1,
+                        padding: 1,
+                    },
                     LayerSpec::Relu,
-                    LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+                    LayerSpec::MaxPool2d {
+                        kernel: 2,
+                        stride: 2,
+                    },
                 ],
                 vec![
-                    LayerSpec::Conv2d { in_channels: 4, out_channels: 8, kernel: 3, stride: 1, padding: 1 },
+                    LayerSpec::Conv2d {
+                        in_channels: 4,
+                        out_channels: 8,
+                        kernel: 3,
+                        stride: 1,
+                        padding: 1,
+                    },
                     LayerSpec::Relu,
-                    LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+                    LayerSpec::MaxPool2d {
+                        kernel: 2,
+                        stride: 2,
+                    },
                 ],
             ],
             vec![
                 LayerSpec::GlobalAvgPool2d,
-                LayerSpec::Dense { in_features: 8, out_features: 2 },
+                LayerSpec::Dense {
+                    in_features: 8,
+                    out_features: 2,
+                },
             ],
         )
         .with_exits_after_every_block()

@@ -54,7 +54,9 @@ impl Layer for ResidualBlock {
         let mask = self
             .relu_mask
             .as_ref()
-            .ok_or_else(|| NnError::MissingForwardCache { layer: "residual_block".into() })?;
+            .ok_or_else(|| NnError::MissingForwardCache {
+                layer: "residual_block".into(),
+            })?;
         let mut grad_sum = grad_output.clone();
         for (g, &keep) in grad_sum.as_mut_slice().iter_mut().zip(mask) {
             if !keep {
@@ -137,7 +139,10 @@ mod tests {
         let y = block.forward(&x, Mode::Train).unwrap();
         assert_eq!(y.dims(), x.dims());
         assert_eq!(
-            block.output_shape(&Shape::new(vec![2, 4, 8, 8])).unwrap().dims(),
+            block
+                .output_shape(&Shape::new(vec![2, 4, 8, 8]))
+                .unwrap()
+                .dims(),
             &[2, 4, 8, 8]
         );
     }
@@ -170,10 +175,7 @@ mod tests {
         let grad_in = block.backward(&Tensor::ones(&[1, 2, 4, 4])).unwrap();
         assert_eq!(grad_in.dims(), x.dims());
         // gradients accumulated on conv weights
-        let has_grad = block
-            .params()
-            .iter()
-            .any(|p| p.grad.norm() > 0.0);
+        let has_grad = block.params().iter().any(|p| p.grad.norm() > 0.0);
         assert!(has_grad);
         // identity skip: input gradient includes the pass-through term, so it is non-zero
         assert!(grad_in.norm() > 0.0);

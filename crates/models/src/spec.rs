@@ -144,8 +144,13 @@ impl LayerSpec {
                 let ow = (w + 2 * padding - kernel) / stride + 1;
                 Ok(Shape::new(vec![n, out_channels, oh, ow]))
             }
-            LayerSpec::Dense { in_features, out_features } => {
-                let (n, f) = input.as_matrix().map_err(|_| bad("rank-2 [batch, features]"))?;
+            LayerSpec::Dense {
+                in_features,
+                out_features,
+            } => {
+                let (n, f) = input
+                    .as_matrix()
+                    .map_err(|_| bad("rank-2 [batch, features]"))?;
                 if f != in_features {
                     return Err(bad(&format!("{in_features} input features")));
                 }
@@ -162,7 +167,9 @@ impl LayerSpec {
                 Ok(input.clone())
             }
             LayerSpec::Softmax => {
-                input.as_matrix().map_err(|_| bad("rank-2 [batch, classes]"))?;
+                input
+                    .as_matrix()
+                    .map_err(|_| bad("rank-2 [batch, classes]"))?;
                 Ok(input.clone())
             }
             LayerSpec::MaxPool2d { kernel, stride } | LayerSpec::AvgPool2d { kernel, stride } => {
@@ -186,7 +193,10 @@ impl LayerSpec {
                 let rest: usize = input.dims()[1..].iter().product();
                 Ok(Shape::new(vec![n, rest]))
             }
-            LayerSpec::Residual { ref main, ref shortcut } => {
+            LayerSpec::Residual {
+                ref main,
+                ref shortcut,
+            } => {
                 let main_out = propagate(main, input)?;
                 let short_out = if shortcut.is_empty() {
                     input.clone()
@@ -224,7 +234,10 @@ impl LayerSpec {
                 }
                 Err(_) => 0,
             },
-            LayerSpec::Dense { in_features, out_features } => {
+            LayerSpec::Dense {
+                in_features,
+                out_features,
+            } => {
                 let batch = input.dims().first().copied().unwrap_or(1) as u64;
                 batch * (2 * in_features as u64 * out_features as u64 + out_features as u64)
             }
@@ -247,7 +260,10 @@ impl LayerSpec {
             LayerSpec::GlobalAvgPool2d => input.len() as u64,
             LayerSpec::Flatten => 0,
             LayerSpec::Dropout { .. } | LayerSpec::McDropout { .. } => 3 * input.len() as u64,
-            LayerSpec::Residual { ref main, ref shortcut } => {
+            LayerSpec::Residual {
+                ref main,
+                ref shortcut,
+            } => {
                 let main_flops = flops_of(main, input);
                 let short_flops = flops_of(shortcut, input);
                 let out_len = self
@@ -269,9 +285,15 @@ impl LayerSpec {
                 kernel,
                 ..
             } => in_channels * out_channels * kernel * kernel + out_channels,
-            LayerSpec::Dense { in_features, out_features } => in_features * out_features + out_features,
+            LayerSpec::Dense {
+                in_features,
+                out_features,
+            } => in_features * out_features + out_features,
             LayerSpec::BatchNorm2d { channels } => 2 * channels,
-            LayerSpec::Residual { ref main, ref shortcut } => {
+            LayerSpec::Residual {
+                ref main,
+                ref shortcut,
+            } => {
                 main.iter().map(LayerSpec::param_count).sum::<usize>()
                     + shortcut.iter().map(LayerSpec::param_count).sum::<usize>()
             }
@@ -332,9 +354,10 @@ impl LayerSpec {
                 padding,
                 next_seed(seed),
             )?),
-            LayerSpec::Dense { in_features, out_features } => {
-                Box::new(Dense::new(in_features, out_features, next_seed(seed))?)
-            }
+            LayerSpec::Dense {
+                in_features,
+                out_features,
+            } => Box::new(Dense::new(in_features, out_features, next_seed(seed))?),
             LayerSpec::BatchNorm2d { channels } => Box::new(BatchNorm2d::new(channels)?),
             LayerSpec::Relu => Box::new(Relu::new()),
             LayerSpec::Softmax => Box::new(Softmax::new()),
@@ -344,7 +367,10 @@ impl LayerSpec {
             LayerSpec::Flatten => Box::new(Flatten::new()),
             LayerSpec::Dropout { rate } => Box::new(Dropout::new(rate, next_seed(seed))?),
             LayerSpec::McDropout { rate } => Box::new(McDropout::new(rate, next_seed(seed))?),
-            LayerSpec::Residual { ref main, ref shortcut } => {
+            LayerSpec::Residual {
+                ref main,
+                ref shortcut,
+            } => {
                 let mut main_seq = Sequential::new("residual_main");
                 for l in main {
                     main_seq.push_boxed(l.build(seed)?);
@@ -407,7 +433,10 @@ impl NetworkSpec {
             width,
             classes,
             blocks,
-            exits: vec![ExitSpec { after_block, layers: head }],
+            exits: vec![ExitSpec {
+                after_block,
+                layers: head,
+            }],
         }
     }
 
@@ -461,7 +490,9 @@ impl NetworkSpec {
     /// Returns [`ModelError::InvalidSpec`] describing the first inconsistency.
     pub fn validate(&self) -> Result<(), ModelError> {
         if self.blocks.is_empty() {
-            return Err(ModelError::InvalidSpec("network has no backbone blocks".into()));
+            return Err(ModelError::InvalidSpec(
+                "network has no backbone blocks".into(),
+            ));
         }
         if self.exits.is_empty() {
             return Err(ModelError::InvalidSpec("network has no exits".into()));
@@ -570,7 +601,10 @@ impl NetworkSpec {
                 break;
             }
             let layers = default_exit_branch(shape, self.classes)?;
-            exits.push(ExitSpec { after_block: i, layers });
+            exits.push(ExitSpec {
+                after_block: i,
+                layers,
+            });
         }
         exits.push(final_exit);
         self.exits = exits;
@@ -640,8 +674,7 @@ impl NetworkSpec {
         }
         // Insert after the last `count` weight layers, processing from the back
         // so earlier indices stay valid.
-        let selected: Vec<(usize, usize)> =
-            positions.iter().rev().take(count).copied().collect();
+        let selected: Vec<(usize, usize)> = positions.iter().rev().take(count).copied().collect();
         for (segment, index) in selected {
             if segment == exit_segment {
                 self.exits[final_exit_index]
@@ -682,7 +715,10 @@ pub fn default_exit_branch(attach: &Shape, classes: usize) -> Result<Vec<LayerSp
             let channels = attach.dim(1);
             Ok(vec![
                 LayerSpec::GlobalAvgPool2d,
-                LayerSpec::Dense { in_features: channels, out_features: classes },
+                LayerSpec::Dense {
+                    in_features: channels,
+                    out_features: classes,
+                },
             ])
         }
         2 => Ok(vec![LayerSpec::Dense {
@@ -709,19 +745,40 @@ mod tests {
             4,
             vec![
                 vec![
-                    LayerSpec::Conv2d { in_channels: 1, out_channels: 4, kernel: 3, stride: 1, padding: 1 },
+                    LayerSpec::Conv2d {
+                        in_channels: 1,
+                        out_channels: 4,
+                        kernel: 3,
+                        stride: 1,
+                        padding: 1,
+                    },
                     LayerSpec::Relu,
-                    LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+                    LayerSpec::MaxPool2d {
+                        kernel: 2,
+                        stride: 2,
+                    },
                 ],
                 vec![
-                    LayerSpec::Conv2d { in_channels: 4, out_channels: 8, kernel: 3, stride: 1, padding: 1 },
+                    LayerSpec::Conv2d {
+                        in_channels: 4,
+                        out_channels: 8,
+                        kernel: 3,
+                        stride: 1,
+                        padding: 1,
+                    },
                     LayerSpec::Relu,
-                    LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
+                    LayerSpec::MaxPool2d {
+                        kernel: 2,
+                        stride: 2,
+                    },
                 ],
             ],
             vec![
                 LayerSpec::GlobalAvgPool2d,
-                LayerSpec::Dense { in_features: 8, out_features: 4 },
+                LayerSpec::Dense {
+                    in_features: 8,
+                    out_features: 4,
+                },
             ],
         )
     }
@@ -739,14 +796,32 @@ mod tests {
     fn residual_spec_shapes() {
         let res = LayerSpec::Residual {
             main: vec![
-                LayerSpec::Conv2d { in_channels: 4, out_channels: 8, kernel: 3, stride: 2, padding: 1 },
+                LayerSpec::Conv2d {
+                    in_channels: 4,
+                    out_channels: 8,
+                    kernel: 3,
+                    stride: 2,
+                    padding: 1,
+                },
                 LayerSpec::BatchNorm2d { channels: 8 },
                 LayerSpec::Relu,
-                LayerSpec::Conv2d { in_channels: 8, out_channels: 8, kernel: 3, stride: 1, padding: 1 },
+                LayerSpec::Conv2d {
+                    in_channels: 8,
+                    out_channels: 8,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
                 LayerSpec::BatchNorm2d { channels: 8 },
             ],
             shortcut: vec![
-                LayerSpec::Conv2d { in_channels: 4, out_channels: 8, kernel: 1, stride: 2, padding: 0 },
+                LayerSpec::Conv2d {
+                    in_channels: 4,
+                    out_channels: 8,
+                    kernel: 1,
+                    stride: 2,
+                    padding: 0,
+                },
                 LayerSpec::BatchNorm2d { channels: 8 },
             ],
         };
@@ -759,7 +834,13 @@ mod tests {
     #[test]
     fn residual_mismatched_paths_rejected() {
         let res = LayerSpec::Residual {
-            main: vec![LayerSpec::Conv2d { in_channels: 4, out_channels: 8, kernel: 3, stride: 2, padding: 1 }],
+            main: vec![LayerSpec::Conv2d {
+                in_channels: 4,
+                out_channels: 8,
+                kernel: 3,
+                stride: 2,
+                padding: 1,
+            }],
             shortcut: vec![],
         };
         assert!(res.output_shape(&Shape::new(vec![1, 4, 8, 8])).is_err());
@@ -767,11 +848,20 @@ mod tests {
 
     #[test]
     fn spec_flops_match_runtime_layer_flops() {
-        let conv = LayerSpec::Conv2d { in_channels: 16, out_channels: 32, kernel: 3, stride: 1, padding: 1 };
+        let conv = LayerSpec::Conv2d {
+            in_channels: 16,
+            out_channels: 32,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let runtime = Conv2d::new(16, 32, 3, 1, 1, 0).unwrap();
         let shape = Shape::new(vec![1, 16, 8, 8]);
         assert_eq!(conv.flops(&shape), runtime.flops(&shape));
-        let dense = LayerSpec::Dense { in_features: 100, out_features: 10 };
+        let dense = LayerSpec::Dense {
+            in_features: 100,
+            out_features: 10,
+        };
         let runtime = Dense::new(100, 10, 0).unwrap();
         let shape = Shape::new(vec![1, 100]);
         assert_eq!(dense.flops(&shape), runtime.flops(&shape));
@@ -779,7 +869,13 @@ mod tests {
 
     #[test]
     fn param_counts() {
-        let conv = LayerSpec::Conv2d { in_channels: 3, out_channels: 8, kernel: 3, stride: 1, padding: 1 };
+        let conv = LayerSpec::Conv2d {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         assert_eq!(conv.param_count(), 3 * 8 * 9 + 8);
         let bn = LayerSpec::BatchNorm2d { channels: 16 };
         assert_eq!(bn.param_count(), 32);
@@ -868,17 +964,32 @@ mod tests {
     fn layer_build_produces_runtime_layers() {
         let mut seed = 0u64;
         let specs = vec![
-            LayerSpec::Conv2d { in_channels: 1, out_channels: 2, kernel: 3, stride: 1, padding: 1 },
+            LayerSpec::Conv2d {
+                in_channels: 1,
+                out_channels: 2,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
             LayerSpec::BatchNorm2d { channels: 2 },
             LayerSpec::Relu,
-            LayerSpec::MaxPool2d { kernel: 2, stride: 2 },
-            LayerSpec::AvgPool2d { kernel: 2, stride: 2 },
+            LayerSpec::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            },
+            LayerSpec::AvgPool2d {
+                kernel: 2,
+                stride: 2,
+            },
             LayerSpec::GlobalAvgPool2d,
             LayerSpec::Flatten,
             LayerSpec::Dropout { rate: 0.5 },
             LayerSpec::McDropout { rate: 0.5 },
             LayerSpec::Softmax,
-            LayerSpec::Dense { in_features: 4, out_features: 2 },
+            LayerSpec::Dense {
+                in_features: 4,
+                out_features: 2,
+            },
         ];
         for spec in &specs {
             let layer = spec.build(&mut seed).unwrap();

@@ -37,7 +37,10 @@ pub fn lenet5(config: &ModelConfig) -> NetworkSpec {
     let c2 = config.scale(16);
     let f1 = config.scale(120);
     let f2 = config.scale(84);
-    let mut spatial = Spatial { h: config.height, w: config.width };
+    let mut spatial = Spatial {
+        h: config.height,
+        w: config.width,
+    };
 
     // Block 0: conv(5x5, pad 2) + relu + pool
     let mut block0 = vec![
@@ -51,12 +54,19 @@ pub fn lenet5(config: &ModelConfig) -> NetworkSpec {
         LayerSpec::Relu,
     ];
     if spatial.can_halve() {
-        block0.push(LayerSpec::MaxPool2d { kernel: 2, stride: 2 });
+        block0.push(LayerSpec::MaxPool2d {
+            kernel: 2,
+            stride: 2,
+        });
         spatial.halve();
     }
 
     // Block 1: conv(5x5) + relu + pool; pad adapts to small inputs.
-    let pad2 = if spatial.h >= 5 && spatial.w >= 5 { 0 } else { 2 };
+    let pad2 = if spatial.h >= 5 && spatial.w >= 5 {
+        0
+    } else {
+        2
+    };
     let mut block1 = vec![
         LayerSpec::Conv2d {
             in_channels: c1,
@@ -70,18 +80,30 @@ pub fn lenet5(config: &ModelConfig) -> NetworkSpec {
     spatial.h = spatial.h + 2 * pad2 - 5 + 1;
     spatial.w = spatial.w + 2 * pad2 - 5 + 1;
     if spatial.can_halve() {
-        block1.push(LayerSpec::MaxPool2d { kernel: 2, stride: 2 });
+        block1.push(LayerSpec::MaxPool2d {
+            kernel: 2,
+            stride: 2,
+        });
         spatial.halve();
     }
 
     let flat = c2 * spatial.h * spatial.w;
     let head = vec![
         LayerSpec::Flatten,
-        LayerSpec::Dense { in_features: flat, out_features: f1 },
+        LayerSpec::Dense {
+            in_features: flat,
+            out_features: f1,
+        },
         LayerSpec::Relu,
-        LayerSpec::Dense { in_features: f1, out_features: f2 },
+        LayerSpec::Dense {
+            in_features: f1,
+            out_features: f2,
+        },
         LayerSpec::Relu,
-        LayerSpec::Dense { in_features: f2, out_features: config.classes },
+        LayerSpec::Dense {
+            in_features: f2,
+            out_features: config.classes,
+        },
     ];
 
     NetworkSpec::single_exit(
@@ -96,7 +118,10 @@ pub fn lenet5(config: &ModelConfig) -> NetworkSpec {
 }
 
 fn vgg_from_plan(name: &str, plan: &[&[usize]], config: &ModelConfig) -> NetworkSpec {
-    let mut spatial = Spatial { h: config.height, w: config.width };
+    let mut spatial = Spatial {
+        h: config.height,
+        w: config.width,
+    };
     let mut in_channels = config.in_channels;
     let mut blocks = Vec::with_capacity(plan.len());
     let mut last_channels = in_channels;
@@ -117,14 +142,20 @@ fn vgg_from_plan(name: &str, plan: &[&[usize]], config: &ModelConfig) -> Network
             last_channels = out;
         }
         if spatial.can_halve() {
-            block.push(LayerSpec::MaxPool2d { kernel: 2, stride: 2 });
+            block.push(LayerSpec::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            });
             spatial.halve();
         }
         blocks.push(block);
     }
     let head = vec![
         LayerSpec::GlobalAvgPool2d,
-        LayerSpec::Dense { in_features: last_channels, out_features: config.classes },
+        LayerSpec::Dense {
+            in_features: last_channels,
+            out_features: config.classes,
+        },
     ];
     NetworkSpec::single_exit(
         name,
@@ -171,7 +202,9 @@ fn basic_block(in_channels: usize, out_channels: usize, stride: usize) -> LayerS
                 stride,
                 padding: 0,
             },
-            LayerSpec::BatchNorm2d { channels: out_channels },
+            LayerSpec::BatchNorm2d {
+                channels: out_channels,
+            },
         ]
     } else {
         Vec::new()
@@ -185,7 +218,9 @@ fn basic_block(in_channels: usize, out_channels: usize, stride: usize) -> LayerS
                 stride,
                 padding: 1,
             },
-            LayerSpec::BatchNorm2d { channels: out_channels },
+            LayerSpec::BatchNorm2d {
+                channels: out_channels,
+            },
             LayerSpec::Relu,
             LayerSpec::Conv2d {
                 in_channels: out_channels,
@@ -194,7 +229,9 @@ fn basic_block(in_channels: usize, out_channels: usize, stride: usize) -> LayerS
                 stride: 1,
                 padding: 1,
             },
-            LayerSpec::BatchNorm2d { channels: out_channels },
+            LayerSpec::BatchNorm2d {
+                channels: out_channels,
+            },
         ],
         shortcut,
     }
@@ -209,7 +246,10 @@ pub fn resnet18(config: &ModelConfig) -> NetworkSpec {
         config.scale(256),
         config.scale(512),
     ];
-    let mut spatial = Spatial { h: config.height, w: config.width };
+    let mut spatial = Spatial {
+        h: config.height,
+        w: config.width,
+    };
     let mut blocks = Vec::with_capacity(4);
 
     // Block 0: stem + stage 1 (no down-sampling).
@@ -221,7 +261,9 @@ pub fn resnet18(config: &ModelConfig) -> NetworkSpec {
             stride: 1,
             padding: 1,
         },
-        LayerSpec::BatchNorm2d { channels: widths[0] },
+        LayerSpec::BatchNorm2d {
+            channels: widths[0],
+        },
         LayerSpec::Relu,
     ];
     block0.push(basic_block(widths[0], widths[0], 1));
@@ -245,7 +287,10 @@ pub fn resnet18(config: &ModelConfig) -> NetworkSpec {
 
     let head = vec![
         LayerSpec::GlobalAvgPool2d,
-        LayerSpec::Dense { in_features: widths[3], out_features: config.classes },
+        LayerSpec::Dense {
+            in_features: widths[3],
+            out_features: config.classes,
+        },
     ];
     NetworkSpec::single_exit(
         "resnet18",
@@ -325,7 +370,11 @@ mod tests {
 
     #[test]
     fn lenet5_handles_small_resolutions() {
-        let spec = lenet5(&ModelConfig::mnist().with_resolution(12, 12).with_width_divisor(2));
+        let spec = lenet5(
+            &ModelConfig::mnist()
+                .with_resolution(12, 12)
+                .with_width_divisor(2),
+        );
         spec.validate().unwrap();
     }
 
@@ -403,7 +452,11 @@ mod tests {
         let config = ModelConfig::cifar10()
             .with_resolution(16, 16)
             .with_width_divisor(16);
-        for arch in [Architecture::LeNet5, Architecture::ResNet18, Architecture::Vgg11] {
+        for arch in [
+            Architecture::LeNet5,
+            Architecture::ResNet18,
+            Architecture::Vgg11,
+        ] {
             let spec = arch.spec(&config).with_exits_after_every_block().unwrap();
             let mut net = spec.build(1).unwrap();
             let x = Tensor::ones(&[2, 3, 16, 16]);

@@ -37,8 +37,15 @@ impl fmt::Display for NnError {
             NnError::MissingForwardCache { layer } => {
                 write!(f, "backward called before forward on layer `{layer}`")
             }
-            NnError::BadInputShape { layer, got, expected } => {
-                write!(f, "layer `{layer}` got input shape {got:?}, expected {expected}")
+            NnError::BadInputShape {
+                layer,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "layer `{layer}` got input shape {got:?}, expected {expected}"
+                )
             }
             NnError::BadLabels(msg) => write!(f, "bad labels: {msg}"),
         }

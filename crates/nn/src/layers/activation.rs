@@ -48,7 +48,9 @@ impl Layer for Relu {
         let mask = self
             .mask
             .as_ref()
-            .ok_or_else(|| NnError::MissingForwardCache { layer: "relu".into() })?;
+            .ok_or_else(|| NnError::MissingForwardCache {
+                layer: "relu".into(),
+            })?;
         if mask.len() != grad_output.len() {
             return Err(NnError::BadInputShape {
                 layer: "relu".into(),
@@ -87,7 +89,9 @@ pub struct Softmax {
 impl Softmax {
     /// Creates a softmax layer.
     pub fn new() -> Self {
-        Softmax { cached_output: None }
+        Softmax {
+            cached_output: None,
+        }
     }
 }
 
@@ -106,7 +110,9 @@ impl Layer for Softmax {
         let y = self
             .cached_output
             .as_ref()
-            .ok_or_else(|| NnError::MissingForwardCache { layer: "softmax".into() })?;
+            .ok_or_else(|| NnError::MissingForwardCache {
+                layer: "softmax".into(),
+            })?;
         // dL/dx_i = y_i * (g_i - sum_j g_j y_j) per row.
         let (batch, classes) = y.shape().as_matrix()?;
         let yd = y.as_slice();
@@ -219,6 +225,9 @@ mod tests {
         assert_eq!(relu.flops(&s), 96);
         let sm = Softmax::new();
         assert!(sm.output_shape(&Shape::new(vec![2, 3, 4, 4])).is_err());
-        assert_eq!(sm.output_shape(&Shape::new(vec![2, 10])).unwrap().dims(), &[2, 10]);
+        assert_eq!(
+            sm.output_shape(&Shape::new(vec![2, 10])).unwrap().dims(),
+            &[2, 10]
+        );
     }
 }

@@ -37,7 +37,9 @@ impl BatchNorm2d {
     /// Returns [`NnError::InvalidConfig`] if `channels` is zero.
     pub fn new(channels: usize) -> Result<Self, NnError> {
         if channels == 0 {
-            return Err(NnError::InvalidConfig("batchnorm channels must be positive".into()));
+            return Err(NnError::InvalidConfig(
+                "batchnorm channels must be positive".into(),
+            ));
         }
         Ok(BatchNorm2d {
             channels,
@@ -85,13 +87,13 @@ impl Layer for BatchNorm2d {
         let (mean, var) = if mode.is_train() {
             let mut mean = vec![0.0f32; c];
             let mut var = vec![0.0f32; c];
-            for ch in 0..c {
+            for (ch, m) in mean.iter_mut().enumerate() {
                 let mut acc = 0.0f32;
                 for b in 0..n {
                     let start = (b * c + ch) * plane;
                     acc += data[start..start + plane].iter().sum::<f32>();
                 }
-                mean[ch] = acc / count;
+                *m = acc / count;
             }
             for ch in 0..c {
                 let mut acc = 0.0f32;
@@ -143,7 +145,9 @@ impl Layer for BatchNorm2d {
         let cache = self
             .cache
             .as_ref()
-            .ok_or_else(|| NnError::MissingForwardCache { layer: "batchnorm2d".into() })?;
+            .ok_or_else(|| NnError::MissingForwardCache {
+                layer: "batchnorm2d".into(),
+            })?;
         let (n, c, h, w) = self.check_input(&cache.input_dims)?;
         let plane = h * w;
         let count = (n * plane) as f32;
@@ -178,8 +182,8 @@ impl Layer for BatchNorm2d {
             for b in 0..n {
                 let start = (b * c + ch) * plane;
                 for p in 0..plane {
-                    out[start + p] = k
-                        * (count * g[start + p] - sum_dy - xhat[start + p] * sum_dy_xhat);
+                    out[start + p] =
+                        k * (count * g[start + p] - sum_dy - xhat[start + p] * sum_dy_xhat);
                 }
             }
         }
@@ -243,7 +247,11 @@ mod tests {
         // A constant eval input equal to the running mean maps close to beta (0).
         let x = Tensor::full(&[1, 1, 2, 2], 5.0);
         let y = bn.forward(&x, Mode::Eval).unwrap();
-        assert!(y.as_slice().iter().all(|v| v.abs() < 0.2), "{:?}", y.as_slice());
+        assert!(
+            y.as_slice().iter().all(|v| v.abs() < 0.2),
+            "{:?}",
+            y.as_slice()
+        );
     }
 
     #[test]
@@ -300,7 +308,9 @@ mod tests {
     #[test]
     fn rejects_wrong_channels() {
         let mut bn = BatchNorm2d::new(3).unwrap();
-        assert!(bn.forward(&Tensor::ones(&[1, 2, 4, 4]), Mode::Train).is_err());
+        assert!(bn
+            .forward(&Tensor::ones(&[1, 2, 4, 4]), Mode::Train)
+            .is_err());
         assert!(BatchNorm2d::new(0).is_err());
     }
 

@@ -136,21 +136,29 @@ impl Layer for Conv2d {
         let out_h = geom.out_h();
         let out_w = geom.out_w();
         let cols = im2col(input, &geom)?;
-        let w2d = self
-            .weight
-            .value
-            .reshape(&[self.out_channels, self.in_channels * self.kernel * self.kernel])?;
+        let w2d = self.weight.value.reshape(&[
+            self.out_channels,
+            self.in_channels * self.kernel * self.kernel,
+        ])?;
         let out2d = matmul(&w2d, &cols)?; // [out_c, batch*out_h*out_w]
-        // Reorder [out_c, b*oh*ow] -> [b, out_c, oh, ow] and add bias.
+
+        // Reorder [out_c, b*oh*ow] -> [b, out_c, oh, ow] and add bias. Rows of
+        // `plane` elements are contiguous in both layouts, so copy row slices
+        // (autovectorizes; no per-element bounds checks). Guard the empty case:
+        // chunks_exact panics on a zero chunk size.
         let mut out = vec![0.0f32; batch * self.out_channels * out_h * out_w];
         let o2 = out2d.as_slice();
         let bias = self.bias.value.as_slice();
         let plane = out_h * out_w;
-        for co in 0..self.out_channels {
-            for b in 0..batch {
-                for p in 0..plane {
-                    out[((b * self.out_channels + co) * plane) + p] =
-                        o2[co * (batch * plane) + b * plane + p] + bias[co];
+        if batch * plane > 0 {
+            for (co, src_chan) in o2.chunks_exact(batch * plane).enumerate() {
+                let bias_v = bias[co];
+                for (b, src_row) in src_chan.chunks_exact(plane).enumerate() {
+                    let start = (b * self.out_channels + co) * plane;
+                    let dst_row = &mut out[start..start + plane];
+                    for (d, s) in dst_row.iter_mut().zip(src_row) {
+                        *d = s + bias_v;
+                    }
                 }
             }
         }
@@ -163,26 +171,31 @@ impl Layer for Conv2d {
         let cols = self
             .cached_cols
             .as_ref()
-            .ok_or_else(|| NnError::MissingForwardCache { layer: "conv2d".into() })?;
-        let input_dims = self
-            .cached_input_dims
-            .clone()
-            .ok_or_else(|| NnError::MissingForwardCache { layer: "conv2d".into() })?;
+            .ok_or_else(|| NnError::MissingForwardCache {
+                layer: "conv2d".into(),
+            })?;
+        let input_dims =
+            self.cached_input_dims
+                .clone()
+                .ok_or_else(|| NnError::MissingForwardCache {
+                    layer: "conv2d".into(),
+                })?;
         let (batch, _c, in_h, in_w) = self.check_input(&input_dims)?;
         let geom = self.geometry(in_h, in_w);
         let out_h = geom.out_h();
         let out_w = geom.out_w();
         let plane = out_h * out_w;
 
-        // Reorder grad_output [b, out_c, oh, ow] -> g2d [out_c, b*oh*ow].
+        // Reorder grad_output [b, out_c, oh, ow] -> g2d [out_c, b*oh*ow] by
+        // copying contiguous rows of `plane` elements. Guard the empty case:
+        // chunks_exact panics on a zero chunk size.
         let g = grad_output.as_slice();
         let mut g2d = vec![0.0f32; self.out_channels * batch * plane];
-        for b in 0..batch {
-            for co in 0..self.out_channels {
-                for p in 0..plane {
-                    g2d[co * (batch * plane) + b * plane + p] =
-                        g[(b * self.out_channels + co) * plane + p];
-                }
+        if plane > 0 {
+            for (src_idx, src_row) in g.chunks_exact(plane).enumerate() {
+                let (b, co) = (src_idx / self.out_channels, src_idx % self.out_channels);
+                let start = co * (batch * plane) + b * plane;
+                g2d[start..start + plane].copy_from_slice(src_row);
             }
         }
         let g2d = Tensor::from_vec(g2d, &[self.out_channels, batch * plane])?;
@@ -201,15 +214,17 @@ impl Layer for Conv2d {
         let gd = g2d.as_slice();
         let db = self.bias.grad.as_mut_slice();
         for co in 0..self.out_channels {
-            let row_sum: f32 = gd[co * batch * plane..(co + 1) * batch * plane].iter().sum();
+            let row_sum: f32 = gd[co * batch * plane..(co + 1) * batch * plane]
+                .iter()
+                .sum();
             db[co] += row_sum;
         }
 
         // dcols = W2d^T * g2d, folded back to the input shape.
-        let w2d = self
-            .weight
-            .value
-            .reshape(&[self.out_channels, self.in_channels * self.kernel * self.kernel])?;
+        let w2d = self.weight.value.reshape(&[
+            self.out_channels,
+            self.in_channels * self.kernel * self.kernel,
+        ])?;
         let dcols = matmul(&transpose(&w2d)?, &g2d)?;
         let grad_input = col2im(&dcols, batch, self.in_channels, &geom)?;
         Ok(grad_input)
@@ -237,7 +252,12 @@ impl Layer for Conv2d {
             (n, c, h, w)
         };
         let geom = self.geometry(h, w);
-        Ok(Shape::new(vec![n, self.out_channels, geom.out_h(), geom.out_w()]))
+        Ok(Shape::new(vec![
+            n,
+            self.out_channels,
+            geom.out_h(),
+            geom.out_w(),
+        ]))
     }
 
     fn flops(&self, input: &Shape) -> u64 {
@@ -261,10 +281,14 @@ mod tests {
     #[test]
     fn forward_shape() {
         let mut conv = Conv2d::new(3, 8, 3, 1, 1, 0).unwrap();
-        let y = conv.forward(&Tensor::ones(&[2, 3, 16, 16]), Mode::Eval).unwrap();
+        let y = conv
+            .forward(&Tensor::ones(&[2, 3, 16, 16]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[2, 8, 16, 16]);
         let mut conv = Conv2d::new(3, 4, 5, 1, 0, 0).unwrap();
-        let y = conv.forward(&Tensor::ones(&[1, 3, 28, 28]), Mode::Eval).unwrap();
+        let y = conv
+            .forward(&Tensor::ones(&[1, 3, 28, 28]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[1, 4, 24, 24]);
     }
 
@@ -286,15 +310,29 @@ mod tests {
             *w = 0.0;
         }
         conv.bias.value = Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap();
-        let y = conv.forward(&Tensor::ones(&[1, 1, 2, 2]), Mode::Eval).unwrap();
+        let y = conv
+            .forward(&Tensor::ones(&[1, 1, 2, 2]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.get(&[0, 0, 1, 1]).unwrap(), 1.5);
         assert_eq!(y.get(&[0, 1, 0, 0]).unwrap(), -2.0);
     }
 
     #[test]
+    fn zero_batch_forward_is_empty() {
+        // Regression: the slice-based reorder must not panic on empty chunks.
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, 0).unwrap();
+        let y = conv
+            .forward(&Tensor::zeros(&[0, 3, 8, 8]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.dims(), &[0, 8, 8, 8]);
+    }
+
+    #[test]
     fn rejects_wrong_channel_count() {
         let mut conv = Conv2d::new(3, 4, 3, 1, 1, 0).unwrap();
-        assert!(conv.forward(&Tensor::ones(&[1, 2, 8, 8]), Mode::Eval).is_err());
+        assert!(conv
+            .forward(&Tensor::ones(&[1, 2, 8, 8]), Mode::Eval)
+            .is_err());
         assert!(Conv2d::new(0, 4, 3, 1, 1, 0).is_err());
         assert!(Conv2d::new(3, 4, 0, 1, 1, 0).is_err());
     }
@@ -362,7 +400,9 @@ mod tests {
         let mut conv = Conv2d::new(3, 6, 3, 2, 1, 0).unwrap();
         let shape = Shape::new(vec![2, 3, 32, 32]);
         let predicted = conv.output_shape(&shape).unwrap();
-        let actual = conv.forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval).unwrap();
+        let actual = conv
+            .forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval)
+            .unwrap();
         assert_eq!(predicted.dims(), actual.dims());
     }
 

@@ -117,7 +117,9 @@ impl Layer for Dense {
         let input = self
             .cached_input
             .as_ref()
-            .ok_or_else(|| NnError::MissingForwardCache { layer: "dense".into() })?;
+            .ok_or_else(|| NnError::MissingForwardCache {
+                layer: "dense".into(),
+            })?;
         // dW = x^T g
         let grad_w = matmul(&transpose(input)?, grad_output)?;
         self.weight.grad.add_scaled_inplace(&grad_w, 1.0)?;

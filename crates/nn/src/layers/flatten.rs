@@ -54,7 +54,9 @@ impl Layer for Flatten {
         let dims = self
             .input_dims
             .clone()
-            .ok_or_else(|| NnError::MissingForwardCache { layer: "flatten".into() })?;
+            .ok_or_else(|| NnError::MissingForwardCache {
+                layer: "flatten".into(),
+            })?;
         grad_output.reshape(&dims).map_err(NnError::from)
     }
 

@@ -6,11 +6,13 @@ use bnn_tensor::linalg::ConvGeometry;
 use bnn_tensor::{Shape, Tensor};
 
 fn check_nchw(name: &str, dims: &[usize]) -> Result<(usize, usize, usize, usize), NnError> {
-    Shape::from(dims).as_nchw().map_err(|_| NnError::BadInputShape {
-        layer: name.into(),
-        got: dims.to_vec(),
-        expected: "[batch, channels, h, w]".into(),
-    })
+    Shape::from(dims)
+        .as_nchw()
+        .map_err(|_| NnError::BadInputShape {
+            layer: name.into(),
+            got: dims.to_vec(),
+            expected: "[batch, channels, h, w]".into(),
+        })
 }
 
 /// 2-D max pooling with a square window.
@@ -45,7 +47,9 @@ impl MaxPool2d {
     /// Returns [`NnError::InvalidConfig`] if kernel or stride is zero.
     pub fn new(kernel: usize, stride: usize) -> Result<Self, NnError> {
         if kernel == 0 || stride == 0 {
-            return Err(NnError::InvalidConfig("pooling kernel/stride must be positive".into()));
+            return Err(NnError::InvalidConfig(
+                "pooling kernel/stride must be positive".into(),
+            ));
         }
         Ok(MaxPool2d {
             kernel,
@@ -107,11 +111,15 @@ impl Layer for MaxPool2d {
         let argmax = self
             .argmax
             .as_ref()
-            .ok_or_else(|| NnError::MissingForwardCache { layer: "max_pool2d".into() })?;
+            .ok_or_else(|| NnError::MissingForwardCache {
+                layer: "max_pool2d".into(),
+            })?;
         let dims = self
             .input_dims
             .clone()
-            .ok_or_else(|| NnError::MissingForwardCache { layer: "max_pool2d".into() })?;
+            .ok_or_else(|| NnError::MissingForwardCache {
+                layer: "max_pool2d".into(),
+            })?;
         let mut grad = Tensor::zeros(&dims);
         let gslice = grad.as_mut_slice();
         for (g, &off) in grad_output.as_slice().iter().zip(argmax) {
@@ -130,8 +138,7 @@ impl Layer for MaxPool2d {
         match check_nchw("max_pool2d", input.dims()) {
             Ok((n, c, h, w)) => {
                 let geom = self.geometry(h, w);
-                (n * c * geom.out_h() * geom.out_w()) as u64
-                    * (self.kernel * self.kernel) as u64
+                (n * c * geom.out_h() * geom.out_w()) as u64 * (self.kernel * self.kernel) as u64
             }
             Err(_) => 0,
         }
@@ -154,7 +161,9 @@ impl AvgPool2d {
     /// Returns [`NnError::InvalidConfig`] if kernel or stride is zero.
     pub fn new(kernel: usize, stride: usize) -> Result<Self, NnError> {
         if kernel == 0 || stride == 0 {
-            return Err(NnError::InvalidConfig("pooling kernel/stride must be positive".into()));
+            return Err(NnError::InvalidConfig(
+                "pooling kernel/stride must be positive".into(),
+            ));
         }
         Ok(AvgPool2d {
             kernel,
@@ -207,7 +216,9 @@ impl Layer for AvgPool2d {
         let dims = self
             .input_dims
             .clone()
-            .ok_or_else(|| NnError::MissingForwardCache { layer: "avg_pool2d".into() })?;
+            .ok_or_else(|| NnError::MissingForwardCache {
+                layer: "avg_pool2d".into(),
+            })?;
         let (n, c, h, w) = check_nchw("avg_pool2d", &dims)?;
         let geom = self.geometry(h, w);
         let (oh, ow) = (geom.out_h(), geom.out_w());
@@ -246,8 +257,7 @@ impl Layer for AvgPool2d {
         match check_nchw("avg_pool2d", input.dims()) {
             Ok((n, c, h, w)) => {
                 let geom = self.geometry(h, w);
-                (n * c * geom.out_h() * geom.out_w()) as u64
-                    * (self.kernel * self.kernel) as u64
+                (n * c * geom.out_h() * geom.out_w()) as u64 * (self.kernel * self.kernel) as u64
             }
             Err(_) => 0,
         }
@@ -294,7 +304,9 @@ impl Layer for GlobalAvgPool2d {
         let dims = self
             .input_dims
             .clone()
-            .ok_or_else(|| NnError::MissingForwardCache { layer: "global_avg_pool2d".into() })?;
+            .ok_or_else(|| NnError::MissingForwardCache {
+                layer: "global_avg_pool2d".into(),
+            })?;
         let (n, c, h, w) = check_nchw("global_avg_pool2d", &dims)?;
         let norm = 1.0 / (h * w) as f32;
         let g = grad_output.as_slice();
@@ -330,7 +342,10 @@ mod tests {
     fn max_pool_takes_maximum() {
         let mut pool = MaxPool2d::new(2, 2).unwrap();
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -343,7 +358,10 @@ mod tests {
     fn max_pool_backward_routes_to_argmax() {
         let mut pool = MaxPool2d::new(2, 2).unwrap();
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -404,12 +422,16 @@ mod tests {
     fn output_shapes() {
         let pool = MaxPool2d::new(2, 2).unwrap();
         assert_eq!(
-            pool.output_shape(&Shape::new(vec![2, 8, 32, 32])).unwrap().dims(),
+            pool.output_shape(&Shape::new(vec![2, 8, 32, 32]))
+                .unwrap()
+                .dims(),
             &[2, 8, 16, 16]
         );
         let gap = GlobalAvgPool2d::new();
         assert_eq!(
-            gap.output_shape(&Shape::new(vec![2, 8, 4, 4])).unwrap().dims(),
+            gap.output_shape(&Shape::new(vec![2, 8, 4, 4]))
+                .unwrap()
+                .dims(),
             &[2, 8]
         );
         assert!(gap.output_shape(&Shape::new(vec![2, 8])).is_err());

@@ -63,9 +63,9 @@ pub trait Network: std::fmt::Debug {
     /// Propagates any error from [`Network::forward_exits`].
     fn forward_final(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
         let mut exits = self.forward_exits(input, mode)?;
-        exits.pop().ok_or_else(|| {
-            NnError::InvalidConfig("network produced no exits".into())
-        })
+        exits
+            .pop()
+            .ok_or_else(|| NnError::InvalidConfig("network produced no exits".into()))
     }
 }
 
@@ -79,7 +79,9 @@ mod tests {
     fn forward_final_returns_last_exit() {
         let mut net = Sequential::new("t");
         net.push(Dense::new(3, 2, 0).unwrap());
-        let out = net.forward_final(&Tensor::ones(&[1, 3]), Mode::Eval).unwrap();
+        let out = net
+            .forward_final(&Tensor::ones(&[1, 3]), Mode::Eval)
+            .unwrap();
         assert_eq!(out.dims(), &[1, 2]);
     }
 }

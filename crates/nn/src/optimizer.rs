@@ -33,10 +33,13 @@ impl LrSchedule {
         match *self {
             LrSchedule::Constant => base_lr,
             LrSchedule::StepDecay { step_epochs, gamma } => {
-                let steps = if step_epochs == 0 { 0 } else { epoch / step_epochs };
+                let steps = epoch.checked_div(step_epochs).unwrap_or(0);
                 base_lr * gamma.powi(steps as i32)
             }
-            LrSchedule::Cosine { total_epochs, min_lr } => {
+            LrSchedule::Cosine {
+                total_epochs,
+                min_lr,
+            } => {
                 if total_epochs == 0 {
                     return base_lr;
                 }
@@ -136,7 +139,11 @@ impl Sgd {
             let decay = if param.decay { self.weight_decay } else { 0.0 };
             let values = param.value.as_mut_slice();
             let grads = param.grad.as_mut_slice();
-            for ((v, g), vel) in values.iter_mut().zip(grads.iter_mut()).zip(velocity.iter_mut()) {
+            for ((v, g), vel) in values
+                .iter_mut()
+                .zip(grads.iter_mut())
+                .zip(velocity.iter_mut())
+            {
                 let total_grad = *g + decay * *v;
                 *vel = self.momentum * *vel + total_grad;
                 *v -= self.lr * *vel;
@@ -207,7 +214,10 @@ mod tests {
 
     #[test]
     fn step_decay_schedule() {
-        let s = LrSchedule::StepDecay { step_epochs: 10, gamma: 0.1 };
+        let s = LrSchedule::StepDecay {
+            step_epochs: 10,
+            gamma: 0.1,
+        };
         assert!((s.lr_at(0.1, 0) - 0.1).abs() < 1e-7);
         assert!((s.lr_at(0.1, 9) - 0.1).abs() < 1e-7);
         assert!((s.lr_at(0.1, 10) - 0.01).abs() < 1e-7);
@@ -216,7 +226,10 @@ mod tests {
 
     #[test]
     fn cosine_schedule_endpoints() {
-        let s = LrSchedule::Cosine { total_epochs: 100, min_lr: 0.001 };
+        let s = LrSchedule::Cosine {
+            total_epochs: 100,
+            min_lr: 0.001,
+        };
         assert!((s.lr_at(0.1, 0) - 0.1).abs() < 1e-6);
         assert!((s.lr_at(0.1, 100) - 0.001).abs() < 1e-6);
         let mid = s.lr_at(0.1, 50);
@@ -225,7 +238,10 @@ mod tests {
 
     #[test]
     fn set_epoch_updates_lr() {
-        let mut sgd = Sgd::new(0.1).with_schedule(LrSchedule::StepDecay { step_epochs: 5, gamma: 0.5 });
+        let mut sgd = Sgd::new(0.1).with_schedule(LrSchedule::StepDecay {
+            step_epochs: 5,
+            gamma: 0.5,
+        });
         sgd.set_epoch(0);
         assert!((sgd.lr() - 0.1).abs() < 1e-7);
         sgd.set_epoch(5);

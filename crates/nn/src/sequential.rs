@@ -252,10 +252,14 @@ mod tests {
     #[test]
     fn forward_shapes_through_cnn() {
         let mut net = small_cnn();
-        let y = net.forward(&Tensor::ones(&[2, 1, 8, 8]), Mode::Eval).unwrap();
+        let y = net
+            .forward(&Tensor::ones(&[2, 1, 8, 8]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[2, 3]);
         assert_eq!(
-            net.output_shape(&Shape::new(vec![2, 1, 8, 8])).unwrap().dims(),
+            net.output_shape(&Shape::new(vec![2, 1, 8, 8]))
+                .unwrap()
+                .dims(),
             &[2, 3]
         );
     }
@@ -331,7 +335,9 @@ mod tests {
     #[test]
     fn network_trait_single_exit() {
         let mut net = small_cnn();
-        let exits = net.forward_exits(&Tensor::ones(&[1, 1, 8, 8]), Mode::Eval).unwrap();
+        let exits = net
+            .forward_exits(&Tensor::ones(&[1, 1, 8, 8]), Mode::Eval)
+            .unwrap();
         assert_eq!(exits.len(), 1);
         assert_eq!(Network::num_exits(&net), 1);
         assert_eq!(Network::num_classes(&net), 3);
@@ -342,6 +348,8 @@ mod tests {
     #[test]
     fn num_params_counts_everything() {
         let net = small_cnn();
+        // conv: in*out*k*k + bias, dense: in*out + bias
+        #[allow(clippy::identity_op)]
         let expected = (1 * 4 * 9 + 4) + (4 * 4 * 4 * 3 + 3);
         assert_eq!(net.num_params(), expected);
     }

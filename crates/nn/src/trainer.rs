@@ -198,11 +198,7 @@ pub fn train(
             // accuracy of the final exit
             let final_logits = exits.last().expect("at least one exit");
             let preds = bnn_tensor::ops::argmax_rows(final_logits)?;
-            correct += preds
-                .iter()
-                .zip(&labels)
-                .filter(|(p, l)| p == l)
-                .count();
+            correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
 
             network.zero_grad();
             network.backward_exits(&grads)?;
@@ -328,7 +324,11 @@ mod tests {
             let mut sgd = Sgd::new(0.05);
             let mut cfg = config.clone();
             cfg.seed = seed;
-            train(&mut net, &data, &mut sgd, &cfg).unwrap().last().unwrap().loss
+            train(&mut net, &data, &mut sgd, &cfg)
+                .unwrap()
+                .last()
+                .unwrap()
+                .loss
         };
         assert_eq!(run(7), run(7));
     }

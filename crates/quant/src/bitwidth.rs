@@ -45,7 +45,10 @@ impl BitwidthSearch {
         }
         let mut candidates = candidates;
         candidates.sort_by_key(FixedPointFormat::total_bits);
-        Ok(BitwidthSearch { candidates, tolerance })
+        Ok(BitwidthSearch {
+            candidates,
+            tolerance,
+        })
     }
 
     /// The paper's search space (`{4, 6, 8, 16}` bits) with the given tolerance.
@@ -75,7 +78,11 @@ impl BitwidthSearch {
         for &format in &self.candidates {
             let quality = evaluate(format);
             let accepted = quality + self.tolerance >= baseline_quality;
-            results.push(CandidateResult { format, quality, accepted });
+            results.push(CandidateResult {
+                format,
+                quality,
+                accepted,
+            });
             if accepted && selected.is_none() {
                 selected = Some(format);
             }

@@ -29,7 +29,11 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(QuantError::InvalidFormat("w".into()).to_string().contains("w"));
-        assert!(QuantError::InvalidSearch("s".into()).to_string().contains("s"));
+        assert!(QuantError::InvalidFormat("w".into())
+            .to_string()
+            .contains("w"));
+        assert!(QuantError::InvalidSearch("s".into())
+            .to_string()
+            .contains("s"));
     }
 }

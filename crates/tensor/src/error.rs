@@ -55,8 +55,15 @@ impl fmt::Display for TensorError {
             TensorError::IndexOutOfBounds { index, shape } => {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
             }
-            TensorError::RankMismatch { actual, expected, op } => {
-                write!(f, "rank mismatch in `{op}`: expected rank {expected}, got {actual}")
+            TensorError::RankMismatch {
+                actual,
+                expected,
+                op,
+            } => {
+                write!(
+                    f,
+                    "rank mismatch in `{op}`: expected rank {expected}, got {actual}"
+                )
             }
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -90,9 +97,19 @@ mod tests {
     #[test]
     fn display_other_variants_nonempty() {
         let errs = [
-            TensorError::ElementCountMismatch { elements: 3, expected: 4 },
-            TensorError::IndexOutOfBounds { index: vec![9], shape: vec![2] },
-            TensorError::RankMismatch { actual: 1, expected: 4, op: "conv2d" },
+            TensorError::ElementCountMismatch {
+                elements: 3,
+                expected: 4,
+            },
+            TensorError::IndexOutOfBounds {
+                index: vec![9],
+                shape: vec![2],
+            },
+            TensorError::RankMismatch {
+                actual: 1,
+                expected: 4,
+                op: "conv2d",
+            },
             TensorError::InvalidArgument("bad".into()),
         ];
         for e in errs {

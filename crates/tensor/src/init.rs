@@ -27,7 +27,13 @@ impl Init {
     ///
     /// `fan_in` and `fan_out` are the effective fan counts of the layer the
     /// tensor parameterises (for a conv layer, `fan_in = in_c * kh * kw`).
-    pub fn create<R: Rng>(self, dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    pub fn create<R: Rng>(
+        self,
+        dims: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut R,
+    ) -> Tensor {
         let fan_in = fan_in.max(1) as f32;
         let fan_out = fan_out.max(1) as f32;
         match self {

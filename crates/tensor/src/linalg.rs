@@ -152,8 +152,7 @@ pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError
                                 && (ih as usize) < in_h
                                 && (iw as usize) < in_w
                             {
-                                data[((b * channels + c) * in_h + ih as usize) * in_w
-                                    + iw as usize]
+                                data[((b * channels + c) * in_h + ih as usize) * in_w + iw as usize]
                             } else {
                                 0.0
                             };
@@ -232,11 +231,8 @@ mod tests {
     #[test]
     fn matmul_identity() {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
-        let eye = Tensor::from_vec(
-            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
-            &[3, 3],
-        )
-        .unwrap();
+        let eye =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]).unwrap();
         let c = matmul(&a, &eye).unwrap();
         assert_eq!(c.as_slice(), a.as_slice());
     }
@@ -288,8 +284,7 @@ mod tests {
     #[test]
     fn im2col_known_patch() {
         // 2x2 input, 2x2 kernel -> a single column listing the whole image.
-        let input =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
         let geom = ConvGeometry::square(2, 2, 2, 1, 0);
         let cols = im2col(&input, &geom).unwrap();
         assert_eq!(cols.dims(), &[4, 1]);
@@ -337,10 +332,9 @@ mod tests {
                                     let iw = (ow + kw) as isize - 1;
                                     if ih >= 0 && iw >= 0 && (ih as usize) < h && (iw as usize) < w
                                     {
-                                        acc += input
-                                            .get(&[bi, ci, ih as usize, iw as usize])
-                                            .unwrap()
-                                            * weight.get(&[co, ci, kh, kw]).unwrap();
+                                        acc +=
+                                            input.get(&[bi, ci, ih as usize, iw as usize]).unwrap()
+                                                * weight.get(&[co, ci, kh, kw]).unwrap();
                                     }
                                 }
                             }

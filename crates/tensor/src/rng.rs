@@ -173,7 +173,7 @@ impl Default for Xoshiro256StarStar {
 #[cfg(test)]
 mod tests {
     use super::{Rng, SplitMix64, Xoshiro256StarStar};
-    use proptest::prelude::{any, proptest, prop_assert};
+    use proptest::prelude::{any, prop_assert, proptest};
 
     #[test]
     fn splitmix_deterministic() {

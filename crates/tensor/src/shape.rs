@@ -78,9 +78,7 @@ impl Shape {
     /// Returns [`TensorError::IndexOutOfBounds`] if the index rank differs from
     /// the shape rank or any component is out of range.
     pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
-        if index.len() != self.dims.len()
-            || index.iter().zip(&self.dims).any(|(i, d)| i >= d)
-        {
+        if index.len() != self.dims.len() || index.iter().zip(&self.dims).any(|(i, d)| i >= d) {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
                 shape: self.dims.clone(),

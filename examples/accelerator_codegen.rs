@@ -17,7 +17,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = FrameworkConfig::quick_demo(Architecture::LeNet5)
         .with_priority(OptPriority::Energy)
         .with_constraints(UserConstraints::none().with_max_power_w(10.0));
-    println!("running the 4-phase transformation framework (this trains several small models)...\n");
+    println!(
+        "running the 4-phase transformation framework (this trains several small models)...\n"
+    );
 
     let framework = TransformationFramework::new(config)?;
     let outcome = framework.run()?;

@@ -18,8 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec.num_exits(),
         spec.mcd_layer_count()
     );
-    println!("{:>10} {:>6} {:>8} {:>10} {:>8} {:>8} {:>10} {:>6}",
-        "mapping", "bits", "reuse", "latency_ms", "lut_k", "dsp", "energy_mJ", "fits");
+    println!(
+        "{:>10} {:>6} {:>8} {:>10} {:>8} {:>8} {:>10} {:>6}",
+        "mapping", "bits", "reuse", "latency_ms", "lut_k", "dsp", "energy_mJ", "fits"
+    );
 
     let mut best: Option<(f64, String)> = None;
     for mapping in [
@@ -57,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     if let Some((energy, label)) = best {
-        println!("\nmost energy-efficient feasible point: {label} at {:.3} mJ/image", energy * 1e3);
+        println!(
+            "\nmost energy-efficient feasible point: {label} at {:.3} mJ/image",
+            energy * 1e3
+        );
     }
     Ok(())
 }

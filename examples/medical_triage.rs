@@ -20,13 +20,11 @@ use bayesnn_fpga::tensor::Tensor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A synthetic "diagnostic imaging" task: 4 findings, noisy acquisitions.
-    let data = SyntheticConfig::new(
-        DatasetSpec::new("synthetic-histology", 3, 16, 16, 4),
-    )
-    .with_samples(480, 240)
-    .with_noise(0.55)
-    .with_label_noise(0.06)
-    .generate(11)?;
+    let data = SyntheticConfig::new(DatasetSpec::new("synthetic-histology", 3, 16, 16, 4))
+        .with_samples(480, 240)
+        .with_noise(0.55)
+        .with_label_noise(0.06)
+        .generate(11)?;
 
     let config = ModelConfig::new(3, 16, 16, 4).with_width_divisor(8);
     let spec = zoo::resnet18(&config)
@@ -34,7 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_exit_mcd(0.25)?;
     let mut network = spec.build(3)?;
 
-    let batches = LabelledBatchSource::new(data.train.inputs().clone(), data.train.labels().to_vec())?;
+    let batches =
+        LabelledBatchSource::new(data.train.inputs().clone(), data.train.labels().to_vec())?;
     let mut sgd = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(5e-4);
     let cfg = TrainConfig {
         epochs: 8,

@@ -33,10 +33,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_exit_mcd(0.25)?;
     let mut bayes = bayes_spec.build(2)?;
 
-    let batches = LabelledBatchSource::new(data.train.inputs().clone(), data.train.labels().to_vec())?;
-    let cfg = TrainConfig { epochs: 8, batch_size: 32, distillation_weight: 0.5, ..TrainConfig::default() };
+    let batches =
+        LabelledBatchSource::new(data.train.inputs().clone(), data.train.labels().to_vec())?;
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        distillation_weight: 0.5,
+        ..TrainConfig::default()
+    };
     let mut sgd1 = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(5e-4);
-    train(&mut se, &batches, &mut sgd1, &TrainConfig { distillation_weight: 0.0, ..cfg.clone() })?;
+    train(
+        &mut se,
+        &batches,
+        &mut sgd1,
+        &TrainConfig {
+            distillation_weight: 0.0,
+            ..cfg.clone()
+        },
+    )?;
     let mut sgd2 = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(5e-4);
     train(&mut bayes, &batches, &mut sgd2, &cfg)?;
 
@@ -61,8 +75,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         println!(
             "    {severity}    | {:.3}   {:.3}   {:.3}      | {:.3}        {:.3}        {:.3}",
-            se_eval.accuracy, se_eval.ece, se_entropy,
-            bayes_eval.accuracy, bayes_eval.ece, bayes_entropy,
+            se_eval.accuracy,
+            se_eval.ece,
+            se_entropy,
+            bayes_eval.accuracy,
+            bayes_eval.ece,
+            bayes_entropy,
         );
     }
     println!("\nExpected shape: both accuracies fall with severity, but the MCD+ME model's");

@@ -28,7 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Transform LeNet-5 into a multi-exit MCD BayesNN: an exit after every
     //    pooling-separated block, an MCD layer at every exit.
-    let config = ModelConfig::mnist().with_resolution(14, 14).with_width_divisor(2);
+    let config = ModelConfig::mnist()
+        .with_resolution(14, 14)
+        .with_width_divisor(2);
     let spec = zoo::lenet5(&config)
         .with_exits_after_every_block()?
         .with_exit_mcd(0.25)?;
@@ -43,7 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut network = spec.build(7)?;
 
     // 3. Train with the paper's recipe (SGD + momentum + exit distillation).
-    let batches = LabelledBatchSource::new(data.train.inputs().clone(), data.train.labels().to_vec())?;
+    let batches =
+        LabelledBatchSource::new(data.train.inputs().clone(), data.train.labels().to_vec())?;
     let mut sgd = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(5e-4);
     let train_cfg = TrainConfig {
         epochs: 8,
@@ -54,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let history = train(&mut network, &batches, &mut sgd, &train_cfg)?;
     if let Some(last) = history.last() {
-        println!("training: final loss {:.3}, train accuracy {:.3}", last.loss, last.accuracy);
+        println!(
+            "training: final loss {:.3}, train accuracy {:.3}",
+            last.loss, last.accuracy
+        );
     }
 
     // 4. Bayesian inference: 8 MC samples obtained by re-running only the exit

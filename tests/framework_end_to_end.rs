@@ -15,7 +15,9 @@ fn small_config() -> FrameworkConfig {
         .with_width_divisor(8)
         .with_classes(4);
     config.phase1.dataset = SyntheticConfig::new(
-        DatasetSpec::mnist_like().with_resolution(10, 10).with_classes(4),
+        DatasetSpec::mnist_like()
+            .with_resolution(10, 10)
+            .with_classes(4),
     )
     .with_samples(96, 64);
     config.phase1.train.epochs = 3;
@@ -48,7 +50,9 @@ fn framework_produces_feasible_design_and_project() {
     assert!(report.power.total_w() > report.power.static_w);
     assert!(report.energy_per_image_j > 0.0);
     let project = &outcome.phase4.project;
-    assert!(project.file("firmware/nnet_utils/nnet_mc_dropout.h").is_some());
+    assert!(project
+        .file("firmware/nnet_utils/nnet_mc_dropout.h")
+        .is_some());
     assert!(project.file("build_prj.tcl").is_some());
 
     // The summary is printable and mentions the selected variant.
@@ -58,9 +62,14 @@ fn framework_produces_feasible_design_and_project() {
 
 #[test]
 fn infeasible_constraints_surface_as_errors() {
-    let config = small_config()
-        .with_constraints(UserConstraints::none().with_max_latency_ms(1e-9));
-    let err = TransformationFramework::new(config).unwrap().run().unwrap_err();
+    let config = small_config().with_constraints(UserConstraints::none().with_max_latency_ms(1e-9));
+    let err = TransformationFramework::new(config)
+        .unwrap()
+        .run()
+        .unwrap_err();
     let text = err.to_string();
-    assert!(text.contains("no design satisfies the constraints"), "{text}");
+    assert!(
+        text.contains("no design satisfies the constraints"),
+        "{text}"
+    );
 }

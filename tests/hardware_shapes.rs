@@ -15,17 +15,32 @@ fn base_config() -> AcceleratorConfig {
 #[test]
 fn fig5_left_shape_logic_up_bram_flat_across_models() {
     for (config, arch) in [
-        (ModelConfig::mnist().with_width_divisor(2), zoo::Architecture::LeNet5),
-        (ModelConfig::cifar10().with_width_divisor(8), zoo::Architecture::ResNet18),
-        (ModelConfig::svhn().with_width_divisor(8), zoo::Architecture::Vgg11),
+        (
+            ModelConfig::mnist().with_width_divisor(2),
+            zoo::Architecture::LeNet5,
+        ),
+        (
+            ModelConfig::cifar10().with_width_divisor(8),
+            zoo::Architecture::ResNet18,
+        ),
+        (
+            ModelConfig::svhn().with_width_divisor(8),
+            zoo::Architecture::Vgg11,
+        ),
     ] {
         let base = arch.spec(&config);
         let mut last_lut = 0;
         let mut first_bram = None;
         for n in 1..=4usize {
             let spec = base.clone().with_mcd_layers(n, 0.25).unwrap();
-            let report = AcceleratorModel::new(spec, base_config()).unwrap().estimate().unwrap();
-            assert!(report.total_resources.lut >= last_lut, "{arch}: LUT not monotone");
+            let report = AcceleratorModel::new(spec, base_config())
+                .unwrap()
+                .estimate()
+                .unwrap();
+            assert!(
+                report.total_resources.lut >= last_lut,
+                "{arch}: LUT not monotone"
+            );
             last_lut = report.total_resources.lut;
             match first_bram {
                 None => first_bram = Some(report.total_resources.bram_36k),
@@ -60,7 +75,9 @@ fn fig5_right_shape_spatial_flat_unoptimized_linear() {
 
 #[test]
 fn table2_shape_fpga_design_is_most_energy_efficient() {
-    let spec = zoo::lenet5(&ModelConfig::mnist()).with_mcd_layers(1, 0.25).unwrap();
+    let spec = zoo::lenet5(&ModelConfig::mnist())
+        .with_mcd_layers(1, 0.25)
+        .unwrap();
     let ours = AcceleratorModel::new(
         spec,
         base_config()
@@ -91,7 +108,9 @@ fn table2_shape_fpga_design_is_most_energy_efficient() {
 
 #[test]
 fn table3_shape_dynamic_power_dominated_by_logic_and_io() {
-    let spec = zoo::lenet5(&ModelConfig::mnist()).with_mcd_layers(1, 0.25).unwrap();
+    let spec = zoo::lenet5(&ModelConfig::mnist())
+        .with_mcd_layers(1, 0.25)
+        .unwrap();
     let report = AcceleratorModel::new(
         spec,
         base_config()
@@ -114,6 +133,12 @@ fn table3_shape_dynamic_power_dominated_by_logic_and_io() {
     ];
     dynamic.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     let top_two: Vec<&str> = dynamic[..2].iter().map(|(n, _)| *n).collect();
-    assert!(top_two.contains(&"logic"), "top dynamic components {top_two:?}");
-    assert!(top_two.contains(&"io"), "top dynamic components {top_two:?}");
+    assert!(
+        top_two.contains(&"logic"),
+        "top dynamic components {top_two:?}"
+    );
+    assert!(
+        top_two.contains(&"io"),
+        "top dynamic components {top_two:?}"
+    );
 }

@@ -40,7 +40,9 @@ fn mcd_template_matches_algorithm_1() {
         .with_mcd_layers(1, 0.25)
         .unwrap();
     let project = HlsProject::generate(&spec, &HlsConfig::new("alg1")).unwrap();
-    let header = project.file("firmware/nnet_utils/nnet_mc_dropout.h").unwrap();
+    let header = project
+        .file("firmware/nnet_utils/nnet_mc_dropout.h")
+        .unwrap();
     // Algorithm 1 structure: pipelined loop, uniform RNG, threshold against the
     // keep rate, multiply the kept value by the keep rate.
     assert!(header.contains("#pragma HLS PIPELINE II=1"));

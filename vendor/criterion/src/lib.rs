@@ -1,0 +1,252 @@
+//! Offline stand-in for the [criterion](https://docs.rs/criterion) benchmark
+//! harness.
+//!
+//! The build container has no network access, so the real crates.io
+//! `criterion` cannot be fetched. This shim implements the small API surface
+//! the workspace benches use — `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter`, plus the `criterion_group!` /
+//! `criterion_main!` macros — with real wall-clock measurement and a plain
+//! text report (median / mean / min over the sample window).
+//!
+//! It is intentionally tiny: no statistical outlier analysis, no HTML
+//! reports, no comparison against saved baselines. Swapping back to the real
+//! criterion later only requires replacing the `[patch]`-style path
+//! dependency; no bench source changes are needed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+///
+/// Prevents the optimizer from eliding a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench executables with `--bench` (and any user filter
+        // after `--`). Accept the flags the real criterion accepts and treat
+        // the first free-standing token as a substring filter.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--noplot" | "--quiet" => {}
+                s if s.starts_with("--") => {}
+                s => {
+                    filter = Some(s.to_string());
+                    break;
+                }
+            }
+        }
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Mirror of `configure_from_args`; argument parsing already happened in
+    /// [`Criterion::default`], so this is the identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let filter_pass = self
+            .filter
+            .as_deref()
+            .map_or(true, |needle| id.contains(needle));
+        if filter_pass {
+            run_one(id, 100, f);
+        }
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f` and print a one-line summary as `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let filter_pass = self
+            .criterion
+            .filter
+            .as_deref()
+            .map_or(true, |needle| full.contains(needle));
+        if filter_pass {
+            run_one(&full, self.sample_size, f);
+        }
+        self
+    }
+
+    /// End the group. (The real criterion emits summary plots here.)
+    pub fn finish(self) {}
+}
+
+/// Identifier helper mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Build an id from a displayable parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Per-benchmark timing handle passed to the closure given to
+/// `bench_function`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    per_sample: usize,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording one wall-clock duration per sample.
+    ///
+    /// Each sample batches enough iterations to exceed ~1 ms so that very fast
+    /// kernels are still measured above timer resolution.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch calibration: grow the batch until one batch takes
+        // at least ~1 ms (capped to keep total runtime bounded).
+        let mut batch = 1usize;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        self.per_sample = batch;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+        per_sample: 1,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<48} (no samples collected)");
+        return;
+    }
+    let per_iter: Vec<Duration> = bencher
+        .samples
+        .iter()
+        .map(|d| *d / bencher.per_sample as u32)
+        .collect();
+    let mut sorted = per_iter.clone();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let total: Duration = per_iter.iter().sum();
+    let mean = total / per_iter.len() as u32;
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{id:<48} median {:>10}   mean {:>10}   min {:>10}   ({} samples x {} iters)",
+        format_duration(median),
+        format_duration(mean),
+        format_duration(min),
+        per_iter.len(),
+        bencher.per_sample,
+    );
+    println!("{line}");
+}
+
+/// Mirror of `criterion::criterion_group!`: bundles bench functions into a
+/// single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Criterion benchmark group runner."]
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: generates `fn main` running each
+/// group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

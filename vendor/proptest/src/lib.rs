@@ -1,0 +1,317 @@
+//! Offline stand-in for the [proptest](https://docs.rs/proptest) property
+//! testing framework.
+//!
+//! The build container has no network access, so the real crates.io
+//! `proptest` cannot be fetched. This shim implements the subset the
+//! workspace tests use — the `proptest!` macro with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, numeric range
+//! strategies, `any::<T>()`, `proptest::collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` macros — with **deterministic**
+//! sampling (seeded per test from its module path and name) and no
+//! shrinking. Failures therefore reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic sample source used by the [`proptest!`] macro expansion.
+pub mod sample {
+    /// SplitMix64 generator seeded from a test's fully qualified name.
+    pub struct SampleRng {
+        state: u64,
+    }
+
+    impl SampleRng {
+        /// Seed deterministically from an arbitrary string (FNV-1a hash).
+        pub fn deterministic(name: &str) -> Self {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            SampleRng { state: hash | 1 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Value-generation strategies (ranges, `any`, collections).
+pub mod strategy {
+    use crate::sample::SampleRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of sampled values, mirroring `proptest::strategy::Strategy`
+    /// in name only (sampling, no value trees / shrinking).
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut SampleRng) -> Self::Value;
+    }
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SampleRng) -> $t {
+                    // Casting to f32 can round the scaled draw up to exactly
+                    // `end`; remap that to `start` to keep the range half-open.
+                    let v = self.start + (self.end - self.start) * rng.unit_f64() as $t;
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SampleRng) -> $t {
+                    // Scale by a draw from [0, 1] (both ends reachable) so the
+                    // inclusive end can actually be produced.
+                    let t = rng.next_u64() as f64 / u64::MAX as f64;
+                    self.start() + (self.end() - self.start()) * t as $t
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    // Widths are computed in i128 so ranges spanning more than half the
+    // element type's domain (e.g. `-100i8..100`) cannot overflow.
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SampleRng) -> $t {
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    assert!(width > 0, "empty integer range strategy");
+                    (self.start as i128 + rng.below(width as u64) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SampleRng) -> $t {
+                    let width = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    let draw = if width > u64::MAX as u128 {
+                        rng.next_u64() // full-domain range: every draw is valid
+                    } else {
+                        rng.below(width as u64)
+                    };
+                    (*self.start() as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    pub struct AnyStrategy<T>(pub(crate) std::marker::PhantomData<T>);
+
+    macro_rules! any_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyStrategy<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SampleRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyStrategy<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut SampleRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut SampleRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+}
+
+/// `any::<T>()` support, mirroring `proptest::arbitrary`.
+pub mod arbitrary {
+    use crate::strategy::AnyStrategy;
+
+    /// Produce a strategy sampling the full domain of `T`.
+    pub fn any<T>() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::sample::SampleRng;
+    use crate::strategy::Strategy;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with lengths inside a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors of values drawn from `element`, with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SampleRng) -> Vec<S::Value> {
+            let len =
+                self.size.min + rng.below((self.size.max - self.size.min + 1) as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Run configuration, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    /// Number-of-cases configuration (`ProptestConfig` in the prelude).
+    pub struct Config {
+        /// How many sampled cases each property test runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Run `cases` sampled inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` that deterministically samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut sampler = $crate::sample::SampleRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut sampler);)+
+                    // Mirror real proptest: the body may `return Ok(())` early
+                    // (its tests are `Result`-valued), so run it inside a
+                    // `Result`-returning closure.
+                    let outcome: ::core::result::Result<
+                        (),
+                        ::std::boxed::Box<dyn ::std::error::Error>,
+                    > = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    outcome.expect("property returned an error");
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
