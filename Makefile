@@ -4,11 +4,12 @@
 #   make test    - full test suite (unit + integration + doctests)
 #   make bench   - run the criterion bench targets
 #   make lint    - rustfmt check + clippy with warnings denied
+#   make doc     - rustdoc with warnings denied
 #   make ci      - everything the merge gate runs
 
 CARGO ?= cargo
 
-.PHONY: all build test bench bench-build lint fmt clean ci
+.PHONY: all build test bench bench-build lint fmt doc clean ci
 
 all: build
 
@@ -32,7 +33,10 @@ lint:
 fmt:
 	$(CARGO) fmt
 
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps --workspace
+
 clean:
 	$(CARGO) clean
 
-ci: lint build test bench-build
+ci: lint build test bench-build doc

@@ -2,8 +2,9 @@
 
 use crate::table::TextTable;
 use bnn_bayes::flops_analysis::SamplingCostModel;
-use bnn_core::phase1::{self, ModelVariant, Phase1Config};
-use bnn_core::{OptPriority, UserConstraints};
+use bnn_core::phase1::{ModelVariant, Phase1Config, Phase1Stage};
+use bnn_core::pipeline::PipelineContext;
+use bnn_core::OptPriority;
 use bnn_data::{DatasetSpec, SyntheticConfig};
 use bnn_hw::accelerator::{AcceleratorConfig, AcceleratorModel};
 use bnn_hw::baselines::{fpga_baselines, paper_our_work_quoted, software_baselines_quoted};
@@ -119,7 +120,8 @@ pub enum Table1Scale {
     Micro,
     /// Tiny configuration for CI / smoke runs (few classes, few epochs).
     Smoke,
-    /// The default laptop-scale configuration used for `EXPERIMENTS.md`.
+    /// The default laptop-scale configuration used for the README's paper-table
+    /// runbook.
     Quick,
 }
 
@@ -173,7 +175,10 @@ pub fn table1(scale: Table1Scale) -> Result<TextTable, ExperimentError> {
     };
     for architecture in architectures {
         let config = table1_phase1_config(architecture, scale);
-        let result = phase1::run(&config, &UserConstraints::none(), OptPriority::Calibration)?;
+        let ctx =
+            PipelineContext::new(FpgaDevice::xcku115()).with_priority(OptPriority::Calibration);
+        let artifact = Phase1Stage::new(config).run(&ctx)?;
+        let result = &artifact.result;
         for variant in ModelVariant::all() {
             if let Some(candidate) = result.best_of_variant(variant) {
                 let acc_opt = candidate.accuracy_optimal();
@@ -359,7 +364,7 @@ pub fn flop_reduction() -> Result<TextTable, ExperimentError> {
     Ok(table)
 }
 
-/// Ablations of the design choices called out in `DESIGN.md`: mapping strategy,
+/// Ablations of the reproduction's main design choices: mapping strategy,
 /// MCD placement depth and datapath bitwidth.
 ///
 /// # Errors

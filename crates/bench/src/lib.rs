@@ -5,7 +5,7 @@
 //! rows, so the same code backs:
 //!
 //! * the `src/bin/*` binaries (`cargo run -p bnn-bench --bin table1`, ...),
-//!   which print the tables recorded in `EXPERIMENTS.md`, and
+//!   which print the tables of the README's paper-table runbook, and
 //! * the Criterion benches under `benches/`, which time the underlying
 //!   computations.
 //!

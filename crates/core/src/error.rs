@@ -28,6 +28,9 @@ pub enum FrameworkError {
     InvalidConfig(String),
     /// No candidate satisfied the user constraints.
     NoFeasibleDesign(String),
+    /// A stored pipeline artifact does not match what a stage expects
+    /// (e.g. weights whose shapes do not fit the candidate's spec).
+    ArtifactMismatch(String),
 }
 
 impl fmt::Display for FrameworkError {
@@ -44,6 +47,9 @@ impl fmt::Display for FrameworkError {
             }
             FrameworkError::NoFeasibleDesign(msg) => {
                 write!(f, "no design satisfies the constraints: {msg}")
+            }
+            FrameworkError::ArtifactMismatch(msg) => {
+                write!(f, "pipeline artifact mismatch: {msg}")
             }
         }
     }

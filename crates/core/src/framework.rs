@@ -1,12 +1,18 @@
 //! The end-to-end transformation framework driver.
+//!
+//! [`TransformationFramework`] is a thin compatibility wrapper over the staged
+//! pipeline in [`crate::pipeline`]: `new` applies the same per-stage
+//! validation as [`crate::pipeline::PipelineSession::new`], and `run`
+//! constructs a session and completes it. Use the session directly for
+//! partial runs, artifact reuse and observers.
 
 use crate::constraints::{OptPriority, UserConstraints};
 use crate::error::FrameworkError;
-use crate::phase1::{self, Phase1Config, Phase1Result};
-use crate::phase2::{self, Phase2Result};
-use crate::phase3::{self, Phase3Config, Phase3Result};
-use crate::phase4::{self, Phase4Output};
-use bnn_hw::accelerator::AcceleratorConfig;
+use crate::phase1::{Phase1Config, Phase1Result};
+use crate::phase2::Phase2Result;
+use crate::phase3::{Phase3Config, Phase3Result};
+use crate::phase4::Phase4Output;
+use crate::pipeline::{self, PipelineBuilder, PipelineSession};
 use bnn_hw::FpgaDevice;
 use bnn_models::zoo::Architecture;
 
@@ -59,10 +65,16 @@ impl FrameworkConfig {
         self.constraints = constraints;
         self
     }
+
+    /// Starts a [`PipelineBuilder`] from this configuration, for per-stage
+    /// customisation and validation.
+    pub fn builder(self) -> PipelineBuilder {
+        PipelineBuilder::from_config(self)
+    }
 }
 
 /// The result of a full framework run.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrameworkOutcome {
     /// Phase 1 result (algorithmic exploration).
     pub phase1: Phase1Result,
@@ -119,29 +131,15 @@ pub struct TransformationFramework {
 }
 
 impl TransformationFramework {
-    /// Creates a framework instance after validating the configuration.
+    /// Creates a framework instance after validating the configuration with
+    /// the per-stage `validate()` checks.
     ///
     /// # Errors
     ///
     /// Returns [`FrameworkError::InvalidConfig`] for non-positive clock
     /// frequencies or empty search grids.
     pub fn new(config: FrameworkConfig) -> Result<Self, FrameworkError> {
-        if config.clock_mhz <= 0.0 {
-            return Err(FrameworkError::InvalidConfig(format!(
-                "clock frequency must be positive, got {}",
-                config.clock_mhz
-            )));
-        }
-        if config.phase1.variants.is_empty() {
-            return Err(FrameworkError::InvalidConfig(
-                "phase 1 must explore at least one model variant".into(),
-            ));
-        }
-        if config.phase3.formats.is_empty() || config.phase3.reuse_factors.is_empty() {
-            return Err(FrameworkError::InvalidConfig(
-                "phase 3 must have at least one bitwidth and one reuse factor".into(),
-            ));
-        }
+        pipeline::validate_config(&config)?;
         Ok(TransformationFramework { config })
     }
 
@@ -152,58 +150,16 @@ impl TransformationFramework {
 
     /// Runs all four phases and returns the selected design.
     ///
+    /// Equivalent to `PipelineSession::new(config)?.run()`; the Phase 1
+    /// trained model is carried forward through the session's artifacts, so
+    /// Phase 3 never retrains it.
+    ///
     /// # Errors
     ///
     /// Propagates any phase error, including
     /// [`FrameworkError::NoFeasibleDesign`] when the constraints cannot be met.
     pub fn run(&self) -> Result<FrameworkOutcome, FrameworkError> {
-        let cfg = &self.config;
-
-        // Phase 1: multi-exit optimization.
-        let phase1_result = phase1::run(&cfg.phase1, &cfg.constraints, cfg.priority)?;
-        let best_spec = phase1_result.best().spec.clone();
-
-        // Shared accelerator baseline for the hardware phases.
-        let accel_base = AcceleratorConfig::new(cfg.device.clone())
-            .with_clock_mhz(cfg.clock_mhz)
-            .with_mc_samples(cfg.mc_samples);
-
-        // Phase 2: spatial/temporal mapping.
-        let phase2_result = phase2::run(&best_spec, &accel_base, &cfg.constraints, cfg.priority)?;
-        let mapping = phase2_result.best().mapping;
-
-        // Phase 3: algorithm/hardware co-exploration (needs a trained model).
-        let data = cfg.phase1.dataset.generate(cfg.phase1.seed)?;
-        let mut trained = phase1::train_spec(&best_spec, &data, &cfg.phase1)?;
-        let phase3_result = phase3::run(
-            &best_spec,
-            &mut trained,
-            &data.test,
-            &accel_base.clone().with_mapping(mapping),
-            &cfg.phase3,
-            &cfg.constraints,
-            cfg.priority,
-        )?;
-        let best_point = phase3_result.best().clone();
-
-        // Phase 4: accelerator generation with every decision applied.
-        let final_config = accel_base
-            .with_mapping(mapping)
-            .with_bits(best_point.format.total_bits())
-            .with_reuse_factor(best_point.reuse_factor);
-        let phase4_output = phase4::run(
-            &best_spec,
-            &cfg.project_name,
-            &final_config,
-            best_point.format,
-        )?;
-
-        Ok(FrameworkOutcome {
-            phase1: phase1_result,
-            phase2: phase2_result,
-            phase3: phase3_result,
-            phase4: phase4_output,
-        })
+        PipelineSession::new(self.config.clone())?.run()
     }
 }
 

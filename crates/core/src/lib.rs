@@ -18,19 +18,30 @@
 //! 4. [`phase4`] — **accelerator generation**: emit the HLS project
 //!    (`bnn-hls`) and the predicted implementation report (`bnn-hw`).
 //!
-//! [`framework::TransformationFramework`] chains all four phases behind a
-//! single call; each phase is also usable on its own (the benchmark harness
-//! drives them individually to regenerate the paper's tables).
+//! The phases are exposed as a **staged pipeline** ([`pipeline`]): typed stage
+//! structs ([`phase1::Phase1Stage`] … [`phase4::Phase4Stage`]) run against a
+//! shared [`pipeline::PipelineContext`] and pass typed artifacts from stage to
+//! stage, so intermediate results can be inspected, stored and resumed.
+//! [`pipeline::PipelineSession`] drives them with artifact caching
+//! (`run_to` / `resume_from` / `run`) and streams progress to a
+//! [`pipeline::PipelineObserver`]. [`framework::TransformationFramework`] is a
+//! thin compatibility wrapper that chains all four phases behind a single
+//! call; each stage is also usable on its own (the benchmark harness drives
+//! them individually to regenerate the paper's tables).
 //!
 //! # Example
 //!
 //! ```no_run
-//! use bnn_core::framework::{FrameworkConfig, TransformationFramework};
+//! use bnn_core::framework::FrameworkConfig;
+//! use bnn_core::pipeline::{PhaseId, PipelineSession, TraceObserver};
 //! use bnn_models::zoo::Architecture;
 //!
 //! # fn main() -> Result<(), bnn_core::FrameworkError> {
 //! let config = FrameworkConfig::quick_demo(Architecture::LeNet5);
-//! let outcome = TransformationFramework::new(config)?.run()?;
+//! let mut session = PipelineSession::new(config)?.with_observer(TraceObserver::default());
+//! // Inspect the algorithmic phases before committing to hardware generation.
+//! session.run_to(PhaseId::Phase2)?;
+//! let outcome = session.run()?;
 //! println!("{}", outcome.summary());
 //! # Ok(())
 //! # }
@@ -46,8 +57,18 @@ pub mod phase1;
 pub mod phase2;
 pub mod phase3;
 pub mod phase4;
+pub mod pipeline;
 
 pub use constraints::{OptPriority, UserConstraints};
 pub use error::FrameworkError;
 pub use framework::{FrameworkConfig, FrameworkOutcome, TransformationFramework};
-pub use phase1::{ModelVariant, Phase1Candidate, Phase1Config, Phase1Result};
+pub use phase1::{
+    ModelVariant, Phase1Artifact, Phase1Candidate, Phase1Config, Phase1Result, Phase1Stage,
+};
+pub use phase2::{Phase2Artifact, Phase2Result, Phase2Stage};
+pub use phase3::{Phase3Artifact, Phase3Config, Phase3Result, Phase3Stage};
+pub use phase4::{Phase4Artifact, Phase4Output, Phase4Stage};
+pub use pipeline::{
+    NoopObserver, PhaseId, PipelineArtifacts, PipelineBuilder, PipelineContext, PipelineEvent,
+    PipelineObserver, PipelineSession, RecordingObserver, StageArtifact, TraceObserver,
+};

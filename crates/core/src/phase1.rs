@@ -6,17 +6,19 @@
 //! candidates against the user constraints and selects the best configuration
 //! for the chosen optimization priority (Fig. 3).
 
-use crate::constraints::{OptPriority, UserConstraints};
+use crate::constraints::OptPriority;
 use crate::error::FrameworkError;
+use crate::pipeline::{NoopObserver, PhaseId, PipelineContext, PipelineObserver};
 use bnn_bayes::sampling::{McSampler, SamplingConfig};
 use bnn_bayes::Evaluation;
 use bnn_data::{Dataset, SyntheticConfig, TrainTestSplit};
 use bnn_models::zoo::Architecture;
-use bnn_models::{ModelConfig, MultiExitNetwork, NetworkSpec};
+use bnn_models::{ModelConfig, MultiExitNetwork, NetworkCheckpoint, NetworkSpec};
 use bnn_nn::network::Network;
 use bnn_nn::optimizer::Sgd;
 use bnn_nn::trainer::{train, LabelledBatchSource, TrainConfig};
 use bnn_tensor::Tensor;
+use std::sync::Arc;
 
 /// The four model variants compared in Table I.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -235,16 +237,86 @@ impl Phase1Result {
 
     /// The best candidate of a given variant, if it was explored.
     pub fn best_of_variant(&self, variant: ModelVariant) -> Option<&Phase1Candidate> {
+        self.best_index_of_variant(variant)
+            .map(|i| &self.candidates[i])
+    }
+
+    /// Index (into `candidates`) of the best candidate of a given variant.
+    pub fn best_index_of_variant(&self, variant: ModelVariant) -> Option<usize> {
         self.candidates
             .iter()
-            .filter(|c| c.variant == variant)
-            .max_by(|a, b| {
+            .enumerate()
+            .filter(|(_, c)| c.variant == variant)
+            .max_by(|(_, a), (_, b)| {
                 a.metrics
                     .evaluation
                     .accuracy
                     .partial_cmp(&b.metrics.evaluation.accuracy)
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
+            .map(|(i, _)| i)
+    }
+}
+
+/// The reusable output of Phase 1: every evaluated candidate plus the trained
+/// checkpoint (weights and batchnorm statistics) of each candidate's network,
+/// so later phases (and resumed sessions) instantiate trained models instead
+/// of retraining from scratch.
+///
+/// The heavy payloads (dataset, checkpoints) are behind `Arc`, so the clones
+/// taken when later artifacts embed this one are pointer bumps, not copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase1Artifact {
+    /// The exploration result (candidates, metrics, selection).
+    pub result: Phase1Result,
+    /// Trained checkpoint of each candidate, aligned with
+    /// `result.candidates`.
+    pub candidate_checkpoints: Arc<Vec<NetworkCheckpoint>>,
+    /// The generated train/test split the candidates were trained on.
+    pub data: Arc<TrainTestSplit>,
+    /// The master seed the networks were built with.
+    pub seed: u64,
+}
+
+impl Phase1Artifact {
+    /// The spec of the selected best candidate.
+    pub fn best_spec(&self) -> &NetworkSpec {
+        &self.result.best().spec
+    }
+
+    /// Instantiates the selected best candidate with its trained weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors and
+    /// [`FrameworkError::ArtifactMismatch`] if the stored weights do not fit
+    /// the spec.
+    pub fn instantiate_best(&self) -> Result<MultiExitNetwork, FrameworkError> {
+        self.instantiate(self.result.best_index)
+    }
+
+    /// Instantiates candidate `index` with its trained checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::ArtifactMismatch`] for an out-of-range index
+    /// or a checkpoint that does not fit the candidate's spec, and propagates
+    /// construction errors.
+    pub fn instantiate(&self, index: usize) -> Result<MultiExitNetwork, FrameworkError> {
+        let candidate = self.result.candidates.get(index).ok_or_else(|| {
+            FrameworkError::ArtifactMismatch(format!(
+                "candidate index {index} out of range ({} candidates)",
+                self.result.candidates.len()
+            ))
+        })?;
+        let checkpoint = self.candidate_checkpoints.get(index).ok_or_else(|| {
+            FrameworkError::ArtifactMismatch(format!("no stored checkpoint for candidate {index}"))
+        })?;
+        let mut network = candidate.spec.build(self.seed)?;
+        network
+            .restore(checkpoint)
+            .map_err(|e| FrameworkError::ArtifactMismatch(e.to_string()))?;
+        Ok(network)
     }
 }
 
@@ -375,99 +447,174 @@ fn evaluate_network(
     Ok((metrics, threshold_metrics))
 }
 
-/// Runs the full Phase 1 exploration.
+/// The Phase 1 stage: multi-exit optimization.
 ///
-/// # Errors
-///
-/// Returns [`FrameworkError::NoFeasibleDesign`] if every candidate violates the
-/// constraints, or propagates training/evaluation errors.
-pub fn run(
-    config: &Phase1Config,
-    constraints: &UserConstraints,
-    priority: OptPriority,
-) -> Result<Phase1Result, FrameworkError> {
-    let data = config.dataset.generate(config.seed)?;
-    let base_spec = config.architecture.spec(&config.model);
-    let baseline_flops = base_spec.total_flops()?;
-    let test_labels = data.test.labels().to_vec();
-    let test_inputs = data.test.inputs().clone();
+/// Holds the phase-specific configuration; shared inputs (constraints,
+/// priority) come from the [`PipelineContext`] at run time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase1Stage {
+    /// The exploration configuration.
+    pub config: Phase1Config,
+}
 
-    let mut candidates = Vec::new();
-    for &variant in &config.variants {
-        let rates: Vec<f64> = if variant.uses_mcd() {
-            config.dropout_rates.clone()
-        } else {
-            vec![0.0]
-        };
-        for rate in rates {
-            let spec = variant.build_spec(&base_spec, rate)?;
-            let mut network = train_spec(&spec, &data, config)?;
-            let (metrics, threshold_metrics) = evaluate_network(
-                variant,
-                &mut network,
-                &test_inputs,
-                &test_labels,
-                config,
-                baseline_flops,
-                &spec,
-            )?;
-            candidates.push(Phase1Candidate {
-                variant,
-                spec,
-                metrics,
-                threshold_metrics,
-            });
+impl Phase1Stage {
+    /// Creates the stage from its configuration.
+    pub fn new(config: Phase1Config) -> Self {
+        Phase1Stage { config }
+    }
+
+    /// Validates the stage configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::InvalidConfig`] for an empty variant list or
+    /// an MCD variant with no dropout rates to search.
+    pub fn validate(&self) -> Result<(), FrameworkError> {
+        if self.config.variants.is_empty() {
+            return Err(FrameworkError::InvalidConfig(
+                "phase 1 must explore at least one model variant".into(),
+            ));
         }
+        // MCD variants contribute one candidate per dropout rate, so an
+        // all-MCD exploration with no rates could never produce a candidate.
+        // A mixed variant list stays valid (the old constructor accepted it).
+        if self.config.variants.iter().all(ModelVariant::uses_mcd)
+            && self.config.dropout_rates.is_empty()
+        {
+            return Err(FrameworkError::InvalidConfig(
+                "phase 1 explores only MCD variants but has no dropout rates to search".into(),
+            ));
+        }
+        Ok(())
     }
 
-    // Constraint filtering, then priority-based selection.
-    let feasible: Vec<usize> = candidates
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| {
-            constraints.accepts_algorithm(
-                c.metrics.evaluation.accuracy,
-                c.metrics.evaluation.ece,
-                c.metrics.flops_ratio,
-            )
-        })
-        .map(|(i, _)| i)
-        .collect();
-    if feasible.is_empty() {
-        return Err(FrameworkError::NoFeasibleDesign(
-            "no Phase 1 candidate satisfies the accuracy/ECE/FLOPs constraints".into(),
-        ));
+    /// Runs the full Phase 1 exploration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::NoFeasibleDesign`] if every candidate
+    /// violates the constraints, or propagates training/evaluation errors.
+    pub fn run(&self, ctx: &PipelineContext) -> Result<Phase1Artifact, FrameworkError> {
+        self.run_observed(ctx, &mut NoopObserver)
     }
-    let best_index = feasible
-        .into_iter()
-        .max_by(|&a, &b| {
-            let score = |i: usize| -> f64 {
-                let c = &candidates[i];
-                match priority {
-                    OptPriority::Accuracy => c.accuracy_optimal().evaluation.accuracy,
-                    OptPriority::Calibration => -c.ece_optimal().evaluation.ece,
-                    OptPriority::Flops => -c.ece_optimal().flops_ratio,
-                    // Latency/energy are hardware priorities; at this phase they
-                    // reduce to minimising FLOPs.
-                    OptPriority::Latency | OptPriority::Energy => -c.metrics.flops_ratio,
-                }
+
+    /// Runs the exploration, reporting each evaluated candidate to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::NoFeasibleDesign`] if every candidate
+    /// violates the constraints, or propagates training/evaluation errors.
+    pub fn run_observed(
+        &self,
+        ctx: &PipelineContext,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<Phase1Artifact, FrameworkError> {
+        let config = &self.config;
+        let data = config.dataset.generate(config.seed)?;
+        let base_spec = config.architecture.spec(&config.model);
+        let baseline_flops = base_spec.total_flops()?;
+        let test_labels = data.test.labels().to_vec();
+        let test_inputs = data.test.inputs().clone();
+
+        let mut candidates = Vec::new();
+        let mut candidate_checkpoints = Vec::new();
+        for &variant in &config.variants {
+            let rates: Vec<f64> = if variant.uses_mcd() {
+                config.dropout_rates.clone()
+            } else {
+                vec![0.0]
             };
-            score(a)
-                .partial_cmp(&score(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .expect("feasible set is non-empty");
+            for rate in rates {
+                let spec = variant.build_spec(&base_spec, rate)?;
+                let mut network = train_spec(&spec, &data, config)?;
+                let (metrics, threshold_metrics) = evaluate_network(
+                    variant,
+                    &mut network,
+                    &test_inputs,
+                    &test_labels,
+                    config,
+                    baseline_flops,
+                    &spec,
+                )?;
+                observer.on_candidate(
+                    PhaseId::Phase1,
+                    candidates.len(),
+                    &format!(
+                        "{variant} dropout {rate:.3}: acc {:.4}, ece {:.4}, flops {:.3}x",
+                        metrics.evaluation.accuracy, metrics.evaluation.ece, metrics.flops_ratio
+                    ),
+                );
+                candidate_checkpoints.push(network.checkpoint());
+                candidates.push(Phase1Candidate {
+                    variant,
+                    spec,
+                    metrics,
+                    threshold_metrics,
+                });
+            }
+        }
 
-    Ok(Phase1Result {
-        candidates,
-        best_index,
-        baseline_flops,
-    })
+        // Constraint filtering, then priority-based selection.
+        let feasible: Vec<usize> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                ctx.constraints.accepts_algorithm(
+                    c.metrics.evaluation.accuracy,
+                    c.metrics.evaluation.ece,
+                    c.metrics.flops_ratio,
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if feasible.is_empty() {
+            return Err(FrameworkError::NoFeasibleDesign(
+                "no Phase 1 candidate satisfies the accuracy/ECE/FLOPs constraints".into(),
+            ));
+        }
+        let best_index = feasible
+            .into_iter()
+            .max_by(|&a, &b| {
+                let score = |i: usize| -> f64 {
+                    let c = &candidates[i];
+                    match ctx.priority {
+                        OptPriority::Accuracy => c.accuracy_optimal().evaluation.accuracy,
+                        OptPriority::Calibration => -c.ece_optimal().evaluation.ece,
+                        OptPriority::Flops => -c.ece_optimal().flops_ratio,
+                        // Latency/energy are hardware priorities; at this phase
+                        // they reduce to minimising FLOPs.
+                        OptPriority::Latency | OptPriority::Energy => -c.metrics.flops_ratio,
+                    }
+                };
+                score(a)
+                    .partial_cmp(&score(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("feasible set is non-empty");
+
+        let result = Phase1Result {
+            candidates,
+            best_index,
+            baseline_flops,
+        };
+        Ok(Phase1Artifact {
+            result,
+            candidate_checkpoints: Arc::new(candidate_checkpoints),
+            data: Arc::new(data),
+            seed: config.seed,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::constraints::UserConstraints;
+    use bnn_hw::FpgaDevice;
+
+    fn ctx(priority: OptPriority) -> PipelineContext {
+        PipelineContext::new(FpgaDevice::xcku115()).with_priority(priority)
+    }
 
     fn tiny_config() -> Phase1Config {
         let mut config = Phase1Config::quick(Architecture::LeNet5);
@@ -509,7 +656,10 @@ mod tests {
     #[test]
     fn phase1_runs_and_orders_variants() {
         let config = tiny_config();
-        let result = run(&config, &UserConstraints::none(), OptPriority::Calibration).unwrap();
+        let artifact = Phase1Stage::new(config)
+            .run(&ctx(OptPriority::Calibration))
+            .unwrap();
+        let result = &artifact.result;
         assert_eq!(result.candidates.len(), 4);
         assert!(result.baseline_flops > 0);
         // every variant produced usable metrics
@@ -524,21 +674,71 @@ mod tests {
         assert!(me.threshold_metrics.len() >= 2);
         // the selected best is a feasible candidate
         assert!(result.best_index < result.candidates.len());
+        // every candidate carries its trained weights in the artifact
+        assert_eq!(
+            artifact.candidate_checkpoints.len(),
+            result.candidates.len()
+        );
+    }
+
+    #[test]
+    fn artifact_instantiates_trained_candidates() {
+        let mut config = tiny_config();
+        config.variants = vec![ModelVariant::SingleExit, ModelVariant::McdMultiExit];
+        let artifact = Phase1Stage::new(config)
+            .run(&ctx(OptPriority::Calibration))
+            .unwrap();
+        let mut network = artifact.instantiate_best().unwrap();
+        let loaded = network.checkpoint();
+        assert_eq!(
+            loaded,
+            artifact.candidate_checkpoints[artifact.result.best_index]
+        );
+        // per-variant instantiation works too
+        let se = artifact
+            .result
+            .best_index_of_variant(ModelVariant::SingleExit)
+            .unwrap();
+        assert!(artifact.instantiate(se).is_ok());
+        // out-of-range index reports an artifact mismatch
+        let err = artifact.instantiate(99).unwrap_err();
+        assert!(matches!(err, FrameworkError::ArtifactMismatch(_)));
+    }
+
+    #[test]
+    fn stage_validation() {
+        let stage = Phase1Stage::new(tiny_config());
+        assert!(stage.validate().is_ok());
+        let mut bad = tiny_config();
+        bad.variants.clear();
+        assert!(Phase1Stage::new(bad).validate().is_err());
+        // all-MCD exploration with no rates can never produce a candidate
+        let mut bad = tiny_config();
+        bad.variants = vec![ModelVariant::Mcd, ModelVariant::McdMultiExit];
+        bad.dropout_rates.clear();
+        assert!(Phase1Stage::new(bad).validate().is_err());
+        // a mixed variant list with no rates stays valid (old behaviour)
+        let mut mixed = tiny_config();
+        mixed.dropout_rates.clear();
+        assert!(Phase1Stage::new(mixed).validate().is_ok());
     }
 
     #[test]
     fn impossible_constraints_are_reported() {
         let config = tiny_config();
-        let constraints = UserConstraints::none().with_min_accuracy(1.01);
-        let err = run(&config, &constraints, OptPriority::Accuracy).unwrap_err();
+        let context = ctx(OptPriority::Accuracy)
+            .with_constraints(UserConstraints::none().with_min_accuracy(1.01));
+        let err = Phase1Stage::new(config).run(&context).unwrap_err();
         assert!(matches!(err, FrameworkError::NoFeasibleDesign(_)));
     }
 
     #[test]
     fn accuracy_and_ece_optimal_selection() {
         let config = tiny_config();
-        let result = run(&config, &UserConstraints::none(), OptPriority::Accuracy).unwrap();
-        for candidate in &result.candidates {
+        let artifact = Phase1Stage::new(config)
+            .run(&ctx(OptPriority::Accuracy))
+            .unwrap();
+        for candidate in &artifact.result.candidates {
             let acc_opt = candidate.accuracy_optimal();
             let ece_opt = candidate.ece_optimal();
             assert!(acc_opt.evaluation.accuracy >= candidate.metrics.evaluation.accuracy - 1e-12);

@@ -8,6 +8,8 @@
 
 use crate::constraints::{OptPriority, UserConstraints};
 use crate::error::FrameworkError;
+use crate::phase1::Phase1Artifact;
+use crate::pipeline::{NoopObserver, PhaseId, PipelineContext, PipelineObserver};
 use bnn_hw::accelerator::{AcceleratorConfig, AcceleratorModel, AcceleratorReport};
 use bnn_hw::MappingStrategy;
 use bnn_models::NetworkSpec;
@@ -39,18 +41,94 @@ impl Phase2Result {
     }
 }
 
-/// Runs the Phase 2 exploration for a network on a given accelerator
-/// configuration (whose `mapping` field is ignored and swept instead).
+/// The reusable output of Phase 2: the mapping exploration result plus the
+/// embedded Phase 1 artifact, so it is a self-sufficient resume point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase2Artifact {
+    /// The Phase 1 artifact this exploration was run on.
+    pub phase1: Phase1Artifact,
+    /// The mapping exploration result.
+    pub result: Phase2Result,
+}
+
+impl Phase2Artifact {
+    /// The selected mapping strategy.
+    pub fn mapping(&self) -> MappingStrategy {
+        self.result.best().mapping
+    }
+}
+
+/// The Phase 2 stage: spatial/temporal mapping exploration.
 ///
-/// # Errors
-///
-/// Returns [`FrameworkError::NoFeasibleDesign`] if no mapping fits the device
-/// and constraints, or propagates estimation errors.
-pub fn run(
+/// Phase 2 has no configuration of its own — the mapping candidate set is
+/// derived from the network and the context's MC sample count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Phase2Stage;
+
+impl Phase2Stage {
+    /// Creates the stage.
+    pub fn new() -> Self {
+        Phase2Stage
+    }
+
+    /// Validates the stage configuration (always succeeds; present for
+    /// uniformity with the other stages).
+    ///
+    /// # Errors
+    ///
+    /// Never fails today.
+    pub fn validate(&self) -> Result<(), FrameworkError> {
+        Ok(())
+    }
+
+    /// Runs the mapping exploration on the Phase 1 best network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::NoFeasibleDesign`] if no mapping fits the
+    /// device and constraints, or propagates estimation errors.
+    pub fn run(
+        &self,
+        ctx: &PipelineContext,
+        input: &Phase1Artifact,
+    ) -> Result<Phase2Artifact, FrameworkError> {
+        self.run_observed(ctx, input, &mut NoopObserver)
+    }
+
+    /// Runs the exploration, reporting each mapping candidate to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::NoFeasibleDesign`] if no mapping fits the
+    /// device and constraints, or propagates estimation errors.
+    pub fn run_observed(
+        &self,
+        ctx: &PipelineContext,
+        input: &Phase1Artifact,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<Phase2Artifact, FrameworkError> {
+        let result = explore(
+            input.best_spec(),
+            &ctx.accelerator_baseline(),
+            &ctx.constraints,
+            ctx.priority,
+            observer,
+        )?;
+        Ok(Phase2Artifact {
+            phase1: input.clone(),
+            result,
+        })
+    }
+}
+
+/// The mapping exploration over a network spec and accelerator baseline
+/// (whose `mapping` field is ignored and swept instead).
+pub(crate) fn explore(
     spec: &NetworkSpec,
     base_config: &AcceleratorConfig,
     constraints: &UserConstraints,
     priority: OptPriority,
+    observer: &mut dyn PipelineObserver,
 ) -> Result<Phase2Result, FrameworkError> {
     let passes = base_config
         .mc_samples
@@ -68,6 +146,14 @@ pub fn run(
                 &report.total_resources,
                 &config.device.resources,
             );
+        observer.on_candidate(
+            PhaseId::Phase2,
+            candidates.len(),
+            &format!(
+                "{mapping}: latency {:.4} ms, {} engine(s), feasible {feasible}",
+                report.latency_ms, report.mc_engines
+            ),
+        );
         candidates.push(MappingCandidate {
             mapping,
             report,
@@ -115,6 +201,15 @@ mod tests {
     use super::*;
     use bnn_hw::FpgaDevice;
     use bnn_models::{zoo, ModelConfig};
+
+    fn run(
+        spec: &NetworkSpec,
+        base_config: &AcceleratorConfig,
+        constraints: &UserConstraints,
+        priority: OptPriority,
+    ) -> Result<Phase2Result, FrameworkError> {
+        explore(spec, base_config, constraints, priority, &mut NoopObserver)
+    }
 
     fn spec() -> NetworkSpec {
         zoo::lenet5(&ModelConfig::mnist().with_width_divisor(2))

@@ -14,10 +14,13 @@
 
 use crate::constraints::{OptPriority, UserConstraints};
 use crate::error::FrameworkError;
+use crate::phase2::Phase2Artifact;
+use crate::pipeline::{NoopObserver, PhaseId, PipelineContext, PipelineObserver};
 use bnn_bayes::metrics::accuracy;
 use bnn_bayes::sampling::{McSampler, SamplingConfig};
 use bnn_data::Dataset;
 use bnn_hw::accelerator::{AcceleratorConfig, AcceleratorModel, AcceleratorReport};
+use bnn_hw::MappingStrategy;
 use bnn_models::{MultiExitNetwork, NetworkSpec};
 use bnn_quant::{quantize_network, FixedPointFormat};
 
@@ -79,16 +82,123 @@ impl Default for Phase3Config {
     }
 }
 
-/// Runs the Phase 3 co-exploration.
+/// The reusable output of Phase 3: the co-exploration result plus the
+/// embedded Phase 2 artifact, so it is a self-sufficient resume point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase3Artifact {
+    /// The Phase 2 artifact this exploration was run on.
+    pub phase2: Phase2Artifact,
+    /// The co-exploration result.
+    pub result: Phase3Result,
+}
+
+impl Phase3Artifact {
+    /// The selected fixed-point format.
+    pub fn format(&self) -> FixedPointFormat {
+        self.result.best().format
+    }
+
+    /// The selected reuse factor.
+    pub fn reuse_factor(&self) -> usize {
+        self.result.best().reuse_factor
+    }
+
+    /// The mapping selected by Phase 2.
+    pub fn mapping(&self) -> MappingStrategy {
+        self.phase2.mapping()
+    }
+}
+
+/// The Phase 3 stage: bitwidth/reuse-factor co-exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase3Stage {
+    /// The co-exploration grid configuration.
+    pub config: Phase3Config,
+}
+
+impl Phase3Stage {
+    /// Creates the stage from its configuration.
+    pub fn new(config: Phase3Config) -> Self {
+        Phase3Stage { config }
+    }
+
+    /// Validates the stage configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::InvalidConfig`] for an empty format/reuse
+    /// grid, a negative accuracy tolerance or zero evaluation MC samples.
+    pub fn validate(&self) -> Result<(), FrameworkError> {
+        if self.config.formats.is_empty() || self.config.reuse_factors.is_empty() {
+            return Err(FrameworkError::InvalidConfig(
+                "phase 3 must have at least one bitwidth and one reuse factor".into(),
+            ));
+        }
+        if self.config.accuracy_tolerance < 0.0 {
+            return Err(FrameworkError::InvalidConfig(
+                "phase 3 accuracy tolerance must be non-negative".into(),
+            ));
+        }
+        if self.config.mc_samples == 0 {
+            return Err(FrameworkError::InvalidConfig(
+                "phase 3 must evaluate with at least one MC sample".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Runs the co-exploration on the Phase 1 trained model under the Phase 2
+    /// mapping. The model is instantiated from the artifact's stored weights —
+    /// it is **not** retrained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::NoFeasibleDesign`] if no point is feasible,
+    /// or propagates evaluation/estimation errors.
+    pub fn run(
+        &self,
+        ctx: &PipelineContext,
+        input: &Phase2Artifact,
+    ) -> Result<Phase3Artifact, FrameworkError> {
+        self.run_observed(ctx, input, &mut NoopObserver)
+    }
+
+    /// Runs the co-exploration, reporting each grid point to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::NoFeasibleDesign`] if no point is feasible,
+    /// or propagates evaluation/estimation errors.
+    pub fn run_observed(
+        &self,
+        ctx: &PipelineContext,
+        input: &Phase2Artifact,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<Phase3Artifact, FrameworkError> {
+        let mut trained = input.phase1.instantiate_best()?;
+        let result = explore(
+            input.phase1.best_spec(),
+            &mut trained,
+            &input.phase1.data.test,
+            &ctx.accelerator_baseline().with_mapping(input.mapping()),
+            &self.config,
+            &ctx.constraints,
+            ctx.priority,
+            observer,
+        )?;
+        Ok(Phase3Artifact {
+            phase2: input.clone(),
+            result,
+        })
+    }
+}
+
+/// The co-exploration over a trained model.
 ///
-/// `trained` is the Phase 1 model (it is cloned per candidate via re-building
-/// and weight quantization); `eval_set` is the held-out evaluation data.
-///
-/// # Errors
-///
-/// Returns [`FrameworkError::NoFeasibleDesign`] if no point is feasible, or
-/// propagates evaluation/estimation errors.
-pub fn run(
+/// `trained` is restored to its incoming weights before returning; `eval_set`
+/// is the held-out evaluation data.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn explore(
     spec: &NetworkSpec,
     trained: &mut MultiExitNetwork,
     eval_set: &Dataset,
@@ -96,6 +206,7 @@ pub fn run(
     phase3: &Phase3Config,
     constraints: &UserConstraints,
     priority: OptPriority,
+    observer: &mut dyn PipelineObserver,
 ) -> Result<Phase3Result, FrameworkError> {
     let sampler = McSampler::new(SamplingConfig::new(phase3.mc_samples));
     let inputs = eval_set.inputs().clone();
@@ -104,26 +215,14 @@ pub fn run(
     let reference_probs = sampler.predict(trained, &inputs)?.mean_probs;
     let reference_accuracy = accuracy(&reference_probs, &labels)?;
 
-    // Snapshot the trained weights so each quantization candidate starts fresh.
-    let reference_weights: Vec<bnn_tensor::Tensor> = {
-        use bnn_nn::network::Network;
-        trained
-            .params_mut()
-            .iter()
-            .map(|p| p.value.clone())
-            .collect()
-    };
-    let restore = |network: &mut MultiExitNetwork| {
-        use bnn_nn::network::Network;
-        for (param, saved) in network.params_mut().into_iter().zip(&reference_weights) {
-            param.value = saved.clone();
-        }
-    };
+    // Checkpoint the trained network so each quantization candidate starts
+    // fresh (weights and batchnorm statistics).
+    let reference = trained.checkpoint();
 
     let mut points = Vec::new();
     for &format in &phase3.formats {
         // Quantize once per format (independent of reuse factor).
-        restore(trained);
+        trained.restore(&reference)?;
         let _ = quantize_network(trained, format);
         let quantized_probs = sampler.predict(trained, &inputs)?.mean_probs;
         let quantized_accuracy = accuracy(&quantized_probs, &labels)?;
@@ -143,6 +242,15 @@ pub fn run(
                     &report.total_resources,
                     &config.device.resources,
                 );
+            observer.on_candidate(
+                PhaseId::Phase3,
+                points.len(),
+                &format!(
+                    "{format} reuse {reuse}: quantized acc {quantized_accuracy:.4}, \
+                     latency {:.4} ms, feasible {feasible}",
+                    report.latency_ms
+                ),
+            );
             points.push(CoExplorationPoint {
                 format,
                 reuse_factor: reuse,
@@ -152,7 +260,7 @@ pub fn run(
             });
         }
     }
-    restore(trained);
+    trained.restore(&reference)?;
 
     let feasible: Vec<usize> = points
         .iter()
@@ -198,6 +306,28 @@ mod tests {
     use bnn_models::{zoo, ModelConfig};
     use bnn_nn::optimizer::Sgd;
     use bnn_nn::trainer::{train, LabelledBatchSource, TrainConfig};
+
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        spec: &NetworkSpec,
+        trained: &mut MultiExitNetwork,
+        eval_set: &Dataset,
+        base_config: &AcceleratorConfig,
+        phase3: &Phase3Config,
+        constraints: &UserConstraints,
+        priority: OptPriority,
+    ) -> Result<Phase3Result, FrameworkError> {
+        explore(
+            spec,
+            trained,
+            eval_set,
+            base_config,
+            phase3,
+            constraints,
+            priority,
+            &mut NoopObserver,
+        )
+    }
 
     fn trained_setup() -> (NetworkSpec, MultiExitNetwork, Dataset) {
         let model_cfg = ModelConfig::mnist()

@@ -6,6 +6,8 @@
 //! to Vivado-HLS / Vivado for synthesis, place-and-route and onboard testing.
 
 use crate::error::FrameworkError;
+use crate::phase3::Phase3Artifact;
+use crate::pipeline::{NoopObserver, PhaseId, PipelineContext, PipelineObserver};
 use bnn_hls::{HlsConfig, HlsProject};
 use bnn_hw::accelerator::{AcceleratorConfig, AcceleratorModel, AcceleratorReport};
 use bnn_models::NetworkSpec;
@@ -35,13 +37,101 @@ impl Phase4Output {
     }
 }
 
+/// The reusable output of Phase 4: the generated project plus the embedded
+/// Phase 3 artifact, so the whole decision chain stays inspectable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase4Artifact {
+    /// The Phase 3 artifact the accelerator was generated from.
+    pub phase3: Phase3Artifact,
+    /// The generated project and predicted implementation.
+    pub output: Phase4Output,
+}
+
+/// The Phase 4 stage: HLS accelerator generation.
+///
+/// Phase 4 has no configuration of its own — every decision (mapping,
+/// bitwidth, reuse factor) arrives through the Phase 3 artifact and the
+/// project name through the context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Phase4Stage;
+
+impl Phase4Stage {
+    /// Creates the stage.
+    pub fn new() -> Self {
+        Phase4Stage
+    }
+
+    /// Validates the stage configuration (always succeeds; present for
+    /// uniformity with the other stages).
+    ///
+    /// # Errors
+    ///
+    /// Never fails today.
+    pub fn validate(&self) -> Result<(), FrameworkError> {
+        Ok(())
+    }
+
+    /// Generates the accelerator with every upstream decision applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation, estimation and generation errors.
+    pub fn run(
+        &self,
+        ctx: &PipelineContext,
+        input: &Phase3Artifact,
+    ) -> Result<Phase4Artifact, FrameworkError> {
+        self.run_observed(ctx, input, &mut NoopObserver)
+    }
+
+    /// Generates the accelerator, reporting the emitted project to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation, estimation and generation errors.
+    pub fn run_observed(
+        &self,
+        ctx: &PipelineContext,
+        input: &Phase3Artifact,
+        observer: &mut dyn PipelineObserver,
+    ) -> Result<Phase4Artifact, FrameworkError> {
+        let final_config = ctx
+            .accelerator_baseline()
+            .with_mapping(input.mapping())
+            .with_bits(input.format().total_bits())
+            .with_reuse_factor(input.reuse_factor());
+        let output = generate(
+            input.phase2.phase1.best_spec(),
+            &ctx.project_name,
+            &final_config,
+            input.format(),
+        )?;
+        observer.on_candidate(
+            PhaseId::Phase4,
+            0,
+            &format!(
+                "project {} ({} files): latency {:.4} ms, fits {}",
+                ctx.project_name,
+                output.project.paths().len(),
+                output.report.latency_ms,
+                output.report.fits
+            ),
+        );
+        Ok(Phase4Artifact {
+            phase3: input.clone(),
+            output,
+        })
+    }
+}
+
 /// Generates the accelerator for a network spec with a fully decided
-/// accelerator configuration.
+/// accelerator configuration (the standalone entry point behind
+/// [`Phase4Stage`]).
 ///
 /// # Errors
 ///
 /// Propagates spec validation, estimation and generation errors.
-pub fn run(
+pub fn generate(
     spec: &NetworkSpec,
     project_name: &str,
     accel_config: &AcceleratorConfig,
@@ -78,7 +168,7 @@ mod tests {
             .with_bits(8)
             .with_mapping(MappingStrategy::Spatial)
             .with_mc_samples(3);
-        let output = run(
+        let output = generate(
             &spec,
             "bayes_lenet",
             &config,
@@ -97,7 +187,7 @@ mod tests {
             .with_mcd_layers(1, 0.25)
             .unwrap();
         let config = AcceleratorConfig::new(FpgaDevice::xcku115());
-        let output = run(
+        let output = generate(
             &spec,
             "disk_roundtrip",
             &config,

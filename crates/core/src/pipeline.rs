@@ -1,0 +1,772 @@
+//! The staged pipeline API over the four transformation phases.
+//!
+//! [`crate::framework::TransformationFramework::run`] chains all four phases
+//! behind a single opaque call. This module exposes the same pipeline as
+//! composable, observable stages:
+//!
+//! - [`PipelineContext`] carries the inputs shared by every phase (target
+//!   device, clock, MC sample count, user constraints, optimization priority).
+//! - [`Phase1Stage`] … [`Phase4Stage`] each expose
+//!   `run(&ctx, input) -> Result<ArtifactN>`; artifacts flow explicitly from
+//!   stage to stage and each artifact embeds its predecessor, so any artifact
+//!   is a self-sufficient resume point.
+//! - [`PipelineSession`] drives the stages with caching: [`PipelineSession::run_to`]
+//!   executes phases up to a target, [`PipelineSession::resume_from`] installs
+//!   a previously stored artifact (skipping the phases that produced it), and
+//!   [`PipelineSession::run`] completes the pipeline into a
+//!   [`FrameworkOutcome`].
+//! - [`PipelineObserver`] receives phase lifecycle and per-candidate events;
+//!   [`TraceObserver`] streams them to stderr and [`RecordingObserver`]
+//!   captures them for tests and telemetry.
+//!
+//! The expensive Phase 1 training work is preserved in
+//! [`Phase1Artifact`] (trained weights for every
+//! candidate), so Phase 3 instantiates the selected model from the artifact
+//! instead of retraining it from scratch.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use bnn_core::framework::FrameworkConfig;
+//! use bnn_core::pipeline::{PhaseId, PipelineSession, StageArtifact, TraceObserver};
+//! use bnn_models::zoo::Architecture;
+//!
+//! # fn main() -> Result<(), bnn_core::FrameworkError> {
+//! let config = FrameworkConfig::quick_demo(Architecture::LeNet5);
+//!
+//! // Run the algorithmic phases once...
+//! let mut session =
+//!     PipelineSession::new(config.clone())?.with_observer(TraceObserver::default());
+//! session.run_to(PhaseId::Phase2)?;
+//! let checkpoint = session.artifacts().phase2.clone().expect("phase 2 ran");
+//!
+//! // ...and resume the hardware phases later without retraining anything.
+//! let mut resumed = PipelineSession::new(config)?;
+//! resumed.resume_from(StageArtifact::Phase2(checkpoint));
+//! let outcome = resumed.run()?;
+//! println!("{}", outcome.summary());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::constraints::{OptPriority, UserConstraints};
+use crate::error::FrameworkError;
+use crate::framework::{FrameworkConfig, FrameworkOutcome};
+use crate::phase1::{Phase1Artifact, Phase1Config, Phase1Stage};
+use crate::phase2::{Phase2Artifact, Phase2Stage};
+use crate::phase3::{Phase3Artifact, Phase3Config, Phase3Stage};
+use crate::phase4::{Phase4Artifact, Phase4Stage};
+use bnn_hw::accelerator::AcceleratorConfig;
+use bnn_hw::FpgaDevice;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Identifies one of the four transformation phases (paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PhaseId {
+    /// Multi-exit optimization (algorithmic exploration).
+    Phase1,
+    /// Spatial/temporal mapping of the MC engines.
+    Phase2,
+    /// Algorithm/hardware co-exploration (bitwidth × reuse factor).
+    Phase3,
+    /// HLS accelerator generation.
+    Phase4,
+}
+
+impl PhaseId {
+    /// All four phases in pipeline order.
+    pub fn all() -> [PhaseId; 4] {
+        [
+            PhaseId::Phase1,
+            PhaseId::Phase2,
+            PhaseId::Phase3,
+            PhaseId::Phase4,
+        ]
+    }
+
+    /// Zero-based position of the phase in the pipeline.
+    pub fn index(&self) -> usize {
+        match self {
+            PhaseId::Phase1 => 0,
+            PhaseId::Phase2 => 1,
+            PhaseId::Phase3 => 2,
+            PhaseId::Phase4 => 3,
+        }
+    }
+
+    /// Short human-readable description of what the phase does.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PhaseId::Phase1 => "multi-exit optimization",
+            PhaseId::Phase2 => "spatial/temporal mapping",
+            PhaseId::Phase3 => "algorithm/hardware co-exploration",
+            PhaseId::Phase4 => "accelerator generation",
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "phase {} ({})", self.index() + 1, self.label())
+    }
+}
+
+/// Inputs shared by every pipeline stage.
+///
+/// Phase-specific knobs live on the stage structs
+/// ([`Phase1Stage`]/[`Phase3Stage`]); the context carries only what every
+/// phase can see: the target device, the accelerator baseline parameters and
+/// the user's constraints and optimization priority.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineContext {
+    /// Name of the generated HLS project (used by Phase 4).
+    pub project_name: String,
+    /// Target FPGA device.
+    pub device: FpgaDevice,
+    /// Accelerator clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Number of MC samples the accelerator draws per input.
+    pub mc_samples: usize,
+    /// User constraints applied at every phase.
+    pub constraints: UserConstraints,
+    /// Optimization priority.
+    pub priority: OptPriority,
+}
+
+impl PipelineContext {
+    /// A context for `device` with the paper's defaults: 181 MHz clock,
+    /// 3 MC samples, no constraints, calibration priority.
+    pub fn new(device: FpgaDevice) -> Self {
+        PipelineContext {
+            project_name: "bayes_accel".to_string(),
+            device,
+            clock_mhz: 181.0,
+            mc_samples: 3,
+            constraints: UserConstraints::none(),
+            priority: OptPriority::default(),
+        }
+    }
+
+    /// Builds the context from a full framework configuration.
+    pub fn from_config(config: &FrameworkConfig) -> Self {
+        PipelineContext {
+            project_name: config.project_name.clone(),
+            device: config.device.clone(),
+            clock_mhz: config.clock_mhz,
+            mc_samples: config.mc_samples,
+            constraints: config.constraints.clone(),
+            priority: config.priority,
+        }
+    }
+
+    /// Sets the HLS project name.
+    pub fn with_project_name(mut self, name: impl Into<String>) -> Self {
+        self.project_name = name.into();
+        self
+    }
+
+    /// Sets the accelerator clock frequency.
+    pub fn with_clock_mhz(mut self, clock_mhz: f64) -> Self {
+        self.clock_mhz = clock_mhz;
+        self
+    }
+
+    /// Sets the number of accelerator MC samples.
+    pub fn with_mc_samples(mut self, mc_samples: usize) -> Self {
+        self.mc_samples = mc_samples;
+        self
+    }
+
+    /// Sets the user constraints.
+    pub fn with_constraints(mut self, constraints: UserConstraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Sets the optimization priority.
+    pub fn with_priority(mut self, priority: OptPriority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The accelerator baseline shared by the hardware phases: the target
+    /// device with this context's clock and MC sample count, before any
+    /// mapping/bitwidth/reuse decision is applied.
+    pub fn accelerator_baseline(&self) -> AcceleratorConfig {
+        AcceleratorConfig::new(self.device.clone())
+            .with_clock_mhz(self.clock_mhz)
+            .with_mc_samples(self.mc_samples)
+    }
+
+    /// Validates the context-level inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::InvalidConfig`] for a non-positive clock
+    /// frequency, zero MC samples or an empty project name.
+    pub fn validate(&self) -> Result<(), FrameworkError> {
+        if self.clock_mhz <= 0.0 {
+            return Err(FrameworkError::InvalidConfig(format!(
+                "clock frequency must be positive, got {}",
+                self.clock_mhz
+            )));
+        }
+        if self.mc_samples == 0 {
+            return Err(FrameworkError::InvalidConfig(
+                "the accelerator must draw at least one MC sample".into(),
+            ));
+        }
+        if self.project_name.is_empty() {
+            return Err(FrameworkError::InvalidConfig(
+                "the HLS project name must not be empty".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Receives pipeline lifecycle events.
+///
+/// Every method has a no-op default, so implementors override only what they
+/// need. Phases served from cached artifacts (after
+/// [`PipelineSession::resume_from`]) emit no events.
+pub trait PipelineObserver {
+    /// A phase is about to run.
+    fn on_phase_start(&mut self, phase: PhaseId) {
+        let _ = phase;
+    }
+
+    /// One exploration candidate of a phase was evaluated. `index` counts
+    /// candidates within the phase from zero; `summary` is a one-line
+    /// human-readable description of the candidate.
+    fn on_candidate(&mut self, phase: PhaseId, index: usize, summary: &str) {
+        let _ = (phase, index, summary);
+    }
+
+    /// A phase finished; `summary` describes the selected result.
+    fn on_phase_complete(&mut self, phase: PhaseId, summary: &str) {
+        let _ = (phase, summary);
+    }
+}
+
+/// The do-nothing observer (the default for unobserved stage runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl PipelineObserver for NoopObserver {}
+
+/// An observer that streams phase progress to stderr, with per-phase timing.
+#[derive(Debug, Default)]
+pub struct TraceObserver {
+    /// Also print every evaluated candidate (not just phase boundaries).
+    pub verbose: bool,
+    started: [Option<Instant>; 4],
+}
+
+impl TraceObserver {
+    /// A trace observer that also prints every evaluated candidate.
+    pub fn verbose() -> Self {
+        TraceObserver {
+            verbose: true,
+            started: [None; 4],
+        }
+    }
+}
+
+impl PipelineObserver for TraceObserver {
+    fn on_phase_start(&mut self, phase: PhaseId) {
+        self.started[phase.index()] = Some(Instant::now());
+        eprintln!("[pipeline] {phase} started");
+    }
+
+    fn on_candidate(&mut self, phase: PhaseId, index: usize, summary: &str) {
+        if self.verbose {
+            eprintln!("[pipeline]   {phase} candidate {index}: {summary}");
+        }
+    }
+
+    fn on_phase_complete(&mut self, phase: PhaseId, summary: &str) {
+        match self.started[phase.index()].take() {
+            Some(t0) => eprintln!(
+                "[pipeline] {phase} complete in {:.3}s: {summary}",
+                t0.elapsed().as_secs_f64()
+            ),
+            None => eprintln!("[pipeline] {phase} complete: {summary}"),
+        }
+    }
+}
+
+/// One recorded pipeline event (see [`RecordingObserver`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineEvent {
+    /// `on_phase_start` fired.
+    PhaseStart(PhaseId),
+    /// `on_candidate` fired with the given index and summary.
+    Candidate(PhaseId, usize, String),
+    /// `on_phase_complete` fired with the given summary.
+    PhaseComplete(PhaseId, String),
+}
+
+/// An observer that records every event, for tests and telemetry.
+///
+/// Cloning shares the underlying event log, so a clone handed to
+/// [`PipelineSession::with_observer`] can still be inspected afterwards
+/// through the original handle.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingObserver {
+    events: Rc<RefCell<Vec<PipelineEvent>>>,
+}
+
+impl RecordingObserver {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        RecordingObserver::default()
+    }
+
+    /// A snapshot of every event recorded so far.
+    pub fn events(&self) -> Vec<PipelineEvent> {
+        self.events.borrow().clone()
+    }
+}
+
+impl PipelineObserver for RecordingObserver {
+    fn on_phase_start(&mut self, phase: PhaseId) {
+        self.events
+            .borrow_mut()
+            .push(PipelineEvent::PhaseStart(phase));
+    }
+
+    fn on_candidate(&mut self, phase: PhaseId, index: usize, summary: &str) {
+        self.events
+            .borrow_mut()
+            .push(PipelineEvent::Candidate(phase, index, summary.to_string()));
+    }
+
+    fn on_phase_complete(&mut self, phase: PhaseId, summary: &str) {
+        self.events
+            .borrow_mut()
+            .push(PipelineEvent::PhaseComplete(phase, summary.to_string()));
+    }
+}
+
+/// A stored artifact of any phase, used to seed [`PipelineSession::resume_from`].
+///
+/// Each artifact embeds its predecessors, so a single `StageArtifact` is a
+/// complete resume point for the rest of the pipeline.
+// Variant sizes differ by design (later artifacts embed earlier ones); the
+// enum is a transient handle passed once into `resume_from`, never stored in
+// bulk, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageArtifact {
+    /// The Phase 1 artifact (trained candidates + dataset).
+    Phase1(Phase1Artifact),
+    /// The Phase 2 artifact (selected mapping, embeds Phase 1).
+    Phase2(Phase2Artifact),
+    /// The Phase 3 artifact (selected bitwidth/reuse, embeds Phases 1-2).
+    Phase3(Phase3Artifact),
+    /// The Phase 4 artifact (generated project, embeds Phases 1-3).
+    Phase4(Phase4Artifact),
+}
+
+impl StageArtifact {
+    /// The phase that produced this artifact.
+    pub fn phase_id(&self) -> PhaseId {
+        match self {
+            StageArtifact::Phase1(_) => PhaseId::Phase1,
+            StageArtifact::Phase2(_) => PhaseId::Phase2,
+            StageArtifact::Phase3(_) => PhaseId::Phase3,
+            StageArtifact::Phase4(_) => PhaseId::Phase4,
+        }
+    }
+}
+
+/// The artifacts a session has produced (or been seeded with) so far.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineArtifacts {
+    /// Phase 1 artifact, if Phase 1 has run.
+    pub phase1: Option<Phase1Artifact>,
+    /// Phase 2 artifact, if Phase 2 has run.
+    pub phase2: Option<Phase2Artifact>,
+    /// Phase 3 artifact, if Phase 3 has run.
+    pub phase3: Option<Phase3Artifact>,
+    /// Phase 4 artifact, if Phase 4 has run.
+    pub phase4: Option<Phase4Artifact>,
+}
+
+impl PipelineArtifacts {
+    /// The most advanced phase with an artifact present, if any.
+    pub fn latest_phase(&self) -> Option<PhaseId> {
+        if self.phase4.is_some() {
+            Some(PhaseId::Phase4)
+        } else if self.phase3.is_some() {
+            Some(PhaseId::Phase3)
+        } else if self.phase2.is_some() {
+            Some(PhaseId::Phase2)
+        } else if self.phase1.is_some() {
+            Some(PhaseId::Phase1)
+        } else {
+            None
+        }
+    }
+}
+
+/// Validates a full framework configuration through the per-stage
+/// `validate()` methods (the same checks `PipelineSession::new` and the
+/// builder apply).
+///
+/// # Errors
+///
+/// Returns [`FrameworkError::InvalidConfig`] describing the first violated
+/// check.
+pub fn validate_config(config: &FrameworkConfig) -> Result<(), FrameworkError> {
+    PipelineContext::from_config(config).validate()?;
+    Phase1Stage::new(config.phase1.clone()).validate()?;
+    Phase2Stage::new().validate()?;
+    Phase3Stage::new(config.phase3.clone()).validate()?;
+    Phase4Stage::new().validate()?;
+    Ok(())
+}
+
+/// A stateful driver over the four stages with artifact caching.
+///
+/// See the [module documentation](self) for a worked example.
+pub struct PipelineSession {
+    ctx: PipelineContext,
+    phase1: Phase1Stage,
+    phase2: Phase2Stage,
+    phase3: Phase3Stage,
+    phase4: Phase4Stage,
+    artifacts: PipelineArtifacts,
+    observer: Box<dyn PipelineObserver>,
+}
+
+impl std::fmt::Debug for PipelineSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineSession")
+            .field("ctx", &self.ctx)
+            .field("artifacts", &self.artifacts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PipelineSession {
+    /// Creates a session from a full framework configuration after validating
+    /// every stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::InvalidConfig`] describing the first violated
+    /// per-stage check.
+    pub fn new(config: FrameworkConfig) -> Result<Self, FrameworkError> {
+        let ctx = PipelineContext::from_config(&config);
+        let session = PipelineSession {
+            ctx,
+            phase1: Phase1Stage::new(config.phase1),
+            phase2: Phase2Stage::new(),
+            phase3: Phase3Stage::new(config.phase3),
+            phase4: Phase4Stage::new(),
+            artifacts: PipelineArtifacts::default(),
+            observer: Box::new(NoopObserver),
+        };
+        session.validate()?;
+        Ok(session)
+    }
+
+    /// Validates the context and every stage of this session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::InvalidConfig`] describing the first violated
+    /// check.
+    pub fn validate(&self) -> Result<(), FrameworkError> {
+        self.ctx.validate()?;
+        self.phase1.validate()?;
+        self.phase2.validate()?;
+        self.phase3.validate()?;
+        self.phase4.validate()?;
+        Ok(())
+    }
+
+    /// Attaches an observer (replacing the current one).
+    pub fn with_observer(mut self, observer: impl PipelineObserver + 'static) -> Self {
+        self.observer = Box::new(observer);
+        self
+    }
+
+    /// Replaces the observer on an existing session.
+    pub fn set_observer(&mut self, observer: impl PipelineObserver + 'static) {
+        self.observer = Box::new(observer);
+    }
+
+    /// The shared context of this session.
+    pub fn context(&self) -> &PipelineContext {
+        &self.ctx
+    }
+
+    /// The artifacts produced (or installed) so far.
+    pub fn artifacts(&self) -> &PipelineArtifacts {
+        &self.artifacts
+    }
+
+    /// Installs a previously produced artifact as the resume point.
+    ///
+    /// The artifact's embedded predecessors are unpacked into their slots so
+    /// they remain inspectable; any artifact of a *later* phase is discarded
+    /// (it was derived from state this resume point replaces).
+    pub fn resume_from(&mut self, artifact: StageArtifact) {
+        self.artifacts = PipelineArtifacts::default();
+        match artifact {
+            StageArtifact::Phase1(a1) => {
+                self.artifacts.phase1 = Some(a1);
+            }
+            StageArtifact::Phase2(a2) => {
+                self.artifacts.phase1 = Some(a2.phase1.clone());
+                self.artifacts.phase2 = Some(a2);
+            }
+            StageArtifact::Phase3(a3) => {
+                self.artifacts.phase1 = Some(a3.phase2.phase1.clone());
+                self.artifacts.phase2 = Some(a3.phase2.clone());
+                self.artifacts.phase3 = Some(a3);
+            }
+            StageArtifact::Phase4(a4) => {
+                self.artifacts.phase1 = Some(a4.phase3.phase2.phase1.clone());
+                self.artifacts.phase2 = Some(a4.phase3.phase2.clone());
+                self.artifacts.phase3 = Some(a4.phase3.clone());
+                self.artifacts.phase4 = Some(a4);
+            }
+        }
+    }
+
+    /// Runs every phase up to and including `target`, reusing cached
+    /// artifacts. Phases that already have an artifact emit no observer
+    /// events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any phase error, including
+    /// [`FrameworkError::NoFeasibleDesign`] when the constraints cannot be
+    /// met.
+    pub fn run_to(&mut self, target: PhaseId) -> Result<&PipelineArtifacts, FrameworkError> {
+        if self.artifacts.phase1.is_none() {
+            self.observer.on_phase_start(PhaseId::Phase1);
+            let a1 = self
+                .phase1
+                .run_observed(&self.ctx, self.observer.as_mut())?;
+            let best = a1.result.best();
+            self.observer.on_phase_complete(
+                PhaseId::Phase1,
+                &format!(
+                    "selected {} (acc {:.4}, ece {:.4}) from {} candidate(s)",
+                    best.variant,
+                    best.metrics.evaluation.accuracy,
+                    best.metrics.evaluation.ece,
+                    a1.result.candidates.len()
+                ),
+            );
+            self.artifacts.phase1 = Some(a1);
+        }
+        if target >= PhaseId::Phase2 && self.artifacts.phase2.is_none() {
+            let a1 = self.artifacts.phase1.as_ref().expect("phase 1 just ran");
+            self.observer.on_phase_start(PhaseId::Phase2);
+            let a2 = self
+                .phase2
+                .run_observed(&self.ctx, a1, self.observer.as_mut())?;
+            self.observer.on_phase_complete(
+                PhaseId::Phase2,
+                &format!(
+                    "selected {} mapping from {} candidate(s)",
+                    a2.mapping(),
+                    a2.result.candidates.len()
+                ),
+            );
+            self.artifacts.phase2 = Some(a2);
+        }
+        if target >= PhaseId::Phase3 && self.artifacts.phase3.is_none() {
+            let a2 = self.artifacts.phase2.as_ref().expect("phase 2 just ran");
+            self.observer.on_phase_start(PhaseId::Phase3);
+            let a3 = self
+                .phase3
+                .run_observed(&self.ctx, a2, self.observer.as_mut())?;
+            self.observer.on_phase_complete(
+                PhaseId::Phase3,
+                &format!(
+                    "selected {} with reuse factor {} from {} point(s)",
+                    a3.format(),
+                    a3.reuse_factor(),
+                    a3.result.points.len()
+                ),
+            );
+            self.artifacts.phase3 = Some(a3);
+        }
+        if target >= PhaseId::Phase4 && self.artifacts.phase4.is_none() {
+            let a3 = self.artifacts.phase3.as_ref().expect("phase 3 just ran");
+            self.observer.on_phase_start(PhaseId::Phase4);
+            let a4 = self
+                .phase4
+                .run_observed(&self.ctx, a3, self.observer.as_mut())?;
+            self.observer.on_phase_complete(
+                PhaseId::Phase4,
+                &format!(
+                    "generated {} ({} files, fits device: {})",
+                    self.ctx.project_name,
+                    a4.output.project.paths().len(),
+                    a4.output.report.fits
+                ),
+            );
+            self.artifacts.phase4 = Some(a4);
+        }
+        Ok(&self.artifacts)
+    }
+
+    /// Runs the full pipeline (reusing cached artifacts) and assembles the
+    /// selected design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any phase error, including
+    /// [`FrameworkError::NoFeasibleDesign`] when the constraints cannot be
+    /// met.
+    pub fn run(&mut self) -> Result<FrameworkOutcome, FrameworkError> {
+        self.run_to(PhaseId::Phase4)?;
+        let a4 = self
+            .artifacts
+            .phase4
+            .as_ref()
+            .expect("run_to(Phase4) filled every slot");
+        Ok(FrameworkOutcome {
+            phase1: a4.phase3.phase2.phase1.result.clone(),
+            phase2: a4.phase3.phase2.result.clone(),
+            phase3: a4.phase3.result.clone(),
+            phase4: a4.output.clone(),
+        })
+    }
+}
+
+/// Builder over [`PipelineSession`] that surfaces the per-stage `validate()`
+/// checks at construction time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineBuilder {
+    config: FrameworkConfig,
+}
+
+impl PipelineBuilder {
+    /// Starts from an existing framework configuration.
+    pub fn from_config(config: FrameworkConfig) -> Self {
+        PipelineBuilder { config }
+    }
+
+    /// Sets the HLS project name.
+    pub fn project_name(mut self, name: impl Into<String>) -> Self {
+        self.config.project_name = name.into();
+        self
+    }
+
+    /// Sets the target device.
+    pub fn device(mut self, device: FpgaDevice) -> Self {
+        self.config.device = device;
+        self
+    }
+
+    /// Sets the accelerator clock frequency.
+    pub fn clock_mhz(mut self, clock_mhz: f64) -> Self {
+        self.config.clock_mhz = clock_mhz;
+        self
+    }
+
+    /// Sets the number of accelerator MC samples.
+    pub fn mc_samples(mut self, mc_samples: usize) -> Self {
+        self.config.mc_samples = mc_samples;
+        self
+    }
+
+    /// Sets the user constraints.
+    pub fn constraints(mut self, constraints: UserConstraints) -> Self {
+        self.config.constraints = constraints;
+        self
+    }
+
+    /// Sets the optimization priority.
+    pub fn priority(mut self, priority: OptPriority) -> Self {
+        self.config.priority = priority;
+        self
+    }
+
+    /// Replaces the Phase 1 configuration.
+    pub fn phase1(mut self, phase1: Phase1Config) -> Self {
+        self.config.phase1 = phase1;
+        self
+    }
+
+    /// Replaces the Phase 3 configuration.
+    pub fn phase3(mut self, phase3: Phase3Config) -> Self {
+        self.config.phase3 = phase3;
+        self
+    }
+
+    /// Validates every stage and produces the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameworkError::InvalidConfig`] describing the first violated
+    /// per-stage check.
+    pub fn build(self) -> Result<PipelineSession, FrameworkError> {
+        PipelineSession::new(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bnn_models::zoo::Architecture;
+
+    #[test]
+    fn phase_id_order_and_display() {
+        let all = PhaseId::all();
+        for window in all.windows(2) {
+            assert!(window[0] < window[1]);
+        }
+        assert_eq!(PhaseId::Phase3.index(), 2);
+        assert!(PhaseId::Phase1.to_string().contains("multi-exit"));
+    }
+
+    #[test]
+    fn context_validation() {
+        let ctx = PipelineContext::new(bnn_hw::FpgaDevice::xcku115());
+        assert!(ctx.validate().is_ok());
+        assert!(ctx.clone().with_clock_mhz(0.0).validate().is_err());
+        assert!(ctx.clone().with_mc_samples(0).validate().is_err());
+        assert!(ctx.with_project_name("").validate().is_err());
+    }
+
+    #[test]
+    fn builder_surfaces_stage_validation() {
+        let config = FrameworkConfig::quick_demo(Architecture::LeNet5);
+        assert!(PipelineBuilder::from_config(config.clone()).build().is_ok());
+        assert!(PipelineBuilder::from_config(config.clone())
+            .clock_mhz(-1.0)
+            .build()
+            .is_err());
+        let mut bad = config;
+        bad.phase3.formats.clear();
+        assert!(PipelineBuilder::from_config(bad).build().is_err());
+    }
+
+    #[test]
+    fn recording_observer_shares_its_log() {
+        let recorder = RecordingObserver::new();
+        let mut clone = recorder.clone();
+        clone.on_phase_start(PhaseId::Phase1);
+        clone.on_candidate(PhaseId::Phase1, 0, "c");
+        clone.on_phase_complete(PhaseId::Phase1, "done");
+        let events = recorder.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0], PipelineEvent::PhaseStart(PhaseId::Phase1));
+        assert_eq!(
+            events[2],
+            PipelineEvent::PhaseComplete(PhaseId::Phase1, "done".into())
+        );
+    }
+}

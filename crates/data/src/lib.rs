@@ -5,8 +5,8 @@
 //!
 //! The real datasets cannot be downloaded in this environment, so each dataset
 //! is replaced by a procedurally generated class-conditional image
-//! distribution with the same tensor shape and class count (see `DESIGN.md`
-//! §2 for the substitution argument). Images are built from class-specific
+//! distribution with the same tensor shape and class count (see the README's
+//! substitution note). Images are built from class-specific
 //! sinusoidal gratings and blob patterns plus per-sample noise and a
 //! configurable label-noise fraction, which keeps the tasks learnable but not
 //! trivially separable — exactly what is needed for accuracy/calibration

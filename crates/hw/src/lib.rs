@@ -4,8 +4,8 @@
 //!
 //! The paper obtains its hardware numbers from Vivado-HLS C-synthesis reports,
 //! Vivado place-and-route and the Xilinx Power Estimator. None of those tools
-//! can run here, so this crate provides the analytic stand-in (see `DESIGN.md`
-//! §2): per-layer resource and latency estimation in the style of hls4ml's
+//! can run here, so this crate provides the analytic stand-in (see the
+//! README): per-layer resource and latency estimation in the style of hls4ml's
 //! resource strategy, a spatial/temporal mapping model for the Monte-Carlo
 //! engines, an XPE-style power estimator, CPU/GPU roofline models and the
 //! literature baselines quoted in Table II.

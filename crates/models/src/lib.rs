@@ -42,6 +42,6 @@ pub mod zoo;
 
 pub use config::ModelConfig;
 pub use error::ModelError;
-pub use multi_exit::MultiExitNetwork;
+pub use multi_exit::{MultiExitNetwork, NetworkCheckpoint};
 pub use residual::ResidualBlock;
 pub use spec::{ExitSpec, LayerSpec, NetworkSpec};

@@ -4,8 +4,21 @@ use crate::error::ModelError;
 use crate::spec::NetworkSpec;
 use bnn_nn::layer::{Mode, Param};
 use bnn_nn::network::Network;
-use bnn_nn::{NnError, Sequential};
+use bnn_nn::{Layer, NnError, Sequential};
 use bnn_tensor::{Shape, Tensor};
+
+/// A full snapshot of a trained [`MultiExitNetwork`]: every trainable
+/// parameter plus every layer's non-trainable state (e.g. batchnorm running
+/// statistics), sufficient to reproduce the network's evaluation behaviour in
+/// a freshly built instance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetworkCheckpoint {
+    /// Trainable parameter tensors, in [`Network::params_mut`] order.
+    pub params: Vec<Tensor>,
+    /// Non-trainable layer state per top-level container: backbone blocks
+    /// first, then exit branches in attachment order.
+    pub container_state: Vec<Vec<Vec<f32>>>,
+}
 
 /// A trainable multi-exit network: a chain of backbone blocks with one or more
 /// exit branches attached at block boundaries.
@@ -60,6 +73,66 @@ impl MultiExitNetwork {
     /// The architecture specification this network was built from.
     pub fn spec(&self) -> &NetworkSpec {
         &self.spec
+    }
+
+    /// Captures a checkpoint of every trainable parameter and every layer's
+    /// non-trainable state (e.g. batchnorm running statistics).
+    pub fn checkpoint(&mut self) -> NetworkCheckpoint {
+        let params = self.params_mut().iter().map(|p| p.value.clone()).collect();
+        let container_state = self
+            .blocks
+            .iter()
+            .map(Layer::state)
+            .chain(self.exits.iter().map(|(_, e)| Layer::state(e)))
+            .collect();
+        NetworkCheckpoint {
+            params,
+            container_state,
+        }
+    }
+
+    /// Restores a checkpoint captured by [`MultiExitNetwork::checkpoint`]
+    /// (typically into a freshly built network of the same spec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidSpec`] if the checkpoint does not match
+    /// this network's parameter or state layout.
+    pub fn restore(&mut self, checkpoint: &NetworkCheckpoint) -> Result<(), ModelError> {
+        let params = self.params_mut();
+        if params.len() != checkpoint.params.len() {
+            return Err(ModelError::InvalidSpec(format!(
+                "checkpoint has {} parameter tensor(s), network expects {}",
+                checkpoint.params.len(),
+                params.len()
+            )));
+        }
+        for (param, saved) in params.into_iter().zip(&checkpoint.params) {
+            if param.value.dims() != saved.dims() {
+                return Err(ModelError::InvalidSpec(format!(
+                    "checkpoint parameter shape {:?} does not match network shape {:?}",
+                    saved.dims(),
+                    param.value.dims()
+                )));
+            }
+            param.value = saved.clone();
+        }
+        let n_containers = self.blocks.len() + self.exits.len();
+        if checkpoint.container_state.len() != n_containers {
+            return Err(ModelError::InvalidSpec(format!(
+                "checkpoint has state for {} container(s), network has {}",
+                checkpoint.container_state.len(),
+                n_containers
+            )));
+        }
+        let containers = self
+            .blocks
+            .iter_mut()
+            .chain(self.exits.iter_mut().map(|(_, e)| e));
+        for (container, state) in containers.zip(&checkpoint.container_state) {
+            container.set_state(state)?;
+        }
+        Ok(())
     }
 
     /// Number of backbone blocks.

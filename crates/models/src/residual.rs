@@ -84,6 +84,29 @@ impl Layer for ResidualBlock {
         params
     }
 
+    fn state(&self) -> Vec<Vec<f32>> {
+        let mut state = Layer::state(&self.main);
+        state.extend(Layer::state(&self.shortcut));
+        state
+    }
+
+    fn state_len(&self) -> usize {
+        Layer::state_len(&self.main) + Layer::state_len(&self.shortcut)
+    }
+
+    fn set_state(&mut self, state: &[Vec<f32>]) -> Result<(), NnError> {
+        let main_n = Layer::state_len(&self.main);
+        if state.len() < main_n {
+            return Err(NnError::InvalidConfig(format!(
+                "residual block needs {main_n} main-path state tensor(s), got {}",
+                state.len()
+            )));
+        }
+        let (main_state, shortcut_state) = state.split_at(main_n);
+        self.main.set_state(main_state)?;
+        self.shortcut.set_state(shortcut_state)
+    }
+
     fn output_shape(&self, input: &Shape) -> Result<Shape, NnError> {
         self.main.output_shape(input)
     }

@@ -5,7 +5,7 @@
 //! paper's "semantic groupings") plus one exit branch per attachment point.
 //! Specs support shape propagation, FLOP/parameter accounting, the multi-exit
 //! and MCD structural transformations, and instantiation into a trainable
-//! [`MultiExitNetwork`](crate::MultiExitNetwork).
+//! [`MultiExitNetwork`].
 
 use crate::error::ModelError;
 use crate::multi_exit::MultiExitNetwork;

@@ -81,7 +81,8 @@ pub fn flop_reduction_rate(alpha: f64, n_samples: f64, n_exits: f64) -> f64 {
 }
 
 /// Utility: FLOPs of a convolution layer given its geometry (2 FLOPs per MAC
-/// plus one bias add per output element), matching [`crate::layers::conv2d::Conv2d::flops`].
+/// plus one bias add per output element), matching the `Layer::flops`
+/// implementation of [`crate::layers::conv2d::Conv2d`].
 pub fn conv_flops(
     in_channels: usize,
     out_channels: usize,

@@ -137,6 +137,39 @@ pub trait Layer: std::fmt::Debug {
     fn is_mc_dropout(&self) -> bool {
         false
     }
+
+    /// Snapshot of the layer's non-trainable state tensors (e.g. batchnorm
+    /// running statistics), in a stable order. Stateless layers return an
+    /// empty vec. Together with [`Layer::params`] this captures everything a
+    /// checkpoint must preserve to reproduce the layer's evaluation
+    /// behaviour.
+    fn state(&self) -> Vec<Vec<f32>> {
+        Vec::new()
+    }
+
+    /// Number of state tensors [`Layer::state`] returns, without cloning them
+    /// (containers use this to route a flattened snapshot back to children).
+    fn state_len(&self) -> usize {
+        0
+    }
+
+    /// Restores a snapshot captured by [`Layer::state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the snapshot does not match the
+    /// layer's state layout.
+    fn set_state(&mut self, state: &[Vec<f32>]) -> Result<(), NnError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(NnError::InvalidConfig(format!(
+                "layer {} is stateless but received {} state tensor(s)",
+                self.name(),
+                state.len()
+            )))
+        }
+    }
 }
 
 #[cfg(test)]

@@ -207,6 +207,27 @@ impl Layer for BatchNorm2d {
         // normalise (subtract, multiply) + affine (multiply, add) per element
         4 * input.len() as u64
     }
+
+    fn state(&self) -> Vec<Vec<f32>> {
+        vec![self.running_mean.clone(), self.running_var.clone()]
+    }
+
+    fn state_len(&self) -> usize {
+        2
+    }
+
+    fn set_state(&mut self, state: &[Vec<f32>]) -> Result<(), NnError> {
+        let channels = self.running_mean.len();
+        if state.len() != 2 || state.iter().any(|s| s.len() != channels) {
+            return Err(NnError::InvalidConfig(format!(
+                "batchnorm state must be two vectors of {channels} channel(s), got {:?}",
+                state.iter().map(Vec::len).collect::<Vec<_>>()
+            )));
+        }
+        self.running_mean = state[0].clone();
+        self.running_var = state[1].clone();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -180,6 +180,41 @@ impl Layer for Sequential {
     fn flops(&self, input: &Shape) -> u64 {
         Sequential::flops(self, input)
     }
+
+    fn state(&self) -> Vec<Vec<f32>> {
+        self.layers.iter().flat_map(|l| l.state()).collect()
+    }
+
+    fn state_len(&self) -> usize {
+        self.layers.iter().map(|l| l.state_len()).sum()
+    }
+
+    fn set_state(&mut self, state: &[Vec<f32>]) -> Result<(), NnError> {
+        let mut rest = state;
+        for layer in &mut self.layers {
+            let n = layer.state_len();
+            if rest.len() < n {
+                return Err(NnError::InvalidConfig(format!(
+                    "container {} needs {} more state tensor(s) for layer {}, got {}",
+                    self.name,
+                    n,
+                    layer.name(),
+                    rest.len()
+                )));
+            }
+            let (head, tail) = rest.split_at(n);
+            layer.set_state(head)?;
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            return Err(NnError::InvalidConfig(format!(
+                "container {} received {} extra state tensor(s)",
+                self.name,
+                rest.len()
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Network for Sequential {

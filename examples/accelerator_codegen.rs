@@ -1,14 +1,15 @@
-//! End-to-end transformation framework run: from a non-Bayesian LeNet-5
+//! End-to-end transformation pipeline run: from a non-Bayesian LeNet-5
 //! description to a generated HLS accelerator project on disk.
 //!
-//! This drives all four phases of the framework (multi-exit optimization,
-//! spatial/temporal mapping, algorithm/hardware co-exploration, HLS
-//! generation) exactly as `bnn-core` chains them, then writes the generated
+//! This drives all four phases through the staged `PipelineSession` API with
+//! a `TraceObserver` streaming live per-phase progress (timings and the
+//! selected result of every phase) to stderr, then writes the generated
 //! hls4ml-style project under `target/generated_hls/`.
 //!
 //! Run with: `cargo run --release --example accelerator_codegen`
 
-use bayesnn_fpga::core::framework::{FrameworkConfig, TransformationFramework};
+use bayesnn_fpga::core::framework::FrameworkConfig;
+use bayesnn_fpga::core::pipeline::{PipelineSession, TraceObserver};
 use bayesnn_fpga::core::{OptPriority, UserConstraints};
 use bayesnn_fpga::models::zoo::Architecture;
 use std::path::PathBuf;
@@ -17,12 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = FrameworkConfig::quick_demo(Architecture::LeNet5)
         .with_priority(OptPriority::Energy)
         .with_constraints(UserConstraints::none().with_max_power_w(10.0));
-    println!(
-        "running the 4-phase transformation framework (this trains several small models)...\n"
-    );
+    println!("running the 4-phase transformation pipeline (this trains several small models)...\n");
 
-    let framework = TransformationFramework::new(config)?;
-    let outcome = framework.run()?;
+    let mut session = PipelineSession::new(config)?.with_observer(TraceObserver::verbose());
+    let outcome = session.run()?;
     println!("{}\n", outcome.summary());
 
     println!("phase 1 candidates:");

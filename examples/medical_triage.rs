@@ -3,50 +3,58 @@
 //!
 //! The paper motivates BayesNNs with safety-critical applications such as
 //! medical imaging: a well-calibrated model can *defer* when it is unsure.
-//! This example trains an MCD+ME model on a synthetic diagnostic task, ranks
-//! test cases by predictive entropy, refers the most uncertain fraction and
-//! shows that accuracy on the retained (automated) cases improves.
+//! This example drives Phase 1 of the transformation pipeline to train and
+//! select an MCD+ME model on a synthetic diagnostic task, instantiates the
+//! trained model straight from the phase artifact (no retraining), ranks test
+//! cases by predictive entropy, refers the most uncertain fraction and shows
+//! that accuracy on the retained (automated) cases improves.
 //!
 //! Run with: `cargo run --release --example medical_triage`
 
 use bayesnn_fpga::bayes::metrics::accuracy;
 use bayesnn_fpga::bayes::sampling::{McSampler, SamplingConfig};
+use bayesnn_fpga::core::phase1::{ModelVariant, Phase1Config, Phase1Stage};
+use bayesnn_fpga::core::pipeline::PipelineContext;
 use bayesnn_fpga::data::{DatasetSpec, SyntheticConfig};
-use bayesnn_fpga::models::{zoo, ModelConfig};
-use bayesnn_fpga::nn::optimizer::Sgd;
-use bayesnn_fpga::nn::trainer::{train, LabelledBatchSource, TrainConfig};
+use bayesnn_fpga::hw::FpgaDevice;
+use bayesnn_fpga::models::zoo::Architecture;
+use bayesnn_fpga::models::ModelConfig;
 use bayesnn_fpga::tensor::ops::row_entropy;
 use bayesnn_fpga::tensor::Tensor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A synthetic "diagnostic imaging" task: 4 findings, noisy acquisitions.
-    let data = SyntheticConfig::new(DatasetSpec::new("synthetic-histology", 3, 16, 16, 4))
+    // Phase 1 configuration: a synthetic "diagnostic imaging" task (4
+    // findings, noisy acquisitions) on a reduced ResNet-18 backbone, exploring
+    // only the MCD+multi-exit variant the paper proposes.
+    let mut config = Phase1Config::quick(Architecture::ResNet18);
+    config.model = ModelConfig::new(3, 16, 16, 4).with_width_divisor(8);
+    config.dataset = SyntheticConfig::new(DatasetSpec::new("synthetic-histology", 3, 16, 16, 4))
         .with_samples(480, 240)
         .with_noise(0.55)
-        .with_label_noise(0.06)
-        .generate(11)?;
+        .with_label_noise(0.06);
+    config.train.epochs = 8;
+    config.variants = vec![ModelVariant::McdMultiExit];
+    config.seed = 11;
 
-    let config = ModelConfig::new(3, 16, 16, 4).with_width_divisor(8);
-    let spec = zoo::resnet18(&config)
-        .with_exits_after_every_block()?
-        .with_exit_mcd(0.25)?;
-    let mut network = spec.build(3)?;
+    let ctx = PipelineContext::new(FpgaDevice::xcku115());
+    let artifact = Phase1Stage::new(config).run(&ctx)?;
+    println!(
+        "phase 1 trained {} candidate(s); best: {} (acc {:.3}, ece {:.3})",
+        artifact.result.candidates.len(),
+        artifact.result.best().variant,
+        artifact.result.best().metrics.evaluation.accuracy,
+        artifact.result.best().metrics.evaluation.ece,
+    );
 
-    let batches =
-        LabelledBatchSource::new(data.train.inputs().clone(), data.train.labels().to_vec())?;
-    let mut sgd = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(5e-4);
-    let cfg = TrainConfig {
-        epochs: 8,
-        batch_size: 32,
-        distillation_weight: 0.5,
-        ..TrainConfig::default()
-    };
-    train(&mut network, &batches, &mut sgd, &cfg)?;
+    // Instantiate the trained model from the artifact — no retraining — and
+    // reuse the artifact's held-out test split.
+    let mut network = artifact.instantiate_best()?;
+    let test = &artifact.data.test;
 
     // Bayesian prediction with 8 MC samples.
     let sampler = McSampler::new(SamplingConfig::new(8));
-    let prediction = sampler.predict(&mut network, data.test.inputs())?;
-    let labels = data.test.labels();
+    let prediction = sampler.predict(&mut network, test.inputs())?;
+    let labels = test.labels();
     let overall = accuracy(&prediction.mean_probs, labels)?;
     println!("automated accuracy on every case: {overall:.3}");
 

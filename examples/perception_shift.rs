@@ -2,6 +2,11 @@
 //! and a multi-exit MCD BayesNN behave as the test distribution drifts away
 //! from the training distribution (fog/noise-like corruptions).
 //!
+//! Both models come out of a single Phase 1 exploration of the transformation
+//! pipeline: the stage trains every requested variant, and the phase artifact
+//! lets us instantiate each trained candidate directly — no retraining, no
+//! manual training-loop plumbing.
+//!
 //! The desirable behaviour for a safety-critical perception stack is that
 //! predictive entropy *rises* with corruption severity — the model knows that
 //! it does not know — while the deterministic network stays overconfident.
@@ -11,55 +16,47 @@
 use bayesnn_fpga::bayes::metrics::mean_predictive_entropy;
 use bayesnn_fpga::bayes::sampling::{McSampler, SamplingConfig};
 use bayesnn_fpga::bayes::Evaluation;
+use bayesnn_fpga::core::phase1::{ModelVariant, Phase1Config, Phase1Stage};
+use bayesnn_fpga::core::pipeline::PipelineContext;
 use bayesnn_fpga::data::{Corruption, DatasetSpec, SyntheticConfig};
-use bayesnn_fpga::models::{zoo, ModelConfig};
-use bayesnn_fpga::nn::optimizer::Sgd;
-use bayesnn_fpga::nn::trainer::{train, LabelledBatchSource, TrainConfig};
+use bayesnn_fpga::hw::FpgaDevice;
+use bayesnn_fpga::models::zoo::Architecture;
+use bayesnn_fpga::models::ModelConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A synthetic "road scene patch" classification task.
-    let data = SyntheticConfig::new(DatasetSpec::new("synthetic-road", 3, 16, 16, 6))
+    // Phase 1 over a synthetic "road scene patch" classification task,
+    // exploring the deterministic baseline and the paper's MCD+ME proposal.
+    let mut config = Phase1Config::quick(Architecture::Vgg11);
+    config.model = ModelConfig::new(3, 16, 16, 6).with_width_divisor(8);
+    config.dataset = SyntheticConfig::new(DatasetSpec::new("synthetic-road", 3, 16, 16, 6))
         .with_samples(480, 240)
-        .with_noise(0.4)
-        .generate(21)?;
-    let config = ModelConfig::new(3, 16, 16, 6).with_width_divisor(8);
+        .with_noise(0.4);
+    config.train.epochs = 8;
+    config.variants = vec![ModelVariant::SingleExit, ModelVariant::McdMultiExit];
+    config.seed = 21;
 
-    // Deterministic single-exit baseline.
-    let se_spec = zoo::vgg11(&config);
-    let mut se = se_spec.build(1)?;
-    // Multi-exit MCD BayesNN.
-    let bayes_spec = zoo::vgg11(&config)
-        .with_exits_after_every_block()?
-        .with_exit_mcd(0.25)?;
-    let mut bayes = bayes_spec.build(2)?;
+    let ctx = PipelineContext::new(FpgaDevice::xcku115());
+    let artifact = Phase1Stage::new(config).run(&ctx)?;
 
-    let batches =
-        LabelledBatchSource::new(data.train.inputs().clone(), data.train.labels().to_vec())?;
-    let cfg = TrainConfig {
-        epochs: 8,
-        batch_size: 32,
-        distillation_weight: 0.5,
-        ..TrainConfig::default()
-    };
-    let mut sgd1 = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(5e-4);
-    train(
-        &mut se,
-        &batches,
-        &mut sgd1,
-        &TrainConfig {
-            distillation_weight: 0.0,
-            ..cfg.clone()
-        },
-    )?;
-    let mut sgd2 = Sgd::new(0.05).with_momentum(0.9).with_weight_decay(5e-4);
-    train(&mut bayes, &batches, &mut sgd2, &cfg)?;
+    // Instantiate both trained candidates from the artifact.
+    let se_index = artifact
+        .result
+        .best_index_of_variant(ModelVariant::SingleExit)
+        .expect("single-exit variant was explored");
+    let bayes_index = artifact
+        .result
+        .best_index_of_variant(ModelVariant::McdMultiExit)
+        .expect("MCD+ME variant was explored");
+    let mut se = artifact.instantiate(se_index)?;
+    let mut bayes = artifact.instantiate(bayes_index)?;
 
     let sampler = McSampler::new(SamplingConfig::new(8));
     println!("severity | SE acc  SE ECE  SE entropy | MCD+ME acc  MCD+ME ECE  MCD+ME entropy");
     println!("---------+----------------------------+---------------------------------------");
     for severity in 0..=4usize {
-        // Apply the corruption ladder for this severity.
-        let mut shifted = data.test.clone();
+        // Apply the corruption ladder for this severity to the artifact's
+        // held-out test split.
+        let mut shifted = artifact.data.test.clone();
         for (i, corruption) in Corruption::severity_ladder(severity).iter().enumerate() {
             shifted = corruption.apply(&shifted, 100 + severity as u64 * 10 + i as u64)?;
         }

@@ -2,6 +2,10 @@
 //! MNIST-like task, draw Monte-Carlo samples, and estimate its FPGA
 //! implementation.
 //!
+//! This walks the substrate crates step by step; the staged pipeline in
+//! `bnn-core::pipeline` automates the same flow (see the
+//! `accelerator_codegen` and `design_space_exploration` examples).
+//!
 //! Run with: `cargo run --release --example quickstart`
 
 use bayesnn_fpga::bayes::sampling::{McSampler, SamplingConfig};
@@ -15,7 +19,7 @@ use bayesnn_fpga::nn::trainer::{train, LabelledBatchSource, TrainConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A synthetic MNIST-like dataset (the real dataset cannot be downloaded
-    //    here; see DESIGN.md §2 for the substitution argument).
+    //    here; see the README's substitution note).
     let data = SyntheticConfig::new(DatasetSpec::mnist_like().with_resolution(14, 14))
         .with_samples(512, 256)
         .generate(2023)?;

@@ -5,8 +5,9 @@
 //! on FPGA"*. It re-exports every workspace crate under a single dependency so
 //! examples and downstream users can write `use bayesnn_fpga::core::...`.
 //!
-//! See `README.md` for the architecture overview, `DESIGN.md` for the system
-//! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` for the architecture overview, the crate inventory and the
+//! paper-table runbook, and `CHANGES.md` for the per-PR history and recorded
+//! performance baselines.
 //!
 //! # Example
 //!

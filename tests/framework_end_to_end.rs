@@ -1,8 +1,10 @@
-//! Integration test: the full 4-phase transformation framework produces a
-//! feasible accelerator design and a complete HLS project.
+//! Integration test: the full 4-phase transformation pipeline produces a
+//! feasible accelerator design and a complete HLS project, driven through the
+//! staged `PipelineSession` API.
 
-use bayesnn_fpga::core::framework::{FrameworkConfig, TransformationFramework};
+use bayesnn_fpga::core::framework::FrameworkConfig;
 use bayesnn_fpga::core::phase1::ModelVariant;
+use bayesnn_fpga::core::pipeline::{PhaseId, PipelineSession};
 use bayesnn_fpga::core::{OptPriority, UserConstraints};
 use bayesnn_fpga::data::{DatasetSpec, SyntheticConfig};
 use bayesnn_fpga::models::zoo::Architecture;
@@ -28,9 +30,19 @@ fn small_config() -> FrameworkConfig {
 }
 
 #[test]
-fn framework_produces_feasible_design_and_project() {
+fn pipeline_produces_feasible_design_and_project() {
     let config = small_config().with_priority(OptPriority::Energy);
-    let outcome = TransformationFramework::new(config).unwrap().run().unwrap();
+    let mut session = PipelineSession::new(config).unwrap();
+
+    // Drive the pipeline in two steps to exercise artifact caching: the
+    // algorithmic phases first, then the rest.
+    session.run_to(PhaseId::Phase2).unwrap();
+    assert!(session.artifacts().phase1.is_some());
+    assert!(session.artifacts().phase2.is_some());
+    assert!(session.artifacts().phase3.is_none());
+    assert_eq!(session.artifacts().latest_phase(), Some(PhaseId::Phase2));
+
+    let outcome = session.run().unwrap();
 
     // Phase 1 explored both variants and produced sane metrics.
     assert_eq!(outcome.phase1.candidates.len(), 2);
@@ -38,6 +50,14 @@ fn framework_produces_feasible_design_and_project() {
         assert!((0.0..=1.0).contains(&candidate.metrics.evaluation.accuracy));
         assert!((0.0..=1.0).contains(&candidate.metrics.evaluation.ece));
     }
+
+    // The phase 1 artifact carries every candidate's trained checkpoint, so
+    // later phases (and resumed sessions) never retrain.
+    let artifact1 = session.artifacts().phase1.as_ref().unwrap();
+    assert_eq!(
+        artifact1.candidate_checkpoints.len(),
+        outcome.phase1.candidates.len()
+    );
 
     // Hardware phases selected feasible points.
     assert!(outcome.phase2.best().feasible);
@@ -63,10 +83,7 @@ fn framework_produces_feasible_design_and_project() {
 #[test]
 fn infeasible_constraints_surface_as_errors() {
     let config = small_config().with_constraints(UserConstraints::none().with_max_latency_ms(1e-9));
-    let err = TransformationFramework::new(config)
-        .unwrap()
-        .run()
-        .unwrap_err();
+    let err = PipelineSession::new(config).unwrap().run().unwrap_err();
     let text = err.to_string();
     assert!(
         text.contains("no design satisfies the constraints"),

@@ -1,0 +1,191 @@
+//! Integration tests of the staged pipeline API: `run_to`/`resume_from`
+//! round-trips, observer event ordering, and per-stage validation parity with
+//! the old monolithic constructor checks.
+
+use bayesnn_fpga::core::framework::{FrameworkConfig, TransformationFramework};
+use bayesnn_fpga::core::phase1::ModelVariant;
+use bayesnn_fpga::core::pipeline::{
+    PhaseId, PipelineEvent, PipelineSession, RecordingObserver, StageArtifact,
+};
+use bayesnn_fpga::data::{DatasetSpec, SyntheticConfig};
+use bayesnn_fpga::models::zoo::Architecture;
+use bayesnn_fpga::models::ModelConfig;
+
+fn small_config() -> FrameworkConfig {
+    let mut config = FrameworkConfig::quick_demo(Architecture::LeNet5);
+    config.phase1.model = ModelConfig::mnist()
+        .with_resolution(10, 10)
+        .with_width_divisor(8)
+        .with_classes(4);
+    config.phase1.dataset = SyntheticConfig::new(
+        DatasetSpec::mnist_like()
+            .with_resolution(10, 10)
+            .with_classes(4),
+    )
+    .with_samples(80, 48);
+    config.phase1.train.epochs = 2;
+    config.phase1.variants = vec![ModelVariant::SingleExit, ModelVariant::McdMultiExit];
+    config.phase1.confidence_thresholds = vec![0.8];
+    config.phase3.reuse_factors = vec![16, 64];
+    config
+}
+
+#[test]
+fn run_to_then_resume_equals_full_run() {
+    // Full run through the compatibility wrapper (which itself drives a
+    // session), the reference outcome.
+    let reference = TransformationFramework::new(small_config())
+        .unwrap()
+        .run()
+        .unwrap();
+
+    // Partial run: stop after Phase 2 and export the artifact.
+    let mut first = PipelineSession::new(small_config()).unwrap();
+    first.run_to(PhaseId::Phase2).unwrap();
+    assert!(first.artifacts().phase3.is_none());
+    let checkpoint = first.artifacts().phase2.clone().unwrap();
+
+    // Resume in a brand-new session.
+    let mut second = PipelineSession::new(small_config()).unwrap();
+    second.resume_from(StageArtifact::Phase2(checkpoint));
+    let resumed = second.run().unwrap();
+
+    // The resumed pipeline selects exactly the same design.
+    assert_eq!(resumed.phase1, reference.phase1);
+    assert_eq!(resumed.phase2, reference.phase2);
+    assert_eq!(resumed.phase3, reference.phase3);
+    assert_eq!(resumed.phase4.report, reference.phase4.report);
+    assert_eq!(resumed.phase4.hls_config, reference.phase4.hls_config);
+    assert_eq!(resumed.summary(), reference.summary());
+}
+
+#[test]
+fn resume_from_discards_later_artifacts() {
+    let mut session = PipelineSession::new(small_config()).unwrap();
+    session.run_to(PhaseId::Phase3).unwrap();
+    let artifact1 = session.artifacts().phase1.clone().unwrap();
+
+    session.resume_from(StageArtifact::Phase1(artifact1));
+    assert!(session.artifacts().phase1.is_some());
+    assert!(session.artifacts().phase2.is_none());
+    assert!(session.artifacts().phase3.is_none());
+    assert_eq!(session.artifacts().latest_phase(), Some(PhaseId::Phase1));
+
+    // And the pipeline completes from the restored point.
+    let outcome = session.run().unwrap();
+    assert!(outcome.phase4.report.fits);
+}
+
+#[test]
+fn observer_events_fire_once_per_phase_in_order() {
+    let recorder = RecordingObserver::new();
+    let mut session = PipelineSession::new(small_config())
+        .unwrap()
+        .with_observer(recorder.clone());
+    session.run().unwrap();
+
+    let events = recorder.events();
+    // Exactly one start and one complete per phase.
+    for phase in PhaseId::all() {
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, PipelineEvent::PhaseStart(p) if *p == phase))
+            .count();
+        let completes = events
+            .iter()
+            .filter(|e| matches!(e, PipelineEvent::PhaseComplete(p, _) if *p == phase))
+            .count();
+        assert_eq!(starts, 1, "{phase} started {starts} times");
+        assert_eq!(completes, 1, "{phase} completed {completes} times");
+    }
+
+    // Lifecycle events arrive in pipeline order: start1 < complete1 <
+    // start2 < complete2 < ...
+    let boundaries: Vec<&PipelineEvent> = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                PipelineEvent::PhaseStart(_) | PipelineEvent::PhaseComplete(_, _)
+            )
+        })
+        .collect();
+    let expected: Vec<PhaseId> = PhaseId::all().into_iter().flat_map(|p| [p, p]).collect();
+    assert_eq!(boundaries.len(), expected.len());
+    for (event, phase) in boundaries.iter().zip(expected) {
+        match event {
+            PipelineEvent::PhaseStart(p) | PipelineEvent::PhaseComplete(p, _) => {
+                assert_eq!(*p, phase)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // Every phase reported candidates, sandwiched between its start/complete.
+    for phase in PhaseId::all() {
+        let candidates = events
+            .iter()
+            .filter(|e| matches!(e, PipelineEvent::Candidate(p, _, _) if *p == phase))
+            .count();
+        assert!(candidates >= 1, "{phase} reported no candidates");
+    }
+}
+
+#[test]
+fn cached_phases_emit_no_events_after_resume() {
+    let mut first = PipelineSession::new(small_config()).unwrap();
+    first.run_to(PhaseId::Phase2).unwrap();
+    let checkpoint = first.artifacts().phase2.clone().unwrap();
+
+    let recorder = RecordingObserver::new();
+    let mut second = PipelineSession::new(small_config())
+        .unwrap()
+        .with_observer(recorder.clone());
+    second.resume_from(StageArtifact::Phase2(checkpoint));
+    second.run().unwrap();
+
+    let events = recorder.events();
+    assert!(!events.iter().any(|e| matches!(
+        e,
+        PipelineEvent::PhaseStart(PhaseId::Phase1 | PhaseId::Phase2)
+    )));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, PipelineEvent::PhaseStart(PhaseId::Phase3))));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, PipelineEvent::PhaseStart(PhaseId::Phase4))));
+}
+
+#[test]
+fn per_stage_validation_matches_old_constructor_checks() {
+    // The exact configurations the old TransformationFramework::new rejected
+    // must still be rejected — by the wrapper, the session and the builder.
+    let mut config = small_config();
+    config.clock_mhz = 0.0;
+    assert!(TransformationFramework::new(config.clone()).is_err());
+    assert!(PipelineSession::new(config.clone()).is_err());
+    assert!(config.builder().build().is_err());
+
+    let mut config = small_config();
+    config.phase1.variants.clear();
+    assert!(TransformationFramework::new(config.clone()).is_err());
+    assert!(PipelineSession::new(config.clone()).is_err());
+    assert!(config.builder().build().is_err());
+
+    let mut config = small_config();
+    config.phase3.formats.clear();
+    assert!(TransformationFramework::new(config.clone()).is_err());
+    assert!(PipelineSession::new(config.clone()).is_err());
+    assert!(config.builder().build().is_err());
+
+    let mut config = small_config();
+    config.phase3.reuse_factors.clear();
+    assert!(TransformationFramework::new(config.clone()).is_err());
+    assert!(PipelineSession::new(config).is_err());
+
+    // A valid configuration passes everywhere.
+    assert!(TransformationFramework::new(small_config()).is_ok());
+    assert!(PipelineSession::new(small_config()).is_ok());
+    assert!(small_config().builder().build().is_ok());
+}
