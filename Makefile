@@ -1,15 +1,23 @@
 # Developer entry points for the bayesnn-fpga workspace.
 #
-#   make build   - release build of every crate
-#   make test    - full test suite (unit + integration + doctests)
-#   make bench   - run the criterion bench targets
-#   make lint    - rustfmt check + clippy with warnings denied
-#   make doc     - rustdoc with warnings denied
-#   make ci      - everything the merge gate runs
+#   make build      - release build of every crate
+#   make test       - full test suite (unit + integration + doctests)
+#   make test-st    - the same suite pinned to one thread (BNN_THREADS=1)
+#   make bench      - run the criterion bench targets
+#   make bench-save - run kernels + framework_phases benches and record the
+#                     results as BENCH_kernels.json / BENCH_phases.json
+#   make lint       - rustfmt check + clippy with warnings denied
+#   make doc        - rustdoc with warnings denied
+#   make ci         - everything the merge gate runs
 
 CARGO ?= cargo
 
-.PHONY: all build test bench bench-build lint fmt doc clean ci
+# bench-save pipes cargo bench into a parser; pipefail makes a bench failure
+# fail the recipe instead of silently recording partial results.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: all build test test-st bench bench-build bench-save lint fmt doc clean ci
 
 all: build
 
@@ -19,12 +27,26 @@ build:
 test:
 	$(CARGO) test -q
 
+# The parallel phases must produce identical results on one thread; running
+# the suite under BNN_THREADS=1 exercises every sequential fallback path.
+test-st:
+	BNN_THREADS=1 $(CARGO) test -q
+
 bench:
 	$(CARGO) bench -p bnn-bench
 
 # Compile the bench targets without running them (fast CI signal).
 bench-build:
 	$(CARGO) bench --no-run
+
+# Record the kernel + per-phase benchmark results as machine-readable JSON at
+# the repo root, so the perf trajectory is diffable across PRs.
+bench-save:
+	$(CARGO) build --release -p bnn-bench --bin bench_save
+	$(CARGO) bench -p bnn-bench --bench kernels \
+		| $(CARGO) run --release -q -p bnn-bench --bin bench_save -- BENCH_kernels.json
+	$(CARGO) bench -p bnn-bench --bench framework_phases \
+		| $(CARGO) run --release -q -p bnn-bench --bin bench_save -- BENCH_phases.json
 
 lint:
 	$(CARGO) fmt --check
@@ -39,4 +61,4 @@ doc:
 clean:
 	$(CARGO) clean
 
-ci: lint build test bench-build doc
+ci: lint build test test-st bench-build doc

@@ -12,12 +12,26 @@
 //!
 //! Confidence-threshold early exiting (used for the ECE-optimal rows of
 //! Table I) is provided by [`McSampler::confidence_exit_predict`].
+//!
+//! # Determinism and parallelism
+//!
+//! Every Monte-Carlo pass draws its dropout masks from a dedicated RNG
+//! stream derived from [`SamplingConfig::seed`] and the pass index (via
+//! [`bnn_tensor::rng::stream_seed`] and [`Network::reseed_mc_streams`]), so a
+//! prediction depends only on the network checkpoint, the inputs and the
+//! sampler seed — never on earlier passes or on scheduling. That is what
+//! lets [`McSampler::predict`] fan independent passes out across the
+//! executor's thread pool (each worker gets a [`MultiExitNetwork::replicate`]
+//! inference replica) while staying bitwise identical to the
+//! single-threaded run.
 
 use crate::BayesError;
 use bnn_models::MultiExitNetwork;
 use bnn_nn::layer::Mode;
 use bnn_nn::network::Network;
+use bnn_tensor::exec::{in_parallel_region, Executor};
 use bnn_tensor::ops::softmax;
+use bnn_tensor::rng::stream_seed;
 use bnn_tensor::Tensor;
 
 /// Configuration of an MC-Dropout prediction run.
@@ -28,6 +42,9 @@ pub struct SamplingConfig {
     /// Calibration bin count used by downstream evaluation (carried along for
     /// convenience in reports).
     pub bins: usize,
+    /// Master seed of the per-pass dropout-mask streams. Predictions with the
+    /// same seed, network and inputs are bitwise reproducible.
+    pub seed: u64,
 }
 
 impl Default for SamplingConfig {
@@ -35,6 +52,7 @@ impl Default for SamplingConfig {
         SamplingConfig {
             n_samples: 4,
             bins: 15,
+            seed: 2023,
         }
     }
 }
@@ -45,7 +63,14 @@ impl SamplingConfig {
         SamplingConfig {
             n_samples,
             bins: 15,
+            seed: 2023,
         }
+    }
+
+    /// Sets the master seed of the per-pass dropout-mask streams.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// Number of exit forward passes needed for a network with `n_exits` exits.
@@ -91,12 +116,24 @@ pub struct EarlyExitPrediction {
 #[derive(Debug, Clone, Default)]
 pub struct McSampler {
     config: SamplingConfig,
+    executor: Executor,
 }
 
 impl McSampler {
-    /// Creates a sampler with the given configuration.
+    /// Creates a sampler with the given configuration on the process-global
+    /// executor ([`Executor::global`]).
     pub fn new(config: SamplingConfig) -> Self {
-        McSampler { config }
+        McSampler {
+            config,
+            executor: Executor::global(),
+        }
+    }
+
+    /// Sets the executor MC passes fan out on. [`Executor::sequential`]
+    /// forces single-threaded sampling (results are identical either way).
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
     }
 
     /// The sampler configuration.
@@ -105,6 +142,12 @@ impl McSampler {
     }
 
     /// Multi-exit MCD prediction with backbone caching (paper Eq. 2).
+    ///
+    /// The deterministic backbone runs once; the (cheap) exit passes are
+    /// independent given their seeded mask streams and fan out across the
+    /// sampler's executor, one inference replica per pass. Results are
+    /// bitwise identical for every thread count, including the sequential
+    /// path.
     ///
     /// # Errors
     ///
@@ -120,9 +163,53 @@ impl McSampler {
         }
         let passes = self.config.passes_for(n_exits).max(1);
         let activations = network.forward_backbone(inputs, Mode::Eval)?;
+        let pass_seeds: Vec<u64> = (0..passes)
+            .map(|p| stream_seed(self.config.seed, p as u64))
+            .collect();
+
+        let pass_exits: Vec<Vec<Tensor>> =
+            if self.executor.threads() > 1 && passes > 1 && !in_parallel_region() {
+                // Exit forward passes cache activations in &mut self, so
+                // concurrent passes need separate instances — but only one
+                // replica per *worker*, not per pass (replicate_n serialises
+                // the checkpoint once). Worker w runs passes w, w+W, …; each
+                // pass reseeds from its own stream, so the assignment does
+                // not affect the result.
+                let workers = self.executor.threads().min(passes);
+                let mut replicas = network
+                    .replicate_n(workers)
+                    .map_err(|e| BayesError::Invalid(e.to_string()))?;
+                let per_worker: Vec<Vec<Vec<Tensor>>> = self
+                    .executor
+                    .par_map_mut(&mut replicas, |w, replica| {
+                        pass_seeds[w..]
+                            .iter()
+                            .step_by(workers)
+                            .map(|&seed| {
+                                replica.reseed_mc_streams(seed);
+                                replica.forward_exits_from_activations(&activations, Mode::McSample)
+                            })
+                            .collect::<Result<Vec<Vec<Tensor>>, _>>()
+                    })
+                    .into_iter()
+                    .collect::<Result<_, _>>()?;
+                let mut per_worker = per_worker;
+                (0..passes)
+                    .map(|p| std::mem::take(&mut per_worker[p % workers][p / workers]))
+                    .collect()
+            } else {
+                let mut collected = Vec::with_capacity(passes);
+                for &seed in &pass_seeds {
+                    network.reseed_mc_streams(seed);
+                    collected.push(
+                        network.forward_exits_from_activations(&activations, Mode::McSample)?,
+                    );
+                }
+                collected
+            };
+
         let mut per_sample = Vec::with_capacity(passes * n_exits);
-        for _ in 0..passes {
-            let exits = network.forward_exits_from_activations(&activations, Mode::McSample)?;
+        for exits in pass_exits {
             for logits in exits {
                 per_sample.push(softmax(&logits)?);
             }
@@ -142,6 +229,11 @@ impl McSampler {
     /// Vanilla single-exit MCD prediction: the whole network is re-run for
     /// every MC sample and only the final exit is used (paper Eq. 1).
     ///
+    /// This is deliberately the paper's slow baseline and stays sequential,
+    /// but each sample still draws from its own seeded mask stream, so the
+    /// result is reproducible and matches any parallel re-implementation
+    /// bit for bit.
+    ///
     /// # Errors
     ///
     /// Propagates network errors.
@@ -152,7 +244,8 @@ impl McSampler {
     ) -> Result<McPrediction, BayesError> {
         let samples = self.config.n_samples.max(1);
         let mut per_sample = Vec::with_capacity(samples);
-        for _ in 0..samples {
+        for s in 0..samples {
+            network.reseed_mc_streams(stream_seed(self.config.seed, s as u64));
             let logits = network.forward_final(inputs, Mode::McSample)?;
             per_sample.push(softmax(&logits)?);
         }
@@ -322,6 +415,35 @@ mod tests {
         let a = pred.per_sample[0].as_slice();
         let b = pred.per_sample[4].as_slice(); // same exit, next pass
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parallel_sampling_matches_sequential_bitwise() {
+        let mut net_seq = small_net();
+        let mut net_par = small_net();
+        let x = Tensor::ones(&[3, 3, 12, 12]);
+        let seq = McSampler::new(SamplingConfig::new(8)).with_executor(Executor::sequential());
+        let par = McSampler::new(SamplingConfig::new(8)).with_executor(Executor::new(4));
+        let a = seq.predict(&mut net_seq, &x).unwrap();
+        let b = par.predict(&mut net_par, &x).unwrap();
+        assert_eq!(a.mean_probs.as_slice(), b.mean_probs.as_slice());
+        assert_eq!(a.per_sample.len(), b.per_sample.len());
+        for (sa, sb) in a.per_sample.iter().zip(&b.per_sample) {
+            assert_eq!(sa.as_slice(), sb.as_slice());
+        }
+    }
+
+    #[test]
+    fn predictions_are_seed_reproducible() {
+        let mut net = small_net();
+        let x = Tensor::ones(&[2, 3, 12, 12]);
+        let sampler = McSampler::new(SamplingConfig::new(6));
+        let a = sampler.predict(&mut net, &x).unwrap();
+        let b = sampler.predict(&mut net, &x).unwrap();
+        assert_eq!(a.mean_probs.as_slice(), b.mean_probs.as_slice());
+        let other = McSampler::new(SamplingConfig::new(6).with_seed(7));
+        let c = other.predict(&mut net, &x).unwrap();
+        assert_ne!(a.mean_probs.as_slice(), c.mean_probs.as_slice());
     }
 
     #[test]

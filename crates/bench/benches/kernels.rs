@@ -7,6 +7,7 @@ use bnn_models::{zoo, ModelConfig};
 use bnn_nn::layer::Mode;
 use bnn_nn::layers::conv2d::Conv2d;
 use bnn_nn::Layer;
+use bnn_tensor::linalg::{im2col, matmul, ConvGeometry};
 use bnn_tensor::rng::{Rng, Xoshiro256StarStar};
 use bnn_tensor::Tensor;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -16,10 +17,30 @@ fn bench_kernels(c: &mut Criterion) {
     group.sample_size(20);
 
     let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+
+    // Above the parallel threshold: exercises the executor's row-block split
+    // (thread count via BNN_THREADS; results are identical either way).
+    let ma = Tensor::randn(&[256, 256], &mut rng);
+    let mb = Tensor::randn(&[256, 256], &mut rng);
+    group.bench_function("matmul_256x256x256", |b| {
+        b.iter(|| matmul(&ma, &mb).unwrap())
+    });
+
     let mut conv = Conv2d::new(16, 32, 3, 1, 1, 0).unwrap();
     let input = Tensor::randn(&[4, 16, 16, 16], &mut rng);
     group.bench_function("conv2d_forward_4x16x16x16", |b| {
         b.iter(|| conv.forward(&input, Mode::Eval).unwrap())
+    });
+
+    // The two halves of the forward pass, timed separately.
+    let geom = ConvGeometry::square(16, 16, 3, 1, 1);
+    group.bench_function("im2col_4x16x16x16", |b| {
+        b.iter(|| im2col(&input, &geom).unwrap())
+    });
+    let cols = im2col(&input, &geom).unwrap();
+    let w2d = Tensor::randn(&[32, 144], &mut rng);
+    group.bench_function("matmul_32x144x1024", |b| {
+        b.iter(|| matmul(&w2d, &cols).unwrap())
     });
 
     // Covers the slice-based layout reorders on both sides of the im2col

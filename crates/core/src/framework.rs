@@ -35,6 +35,11 @@ pub struct FrameworkConfig {
     pub constraints: UserConstraints,
     /// Optimization priority.
     pub priority: OptPriority,
+    /// Thread count of the parallel phases. `None` (the default) resolves
+    /// from the `BNN_THREADS` environment variable, falling back to the
+    /// number of available CPUs. Results are bitwise identical for every
+    /// setting; see the crate-level "Threading model" documentation.
+    pub threads: Option<usize>,
 }
 
 impl FrameworkConfig {
@@ -51,12 +56,20 @@ impl FrameworkConfig {
             mc_samples: 3,
             constraints: UserConstraints::none(),
             priority: OptPriority::Calibration,
+            threads: None,
         }
     }
 
     /// Sets the optimization priority.
     pub fn with_priority(mut self, priority: OptPriority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Pins the parallel phases to a fixed thread count (clamped to at
+    /// least 1), overriding the `BNN_THREADS` / CPU-count default.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 

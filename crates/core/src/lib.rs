@@ -29,6 +29,28 @@
 //! call; each stage is also usable on its own (the benchmark harness drives
 //! them individually to regenerate the paper's tables).
 //!
+//! # Threading model
+//!
+//! The parallel phases — Phase 1 candidate training and Phase 3 design-point
+//! evaluation — fan out on the [`pipeline::PipelineContext::executor`]
+//! ([`bnn_tensor::exec::Executor`]), which resolves its thread count from,
+//! in order:
+//!
+//! 1. [`framework::FrameworkConfig::threads`] (or
+//!    [`pipeline::PipelineContext::with_threads`]) when set,
+//! 2. the `BNN_THREADS` environment variable,
+//! 3. the number of available CPUs.
+//!
+//! **Determinism contract:** pipeline artifacts are bitwise identical for
+//! every thread count. Each Phase 1 candidate derives private RNG streams
+//! (weight initialisation, batch shuffling, MC evaluation masks) from the
+//! master seed and its candidate index via
+//! [`bnn_tensor::rng::stream_seed`]; Monte-Carlo passes reseed their dropout
+//! masks per pass; and Phase 3 quantizes a private replica of the trained
+//! model per bitwidth. [`pipeline::PipelineObserver`]s are `Send + Sync` and
+//! receive per-candidate events buffered in candidate-index order at the
+//! phase boundary, so the event sequence is reproducible too.
+//!
 //! # Example
 //!
 //! ```no_run

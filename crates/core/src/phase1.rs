@@ -5,11 +5,21 @@
 //! the target dataset, evaluates accuracy / calibration / FLOPs, filters the
 //! candidates against the user constraints and selects the best configuration
 //! for the chosen optimization priority (Fig. 3).
+//!
+//! # Parallel exploration
+//!
+//! The candidates are independent — each builds, trains and evaluates its own
+//! network — so the exploration fans out across
+//! [`PipelineContext::executor`]. Every candidate derives its own RNG streams
+//! (weight init, batch shuffling, MC evaluation masks) from the master seed
+//! and its candidate index via [`bnn_tensor::rng::stream_seed`], so the
+//! artifact is bitwise identical for every thread count. Observer candidate
+//! events are delivered in candidate-index order at the phase boundary.
 
 use crate::constraints::OptPriority;
 use crate::error::FrameworkError;
 use crate::pipeline::{NoopObserver, PhaseId, PipelineContext, PipelineObserver};
-use bnn_bayes::sampling::{McSampler, SamplingConfig};
+use bnn_bayes::sampling::{McPrediction, McSampler, SamplingConfig};
 use bnn_bayes::Evaluation;
 use bnn_data::{Dataset, SyntheticConfig, TrainTestSplit};
 use bnn_models::zoo::Architecture;
@@ -17,6 +27,8 @@ use bnn_models::{ModelConfig, MultiExitNetwork, NetworkCheckpoint, NetworkSpec};
 use bnn_nn::network::Network;
 use bnn_nn::optimizer::Sgd;
 use bnn_nn::trainer::{train, LabelledBatchSource, TrainConfig};
+use bnn_tensor::exec::Executor;
+use bnn_tensor::rng::stream_seed;
 use bnn_tensor::Tensor;
 use std::sync::Arc;
 
@@ -274,7 +286,11 @@ pub struct Phase1Artifact {
     pub candidate_checkpoints: Arc<Vec<NetworkCheckpoint>>,
     /// The generated train/test split the candidates were trained on.
     pub data: Arc<TrainTestSplit>,
-    /// The master seed the networks were built with.
+    /// The master exploration seed (each candidate derives its own
+    /// weight-init / shuffle / MC-mask streams from it). Also used as the
+    /// scaffolding seed when re-instantiating candidates — the checkpoint
+    /// then overwrites every parameter and every piece of layer state, so
+    /// the instantiated network's behaviour does not depend on it.
     pub seed: u64,
 }
 
@@ -327,6 +343,34 @@ fn dataset_to_batches(dataset: &Dataset) -> Result<LabelledBatchSource, Framewor
     )?)
 }
 
+/// The decorrelated RNG streams of one exploration candidate, derived from
+/// the master seed and the candidate index.
+///
+/// One sub-stream per random decision (weight initialisation, batch
+/// shuffling, MC evaluation masks) makes every candidate self-contained: its
+/// result depends only on its own streams, never on which thread trained it,
+/// in what order, or what other candidates did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CandidateStreams {
+    /// Network build (weight initialisation) seed.
+    build: u64,
+    /// Batch shuffling seed.
+    shuffle: u64,
+    /// MC-Dropout evaluation mask stream seed.
+    sampler: u64,
+}
+
+impl CandidateStreams {
+    fn derive(config: &Phase1Config, index: u64) -> Self {
+        let master = stream_seed(config.seed, index);
+        CandidateStreams {
+            build: stream_seed(master, 0),
+            shuffle: stream_seed(master, 1),
+            sampler: stream_seed(master, 2),
+        }
+    }
+}
+
 /// Trains one spec and returns the trained runtime network.
 ///
 /// Exposed so later phases (and the framework driver) can retrain the selected
@@ -340,12 +384,25 @@ pub fn train_spec(
     data: &TrainTestSplit,
     config: &Phase1Config,
 ) -> Result<MultiExitNetwork, FrameworkError> {
-    let mut network = spec.build(config.seed)?;
+    train_spec_seeded(spec, data, config, config.seed, config.train.seed)
+}
+
+/// [`train_spec`] with explicit weight-initialisation and batch-shuffling
+/// seeds (the per-candidate streams of the parallel exploration).
+fn train_spec_seeded(
+    spec: &NetworkSpec,
+    data: &TrainTestSplit,
+    config: &Phase1Config,
+    build_seed: u64,
+    shuffle_seed: u64,
+) -> Result<MultiExitNetwork, FrameworkError> {
+    let mut network = spec.build(build_seed)?;
     let mut optimizer = Sgd::new(config.learning_rate)
         .with_momentum(0.9)
         .with_weight_decay(5e-4);
     let train_data = dataset_to_batches(&data.train)?;
     let mut train_cfg = config.train.clone();
+    train_cfg.seed = shuffle_seed;
     if !spec
         .exits
         .iter()
@@ -360,6 +417,12 @@ pub fn train_spec(
 }
 
 /// Evaluates one trained network under its variant's prediction rule.
+///
+/// `sampler_seed` seeds the MC-Dropout mask streams, so the evaluation is a
+/// pure function of the trained network, the inputs and the seed;
+/// `executor` bounds the MC fan-out (inside a candidate worker the nested
+/// region runs inline anyway).
+#[allow(clippy::too_many_arguments)]
 fn evaluate_network(
     variant: ModelVariant,
     network: &mut MultiExitNetwork,
@@ -368,20 +431,29 @@ fn evaluate_network(
     config: &Phase1Config,
     baseline_flops: u64,
     spec: &NetworkSpec,
+    sampler_seed: u64,
+    executor: Executor,
 ) -> Result<(CandidateMetrics, Vec<CandidateMetrics>), FrameworkError> {
-    let sampler = McSampler::new(SamplingConfig::new(config.mc_samples));
+    let sampler = McSampler::new(SamplingConfig::new(config.mc_samples).with_seed(sampler_seed))
+        .with_executor(executor);
     let spec_flops = spec.total_flops()? as f64;
     let base_ratio = spec_flops / baseline_flops.max(1) as f64;
 
-    let probs = match variant {
-        ModelVariant::SingleExit => sampler.predict_deterministic(network, test_inputs)?,
-        ModelVariant::Mcd => {
+    // MC sampling is seeded, so one prediction serves both the base metrics
+    // and the per-exit breakdown below (a second predict would redraw the
+    // exact same samples).
+    let multi_exit_prediction: Option<McPrediction> = if variant.uses_multi_exit() {
+        Some(sampler.predict(network, test_inputs)?)
+    } else {
+        None
+    };
+    let probs = match (&multi_exit_prediction, variant) {
+        (Some(prediction), _) => prediction.mean_probs.clone(),
+        (None, ModelVariant::SingleExit) => sampler.predict_deterministic(network, test_inputs)?,
+        (None, _) => {
             sampler
                 .predict_single_exit(network, test_inputs)?
                 .mean_probs
-        }
-        ModelVariant::MultiExit | ModelVariant::McdMultiExit => {
-            sampler.predict(network, test_inputs)?.mean_probs
         }
     };
     let metrics = CandidateMetrics {
@@ -404,8 +476,7 @@ fn evaluate_network(
     // prediction of each individual exit (MC-averaged over that exit's
     // samples) and confidence-threshold early exiting over exit ensembles.
     let mut threshold_metrics = Vec::new();
-    if variant.uses_multi_exit() {
-        let prediction = sampler.predict(network, test_inputs)?;
+    if let Some(prediction) = &multi_exit_prediction {
         let n_exits = network.num_exits();
         for exit in 0..n_exits {
             let exit_samples: Vec<Tensor> = prediction
@@ -488,6 +559,20 @@ impl Phase1Stage {
         Ok(())
     }
 
+    /// The deterministic candidate grid of this stage: one `(variant,
+    /// dropout-rate)` pair per candidate, in exploration order.
+    fn candidate_grid(&self) -> Vec<(ModelVariant, f64)> {
+        let mut grid = Vec::new();
+        for &variant in &self.config.variants {
+            if variant.uses_mcd() {
+                grid.extend(self.config.dropout_rates.iter().map(|&r| (variant, r)));
+            } else {
+                grid.push((variant, 0.0));
+            }
+        }
+        grid
+    }
+
     /// Runs the full Phase 1 exploration.
     ///
     /// # Errors
@@ -495,10 +580,15 @@ impl Phase1Stage {
     /// Returns [`FrameworkError::NoFeasibleDesign`] if every candidate
     /// violates the constraints, or propagates training/evaluation errors.
     pub fn run(&self, ctx: &PipelineContext) -> Result<Phase1Artifact, FrameworkError> {
-        self.run_observed(ctx, &mut NoopObserver)
+        self.run_observed(ctx, &NoopObserver)
     }
 
     /// Runs the exploration, reporting each evaluated candidate to `observer`.
+    ///
+    /// Candidates train and evaluate concurrently on `ctx.executor`; each
+    /// derives its own RNG streams from the master seed and its grid index,
+    /// so the artifact — and the observer event sequence, delivered in grid
+    /// order once all candidates finish — is independent of the thread count.
     ///
     /// # Errors
     ///
@@ -507,7 +597,7 @@ impl Phase1Stage {
     pub fn run_observed(
         &self,
         ctx: &PipelineContext,
-        observer: &mut dyn PipelineObserver,
+        observer: &dyn PipelineObserver,
     ) -> Result<Phase1Artifact, FrameworkError> {
         let config = &self.config;
         let data = config.dataset.generate(config.seed)?;
@@ -516,17 +606,20 @@ impl Phase1Stage {
         let test_labels = data.test.labels().to_vec();
         let test_inputs = data.test.inputs().clone();
 
-        let mut candidates = Vec::new();
-        let mut candidate_checkpoints = Vec::new();
-        for &variant in &config.variants {
-            let rates: Vec<f64> = if variant.uses_mcd() {
-                config.dropout_rates.clone()
-            } else {
-                vec![0.0]
-            };
-            for rate in rates {
+        struct TrainedCandidate {
+            candidate: Phase1Candidate,
+            checkpoint: NetworkCheckpoint,
+            summary: String,
+        }
+
+        let grid = self.candidate_grid();
+        let outcomes = ctx.executor.par_map_indexed(
+            &grid,
+            |index, &(variant, rate)| -> Result<TrainedCandidate, FrameworkError> {
+                let streams = CandidateStreams::derive(config, index as u64);
                 let spec = variant.build_spec(&base_spec, rate)?;
-                let mut network = train_spec(&spec, &data, config)?;
+                let mut network =
+                    train_spec_seeded(&spec, &data, config, streams.build, streams.shuffle)?;
                 let (metrics, threshold_metrics) = evaluate_network(
                     variant,
                     &mut network,
@@ -535,23 +628,33 @@ impl Phase1Stage {
                     config,
                     baseline_flops,
                     &spec,
+                    streams.sampler,
+                    ctx.executor,
                 )?;
-                observer.on_candidate(
-                    PhaseId::Phase1,
-                    candidates.len(),
-                    &format!(
-                        "{variant} dropout {rate:.3}: acc {:.4}, ece {:.4}, flops {:.3}x",
-                        metrics.evaluation.accuracy, metrics.evaluation.ece, metrics.flops_ratio
-                    ),
+                let summary = format!(
+                    "{variant} dropout {rate:.3}: acc {:.4}, ece {:.4}, flops {:.3}x",
+                    metrics.evaluation.accuracy, metrics.evaluation.ece, metrics.flops_ratio
                 );
-                candidate_checkpoints.push(network.checkpoint());
-                candidates.push(Phase1Candidate {
-                    variant,
-                    spec,
-                    metrics,
-                    threshold_metrics,
-                });
-            }
+                Ok(TrainedCandidate {
+                    candidate: Phase1Candidate {
+                        variant,
+                        spec,
+                        metrics,
+                        threshold_metrics,
+                    },
+                    checkpoint: network.checkpoint(),
+                    summary,
+                })
+            },
+        );
+
+        let mut candidates = Vec::with_capacity(grid.len());
+        let mut candidate_checkpoints = Vec::with_capacity(grid.len());
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            let trained = outcome?;
+            observer.on_candidate(PhaseId::Phase1, index, &trained.summary);
+            candidates.push(trained.candidate);
+            candidate_checkpoints.push(trained.checkpoint);
         }
 
         // Constraint filtering, then priority-based selection.

@@ -92,7 +92,7 @@ impl Phase2Stage {
         ctx: &PipelineContext,
         input: &Phase1Artifact,
     ) -> Result<Phase2Artifact, FrameworkError> {
-        self.run_observed(ctx, input, &mut NoopObserver)
+        self.run_observed(ctx, input, &NoopObserver)
     }
 
     /// Runs the exploration, reporting each mapping candidate to `observer`.
@@ -105,7 +105,7 @@ impl Phase2Stage {
         &self,
         ctx: &PipelineContext,
         input: &Phase1Artifact,
-        observer: &mut dyn PipelineObserver,
+        observer: &dyn PipelineObserver,
     ) -> Result<Phase2Artifact, FrameworkError> {
         let result = explore(
             input.best_spec(),
@@ -128,7 +128,7 @@ pub(crate) fn explore(
     base_config: &AcceleratorConfig,
     constraints: &UserConstraints,
     priority: OptPriority,
-    observer: &mut dyn PipelineObserver,
+    observer: &dyn PipelineObserver,
 ) -> Result<Phase2Result, FrameworkError> {
     let passes = base_config
         .mc_samples
@@ -208,7 +208,7 @@ mod tests {
         constraints: &UserConstraints,
         priority: OptPriority,
     ) -> Result<Phase2Result, FrameworkError> {
-        explore(spec, base_config, constraints, priority, &mut NoopObserver)
+        explore(spec, base_config, constraints, priority, &NoopObserver)
     }
 
     fn spec() -> NetworkSpec {

@@ -23,6 +23,7 @@ use bnn_hw::accelerator::{AcceleratorConfig, AcceleratorModel, AcceleratorReport
 use bnn_hw::MappingStrategy;
 use bnn_models::{MultiExitNetwork, NetworkSpec};
 use bnn_quant::{quantize_network, FixedPointFormat};
+use bnn_tensor::exec::Executor;
 
 /// One evaluated (bitwidth, reuse factor) co-exploration point.
 #[derive(Debug, Clone, PartialEq)]
@@ -160,10 +161,16 @@ impl Phase3Stage {
         ctx: &PipelineContext,
         input: &Phase2Artifact,
     ) -> Result<Phase3Artifact, FrameworkError> {
-        self.run_observed(ctx, input, &mut NoopObserver)
+        self.run_observed(ctx, input, &NoopObserver)
     }
 
     /// Runs the co-exploration, reporting each grid point to `observer`.
+    ///
+    /// The per-format design points evaluate concurrently on `ctx.executor`
+    /// (each format quantizes its own instantiation of the trained Phase 1
+    /// model); MC evaluation masks come from seeded streams, so the result —
+    /// and the observer event sequence, delivered in grid order at the phase
+    /// boundary — is independent of the thread count.
     ///
     /// # Errors
     ///
@@ -173,7 +180,7 @@ impl Phase3Stage {
         &self,
         ctx: &PipelineContext,
         input: &Phase2Artifact,
-        observer: &mut dyn PipelineObserver,
+        observer: &dyn PipelineObserver,
     ) -> Result<Phase3Artifact, FrameworkError> {
         let mut trained = input.phase1.instantiate_best()?;
         let result = explore(
@@ -184,6 +191,7 @@ impl Phase3Stage {
             &self.config,
             &ctx.constraints,
             ctx.priority,
+            &ctx.executor,
             observer,
         )?;
         Ok(Phase3Artifact {
@@ -195,8 +203,10 @@ impl Phase3Stage {
 
 /// The co-exploration over a trained model.
 ///
-/// `trained` is restored to its incoming weights before returning; `eval_set`
-/// is the held-out evaluation data.
+/// `trained` itself is left untouched: every bitwidth candidate quantizes a
+/// fresh replica restored from `trained`'s checkpoint, which is what lets the
+/// formats evaluate concurrently on `executor`. `eval_set` is the held-out
+/// evaluation data.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn explore(
     spec: &NetworkSpec,
@@ -206,9 +216,14 @@ pub(crate) fn explore(
     phase3: &Phase3Config,
     constraints: &UserConstraints,
     priority: OptPriority,
-    observer: &mut dyn PipelineObserver,
+    executor: &Executor,
+    observer: &dyn PipelineObserver,
 ) -> Result<Phase3Result, FrameworkError> {
-    let sampler = McSampler::new(SamplingConfig::new(phase3.mc_samples));
+    // The sampler inherits the phase executor, so a pinned thread count
+    // (FrameworkConfig::threads) also governs the MC fan-out of the
+    // reference prediction below; inside the per-format workers the nested
+    // region runs it inline.
+    let sampler = McSampler::new(SamplingConfig::new(phase3.mc_samples)).with_executor(*executor);
     let inputs = eval_set.inputs().clone();
     let labels = eval_set.labels().to_vec();
 
@@ -219,48 +234,65 @@ pub(crate) fn explore(
     // fresh (weights and batchnorm statistics).
     let reference = trained.checkpoint();
 
-    let mut points = Vec::new();
-    for &format in &phase3.formats {
-        // Quantize once per format (independent of reuse factor).
-        trained.restore(&reference)?;
-        let _ = quantize_network(trained, format);
-        let quantized_probs = sampler.predict(trained, &inputs)?.mean_probs;
-        let quantized_accuracy = accuracy(&quantized_probs, &labels)?;
-        let quality_ok = quantized_accuracy + phase3.accuracy_tolerance >= reference_accuracy;
+    let outcomes = executor.par_map_indexed(
+        &phase3.formats,
+        |_, &format| -> Result<Vec<(CoExplorationPoint, String)>, FrameworkError> {
+            // Quantize once per format (independent of reuse factor), on a
+            // private replica of the trained model. The checkpoint restores
+            // every parameter and every piece of layer state, and the MC
+            // evaluation masks are seeded, so the scaffolding build seed is
+            // irrelevant to the result.
+            let mut candidate = spec.build(0)?;
+            candidate
+                .restore(&reference)
+                .map_err(|e| FrameworkError::ArtifactMismatch(e.to_string()))?;
+            let _ = quantize_network(&mut candidate, format);
+            let quantized_probs = sampler.predict(&mut candidate, &inputs)?.mean_probs;
+            let quantized_accuracy = accuracy(&quantized_probs, &labels)?;
+            let quality_ok = quantized_accuracy + phase3.accuracy_tolerance >= reference_accuracy;
 
-        for &reuse in &phase3.reuse_factors {
-            let config = base_config
-                .clone()
-                .with_bits(format.total_bits())
-                .with_reuse_factor(reuse);
-            let report = AcceleratorModel::new(spec.clone(), config.clone())?.estimate()?;
-            let feasible = quality_ok
-                && report.fits
-                && constraints.accepts_hardware(
-                    report.latency_ms,
-                    report.power.total_w(),
-                    &report.total_resources,
-                    &config.device.resources,
-                );
-            observer.on_candidate(
-                PhaseId::Phase3,
-                points.len(),
-                &format!(
+            let mut points = Vec::with_capacity(phase3.reuse_factors.len());
+            for &reuse in &phase3.reuse_factors {
+                let config = base_config
+                    .clone()
+                    .with_bits(format.total_bits())
+                    .with_reuse_factor(reuse);
+                let report = AcceleratorModel::new(spec.clone(), config.clone())?.estimate()?;
+                let feasible = quality_ok
+                    && report.fits
+                    && constraints.accepts_hardware(
+                        report.latency_ms,
+                        report.power.total_w(),
+                        &report.total_resources,
+                        &config.device.resources,
+                    );
+                let summary = format!(
                     "{format} reuse {reuse}: quantized acc {quantized_accuracy:.4}, \
                      latency {:.4} ms, feasible {feasible}",
                     report.latency_ms
-                ),
-            );
-            points.push(CoExplorationPoint {
-                format,
-                reuse_factor: reuse,
-                quantized_accuracy,
-                report,
-                feasible,
-            });
+                );
+                points.push((
+                    CoExplorationPoint {
+                        format,
+                        reuse_factor: reuse,
+                        quantized_accuracy,
+                        report,
+                        feasible,
+                    },
+                    summary,
+                ));
+            }
+            Ok(points)
+        },
+    );
+
+    let mut points = Vec::with_capacity(phase3.formats.len() * phase3.reuse_factors.len());
+    for outcome in outcomes {
+        for (point, summary) in outcome? {
+            observer.on_candidate(PhaseId::Phase3, points.len(), &summary);
+            points.push(point);
         }
     }
-    trained.restore(&reference)?;
 
     let feasible: Vec<usize> = points
         .iter()
@@ -325,7 +357,8 @@ mod tests {
             phase3,
             constraints,
             priority,
-            &mut NoopObserver,
+            &Executor::global(),
+            &NoopObserver,
         )
     }
 

@@ -81,7 +81,7 @@ impl Phase4Stage {
         ctx: &PipelineContext,
         input: &Phase3Artifact,
     ) -> Result<Phase4Artifact, FrameworkError> {
-        self.run_observed(ctx, input, &mut NoopObserver)
+        self.run_observed(ctx, input, &NoopObserver)
     }
 
     /// Generates the accelerator, reporting the emitted project to `observer`.
@@ -93,7 +93,7 @@ impl Phase4Stage {
         &self,
         ctx: &PipelineContext,
         input: &Phase3Artifact,
-        observer: &mut dyn PipelineObserver,
+        observer: &dyn PipelineObserver,
     ) -> Result<Phase4Artifact, FrameworkError> {
         let final_config = ctx
             .accelerator_baseline()

@@ -58,8 +58,8 @@ use crate::phase3::{Phase3Artifact, Phase3Config, Phase3Stage};
 use crate::phase4::{Phase4Artifact, Phase4Stage};
 use bnn_hw::accelerator::AcceleratorConfig;
 use bnn_hw::FpgaDevice;
-use std::cell::RefCell;
-use std::rc::Rc;
+use bnn_tensor::exec::Executor;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Identifies one of the four transformation phases (paper Fig. 2).
@@ -133,11 +133,19 @@ pub struct PipelineContext {
     pub constraints: UserConstraints,
     /// Optimization priority.
     pub priority: OptPriority,
+    /// The executor parallel phases fan work out on.
+    ///
+    /// Defaults to one thread per available CPU, overridable through the
+    /// `BNN_THREADS` environment variable and [`FrameworkConfig::threads`].
+    /// Thanks to per-candidate / per-pass RNG streams, pipeline results are
+    /// bitwise identical for every thread count.
+    pub executor: Executor,
 }
 
 impl PipelineContext {
     /// A context for `device` with the paper's defaults: 181 MHz clock,
-    /// 3 MC samples, no constraints, calibration priority.
+    /// 3 MC samples, no constraints, calibration priority, and the
+    /// process-default executor ([`Executor::global`]).
     pub fn new(device: FpgaDevice) -> Self {
         PipelineContext {
             project_name: "bayes_accel".to_string(),
@@ -146,6 +154,7 @@ impl PipelineContext {
             mc_samples: 3,
             constraints: UserConstraints::none(),
             priority: OptPriority::default(),
+            executor: Executor::global(),
         }
     }
 
@@ -158,6 +167,10 @@ impl PipelineContext {
             mc_samples: config.mc_samples,
             constraints: config.constraints.clone(),
             priority: config.priority,
+            executor: config
+                .threads
+                .map(Executor::new)
+                .unwrap_or_else(Executor::global),
         }
     }
 
@@ -189,6 +202,17 @@ impl PipelineContext {
     pub fn with_priority(mut self, priority: OptPriority) -> Self {
         self.priority = priority;
         self
+    }
+
+    /// Sets the executor parallel phases run on.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Sets the executor to a fixed thread count (clamped to at least 1).
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_executor(Executor::new(threads))
     }
 
     /// The accelerator baseline shared by the hardware phases: the target
@@ -232,21 +256,28 @@ impl PipelineContext {
 /// Every method has a no-op default, so implementors override only what they
 /// need. Phases served from cached artifacts (after
 /// [`PipelineSession::resume_from`]) emit no events.
-pub trait PipelineObserver {
+///
+/// Observers are `Send + Sync` with `&self` methods (use interior mutability
+/// for state) so they can be shared with the parallel phases. **Event
+/// ordering is deterministic**: parallel phases buffer per-candidate results
+/// and deliver `on_candidate` in candidate-index order at the phase
+/// boundary, so a given configuration produces the same event sequence for
+/// every thread count.
+pub trait PipelineObserver: Send + Sync {
     /// A phase is about to run.
-    fn on_phase_start(&mut self, phase: PhaseId) {
+    fn on_phase_start(&self, phase: PhaseId) {
         let _ = phase;
     }
 
     /// One exploration candidate of a phase was evaluated. `index` counts
     /// candidates within the phase from zero; `summary` is a one-line
     /// human-readable description of the candidate.
-    fn on_candidate(&mut self, phase: PhaseId, index: usize, summary: &str) {
+    fn on_candidate(&self, phase: PhaseId, index: usize, summary: &str) {
         let _ = (phase, index, summary);
     }
 
     /// A phase finished; `summary` describes the selected result.
-    fn on_phase_complete(&mut self, phase: PhaseId, summary: &str) {
+    fn on_phase_complete(&self, phase: PhaseId, summary: &str) {
         let _ = (phase, summary);
     }
 }
@@ -262,7 +293,7 @@ impl PipelineObserver for NoopObserver {}
 pub struct TraceObserver {
     /// Also print every evaluated candidate (not just phase boundaries).
     pub verbose: bool,
-    started: [Option<Instant>; 4],
+    started: Mutex<[Option<Instant>; 4]>,
 }
 
 impl TraceObserver {
@@ -270,25 +301,26 @@ impl TraceObserver {
     pub fn verbose() -> Self {
         TraceObserver {
             verbose: true,
-            started: [None; 4],
+            started: Mutex::new([None; 4]),
         }
     }
 }
 
 impl PipelineObserver for TraceObserver {
-    fn on_phase_start(&mut self, phase: PhaseId) {
-        self.started[phase.index()] = Some(Instant::now());
+    fn on_phase_start(&self, phase: PhaseId) {
+        self.started.lock().expect("trace observer lock")[phase.index()] = Some(Instant::now());
         eprintln!("[pipeline] {phase} started");
     }
 
-    fn on_candidate(&mut self, phase: PhaseId, index: usize, summary: &str) {
+    fn on_candidate(&self, phase: PhaseId, index: usize, summary: &str) {
         if self.verbose {
             eprintln!("[pipeline]   {phase} candidate {index}: {summary}");
         }
     }
 
-    fn on_phase_complete(&mut self, phase: PhaseId, summary: &str) {
-        match self.started[phase.index()].take() {
+    fn on_phase_complete(&self, phase: PhaseId, summary: &str) {
+        let t0 = self.started.lock().expect("trace observer lock")[phase.index()].take();
+        match t0 {
             Some(t0) => eprintln!(
                 "[pipeline] {phase} complete in {:.3}s: {summary}",
                 t0.elapsed().as_secs_f64()
@@ -316,7 +348,7 @@ pub enum PipelineEvent {
 /// through the original handle.
 #[derive(Debug, Clone, Default)]
 pub struct RecordingObserver {
-    events: Rc<RefCell<Vec<PipelineEvent>>>,
+    events: Arc<Mutex<Vec<PipelineEvent>>>,
 }
 
 impl RecordingObserver {
@@ -327,27 +359,28 @@ impl RecordingObserver {
 
     /// A snapshot of every event recorded so far.
     pub fn events(&self) -> Vec<PipelineEvent> {
-        self.events.borrow().clone()
+        self.events.lock().expect("recording observer lock").clone()
+    }
+
+    fn push(&self, event: PipelineEvent) {
+        self.events
+            .lock()
+            .expect("recording observer lock")
+            .push(event);
     }
 }
 
 impl PipelineObserver for RecordingObserver {
-    fn on_phase_start(&mut self, phase: PhaseId) {
-        self.events
-            .borrow_mut()
-            .push(PipelineEvent::PhaseStart(phase));
+    fn on_phase_start(&self, phase: PhaseId) {
+        self.push(PipelineEvent::PhaseStart(phase));
     }
 
-    fn on_candidate(&mut self, phase: PhaseId, index: usize, summary: &str) {
-        self.events
-            .borrow_mut()
-            .push(PipelineEvent::Candidate(phase, index, summary.to_string()));
+    fn on_candidate(&self, phase: PhaseId, index: usize, summary: &str) {
+        self.push(PipelineEvent::Candidate(phase, index, summary.to_string()));
     }
 
-    fn on_phase_complete(&mut self, phase: PhaseId, summary: &str) {
-        self.events
-            .borrow_mut()
-            .push(PipelineEvent::PhaseComplete(phase, summary.to_string()));
+    fn on_phase_complete(&self, phase: PhaseId, summary: &str) {
+        self.push(PipelineEvent::PhaseComplete(phase, summary.to_string()));
     }
 }
 
@@ -554,7 +587,7 @@ impl PipelineSession {
             self.observer.on_phase_start(PhaseId::Phase1);
             let a1 = self
                 .phase1
-                .run_observed(&self.ctx, self.observer.as_mut())?;
+                .run_observed(&self.ctx, self.observer.as_ref())?;
             let best = a1.result.best();
             self.observer.on_phase_complete(
                 PhaseId::Phase1,
@@ -573,7 +606,7 @@ impl PipelineSession {
             self.observer.on_phase_start(PhaseId::Phase2);
             let a2 = self
                 .phase2
-                .run_observed(&self.ctx, a1, self.observer.as_mut())?;
+                .run_observed(&self.ctx, a1, self.observer.as_ref())?;
             self.observer.on_phase_complete(
                 PhaseId::Phase2,
                 &format!(
@@ -589,7 +622,7 @@ impl PipelineSession {
             self.observer.on_phase_start(PhaseId::Phase3);
             let a3 = self
                 .phase3
-                .run_observed(&self.ctx, a2, self.observer.as_mut())?;
+                .run_observed(&self.ctx, a2, self.observer.as_ref())?;
             self.observer.on_phase_complete(
                 PhaseId::Phase3,
                 &format!(
@@ -606,7 +639,7 @@ impl PipelineSession {
             self.observer.on_phase_start(PhaseId::Phase4);
             let a4 = self
                 .phase4
-                .run_observed(&self.ctx, a3, self.observer.as_mut())?;
+                .run_observed(&self.ctx, a3, self.observer.as_ref())?;
             self.observer.on_phase_complete(
                 PhaseId::Phase4,
                 &format!(
@@ -706,6 +739,13 @@ impl PipelineBuilder {
         self
     }
 
+    /// Pins the parallel phases to a fixed thread count (clamped to at
+    /// least 1), overriding the `BNN_THREADS` / CPU-count default.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = Some(threads);
+        self
+    }
+
     /// Validates every stage and produces the session.
     ///
     /// # Errors
@@ -757,7 +797,7 @@ mod tests {
     #[test]
     fn recording_observer_shares_its_log() {
         let recorder = RecordingObserver::new();
-        let mut clone = recorder.clone();
+        let clone = recorder.clone();
         clone.on_phase_start(PhaseId::Phase1);
         clone.on_candidate(PhaseId::Phase1, 0, "c");
         clone.on_phase_complete(PhaseId::Phase1, "done");

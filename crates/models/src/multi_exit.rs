@@ -153,6 +153,45 @@ impl MultiExitNetwork {
                 .sum::<usize>()
     }
 
+    /// Builds an inference replica of this network: a freshly constructed
+    /// instance of the same spec carrying this network's trained parameters
+    /// and layer state.
+    ///
+    /// Replicas are what the Bayesian sampler hands to pool workers so that
+    /// independent Monte-Carlo passes can run concurrently — the [`Layer`]
+    /// forward path caches activations in `&mut self`, so concurrent passes
+    /// need separate instances. Combined with
+    /// [`Network::reseed_mc_streams`], a replica's MC forward passes are
+    /// bitwise identical to the original's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the spec.
+    pub fn replicate(&mut self) -> Result<MultiExitNetwork, ModelError> {
+        Ok(self
+            .replicate_n(1)?
+            .pop()
+            .expect("replicate_n(1) returns one replica"))
+    }
+
+    /// Builds `n` inference replicas, serialising this network's checkpoint
+    /// once (not once per replica) — the bulk-replication path the sampler
+    /// uses when fanning Monte-Carlo passes across a thread pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the spec.
+    pub fn replicate_n(&mut self, n: usize) -> Result<Vec<MultiExitNetwork>, ModelError> {
+        let checkpoint = self.checkpoint();
+        let mut replicas = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut replica = MultiExitNetwork::from_spec(&self.spec, 0)?;
+            replica.restore(&checkpoint)?;
+            replicas.push(replica);
+        }
+        Ok(replicas)
+    }
+
     /// Runs the backbone only, returning the activation after every block.
     /// This is the tensor the accelerator caches and clones for MC sampling.
     ///
@@ -265,6 +304,16 @@ impl Network for MultiExitNetwork {
 
     fn num_classes(&self) -> usize {
         self.classes
+    }
+
+    fn reseed_mc_streams(&mut self, master_seed: u64) {
+        let mut streams = bnn_tensor::rng::SplitMix64::new(master_seed);
+        for block in &mut self.blocks {
+            Layer::reseed_mc_streams(block, &mut streams);
+        }
+        for (_, exit) in &mut self.exits {
+            Layer::reseed_mc_streams(exit, &mut streams);
+        }
     }
 
     fn flops(&self, input: &Shape) -> u64 {
@@ -391,6 +440,27 @@ mod tests {
             .unwrap();
         // same cached backbone, different dropout masks -> different logits
         assert_ne!(s1[0].as_slice(), s2[0].as_slice());
+    }
+
+    #[test]
+    fn replica_reproduces_mc_samples_bitwise() {
+        let spec = tiny_multi_exit_spec();
+        // Different build seeds: the checkpoint + reseeded MC streams must
+        // fully determine the sampled outputs regardless of initialisation.
+        let mut net = spec.build(3).unwrap();
+        let mut replica = net.replicate().unwrap();
+        let x = Tensor::ones(&[2, 1, 8, 8]);
+        net.reseed_mc_streams(41);
+        replica.reseed_mc_streams(41);
+        let a = net.forward_exits(&x, Mode::McSample).unwrap();
+        let b = replica.forward_exits(&x, Mode::McSample).unwrap();
+        for (ea, eb) in a.iter().zip(&b) {
+            assert_eq!(ea.as_slice(), eb.as_slice());
+        }
+        // ...and a different stream draws different masks.
+        replica.reseed_mc_streams(42);
+        let c = replica.forward_exits(&x, Mode::McSample).unwrap();
+        assert_ne!(a[0].as_slice(), c[0].as_slice());
     }
 
     #[test]

@@ -84,6 +84,11 @@ impl Layer for ResidualBlock {
         params
     }
 
+    fn reseed_mc_streams(&mut self, streams: &mut bnn_tensor::rng::SplitMix64) {
+        Layer::reseed_mc_streams(&mut self.main, streams);
+        Layer::reseed_mc_streams(&mut self.shortcut, streams);
+    }
+
     fn state(&self) -> Vec<Vec<f32>> {
         let mut state = Layer::state(&self.main);
         state.extend(Layer::state(&self.shortcut));

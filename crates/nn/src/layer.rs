@@ -2,6 +2,7 @@
 //! implementation.
 
 use crate::NnError;
+use bnn_tensor::rng::SplitMix64;
 use bnn_tensor::{Shape, Tensor};
 
 /// Execution mode of a forward pass.
@@ -79,7 +80,11 @@ impl Param {
 /// gradients. `backward` must be called with the gradient of the loss with
 /// respect to the layer output and returns the gradient with respect to the
 /// layer input.
-pub trait Layer: std::fmt::Debug {
+///
+/// Layers are `Send` so whole networks can move across the worker threads of
+/// the parallel-execution layer (e.g. per-candidate training, per-pass MC
+/// inference replicas).
+pub trait Layer: std::fmt::Debug + Send {
     /// A short human-readable identifier (`"conv2d"`, `"mc_dropout"`, ...).
     fn name(&self) -> &str;
 
@@ -151,6 +156,18 @@ pub trait Layer: std::fmt::Debug {
     /// (containers use this to route a flattened snapshot back to children).
     fn state_len(&self) -> usize {
         0
+    }
+
+    /// Reseeds the layer's Monte-Carlo Dropout stream(s) from `streams`.
+    ///
+    /// Stochastic MC layers draw one seed from `streams` (in layer order —
+    /// containers forward the generator to their children), so a network
+    /// reseeded with the same master stream redraws exactly the same masks.
+    /// Deterministic layers do nothing and must not consume from `streams`.
+    /// This is what makes Monte-Carlo sampling independent of which thread
+    /// (or how many threads) executes which pass.
+    fn reseed_mc_streams(&mut self, streams: &mut SplitMix64) {
+        let _ = streams;
     }
 
     /// Restores a snapshot captured by [`Layer::state`].

@@ -3,7 +3,7 @@
 use crate::layer::{Layer, Mode, Param};
 use crate::NnError;
 use bnn_tensor::init::Init;
-use bnn_tensor::linalg::{col2im, im2col, matmul, transpose, ConvGeometry};
+use bnn_tensor::linalg::{col2im, im2col_into, matmul, transpose, ConvGeometry};
 use bnn_tensor::rng::Xoshiro256StarStar;
 use bnn_tensor::{Shape, Tensor};
 
@@ -11,8 +11,10 @@ use bnn_tensor::{Shape, Tensor};
 ///
 /// The weight tensor has shape `[out_channels, in_channels, kernel, kernel]`
 /// and the bias `[out_channels]`. Forward evaluation lowers the convolution to
-/// a matrix product through [`im2col`]; the same columns are cached and reused
-/// for the backward pass.
+/// a matrix product through [`im2col_into`] (one column buffer reused per
+/// layer across batches); the same columns are cached and read in place by
+/// the backward pass, which only ever transposes the small gradient/weight
+/// matrices — never the column matrix.
 ///
 /// # Example
 ///
@@ -135,7 +137,15 @@ impl Layer for Conv2d {
         let geom = self.geometry(in_h, in_w);
         let out_h = geom.out_h();
         let out_w = geom.out_w();
-        let cols = im2col(input, &geom)?;
+        // Reuse one column buffer per layer across batches: take the buffer
+        // back out of the previous forward's cache instead of reallocating
+        // the (large) im2col matrix on every call.
+        let mut col_buf = self
+            .cached_cols
+            .take()
+            .map_or_else(Vec::new, Tensor::into_vec);
+        let (col_rows, col_cols) = im2col_into(input, &geom, &mut col_buf)?;
+        let cols = Tensor::from_vec(col_buf, &[col_rows, col_cols])?;
         let w2d = self.weight.value.reshape(&[
             self.out_channels,
             self.in_channels * self.kernel * self.kernel,
@@ -200,9 +210,13 @@ impl Layer for Conv2d {
         }
         let g2d = Tensor::from_vec(g2d, &[self.out_channels, batch * plane])?;
 
-        // dW = g2d * cols^T, reshaped to the weight layout.
-        let grad_w2d = matmul(&g2d, &transpose(cols)?)?;
-        let grad_w = grad_w2d.reshape(&[
+        // dW = g2d * cols^T, computed as (cols * g2d^T)^T so the contiguous
+        // axpy matmul kernel applies. Only the small gradient matrix g2d
+        // ([out_c, b*oh*ow]) is transposed — the backward no longer clones
+        // the full im2col column matrix ([c*k*k, b*oh*ow], the dominant
+        // buffer) on every batch.
+        let grad_w2d_t = matmul(cols, &transpose(&g2d)?)?;
+        let grad_w = transpose(&grad_w2d_t)?.reshape(&[
             self.out_channels,
             self.in_channels,
             self.kernel,
@@ -220,7 +234,8 @@ impl Layer for Conv2d {
             db[co] += row_sum;
         }
 
-        // dcols = W2d^T * g2d, folded back to the input shape.
+        // dcols = W2d^T * g2d, folded back to the input shape (the weight
+        // matrix transposed here is tiny relative to the column matrix).
         let w2d = self.weight.value.reshape(&[
             self.out_channels,
             self.in_channels * self.kernel * self.kernel,

@@ -56,6 +56,19 @@ pub trait Network: std::fmt::Debug {
         }
     }
 
+    /// Reseeds every Monte-Carlo Dropout stream in the network from
+    /// `master_seed`, assigning each stochastic layer its own deterministic
+    /// sub-stream (in layer order).
+    ///
+    /// After `reseed_mc_streams(s)`, a [`Mode::McSample`] forward pass draws
+    /// exactly the masks determined by `s`, independent of any previous
+    /// passes — the hook the Bayesian sampler uses to make MC sampling
+    /// reproducible and thread-count independent. The default implementation
+    /// is a no-op for networks without stochastic layers.
+    fn reseed_mc_streams(&mut self, master_seed: u64) {
+        let _ = master_seed;
+    }
+
     /// Convenience wrapper returning only the final exit's logits.
     ///
     /// # Errors

@@ -181,6 +181,12 @@ impl Layer for Sequential {
         Sequential::flops(self, input)
     }
 
+    fn reseed_mc_streams(&mut self, streams: &mut bnn_tensor::rng::SplitMix64) {
+        for layer in &mut self.layers {
+            layer.reseed_mc_streams(streams);
+        }
+    }
+
     fn state(&self) -> Vec<Vec<f32>> {
         self.layers.iter().flat_map(|l| l.state()).collect()
     }
@@ -243,6 +249,11 @@ impl Network for Sequential {
 
     fn num_exits(&self) -> usize {
         1
+    }
+
+    fn reseed_mc_streams(&mut self, master_seed: u64) {
+        let mut streams = bnn_tensor::rng::SplitMix64::new(master_seed);
+        Layer::reseed_mc_streams(self, &mut streams);
     }
 
     fn num_classes(&self) -> usize {
@@ -378,6 +389,27 @@ mod tests {
         assert_eq!(Network::num_classes(&net), 3);
         assert!(net.backward_exits(&[Tensor::ones(&[1, 3])]).is_ok());
         assert!(net.backward_exits(&[]).is_err());
+    }
+
+    #[test]
+    fn reseed_mc_streams_reproduces_masks() {
+        let mut net = Sequential::new("mc");
+        net.push(McDropout::new(0.5, 1).unwrap());
+        net.push(Relu::new());
+        net.push(McDropout::new(0.5, 2).unwrap());
+        let x = Tensor::ones(&[2, 64]);
+        Network::reseed_mc_streams(&mut net, 99);
+        let a = net.forward(&x, Mode::McSample).unwrap();
+        let b = net.forward(&x, Mode::McSample).unwrap();
+        // fresh draws differ, but reseeding replays the exact mask sequence
+        assert_ne!(a.as_slice(), b.as_slice());
+        Network::reseed_mc_streams(&mut net, 99);
+        let a2 = net.forward(&x, Mode::McSample).unwrap();
+        assert_eq!(a.as_slice(), a2.as_slice());
+        // a different master stream draws different masks
+        Network::reseed_mc_streams(&mut net, 100);
+        let c = net.forward(&x, Mode::McSample).unwrap();
+        assert_ne!(a.as_slice(), c.as_slice());
     }
 
     #[test]

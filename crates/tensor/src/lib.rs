@@ -12,7 +12,9 @@
 //!   in the paper reproduction is seeded so tables regenerate identically.
 //! * [`init`] — Kaiming / Xavier weight initialisers.
 //! * [`linalg`] — matrix multiplication and the im2col/col2im transforms that
-//!   the convolution layers are built on.
+//!   the convolution layers are built on. Large kernels run on the
+//!   work-stealing executor re-exported as [`exec`], with bitwise identical
+//!   results for every thread count (see the `linalg` module docs).
 //!
 //! # Example
 //!
@@ -33,6 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod error;
+/// The parallel-execution layer (re-export of the vendored `parpool` crate):
+/// [`exec::Executor`] plus the global thread-count controls honouring the
+/// `BNN_THREADS` environment variable.
+pub mod exec {
+    pub use parpool::{
+        in_parallel_region, reset_global_threads, set_global_threads, Executor, THREADS_ENV_VAR,
+    };
+}
 pub mod init;
 pub mod linalg;
 pub mod ops;

@@ -1,9 +1,79 @@
 //! Dense linear-algebra kernels: matrix multiplication and the im2col /
 //! col2im transforms used to express convolution as a matrix product.
+//!
+//! # Parallelism and determinism
+//!
+//! The heavy kernels ([`matmul`], [`matmul_abt`], [`matmul_atb`], [`im2col`],
+//! [`col2im`]) split their **output** into disjoint row/plane blocks and fill
+//! the blocks on a [`parpool::Executor`]. Every output element is computed by
+//! exactly one thread with exactly the accumulation order of the sequential
+//! loop, so results are bitwise identical for every thread count. The plain
+//! entry points auto-select between the process-global executor and inline
+//! execution based on a work-size threshold; the `*_with` variants accept an
+//! explicit executor (used by tests and by callers that manage their own
+//! pool).
 
 use crate::{Tensor, TensorError};
+use parpool::Executor;
+
+/// Minimum number of multiply-accumulates before a matrix product is worth
+/// fanning out over the global executor (scoped threads are spawned per
+/// call, so tiny products stay inline).
+const PAR_MACS_THRESHOLD: usize = 1 << 20;
+
+/// Minimum number of output elements before the im2col/col2im transforms are
+/// worth fanning out over the global executor.
+const PAR_ELEMS_THRESHOLD: usize = 1 << 17;
+
+/// The executor the plain kernel entry points use for `work` units against a
+/// threshold: inline below it, the process-global pool at or above it.
+fn auto_executor(work: usize, threshold: usize) -> Executor {
+    if work >= threshold {
+        Executor::global()
+    } else {
+        Executor::sequential()
+    }
+}
+
+/// Fills `out` rows `[row0, row0 + out.len() / n)` of the product
+/// `a [m, k] x b [k, n]`. The ikj loop order keeps the inner loop contiguous
+/// over both `b` and `out`.
+fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n: usize) {
+    for (local_i, out_row) in out.chunks_exact_mut(n).enumerate() {
+        let i = row0 + local_i;
+        for p in 0..k {
+            let a_ip = a[i * k + p];
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Splits `out` (`m` rows of `n` elements) into one contiguous row block per
+/// executor thread and fills each block with `fill(block_row0, block)`.
+fn fill_row_blocks<F>(exec: &Executor, out: &mut [f32], m: usize, n: usize, fill: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if m == 0 || n == 0 {
+        return;
+    }
+    let rows_per_block = m.div_ceil(exec.threads());
+    exec.par_chunks_mut(out, rows_per_block * n, |block, chunk| {
+        fill(block * rows_per_block, chunk)
+    });
+}
 
 /// Multiplies two matrices: `[m, k] x [k, n] -> [m, n]`.
+///
+/// Large products are parallelized over output row blocks (see the
+/// [module documentation](self)); results are identical for every thread
+/// count.
 ///
 /// # Errors
 ///
@@ -23,6 +93,18 @@ use crate::{Tensor, TensorError};
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (_, n) = b.shape().as_matrix()?;
+    matmul_with(&auto_executor(m * k * n, PAR_MACS_THRESHOLD), a, b)
+}
+
+/// [`matmul`] on an explicit executor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ or
+/// either operand is not rank 2.
+pub fn matmul_with(exec: &Executor, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (m, k_a) = a.shape().as_matrix()?;
     let (k_b, n) = b.shape().as_matrix()?;
     if k_a != k_b {
@@ -36,21 +118,115 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let a_data = a.as_slice();
     let b_data = b.as_slice();
     let mut out = vec![0.0f32; m * n];
-    // ikj loop order keeps the inner loop contiguous over both b and out.
-    for i in 0..m {
-        for p in 0..k {
-            let a_ip = a_data[i * k + p];
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b_data[p * n..(p + 1) * n];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                *o += a_ip * b_pj;
+    fill_row_blocks(exec, &mut out, m, n, |row0, chunk| {
+        matmul_block(a_data, b_data, chunk, row0, k, n)
+    });
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Multiplies `a` by the transpose of `b`: `[m, k] x [n, k]ᵀ -> [m, n]`,
+/// without materialising the transpose.
+///
+/// Each output element is the dot product of a row of `a` and a row of `b`,
+/// accumulated in ascending index order — the same per-element order as
+/// `matmul(a, transpose(b))`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the trailing dimensions differ
+/// or either operand is not rank 2.
+pub fn matmul_abt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (n, _) = b.shape().as_matrix()?;
+    matmul_abt_with(&auto_executor(m * k * n, PAR_MACS_THRESHOLD), a, b)
+}
+
+/// [`matmul_abt`] on an explicit executor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the trailing dimensions differ
+/// or either operand is not rank 2.
+pub fn matmul_abt_with(exec: &Executor, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k_a) = a.shape().as_matrix()?;
+    let (n, k_b) = b.shape().as_matrix()?;
+    if k_a != k_b {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_abt",
+        });
+    }
+    let k = k_a;
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    fill_row_blocks(exec, &mut out, m, n, |row0, chunk| {
+        for (local_i, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+            let a_row = &a_data[(row0 + local_i) * k..(row0 + local_i + 1) * k];
+            for (o, b_row) in out_row.iter_mut().zip(b_data.chunks_exact(k)) {
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *o = acc;
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[m, n])
+}
+
+/// Multiplies the transpose of `a` by `b`: `[m, k]ᵀ x [m, n] -> [k, n]`,
+/// without materialising the transpose.
+///
+/// Accumulation runs over the shared `m` axis in ascending order for every
+/// output element — the same per-element order as `matmul(transpose(a), b)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the leading dimensions differ
+/// or either operand is not rank 2.
+pub fn matmul_atb(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (_, n) = b.shape().as_matrix()?;
+    matmul_atb_with(&auto_executor(m * k * n, PAR_MACS_THRESHOLD), a, b)
+}
+
+/// [`matmul_atb`] on an explicit executor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the leading dimensions differ
+/// or either operand is not rank 2.
+pub fn matmul_atb_with(exec: &Executor, a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m_a, k) = a.shape().as_matrix()?;
+    let (m_b, n) = b.shape().as_matrix()?;
+    if m_a != m_b {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_atb",
+        });
+    }
+    let m = m_a;
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let mut out = vec![0.0f32; k * n];
+    fill_row_blocks(exec, &mut out, k, n, |p0, chunk| {
+        for i in 0..m {
+            let b_row = &b_data[i * n..(i + 1) * n];
+            for (local_p, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+                let a_ip = a_data[i * k + p0 + local_p];
+                if a_ip == 0.0 {
+                    continue;
+                }
+                for (o, &b_ij) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b_ij;
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, &[k, n])
 }
 
 /// Transposes a matrix `[m, n] -> [n, m]`.
@@ -126,6 +302,44 @@ impl ConvGeometry {
 ///
 /// Returns [`TensorError::RankMismatch`] if the input is not rank 4.
 pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError> {
+    let mut out = Vec::new();
+    let (rows, cols) = im2col_into(input, geom, &mut out)?;
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// [`im2col`] into a caller-provided buffer, returning the `[rows, cols]`
+/// dimensions of the column matrix.
+///
+/// `out` is cleared and resized; reusing one buffer per convolution layer
+/// avoids reallocating the (large) column matrix on every batch. Each output
+/// row is independent, so rows are distributed over the executor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the input is not rank 4.
+pub fn im2col_into(
+    input: &Tensor,
+    geom: &ConvGeometry,
+    out: &mut Vec<f32>,
+) -> Result<(usize, usize), TensorError> {
+    let elems = input
+        .len()
+        .saturating_mul(geom.kernel_h * geom.kernel_w)
+        .max(1);
+    im2col_into_with(&auto_executor(elems, PAR_ELEMS_THRESHOLD), input, geom, out)
+}
+
+/// [`im2col_into`] on an explicit executor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the input is not rank 4.
+pub fn im2col_into_with(
+    exec: &Executor,
+    input: &Tensor,
+    geom: &ConvGeometry,
+    out: &mut Vec<f32>,
+) -> Result<(usize, usize), TensorError> {
     let (batch, channels, in_h, in_w) = input.shape().as_nchw()?;
     debug_assert_eq!(in_h, geom.in_h);
     debug_assert_eq!(in_w, geom.in_w);
@@ -134,36 +348,78 @@ pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError
     let rows = channels * geom.kernel_h * geom.kernel_w;
     let cols = batch * out_h * out_w;
     let data = input.as_slice();
-    let mut out = vec![0.0f32; rows * cols];
-    for b in 0..batch {
-        for c in 0..channels {
-            for kh in 0..geom.kernel_h {
-                for kw in 0..geom.kernel_w {
-                    let row = (c * geom.kernel_h + kh) * geom.kernel_w + kw;
-                    for oh in 0..out_h {
-                        let ih = oh * geom.stride_h + kh;
-                        let ih = ih as isize - geom.pad_h as isize;
-                        for ow in 0..out_w {
-                            let iw = ow * geom.stride_w + kw;
-                            let iw = iw as isize - geom.pad_w as isize;
-                            let col = (b * out_h + oh) * out_w + ow;
-                            let value = if ih >= 0
-                                && iw >= 0
-                                && (ih as usize) < in_h
-                                && (iw as usize) < in_w
-                            {
+    // The fill below writes every element (padding taps write literal 0.0),
+    // so a buffer that is already the right size needs no re-initialisation —
+    // the steady-state reuse path is a pure overwrite. A fresh allocation
+    // goes through `vec![0.0; n]` (calloc's lazily zeroed pages) rather than
+    // `resize` (explicit memset).
+    if out.len() != rows * cols {
+        *out = vec![0.0f32; rows * cols];
+    }
+    if rows * cols == 0 {
+        return Ok((rows, cols));
+    }
+    // The unfold is a pure scatter: every output element is written exactly
+    // once with a value independent of traversal order, so the two fill
+    // orders below are bitwise interchangeable. The batch-major order keeps
+    // one input plane hot across all nine kernel taps (fastest on a single
+    // thread); the row-major order produces disjoint contiguous output
+    // chunks, which is what the parallel split needs.
+    if exec.threads() > 1 && !parpool::in_parallel_region() && rows > 1 {
+        // One task per output row: a row is a fixed (channel, kh, kw) tap
+        // evaluated at every (batch, oh, ow) position, contiguous in `out`.
+        exec.par_chunks_mut(out, cols, |row, out_row| {
+            let c = row / (geom.kernel_h * geom.kernel_w);
+            let rem = row % (geom.kernel_h * geom.kernel_w);
+            let kh = rem / geom.kernel_w;
+            let kw = rem % geom.kernel_w;
+            for b in 0..batch {
+                for oh in 0..out_h {
+                    let ih = (oh * geom.stride_h + kh) as isize - geom.pad_h as isize;
+                    for ow in 0..out_w {
+                        let iw = (ow * geom.stride_w + kw) as isize - geom.pad_w as isize;
+                        let col = (b * out_h + oh) * out_w + ow;
+                        let value =
+                            if ih >= 0 && iw >= 0 && (ih as usize) < in_h && (iw as usize) < in_w {
                                 data[((b * channels + c) * in_h + ih as usize) * in_w + iw as usize]
                             } else {
                                 0.0
                             };
-                            out[row * cols + col] = value;
+                        out_row[col] = value;
+                    }
+                }
+            }
+        });
+    } else {
+        for b in 0..batch {
+            for c in 0..channels {
+                for kh in 0..geom.kernel_h {
+                    for kw in 0..geom.kernel_w {
+                        let row = (c * geom.kernel_h + kh) * geom.kernel_w + kw;
+                        for oh in 0..out_h {
+                            let ih = (oh * geom.stride_h + kh) as isize - geom.pad_h as isize;
+                            for ow in 0..out_w {
+                                let iw = (ow * geom.stride_w + kw) as isize - geom.pad_w as isize;
+                                let col = (b * out_h + oh) * out_w + ow;
+                                let value = if ih >= 0
+                                    && iw >= 0
+                                    && (ih as usize) < in_h
+                                    && (iw as usize) < in_w
+                                {
+                                    data[((b * channels + c) * in_h + ih as usize) * in_w
+                                        + iw as usize]
+                                } else {
+                                    0.0
+                                };
+                                out[row * cols + col] = value;
+                            }
                         }
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[rows, cols])
+    Ok((rows, cols))
 }
 
 /// Folds columns back into an NCHW gradient tensor — the adjoint of [`im2col`].
@@ -194,9 +450,16 @@ pub fn col2im(
         });
     }
     let data = columns.as_slice();
-    let mut out = vec![0.0f32; batch * channels * geom.in_h * geom.in_w];
-    for b in 0..batch {
-        for ch in 0..channels {
+    let plane = geom.in_h * geom.in_w;
+    let mut out = vec![0.0f32; batch * channels * plane];
+    if !out.is_empty() {
+        let exec = auto_executor(out.len(), PAR_ELEMS_THRESHOLD);
+        // One task per (batch, channel) plane: planes are disjoint in `out`
+        // and each accumulates its taps in the sequential (kh, kw, oh, ow)
+        // order, so results match the single-threaded fold bit for bit.
+        exec.par_chunks_mut(&mut out, plane, |plane_idx, out_plane| {
+            let b = plane_idx / channels;
+            let ch = plane_idx % channels;
             for kh in 0..geom.kernel_h {
                 for kw in 0..geom.kernel_w {
                     let row = (ch * geom.kernel_h + kh) * geom.kernel_w + kw;
@@ -211,13 +474,13 @@ pub fn col2im(
                                 continue;
                             }
                             let col = (b * out_h + oh) * out_w + ow;
-                            out[((b * channels + ch) * geom.in_h + ih as usize) * geom.in_w
-                                + iw as usize] += data[row * cols + col];
+                            out_plane[ih as usize * geom.in_w + iw as usize] +=
+                                data[row * cols + col];
                         }
                     }
                 }
             }
-        }
+        });
     }
     Tensor::from_vec(out, &[batch, channels, geom.in_h, geom.in_w])
 }
@@ -250,6 +513,95 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 2]);
         assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_abt_matches_explicit_transpose() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let a = Tensor::randn(&[5, 7], &mut rng);
+        let b = Tensor::randn(&[4, 7], &mut rng);
+        let expected = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        let got = matmul_abt(&a, &b).unwrap();
+        assert_eq!(got.dims(), &[5, 4]);
+        for (x, y) in got.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+        assert!(matmul_abt(&a, &Tensor::zeros(&[4, 6])).is_err());
+    }
+
+    #[test]
+    fn matmul_atb_matches_explicit_transpose() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let a = Tensor::randn(&[6, 3], &mut rng);
+        let b = Tensor::randn(&[6, 5], &mut rng);
+        let expected = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        let got = matmul_atb(&a, &b).unwrap();
+        assert_eq!(got.dims(), &[3, 5]);
+        for (x, y) in got.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+        assert!(matmul_atb(&a, &Tensor::zeros(&[5, 5])).is_err());
+    }
+
+    #[test]
+    fn parallel_kernels_are_bitwise_identical_to_sequential() {
+        // The determinism contract of the threading layer: any executor
+        // produces exactly the single-threaded result.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let a = Tensor::randn(&[37, 23], &mut rng);
+        let b = Tensor::randn(&[23, 41], &mut rng);
+        let bt = Tensor::randn(&[41, 23], &mut rng);
+        let seq = Executor::sequential();
+        let par = Executor::new(4);
+        assert_eq!(
+            matmul_with(&seq, &a, &b).unwrap().as_slice(),
+            matmul_with(&par, &a, &b).unwrap().as_slice()
+        );
+        assert_eq!(
+            matmul_abt_with(&seq, &a, &bt).unwrap().as_slice(),
+            matmul_abt_with(&par, &a, &bt).unwrap().as_slice()
+        );
+        let b2 = Tensor::randn(&[37, 11], &mut rng);
+        assert_eq!(
+            matmul_atb_with(&seq, &a, &b2).unwrap().as_slice(),
+            matmul_atb_with(&par, &a, &b2).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn im2col_fill_orders_are_bitwise_identical() {
+        // The sequential (batch-major) and parallel (row-major) fills must
+        // scatter exactly the same values.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(21);
+        let input = Tensor::randn(&[3, 4, 9, 7], &mut rng);
+        let geom = ConvGeometry {
+            in_h: 9,
+            in_w: 7,
+            kernel_h: 3,
+            kernel_w: 2,
+            stride_h: 2,
+            stride_w: 1,
+            pad_h: 1,
+            pad_w: 0,
+        };
+        let mut seq = Vec::new();
+        let mut par = Vec::new();
+        let dims_seq = im2col_into_with(&Executor::sequential(), &input, &geom, &mut seq).unwrap();
+        let dims_par = im2col_into_with(&Executor::new(4), &input, &geom, &mut par).unwrap();
+        assert_eq!(dims_seq, dims_par);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn im2col_into_reuses_buffer() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(12);
+        let input = Tensor::randn(&[2, 3, 6, 6], &mut rng);
+        let geom = ConvGeometry::square(6, 6, 3, 1, 1);
+        let reference = im2col(&input, &geom).unwrap();
+        let mut buf = vec![99.0f32; 7]; // wrong size + stale contents
+        let (rows, cols) = im2col_into(&input, &geom, &mut buf).unwrap();
+        assert_eq!((rows, cols), (reference.dims()[0], reference.dims()[1]));
+        assert_eq!(buf.as_slice(), reference.as_slice());
     }
 
     #[test]

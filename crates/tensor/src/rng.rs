@@ -73,6 +73,32 @@ pub trait Rng {
     }
 }
 
+/// Derives the seed of an independent sub-stream `stream` of a `master`
+/// seed.
+///
+/// Used wherever work fans out across a thread pool with one deterministic
+/// RNG stream per unit of work (per Phase 1 candidate, per Monte-Carlo
+/// pass): every unit seeds its own generator from
+/// `stream_seed(master, index)`, so results do not depend on which thread
+/// runs which unit, or on how many threads there are.
+///
+/// # Example
+///
+/// ```
+/// use bnn_tensor::rng::stream_seed;
+///
+/// assert_eq!(stream_seed(42, 3), stream_seed(42, 3));
+/// assert_ne!(stream_seed(42, 3), stream_seed(42, 4));
+/// assert_ne!(stream_seed(42, 3), stream_seed(43, 3));
+/// ```
+pub fn stream_seed(master: u64, stream: u64) -> u64 {
+    // Offset the master seed by a full SplitMix64 increment per stream index
+    // so neighbouring streams land on well-separated points of the sequence,
+    // then mix once.
+    let mut sm = SplitMix64::new(master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    sm.next_u64()
+}
+
 /// SplitMix64 generator (Steele, Lea & Flood).
 ///
 /// Mainly used to seed [`Xoshiro256StarStar`] and to derive decorrelated

@@ -18,9 +18,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = FrameworkConfig::quick_demo(Architecture::LeNet5)
         .with_priority(OptPriority::Energy)
         .with_constraints(UserConstraints::none().with_max_power_w(10.0));
-    println!("running the 4-phase transformation pipeline (this trains several small models)...\n");
 
     let mut session = PipelineSession::new(config)?.with_observer(TraceObserver::verbose());
+    println!(
+        "running the 4-phase transformation pipeline on {} thread(s) \
+         (set BNN_THREADS to change; results are identical)...\n",
+        session.context().executor.threads()
+    );
     let outcome = session.run()?;
     println!("{}\n", outcome.summary());
 

@@ -37,6 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.seed = 11;
 
     let ctx = PipelineContext::new(FpgaDevice::xcku115());
+    println!(
+        "phase 1: training candidates on {} thread(s) (BNN_THREADS overrides)",
+        ctx.executor.threads()
+    );
     let artifact = Phase1Stage::new(config).run(&ctx)?;
     println!(
         "phase 1 trained {} candidate(s); best: {} (acc {:.3}, ece {:.3})",

@@ -36,6 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.seed = 21;
 
     let ctx = PipelineContext::new(FpgaDevice::xcku115());
+    println!(
+        "phase 1: training candidates on {} thread(s) (BNN_THREADS overrides)",
+        ctx.executor.threads()
+    );
     let artifact = Phase1Stage::new(config).run(&ctx)?;
 
     // Instantiate both trained candidates from the artifact.

@@ -68,7 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. Bayesian inference: 8 MC samples obtained by re-running only the exit
-    //    branches on the cached backbone activations.
+    //    branches on the cached backbone activations. The independent passes
+    //    fan out across the process-global thread pool (BNN_THREADS); the
+    //    seeded per-pass mask streams keep the result identical either way.
     let sampler = McSampler::new(SamplingConfig::new(8));
     let prediction = sampler.predict(&mut network, data.test.inputs())?;
     let eval = Evaluation::from_probs(&prediction.mean_probs, data.test.labels(), 15)?;

@@ -1,0 +1,19 @@
+//! Determinism contract of the parallel-execution layer: the pipeline's
+//! artifacts (trained checkpoints, candidate metrics, selected design
+//! points) are bitwise identical for every thread count.
+//!
+//! The `BNN_THREADS` variant of this contract lives in its own binary
+//! (`parallel_determinism_env.rs`), because mutating the environment is not
+//! safe next to concurrently running test threads.
+
+mod common;
+
+#[test]
+fn pipeline_is_bitwise_identical_across_thread_counts() {
+    let (sequential, seq_events) = common::run_pipeline(common::small_config().with_threads(1));
+    let (parallel, par_events) = common::run_pipeline(common::small_config().with_threads(4));
+    common::assert_artifacts_identical(&sequential, &parallel);
+    // Observer events are buffered and delivered in candidate-index order at
+    // the phase boundary, so the event *sequence* is also identical.
+    assert_eq!(seq_events.events(), par_events.events());
+}

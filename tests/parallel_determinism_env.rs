@@ -1,0 +1,27 @@
+//! `BNN_THREADS` environment-variable coverage of the determinism contract.
+//!
+//! This is a separate test binary (one `#[test]`, own process) on purpose:
+//! it mutates the process environment, and `Executor::from_env` reads it
+//! from worker threads throughout the stack — concurrent `setenv`/`getenv`
+//! from sibling test threads would be undefined behavior on glibc.
+
+use bayesnn_fpga::tensor::exec::{Executor, THREADS_ENV_VAR};
+
+mod common;
+
+#[test]
+fn bnn_threads_env_var_is_honoured_and_preserves_results() {
+    // `FrameworkConfig::threads` is None, so the executor resolves from the
+    // environment. Everything in this process runs strictly sequentially
+    // around the set_var calls.
+    std::env::set_var(THREADS_ENV_VAR, "1");
+    assert_eq!(Executor::from_env().threads(), 1);
+    let (sequential, _) = common::run_pipeline(common::small_config());
+
+    std::env::set_var(THREADS_ENV_VAR, "4");
+    assert_eq!(Executor::from_env().threads(), 4);
+    let (parallel, _) = common::run_pipeline(common::small_config());
+
+    std::env::remove_var(THREADS_ENV_VAR);
+    common::assert_artifacts_identical(&sequential, &parallel);
+}

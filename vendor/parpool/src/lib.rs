@@ -1,0 +1,442 @@
+//! Offline stand-in for a work-stealing thread-pool crate (rayon-style).
+//!
+//! The build container has no network access, so this crate provides the
+//! small parallel-iteration surface the workspace needs on top of
+//! `std::thread::scope`: an [`Executor`] handle with order-preserving
+//! `par_map_indexed` / `par_map_mut` / `par_chunks` / `par_chunks_mut`.
+//!
+//! # Design
+//!
+//! * **Scoped, not persistent.** Every parallel call opens a
+//!   [`std::thread::scope`], spawns up to `threads - 1` workers (the calling
+//!   thread is worker 0) and joins them before returning. Closures may borrow
+//!   from the caller's stack; no `'static` bounds, no job boxing.
+//! * **Dynamic scheduling, deterministic results.** Read-only maps pull item
+//!   indices from a shared atomic counter (cheap work stealing), so uneven
+//!   item costs balance across workers. Results are written back by item
+//!   index, so the output order always matches the input order regardless of
+//!   which worker computed what.
+//! * **No nested oversubscription.** A parallel call issued from inside a
+//!   pool worker runs inline on that worker (see [`in_parallel_region`]), so
+//!   coarse-grained outer parallelism (e.g. per-candidate training) is never
+//!   multiplied by inner kernel parallelism.
+//! * **Determinism contract.** The functions here never reorder, split or
+//!   merge the *computation* of a single item — an item's closure runs
+//!   exactly once on exactly one thread — so any per-item computation that is
+//!   itself deterministic yields bitwise-identical output for every thread
+//!   count, including 1.
+//!
+//! Worker panics are propagated to the caller after all workers have joined.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Name of the environment variable overriding the default thread count.
+pub const THREADS_ENV_VAR: &str = "BNN_THREADS";
+
+/// Process-wide thread-count override installed by [`set_global_threads`]
+/// (0 means "not set": fall back to the environment / hardware default).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while the current thread is executing inside a parallel region.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Returns `true` when called from inside a worker of an active parallel
+/// region (including the calling thread of that region). Parallel calls made
+/// in this state run inline instead of spawning nested workers.
+pub fn in_parallel_region() -> bool {
+    IN_POOL.with(Cell::get)
+}
+
+/// Installs a process-wide default thread count returned by
+/// [`Executor::global`], overriding both `BNN_THREADS` and the hardware
+/// default. Pass the result of [`reset_global_threads`] semantics via that
+/// function instead of 0 here; the count is clamped to at least 1.
+pub fn set_global_threads(threads: usize) {
+    GLOBAL_THREADS.store(threads.max(1), Ordering::SeqCst);
+}
+
+/// Removes the override installed by [`set_global_threads`], restoring the
+/// `BNN_THREADS` / hardware default resolution.
+pub fn reset_global_threads() {
+    GLOBAL_THREADS.store(0, Ordering::SeqCst);
+}
+
+/// RAII guard marking the current thread as a pool worker.
+struct RegionGuard {
+    was_in_pool: bool,
+}
+
+impl RegionGuard {
+    fn enter() -> Self {
+        let was_in_pool = IN_POOL.with(|c| c.replace(true));
+        RegionGuard { was_in_pool }
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        IN_POOL.with(|c| c.set(self.was_in_pool));
+    }
+}
+
+/// A lightweight handle describing how many threads parallel calls may use.
+///
+/// The executor carries no worker state — threads are scoped to each call —
+/// so it is `Copy` and freely embeddable in configuration structs. An
+/// executor with one thread runs everything inline, which is also the exact
+/// execution used for the portions of work each worker receives in the
+/// multi-threaded case; results are therefore identical for every thread
+/// count.
+///
+/// # Example
+///
+/// ```
+/// use parpool::Executor;
+///
+/// let exec = Executor::new(4);
+/// let squares = exec.par_map_indexed(&[1, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::global()
+    }
+}
+
+impl Executor {
+    /// An executor using exactly `threads` threads (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded executor: every parallel call runs inline.
+    pub fn sequential() -> Self {
+        Executor { threads: 1 }
+    }
+
+    /// Resolves the thread count from the `BNN_THREADS` environment variable,
+    /// falling back to [`std::thread::available_parallelism`] when the
+    /// variable is unset or unparsable.
+    pub fn from_env() -> Self {
+        let from_env = std::env::var(THREADS_ENV_VAR)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let threads = from_env.unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Executor::new(threads)
+    }
+
+    /// The process default: the [`set_global_threads`] override when
+    /// installed, otherwise [`Executor::from_env`].
+    pub fn global() -> Self {
+        match GLOBAL_THREADS.load(Ordering::SeqCst) {
+            0 => Executor::from_env(),
+            n => Executor::new(n),
+        }
+    }
+
+    /// The number of threads parallel calls may use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of workers a parallel region over `tasks` items would use.
+    fn workers_for(&self, tasks: usize) -> usize {
+        if in_parallel_region() {
+            1
+        } else {
+            self.threads.min(tasks).max(1)
+        }
+    }
+
+    /// Maps `f` over `items` in parallel, preserving input order.
+    ///
+    /// `f` receives the item index and a shared reference to the item. Items
+    /// are claimed dynamically from a shared counter, so uneven per-item
+    /// costs balance across workers; the result vector is nevertheless
+    /// ordered by item index. Runs inline when the executor has one thread,
+    /// when there is at most one item, or when called from inside another
+    /// parallel region.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic after all workers have joined.
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.workers_for(items.len());
+        if workers <= 1 {
+            // Inline, without entering a region: a degenerate fan-out of one
+            // task must not suppress nested parallelism (when this call *is*
+            // nested, the calling worker's own guard already holds the flag).
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let run_worker = || {
+            let _guard = RegionGuard::enter();
+            let mut local: Vec<(usize, R)> = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                local.push((i, f(i, &items[i])));
+            }
+            local
+        };
+        let mut collected: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (1..workers).map(|_| scope.spawn(run_worker)).collect();
+            let mut parts = vec![run_worker()];
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => parts.push(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            parts
+        });
+        reassemble(items.len(), collected.drain(..))
+    }
+
+    /// Maps `f` over mutable items in parallel, preserving input order.
+    ///
+    /// Items are dealt to workers round-robin up front (static scheduling —
+    /// exclusive references cannot be handed out through a shared counter
+    /// without unsafe code); the result vector is ordered by item index. The
+    /// same inline fallbacks as [`Executor::par_map_indexed`] apply.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic after all workers have joined.
+    pub fn par_map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.workers_for(n);
+        if workers <= 1 {
+            // Inline, without entering a region (see par_map_indexed).
+            return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let mut queues: Vec<Vec<(usize, &mut T)>> = (0..workers)
+            .map(|w| Vec::with_capacity(n / workers + usize::from(n % workers > w)))
+            .collect();
+        for (i, item) in items.iter_mut().enumerate() {
+            queues[i % workers].push((i, item));
+        }
+        let run_worker = |queue: Vec<(usize, &mut T)>| {
+            let _guard = RegionGuard::enter();
+            queue
+                .into_iter()
+                .map(|(i, item)| (i, f(i, item)))
+                .collect::<Vec<(usize, R)>>()
+        };
+        let own_queue = queues.remove(0);
+        let mut collected: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+            let handles: Vec<_> = queues
+                .into_iter()
+                .map(|queue| scope.spawn(move || run_worker(queue)))
+                .collect();
+            let mut parts = vec![run_worker(own_queue)];
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => parts.push(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            parts
+        });
+        reassemble(n, collected.drain(..))
+    }
+
+    /// Maps `f` over successive `chunk_size`-sized chunks of `data` in
+    /// parallel (the final chunk may be shorter), preserving chunk order.
+    ///
+    /// `f` receives the chunk index and the chunk slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero; re-raises worker panics.
+    pub fn par_chunks<T, R, F>(&self, data: &[T], chunk_size: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let chunks: Vec<&[T]> = data.chunks(chunk_size).collect();
+        self.par_map_indexed(&chunks, |i, chunk| f(i, chunk))
+    }
+
+    /// Runs `f` over successive `chunk_size`-sized mutable chunks of `data`
+    /// in parallel (the final chunk may be shorter).
+    ///
+    /// `f` receives the chunk index and the exclusive chunk slice; chunks are
+    /// disjoint, so workers never contend on data. This is the primitive the
+    /// tensor kernels use to fill disjoint row blocks of an output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero; re-raises worker panics.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk_size: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let mut chunks: Vec<&mut [T]> = data.chunks_mut(chunk_size).collect();
+        self.par_map_mut(&mut chunks, |i, chunk| f(i, chunk));
+    }
+}
+
+/// Gathers per-worker `(index, value)` parts back into input order.
+fn reassemble<R>(len: usize, parts: impl Iterator<Item = Vec<(usize, R)>>) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
+    slots.resize_with(len, || None);
+    for part in parts {
+        for (i, value) in part {
+            debug_assert!(slots[i].is_none(), "item {i} produced twice");
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every item index is claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn thread_count_is_clamped() {
+        assert_eq!(Executor::new(0).threads(), 1);
+        assert_eq!(Executor::new(3).threads(), 3);
+        assert_eq!(Executor::sequential().threads(), 1);
+    }
+
+    #[test]
+    fn par_map_indexed_preserves_order_under_contention() {
+        // Deliberately uneven per-item costs so workers finish out of order;
+        // the result must still line up with the input order.
+        let items: Vec<usize> = (0..257).collect();
+        let exec = Executor::new(8);
+        let out = exec.par_map_indexed(&items, |i, &x| {
+            if i % 17 == 0 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            x * 3 + 1
+        });
+        let expected: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_executor() {
+        let items: Vec<u64> = (0..100).collect();
+        let f = |i: usize, x: &u64| x.wrapping_mul(i as u64 + 7);
+        let seq = Executor::sequential().par_map_indexed(&items, f);
+        let par = Executor::new(5).par_map_indexed(&items, f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_mut_visits_every_item_once() {
+        let mut items: Vec<usize> = vec![0; 64];
+        let indices = Executor::new(4).par_map_mut(&mut items, |i, slot| {
+            *slot += i;
+            i
+        });
+        assert_eq!(items, (0..64).collect::<Vec<_>>());
+        assert_eq!(indices, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_disjoint_blocks() {
+        let mut data = vec![0u32; 103]; // deliberately not a multiple of 8
+        Executor::new(4).par_chunks_mut(&mut data, 8, |chunk_idx, chunk| {
+            for (offset, v) in chunk.iter_mut().enumerate() {
+                *v = (chunk_idx * 8 + offset) as u32;
+            }
+        });
+        let expected: Vec<u32> = (0..103).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn par_chunks_returns_per_chunk_results_in_order() {
+        let data: Vec<u32> = (0..50).collect();
+        let sums = Executor::new(3).par_chunks(&data, 7, |_, chunk| chunk.iter().sum::<u32>());
+        let expected: Vec<u32> = data.chunks(7).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let inner_workers = AtomicUsize::new(0);
+        let exec = Executor::new(4);
+        let items = [0usize; 8];
+        exec.par_map_indexed(&items, |_, _| {
+            assert!(in_parallel_region());
+            // A nested call must not spawn more workers; it runs inline and
+            // still produces ordered results.
+            let nested = exec.par_map_indexed(&[1, 2, 3], |i, &x| {
+                inner_workers.fetch_add(1, Ordering::Relaxed);
+                x + i
+            });
+            assert_eq!(nested, vec![1, 3, 5]);
+        });
+        assert!(!in_parallel_region());
+        assert_eq!(inner_workers.load(Ordering::Relaxed), 8 * 3);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let exec = Executor::new(4);
+        let empty: Vec<u8> = Vec::new();
+        assert!(exec.par_map_indexed(&empty, |_, &x| x).is_empty());
+        assert_eq!(exec.par_map_indexed(&[9], |i, &x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        Executor::new(4).par_map_indexed(&[0, 1, 2, 3, 4, 5, 6, 7], |i, _| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn global_override_round_trip() {
+        set_global_threads(3);
+        assert_eq!(Executor::global().threads(), 3);
+        reset_global_threads();
+        assert!(Executor::global().threads() >= 1);
+    }
+}
