@@ -2,6 +2,7 @@
 #
 #   make build      - release build of every crate
 #   make test       - full test suite (unit + integration + doctests)
+#   make test-doc   - documentation tests only (every rustdoc example)
 #   make test-st    - the same suite pinned to one thread (BNN_THREADS=1)
 #   make bench      - run the criterion bench targets
 #   make bench-save - run kernels + framework_phases benches and record the
@@ -17,7 +18,7 @@ CARGO ?= cargo
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test test-st bench bench-build bench-save lint fmt doc clean ci
+.PHONY: all build test test-doc test-st bench bench-build bench-save lint fmt doc clean ci
 
 all: build
 
@@ -26,6 +27,11 @@ build:
 
 test:
 	$(CARGO) test -q
+
+# Documentation tests on their own: the crate-level worked examples
+# (calibrate -> lower -> integer predict, etc.) are part of the merge gate.
+test-doc:
+	$(CARGO) test -q --doc --workspace
 
 # The parallel phases must produce identical results on one thread; running
 # the suite under BNN_THREADS=1 exercises every sequential fallback path.
@@ -61,4 +67,4 @@ doc:
 clean:
 	$(CARGO) clean
 
-ci: lint build test test-st bench-build doc
+ci: lint build test test-doc test-st bench-build doc

@@ -7,6 +7,7 @@ use bnn_models::{zoo, ModelConfig};
 use bnn_nn::layer::Mode;
 use bnn_nn::layers::conv2d::Conv2d;
 use bnn_nn::Layer;
+use bnn_tensor::int::{matmul_i16, matmul_i8};
 use bnn_tensor::linalg::{im2col, matmul, ConvGeometry};
 use bnn_tensor::rng::{Rng, Xoshiro256StarStar};
 use bnn_tensor::Tensor;
@@ -24,6 +25,24 @@ fn bench_kernels(c: &mut Criterion) {
     let mb = Tensor::randn(&[256, 256], &mut rng);
     group.bench_function("matmul_256x256x256", |b| {
         b.iter(|| matmul(&ma, &mb).unwrap())
+    });
+
+    // The integer kernels of the fixed-point inference path on the same
+    // shape: i8 storage with i32 accumulation and i16 with i64. The int8
+    // kernel is the hot path of Phase 3's integer scoring.
+    let qa: Vec<i8> = (0..256 * 256)
+        .map(|_| (rng.next_u64() % 255) as i8)
+        .collect();
+    let qb: Vec<i8> = (0..256 * 256)
+        .map(|_| (rng.next_u64() % 255) as i8)
+        .collect();
+    group.bench_function("matmul_i8_256x256x256", |b| {
+        b.iter(|| matmul_i8(&qa, &qb, 256, 256, 256).unwrap())
+    });
+    let wa: Vec<i16> = qa.iter().map(|&v| v as i16 * 97).collect();
+    let wb: Vec<i16> = qb.iter().map(|&v| v as i16 * 97).collect();
+    group.bench_function("matmul_i16_256x256x256", |b| {
+        b.iter(|| matmul_i16(&wa, &wb, 256, 256, 256).unwrap())
     });
 
     let mut conv = Conv2d::new(16, 32, 3, 1, 1, 0).unwrap();

@@ -6,6 +6,7 @@ use bnn_hls::HlsError;
 use bnn_hw::HwError;
 use bnn_models::ModelError;
 use bnn_nn::NnError;
+use bnn_quant::QuantError;
 use std::error::Error;
 use std::fmt;
 
@@ -24,6 +25,8 @@ pub enum FrameworkError {
     Hw(HwError),
     /// HLS generation failed.
     Hls(HlsError),
+    /// Quantization (calibration, lowering or integer execution) failed.
+    Quant(QuantError),
     /// The framework configuration is inconsistent.
     InvalidConfig(String),
     /// No candidate satisfied the user constraints.
@@ -42,6 +45,7 @@ impl fmt::Display for FrameworkError {
             FrameworkError::Bayes(e) => write!(f, "evaluation error: {e}"),
             FrameworkError::Hw(e) => write!(f, "hardware estimation error: {e}"),
             FrameworkError::Hls(e) => write!(f, "HLS generation error: {e}"),
+            FrameworkError::Quant(e) => write!(f, "quantization error: {e}"),
             FrameworkError::InvalidConfig(msg) => {
                 write!(f, "invalid framework configuration: {msg}")
             }
@@ -64,6 +68,7 @@ impl Error for FrameworkError {
             FrameworkError::Bayes(e) => Some(e),
             FrameworkError::Hw(e) => Some(e),
             FrameworkError::Hls(e) => Some(e),
+            FrameworkError::Quant(e) => Some(e),
             _ => None,
         }
     }
@@ -96,6 +101,12 @@ impl From<BayesError> for FrameworkError {
 impl From<HwError> for FrameworkError {
     fn from(e: HwError) -> Self {
         FrameworkError::Hw(e)
+    }
+}
+
+impl From<QuantError> for FrameworkError {
+    fn from(e: QuantError) -> Self {
+        FrameworkError::Quant(e)
     }
 }
 

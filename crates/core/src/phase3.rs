@@ -6,11 +6,19 @@
 //! (the paper's requirement) while minimising the hardware cost for the chosen
 //! priority.
 //!
-//! Algorithmic quality of a bitwidth is measured by post-training quantization
-//! of the trained Phase 1 model (`bnn-quant`). Channel scaling changes the
-//! architecture itself, so each scaled candidate is retrained only when a
-//! training budget is provided; otherwise the exploration keeps the Phase 1
-//! channel configuration (documented in the result).
+//! Algorithmic quality of a bitwidth is measured by post-training
+//! quantization of the trained Phase 1 model (`bnn-quant`). By default every
+//! design point is scored on the **true integer inference path**
+//! ([`bnn_quant::QuantizedMultiExitNetwork`]): activations are calibrated
+//! over a representative training batch, weights become `i8`/`i16` codes and
+//! evaluation runs with integer accumulation and saturation — the arithmetic
+//! the generated accelerator actually performs. The legacy weights-only fake
+//! quantization (float kernels) remains available behind
+//! [`QuantExecution::FakeQuantFloat`] for A/B comparisons; formats wider
+//! than 16 bits always use it. Channel scaling changes the architecture
+//! itself, so each scaled candidate is retrained only when a training budget
+//! is provided; otherwise the exploration keeps the Phase 1 channel
+//! configuration (documented in the result).
 
 use crate::constraints::{OptPriority, UserConstraints};
 use crate::error::FrameworkError;
@@ -22,8 +30,27 @@ use bnn_data::Dataset;
 use bnn_hw::accelerator::{AcceleratorConfig, AcceleratorModel, AcceleratorReport};
 use bnn_hw::MappingStrategy;
 use bnn_models::{MultiExitNetwork, NetworkSpec};
-use bnn_quant::{quantize_network, FixedPointFormat};
+use bnn_quant::{quantize_network, FixedPointFormat, QuantizedMultiExitNetwork};
 use bnn_tensor::exec::Executor;
+use bnn_tensor::Tensor;
+
+/// Number of training samples used to calibrate activation ranges when a
+/// design point is scored on the integer path.
+const CALIBRATION_SAMPLES: usize = 32;
+
+/// How Phase 3 evaluates the algorithmic quality of a bitwidth candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantExecution {
+    /// True integer inference (the default): per-tensor calibration, integer
+    /// kernels with explicit saturation, MC-dropout masks in the integer
+    /// domain. Formats wider than 16 bits fall back to
+    /// [`QuantExecution::FakeQuantFloat`].
+    #[default]
+    Integer,
+    /// Weights-only fake quantization evaluated by the float kernels — the
+    /// pre-PR-4 behaviour, kept for A/B parity checks.
+    FakeQuantFloat,
+}
 
 /// One evaluated (bitwidth, reuse factor) co-exploration point.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,7 +59,9 @@ pub struct CoExplorationPoint {
     pub format: FixedPointFormat,
     /// Reuse factor of the candidate.
     pub reuse_factor: usize,
-    /// Accuracy of the quantized model on the evaluation set.
+    /// Accuracy of the quantized model on the evaluation set, measured on
+    /// the execution model selected by [`Phase3Config::execution`] (the
+    /// integer path by default).
     pub quantized_accuracy: f64,
     /// Hardware report of the candidate.
     pub report: AcceleratorReport,
@@ -70,6 +99,8 @@ pub struct Phase3Config {
     pub accuracy_tolerance: f64,
     /// Number of MC samples used during quality evaluation.
     pub mc_samples: usize,
+    /// Which execution model scores the quantized candidates.
+    pub execution: QuantExecution,
 }
 
 impl Default for Phase3Config {
@@ -79,7 +110,16 @@ impl Default for Phase3Config {
             reuse_factors: vec![8, 16, 32, 64],
             accuracy_tolerance: 0.02,
             mc_samples: 4,
+            execution: QuantExecution::Integer,
         }
+    }
+}
+
+impl Phase3Config {
+    /// Selects the execution model scoring the quantized candidates.
+    pub fn with_execution(mut self, execution: QuantExecution) -> Self {
+        self.execution = execution;
+        self
     }
 }
 
@@ -183,10 +223,19 @@ impl Phase3Stage {
         observer: &dyn PipelineObserver,
     ) -> Result<Phase3Artifact, FrameworkError> {
         let mut trained = input.phase1.instantiate_best()?;
+        // Integer-path candidates calibrate their activation formats on a
+        // representative batch of *training* inputs (never the held-out
+        // evaluation set the quality check runs on).
+        let train = &input.phase1.data.train;
+        let calib = train
+            .take(CALIBRATION_SAMPLES.min(train.len()))?
+            .inputs()
+            .clone();
         let result = explore(
             input.phase1.best_spec(),
             &mut trained,
             &input.phase1.data.test,
+            &calib,
             &ctx.accelerator_baseline().with_mapping(input.mapping()),
             &self.config,
             &ctx.constraints,
@@ -206,12 +255,14 @@ impl Phase3Stage {
 /// `trained` itself is left untouched: every bitwidth candidate quantizes a
 /// fresh replica restored from `trained`'s checkpoint, which is what lets the
 /// formats evaluate concurrently on `executor`. `eval_set` is the held-out
-/// evaluation data.
+/// evaluation data; `calib` is the representative input batch integer-path
+/// candidates calibrate their activation formats on.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn explore(
     spec: &NetworkSpec,
     trained: &mut MultiExitNetwork,
     eval_set: &Dataset,
+    calib: &Tensor,
     base_config: &AcceleratorConfig,
     phase3: &Phase3Config,
     constraints: &UserConstraints,
@@ -246,10 +297,21 @@ pub(crate) fn explore(
             candidate
                 .restore(&reference)
                 .map_err(|e| FrameworkError::ArtifactMismatch(e.to_string()))?;
-            let _ = quantize_network(&mut candidate, format);
-            let quantized_probs = sampler.predict(&mut candidate, &inputs)?.mean_probs;
+            let integer_path =
+                phase3.execution == QuantExecution::Integer && format.total_bits() <= 16;
+            let quantized_probs = if integer_path {
+                // True fixed-point inference: calibrate + lower the float
+                // candidate, then draw the seeded MC samples entirely in
+                // the integer domain.
+                let mut qnet = QuantizedMultiExitNetwork::lower(&candidate, format, calib)?;
+                qnet.predict_probs(&inputs, phase3.mc_samples, sampler.config().seed)?
+            } else {
+                quantize_network(&mut candidate, format)?;
+                sampler.predict(&mut candidate, &inputs)?.mean_probs
+            };
             let quantized_accuracy = accuracy(&quantized_probs, &labels)?;
             let quality_ok = quantized_accuracy + phase3.accuracy_tolerance >= reference_accuracy;
+            let path_label = if integer_path { "int" } else { "float" };
 
             let mut points = Vec::with_capacity(phase3.reuse_factors.len());
             for &reuse in &phase3.reuse_factors {
@@ -267,7 +329,7 @@ pub(crate) fn explore(
                         &config.device.resources,
                     );
                 let summary = format!(
-                    "{format} reuse {reuse}: quantized acc {quantized_accuracy:.4}, \
+                    "{format} reuse {reuse}: quantized acc {quantized_accuracy:.4} ({path_label}), \
                      latency {:.4} ms, feasible {feasible}",
                     report.latency_ms
                 );
@@ -344,6 +406,7 @@ mod tests {
         spec: &NetworkSpec,
         trained: &mut MultiExitNetwork,
         eval_set: &Dataset,
+        calib: &Tensor,
         base_config: &AcceleratorConfig,
         phase3: &Phase3Config,
         constraints: &UserConstraints,
@@ -353,6 +416,7 @@ mod tests {
             spec,
             trained,
             eval_set,
+            calib,
             base_config,
             phase3,
             constraints,
@@ -362,7 +426,7 @@ mod tests {
         )
     }
 
-    fn trained_setup() -> (NetworkSpec, MultiExitNetwork, Dataset) {
+    fn trained_setup() -> (NetworkSpec, MultiExitNetwork, Dataset, Tensor) {
         let model_cfg = ModelConfig::mnist()
             .with_resolution(10, 10)
             .with_width_divisor(8)
@@ -391,17 +455,19 @@ mod tests {
             ..TrainConfig::default()
         };
         train(&mut network, &batches, &mut sgd, &cfg).unwrap();
-        (spec, network, data.test)
+        let calib = data.train.take(16).unwrap().inputs().clone();
+        (spec, network, data.test, calib)
     }
 
     #[test]
     fn co_exploration_selects_a_feasible_point() {
-        let (spec, mut network, test) = trained_setup();
+        let (spec, mut network, test, calib) = trained_setup();
         let base = AcceleratorConfig::new(FpgaDevice::xcku115());
         let result = run(
             &spec,
             &mut network,
             &test,
+            &calib,
             &base,
             &Phase3Config::default(),
             &UserConstraints::none(),
@@ -417,12 +483,13 @@ mod tests {
 
     #[test]
     fn sixteen_bit_candidates_preserve_accuracy() {
-        let (spec, mut network, test) = trained_setup();
+        let (spec, mut network, test, calib) = trained_setup();
         let base = AcceleratorConfig::new(FpgaDevice::xcku115());
         let result = run(
             &spec,
             &mut network,
             &test,
+            &calib,
             &base,
             &Phase3Config::default(),
             &UserConstraints::none(),
@@ -446,12 +513,13 @@ mod tests {
 
     #[test]
     fn energy_priority_never_picks_a_slower_wider_design_than_needed() {
-        let (spec, mut network, test) = trained_setup();
+        let (spec, mut network, test, calib) = trained_setup();
         let base = AcceleratorConfig::new(FpgaDevice::xcku115());
         let result = run(
             &spec,
             &mut network,
             &test,
+            &calib,
             &base,
             &Phase3Config::default(),
             &UserConstraints::none(),
@@ -461,6 +529,57 @@ mod tests {
         let best = result.best();
         for p in result.points.iter().filter(|p| p.feasible) {
             assert!(best.report.energy_per_image_j <= p.report.energy_per_image_j + 1e-12);
+        }
+    }
+
+    #[test]
+    fn integer_and_float_execution_agree_within_tolerance() {
+        // A/B parity of the two Phase 3 execution models: scoring the same
+        // trained candidate on the integer path and on the weights-only
+        // fake-quant float path must produce comparable wide-format
+        // accuracies and identical hardware reports.
+        let (spec, mut network, test, calib) = trained_setup();
+        let base = AcceleratorConfig::new(FpgaDevice::xcku115());
+        let int_result = run(
+            &spec,
+            &mut network,
+            &test,
+            &calib,
+            &base,
+            &Phase3Config::default(),
+            &UserConstraints::none(),
+            OptPriority::Energy,
+        )
+        .unwrap();
+        let float_result = run(
+            &spec,
+            &mut network,
+            &test,
+            &calib,
+            &base,
+            &Phase3Config::default().with_execution(QuantExecution::FakeQuantFloat),
+            &UserConstraints::none(),
+            OptPriority::Energy,
+        )
+        .unwrap();
+        assert_eq!(int_result.points.len(), float_result.points.len());
+        // identical reference accuracy (both use the float reference model)
+        assert_eq!(
+            int_result.reference_accuracy,
+            float_result.reference_accuracy
+        );
+        for (a, b) in int_result.points.iter().zip(&float_result.points) {
+            assert_eq!(a.format, b.format);
+            assert_eq!(a.report, b.report, "hardware model is path-independent");
+            if a.format.total_bits() >= 8 {
+                assert!(
+                    (a.quantized_accuracy - b.quantized_accuracy).abs() <= 0.15,
+                    "{}: int {} vs float {}",
+                    a.format,
+                    a.quantized_accuracy,
+                    b.quantized_accuracy
+                );
+            }
         }
     }
 }

@@ -17,7 +17,26 @@
 //! widths) and its performance is predicted by `bnn-hw` instead of a
 //! C-synthesis report.
 //!
-//! # Example
+//! # Relation to the integer inference path
+//!
+//! The `ap_fixed<W, I>` types this generator writes into `defines.h` are the
+//! hardware spelling of the arithmetic `bnn_quant::net` executes in
+//! software since PR 4: symmetric power-of-two grids, wide exact
+//! accumulation, round-to-nearest requantization and saturation. The
+//! software integer path therefore doubles as the C-simulation reference a
+//! real HLS flow would diff its RTL against — a design point whose accuracy
+//! Phase 3 measured on the integer path is the design point this crate
+//! emits. (Per-tensor calibrated `<W, I>` splits are not yet propagated
+//! into `defines.h`; the emitted project uses the candidate's global
+//! format. See the ROADMAP open item.)
+//!
+//! One deliberate difference, documented in the dropout template: the
+//! paper's Algorithm 1 scales kept activations by `keep_rate` in hardware,
+//! while the software layers use inverted dropout (`1/keep_rate`); the
+//! ratio is a static per-layer constant the generator folds into the
+//! following layer.
+//!
+//! # Example: generate a project
 //!
 //! ```
 //! use bnn_hls::{HlsConfig, HlsProject};
@@ -28,6 +47,25 @@
 //!     .with_mcd_layers(1, 0.25)?;
 //! let project = HlsProject::generate(&spec, &HlsConfig::new("bayes_lenet"))?;
 //! assert!(project.file("firmware/bayes_lenet.cpp").is_some());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Example: the emitted fixed-point width follows the Phase 3 format
+//!
+//! ```
+//! use bnn_hls::{HlsConfig, HlsProject};
+//! use bnn_models::{zoo, ModelConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = zoo::lenet5(&ModelConfig::mnist().with_width_divisor(4))
+//!     .with_mcd_layers(1, 0.25)?;
+//! // An 8-bit Phase 3 winner becomes an ap_fixed<8,3> datapath.
+//! let format = bnn_quant::FixedPointFormat::new(8, 3)?;
+//! let config = HlsConfig::new("bayes_lenet").with_format(format);
+//! let project = HlsProject::generate(&spec, &config)?;
+//! let defines = project.file("firmware/defines.h").unwrap();
+//! assert!(defines.contains("ap_fixed<8,3>"));
 //! # Ok(())
 //! # }
 //! ```

@@ -140,6 +140,42 @@ impl MultiExitNetwork {
         self.blocks.len()
     }
 
+    /// The backbone blocks, in execution order.
+    pub fn blocks(&self) -> &[Sequential] {
+        &self.blocks
+    }
+
+    /// The exit branches as `(after_block, branch)` pairs, in attachment
+    /// order (the final exit last).
+    pub fn exits(&self) -> &[(usize, Sequential)] {
+        &self.exits
+    }
+
+    /// Lowers every backbone block to its inference-graph description, in
+    /// execution order (see [`bnn_nn::LayerLowering`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NnError::UnsupportedLowering`] from layers without an
+    /// inference lowering.
+    pub fn block_lowerings(&self) -> Result<Vec<bnn_nn::LayerLowering>, NnError> {
+        self.blocks.iter().map(Layer::lowering).collect()
+    }
+
+    /// Lowers every exit branch to `(after_block, description)` pairs in
+    /// attachment order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NnError::UnsupportedLowering`] from layers without an
+    /// inference lowering.
+    pub fn exit_lowerings(&self) -> Result<Vec<(usize, bnn_nn::LayerLowering)>, NnError> {
+        self.exits
+            .iter()
+            .map(|(after, branch)| Ok((*after, Layer::lowering(branch)?)))
+            .collect()
+    }
+
     /// Number of Monte-Carlo Dropout layers in the whole network.
     pub fn mcd_layer_count(&self) -> usize {
         self.blocks

@@ -89,6 +89,17 @@ impl Layer for ResidualBlock {
         Layer::reseed_mc_streams(&mut self.shortcut, streams);
     }
 
+    fn lowering(&self) -> Result<bnn_nn::LayerLowering, NnError> {
+        let unwrap_seq = |lowered| match lowered {
+            bnn_nn::LayerLowering::Sequence(ops) => ops,
+            other => vec![other],
+        };
+        Ok(bnn_nn::LayerLowering::Residual {
+            main: unwrap_seq(Layer::lowering(&self.main)?),
+            shortcut: unwrap_seq(Layer::lowering(&self.shortcut)?),
+        })
+    }
+
     fn state(&self) -> Vec<Vec<f32>> {
         let mut state = Layer::state(&self.main);
         state.extend(Layer::state(&self.shortcut));

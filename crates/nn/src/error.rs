@@ -27,6 +27,12 @@ pub enum NnError {
     },
     /// Labels and predictions disagree in batch size, or a label is out of range.
     BadLabels(String),
+    /// The layer has no inference-graph lowering (see
+    /// [`crate::lowering::LayerLowering`]).
+    UnsupportedLowering {
+        /// Name of the offending layer.
+        layer: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -48,6 +54,9 @@ impl fmt::Display for NnError {
                 )
             }
             NnError::BadLabels(msg) => write!(f, "bad labels: {msg}"),
+            NnError::UnsupportedLowering { layer } => {
+                write!(f, "layer `{layer}` has no inference-graph lowering")
+            }
         }
     }
 }

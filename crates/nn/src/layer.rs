@@ -170,6 +170,20 @@ pub trait Layer: std::fmt::Debug + Send {
         let _ = streams;
     }
 
+    /// Returns this layer's inference-graph lowering: an owned, structural
+    /// description (weights, geometry, folded constants) that inference
+    /// backends — notably the fixed-point integer path in `bnn-quant` —
+    /// consume without touching the training machinery. Containers lower
+    /// recursively.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::UnsupportedLowering`] for layers with no
+    /// inference-time semantics (the default implementation).
+    fn lowering(&self) -> Result<crate::lowering::LayerLowering, NnError> {
+        Err(crate::lowering::unsupported(self.name()))
+    }
+
     /// Restores a snapshot captured by [`Layer::state`].
     ///
     /// # Errors

@@ -74,6 +74,10 @@ impl Layer for Relu {
     fn flops(&self, input: &Shape) -> u64 {
         input.len() as u64
     }
+
+    fn lowering(&self) -> Result<crate::lowering::LayerLowering, NnError> {
+        Ok(crate::lowering::LayerLowering::Relu)
+    }
 }
 
 /// Softmax over the class axis of a `[batch, classes]` tensor.

@@ -208,6 +208,21 @@ impl Layer for BatchNorm2d {
         4 * input.len() as u64
     }
 
+    fn lowering(&self) -> Result<crate::lowering::LayerLowering, NnError> {
+        // Fold the evaluation-time normalisation into a per-channel affine:
+        // y = gamma * (x - mean) / sqrt(var + eps) + beta = scale * x + shift.
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        let mut scale = Vec::with_capacity(self.channels);
+        let mut shift = Vec::with_capacity(self.channels);
+        for ch in 0..self.channels {
+            let s = gamma[ch] / (self.running_var[ch] + self.eps).sqrt();
+            scale.push(s);
+            shift.push(beta[ch] - s * self.running_mean[ch]);
+        }
+        Ok(crate::lowering::LayerLowering::Affine { scale, shift })
+    }
+
     fn state(&self) -> Vec<Vec<f32>> {
         vec![self.running_mean.clone(), self.running_var.clone()]
     }

@@ -287,6 +287,15 @@ impl Layer for Conv2d {
             Err(_) => 0,
         }
     }
+
+    fn lowering(&self) -> Result<crate::lowering::LayerLowering, NnError> {
+        Ok(crate::lowering::LayerLowering::Conv2d {
+            weight: self.weight.value.clone(),
+            bias: self.bias.value.clone(),
+            stride: self.stride,
+            padding: self.padding,
+        })
+    }
 }
 
 #[cfg(test)]

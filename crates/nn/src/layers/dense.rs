@@ -162,6 +162,13 @@ impl Layer for Dense {
         // One MAC = 2 FLOPs, plus the bias add.
         batch * (2 * self.in_features as u64 * self.out_features as u64 + self.out_features as u64)
     }
+
+    fn lowering(&self) -> Result<crate::lowering::LayerLowering, NnError> {
+        Ok(crate::lowering::LayerLowering::Dense {
+            weight: self.weight.value.clone(),
+            bias: self.bias.value.clone(),
+        })
+    }
 }
 
 #[cfg(test)]

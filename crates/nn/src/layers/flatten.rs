@@ -50,6 +50,10 @@ impl Layer for Flatten {
         input.reshape(&[batch, rest]).map_err(NnError::from)
     }
 
+    fn lowering(&self) -> Result<crate::lowering::LayerLowering, NnError> {
+        Ok(crate::lowering::LayerLowering::Flatten)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
         let dims = self
             .input_dims

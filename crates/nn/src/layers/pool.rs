@@ -143,6 +143,13 @@ impl Layer for MaxPool2d {
             Err(_) => 0,
         }
     }
+
+    fn lowering(&self) -> Result<crate::lowering::LayerLowering, NnError> {
+        Ok(crate::lowering::LayerLowering::MaxPool2d {
+            kernel: self.kernel,
+            stride: self.stride,
+        })
+    }
 }
 
 /// 2-D average pooling with a square window.
@@ -262,6 +269,13 @@ impl Layer for AvgPool2d {
             Err(_) => 0,
         }
     }
+
+    fn lowering(&self) -> Result<crate::lowering::LayerLowering, NnError> {
+        Ok(crate::lowering::LayerLowering::AvgPool2d {
+            kernel: self.kernel,
+            stride: self.stride,
+        })
+    }
 }
 
 /// Global average pooling: `[n, c, h, w] -> [n, c]`.
@@ -327,6 +341,10 @@ impl Layer for GlobalAvgPool2d {
     fn output_shape(&self, input: &Shape) -> Result<Shape, NnError> {
         let (n, c, _h, _w) = check_nchw("global_avg_pool2d", input.dims())?;
         Ok(Shape::new(vec![n, c]))
+    }
+
+    fn lowering(&self) -> Result<crate::lowering::LayerLowering, NnError> {
+        Ok(crate::lowering::LayerLowering::GlobalAvgPool2d)
     }
 
     fn flops(&self, input: &Shape) -> u64 {

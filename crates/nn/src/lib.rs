@@ -37,6 +37,7 @@ pub mod flops;
 pub mod layer;
 pub mod layers;
 pub mod loss;
+pub mod lowering;
 pub mod network;
 pub mod optimizer;
 pub mod sequential;
@@ -44,6 +45,7 @@ pub mod trainer;
 
 pub use error::NnError;
 pub use layer::{Layer, Mode, Param};
+pub use lowering::LayerLowering;
 pub use network::Network;
 pub use sequential::Sequential;
 

@@ -187,6 +187,15 @@ impl Layer for Sequential {
         }
     }
 
+    fn lowering(&self) -> Result<crate::lowering::LayerLowering, NnError> {
+        let ops = self
+            .layers
+            .iter()
+            .map(|l| l.lowering())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(crate::lowering::LayerLowering::Sequence(ops))
+    }
+
     fn state(&self) -> Vec<Vec<f32>> {
         self.layers.iter().flat_map(|l| l.state()).collect()
     }

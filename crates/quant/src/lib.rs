@@ -5,21 +5,55 @@
 //! searches bitwidths in `{4, 6, 8, 16}` and channel scalings, subject to not
 //! degrading algorithmic quality.
 //!
-//! The central type is [`FixedPointFormat`], an `ap_fixed<W, I>`-style signed
-//! fixed-point format. Quantization here is *fake quantization*: values are
-//! rounded to the representable grid but kept as `f32`, which is exactly how
-//! post-training quantization error is evaluated before HLS code generation
-//! commits to the arbitrary-precision types.
+//! The crate provides **two execution models** for a quantized network:
 //!
-//! # Example
+//! * **Fake quantization** ([`FixedPointFormat`], [`quantize_network`]) —
+//!   weights are snapped to the `ap_fixed<W, I>` grid but evaluation stays in
+//!   `f32` on the float kernels. This is the classic pre-HLS error model and
+//!   remains available as the Phase 3 A/B reference.
+//! * **True integer inference** ([`QuantParams`], [`QuantizedTensor`],
+//!   [`QuantizedSequential`], [`QuantizedMultiExitNetwork`] in [`net`]) —
+//!   activations are calibrated per tensor over a representative batch,
+//!   weights/biases are stored as `i8`/`i16` codes, and inference runs on the
+//!   integer kernels of `bnn_tensor::int` with `i32`/`i64` accumulation,
+//!   power-of-two requantization shifts and explicit saturation — the
+//!   arithmetic the FPGA datapath actually performs, including Monte-Carlo
+//!   dropout masks applied in the integer domain from seeded streams.
+//!
+//! # Worked example: calibrate → lower → integer predict
 //!
 //! ```
-//! use bnn_quant::FixedPointFormat;
+//! use bnn_models::{zoo, ModelConfig};
+//! use bnn_nn::layer::Mode;
+//! use bnn_quant::{FixedPointFormat, QuantizedMultiExitNetwork};
+//! use bnn_tensor::rng::Xoshiro256StarStar;
+//! use bnn_tensor::Tensor;
 //!
-//! # fn main() -> Result<(), bnn_quant::QuantError> {
-//! let q = FixedPointFormat::new(8, 3)?; // ap_fixed<8,3>
-//! assert_eq!(q.quantize(0.3751), 0.375);
-//! assert!(q.quantize(100.0) <= q.max_value());
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small multi-exit LeNet-5 (training elided; weights are the build
+//! // initialisation here).
+//! let spec = zoo::lenet5(&ModelConfig::mnist().with_resolution(12, 12).with_width_divisor(4))
+//!     .with_exits_after_every_block()?
+//!     .with_exit_mcd(0.25)?;
+//! let trained = spec.build(7)?;
+//!
+//! // 1. Calibrate + lower: a representative batch fixes every activation
+//! //    format; weights become i8 codes (8 total bits here).
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+//! let calib = Tensor::randn(&[8, 1, 12, 12], &mut rng);
+//! let format = FixedPointFormat::new(8, 3)?;
+//! let mut qnet = QuantizedMultiExitNetwork::lower(&trained, format, &calib)?;
+//!
+//! // 2. Integer inference: deterministic logits per exit...
+//! let inputs = Tensor::randn(&[4, 1, 12, 12], &mut rng);
+//! let logits = qnet.forward_exits_int(&inputs, Mode::Eval)?;
+//! assert_eq!(logits.last().unwrap().dims(), &[4, 10]);
+//!
+//! // 3. ...and seeded Monte-Carlo prediction (masks drawn in the integer
+//! //    domain): bitwise reproducible for a given seed.
+//! let probs = qnet.predict_probs(&inputs, 6, 2023)?;
+//! let again = qnet.predict_probs(&inputs, 6, 2023)?;
+//! assert_eq!(probs.as_slice(), again.as_slice());
 //! # Ok(())
 //! # }
 //! ```
@@ -31,8 +65,14 @@ pub mod bitwidth;
 pub mod error;
 pub mod fixed;
 pub mod model;
+pub mod net;
+pub mod params;
+pub mod qtensor;
 
 pub use bitwidth::{BitwidthSearch, CandidateResult};
 pub use error::QuantError;
 pub use fixed::{FixedPointFormat, QuantizationError};
 pub use model::{quantize_network, quantize_tensor, tensor_quantization_error};
+pub use net::{QuantizedMultiExitNetwork, QuantizedSequential};
+pub use params::{IntWidth, QuantParams};
+pub use qtensor::{QuantData, QuantizedTensor};

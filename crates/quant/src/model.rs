@@ -1,5 +1,6 @@
 //! Post-training quantization of tensors and whole networks.
 
+use crate::error::QuantError;
 use crate::fixed::{FixedPointFormat, QuantizationError};
 use bnn_nn::network::Network;
 use bnn_tensor::Tensor;
@@ -18,13 +19,32 @@ pub fn tensor_quantization_error(tensor: &Tensor, format: FixedPointFormat) -> Q
 /// Quantizes every trainable parameter of a network in place and returns the
 /// worst-case per-parameter error statistics.
 ///
-/// This is post-training quantization: weights are snapped to the fixed-point
-/// grid, after which the (float) inference path evaluates the quantized model —
-/// the same procedure Phase 3 of the transformation framework uses to check
-/// that a candidate bitwidth does not degrade algorithmic quality.
-pub fn quantize_network(network: &mut dyn Network, format: FixedPointFormat) -> QuantizationError {
+/// This is post-training *fake* quantization: weights are snapped to the
+/// fixed-point grid, after which the (float) inference path evaluates the
+/// quantized model. Phase 3 of the transformation framework uses this as the
+/// float A/B reference next to the true integer path built by
+/// [`crate::net::QuantizedMultiExitNetwork`].
+///
+/// # Errors
+///
+/// Returns [`QuantError::NonFinite`] — without modifying any parameter — if
+/// a parameter contains NaN or infinite values: those have no fixed-point
+/// representation, and snapping them to the grid would silently launder a
+/// diverged training run into a seemingly valid quantized model.
+pub fn quantize_network(
+    network: &mut dyn Network,
+    format: FixedPointFormat,
+) -> Result<QuantizationError, QuantError> {
     let mut worst = QuantizationError::default();
-    for param in network.params_mut() {
+    let mut params = network.params_mut();
+    for (i, param) in params.iter().enumerate() {
+        if let Some(bad) = param.value.as_slice().iter().find(|v| !v.is_finite()) {
+            return Err(QuantError::NonFinite(format!(
+                "parameter tensor {i} contains non-finite value {bad}"
+            )));
+        }
+    }
+    for param in &mut params {
         let err = QuantizationError::measure(param.value.as_slice(), format);
         format.quantize_slice(param.value.as_mut_slice());
         if err.max_abs > worst.max_abs {
@@ -32,7 +52,7 @@ pub fn quantize_network(network: &mut dyn Network, format: FixedPointFormat) -> 
         }
         worst.mse = worst.mse.max(err.mse);
     }
-    worst
+    Ok(worst)
 }
 
 #[cfg(test)]
@@ -74,7 +94,7 @@ mod tests {
         let mut net = spec.build(3).unwrap();
         let x = Tensor::ones(&[1, 1, 12, 12]);
         let before = net.forward_final(&x, Mode::Eval).unwrap();
-        let err = quantize_network(&mut net, FixedPointFormat::new(6, 2).unwrap());
+        let err = quantize_network(&mut net, FixedPointFormat::new(6, 2).unwrap()).unwrap();
         assert!(err.max_abs > 0.0);
         let after = net.forward_final(&x, Mode::Eval).unwrap();
         assert_eq!(before.dims(), after.dims());
@@ -93,7 +113,7 @@ mod tests {
         let mut net = spec.build(4).unwrap();
         let x = Tensor::ones(&[1, 1, 12, 12]);
         let before = net.forward_final(&x, Mode::Eval).unwrap();
-        let _ = quantize_network(&mut net, FixedPointFormat::new(16, 6).unwrap());
+        let _ = quantize_network(&mut net, FixedPointFormat::new(16, 6).unwrap()).unwrap();
         let after = net.forward_final(&x, Mode::Eval).unwrap();
         let max_diff = before
             .as_slice()
@@ -102,5 +122,21 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
         assert!(max_diff < 0.05, "max diff {max_diff}");
+    }
+
+    #[test]
+    fn non_finite_parameters_are_rejected_without_mutation() {
+        let spec = zoo::lenet5(
+            &ModelConfig::mnist()
+                .with_resolution(12, 12)
+                .with_width_divisor(4),
+        );
+        let mut net = spec.build(5).unwrap();
+        net.params_mut()[0].value.as_mut_slice()[3] = f32::NAN;
+        let before: Vec<f32> = net.params_mut()[1].value.as_slice().to_vec();
+        let err = quantize_network(&mut net, FixedPointFormat::new(8, 3).unwrap()).unwrap_err();
+        assert!(matches!(err, crate::QuantError::NonFinite(_)));
+        // the healthy tensors were left untouched — no partial quantization
+        assert_eq!(net.params_mut()[1].value.as_slice(), &before[..]);
     }
 }

@@ -1,0 +1,217 @@
+//! [`QuantizedTensor`]: dense integer-code storage for the fixed-point path.
+
+use crate::error::QuantError;
+use crate::params::{IntWidth, QuantParams};
+use bnn_tensor::Tensor;
+
+/// The integer codes of a quantized tensor, stored at the narrowest width
+/// that holds the format ([`QuantParams::width`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantData {
+    /// 8-bit codes (formats up to 8 total bits).
+    I8(Vec<i8>),
+    /// 16-bit codes (formats of 9 to 16 total bits).
+    I16(Vec<i16>),
+}
+
+impl QuantData {
+    /// Number of codes.
+    pub fn len(&self) -> usize {
+        match self {
+            QuantData::I8(v) => v.len(),
+            QuantData::I16(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` if there are no codes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads one code widened to `i64`.
+    pub fn code(&self, index: usize) -> i64 {
+        match self {
+            QuantData::I8(v) => v[index] as i64,
+            QuantData::I16(v) => v[index] as i64,
+        }
+    }
+
+    /// Collects every code widened to `i64` (diagnostics and tests).
+    pub fn codes_i64(&self) -> Vec<i64> {
+        match self {
+            QuantData::I8(v) => v.iter().map(|&c| c as i64).collect(),
+            QuantData::I16(v) => v.iter().map(|&c| c as i64).collect(),
+        }
+    }
+
+    /// Builds storage of the given width from wide codes, saturating into
+    /// the storage range (callers saturate into the *format* range first;
+    /// this is a final safety clamp at the storage boundary).
+    pub fn from_codes(width: IntWidth, codes: impl Iterator<Item = i64>) -> QuantData {
+        match width {
+            IntWidth::W8 => QuantData::I8(codes.map(|c| c.clamp(-128, 127) as i8).collect()),
+            IntWidth::W16 => QuantData::I16(codes.map(|c| c.clamp(-32768, 32767) as i16).collect()),
+        }
+    }
+}
+
+/// A dense tensor of fixed-point integer codes plus its [`QuantParams`].
+///
+/// This is the value type flowing through the integer inference path: `i8`
+/// or `i16` storage, with wide (`i32`/`i64`) accumulation and explicit
+/// saturation happening inside the consuming ops (see `bnn_tensor::int`).
+///
+/// # Example
+///
+/// ```
+/// use bnn_quant::{FixedPointFormat, QuantParams, QuantizedTensor};
+/// use bnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = QuantParams::new(FixedPointFormat::new(8, 3)?)?;
+/// let t = Tensor::from_vec(vec![0.3751, -1.26, 100.0], &[3])?;
+/// let q = QuantizedTensor::quantize(&t, params);
+/// // 100.0 saturates at the format maximum
+/// assert_eq!(q.dequantize().as_slice(), &[0.375, -1.25, 3.96875]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    data: QuantData,
+    dims: Vec<usize>,
+    params: QuantParams,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a float tensor onto the params' grid (round to nearest,
+    /// saturate at the format range).
+    pub fn quantize(tensor: &Tensor, params: QuantParams) -> QuantizedTensor {
+        let codes = tensor.as_slice().iter().map(|&v| params.quantize_value(v));
+        QuantizedTensor {
+            data: QuantData::from_codes(params.width(), codes),
+            dims: tensor.dims().to_vec(),
+            params,
+        }
+    }
+
+    /// Wraps pre-computed codes (they must already be saturated into the
+    /// format range).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Internal`] if the code count does not match the
+    /// dimensions.
+    pub fn from_parts(
+        data: QuantData,
+        dims: Vec<usize>,
+        params: QuantParams,
+    ) -> Result<QuantizedTensor, QuantError> {
+        let expected: usize = dims.iter().product();
+        if data.len() != expected {
+            return Err(QuantError::Internal(format!(
+                "quantized tensor with dims {dims:?} needs {expected} codes, got {}",
+                data.len()
+            )));
+        }
+        Ok(QuantizedTensor { data, dims, params })
+    }
+
+    /// Reconstructs the real-valued tensor `code * scale`.
+    pub fn dequantize(&self) -> Tensor {
+        let values: Vec<f32> = match &self.data {
+            QuantData::I8(v) => v
+                .iter()
+                .map(|&c| self.params.dequantize_value(c as i64))
+                .collect(),
+            QuantData::I16(v) => v
+                .iter()
+                .map(|&c| self.params.dequantize_value(c as i64))
+                .collect(),
+        };
+        Tensor::from_vec(values, &self.dims).expect("dims validated at construction")
+    }
+
+    /// The integer codes.
+    pub fn data(&self) -> &QuantData {
+        &self.data
+    }
+
+    /// The tensor dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The quantization parameters.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::FixedPointFormat;
+
+    fn params(total: u32, int: u32) -> QuantParams {
+        QuantParams::new(FixedPointFormat::new(total, int).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn quantize_dequantize_round_trip_on_grid() {
+        let p = params(8, 3);
+        let t = Tensor::from_vec(vec![0.375, -1.25, 2.0, 0.0], &[2, 2]).unwrap();
+        let q = QuantizedTensor::quantize(&t, p);
+        assert_eq!(q.dequantize().as_slice(), t.as_slice());
+        assert_eq!(q.dims(), &[2, 2]);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn quantize_matches_fake_quantization() {
+        let p = params(6, 2);
+        let t = Tensor::from_vec((-20..20).map(|i| i as f32 * 0.173).collect(), &[40]).unwrap();
+        let q = QuantizedTensor::quantize(&t, p).dequantize();
+        let fake = t.map(|v| p.format().quantize(v));
+        assert_eq!(q.as_slice(), fake.as_slice());
+    }
+
+    #[test]
+    fn storage_width_follows_format() {
+        let t = Tensor::ones(&[3]);
+        let q8 = QuantizedTensor::quantize(&t, params(8, 3));
+        assert!(matches!(q8.data(), QuantData::I8(_)));
+        let q16 = QuantizedTensor::quantize(&t, params(16, 6));
+        assert!(matches!(q16.data(), QuantData::I16(_)));
+        assert_eq!(q8.data().codes_i64(), vec![32, 32, 32]);
+        assert_eq!(q16.data().code(0), 1024);
+    }
+
+    #[test]
+    fn max_magnitude_values_saturate_to_code_extremes() {
+        // Saturation edge case: values far beyond the range pin at
+        // qmin/qmax instead of wrapping around.
+        let p = params(4, 2);
+        let t = Tensor::from_vec(vec![1e6, -1e6], &[2]).unwrap();
+        let q = QuantizedTensor::quantize(&t, p);
+        assert_eq!(q.data().codes_i64(), vec![p.qmax(), p.qmin()]);
+    }
+
+    #[test]
+    fn from_parts_validates_dims() {
+        let p = params(8, 3);
+        let data = QuantData::I8(vec![1, 2, 3]);
+        assert!(QuantizedTensor::from_parts(data.clone(), vec![2, 2], p).is_err());
+        assert!(QuantizedTensor::from_parts(data, vec![3], p).is_ok());
+    }
+}

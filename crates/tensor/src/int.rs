@@ -1,0 +1,559 @@
+//! Integer linear-algebra kernels for the fixed-point inference path.
+//!
+//! The float kernels in [`crate::linalg`] evaluate *fake-quantized* models:
+//! values snapped to a fixed-point grid but carried as `f32`. The kernels
+//! here are the genuine article — `i8`/`i16` operands, `i32`/`i64`
+//! accumulators — and model what an FPGA datapath with `ap_fixed` arithmetic
+//! actually computes. They operate on raw slices (no `Tensor` wrapper):
+//! scale/zero-point bookkeeping lives one layer up, in `bnn-quant`.
+//!
+//! # Arithmetic contract
+//!
+//! * **Exact accumulation.** `a[i8] * b[i8]` products are at most `2^14` in
+//!   magnitude, so an `i32` accumulator is exact for reductions of fewer
+//!   than `2^17` terms — far beyond any layer in this workspace (the widest
+//!   reduction, a dense layer on flattened CIFAR features, is a few thousand
+//!   terms). The `i16` kernel accumulates in `i64` and is exact for any
+//!   practical reduction (up to `2^33` terms). Kernels therefore never
+//!   saturate *during* accumulation; saturation is applied explicitly when a
+//!   wide accumulator is requantized back to a narrow storage type (see
+//!   [`round_shift`] and [`saturate`]).
+//! * **Rounding.** [`round_shift`] rounds to nearest with ties away from
+//!   zero — the same convention as `f32::round`, which the fake-quantization
+//!   grid in `bnn-quant` uses. This keeps the integer path and the float
+//!   simulation bit-compatible wherever `f32` arithmetic is exact.
+//! * **Determinism.** Integer addition is associative, so any execution
+//!   order gives the same bits; the kernels still split work into disjoint
+//!   output row blocks on a [`parpool::Executor`] exactly like the float
+//!   kernels, preserving the PR-3 threading contract (one writer per output
+//!   element, identical results for every thread count).
+
+use crate::linalg::{fill_row_blocks, ConvGeometry};
+use crate::TensorError;
+use parpool::Executor;
+
+/// Minimum number of multiply-accumulates before an integer matrix product
+/// fans out over the global executor (mirrors the float kernels' threshold).
+const PAR_MACS_THRESHOLD: usize = 1 << 20;
+
+fn auto_executor(work: usize) -> Executor {
+    if work >= PAR_MACS_THRESHOLD {
+        Executor::global()
+    } else {
+        Executor::sequential()
+    }
+}
+
+/// Rounds `value / 2^shift` to the nearest integer, ties away from zero.
+///
+/// This is the requantization primitive of the fixed-point path: because
+/// every scale in an `ap_fixed` pipeline is a power of two, rescaling an
+/// accumulator to an output format is exactly a rounding right-shift. A
+/// `shift` of zero returns the value unchanged.
+///
+/// # Example
+///
+/// ```
+/// use bnn_tensor::int::round_shift;
+///
+/// assert_eq!(round_shift(10, 2), 3); // 2.5 rounds away from zero
+/// assert_eq!(round_shift(-10, 2), -3);
+/// assert_eq!(round_shift(9, 2), 2); // 2.25 rounds down
+/// assert_eq!(round_shift(7, 0), 7);
+/// ```
+pub fn round_shift(value: i64, shift: u32) -> i64 {
+    if shift == 0 {
+        return value;
+    }
+    let bias = 1i64 << (shift - 1);
+    if value >= 0 {
+        (value + bias) >> shift
+    } else {
+        // Mirror the positive case so ties round away from zero.
+        -((-value + bias) >> shift)
+    }
+}
+
+/// Clamps a wide accumulator value into `[min, max]` — the explicit
+/// saturation step of the fixed-point path (matching `ap_fixed`'s `AP_SAT`
+/// overflow mode rather than two's-complement wrap-around).
+///
+/// # Example
+///
+/// ```
+/// use bnn_tensor::int::saturate;
+///
+/// assert_eq!(saturate(300, -128, 127), 127);
+/// assert_eq!(saturate(-300, -128, 127), -128);
+/// assert_eq!(saturate(5, -128, 127), 5);
+/// ```
+pub fn saturate(value: i64, min: i64, max: i64) -> i64 {
+    value.clamp(min, max)
+}
+
+/// Rescales an accumulator by `2^-shift` (rounding to nearest, ties away
+/// from zero) and saturates the result into `[min, max]` — the full
+/// requantize-one-value operation. Negative shifts scale *up* (saturating),
+/// for the rare case where the output format has more fractional bits than
+/// the accumulator.
+pub fn requantize(value: i64, shift: i32, min: i64, max: i64) -> i64 {
+    let scaled = if shift >= 0 {
+        round_shift(value, shift as u32)
+    } else {
+        value.saturating_mul(1i64 << (-shift).min(62))
+    };
+    saturate(scaled, min, max)
+}
+
+fn check_matmul(
+    a_len: usize,
+    b_len: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    op: &'static str,
+) -> Result<(), TensorError> {
+    if a_len != m * k || b_len != k * n {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![a_len, m, k],
+            rhs: vec![b_len, k, n],
+            op,
+        });
+    }
+    Ok(())
+}
+
+/// Multiplies two `i8` matrices, `[m, k] x [k, n]`, into an exact `i32`
+/// accumulator matrix `[m, n]`.
+///
+/// The reduction over `k` must stay below `2^17` terms so the accumulator
+/// cannot overflow (see the [module documentation](self)); this is checked.
+/// Large products are parallelized over output row blocks with bitwise
+/// identical results for every thread count.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the slice lengths do not match
+/// `m * k` / `k * n`, or if `k` exceeds the exact-accumulation bound.
+///
+/// # Example
+///
+/// ```
+/// use bnn_tensor::int::matmul_i8;
+///
+/// # fn main() -> Result<(), bnn_tensor::TensorError> {
+/// let a: Vec<i8> = vec![1, 2, 3, 4]; // [2, 2]
+/// let b: Vec<i8> = vec![5, 6, 7, 8]; // [2, 2]
+/// assert_eq!(matmul_i8(&a, &b, 2, 2, 2)?, vec![19, 22, 43, 50]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul_i8(
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<Vec<i32>, TensorError> {
+    matmul_i8_with(&auto_executor(m * k * n), a, b, m, k, n)
+}
+
+/// [`matmul_i8`] on an explicit executor.
+///
+/// The kernel widens both operands to `i16` (with `b` transposed so every
+/// dot product runs over two contiguous slices) and register-blocks eight
+/// output rows per `b`-row stream: the widening `i16 * i16 -> i32`
+/// reduction is the integer inner loop LLVM vectorizes well at baseline
+/// codegen (`pmaddwd`), and the 8-way reuse of each `b` load is what lets
+/// the 8-bit path overtake the float kernel on the same shape. Integer
+/// accumulation is exact, so the reduction order is free to differ from
+/// the float kernels without breaking bitwise determinism.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on length mismatches or a `k`
+/// beyond the exact-accumulation bound.
+pub fn matmul_i8_with(
+    exec: &Executor,
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<Vec<i32>, TensorError> {
+    check_matmul(a.len(), b.len(), m, k, n, "matmul_i8")?;
+    // Strict bound: |product| peaks at (-128)^2 = 2^14, so k = 2^17 terms
+    // could reach exactly 2^31 and overflow i32; only k < 2^17 is exact.
+    if k >= (1 << 17) {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, k],
+            rhs: vec![k, n],
+            op: "matmul_i8: k exceeds exact i32 accumulation bound (< 2^17)",
+        });
+    }
+    // Widen once up front: `a` row-major, `b` transposed to [n, k] so every
+    // dot product runs over two contiguous i16 slices.
+    let mut a16 = vec![0i16; m * k];
+    for (dst, &src) in a16.iter_mut().zip(a) {
+        *dst = src as i16;
+    }
+    let mut bt16 = vec![0i16; n * k];
+    for (p, b_row) in b.chunks_exact(n).enumerate() {
+        for (j, &v) in b_row.iter().enumerate() {
+            bt16[j * k + p] = v as i16;
+        }
+    }
+    let mut out = vec![0i32; m * n];
+    fill_row_blocks(exec, &mut out, m, n, |row0, chunk| {
+        // Register blocking: each transposed `b` row streams through the
+        // core once per 8 (then 4, then 1) output rows, cutting the
+        // bandwidth the plain dot layout needs while every reduction stays
+        // pmaddwd-friendly. Measured on the 256^3 bench shape this is what
+        // pushes the i8 kernel past the f32 axpy kernel.
+        let rows = chunk.len() / n;
+        let mut i = 0;
+        while i + 8 <= rows {
+            let base = (row0 + i) * k;
+            let ar: [&[i16]; 8] = [
+                &a16[base..base + k],
+                &a16[base + k..base + 2 * k],
+                &a16[base + 2 * k..base + 3 * k],
+                &a16[base + 3 * k..base + 4 * k],
+                &a16[base + 4 * k..base + 5 * k],
+                &a16[base + 5 * k..base + 6 * k],
+                &a16[base + 6 * k..base + 7 * k],
+                &a16[base + 7 * k..base + 8 * k],
+            ];
+            for (j, bt_row) in bt16.chunks_exact(k).enumerate() {
+                let mut s = [0i32; 8];
+                for p in 0..k {
+                    let bv = bt_row[p] as i32;
+                    s[0] += ar[0][p] as i32 * bv;
+                    s[1] += ar[1][p] as i32 * bv;
+                    s[2] += ar[2][p] as i32 * bv;
+                    s[3] += ar[3][p] as i32 * bv;
+                    s[4] += ar[4][p] as i32 * bv;
+                    s[5] += ar[5][p] as i32 * bv;
+                    s[6] += ar[6][p] as i32 * bv;
+                    s[7] += ar[7][p] as i32 * bv;
+                }
+                for (r, &sv) in s.iter().enumerate() {
+                    chunk[(i + r) * n + j] = sv;
+                }
+            }
+            i += 8;
+        }
+        while i + 4 <= rows {
+            let base = (row0 + i) * k;
+            let a0 = &a16[base..base + k];
+            let a1 = &a16[base + k..base + 2 * k];
+            let a2 = &a16[base + 2 * k..base + 3 * k];
+            let a3 = &a16[base + 3 * k..base + 4 * k];
+            for (j, bt_row) in bt16.chunks_exact(k).enumerate() {
+                let (mut s0, mut s1, mut s2, mut s3) = (0i32, 0i32, 0i32, 0i32);
+                for p in 0..k {
+                    let bv = bt_row[p] as i32;
+                    s0 += a0[p] as i32 * bv;
+                    s1 += a1[p] as i32 * bv;
+                    s2 += a2[p] as i32 * bv;
+                    s3 += a3[p] as i32 * bv;
+                }
+                chunk[i * n + j] = s0;
+                chunk[(i + 1) * n + j] = s1;
+                chunk[(i + 2) * n + j] = s2;
+                chunk[(i + 3) * n + j] = s3;
+            }
+            i += 4;
+        }
+        while i < rows {
+            let a_row = &a16[(row0 + i) * k..(row0 + i + 1) * k];
+            for (j, bt_row) in bt16.chunks_exact(k).enumerate() {
+                let mut acc = 0i32;
+                for (&av, &bv) in a_row.iter().zip(bt_row) {
+                    acc += av as i32 * bv as i32;
+                }
+                chunk[i * n + j] = acc;
+            }
+            i += 1;
+        }
+    });
+    Ok(out)
+}
+
+/// Multiplies two `i16` matrices, `[m, k] x [k, n]`, into an exact `i64`
+/// accumulator matrix `[m, n]`.
+///
+/// Products are at most `2^30`, so the `i64` accumulator is exact for any
+/// reduction length that fits in memory. Parallelized over output row blocks
+/// with bitwise identical results for every thread count.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the slice lengths do not match
+/// `m * k` / `k * n`.
+pub fn matmul_i16(
+    a: &[i16],
+    b: &[i16],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<Vec<i64>, TensorError> {
+    matmul_i16_with(&auto_executor(m * k * n), a, b, m, k, n)
+}
+
+/// [`matmul_i16`] on an explicit executor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on length mismatches.
+pub fn matmul_i16_with(
+    exec: &Executor,
+    a: &[i16],
+    b: &[i16],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<Vec<i64>, TensorError> {
+    check_matmul(a.len(), b.len(), m, k, n, "matmul_i16")?;
+    let mut out = vec![0i64; m * n];
+    fill_row_blocks(exec, &mut out, m, n, |row0, chunk| {
+        for (local_i, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+            let i = row0 + local_i;
+            for p in 0..k {
+                let a_ip = a[i * k + p] as i64;
+                if a_ip == 0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b_pj as i64;
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+fn im2col_generic<T: Copy + Default>(
+    input: &[T],
+    batch: usize,
+    channels: usize,
+    geom: &ConvGeometry,
+) -> Result<(Vec<T>, usize, usize), TensorError> {
+    if input.len() != batch * channels * geom.in_h * geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![input.len()],
+            rhs: vec![batch, channels, geom.in_h, geom.in_w],
+            op: "im2col_int",
+        });
+    }
+    let out_h = geom.out_h();
+    let out_w = geom.out_w();
+    let rows = channels * geom.kernel_h * geom.kernel_w;
+    let cols = batch * out_h * out_w;
+    let mut out = vec![T::default(); rows * cols];
+    // Batch-major fill, the same scatter order as the sequential float
+    // im2col; padding taps keep the zero default (zero-point is always 0 in
+    // the symmetric fixed-point scheme, so integer padding is literal 0).
+    for b in 0..batch {
+        for c in 0..channels {
+            for kh in 0..geom.kernel_h {
+                for kw in 0..geom.kernel_w {
+                    let row = (c * geom.kernel_h + kh) * geom.kernel_w + kw;
+                    for oh in 0..out_h {
+                        let ih = (oh * geom.stride_h + kh) as isize - geom.pad_h as isize;
+                        if ih < 0 || ih as usize >= geom.in_h {
+                            continue;
+                        }
+                        for ow in 0..out_w {
+                            let iw = (ow * geom.stride_w + kw) as isize - geom.pad_w as isize;
+                            if iw < 0 || iw as usize >= geom.in_w {
+                                continue;
+                            }
+                            let col = (b * out_h + oh) * out_w + ow;
+                            out[row * cols + col] =
+                                input[((b * channels + c) * geom.in_h + ih as usize) * geom.in_w
+                                    + iw as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((out, rows, cols))
+}
+
+/// Unfolds an NCHW `i8` code tensor into im2col columns, returning
+/// `(columns, rows, cols)` with `rows = channels * kh * kw` and
+/// `cols = batch * out_h * out_w`. Padding positions hold integer zero (the
+/// symmetric scheme's zero-point).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` does not hold
+/// `batch * channels * in_h * in_w` codes.
+pub fn im2col_i8(
+    input: &[i8],
+    batch: usize,
+    channels: usize,
+    geom: &ConvGeometry,
+) -> Result<(Vec<i8>, usize, usize), TensorError> {
+    im2col_generic(input, batch, channels, geom)
+}
+
+/// [`im2col_i8`] for `i16` codes.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` does not hold
+/// `batch * channels * in_h * in_w` codes.
+pub fn im2col_i16(
+    input: &[i16],
+    batch: usize,
+    channels: usize,
+    geom: &ConvGeometry,
+) -> Result<(Vec<i16>, usize, usize), TensorError> {
+    im2col_generic(input, batch, channels, geom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::{im2col, matmul};
+    use crate::rng::{Rng, Xoshiro256StarStar};
+    use crate::Tensor;
+
+    fn random_codes_i8(n: usize, rng: &mut Xoshiro256StarStar) -> Vec<i8> {
+        (0..n).map(|_| (rng.next_u64() % 255) as i8).collect()
+    }
+
+    #[test]
+    fn round_shift_matches_float_rounding() {
+        for v in -2000i64..=2000 {
+            for shift in 1u32..=6 {
+                let expected = (v as f64 / (1i64 << shift) as f64).round() as i64;
+                assert_eq!(round_shift(v, shift), expected, "v={v} shift={shift}");
+            }
+            assert_eq!(round_shift(v, 0), v);
+        }
+    }
+
+    #[test]
+    fn requantize_saturates_at_bounds() {
+        assert_eq!(requantize(1000, 2, -128, 127), 127);
+        assert_eq!(requantize(-1000, 2, -128, 127), -128);
+        assert_eq!(requantize(100, 2, -128, 127), 25);
+        // negative shift scales up and saturates
+        assert_eq!(requantize(100, -2, -128, 127), 127);
+        assert_eq!(requantize(5, -2, -128, 127), 20);
+        assert_eq!(requantize(i64::MAX / 2, -30, i64::MIN, i64::MAX), i64::MAX);
+    }
+
+    #[test]
+    fn matmul_i8_known_values() {
+        let a: Vec<i8> = vec![1, 2, 3, 4];
+        let b: Vec<i8> = vec![5, 6, 7, 8];
+        assert_eq!(matmul_i8(&a, &b, 2, 2, 2).unwrap(), vec![19, 22, 43, 50]);
+        assert!(matmul_i8(&a, &b, 2, 3, 2).is_err());
+    }
+
+    #[test]
+    fn matmul_i8_matches_float_on_integer_values() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let (m, k, n) = (13, 29, 17);
+        let a = random_codes_i8(m * k, &mut rng);
+        let b = random_codes_i8(k * n, &mut rng);
+        let af = Tensor::from_vec(a.iter().map(|&v| v as f32).collect(), &[m, k]).unwrap();
+        let bf = Tensor::from_vec(b.iter().map(|&v| v as f32).collect(), &[k, n]).unwrap();
+        let cf = matmul(&af, &bf).unwrap();
+        let ci = matmul_i8(&a, &b, m, k, n).unwrap();
+        // products and partial sums stay far below 2^24, so f32 is exact here
+        for (x, &y) in ci.iter().zip(cf.as_slice()) {
+            assert_eq!(*x as f32, y);
+        }
+    }
+
+    #[test]
+    fn matmul_i16_matches_i8_on_narrow_values() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        let (m, k, n) = (7, 11, 9);
+        let a8 = random_codes_i8(m * k, &mut rng);
+        let b8 = random_codes_i8(k * n, &mut rng);
+        let a16: Vec<i16> = a8.iter().map(|&v| v as i16).collect();
+        let b16: Vec<i16> = b8.iter().map(|&v| v as i16).collect();
+        let c8 = matmul_i8(&a8, &b8, m, k, n).unwrap();
+        let c16 = matmul_i16(&a16, &b16, m, k, n).unwrap();
+        for (x, y) in c8.iter().zip(&c16) {
+            assert_eq!(*x as i64, *y);
+        }
+    }
+
+    #[test]
+    fn parallel_integer_matmul_is_identical_to_sequential() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let (m, k, n) = (37, 23, 41);
+        let a = random_codes_i8(m * k, &mut rng);
+        let b = random_codes_i8(k * n, &mut rng);
+        let seq = matmul_i8_with(&Executor::sequential(), &a, &b, m, k, n).unwrap();
+        let par = matmul_i8_with(&Executor::new(4), &a, &b, m, k, n).unwrap();
+        assert_eq!(seq, par);
+        let a16: Vec<i16> = a.iter().map(|&v| v as i16 * 100).collect();
+        let b16: Vec<i16> = b.iter().map(|&v| v as i16 * 100).collect();
+        let seq = matmul_i16_with(&Executor::sequential(), &a16, &b16, m, k, n).unwrap();
+        let par = matmul_i16_with(&Executor::new(4), &a16, &b16, m, k, n).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn matmul_i8_rejects_oversized_reduction() {
+        let a = vec![0i8; 1 << 18];
+        let b = vec![0i8; 1 << 18];
+        assert!(matmul_i8(&a, &b, 1, 1 << 18, 1).is_err());
+        // Boundary: k = 2^17 all-extreme products reach exactly 2^31, one
+        // past i32::MAX, so the bound is strict.
+        let a = vec![i8::MIN; 1 << 17];
+        assert!(matmul_i8(&a, &a, 1, 1 << 17, 1).is_err());
+        let a = vec![i8::MIN; (1 << 17) - 1];
+        let c = matmul_i8(&a, &a, 1, (1 << 17) - 1, 1).unwrap();
+        assert_eq!(c[0], (1 << 14) * ((1 << 17) - 1));
+    }
+
+    #[test]
+    fn im2col_i8_matches_float_im2col() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let (b, c, h, w) = (2usize, 3usize, 6usize, 5usize);
+        let codes = random_codes_i8(b * c * h * w, &mut rng);
+        let geom = ConvGeometry {
+            in_h: h,
+            in_w: w,
+            kernel_h: 3,
+            kernel_w: 2,
+            stride_h: 1,
+            stride_w: 2,
+            pad_h: 1,
+            pad_w: 1,
+        };
+        let (cols_i, rows, cols) = im2col_i8(&codes, b, c, &geom).unwrap();
+        let xf =
+            Tensor::from_vec(codes.iter().map(|&v| v as f32).collect(), &[b, c, h, w]).unwrap();
+        let cols_f = im2col(&xf, &geom).unwrap();
+        assert_eq!(cols_f.dims(), &[rows, cols]);
+        for (i, &v) in cols_i.iter().enumerate() {
+            assert_eq!(v as f32, cols_f.as_slice()[i]);
+        }
+        assert!(im2col_i8(&codes[1..], b, c, &geom).is_err());
+    }
+
+    #[test]
+    fn i16_accumulation_handles_max_magnitude_inputs() {
+        // Saturation edge case: every operand at the most negative code.
+        // (-2^15) * (-2^15) * k accumulates exactly in i64.
+        let k = 64usize;
+        let a = vec![i16::MIN; k];
+        let b = vec![i16::MIN; k];
+        let c = matmul_i16(&a, &b, 1, k, 1).unwrap();
+        assert_eq!(c[0], (i16::MIN as i64) * (i16::MIN as i64) * k as i64);
+        // requantizing that into an i16 range must saturate, not wrap
+        assert_eq!(requantize(c[0], 8, i16::MIN as i64, i16::MAX as i64), 32767);
+    }
+}

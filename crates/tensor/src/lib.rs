@@ -15,6 +15,10 @@
 //!   the convolution layers are built on. Large kernels run on the
 //!   work-stealing executor re-exported as [`exec`], with bitwise identical
 //!   results for every thread count (see the `linalg` module docs).
+//! * [`int`] — `i8`/`i16` integer kernels with `i32`/`i64` accumulation and
+//!   explicit rounding/saturation helpers, the substrate of the true
+//!   fixed-point inference path in `bnn-quant` (same parallel split and
+//!   determinism contract as the float kernels).
 //!
 //! # Example
 //!
@@ -44,6 +48,7 @@ pub mod exec {
     };
 }
 pub mod init;
+pub mod int;
 pub mod linalg;
 pub mod ops;
 pub mod rng;

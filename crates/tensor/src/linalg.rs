@@ -56,9 +56,12 @@ fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, k: usize, n:
 
 /// Splits `out` (`m` rows of `n` elements) into one contiguous row block per
 /// executor thread and fills each block with `fill(block_row0, block)`.
-fn fill_row_blocks<F>(exec: &Executor, out: &mut [f32], m: usize, n: usize, fill: F)
+/// Shared by the float kernels here and the integer kernels in
+/// [`crate::int`], so the row-block split can never diverge between them.
+pub(crate) fn fill_row_blocks<T, F>(exec: &Executor, out: &mut [T], m: usize, n: usize, fill: F)
 where
-    F: Fn(usize, &mut [f32]) + Sync,
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
 {
     if m == 0 || n == 0 {
         return;
