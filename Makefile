@@ -5,8 +5,11 @@
 #   make test-doc   - documentation tests only (every rustdoc example)
 #   make test-st    - the same suite pinned to one thread (BNN_THREADS=1)
 #   make bench      - run the criterion bench targets
+#   make bench-quant- run only the quantized-predict kernel benches
 #   make bench-save - run kernels + framework_phases benches and record the
 #                     results as BENCH_kernels.json / BENCH_phases.json
+#   make test-plans - allocation-audit + planned-vs-unplanned parity suites,
+#                     under BNN_THREADS=1 and 4
 #   make lint       - rustfmt check + clippy with warnings denied
 #   make doc        - rustdoc with warnings denied
 #   make ci         - everything the merge gate runs
@@ -18,7 +21,7 @@ CARGO ?= cargo
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test test-doc test-st bench bench-build bench-save lint fmt doc clean ci
+.PHONY: all build test test-doc test-st test-plans bench bench-build bench-quant bench-save lint fmt doc clean ci
 
 all: build
 
@@ -38,8 +41,20 @@ test-doc:
 test-st:
 	BNN_THREADS=1 $(CARGO) test -q
 
+# The execution-plan guarantees, pinned at both ends of the thread-count
+# range: zero steady-state allocations in planned predict_probs and bit-exact
+# planned-vs-unplanned parity across formats and modes.
+test-plans:
+	BNN_THREADS=1 $(CARGO) test -q --test allocation_audit --test planned_parity
+	BNN_THREADS=4 $(CARGO) test -q --test allocation_audit --test planned_parity
+
 bench:
 	$(CARGO) bench -p bnn-bench
+
+# Only the quantized-predict kernel benches (planned vs unplanned + compile
+# cost) — the fast signal when iterating on the integer hot path.
+bench-quant:
+	$(CARGO) bench -p bnn-bench --bench kernels -- quantized
 
 # Compile the bench targets without running them (fast CI signal).
 bench-build:
@@ -67,4 +82,4 @@ doc:
 clean:
 	$(CARGO) clean
 
-ci: lint build test test-doc test-st bench-build doc
+ci: lint build test test-doc test-st test-plans bench-build doc

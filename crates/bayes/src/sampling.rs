@@ -145,9 +145,16 @@ impl McSampler {
     ///
     /// The deterministic backbone runs once; the (cheap) exit passes are
     /// independent given their seeded mask streams and fan out across the
-    /// sampler's executor, one inference replica per pass. Results are
-    /// bitwise identical for every thread count, including the sequential
-    /// path.
+    /// sampler's executor. When the parallel fan-out engages, plannable
+    /// networks (no batch normalisation or residual blocks) execute on a
+    /// compiled [`bnn_models::MultiExitPlan`] — backbone and exits run in
+    /// preallocated arenas reused across passes, and worker replicas are
+    /// plan clones instead of per-worker spec rebuilds; sequential runs and
+    /// non-plannable networks take the layer chain, whose per-pass cost is
+    /// below the plan's one-off weight-packing compile on CPU-sized models.
+    /// The two paths are **bit-identical** (the plan reproduces every layer
+    /// kernel and mask stream exactly), as are all thread counts, including
+    /// the sequential path.
     ///
     /// # Errors
     ///
@@ -161,6 +168,82 @@ impl McSampler {
         if n_exits == 0 {
             return Err(BayesError::Invalid("network has no exits".into()));
         }
+        let passes = self.config.passes_for(n_exits).max(1);
+        if self.executor.threads() > 1
+            && passes > 1
+            && !in_parallel_region()
+            && inputs.dims().len() >= 2
+        {
+            if let Ok(plan) = network.compile_plan(&inputs.dims()[1..]) {
+                return self.predict_planned(plan, inputs, n_exits);
+            }
+        }
+        self.predict_layered(network, inputs, n_exits)
+    }
+
+    /// The planned prediction path: one compiled plan, arenas reused across
+    /// passes, plan clones as worker replicas.
+    fn predict_planned(
+        &self,
+        mut plan: bnn_models::MultiExitPlan,
+        inputs: &Tensor,
+        n_exits: usize,
+    ) -> Result<McPrediction, BayesError> {
+        let passes = self.config.passes_for(n_exits).max(1);
+        let activations = plan.forward_backbone(inputs, Mode::Eval)?;
+        let pass_seeds: Vec<u64> = (0..passes)
+            .map(|p| stream_seed(self.config.seed, p as u64))
+            .collect();
+
+        let pass_exits: Vec<Vec<Tensor>> =
+            if self.executor.threads() > 1 && passes > 1 && !in_parallel_region() {
+                // One plan clone per *worker*, not per pass; worker w runs
+                // passes w, w+W, … and each pass reseeds from its own
+                // stream, so the assignment does not affect the result.
+                let workers = self.executor.threads().min(passes);
+                let mut replicas: Vec<bnn_models::MultiExitPlan> = Vec::with_capacity(workers);
+                for _ in 0..workers - 1 {
+                    replicas.push(plan.clone());
+                }
+                replicas.push(plan);
+                let per_worker: Vec<Vec<Vec<Tensor>>> = self
+                    .executor
+                    .par_map_mut(&mut replicas, |w, replica| {
+                        pass_seeds[w..]
+                            .iter()
+                            .step_by(workers)
+                            .map(|&seed| {
+                                replica.reseed_mc_streams(seed);
+                                replica.forward_exits_from_activations(&activations, Mode::McSample)
+                            })
+                            .collect::<Result<Vec<Vec<Tensor>>, _>>()
+                    })
+                    .into_iter()
+                    .collect::<Result<_, _>>()?;
+                let mut per_worker = per_worker;
+                (0..passes)
+                    .map(|p| std::mem::take(&mut per_worker[p % workers][p / workers]))
+                    .collect()
+            } else {
+                let mut collected = Vec::with_capacity(passes);
+                for &seed in &pass_seeds {
+                    plan.reseed_mc_streams(seed);
+                    collected
+                        .push(plan.forward_exits_from_activations(&activations, Mode::McSample)?);
+                }
+                collected
+            };
+        self.finish_prediction(pass_exits, passes, n_exits)
+    }
+
+    /// The unplanned prediction path: the layer chain with per-worker model
+    /// replicas (networks with batch normalisation or residual blocks).
+    fn predict_layered(
+        &self,
+        network: &mut MultiExitNetwork,
+        inputs: &Tensor,
+        n_exits: usize,
+    ) -> Result<McPrediction, BayesError> {
         let passes = self.config.passes_for(n_exits).max(1);
         let activations = network.forward_backbone(inputs, Mode::Eval)?;
         let pass_seeds: Vec<u64> = (0..passes)
@@ -207,7 +290,17 @@ impl McSampler {
                 }
                 collected
             };
+        self.finish_prediction(pass_exits, passes, n_exits)
+    }
 
+    /// Shared tail of both prediction paths: softmax per sample, truncate to
+    /// the requested sample count, average.
+    fn finish_prediction(
+        &self,
+        pass_exits: Vec<Vec<Tensor>>,
+        passes: usize,
+        n_exits: usize,
+    ) -> Result<McPrediction, BayesError> {
         let mut per_sample = Vec::with_capacity(passes * n_exits);
         for exits in pass_exits {
             for logits in exits {
@@ -415,6 +508,46 @@ mod tests {
         let a = pred.per_sample[0].as_slice();
         let b = pred.per_sample[4].as_slice(); // same exit, next pass
         assert_ne!(a, b);
+    }
+
+    fn small_lenet() -> MultiExitNetwork {
+        let config = ModelConfig::mnist()
+            .with_resolution(10, 10)
+            .with_width_divisor(8)
+            .with_classes(4);
+        zoo::lenet5(&config)
+            .with_exits_after_every_block()
+            .unwrap()
+            .with_exit_mcd(0.25)
+            .unwrap()
+            .build(13)
+            .unwrap()
+    }
+
+    #[test]
+    fn planned_prediction_matches_layered_bitwise() {
+        // LeNet compiles to a plan; the planned fast path (engaged by the
+        // multi-threaded executor) must reproduce the layer-chain path bit
+        // for bit, mean and per-sample alike.
+        let mut net_planned = small_lenet();
+        let mut net_layered = small_lenet();
+        let mut rng = bnn_tensor::rng::Xoshiro256StarStar::seed_from_u64(21);
+        let x = Tensor::randn(&[3, 1, 10, 10], &mut rng);
+        let sampler = McSampler::new(SamplingConfig::new(8)).with_executor(Executor::new(4));
+        let planned = sampler.predict(&mut net_planned, &x).unwrap();
+        let n_exits = net_layered.num_exits();
+        let layered = sampler
+            .predict_layered(&mut net_layered, &x, n_exits)
+            .unwrap();
+        assert_eq!(planned.mean_probs.as_slice(), layered.mean_probs.as_slice());
+        assert_eq!(planned.per_sample.len(), layered.per_sample.len());
+        for (a, b) in planned.per_sample.iter().zip(&layered.per_sample) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        // The residual model cannot plan and silently takes the layer path —
+        // the public API behaves identically for it (covered by the other
+        // tests, which use resnet18).
+        assert!(small_net().compile_plan(&[3, 12, 12]).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use bnn_models::{zoo, ModelConfig};
 use bnn_nn::layer::Mode;
 use bnn_nn::layers::conv2d::Conv2d;
 use bnn_nn::Layer;
+use bnn_quant::{CalibratedNetwork, FixedPointFormat};
 use bnn_tensor::int::{matmul_i16, matmul_i8};
 use bnn_tensor::linalg::{im2col, matmul, ConvGeometry};
 use bnn_tensor::rng::{Rng, Xoshiro256StarStar};
@@ -84,6 +85,26 @@ fn bench_kernels(c: &mut Criterion) {
     let sampler = McSampler::new(SamplingConfig::new(8));
     group.bench_function("mc_predict_8_samples_batch8", |b| {
         b.iter(|| sampler.predict(&mut network, &images).unwrap())
+    });
+
+    // Integer MC prediction on the 8-bit quick-demo LeNet — the Phase 3 hot
+    // loop. The compiled plan (packed weights, arena-allocated
+    // intermediates) against the unplanned op walk, same bits either way.
+    let calib = Tensor::randn(&[8, 1, 12, 12], &mut rng);
+    let calibrated = CalibratedNetwork::calibrate(&network, &calib).unwrap();
+    let fmt8 = FixedPointFormat::new(8, 3).unwrap();
+    let mut plan = calibrated.plan(fmt8).unwrap();
+    let mut unplanned = calibrated.quantize(fmt8).unwrap();
+    group.bench_function("quantized_predict_lenet5_8bit", |b| {
+        b.iter(|| plan.predict_probs(&images, 8, 2023).unwrap())
+    });
+    group.bench_function("quantized_predict_lenet5_8bit_unplanned", |b| {
+        b.iter(|| unplanned.predict_probs(&images, 8, 2023).unwrap())
+    });
+    // Compile costs: the one-off calibration forward and per-format plan
+    // derivation Phase 3 amortises across its (format, reuse) grid.
+    group.bench_function("quantized_plan_compile_8bit", |b| {
+        b.iter(|| calibrated.plan(fmt8).unwrap())
     });
 
     let n = 512;

@@ -8,17 +8,21 @@
 //!
 //! Algorithmic quality of a bitwidth is measured by post-training
 //! quantization of the trained Phase 1 model (`bnn-quant`). By default every
-//! design point is scored on the **true integer inference path**
-//! ([`bnn_quant::QuantizedMultiExitNetwork`]): activations are calibrated
-//! over a representative training batch, weights become `i8`/`i16` codes and
-//! evaluation runs with integer accumulation and saturation — the arithmetic
-//! the generated accelerator actually performs. The legacy weights-only fake
-//! quantization (float kernels) remains available behind
-//! [`QuantExecution::FakeQuantFloat`] for A/B comparisons; formats wider
-//! than 16 bits always use it. Channel scaling changes the architecture
-//! itself, so each scaled candidate is retrained only when a training budget
-//! is provided; otherwise the exploration keeps the Phase 1 channel
-//! configuration (documented in the result).
+//! design point is scored on the **true integer inference path** via a
+//! compiled execution plan ([`bnn_quant::QuantPlan`]): the float calibration
+//! forward runs **once per candidate** over a representative training batch
+//! ([`bnn_quant::CalibratedNetwork`]), and each searched format derives its
+//! `i8`/`i16` weight codes, packed kernel layouts and arena-allocated
+//! integer executor from the shared range record — the per-format loop runs
+//! no float inference and rebuilds no model. Evaluation uses integer
+//! accumulation and saturation — the arithmetic the generated accelerator
+//! actually performs. The legacy weights-only fake quantization (float
+//! kernels) remains available behind [`QuantExecution::FakeQuantFloat`] for
+//! A/B comparisons; formats wider than 16 bits always use it. Channel
+//! scaling changes the architecture itself, so each scaled candidate is
+//! retrained only when a training budget is provided; otherwise the
+//! exploration keeps the Phase 1 channel configuration (documented in the
+//! result).
 
 use crate::constraints::{OptPriority, UserConstraints};
 use crate::error::FrameworkError;
@@ -30,7 +34,7 @@ use bnn_data::Dataset;
 use bnn_hw::accelerator::{AcceleratorConfig, AcceleratorModel, AcceleratorReport};
 use bnn_hw::MappingStrategy;
 use bnn_models::{MultiExitNetwork, NetworkSpec};
-use bnn_quant::{quantize_network, FixedPointFormat, QuantizedMultiExitNetwork};
+use bnn_quant::{quantize_network, CalibratedNetwork, FixedPointFormat};
 use bnn_tensor::exec::Executor;
 use bnn_tensor::Tensor;
 
@@ -252,11 +256,13 @@ impl Phase3Stage {
 
 /// The co-exploration over a trained model.
 ///
-/// `trained` itself is left untouched: every bitwidth candidate quantizes a
-/// fresh replica restored from `trained`'s checkpoint, which is what lets the
-/// formats evaluate concurrently on `executor`. `eval_set` is the held-out
-/// evaluation data; `calib` is the representative input batch integer-path
-/// candidates calibrate their activation formats on.
+/// `trained` itself is left untouched: integer-path candidates derive
+/// compiled plans from one shared calibration record, and fake-quant-float
+/// candidates quantize a fresh replica restored from `trained`'s checkpoint —
+/// either way the per-format workers share only immutable state, which is
+/// what lets the formats evaluate concurrently on `executor`. `eval_set` is
+/// the held-out evaluation data; `calib` is the representative input batch
+/// the single calibration forward runs on.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn explore(
     spec: &NetworkSpec,
@@ -281,31 +287,49 @@ pub(crate) fn explore(
     let reference_probs = sampler.predict(trained, &inputs)?.mean_probs;
     let reference_accuracy = accuracy(&reference_probs, &labels)?;
 
-    // Checkpoint the trained network so each quantization candidate starts
-    // fresh (weights and batchnorm statistics).
+    // Calibrate once per candidate: one float forward over the calibration
+    // batch records every weight/activation range, and each format's
+    // compiled execution plan derives from the shared record — the
+    // per-format loop below runs no float inference and builds no model
+    // replica on the integer path. Skipped when no searched format can take
+    // the integer path (wider than 16 bits always falls back to fake-quant
+    // float), so such grids neither pay for nor fail on calibration.
+    let any_integer_format = phase3.formats.iter().any(|f| f.total_bits() <= 16);
+    let calibrated = if phase3.execution == QuantExecution::Integer && any_integer_format {
+        Some(CalibratedNetwork::calibrate(trained, calib)?)
+    } else {
+        None
+    };
+
+    // Checkpoint the trained network so each fake-quant-float candidate
+    // starts fresh (weights and batchnorm statistics).
     let reference = trained.checkpoint();
 
     let outcomes = executor.par_map_indexed(
         &phase3.formats,
         |_, &format| -> Result<Vec<(CoExplorationPoint, String)>, FrameworkError> {
-            // Quantize once per format (independent of reuse factor), on a
-            // private replica of the trained model. The checkpoint restores
-            // every parameter and every piece of layer state, and the MC
-            // evaluation masks are seeded, so the scaffolding build seed is
-            // irrelevant to the result.
-            let mut candidate = spec.build(0)?;
-            candidate
-                .restore(&reference)
-                .map_err(|e| FrameworkError::ArtifactMismatch(e.to_string()))?;
-            let integer_path =
-                phase3.execution == QuantExecution::Integer && format.total_bits() <= 16;
+            let integer_path = phase3.execution == QuantExecution::Integer
+                && format.total_bits() <= 16
+                && calibrated.is_some();
             let quantized_probs = if integer_path {
-                // True fixed-point inference: calibrate + lower the float
-                // candidate, then draw the seeded MC samples entirely in
-                // the integer domain.
-                let mut qnet = QuantizedMultiExitNetwork::lower(&candidate, format, calib)?;
-                qnet.predict_probs(&inputs, phase3.mc_samples, sampler.config().seed)?
+                // True fixed-point inference on the compiled plan: packed
+                // weights, arena-allocated intermediates, seeded MC samples
+                // drawn entirely in the integer domain.
+                let mut plan = calibrated
+                    .as_ref()
+                    .expect("integer path requires calibration")
+                    .plan(format)?;
+                plan.predict_probs(&inputs, phase3.mc_samples, sampler.config().seed)?
             } else {
+                // Weights-only fake quantization (or wider-than-16-bit
+                // fallback) on a private replica of the trained model. The
+                // checkpoint restores every parameter and every piece of
+                // layer state, and the MC evaluation masks are seeded, so
+                // the scaffolding build seed is irrelevant to the result.
+                let mut candidate = spec.build(0)?;
+                candidate
+                    .restore(&reference)
+                    .map_err(|e| FrameworkError::ArtifactMismatch(e.to_string()))?;
                 quantize_network(&mut candidate, format)?;
                 sampler.predict(&mut candidate, &inputs)?.mean_probs
             };

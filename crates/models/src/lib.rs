@@ -36,6 +36,7 @@
 pub mod config;
 pub mod error;
 pub mod multi_exit;
+pub mod plan;
 pub mod residual;
 pub mod spec;
 pub mod zoo;
@@ -43,5 +44,6 @@ pub mod zoo;
 pub use config::ModelConfig;
 pub use error::ModelError;
 pub use multi_exit::{MultiExitNetwork, NetworkCheckpoint};
+pub use plan::MultiExitPlan;
 pub use residual::ResidualBlock;
 pub use spec::{ExitSpec, LayerSpec, NetworkSpec};

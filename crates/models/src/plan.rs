@@ -1,0 +1,255 @@
+//! Compiled inference plans for multi-exit networks: the allocate-once
+//! counterpart of [`MultiExitNetwork`]'s forward path.
+//!
+//! [`MultiExitNetwork::compile_plan`] lowers every backbone block and exit
+//! branch into a [`bnn_nn::InferencePlan`]. The plans execute exactly the
+//! layer forward chain bit for bit (see `bnn_nn::plan`), so the Bayesian
+//! sampler can run its backbone-once/exits-many Monte-Carlo loop on a plan —
+//! reusing each plan's arena across passes instead of allocating per-layer
+//! activations and rebuilding model replicas — without changing a single
+//! output bit. Networks with non-plannable layers (batch normalisation,
+//! residual blocks) fail compilation and callers fall back to the layer
+//! chain.
+
+use crate::error::ModelError;
+use crate::multi_exit::MultiExitNetwork;
+use bnn_nn::layer::Mode;
+use bnn_nn::network::Network;
+use bnn_nn::{InferencePlan, Layer};
+use bnn_tensor::rng::SplitMix64;
+use bnn_tensor::Tensor;
+
+/// Compiled plans of every backbone block and exit branch of a multi-exit
+/// network, in the network's own execution/attachment order.
+///
+/// Cloning a plan clones its packed weights and arenas — a self-contained
+/// inference replica for a worker thread, without rebuilding the model from
+/// its spec.
+#[derive(Debug, Clone)]
+pub struct MultiExitPlan {
+    blocks: Vec<InferencePlan>,
+    exits: Vec<(usize, InferencePlan)>,
+    classes: usize,
+}
+
+impl MultiExitNetwork {
+    /// Compiles the inference plan of this network for per-sample inputs of
+    /// shape `in_dims` (batch axis stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Nn`] when any layer has no bit-reproducible
+    /// flat plan (batch normalisation, residual blocks) — callers should
+    /// fall back to the unplanned forward path.
+    pub fn compile_plan(&self, in_dims: &[usize]) -> Result<MultiExitPlan, ModelError> {
+        let mut dims = in_dims.to_vec();
+        let mut blocks = Vec::with_capacity(self.num_blocks());
+        let mut block_dims = Vec::with_capacity(self.num_blocks());
+        for block in self.blocks() {
+            let plan = InferencePlan::compile(block as &dyn Layer, &dims)?;
+            dims = plan.out_dims().to_vec();
+            block_dims.push(dims.clone());
+            blocks.push(plan);
+        }
+        let mut exits = Vec::with_capacity(self.exits().len());
+        for (after_block, branch) in self.exits() {
+            let plan = InferencePlan::compile(branch as &dyn Layer, &block_dims[*after_block])?;
+            exits.push((*after_block, plan));
+        }
+        Ok(MultiExitPlan {
+            blocks,
+            exits,
+            classes: self.num_classes(),
+        })
+    }
+}
+
+impl MultiExitPlan {
+    /// Number of exits.
+    pub fn num_exits(&self) -> usize {
+        self.exits.len()
+    }
+
+    /// Number of predicted classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Reseeds every MC-dropout stream from `master_seed`, walking blocks
+    /// then exits — the same stream assignment as
+    /// [`Network::reseed_mc_streams`] on the network this plan was compiled
+    /// from.
+    pub fn reseed_mc_streams(&mut self, master_seed: u64) {
+        let mut streams = SplitMix64::new(master_seed);
+        for block in &mut self.blocks {
+            block.reseed_mc(&mut streams);
+        }
+        for (_, exit) in &mut self.exits {
+            exit.reseed_mc(&mut streams);
+        }
+    }
+
+    /// Runs the backbone, returning the activation after every block —
+    /// bit-identical to [`MultiExitNetwork::forward_backbone`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan execution errors.
+    pub fn forward_backbone(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+    ) -> Result<Vec<Tensor>, ModelError> {
+        let mut activations = Vec::with_capacity(self.blocks.len());
+        for (i, block) in self.blocks.iter_mut().enumerate() {
+            let src = if i == 0 { input } else { &activations[i - 1] };
+            let out = block.forward(src, mode)?;
+            activations.push(out);
+        }
+        Ok(activations)
+    }
+
+    /// Runs only the exit branches on pre-computed backbone activations —
+    /// bit-identical to
+    /// [`MultiExitNetwork::forward_exits_from_activations`]. Re-running this
+    /// in [`Mode::McSample`] on the same activations draws additional MC
+    /// samples while reusing each exit plan's arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidSpec`] if `activations` does not hold
+    /// one tensor per block, or propagates execution errors.
+    pub fn forward_exits_from_activations(
+        &mut self,
+        activations: &[Tensor],
+        mode: Mode,
+    ) -> Result<Vec<Tensor>, ModelError> {
+        if activations.len() != self.blocks.len() {
+            return Err(ModelError::InvalidSpec(format!(
+                "expected {} block activations, got {}",
+                self.blocks.len(),
+                activations.len()
+            )));
+        }
+        let mut outputs = Vec::with_capacity(self.exits.len());
+        for (after_block, branch) in &mut self.exits {
+            outputs.push(branch.forward(&activations[*after_block], mode)?);
+        }
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{LayerSpec, NetworkSpec};
+    use crate::{zoo, ModelConfig};
+    use bnn_tensor::rng::Xoshiro256StarStar;
+
+    fn lenet() -> MultiExitNetwork {
+        zoo::lenet5(
+            &ModelConfig::mnist()
+                .with_resolution(10, 10)
+                .with_width_divisor(8)
+                .with_classes(4),
+        )
+        .with_exits_after_every_block()
+        .unwrap()
+        .with_exit_mcd(0.25)
+        .unwrap()
+        .build(5)
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_matches_network_forward_bitwise() {
+        let mut net = lenet();
+        let mut plan = net.compile_plan(&[1, 10, 10]).unwrap();
+        assert_eq!(plan.num_exits(), 2);
+        assert_eq!(plan.num_classes(), 4);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        let x = Tensor::randn(&[3, 1, 10, 10], &mut rng);
+
+        let acts_ref = net.forward_backbone(&x, Mode::Eval).unwrap();
+        let acts = plan.forward_backbone(&x, Mode::Eval).unwrap();
+        assert_eq!(acts_ref.len(), acts.len());
+        for (a, b) in acts_ref.iter().zip(&acts) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+
+        // MC exit passes under shared reseeds stay bitwise equal.
+        for seed in [3u64, 77] {
+            net.reseed_mc_streams(seed);
+            plan.reseed_mc_streams(seed);
+            let e_ref = net
+                .forward_exits_from_activations(&acts_ref, Mode::McSample)
+                .unwrap();
+            let e_plan = plan
+                .forward_exits_from_activations(&acts, Mode::McSample)
+                .unwrap();
+            for (a, b) in e_ref.iter().zip(&e_plan) {
+                assert_eq!(a.as_slice(), b.as_slice(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_networks_fall_back() {
+        let net = zoo::resnet18(
+            &ModelConfig::cifar10()
+                .with_resolution(12, 12)
+                .with_width_divisor(16),
+        )
+        .with_exits_after_every_block()
+        .unwrap()
+        .build(1)
+        .unwrap();
+        assert!(net.compile_plan(&[3, 12, 12]).is_err());
+    }
+
+    #[test]
+    fn plan_clone_is_an_independent_replica() {
+        let net = NetworkSpec::single_exit(
+            "tiny",
+            1,
+            8,
+            8,
+            2,
+            vec![vec![
+                LayerSpec::Conv2d {
+                    in_channels: 1,
+                    out_channels: 2,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+                LayerSpec::Relu,
+            ]],
+            vec![
+                LayerSpec::GlobalAvgPool2d,
+                LayerSpec::Dense {
+                    in_features: 2,
+                    out_features: 2,
+                },
+            ],
+        )
+        .with_exit_mcd(0.5)
+        .unwrap()
+        .build(3)
+        .unwrap();
+        let mut plan = net.compile_plan(&[1, 8, 8]).unwrap();
+        let mut replica = plan.clone();
+        let x = Tensor::ones(&[2, 1, 8, 8]);
+        plan.reseed_mc_streams(41);
+        replica.reseed_mc_streams(41);
+        let acts_a = plan.forward_backbone(&x, Mode::Eval).unwrap();
+        let acts_b = replica.forward_backbone(&x, Mode::Eval).unwrap();
+        let a = plan
+            .forward_exits_from_activations(&acts_a, Mode::McSample)
+            .unwrap();
+        let b = replica
+            .forward_exits_from_activations(&acts_b, Mode::McSample)
+            .unwrap();
+        assert_eq!(a[0].as_slice(), b[0].as_slice());
+    }
+}

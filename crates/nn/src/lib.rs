@@ -40,6 +40,7 @@ pub mod loss;
 pub mod lowering;
 pub mod network;
 pub mod optimizer;
+pub mod plan;
 pub mod sequential;
 pub mod trainer;
 
@@ -47,6 +48,7 @@ pub use error::NnError;
 pub use layer::{Layer, Mode, Param};
 pub use lowering::LayerLowering;
 pub use network::Network;
+pub use plan::InferencePlan;
 pub use sequential::Sequential;
 
 /// Convenience re-exports of the most commonly used items.

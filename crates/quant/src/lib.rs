@@ -62,17 +62,21 @@
 #![warn(missing_docs)]
 
 pub mod bitwidth;
+pub mod calib;
 pub mod error;
 pub mod fixed;
 pub mod model;
 pub mod net;
 pub mod params;
+pub mod plan;
 pub mod qtensor;
 
 pub use bitwidth::{BitwidthSearch, CandidateResult};
+pub use calib::{CalibratedNetwork, GraphCalibration};
 pub use error::QuantError;
 pub use fixed::{FixedPointFormat, QuantizationError};
 pub use model::{quantize_network, quantize_tensor, tensor_quantization_error};
 pub use net::{QuantizedMultiExitNetwork, QuantizedSequential};
 pub use params::{IntWidth, QuantParams};
+pub use plan::QuantPlan;
 pub use qtensor::{QuantData, QuantizedTensor};

@@ -36,6 +36,10 @@
 //! `tests/quantized_inference.rs` pins the two paths to within one
 //! quantization step end to end for every searched format.
 
+use crate::calib::{
+    affine_float, avg_pool_float, conv_float, dense_float, global_avg_pool_float, max_pool_float,
+    CalibratedNetwork, GraphCalibration, RecordCursor,
+};
 use crate::error::QuantError;
 use crate::fixed::FixedPointFormat;
 use crate::params::QuantParams;
@@ -43,9 +47,8 @@ use crate::qtensor::{QuantData, QuantizedTensor};
 use bnn_models::MultiExitNetwork;
 use bnn_nn::layer::Mode;
 use bnn_nn::lowering::LayerLowering;
-use bnn_nn::Network;
 use bnn_tensor::int::{im2col_i16, im2col_i8, matmul_i16, matmul_i8, requantize};
-use bnn_tensor::linalg::{im2col, matmul, ConvGeometry};
+use bnn_tensor::linalg::ConvGeometry;
 use bnn_tensor::ops::softmax;
 use bnn_tensor::rng::{stream_seed, Rng, SplitMix64, Xoshiro256StarStar};
 use bnn_tensor::Tensor;
@@ -54,11 +57,12 @@ use bnn_tensor::Tensor;
 /// itself a power of two (batch-norm affines, the MC-dropout `1/keep`
 /// factor). 12 bits keep the multiplier error two orders of magnitude below
 /// even the 16-bit activation step.
-const MUL_FRAC: u32 = 12;
+pub(crate) const MUL_FRAC: u32 = 12;
 
 /// Rounded division with ties away from zero (`d > 0`): the average-pooling
-/// divisor of the integer path.
-fn div_round(n: i64, d: i64) -> i64 {
+/// divisor of the integer path (shared with the compiled plans — the two
+/// executors must round identically or the bit-exactness contract breaks).
+pub(crate) fn div_round(n: i64, d: i64) -> i64 {
     if n >= 0 {
         (2 * n + d) / (2 * d)
     } else {
@@ -154,7 +158,7 @@ enum QOp {
 /// Splits `[out_c, batch*plane]` row-major data into `[batch, out_c, plane]`
 /// order (the layout reorder after an im2col matmul), mapping values with
 /// `f` along the way.
-fn reorder_to_nchw<T: Copy, U, F: Fn(usize, T) -> U>(
+pub(crate) fn reorder_to_nchw<T: Copy, U, F: Fn(usize, T) -> U>(
     src: &[T],
     out_c: usize,
     batch: usize,
@@ -178,43 +182,6 @@ where
         }
     }
     out
-}
-
-/// Float-reference convolution on a lowered weight matrix (shared by
-/// calibration and the float simulation).
-fn conv_float(
-    x: &Tensor,
-    w2d: &Tensor,
-    bias: &[f32],
-    kernel: usize,
-    stride: usize,
-    padding: usize,
-) -> Result<Tensor, QuantError> {
-    let (batch, _c, h, w) = x.shape().as_nchw()?;
-    let geom = ConvGeometry::square(h, w, kernel, stride, padding);
-    let cols = im2col(x, &geom)?;
-    let out2d = matmul(w2d, &cols)?;
-    let out_c = w2d.dims()[0];
-    let plane = geom.out_h() * geom.out_w();
-    let data = reorder_to_nchw(out2d.as_slice(), out_c, batch, plane, 0.0f32, |co, v| {
-        v + bias[co]
-    });
-    Ok(Tensor::from_vec(
-        data,
-        &[batch, out_c, geom.out_h(), geom.out_w()],
-    )?)
-}
-
-/// Float-reference dense layer.
-fn dense_float(x: &Tensor, w: &Tensor, bias: &[f32]) -> Result<Tensor, QuantError> {
-    let mut out = matmul(x, w)?;
-    let out_f = w.dims()[1];
-    for row in out.as_mut_slice().chunks_exact_mut(out_f) {
-        for (o, &b) in row.iter_mut().zip(bias) {
-            *o += b;
-        }
-    }
-    Ok(out)
 }
 
 /// Integer matrix product dispatching on the storage width; the result is
@@ -318,10 +285,9 @@ impl QuantizedSequential {
     ) -> Result<Self, QuantError> {
         let lowering = layer.lowering()?;
         let total_bits = QuantParams::new(format)?.format().total_bits();
-        let in_params = QuantParams::calibrate(total_bits, calib.as_slice())?;
-        let calib_q = calib.map(|v| in_params.fake_quantize(v));
-        let (seq, _sim_out) = build_sequence(&lowering, total_bits, in_params, &calib_q)?;
-        Ok(seq)
+        let (record, _out_act) = GraphCalibration::collect(&lowering, calib)?;
+        let in_params = record.input.params(total_bits)?;
+        build_sequence(&lowering, &record, total_bits, in_params)
     }
 
     /// The input activation format.
@@ -369,11 +335,10 @@ impl QuantizedSequential {
                 self.in_params.format()
             )));
         }
-        let mut current = input.clone();
-        for op in &mut self.ops {
-            current = forward_op_int(op, &current, mode)?;
-        }
-        Ok(current)
+        // One clone at the graph boundary; inside, ops consume their input
+        // so shape-only ops (flatten, identity, skipped dropout) move the
+        // code buffer instead of cloning it.
+        run_ops_int(&mut self.ops, input.clone(), mode)
     }
 
     /// Runs the fake-quantized float simulation of the same graph: the
@@ -429,42 +394,141 @@ impl QuantizedSequential {
     }
 }
 
-/// Builds the op stream of one lowering (recursing into sequences) and
-/// returns it with the float-sim output of the calibration batch.
-fn build_sequence(
+/// Builds the quantized graph of one lowering against its calibration
+/// record (the cursor-driven counterpart of the old per-format calibration
+/// forward — no float inference happens here).
+pub(crate) fn build_sequence(
     lowering: &LayerLowering,
+    record: &GraphCalibration,
     total_bits: u32,
     in_params: QuantParams,
-    calib: &Tensor,
-) -> Result<(QuantizedSequential, Tensor), QuantError> {
+) -> Result<QuantizedSequential, QuantError> {
     let mut ops = Vec::new();
     let mut params = in_params;
-    let mut act = calib.clone();
-    build_into(lowering, total_bits, &mut ops, &mut params, &mut act)?;
-    Ok((
-        QuantizedSequential {
-            ops,
-            in_params,
-            out_params: params,
-            total_bits,
-        },
-        act,
-    ))
+    let mut cursor = RecordCursor::new(&record.ops);
+    build_into(lowering, total_bits, &mut ops, &mut params, &mut cursor)?;
+    cursor.finish()?;
+    Ok(QuantizedSequential {
+        ops,
+        in_params,
+        out_params: params,
+        total_bits,
+    })
 }
 
-/// Appends the quantized op(s) of `lowering` to `ops`, advancing the
-/// running activation format and calibration activation.
+/// Quantized weight/bias data derived for one format from a lowered weight
+/// layer and its recorded ranges.
+pub(crate) struct QuantizedWeights {
+    pub(crate) codes: QuantData,
+    pub(crate) weight_float: Tensor,
+    pub(crate) w_frac: u32,
+    pub(crate) bias: Vec<i64>,
+    pub(crate) bias_float: Vec<f32>,
+    /// Accumulator-to-output requantization shift.
+    pub(crate) shift: i32,
+}
+
+/// Quantizes a weight tensor and bias for one format: weight codes on the
+/// recorded weight range's grid, bias at the accumulator scale, and the
+/// output requantization shift.
+pub(crate) fn quantize_weights(
+    weight: &Tensor,
+    weight_2d: Option<&[usize]>,
+    bias: &Tensor,
+    w_range: crate::calib::ValueRange,
+    total_bits: u32,
+    in_params: QuantParams,
+    out: QuantParams,
+) -> Result<QuantizedWeights, QuantError> {
+    let w_params = w_range.params(total_bits)?;
+    let w_codes = QuantizedTensor::quantize(weight, w_params);
+    let weight_float = match weight_2d {
+        Some(dims) => w_codes.dequantize().reshape(dims)?,
+        None => w_codes.dequantize(),
+    };
+    let acc_frac = w_params.fractional_bits() + in_params.fractional_bits();
+    let acc_scale = 2f64.powi(acc_frac as i32);
+    let bias_codes: Vec<i64> = bias
+        .as_slice()
+        .iter()
+        .map(|&b| (b as f64 * acc_scale).round() as i64)
+        .collect();
+    let bias_float: Vec<f32> = bias_codes
+        .iter()
+        .map(|&c| (c as f64 / acc_scale) as f32)
+        .collect();
+    Ok(QuantizedWeights {
+        codes: w_codes.data().clone(),
+        weight_float,
+        w_frac: w_params.fractional_bits(),
+        bias: bias_codes,
+        bias_float,
+        shift: acc_frac as i32 - out.fractional_bits() as i32,
+    })
+}
+
+/// The quantized per-channel affine multipliers of a folded batch-norm for
+/// one format (12-fractional-bit fixed point against the chosen scales).
+pub(crate) struct QuantizedAffine {
+    pub(crate) m: Vec<i64>,
+    pub(crate) b: Vec<i64>,
+    pub(crate) m_float: Vec<f32>,
+    pub(crate) b_float: Vec<f32>,
+}
+
+/// Quantizes affine `scale * x + shift` multipliers against the in/out
+/// formats.
+pub(crate) fn quantize_affine(
+    scale: &[f32],
+    shift: &[f32],
+    in_params: QuantParams,
+    out: QuantParams,
+) -> QuantizedAffine {
+    let eps_in = in_params.scale() as f64;
+    let eps_out = out.scale() as f64;
+    let mul = 2f64.powi(MUL_FRAC as i32);
+    let m: Vec<i64> = scale
+        .iter()
+        .map(|&s| (s as f64 * eps_in / eps_out * mul).round() as i64)
+        .collect();
+    let b: Vec<i64> = shift
+        .iter()
+        .map(|&s| (s as f64 / eps_out * mul).round() as i64)
+        .collect();
+    let m_float: Vec<f32> = m
+        .iter()
+        .map(|&c| (c as f64 / mul * eps_out / eps_in) as f32)
+        .collect();
+    let b_float: Vec<f32> = b
+        .iter()
+        .map(|&c| (c as f64 / mul * eps_out) as f32)
+        .collect();
+    QuantizedAffine {
+        m,
+        b,
+        m_float,
+        b_float,
+    }
+}
+
+/// The quantized inverted-dropout scale, `round((1/keep) * 2^12)`.
+pub(crate) fn dropout_scale_q(rate: f64) -> i64 {
+    (1.0 / (1.0 - rate) * 2f64.powi(MUL_FRAC as i32)).round() as i64
+}
+
+/// Appends the quantized op(s) of `lowering` to `ops`, consuming calibration
+/// records in walk order and advancing the running activation format.
 fn build_into(
     lowering: &LayerLowering,
     total_bits: u32,
     ops: &mut Vec<QOp>,
     params: &mut QuantParams,
-    act: &mut Tensor,
+    cursor: &mut RecordCursor<'_>,
 ) -> Result<(), QuantError> {
     match lowering {
         LayerLowering::Sequence(children) => {
             for child in children {
-                build_into(child, total_bits, ops, params, act)?;
+                build_into(child, total_bits, ops, params, cursor)?;
             }
         }
         LayerLowering::Conv2d {
@@ -473,33 +537,28 @@ fn build_into(
             stride,
             padding,
         } => {
-            let dims = weight.dims().to_vec();
+            let record = cursor.take(lowering.name())?;
+            let dims = weight.dims();
             let (out_c, in_c, kernel) = (dims[0], dims[1], dims[2]);
-            let w_params = QuantParams::calibrate(total_bits, weight.as_slice())?;
-            let w_codes = QuantizedTensor::quantize(weight, w_params);
-            let weight_float = w_codes
-                .dequantize()
-                .reshape(&[out_c, in_c * kernel * kernel])?;
-            let acc_frac = w_params.fractional_bits() + params.fractional_bits();
-            let acc_scale = 2f64.powi(acc_frac as i32);
-            let bias_codes: Vec<i64> = bias
-                .as_slice()
-                .iter()
-                .map(|&b| (b as f64 * acc_scale).round() as i64)
-                .collect();
-            let bias_float: Vec<f32> = bias_codes
-                .iter()
-                .map(|&c| (c as f64 / acc_scale) as f32)
-                .collect();
-            let y = conv_float(act, &weight_float, &bias_float, kernel, *stride, *padding)?;
-            let out = QuantParams::calibrate(total_bits, y.as_slice())?;
-            *act = y.map(|v| out.fake_quantize(v));
+            let out = record
+                .out
+                .expect("conv records an output range")
+                .params(total_bits)?;
+            let w = quantize_weights(
+                weight,
+                Some(&[out_c, in_c * kernel * kernel]),
+                bias,
+                record.weight.expect("conv records a weight range"),
+                total_bits,
+                *params,
+                out,
+            )?;
             ops.push(QOp::Conv(Box::new(QConv {
-                weight: w_codes.data().clone(),
-                weight_float,
-                w_frac: w_params.fractional_bits(),
-                bias: bias_codes,
-                bias_float,
+                weight: w.codes,
+                weight_float: w.weight_float,
+                w_frac: w.w_frac,
+                bias: w.bias,
+                bias_float: w.bias_float,
                 out_c,
                 in_c,
                 kernel,
@@ -511,31 +570,28 @@ fn build_into(
             *params = out;
         }
         LayerLowering::Dense { weight, bias } => {
-            let dims = weight.dims().to_vec();
+            let record = cursor.take(lowering.name())?;
+            let dims = weight.dims();
             let (in_f, out_f) = (dims[0], dims[1]);
-            let w_params = QuantParams::calibrate(total_bits, weight.as_slice())?;
-            let w_codes = QuantizedTensor::quantize(weight, w_params);
-            let weight_float = w_codes.dequantize();
-            let acc_frac = w_params.fractional_bits() + params.fractional_bits();
-            let acc_scale = 2f64.powi(acc_frac as i32);
-            let bias_codes: Vec<i64> = bias
-                .as_slice()
-                .iter()
-                .map(|&b| (b as f64 * acc_scale).round() as i64)
-                .collect();
-            let bias_float: Vec<f32> = bias_codes
-                .iter()
-                .map(|&c| (c as f64 / acc_scale) as f32)
-                .collect();
-            let y = dense_float(act, &weight_float, &bias_float)?;
-            let out = QuantParams::calibrate(total_bits, y.as_slice())?;
-            *act = y.map(|v| out.fake_quantize(v));
+            let out = record
+                .out
+                .expect("dense records an output range")
+                .params(total_bits)?;
+            let w = quantize_weights(
+                weight,
+                None,
+                bias,
+                record.weight.expect("dense records a weight range"),
+                total_bits,
+                *params,
+                out,
+            )?;
             ops.push(QOp::Dense(Box::new(QDense {
-                weight: w_codes.data().clone(),
-                weight_float,
-                w_frac: w_params.fractional_bits(),
-                bias: bias_codes,
-                bias_float,
+                weight: w.codes,
+                weight_float: w.weight_float,
+                w_frac: w.w_frac,
+                bias: w.bias,
+                bias_float: w.bias_float,
                 in_f,
                 out_f,
                 in_params: *params,
@@ -544,18 +600,18 @@ fn build_into(
             *params = out;
         }
         LayerLowering::Relu => {
-            *act = act.map(|v| v.max(0.0));
+            cursor.take(lowering.name())?;
             ops.push(QOp::Relu);
         }
         LayerLowering::MaxPool2d { kernel, stride } => {
-            *act = max_pool_float(act, *kernel, *stride)?;
+            cursor.take(lowering.name())?;
             ops.push(QOp::MaxPool {
                 kernel: *kernel,
                 stride: *stride,
             });
         }
         LayerLowering::AvgPool2d { kernel, stride } => {
-            *act = avg_pool_float(act, *kernel, *stride, *params)?;
+            cursor.take(lowering.name())?;
             ops.push(QOp::AvgPool {
                 kernel: *kernel,
                 stride: *stride,
@@ -563,87 +619,77 @@ fn build_into(
             });
         }
         LayerLowering::GlobalAvgPool2d => {
-            *act = global_avg_pool_float(act, *params)?;
+            cursor.take(lowering.name())?;
             ops.push(QOp::GlobalAvgPool { params: *params });
         }
         LayerLowering::Flatten => {
-            let batch = act.dims()[0];
-            let rest: usize = act.dims()[1..].iter().product();
-            *act = act.reshape(&[batch, rest])?;
+            cursor.take(lowering.name())?;
             ops.push(QOp::Flatten);
         }
         LayerLowering::Affine { scale, shift } => {
-            // Two passes: calibrate the output range on the exact affine,
-            // then quantize the multipliers against the chosen output scale.
-            let channels = scale.len();
-            let y0 = affine_float(act, scale, shift, channels)?;
-            let out = QuantParams::calibrate(total_bits, y0.as_slice())?;
-            let eps_in = params.scale() as f64;
-            let eps_out = out.scale() as f64;
-            let mul = 2f64.powi(MUL_FRAC as i32);
-            let m: Vec<i64> = scale
-                .iter()
-                .map(|&s| (s as f64 * eps_in / eps_out * mul).round() as i64)
-                .collect();
-            let b: Vec<i64> = shift
-                .iter()
-                .map(|&s| (s as f64 / eps_out * mul).round() as i64)
-                .collect();
-            let m_float: Vec<f32> = m
-                .iter()
-                .map(|&c| (c as f64 / mul * eps_out / eps_in) as f32)
-                .collect();
-            let b_float: Vec<f32> = b
-                .iter()
-                .map(|&c| (c as f64 / mul * eps_out) as f32)
-                .collect();
-            let y = affine_float(act, &m_float, &b_float, channels)?;
-            *act = y.map(|v| out.fake_quantize(v));
+            let record = cursor.take(lowering.name())?;
+            let out = record
+                .out
+                .expect("affine records an output range")
+                .params(total_bits)?;
+            let aff = quantize_affine(scale, shift, *params, out);
             ops.push(QOp::Affine(Box::new(QAffine {
-                m,
-                b,
-                m_float,
-                b_float,
+                m: aff.m,
+                b: aff.b,
+                m_float: aff.m_float,
+                b_float: aff.b_float,
                 in_params: *params,
                 out,
             })));
             *params = out;
         }
         LayerLowering::McDropout { rate } => {
-            // Calibration runs the deterministic path; the op only becomes
-            // stochastic in Mode::McSample.
-            let keep = 1.0 - rate;
-            let scale_q = (1.0 / keep * 2f64.powi(MUL_FRAC as i32)).round() as i64;
+            cursor.take(lowering.name())?;
             ops.push(QOp::McDropout {
                 rate: *rate,
-                scale_q,
+                scale_q: dropout_scale_q(*rate),
                 params: *params,
                 rng_int: Xoshiro256StarStar::seed_from_u64(0),
                 rng_sim: Xoshiro256StarStar::seed_from_u64(0),
             });
         }
-        LayerLowering::Identity => ops.push(QOp::Identity),
+        LayerLowering::Identity => {
+            cursor.take(lowering.name())?;
+            ops.push(QOp::Identity);
+        }
         LayerLowering::Residual { main, shortcut } => {
-            let main_lowering = LayerLowering::Sequence(main.clone());
-            let (main_seq, main_sim) = build_sequence(&main_lowering, total_bits, *params, act)?;
-            let (short_seq, short_sim) = if shortcut.is_empty() {
-                (
-                    QuantizedSequential::identity(*params, total_bits),
-                    act.clone(),
-                )
-            } else {
-                let short_lowering = LayerLowering::Sequence(shortcut.clone());
-                build_sequence(&short_lowering, total_bits, *params, act)?
+            let in_params = *params;
+            let mut main_ops = Vec::new();
+            let mut main_params = in_params;
+            for child in main {
+                build_into(child, total_bits, &mut main_ops, &mut main_params, cursor)?;
+            }
+            let main_seq = QuantizedSequential {
+                ops: main_ops,
+                in_params,
+                out_params: main_params,
+                total_bits,
             };
-            let sum = main_sim.add(&short_sim)?.map(|v| v.max(0.0));
-            let out = QuantParams::calibrate(total_bits, sum.as_slice())?;
-            // The merged activation as the integer adder sees it: both
-            // operands requantized to the output format *before* the add.
-            let merged = main_sim
-                .map(|v| out.fake_quantize(v))
-                .add(&short_sim.map(|v| out.fake_quantize(v)))?
-                .map(|v| out.fake_quantize(v.max(0.0)));
-            *act = merged;
+            let short_seq = if shortcut.is_empty() {
+                QuantizedSequential::identity(in_params, total_bits)
+            } else {
+                let mut short_ops = Vec::new();
+                let mut short_params = in_params;
+                for child in shortcut {
+                    build_into(child, total_bits, &mut short_ops, &mut short_params, cursor)?;
+                }
+                QuantizedSequential {
+                    ops: short_ops,
+                    in_params,
+                    out_params: short_params,
+                    total_bits,
+                }
+            };
+            let record = cursor.take(lowering.name())?;
+            let out = record
+                .out
+                .expect("residual records an output range")
+                .params(total_bits)?;
             ops.push(QOp::Residual {
                 main: main_seq,
                 shortcut: short_seq,
@@ -653,110 +699,6 @@ fn build_into(
         }
     }
     Ok(())
-}
-
-/// Float reference of square-window pooling: `combine` folds the window
-/// values, `finish` maps the folded value to the output.
-fn pool_float_with(
-    x: &Tensor,
-    kernel: usize,
-    stride: usize,
-    init: f32,
-    combine: impl Fn(f32, f32) -> f32,
-    finish: impl Fn(f32) -> f32,
-) -> Result<Tensor, QuantError> {
-    let (n, c, h, w) = x.shape().as_nchw()?;
-    let geom = ConvGeometry::square(h, w, kernel, stride, 0);
-    let (oh, ow) = (geom.out_h(), geom.out_w());
-    let data = x.as_slice();
-    let mut out = vec![0.0f32; n * c * oh * ow];
-    for b in 0..n {
-        for ch in 0..c {
-            for y in 0..oh {
-                for xx in 0..ow {
-                    let mut acc = init;
-                    for ky in 0..kernel {
-                        for kx in 0..kernel {
-                            let iy = y * stride + ky;
-                            let ix = xx * stride + kx;
-                            if iy < h && ix < w {
-                                acc = combine(acc, data[((b * c + ch) * h + iy) * w + ix]);
-                            }
-                        }
-                    }
-                    out[((b * c + ch) * oh + y) * ow + xx] = finish(acc);
-                }
-            }
-        }
-    }
-    Ok(Tensor::from_vec(out, &[n, c, oh, ow])?)
-}
-
-/// Float reference of max pooling (the max of on-grid values is on-grid).
-fn max_pool_float(x: &Tensor, kernel: usize, stride: usize) -> Result<Tensor, QuantError> {
-    pool_float_with(x, kernel, stride, f32::NEG_INFINITY, f32::max, |v| v)
-}
-
-/// Float reference of average pooling, with results snapped back onto the
-/// activation grid (mirroring the integer rounding division).
-fn avg_pool_float(
-    x: &Tensor,
-    kernel: usize,
-    stride: usize,
-    params: QuantParams,
-) -> Result<Tensor, QuantError> {
-    let norm = 1.0 / (kernel * kernel) as f32;
-    pool_float_with(
-        x,
-        kernel,
-        stride,
-        0.0,
-        |a, v| a + v,
-        |acc| params.fake_quantize(acc * norm),
-    )
-}
-
-/// Float reference of global average pooling, snapped onto the grid.
-fn global_avg_pool_float(x: &Tensor, params: QuantParams) -> Result<Tensor, QuantError> {
-    let (n, c, h, w) = x.shape().as_nchw()?;
-    let plane = h * w;
-    let data = x.as_slice();
-    let mut out = vec![0.0f32; n * c];
-    for b in 0..n {
-        for ch in 0..c {
-            let start = (b * c + ch) * plane;
-            let acc: f32 = data[start..start + plane].iter().sum();
-            out[b * c + ch] = params.fake_quantize(acc / plane as f32);
-        }
-    }
-    Ok(Tensor::from_vec(out, &[n, c])?)
-}
-
-/// Float reference of a per-channel affine over NCHW data.
-fn affine_float(
-    x: &Tensor,
-    scale: &[f32],
-    shift: &[f32],
-    channels: usize,
-) -> Result<Tensor, QuantError> {
-    let (n, c, h, w) = x.shape().as_nchw()?;
-    if c != channels {
-        return Err(QuantError::Internal(format!(
-            "affine over {channels} channel(s) received {c}"
-        )));
-    }
-    let plane = h * w;
-    let mut out = x.clone();
-    let data = out.as_mut_slice();
-    for b in 0..n {
-        for ch in 0..c {
-            let start = (b * c + ch) * plane;
-            for v in &mut data[start..start + plane] {
-                *v = scale[ch] * *v + shift[ch];
-            }
-        }
-    }
-    Ok(out)
 }
 
 /// Integer square-window pooling: max, or sum with round-half-away-from-zero
@@ -813,10 +755,27 @@ fn pool_int(
     )
 }
 
-/// Executes one op on the integer path.
+/// Runs an op list on the integer path, threading ownership of the
+/// activation through the chain.
+fn run_ops_int(
+    ops: &mut [QOp],
+    input: QuantizedTensor,
+    mode: Mode,
+) -> Result<QuantizedTensor, QuantError> {
+    let mut current = input;
+    for op in ops {
+        current = forward_op_int(op, current, mode)?;
+    }
+    Ok(current)
+}
+
+/// Executes one op on the integer path. The op consumes its input: shape-only
+/// ops (flatten, identity, non-sampling dropout) move the code buffer, and
+/// element-wise ops mutate it in place — the per-op `clone()`s of the old
+/// by-reference chain are gone.
 fn forward_op_int(
     op: &mut QOp,
-    input: &QuantizedTensor,
+    input: QuantizedTensor,
     mode: Mode,
 ) -> Result<QuantizedTensor, QuantError> {
     match op {
@@ -881,15 +840,17 @@ fn forward_op_int(
         }
         QOp::Relu => {
             // Stay at storage width: max(0) cannot leave the code range, so
-            // no widening or re-saturation is needed on this hot path.
-            let data = match input.data() {
-                QuantData::I8(v) => QuantData::I8(v.iter().map(|&c| c.max(0)).collect()),
-                QuantData::I16(v) => QuantData::I16(v.iter().map(|&c| c.max(0)).collect()),
-            };
-            QuantizedTensor::from_parts(data, input.dims().to_vec(), input.params())
+            // no widening or re-saturation is needed — and the clamp runs in
+            // place on the owned buffer.
+            let (mut data, dims, params) = input.into_parts();
+            match &mut data {
+                QuantData::I8(v) => v.iter_mut().for_each(|c| *c = (*c).max(0)),
+                QuantData::I16(v) => v.iter_mut().for_each(|c| *c = (*c).max(0)),
+            }
+            QuantizedTensor::from_parts(data, dims, params)
         }
-        QOp::MaxPool { kernel, stride } => pool_int(input, *kernel, *stride, true),
-        QOp::AvgPool { kernel, stride, .. } => pool_int(input, *kernel, *stride, false),
+        QOp::MaxPool { kernel, stride } => pool_int(&input, *kernel, *stride, true),
+        QOp::AvgPool { kernel, stride, .. } => pool_int(&input, *kernel, *stride, false),
         QOp::GlobalAvgPool { .. } => {
             let (n, c, h, w) = match input.dims() {
                 [n, c, h, w] => (*n, *c, *h, *w),
@@ -919,7 +880,8 @@ fn forward_op_int(
         QOp::Flatten => {
             let batch = input.dims()[0];
             let rest: usize = input.dims()[1..].iter().product();
-            QuantizedTensor::from_parts(input.data().clone(), vec![batch, rest], input.params())
+            let (data, _dims, params) = input.into_parts();
+            QuantizedTensor::from_parts(data, vec![batch, rest], params)
         }
         QOp::Affine(aff) => {
             let (n, c, h, w) = match input.dims() {
@@ -947,11 +909,9 @@ fn forward_op_int(
                     }
                 }
             }
-            QuantizedTensor::from_parts(
-                QuantData::from_codes(out.width(), codes.into_iter()),
-                input.dims().to_vec(),
-                out,
-            )
+            let new_data = QuantData::from_codes(out.width(), codes.into_iter());
+            let (_, dims, _) = input.into_parts();
+            QuantizedTensor::from_parts(new_data, dims, out)
         }
         QOp::McDropout {
             rate,
@@ -963,15 +923,15 @@ fn forward_op_int(
             if !mode.samples_mc_dropout() || *rate == 0.0 {
                 // Keep stream positions aligned with the sampling path: a
                 // non-sampling pass draws nothing, exactly like the float
-                // McDropout layer.
-                return Ok(input.clone());
+                // McDropout layer — and the input moves through untouched.
+                return Ok(input);
             }
             let keep = 1.0 - *rate;
             let pattern = draw_keep_mask(rng_int, input.dims(), keep);
-            let dims = input.dims().to_vec();
             let data = input.data();
+            let dims = input.dims();
             let codes = (0..data.len()).map(|i| {
-                if pattern[mask_index(&dims, i)] {
+                if pattern[mask_index(dims, i)] {
                     requantize(
                         data.code(i) * *scale_q,
                         MUL_FRAC as i32,
@@ -982,19 +942,21 @@ fn forward_op_int(
                     0
                 }
             });
-            QuantizedTensor::from_parts(QuantData::from_codes(params.width(), codes), dims, params)
+            let new_data = QuantData::from_codes(params.width(), codes);
+            let (_, dims, _) = input.into_parts();
+            QuantizedTensor::from_parts(new_data, dims, params)
         }
-        QOp::Identity => Ok(input.clone()),
+        QOp::Identity => Ok(input),
         QOp::Residual {
             main,
             shortcut,
             out,
         } => {
-            let main_out = main.forward_int(input, mode)?;
+            let main_out = run_ops_int(&mut main.ops, input.clone(), mode)?;
             let short_out = if shortcut.ops.is_empty() {
-                input.clone()
+                input
             } else {
-                shortcut.forward_int(input, mode)?
+                run_ops_int(&mut shortcut.ops, input, mode)?
             };
             if main_out.dims() != short_out.dims() {
                 return Err(QuantError::Internal(format!(
@@ -1015,11 +977,9 @@ fn forward_op_int(
                 let b = requantize(s_data.code(i), s_shift, out_p.qmin(), out_p.qmax());
                 (a + b).max(0).min(out_p.qmax())
             });
-            QuantizedTensor::from_parts(
-                QuantData::from_codes(out_p.width(), codes),
-                main_out.dims().to_vec(),
-                out_p,
-            )
+            let new_data = QuantData::from_codes(out_p.width(), codes);
+            let (_, dims, _) = main_out.into_parts();
+            QuantizedTensor::from_parts(new_data, dims, out_p)
         }
     }
 }
@@ -1165,35 +1125,39 @@ impl QuantizedMultiExitNetwork {
         format: FixedPointFormat,
         calib: &Tensor,
     ) -> Result<Self, QuantError> {
+        CalibratedNetwork::calibrate(network, calib)?.quantize(format)
+    }
+
+    /// Derives the integer network for one format from a shared calibration
+    /// record — see [`CalibratedNetwork::quantize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Unsupported`] for formats wider than 16 bits,
+    /// or [`QuantError::Internal`] on lowering/record skew.
+    pub(crate) fn from_calibrated(
+        calibrated: &CalibratedNetwork,
+        format: FixedPointFormat,
+    ) -> Result<Self, QuantError> {
         let total_bits = QuantParams::new(format)?.format().total_bits();
-        let in_params = QuantParams::calibrate(total_bits, calib.as_slice())?;
-        let mut act = calib.map(|v| in_params.fake_quantize(v));
-        let mut params = in_params;
+        let mut params = calibrated.input.params(total_bits)?;
         let mut blocks = Vec::new();
-        let mut block_acts = Vec::new();
         let mut block_params = Vec::new();
-        for lowering in network.block_lowerings()? {
-            let (seq, out_act) = build_sequence(&lowering, total_bits, params, &act)?;
+        for (lowering, record) in &calibrated.blocks {
+            let seq = build_sequence(lowering, record, total_bits, params)?;
             params = seq.out_params();
-            act = out_act;
             blocks.push(seq);
-            block_acts.push(act.clone());
             block_params.push(params);
         }
         let mut exits = Vec::new();
-        for (after_block, lowering) in network.exit_lowerings()? {
-            let (seq, _out) = build_sequence(
-                &lowering,
-                total_bits,
-                block_params[after_block],
-                &block_acts[after_block],
-            )?;
-            exits.push((after_block, seq));
+        for (after_block, lowering, record) in &calibrated.exits {
+            let seq = build_sequence(lowering, record, total_bits, block_params[*after_block])?;
+            exits.push((*after_block, seq));
         }
         Ok(QuantizedMultiExitNetwork {
             blocks,
             exits,
-            classes: network.num_classes(),
+            classes: calibrated.classes,
             format,
         })
     }
@@ -1245,11 +1209,14 @@ impl QuantizedMultiExitNetwork {
         &mut self,
         input: &Tensor,
     ) -> Result<Vec<QuantizedTensor>, QuantError> {
-        let mut current = self.blocks[0].quantize_input(input);
-        let mut acts = Vec::with_capacity(self.blocks.len());
-        for block in &mut self.blocks {
-            current = block.forward_int(&current, Mode::Eval)?;
-            acts.push(current.clone());
+        // Feed each block from the stored activation of its predecessor:
+        // one buffer per block boundary, no shadow `current` clone.
+        let input_q = self.blocks[0].quantize_input(input);
+        let mut acts: Vec<QuantizedTensor> = Vec::with_capacity(self.blocks.len());
+        for (i, block) in self.blocks.iter_mut().enumerate() {
+            let src = if i == 0 { &input_q } else { &acts[i - 1] };
+            let out = block.forward_int(src, Mode::Eval)?;
+            acts.push(out);
         }
         Ok(acts)
     }

@@ -91,6 +91,26 @@ impl QuantParams {
             max = max.max(v);
             min = min.min(v);
         }
+        QuantParams::from_range(total_bits, min, max)
+    }
+
+    /// [`QuantParams::calibrate`] from a pre-computed value range `[min, max]`
+    /// (with `min <= 0 <= max`, as produced by observing values against a
+    /// zero-initialised range). This is what lets calibration run **once**
+    /// per model — the observed ranges are recorded and a `QuantParams` is
+    /// derived from the same record for every candidate total width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::NonFinite`] for a non-finite bound, or
+    /// [`QuantError::Unsupported`]/[`QuantError::InvalidFormat`] for an
+    /// unsupported width.
+    pub fn from_range(total_bits: u32, min: f32, max: f32) -> Result<Self, QuantError> {
+        if !min.is_finite() || !max.is_finite() {
+            return Err(QuantError::NonFinite(format!(
+                "cannot calibrate over non-finite range [{min}, {max}]"
+            )));
+        }
         for integer_bits in 0..=total_bits {
             let format = FixedPointFormat::new(total_bits, integer_bits)?;
             if format.max_value() >= max && format.min_value() <= min {

@@ -1,0 +1,1469 @@
+//! Compile-once execution plans for the integer inference path.
+//!
+//! [`QuantPlan`] is the allocate-once/run-many counterpart of
+//! [`QuantizedMultiExitNetwork`](crate::QuantizedMultiExitNetwork): the
+//! recursive lowering walk is flattened into a linear step list, buffer
+//! lifetimes are planned at compile time (liveness over the flat list with
+//! free-list reuse, elementwise steps running in place when their input
+//! dies), weights are packed **once** into the transposed/widened `i16`
+//! layout the integer matmul kernels consume, and every intermediate — code
+//! slots, the im2col scratch, accumulators, dropout masks, softmax staging —
+//! lives in a preallocated tensor arena. After a warm-up call that sizes the
+//! arena for the batch, [`QuantPlan::predict_probs_into`] performs **zero
+//! heap allocations** in the steady state (on a sequential executor; the
+//! thread-pool fan-out of large kernels allocates its scoped workers by
+//! design).
+//!
+//! The plan executes exactly the arithmetic of the unplanned path — same
+//! kernels modulo exact-integer reassociation, same requantization, same
+//! seeded mask streams in the same walk order — so planned and unplanned
+//! predictions are **bit-exact** against each other for every format; the
+//! parity suite in `tests/planned_parity.rs` pins this.
+//!
+//! ```text
+//! CalibratedNetwork ──ranges──► compile(format)
+//!   │                              │  flatten ops · derive QuantParams
+//!   │                              │  pack weights (i16, transposed)
+//!   │                              ▼  plan slot liveness
+//! (one float pass,            QuantPlan { steps, arena }
+//!  shared by all formats)         │
+//!                                 ▼  run many: predict_probs_into
+//!                            zero steady-state allocation
+//! ```
+
+use crate::calib::{CalibratedNetwork, RecordCursor};
+use crate::error::QuantError;
+use crate::fixed::FixedPointFormat;
+use crate::net::{div_round, dropout_scale_q, quantize_affine, quantize_weights, MUL_FRAC};
+use crate::params::{IntWidth, QuantParams};
+use crate::qtensor::QuantData;
+use bnn_nn::layer::Mode;
+use bnn_nn::lowering::LayerLowering;
+use bnn_tensor::exec::Executor;
+use bnn_tensor::int::{im2row_i16_into, matmul_abt_i64_into, matmul_wide_i32_into, requantize};
+use bnn_tensor::linalg::ConvGeometry;
+use bnn_tensor::ops::softmax_rows_into;
+use bnn_tensor::rng::{stream_seed, Rng, SplitMix64, Xoshiro256StarStar};
+use bnn_tensor::Tensor;
+
+/// Minimum multiply-accumulate count before a plan kernel fans out over the
+/// parallel executor (the same threshold as the unplanned integer kernels).
+const PAR_MACS_THRESHOLD: usize = 1 << 20;
+
+/// A packed convolution: weights widened/flattened to `[out_c, in_c*k*k]`
+/// `i16` once at compile time (the unplanned path re-packs per call).
+#[derive(Debug, Clone)]
+struct PlanConv {
+    w16: Vec<i16>,
+    bias: Vec<i64>,
+    out_c: usize,
+    in_c: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    shift: i32,
+    out: QuantParams,
+}
+
+/// A packed dense layer: weights transposed to `[out_f, in_f]` `i16`.
+#[derive(Debug, Clone)]
+struct PlanDense {
+    wt16: Vec<i16>,
+    bias: Vec<i64>,
+    in_f: usize,
+    out_f: usize,
+    shift: i32,
+    out: QuantParams,
+}
+
+/// Quantized per-channel affine multipliers.
+#[derive(Debug, Clone)]
+struct PlanAffine {
+    m: Vec<i64>,
+    b: Vec<i64>,
+    out: QuantParams,
+}
+
+/// One step of the flattened plan.
+#[derive(Debug, Clone)]
+enum StepKind {
+    Conv(Box<PlanConv>),
+    Dense(Box<PlanDense>),
+    Relu,
+    MaxPool {
+        kernel: usize,
+        stride: usize,
+    },
+    AvgPool {
+        kernel: usize,
+        stride: usize,
+    },
+    GlobalAvgPool,
+    Affine(Box<PlanAffine>),
+    McDropout {
+        rate: f64,
+        scale_q: i64,
+        params: QuantParams,
+        rng: Xoshiro256StarStar,
+    },
+    /// Residual merge: requantize both paths to the output format, add,
+    /// clamp into `[0, qmax]` (the merged ReLU).
+    Merge {
+        m_shift: i32,
+        s_shift: i32,
+        out: QuantParams,
+    },
+}
+
+/// A flattened op with its slot assignment and static per-sample shapes.
+#[derive(Debug, Clone)]
+struct Step {
+    kind: StepKind,
+    /// Source slot (the main path for [`StepKind::Merge`]).
+    src: usize,
+    /// Second source slot (the shortcut path of a merge).
+    src2: Option<usize>,
+    dst: usize,
+    /// Per-sample dims of the source activation (batch axis stripped).
+    in_dims: Vec<usize>,
+    /// Per-sample dims of the output activation.
+    out_dims: Vec<usize>,
+}
+
+impl Step {
+    fn in_elems(&self) -> usize {
+        self.in_dims.iter().product()
+    }
+
+    fn out_elems(&self) -> usize {
+        self.out_dims.iter().product()
+    }
+}
+
+/// One compiled exit branch.
+#[derive(Debug, Clone)]
+struct PlanExit {
+    steps: Vec<Step>,
+    out_slot: usize,
+    out_params: QuantParams,
+    out_dims: Vec<usize>,
+}
+
+/// The preallocated tensor arena: activation slots plus the shared scratch
+/// buffers. All sizes grow monotonically with the largest batch seen, so the
+/// steady state of repeated same-batch calls never reallocates.
+#[derive(Debug, Clone, Default)]
+struct Arena {
+    slots: Vec<Vec<i16>>,
+    cols: Vec<i16>,
+    acc32: Vec<i32>,
+    acc64: Vec<i64>,
+    mask: Vec<bool>,
+    logits: Vec<f32>,
+    probs: Vec<f32>,
+}
+
+/// A compiled, arena-allocated execution plan for the integer inference of
+/// a calibrated multi-exit network at one fixed-point format.
+///
+/// Build one with [`CalibratedNetwork::plan`]; see the
+/// [module documentation](self) for the dataflow.
+///
+/// # Example
+///
+/// ```
+/// use bnn_models::{zoo, ModelConfig};
+/// use bnn_quant::{CalibratedNetwork, FixedPointFormat};
+/// use bnn_tensor::rng::Xoshiro256StarStar;
+/// use bnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = zoo::lenet5(&ModelConfig::mnist().with_resolution(12, 12).with_width_divisor(4))
+///     .with_exits_after_every_block()?
+///     .with_exit_mcd(0.25)?;
+/// let trained = spec.build(7)?; // (train it for real use)
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+/// let calib = Tensor::randn(&[4, 1, 12, 12], &mut rng);
+///
+/// let calibrated = CalibratedNetwork::calibrate(&trained, &calib)?;
+/// let mut plan = calibrated.plan(FixedPointFormat::new(8, 3)?)?;
+/// let inputs = Tensor::randn(&[4, 1, 12, 12], &mut rng);
+/// let probs = plan.predict_probs(&inputs, 6, 2023)?; // warm-up sizes the arena
+/// let again = plan.predict_probs(&inputs, 6, 2023)?; // steady state: no allocation
+/// assert_eq!(probs.as_slice(), again.as_slice());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantPlan {
+    format: FixedPointFormat,
+    width: IntWidth,
+    classes: usize,
+    in_params: QuantParams,
+    in_dims: Vec<usize>,
+    input_slot: usize,
+    backbone: Vec<Step>,
+    exits: Vec<PlanExit>,
+    /// Per-slot per-sample element capacity (max over the values sharing it).
+    slot_elems: Vec<usize>,
+    /// Per-sample scratch capacities.
+    cols_unit: usize,
+    acc_unit: usize,
+    mask_unit: usize,
+    logit_unit: usize,
+    arena: Arena,
+    exec: Option<Executor>,
+}
+
+/// Compile-time value bookkeeping: every step output is a fresh value;
+/// flatten/identity alias their input (same storage, new shape).
+struct ValueInfo {
+    dims: Vec<usize>,
+    alias_of: Option<usize>,
+    pinned: bool,
+}
+
+/// The plan builder: emits steps with *value* ids, then linear-scans them
+/// into slot ids.
+struct PlanBuilder {
+    total_bits: u32,
+    steps: Vec<Step>,
+    values: Vec<ValueInfo>,
+    cols_unit: usize,
+    acc_unit: usize,
+    mask_unit: usize,
+}
+
+impl PlanBuilder {
+    fn new_value(&mut self, dims: Vec<usize>) -> usize {
+        self.values.push(ValueInfo {
+            dims,
+            alias_of: None,
+            pinned: false,
+        });
+        self.values.len() - 1
+    }
+
+    fn alias_value(&mut self, of: usize, dims: Vec<usize>) -> usize {
+        let root = self.root(of);
+        self.values.push(ValueInfo {
+            dims,
+            alias_of: Some(root),
+            pinned: false,
+        });
+        self.values.len() - 1
+    }
+
+    fn root(&self, v: usize) -> usize {
+        match self.values[v].alias_of {
+            Some(r) => r,
+            None => v,
+        }
+    }
+
+    fn dims(&self, v: usize) -> Vec<usize> {
+        self.values[v].dims.clone()
+    }
+
+    fn push(
+        &mut self,
+        kind: StepKind,
+        src: usize,
+        src2: Option<usize>,
+        out_dims: Vec<usize>,
+    ) -> usize {
+        let dst = self.new_value(out_dims.clone());
+        let in_dims = self.dims(src);
+        self.steps.push(Step {
+            kind,
+            src,
+            src2,
+            dst,
+            in_dims,
+            out_dims,
+        });
+        dst
+    }
+
+    /// Packs a weight code tensor into the widened `i16` layout; `transpose`
+    /// selects the `[out, in]` dense layout (`dims = (rows_in, cols_out)`).
+    fn widen_codes(codes: &QuantData, transpose: Option<(usize, usize)>) -> Vec<i16> {
+        match transpose {
+            None => match codes {
+                QuantData::I8(v) => v.iter().map(|&c| c as i16).collect(),
+                QuantData::I16(v) => v.clone(),
+            },
+            Some((rows, cols)) => {
+                let mut out = vec![0i16; rows * cols];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        out[c * rows + r] = match codes {
+                            QuantData::I8(v) => v[r * cols + c] as i16,
+                            QuantData::I16(v) => v[r * cols + c],
+                        };
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Emits the step(s) of one lowered op, consuming calibration records in
+    /// the same walk order as the unplanned builder.
+    fn emit(
+        &mut self,
+        lowering: &LayerLowering,
+        cursor: &mut RecordCursor<'_>,
+        params: &mut QuantParams,
+        cur: &mut usize,
+    ) -> Result<(), QuantError> {
+        let total_bits = self.total_bits;
+        match lowering {
+            LayerLowering::Sequence(children) => {
+                for child in children {
+                    self.emit(child, cursor, params, cur)?;
+                }
+            }
+            LayerLowering::Conv2d {
+                weight,
+                bias,
+                stride,
+                padding,
+            } => {
+                let record = cursor.take(lowering.name())?;
+                let dims = weight.dims();
+                let (out_c, in_c, kernel) = (dims[0], dims[1], dims[2]);
+                let out = record
+                    .out
+                    .expect("conv records an output range")
+                    .params(total_bits)?;
+                let w = quantize_weights(
+                    weight,
+                    Some(&[out_c, in_c * kernel * kernel]),
+                    bias,
+                    record.weight.expect("conv records a weight range"),
+                    total_bits,
+                    *params,
+                    out,
+                )?;
+                let in_dims = self.dims(*cur);
+                let (h, ww) = (in_dims[1], in_dims[2]);
+                let geom = ConvGeometry::square(h, ww, kernel, *stride, *padding);
+                let plane = geom.out_h() * geom.out_w();
+                let kred = in_c * kernel * kernel;
+                self.cols_unit = self.cols_unit.max(kred * plane);
+                self.acc_unit = self.acc_unit.max(out_c * plane);
+                *cur = self.push(
+                    StepKind::Conv(Box::new(PlanConv {
+                        w16: Self::widen_codes(&w.codes, None),
+                        bias: w.bias,
+                        out_c,
+                        in_c,
+                        kernel,
+                        stride: *stride,
+                        padding: *padding,
+                        shift: w.shift,
+                        out,
+                    })),
+                    *cur,
+                    None,
+                    record.out_dims.clone(),
+                );
+                *params = out;
+            }
+            LayerLowering::Dense { weight, bias } => {
+                let record = cursor.take(lowering.name())?;
+                let dims = weight.dims();
+                let (in_f, out_f) = (dims[0], dims[1]);
+                let out = record
+                    .out
+                    .expect("dense records an output range")
+                    .params(total_bits)?;
+                let w = quantize_weights(
+                    weight,
+                    None,
+                    bias,
+                    record.weight.expect("dense records a weight range"),
+                    total_bits,
+                    *params,
+                    out,
+                )?;
+                self.acc_unit = self.acc_unit.max(out_f);
+                *cur = self.push(
+                    StepKind::Dense(Box::new(PlanDense {
+                        wt16: Self::widen_codes(&w.codes, Some((in_f, out_f))),
+                        bias: w.bias,
+                        in_f,
+                        out_f,
+                        shift: w.shift,
+                        out,
+                    })),
+                    *cur,
+                    None,
+                    record.out_dims.clone(),
+                );
+                *params = out;
+            }
+            LayerLowering::Relu => {
+                let record = cursor.take(lowering.name())?;
+                *cur = self.push(StepKind::Relu, *cur, None, record.out_dims.clone());
+            }
+            LayerLowering::MaxPool2d { kernel, stride } => {
+                let record = cursor.take(lowering.name())?;
+                *cur = self.push(
+                    StepKind::MaxPool {
+                        kernel: *kernel,
+                        stride: *stride,
+                    },
+                    *cur,
+                    None,
+                    record.out_dims.clone(),
+                );
+            }
+            LayerLowering::AvgPool2d { kernel, stride } => {
+                let record = cursor.take(lowering.name())?;
+                *cur = self.push(
+                    StepKind::AvgPool {
+                        kernel: *kernel,
+                        stride: *stride,
+                    },
+                    *cur,
+                    None,
+                    record.out_dims.clone(),
+                );
+            }
+            LayerLowering::GlobalAvgPool2d => {
+                let record = cursor.take(lowering.name())?;
+                *cur = self.push(StepKind::GlobalAvgPool, *cur, None, record.out_dims.clone());
+            }
+            LayerLowering::Flatten => {
+                // Shape-only: the flat plan reinterprets the buffer in place.
+                let record = cursor.take(lowering.name())?;
+                *cur = self.alias_value(*cur, record.out_dims.clone());
+            }
+            LayerLowering::Identity => {
+                let record = cursor.take(lowering.name())?;
+                *cur = self.alias_value(*cur, record.out_dims.clone());
+            }
+            LayerLowering::Affine { scale, shift } => {
+                let record = cursor.take(lowering.name())?;
+                let out = record
+                    .out
+                    .expect("affine records an output range")
+                    .params(total_bits)?;
+                let aff = quantize_affine(scale, shift, *params, out);
+                *cur = self.push(
+                    StepKind::Affine(Box::new(PlanAffine {
+                        m: aff.m,
+                        b: aff.b,
+                        out,
+                    })),
+                    *cur,
+                    None,
+                    record.out_dims.clone(),
+                );
+                *params = out;
+            }
+            LayerLowering::McDropout { rate } => {
+                let record = cursor.take(lowering.name())?;
+                let in_dims = self.dims(*cur);
+                let unit = if in_dims.len() == 3 {
+                    // NCHW at run time: one draw per (batch, channel).
+                    in_dims[0]
+                } else {
+                    in_dims.iter().product()
+                };
+                self.mask_unit = self.mask_unit.max(unit);
+                *cur = self.push(
+                    StepKind::McDropout {
+                        rate: *rate,
+                        scale_q: dropout_scale_q(*rate),
+                        params: *params,
+                        rng: Xoshiro256StarStar::seed_from_u64(0),
+                    },
+                    *cur,
+                    None,
+                    record.out_dims.clone(),
+                );
+            }
+            LayerLowering::Residual { main, shortcut } => {
+                let v_in = *cur;
+                let in_params = *params;
+                let mut main_params = in_params;
+                let mut v_main = v_in;
+                for child in main {
+                    self.emit(child, cursor, &mut main_params, &mut v_main)?;
+                }
+                let mut short_params = in_params;
+                let mut v_short = v_in;
+                for child in shortcut {
+                    self.emit(child, cursor, &mut short_params, &mut v_short)?;
+                }
+                let record = cursor.take(lowering.name())?;
+                let out = record
+                    .out
+                    .expect("residual records an output range")
+                    .params(total_bits)?;
+                *cur = self.push(
+                    StepKind::Merge {
+                        m_shift: main_params.fractional_bits() as i32
+                            - out.fractional_bits() as i32,
+                        s_shift: short_params.fractional_bits() as i32
+                            - out.fractional_bits() as i32,
+                        out,
+                    },
+                    v_main,
+                    Some(v_short),
+                    record.out_dims.clone(),
+                );
+                *params = out;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Elementwise steps may run in place when their input dies at the step.
+fn aliasable(kind: &StepKind) -> bool {
+    matches!(
+        kind,
+        StepKind::Relu | StepKind::Affine(_) | StepKind::McDropout { .. }
+    )
+}
+
+impl QuantPlan {
+    /// Compiles the plan for one format from a calibrated network. See
+    /// [`CalibratedNetwork::plan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Unsupported`] for formats wider than 16 bits,
+    /// or [`QuantError::Internal`] on lowering/record skew.
+    pub(crate) fn compile(
+        calibrated: &CalibratedNetwork,
+        format: FixedPointFormat,
+    ) -> Result<Self, QuantError> {
+        let total_bits = QuantParams::new(format)?.format().total_bits();
+        let in_params = calibrated.input.params(total_bits)?;
+        let mut builder = PlanBuilder {
+            total_bits,
+            steps: Vec::new(),
+            values: Vec::new(),
+            cols_unit: 0,
+            acc_unit: 0,
+            mask_unit: 0,
+        };
+        let input_value = builder.new_value(calibrated.in_dims.clone());
+
+        // Backbone: blocks in execution order; the value live at each block
+        // boundary is pinned (exit branches re-read it on every MC pass).
+        let mut params = in_params;
+        let mut cur = input_value;
+        let mut block_values = Vec::with_capacity(calibrated.blocks.len());
+        let mut block_params = Vec::with_capacity(calibrated.blocks.len());
+        for (lowering, record) in &calibrated.blocks {
+            let mut cursor = RecordCursor::new(&record.ops);
+            builder.emit(lowering, &mut cursor, &mut params, &mut cur)?;
+            cursor.finish()?;
+            let root = builder.root(cur);
+            builder.values[root].pinned = true;
+            block_values.push(cur);
+            block_params.push(params);
+        }
+        let backbone_len = builder.steps.len();
+
+        // Exit branches, attachment order.
+        let mut exit_meta = Vec::with_capacity(calibrated.exits.len());
+        for (after_block, lowering, record) in &calibrated.exits {
+            let mut cursor = RecordCursor::new(&record.ops);
+            let mut exit_params = block_params[*after_block];
+            let mut exit_cur = block_values[*after_block];
+            let start = builder.steps.len();
+            builder.emit(lowering, &mut cursor, &mut exit_params, &mut exit_cur)?;
+            cursor.finish()?;
+            exit_meta.push((start, exit_cur, exit_params));
+        }
+
+        // Liveness over the flat step list, then linear-scan slot assignment
+        // with free-list (ping-pong) reuse.
+        let n_values = builder.values.len();
+        let mut last_use = vec![usize::MAX; n_values];
+        for (j, step) in builder.steps.iter().enumerate() {
+            last_use[builder.root(step.src)] = j;
+            if let Some(s2) = step.src2 {
+                last_use[builder.root(s2)] = j;
+            }
+        }
+        let mut slot_of = vec![usize::MAX; n_values];
+        let mut slot_elems: Vec<usize> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        let assign = |slot_of: &mut Vec<usize>,
+                      slot_elems: &mut Vec<usize>,
+                      free: &mut Vec<usize>,
+                      value: usize,
+                      elems: usize|
+         -> usize {
+            let slot = free.pop().unwrap_or_else(|| {
+                slot_elems.push(0);
+                slot_elems.len() - 1
+            });
+            slot_of[value] = slot;
+            slot_elems[slot] = slot_elems[slot].max(elems);
+            slot
+        };
+        let input_elems: usize = calibrated.in_dims.iter().product();
+        assign(
+            &mut slot_of,
+            &mut slot_elems,
+            &mut free,
+            input_value,
+            input_elems,
+        );
+        for j in 0..builder.steps.len() {
+            let (src_root, src2_root, dst_root, kind_aliasable, out_elems) = {
+                let step = &builder.steps[j];
+                (
+                    builder.root(step.src),
+                    step.src2.map(|s| builder.root(s)),
+                    builder.root(step.dst),
+                    aliasable(&step.kind),
+                    step.out_elems(),
+                )
+            };
+            let src_dies = last_use[src_root] == j && !builder.values[src_root].pinned;
+            if kind_aliasable && src_dies {
+                let slot = slot_of[src_root];
+                slot_of[dst_root] = slot;
+                slot_elems[slot] = slot_elems[slot].max(out_elems);
+            } else {
+                assign(
+                    &mut slot_of,
+                    &mut slot_elems,
+                    &mut free,
+                    dst_root,
+                    out_elems,
+                );
+                let dst_slot = slot_of[dst_root];
+                let mut dead = [None, None];
+                if src_dies && slot_of[src_root] != dst_slot {
+                    dead[0] = Some(slot_of[src_root]);
+                }
+                if let Some(s2) = src2_root {
+                    if last_use[s2] == j
+                        && !builder.values[s2].pinned
+                        && slot_of[s2] != dst_slot
+                        && Some(slot_of[s2]) != dead[0]
+                    {
+                        dead[1] = Some(slot_of[s2]);
+                    }
+                }
+                for slot in dead.into_iter().flatten() {
+                    free.push(slot);
+                }
+            }
+        }
+
+        // Rewrite value ids into slot ids.
+        let mut steps = builder.steps;
+        for step in &mut steps {
+            step.src = slot_of[builder.values[step.src].alias_of.unwrap_or(step.src)];
+            if let Some(s2) = step.src2 {
+                step.src2 = Some(slot_of[builder.values[s2].alias_of.unwrap_or(s2)]);
+            }
+            step.dst = slot_of[builder.values[step.dst].alias_of.unwrap_or(step.dst)];
+        }
+        let total = steps.len();
+        let mut exits = Vec::with_capacity(exit_meta.len());
+        let mut logit_unit = 0usize;
+        for (i, (start, out_value, out_params)) in exit_meta.iter().enumerate() {
+            let end = exit_meta
+                .get(i + 1)
+                .map(|(next_start, _, _)| *next_start)
+                .unwrap_or(total);
+            let exit_steps = steps[*start..end].to_vec();
+            let out_root = builder.values[*out_value].alias_of.unwrap_or(*out_value);
+            let out_dims = builder.values[*out_value].dims.clone();
+            logit_unit = logit_unit.max(out_dims.iter().product());
+            exits.push(PlanExit {
+                steps: exit_steps,
+                out_slot: slot_of[out_root],
+                out_params: *out_params,
+                out_dims,
+            });
+        }
+        steps.truncate(backbone_len);
+        let backbone = steps;
+
+        let mut arena = Arena::default();
+        arena.slots.resize(slot_elems.len(), Vec::new());
+        Ok(QuantPlan {
+            format,
+            width: in_params.width(),
+            classes: calibrated.classes,
+            in_params,
+            in_dims: calibrated.in_dims.clone(),
+            input_slot: slot_of[input_value],
+            backbone,
+            exits,
+            slot_elems,
+            cols_unit: builder.cols_unit,
+            acc_unit: builder.acc_unit,
+            mask_unit: builder.mask_unit,
+            logit_unit,
+            arena,
+            exec: None,
+        })
+    }
+
+    /// The format this plan was compiled for.
+    pub fn format(&self) -> FixedPointFormat {
+        self.format
+    }
+
+    /// Number of exits.
+    pub fn num_exits(&self) -> usize {
+        self.exits.len()
+    }
+
+    /// Number of predicted classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Number of flattened steps (backbone plus all exits).
+    pub fn num_steps(&self) -> usize {
+        self.backbone.len() + self.exits.iter().map(|e| e.steps.len()).sum::<usize>()
+    }
+
+    /// Number of arena activation slots the liveness plan settled on.
+    pub fn num_slots(&self) -> usize {
+        self.slot_elems.len()
+    }
+
+    /// The calibrated output format of every exit branch, in attachment
+    /// order.
+    pub fn exit_out_params(&self) -> Vec<QuantParams> {
+        self.exits.iter().map(|e| e.out_params).collect()
+    }
+
+    /// Pins every kernel in this plan to `exec` instead of the work-size
+    /// based auto selection. `Executor::sequential()` makes the steady state
+    /// strictly allocation-free (the thread-pool fan-out of large kernels
+    /// allocates its scoped workers); results are bitwise identical either
+    /// way.
+    pub fn set_executor(&mut self, exec: Executor) {
+        self.exec = Some(exec);
+    }
+
+    /// Reseeds every MC-dropout stream from `master_seed`, walking the flat
+    /// step list (backbone, then exits in attachment order) — the same
+    /// stream assignment as the unplanned network's `reseed_mc_streams`.
+    pub fn reseed_mc_streams(&mut self, master_seed: u64) {
+        let mut streams = SplitMix64::new(master_seed);
+        for step in self
+            .backbone
+            .iter_mut()
+            .chain(self.exits.iter_mut().flat_map(|e| e.steps.iter_mut()))
+        {
+            if let StepKind::McDropout { rng, .. } = &mut step.kind {
+                *rng = Xoshiro256StarStar::seed_from_u64(streams.next_u64());
+            }
+        }
+    }
+
+    /// Grows the arena for `batch` samples (monotone: repeated calls with
+    /// the same or smaller batch perform no allocation).
+    fn ensure_arena(&mut self, batch: usize) {
+        for (slot, &unit) in self.arena.slots.iter_mut().zip(&self.slot_elems) {
+            let need = unit * batch;
+            if slot.len() < need {
+                slot.resize(need, 0);
+            }
+        }
+        let grow = |v: &mut Vec<i16>, need: usize| {
+            if v.len() < need {
+                v.resize(need, 0);
+            }
+        };
+        grow(&mut self.arena.cols, self.cols_unit * batch);
+        if self.arena.acc32.len() < self.acc_unit * batch && self.width == IntWidth::W8 {
+            self.arena.acc32.resize(self.acc_unit * batch, 0);
+        }
+        if self.arena.acc64.len() < self.acc_unit * batch && self.width == IntWidth::W16 {
+            self.arena.acc64.resize(self.acc_unit * batch, 0);
+        }
+        if self.arena.mask.len() < self.mask_unit * batch {
+            self.arena.mask.resize(self.mask_unit * batch, false);
+        }
+        if self.arena.logits.len() < self.logit_unit * batch {
+            self.arena.logits.resize(self.logit_unit * batch, 0.0);
+        }
+        if self.arena.probs.len() < self.logit_unit * batch {
+            self.arena.probs.resize(self.logit_unit * batch, 0.0);
+        }
+    }
+
+    /// Quantizes the float input batch into the input slot.
+    fn load_input(&mut self, inputs: &Tensor) -> Result<usize, QuantError> {
+        if inputs.dims().len() != self.in_dims.len() + 1 || inputs.dims()[1..] != self.in_dims[..] {
+            return Err(QuantError::Internal(format!(
+                "plan expects input dims [batch, {:?}], got {:?}",
+                self.in_dims,
+                inputs.dims()
+            )));
+        }
+        let batch = inputs.dims()[0];
+        self.ensure_arena(batch);
+        let params = self.in_params;
+        let slot = &mut self.arena.slots[self.input_slot];
+        for (dst, &v) in slot.iter_mut().zip(inputs.as_slice()) {
+            *dst = params.quantize_value(v) as i16;
+        }
+        Ok(batch)
+    }
+
+    fn run_steps(
+        steps: &mut [Step],
+        arena: &mut Arena,
+        width: IntWidth,
+        exec: Option<Executor>,
+        batch: usize,
+        mode: Mode,
+    ) -> Result<(), QuantError> {
+        for step in steps {
+            run_step(step, arena, width, exec, batch, mode)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the backbone deterministically and the exit branches in `mode`,
+    /// returning one dequantized logit tensor per exit — the planned
+    /// counterpart of the unplanned `forward_exits_int` (bit-exact against
+    /// it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors.
+    pub fn forward_exits_int(
+        &mut self,
+        inputs: &Tensor,
+        mode: Mode,
+    ) -> Result<Vec<Tensor>, QuantError> {
+        let batch = self.load_input(inputs)?;
+        let exec = self.exec;
+        let width = self.width;
+        Self::run_steps(
+            &mut self.backbone,
+            &mut self.arena,
+            width,
+            exec,
+            batch,
+            Mode::Eval,
+        )?;
+        let mut outputs = Vec::with_capacity(self.exits.len());
+        for exit in &mut self.exits {
+            Self::run_steps(&mut exit.steps, &mut self.arena, width, exec, batch, mode)?;
+            let elems: usize = exit.out_dims.iter().product::<usize>() * batch;
+            let scale = exit.out_params.scale();
+            let data: Vec<f32> = self.arena.slots[exit.out_slot][..elems]
+                .iter()
+                .map(|&c| c as f32 * scale)
+                .collect();
+            let mut dims = Vec::with_capacity(exit.out_dims.len() + 1);
+            dims.push(batch);
+            dims.extend_from_slice(&exit.out_dims);
+            outputs.push(Tensor::from_vec(data, &dims)?);
+        }
+        Ok(outputs)
+    }
+
+    /// Seeded Monte-Carlo prediction into a caller-provided buffer: the
+    /// backbone runs once, each pass reseeds the mask streams from
+    /// `stream_seed(seed, pass)` and re-runs the exits in
+    /// [`Mode::McSample`], and the first `n_samples` per-sample softmax
+    /// tensors are averaged into `out` (`[batch, classes]`, resized).
+    /// Bit-exact with the unplanned `predict_probs`; zero steady-state heap
+    /// allocation once the arena is warm (sequential executor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Internal`] for a plan without exits or an input
+    /// shape mismatch, or propagates execution errors.
+    pub fn predict_probs_into(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize), QuantError> {
+        let n_exits = self.exits.len();
+        if n_exits == 0 {
+            return Err(QuantError::Internal("plan has no exits".into()));
+        }
+        let batch = self.load_input(inputs)?;
+        let exec = self.exec;
+        let width = self.width;
+        Self::run_steps(
+            &mut self.backbone,
+            &mut self.arena,
+            width,
+            exec,
+            batch,
+            Mode::Eval,
+        )?;
+        let passes = n_samples.div_ceil(n_exits).max(1);
+        let kept = if n_samples == 0 {
+            passes * n_exits
+        } else {
+            n_samples.min(passes * n_exits)
+        };
+        let elems = batch * self.classes;
+        if out.len() != elems {
+            out.clear();
+            out.resize(elems, 0.0);
+        } else {
+            out.fill(0.0);
+        }
+        let mut sample = 0usize;
+        'passes: for pass in 0..passes {
+            self.reseed_mc_streams(stream_seed(seed, pass as u64));
+            for e in 0..n_exits {
+                if sample >= kept {
+                    // Every remaining sample would be truncated anyway (the
+                    // unplanned path computes and discards them; skipping is
+                    // result-identical because exit streams are independent).
+                    break 'passes;
+                }
+                Self::run_steps(
+                    &mut self.exits[e].steps,
+                    &mut self.arena,
+                    width,
+                    exec,
+                    batch,
+                    Mode::McSample,
+                )?;
+                let (out_slot, out_params) = (self.exits[e].out_slot, self.exits[e].out_params);
+                let n: usize = self.exits[e].out_dims.iter().product::<usize>() * batch;
+                let scale = out_params.scale();
+                for (l, &c) in self.arena.logits[..n]
+                    .iter_mut()
+                    .zip(&self.arena.slots[out_slot][..n])
+                {
+                    *l = c as f32 * scale;
+                }
+                softmax_rows_into(
+                    &self.arena.logits[..n],
+                    batch,
+                    self.classes,
+                    &mut self.arena.probs[..n],
+                )?;
+                for (o, &p) in out.iter_mut().zip(&self.arena.probs[..n]) {
+                    *o += p;
+                }
+                sample += 1;
+            }
+        }
+        let inv = 1.0 / kept as f32;
+        for o in out.iter_mut() {
+            *o *= inv;
+        }
+        Ok((batch, self.classes))
+    }
+
+    /// [`QuantPlan::predict_probs_into`] returning a fresh tensor (the
+    /// drop-in replacement for the unplanned `predict_probs`).
+    ///
+    /// # Errors
+    ///
+    /// See [`QuantPlan::predict_probs_into`].
+    pub fn predict_probs(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+    ) -> Result<Tensor, QuantError> {
+        let mut out = Vec::new();
+        let (batch, classes) = self.predict_probs_into(inputs, n_samples, seed, &mut out)?;
+        Ok(Tensor::from_vec(out, &[batch, classes])?)
+    }
+}
+
+impl CalibratedNetwork {
+    /// Compiles the arena-allocated execution plan for one format — pure
+    /// bookkeeping over the stored records plus one-time weight packing; no
+    /// float inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::Unsupported`] for formats wider than 16 bits,
+    /// or [`QuantError::Internal`] on lowering/record skew.
+    pub fn plan(&self, format: FixedPointFormat) -> Result<QuantPlan, QuantError> {
+        QuantPlan::compile(self, format)
+    }
+}
+
+/// Executes one flattened step on the arena.
+fn run_step(
+    step: &mut Step,
+    arena: &mut Arena,
+    width: IntWidth,
+    exec: Option<Executor>,
+    batch: usize,
+    mode: Mode,
+) -> Result<(), QuantError> {
+    let in_elems = step.in_elems() * batch;
+    let out_elems = step.out_elems() * batch;
+    let pick_exec = |work: usize| -> Executor {
+        match exec {
+            Some(e) => e,
+            None => {
+                if work >= PAR_MACS_THRESHOLD {
+                    Executor::global()
+                } else {
+                    Executor::sequential()
+                }
+            }
+        }
+    };
+    let is_max_pool = matches!(step.kind, StepKind::MaxPool { .. });
+    match &mut step.kind {
+        StepKind::Conv(conv) => {
+            let (c, h, w) = (step.in_dims[0], step.in_dims[1], step.in_dims[2]);
+            let geom = ConvGeometry::square(h, w, conv.kernel, conv.stride, conv.padding);
+            let plane = geom.out_h() * geom.out_w();
+            let kred = conv.in_c * conv.kernel * conv.kernel;
+            let ncols = batch * plane;
+            let mut dst = std::mem::take(&mut arena.slots[step.dst]);
+            {
+                let src = &arena.slots[step.src][..in_elems];
+                im2row_i16_into(src, batch, c, &geom, &mut arena.cols)?;
+            }
+            let exec = pick_exec(conv.out_c * kred * ncols);
+            let out = conv.out;
+            let (qmin, qmax) = (out.qmin(), out.qmax());
+            match width {
+                IntWidth::W8 => {
+                    let acc = &mut arena.acc32[..conv.out_c * ncols];
+                    matmul_wide_i32_into(
+                        &exec,
+                        &conv.w16,
+                        &arena.cols[..kred * ncols],
+                        conv.out_c,
+                        kred,
+                        ncols,
+                        acc,
+                    )?;
+                    for co in 0..conv.out_c {
+                        for b in 0..batch {
+                            let src_row =
+                                &acc[co * ncols + b * plane..co * ncols + (b + 1) * plane];
+                            let start = (b * conv.out_c + co) * plane;
+                            let dst_row = &mut dst[start..start + plane];
+                            let bias = conv.bias[co];
+                            for (d, &a) in dst_row.iter_mut().zip(src_row) {
+                                *d = requantize(a as i64 + bias, conv.shift, qmin, qmax) as i16;
+                            }
+                        }
+                    }
+                }
+                IntWidth::W16 => {
+                    let acc = &mut arena.acc64[..conv.out_c * ncols];
+                    matmul_abt_i64_into(
+                        &exec,
+                        &conv.w16,
+                        &arena.cols[..kred * ncols],
+                        conv.out_c,
+                        kred,
+                        ncols,
+                        acc,
+                    )?;
+                    for co in 0..conv.out_c {
+                        for b in 0..batch {
+                            let src_row =
+                                &acc[co * ncols + b * plane..co * ncols + (b + 1) * plane];
+                            let start = (b * conv.out_c + co) * plane;
+                            let dst_row = &mut dst[start..start + plane];
+                            let bias = conv.bias[co];
+                            for (d, &a) in dst_row.iter_mut().zip(src_row) {
+                                *d = requantize(a + bias, conv.shift, qmin, qmax) as i16;
+                            }
+                        }
+                    }
+                }
+            }
+            arena.slots[step.dst] = dst;
+        }
+        StepKind::Dense(dense) => {
+            let mut dst = std::mem::take(&mut arena.slots[step.dst]);
+            let out = dense.out;
+            let (qmin, qmax) = (out.qmin(), out.qmax());
+            let exec = pick_exec(batch * dense.in_f * dense.out_f);
+            match width {
+                IntWidth::W8 => {
+                    let acc = &mut arena.acc32[..batch * dense.out_f];
+                    matmul_wide_i32_into(
+                        &exec,
+                        &arena.slots[step.src][..in_elems],
+                        &dense.wt16,
+                        batch,
+                        dense.in_f,
+                        dense.out_f,
+                        acc,
+                    )?;
+                    for (i, (d, &a)) in dst[..out_elems].iter_mut().zip(acc.iter()).enumerate() {
+                        let bias = dense.bias[i % dense.out_f];
+                        *d = requantize(a as i64 + bias, dense.shift, qmin, qmax) as i16;
+                    }
+                }
+                IntWidth::W16 => {
+                    let acc = &mut arena.acc64[..batch * dense.out_f];
+                    matmul_abt_i64_into(
+                        &exec,
+                        &arena.slots[step.src][..in_elems],
+                        &dense.wt16,
+                        batch,
+                        dense.in_f,
+                        dense.out_f,
+                        acc,
+                    )?;
+                    for (i, (d, &a)) in dst[..out_elems].iter_mut().zip(acc.iter()).enumerate() {
+                        let bias = dense.bias[i % dense.out_f];
+                        *d = requantize(a + bias, dense.shift, qmin, qmax) as i16;
+                    }
+                }
+            }
+            arena.slots[step.dst] = dst;
+        }
+        StepKind::Relu => {
+            if step.src == step.dst {
+                for v in arena.slots[step.dst][..in_elems].iter_mut() {
+                    *v = (*v).max(0);
+                }
+            } else {
+                let mut dst = std::mem::take(&mut arena.slots[step.dst]);
+                for (d, &s) in dst[..in_elems]
+                    .iter_mut()
+                    .zip(&arena.slots[step.src][..in_elems])
+                {
+                    *d = s.max(0);
+                }
+                arena.slots[step.dst] = dst;
+            }
+        }
+        StepKind::MaxPool { kernel, stride } | StepKind::AvgPool { kernel, stride } => {
+            let is_max = is_max_pool;
+            let (kernel, stride) = (*kernel, *stride);
+            let (c, h, w) = (step.in_dims[0], step.in_dims[1], step.in_dims[2]);
+            let geom = ConvGeometry::square(h, w, kernel, stride, 0);
+            let (oh, ow) = (geom.out_h(), geom.out_w());
+            let mut dst = std::mem::take(&mut arena.slots[step.dst]);
+            let src = &arena.slots[step.src][..in_elems];
+            for b in 0..batch {
+                for ch in 0..c {
+                    for y in 0..oh {
+                        for x in 0..ow {
+                            let mut best = i64::MIN;
+                            let mut acc = 0i64;
+                            for ky in 0..kernel {
+                                for kx in 0..kernel {
+                                    let iy = y * stride + ky;
+                                    let ix = x * stride + kx;
+                                    if iy < h && ix < w {
+                                        let v = src[((b * c + ch) * h + iy) * w + ix] as i64;
+                                        best = best.max(v);
+                                        acc += v;
+                                    }
+                                }
+                            }
+                            dst[((b * c + ch) * oh + y) * ow + x] = if is_max {
+                                best as i16
+                            } else {
+                                div_round(acc, (kernel * kernel) as i64) as i16
+                            };
+                        }
+                    }
+                }
+            }
+            arena.slots[step.dst] = dst;
+        }
+        StepKind::GlobalAvgPool => {
+            let (c, h, w) = (step.in_dims[0], step.in_dims[1], step.in_dims[2]);
+            let plane = (h * w) as i64;
+            let mut dst = std::mem::take(&mut arena.slots[step.dst]);
+            let src = &arena.slots[step.src][..in_elems];
+            for b in 0..batch {
+                for ch in 0..c {
+                    let start = (b * c + ch) * h * w;
+                    let acc: i64 = src[start..start + h * w].iter().map(|&v| v as i64).sum();
+                    dst[b * c + ch] = div_round(acc, plane) as i16;
+                }
+            }
+            arena.slots[step.dst] = dst;
+        }
+        StepKind::Affine(aff) => {
+            let (c, h, w) = (step.in_dims[0], step.in_dims[1], step.in_dims[2]);
+            let plane = h * w;
+            let out = aff.out;
+            let (qmin, qmax) = (out.qmin(), out.qmax());
+            let apply = |src: &[i16], dst: &mut [i16]| {
+                for b in 0..batch {
+                    for ch in 0..c {
+                        let start = (b * c + ch) * plane;
+                        for i in 0..plane {
+                            let x = src[start + i] as i64;
+                            dst[start + i] =
+                                requantize(x * aff.m[ch] + aff.b[ch], MUL_FRAC as i32, qmin, qmax)
+                                    as i16;
+                        }
+                    }
+                }
+            };
+            if step.src == step.dst {
+                let mut buf = std::mem::take(&mut arena.slots[step.dst]);
+                let src_copy: &mut [i16] = &mut buf[..in_elems];
+                // Elementwise read-then-write on the same index is in-place
+                // safe; do it in a single pass.
+                for b in 0..batch {
+                    for ch in 0..c {
+                        let start = (b * c + ch) * plane;
+                        for v in src_copy[start..start + plane].iter_mut() {
+                            *v = requantize(
+                                *v as i64 * aff.m[ch] + aff.b[ch],
+                                MUL_FRAC as i32,
+                                qmin,
+                                qmax,
+                            ) as i16;
+                        }
+                    }
+                }
+                arena.slots[step.dst] = buf;
+            } else {
+                let mut dst = std::mem::take(&mut arena.slots[step.dst]);
+                apply(&arena.slots[step.src][..in_elems], &mut dst[..in_elems]);
+                arena.slots[step.dst] = dst;
+            }
+        }
+        StepKind::McDropout {
+            rate,
+            scale_q,
+            params,
+            rng,
+        } => {
+            let sampling = mode.samples_mc_dropout() && *rate > 0.0;
+            if !sampling {
+                // Stream positions stay aligned: a non-sampling pass draws
+                // nothing, exactly like the unplanned op.
+                if step.src != step.dst {
+                    let mut dst = std::mem::take(&mut arena.slots[step.dst]);
+                    dst[..in_elems].copy_from_slice(&arena.slots[step.src][..in_elems]);
+                    arena.slots[step.dst] = dst;
+                }
+                return Ok(());
+            }
+            let keep = 1.0 - *rate;
+            // Filter-wise for NCHW (per-sample dims of rank 3), element-wise
+            // otherwise — the same draw order as `draw_keep_mask`.
+            let (draws, plane) = if step.in_dims.len() == 3 {
+                (batch * step.in_dims[0], step.in_dims[1] * step.in_dims[2])
+            } else {
+                (in_elems, 1)
+            };
+            for m in arena.mask[..draws].iter_mut() {
+                *m = rng.bernoulli(keep);
+            }
+            let (qmin, qmax) = (params.qmin(), params.qmax());
+            let scale_q = *scale_q;
+            let mask = &arena.mask;
+            let drop_one = |v: i64, kept: bool| -> i16 {
+                if kept {
+                    requantize(v * scale_q, MUL_FRAC as i32, qmin, qmax) as i16
+                } else {
+                    0
+                }
+            };
+            if step.src == step.dst {
+                let mut buf = std::mem::take(&mut arena.slots[step.dst]);
+                for (i, v) in buf[..in_elems].iter_mut().enumerate() {
+                    *v = drop_one(*v as i64, mask[i / plane]);
+                }
+                arena.slots[step.dst] = buf;
+            } else {
+                let mut dst = std::mem::take(&mut arena.slots[step.dst]);
+                for (i, (d, &s)) in dst[..in_elems]
+                    .iter_mut()
+                    .zip(&arena.slots[step.src][..in_elems])
+                    .enumerate()
+                {
+                    *d = drop_one(s as i64, mask[i / plane]);
+                }
+                arena.slots[step.dst] = dst;
+            }
+        }
+        StepKind::Merge {
+            m_shift,
+            s_shift,
+            out,
+        } => {
+            let (qmin, qmax) = (out.qmin(), out.qmax());
+            let (m_shift, s_shift) = (*m_shift, *s_shift);
+            let src2 = step.src2.expect("merge has a shortcut source");
+            let mut dst = std::mem::take(&mut arena.slots[step.dst]);
+            let main = &arena.slots[step.src][..out_elems];
+            let short = &arena.slots[src2][..out_elems];
+            for ((d, &a), &b) in dst[..out_elems].iter_mut().zip(main).zip(short) {
+                let x = requantize(a as i64, m_shift, qmin, qmax);
+                let y = requantize(b as i64, s_shift, qmin, qmax);
+                *d = (x + y).max(0).min(qmax) as i16;
+            }
+            arena.slots[step.dst] = dst;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QuantizedMultiExitNetwork;
+    use bnn_models::{zoo, ModelConfig};
+    use bnn_nn::layer::Mode;
+
+    fn fmt(total: u32, int: u32) -> FixedPointFormat {
+        FixedPointFormat::new(total, int).unwrap()
+    }
+
+    fn calib_batch(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        Tensor::randn(dims, &mut rng)
+    }
+
+    fn lenet(seed: u64) -> bnn_models::MultiExitNetwork {
+        zoo::lenet5(
+            &ModelConfig::mnist()
+                .with_resolution(10, 10)
+                .with_width_divisor(8)
+                .with_classes(4),
+        )
+        .with_exits_after_every_block()
+        .unwrap()
+        .with_exit_mcd(0.25)
+        .unwrap()
+        .build(seed)
+        .unwrap()
+    }
+
+    #[test]
+    fn planned_forward_is_bit_exact_with_unplanned_across_formats() {
+        let net = lenet(3);
+        let calib = calib_batch(&[6, 1, 10, 10], 4);
+        let calibrated = CalibratedNetwork::calibrate(&net, &calib).unwrap();
+        let x = calib_batch(&[3, 1, 10, 10], 5);
+        for format in FixedPointFormat::search_space() {
+            let mut unplanned = calibrated.quantize(format).unwrap();
+            let mut plan = calibrated.plan(format).unwrap();
+            let a = unplanned.forward_exits_int(&x, Mode::Eval).unwrap();
+            let b = plan.forward_exits_int(&x, Mode::Eval).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (ta, tb) in a.iter().zip(&b) {
+                assert_eq!(ta.as_slice(), tb.as_slice(), "{format} Eval");
+            }
+            // MC mode with a shared reseed draws identical masks.
+            unplanned.reseed_mc_streams(17);
+            plan.reseed_mc_streams(17);
+            let a = unplanned.forward_exits_int(&x, Mode::McSample).unwrap();
+            let b = plan.forward_exits_int(&x, Mode::McSample).unwrap();
+            for (ta, tb) in a.iter().zip(&b) {
+                assert_eq!(ta.as_slice(), tb.as_slice(), "{format} McSample");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_predict_probs_is_bit_exact_with_unplanned() {
+        let net = lenet(7);
+        let calib = calib_batch(&[6, 1, 10, 10], 8);
+        let calibrated = CalibratedNetwork::calibrate(&net, &calib).unwrap();
+        let x = calib_batch(&[2, 1, 10, 10], 9);
+        for format in [fmt(4, 2), fmt(8, 3), fmt(16, 6)] {
+            let mut unplanned =
+                QuantizedMultiExitNetwork::from_calibrated(&calibrated, format).unwrap();
+            let mut plan = calibrated.plan(format).unwrap();
+            for n_samples in [0usize, 1, 3, 4, 7] {
+                let a = unplanned.predict_probs(&x, n_samples, 2023).unwrap();
+                let b = plan.predict_probs(&x, n_samples, 2023).unwrap();
+                assert_eq!(a.as_slice(), b.as_slice(), "{format} n_samples={n_samples}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_reuses_slots_via_liveness() {
+        let net = lenet(1);
+        let calib = calib_batch(&[4, 1, 10, 10], 2);
+        let calibrated = CalibratedNetwork::calibrate(&net, &calib).unwrap();
+        let plan = calibrated.plan(fmt(8, 3)).unwrap();
+        // The flat plan has many steps but far fewer slots: transient
+        // activations ping-pong while block outputs stay pinned.
+        assert!(
+            plan.num_steps() > plan.num_slots(),
+            "{} steps should outnumber {} slots",
+            plan.num_steps(),
+            plan.num_slots()
+        );
+        assert_eq!(plan.num_exits(), 2);
+        assert_eq!(plan.num_classes(), 4);
+        assert_eq!(plan.format(), fmt(8, 3));
+    }
+
+    #[test]
+    fn residual_batchnorm_network_plan_is_bit_exact_with_unplanned() {
+        // A reduced ResNet-18 exercises every plan step kind at once:
+        // residual merges (flattened with a pinned skip slot), folded
+        // batch-norm affines, global average pooling and MC-dropout exits.
+        let net = zoo::resnet18(
+            &ModelConfig::cifar10()
+                .with_resolution(12, 12)
+                .with_width_divisor(16),
+        )
+        .with_exits_after_every_block()
+        .unwrap()
+        .with_exit_mcd(0.3)
+        .unwrap()
+        .build(11)
+        .unwrap();
+        let calib = calib_batch(&[4, 3, 12, 12], 7);
+        let calibrated = CalibratedNetwork::calibrate(&net, &calib).unwrap();
+        let x = calib_batch(&[2, 3, 12, 12], 8);
+        for format in [fmt(8, 3), fmt(16, 6)] {
+            let mut unplanned = calibrated.quantize(format).unwrap();
+            let mut plan = calibrated.plan(format).unwrap();
+            let a = unplanned.forward_exits_int(&x, Mode::Eval).unwrap();
+            let b = plan.forward_exits_int(&x, Mode::Eval).unwrap();
+            for (ta, tb) in a.iter().zip(&b) {
+                assert_eq!(ta.as_slice(), tb.as_slice(), "{format}");
+            }
+            let a = unplanned.predict_probs(&x, 4, 99).unwrap();
+            let b = plan.predict_probs(&x, 4, 99).unwrap();
+            assert_eq!(a.as_slice(), b.as_slice(), "{format} predict");
+        }
+    }
+
+    #[test]
+    fn planned_mc_prediction_is_seed_reproducible() {
+        let net = lenet(11);
+        let calib = calib_batch(&[4, 1, 10, 10], 12);
+        let calibrated = CalibratedNetwork::calibrate(&net, &calib).unwrap();
+        let mut plan = calibrated.plan(fmt(8, 3)).unwrap();
+        let x = calib_batch(&[3, 1, 10, 10], 13);
+        let a = plan.predict_probs(&x, 4, 2023).unwrap();
+        let b = plan.predict_probs(&x, 4, 2023).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+        let c = plan.predict_probs(&x, 4, 7).unwrap();
+        assert_ne!(a.as_slice(), c.as_slice());
+        // rows are simplexes
+        for row in a.as_slice().chunks(4) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -137,6 +137,13 @@ impl QuantizedTensor {
         &self.data
     }
 
+    /// Decomposes the tensor into its codes, dimensions and parameters
+    /// without copying — the integer op chain threads ownership through
+    /// shape-only ops (flatten, identity) instead of cloning code buffers.
+    pub fn into_parts(self) -> (QuantData, Vec<usize>, QuantParams) {
+        (self.data, self.dims, self.params)
+    }
+
     /// The tensor dimensions.
     pub fn dims(&self) -> &[usize] {
         &self.dims

@@ -182,8 +182,8 @@ pub fn matmul_i8_with(
     n: usize,
 ) -> Result<Vec<i32>, TensorError> {
     check_matmul(a.len(), b.len(), m, k, n, "matmul_i8")?;
-    // Strict bound: |product| peaks at (-128)^2 = 2^14, so k = 2^17 terms
-    // could reach exactly 2^31 and overflow i32; only k < 2^17 is exact.
+    // Fast-fail the exact-accumulation bound before paying for widening and
+    // packing (the packed kernel re-checks it as its own contract).
     if k >= (1 << 17) {
         return Err(TensorError::ShapeMismatch {
             lhs: vec![m, k],
@@ -204,7 +204,54 @@ pub fn matmul_i8_with(
         }
     }
     let mut out = vec![0i32; m * n];
-    fill_row_blocks(exec, &mut out, m, n, |row0, chunk| {
+    matmul_wide_i32_into(exec, &a16, &bt16, m, k, n, &mut out)?;
+    Ok(out)
+}
+
+/// The pre-packed core of [`matmul_i8`]: multiplies `a16` (`[m, k]`
+/// row-major) by the transpose of `bt16` (`[n, k]` row-major) into the exact
+/// `i32` accumulator slice `out` (`[m, n]`, fully overwritten).
+///
+/// Operands must hold **i8-range** values widened to `i16` — this is the
+/// arena-aware entry point of the compiled execution plans, which pack
+/// weights into this layout once at plan compilation and store activations
+/// widened. The loops are exactly the register-blocked kernel of
+/// [`matmul_i8`], so results are bitwise identical to the packing entry
+/// point, and no heap allocation happens here (single-threaded).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if slice lengths do not match
+/// `m * k` / `n * k` / `m * n`, or if `k` exceeds the exact-accumulation
+/// bound for i8-range operands (`k < 2^17`; see the
+/// [module documentation](self)).
+pub fn matmul_wide_i32_into(
+    exec: &Executor,
+    a16: &[i16],
+    bt16: &[i16],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [i32],
+) -> Result<(), TensorError> {
+    if a16.len() != m * k || bt16.len() != n * k || out.len() != m * n {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![a16.len(), m, k],
+            rhs: vec![bt16.len(), n, k],
+            op: "matmul_wide_i32_into",
+        });
+    }
+    // Strict bound: |product| peaks at (-128)^2 = 2^14, so k = 2^17 terms
+    // could reach exactly 2^31 and overflow i32; only k < 2^17 is exact.
+    if k >= (1 << 17) {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![m, k],
+            rhs: vec![k, n],
+            op: "matmul_wide_i32_into: k exceeds exact i32 accumulation bound (< 2^17)",
+        });
+    }
+    let a16 = &a16[..m * k];
+    fill_row_blocks(exec, out, m, n, |row0, chunk| {
         // Register blocking: each transposed `b` row streams through the
         // core once per 8 (then 4, then 1) output rows, cutting the
         // bandwidth the plain dot layout needs while every reduction stays
@@ -265,19 +312,158 @@ pub fn matmul_i8_with(
             }
             i += 4;
         }
-        while i < rows {
-            let a_row = &a16[(row0 + i) * k..(row0 + i + 1) * k];
+        // Remainder rows (1..=3) share a single pass over `bt` — small-`m`
+        // products (a few-output-channel convolution over a huge patch
+        // count) would otherwise re-stream the whole packed right-hand side
+        // once per row. Integer accumulation is exact, so the fused order
+        // produces the same bits as the row-at-a-time loop.
+        if i < rows {
+            let rem = rows - i;
+            let base = (row0 + i) * k;
+            let ar = &a16[base..base + rem * k];
             for (j, bt_row) in bt16.chunks_exact(k).enumerate() {
-                let mut acc = 0i32;
-                for (&av, &bv) in a_row.iter().zip(bt_row) {
-                    acc += av as i32 * bv as i32;
+                let mut s = [0i32; 3];
+                for (r, a_row) in ar.chunks_exact(k).enumerate() {
+                    let mut acc = 0i32;
+                    for (&av, &bv) in a_row.iter().zip(bt_row) {
+                        acc += av as i32 * bv as i32;
+                    }
+                    s[r] = acc;
                 }
-                chunk[i * n + j] = acc;
+                for (r, &sv) in s[..rem].iter().enumerate() {
+                    chunk[(i + r) * n + j] = sv;
+                }
             }
-            i += 1;
         }
     });
-    Ok(out)
+    Ok(())
+}
+
+/// Multiplies `a` (`[m, k]` row-major `i16`) by the transpose of `bt`
+/// (`[n, k]` row-major) into the exact `i64` accumulator slice `out`
+/// (`[m, n]`, fully overwritten) — the wide-format (9–16 bit) counterpart of
+/// [`matmul_wide_i32_into`], used by the compiled execution plans.
+///
+/// Every output element is an ascending-index dot product of two contiguous
+/// rows; integer accumulation is exact, so results match [`matmul_i16`] on
+/// the same operands bit for bit regardless of the differing loop order.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if slice lengths do not match.
+pub fn matmul_abt_i64_into(
+    exec: &Executor,
+    a: &[i16],
+    bt: &[i16],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [i64],
+) -> Result<(), TensorError> {
+    if a.len() != m * k || bt.len() != n * k || out.len() != m * n {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![a.len(), m, k],
+            rhs: vec![bt.len(), n, k],
+            op: "matmul_abt_i64_into",
+        });
+    }
+    fill_row_blocks(exec, out, m, n, |row0, chunk| {
+        // Four output rows per pass over `bt`: each packed right-hand-side
+        // row is streamed once per row *block* instead of once per row,
+        // which matters for the few-output-channel convolutions where the
+        // patch count dwarfs the channel count.
+        let rows = chunk.len() / n;
+        let mut i = 0;
+        while i < rows {
+            let block = (rows - i).min(4);
+            let base = (row0 + i) * k;
+            let ar = &a[base..base + block * k];
+            for (j, bt_row) in bt.chunks_exact(k).enumerate() {
+                let mut s = [0i64; 4];
+                for (r, a_row) in ar.chunks_exact(k).enumerate() {
+                    let mut acc = 0i64;
+                    for (&av, &bv) in a_row.iter().zip(bt_row) {
+                        acc += av as i64 * bv as i64;
+                    }
+                    s[r] = acc;
+                }
+                for (r, &sv) in s[..block].iter().enumerate() {
+                    chunk[(i + r) * n + j] = sv;
+                }
+            }
+            i += block;
+        }
+    });
+    Ok(())
+}
+
+/// Unfolds an NCHW `i16` code tensor directly into the **transposed** im2col
+/// layout `[cols, rows]` (`cols = batch * out_h * out_w` patch positions,
+/// `rows = channels * kh * kw` taps) — the right-hand-side layout the packed
+/// integer matmul kernels consume, produced without a separate transpose
+/// pass. Padding taps hold integer zero. `out` is fully overwritten and only
+/// reallocated when its size changes, so the steady state of an arena incurs
+/// no heap allocation.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` does not hold
+/// `batch * channels * in_h * in_w` codes.
+pub fn im2row_i16_into(
+    input: &[i16],
+    batch: usize,
+    channels: usize,
+    geom: &ConvGeometry,
+    out: &mut Vec<i16>,
+) -> Result<(usize, usize), TensorError> {
+    if input.len() != batch * channels * geom.in_h * geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![input.len()],
+            rhs: vec![batch, channels, geom.in_h, geom.in_w],
+            op: "im2row_i16_into",
+        });
+    }
+    let out_h = geom.out_h();
+    let out_w = geom.out_w();
+    let rows = channels * geom.kernel_h * geom.kernel_w;
+    let cols = batch * out_h * out_w;
+    // Grow-only: the buffer is a shared arena scratch sized for the largest
+    // convolution of a plan; only the first `rows * cols` elements are
+    // written (and they all are), so a larger buffer needs no trimming.
+    if out.len() < rows * cols {
+        out.resize(rows * cols, 0);
+    }
+    // Patch-major fill: one contiguous `rows`-length patch per output
+    // position, every element written (padding taps write literal 0).
+    for b in 0..batch {
+        for oh in 0..out_h {
+            for ow in 0..out_w {
+                let col = (b * out_h + oh) * out_w + ow;
+                let patch = &mut out[col * rows..(col + 1) * rows];
+                let mut row = 0usize;
+                for c in 0..channels {
+                    for kh in 0..geom.kernel_h {
+                        let ih = (oh * geom.stride_h + kh) as isize - geom.pad_h as isize;
+                        for kw in 0..geom.kernel_w {
+                            let iw = (ow * geom.stride_w + kw) as isize - geom.pad_w as isize;
+                            patch[row] = if ih >= 0
+                                && iw >= 0
+                                && (ih as usize) < geom.in_h
+                                && (iw as usize) < geom.in_w
+                            {
+                                input[((b * channels + c) * geom.in_h + ih as usize) * geom.in_w
+                                    + iw as usize]
+                            } else {
+                                0
+                            };
+                            row += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((rows, cols))
 }
 
 /// Multiplies two `i16` matrices, `[m, k] x [k, n]`, into an exact `i64`
@@ -542,6 +728,88 @@ mod tests {
             assert_eq!(v as f32, cols_f.as_slice()[i]);
         }
         assert!(im2col_i8(&codes[1..], b, c, &geom).is_err());
+    }
+
+    #[test]
+    fn packed_kernels_match_packing_entry_points() {
+        // The plan-facing pre-packed kernels must reproduce the packing
+        // entry points bit for bit on identical operands.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let (m, k, n) = (19, 31, 23);
+        let a = random_codes_i8(m * k, &mut rng);
+        let b = random_codes_i8(k * n, &mut rng);
+        let reference = matmul_i8(&a, &b, m, k, n).unwrap();
+
+        let a16: Vec<i16> = a.iter().map(|&v| v as i16).collect();
+        let mut bt16 = vec![0i16; n * k];
+        for (p, b_row) in b.chunks_exact(n).enumerate() {
+            for (j, &v) in b_row.iter().enumerate() {
+                bt16[j * k + p] = v as i16;
+            }
+        }
+        let mut out = vec![0i32; m * n];
+        matmul_wide_i32_into(&Executor::sequential(), &a16, &bt16, m, k, n, &mut out).unwrap();
+        assert_eq!(out, reference);
+
+        // The abt i64 kernel agrees with matmul_i16 despite the different
+        // loop order (integer accumulation is exact).
+        let aw: Vec<i16> = a16.iter().map(|&v| v * 50).collect();
+        let btw: Vec<i16> = bt16.iter().map(|&v| v * 50).collect();
+        let bw: Vec<i16> = b.iter().map(|&v| v as i16 * 50).collect();
+        let reference = matmul_i16(&aw, &bw, m, k, n).unwrap();
+        let mut out64 = vec![0i64; m * n];
+        matmul_abt_i64_into(&Executor::new(4), &aw, &btw, m, k, n, &mut out64).unwrap();
+        assert_eq!(out64, reference);
+
+        // shape validation
+        assert!(
+            matmul_wide_i32_into(&Executor::sequential(), &a16, &bt16, m, k + 1, n, &mut out)
+                .is_err()
+        );
+        let huge = vec![0i16; 1 << 17];
+        let mut one = vec![0i32; 1];
+        assert!(matmul_wide_i32_into(
+            &Executor::sequential(),
+            &huge,
+            &huge,
+            1,
+            1 << 17,
+            1,
+            &mut one
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn im2row_is_the_transposed_im2col() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(13);
+        let (b, c, h, w) = (2usize, 3usize, 7usize, 5usize);
+        let codes8 = random_codes_i8(b * c * h * w, &mut rng);
+        let codes: Vec<i16> = codes8.iter().map(|&v| v as i16).collect();
+        let geom = ConvGeometry {
+            in_h: h,
+            in_w: w,
+            kernel_h: 3,
+            kernel_w: 2,
+            stride_h: 2,
+            stride_w: 1,
+            pad_h: 1,
+            pad_w: 1,
+        };
+        let (cols_i, rows, cols) = im2col_i8(&codes8, b, c, &geom).unwrap();
+        let mut packed = vec![99i16; 3]; // wrong size + stale contents
+        let (r2, c2) = im2row_i16_into(&codes, b, c, &geom, &mut packed).unwrap();
+        assert_eq!((rows, cols), (r2, c2));
+        for row in 0..rows {
+            for col in 0..cols {
+                assert_eq!(
+                    packed[col * rows + row],
+                    cols_i[row * cols + col] as i16,
+                    "mismatch at ({row}, {col})"
+                );
+            }
+        }
+        assert!(im2row_i16_into(&codes[1..], b, c, &geom, &mut packed).is_err());
     }
 
     #[test]

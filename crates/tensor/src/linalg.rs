@@ -66,6 +66,14 @@ where
     if m == 0 || n == 0 {
         return;
     }
+    // One thread means one block covering every row; calling `fill` directly
+    // keeps the single-threaded hot path free of the chunk bookkeeping (and
+    // its per-call allocation) — the zero-steady-state-allocation contract of
+    // the compiled execution plans relies on this.
+    if exec.threads() <= 1 || parpool::in_parallel_region() {
+        fill(0, out);
+        return;
+    }
     let rows_per_block = m.div_ceil(exec.threads());
     exec.par_chunks_mut(out, rows_per_block * n, |block, chunk| {
         fill(block * rows_per_block, chunk)
@@ -118,13 +126,77 @@ pub fn matmul_with(exec: &Executor, a: &Tensor, b: &Tensor) -> Result<Tensor, Te
         });
     }
     let k = k_a;
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    let mut out = vec![0.0f32; m * n];
-    fill_row_blocks(exec, &mut out, m, n, |row0, chunk| {
-        matmul_block(a_data, b_data, chunk, row0, k, n)
-    });
+    let mut out = Vec::new();
+    matmul_slices_into_with(exec, a.as_slice(), b.as_slice(), m, k, n, &mut out)?;
     Tensor::from_vec(out, &[m, n])
+}
+
+/// [`matmul_slices_into_with`] on the same auto-selected executor as
+/// [`matmul`] (global pool above the work threshold, inline below).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the slice lengths do not match
+/// `m * k` / `k * n`.
+pub fn matmul_slices_into(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut Vec<f32>,
+) -> Result<(), TensorError> {
+    matmul_slices_into_with(
+        &auto_executor(m * k * n, PAR_MACS_THRESHOLD),
+        a,
+        b,
+        m,
+        k,
+        n,
+        out,
+    )
+}
+
+/// [`matmul`] over raw slices into a caller-provided buffer — the
+/// arena-aware entry point used by the compiled execution plans.
+///
+/// `out` is resized to `m * n` and fully overwritten (zeroed, then filled by
+/// exactly the kernel [`matmul`] runs), so results are bitwise identical to
+/// the allocating entry point; in the steady state of an arena the resize is
+/// a no-op and the call performs no heap allocation on a single thread.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the slice lengths do not match
+/// `m * k` / `k * n`.
+pub fn matmul_slices_into_with(
+    exec: &Executor,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut Vec<f32>,
+) -> Result<(), TensorError> {
+    if a.len() != m * k || b.len() != k * n {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![a.len(), m, k],
+            rhs: vec![b.len(), k, n],
+            op: "matmul_slices_into",
+        });
+    }
+    if out.len() != m * n {
+        // Fresh or wrong-sized buffers go through `vec![]` (calloc's lazily
+        // zeroed pages — also the allocating `matmul` entry point's path);
+        // right-sized arena buffers are re-zeroed in place.
+        *out = vec![0.0f32; m * n];
+    } else {
+        out.fill(0.0);
+    }
+    fill_row_blocks(exec, out, m, n, |row0, chunk| {
+        matmul_block(a, b, chunk, row0, k, n)
+    });
+    Ok(())
 }
 
 /// Multiplies `a` by the transpose of `b`: `[m, k] x [n, k]ᵀ -> [m, n]`,
@@ -346,11 +418,64 @@ pub fn im2col_into_with(
     let (batch, channels, in_h, in_w) = input.shape().as_nchw()?;
     debug_assert_eq!(in_h, geom.in_h);
     debug_assert_eq!(in_w, geom.in_w);
+    im2col_slices_into_with(exec, input.as_slice(), batch, channels, geom, out)
+}
+
+/// [`im2col_slices_into_with`] on the same auto-selected executor as
+/// [`im2col_into`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `data` does not hold
+/// `batch * channels * in_h * in_w` elements.
+pub fn im2col_slices_into(
+    data: &[f32],
+    batch: usize,
+    channels: usize,
+    geom: &ConvGeometry,
+    out: &mut Vec<f32>,
+) -> Result<(usize, usize), TensorError> {
+    let elems = data
+        .len()
+        .saturating_mul(geom.kernel_h * geom.kernel_w)
+        .max(1);
+    im2col_slices_into_with(
+        &auto_executor(elems, PAR_ELEMS_THRESHOLD),
+        data,
+        batch,
+        channels,
+        geom,
+        out,
+    )
+}
+
+/// [`im2col_into_with`] over a raw NCHW slice — the arena-aware entry point
+/// used by the compiled execution plans (bitwise identical fill).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `data` does not hold
+/// `batch * channels * in_h * in_w` elements.
+pub fn im2col_slices_into_with(
+    exec: &Executor,
+    data: &[f32],
+    batch: usize,
+    channels: usize,
+    geom: &ConvGeometry,
+    out: &mut Vec<f32>,
+) -> Result<(usize, usize), TensorError> {
+    if data.len() != batch * channels * geom.in_h * geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![data.len()],
+            rhs: vec![batch, channels, geom.in_h, geom.in_w],
+            op: "im2col_slices_into",
+        });
+    }
+    let (in_h, in_w) = (geom.in_h, geom.in_w);
     let out_h = geom.out_h();
     let out_w = geom.out_w();
     let rows = channels * geom.kernel_h * geom.kernel_w;
     let cols = batch * out_h * out_w;
-    let data = input.as_slice();
     // The fill below writes every element (padding taps write literal 0.0),
     // so a buffer that is already the right size needs no re-initialisation —
     // the steady-state reuse path is a pure overwrite. A fresh allocation

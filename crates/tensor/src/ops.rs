@@ -26,17 +26,46 @@ pub fn softmax(logits: &Tensor) -> Result<Tensor, TensorError> {
     logits.shape().expect_rank(2, "softmax")?;
     let (batch, classes) = logits.shape().as_matrix()?;
     let mut out = vec![0.0f32; batch * classes];
-    let data = logits.as_slice();
+    softmax_rows_into(logits.as_slice(), batch, classes, &mut out)?;
+    Tensor::from_vec(out, &[batch, classes])
+}
+
+/// [`softmax`] over a raw `[batch, classes]` slice into a caller-provided
+/// buffer — the allocation-free entry point used by the compiled execution
+/// plans. The exponentials are staged in `out` itself and then normalised,
+/// which computes exactly the same values as [`softmax`] (same `exp`, same
+/// ascending-index sum, same division), bit for bit.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `logits` or `out` do not hold
+/// `batch * classes` elements.
+pub fn softmax_rows_into(
+    logits: &[f32],
+    batch: usize,
+    classes: usize,
+    out: &mut [f32],
+) -> Result<(), TensorError> {
+    if logits.len() != batch * classes || out.len() != batch * classes {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![logits.len()],
+            rhs: vec![batch, classes],
+            op: "softmax_rows_into",
+        });
+    }
     for b in 0..batch {
-        let row = &data[b * classes..(b + 1) * classes];
+        let row = &logits[b * classes..(b + 1) * classes];
+        let out_row = &mut out[b * classes..(b + 1) * classes];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
-        let denom: f32 = exps.iter().sum();
-        for (c, &e) in exps.iter().enumerate() {
-            out[b * classes + c] = e / denom;
+        for (o, &x) in out_row.iter_mut().zip(row) {
+            *o = (x - max).exp();
+        }
+        let denom: f32 = out_row.iter().sum();
+        for o in out_row.iter_mut() {
+            *o /= denom;
         }
     }
-    Tensor::from_vec(out, &[batch, classes])
+    Ok(())
 }
 
 /// Numerically stable log-softmax over the last axis of a `[batch, classes]` tensor.

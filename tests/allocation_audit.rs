@@ -1,0 +1,81 @@
+//! Allocation audit of the compiled execution plans: after a warm-up call
+//! sizes the arena, planned integer prediction must perform **zero** heap
+//! allocations per call (on a sequential executor — the thread-pool fan-out
+//! of large kernels allocates its scoped workers by design, which is why
+//! this binary pins the plan to `Executor::sequential()`; results are
+//! bitwise identical either way).
+//!
+//! This lives in its own integration-test binary because the counting
+//! allocator is process-global.
+
+use bayesnn_fpga::models::{zoo, ModelConfig};
+use bayesnn_fpga::quant::{CalibratedNetwork, FixedPointFormat};
+use bayesnn_fpga::tensor::exec::Executor;
+use bayesnn_fpga::tensor::rng::Xoshiro256StarStar;
+use bayesnn_fpga::tensor::Tensor;
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+
+#[test]
+fn planned_predict_probs_is_allocation_free_after_warmup() {
+    // The counter must be live: an ordinary allocation registers.
+    let before = alloc_counter::allocation_count();
+    let probe = vec![0u8; 4096];
+    std::hint::black_box(&probe);
+    assert!(
+        alloc_counter::allocation_count() > before,
+        "counting allocator is not installed"
+    );
+
+    let spec = zoo::lenet5(
+        &ModelConfig::mnist()
+            .with_resolution(10, 10)
+            .with_width_divisor(8)
+            .with_classes(4),
+    )
+    .with_exits_after_every_block()
+    .unwrap()
+    .with_exit_mcd(0.25)
+    .unwrap();
+    let network = spec.build(3).unwrap();
+    let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+    let calib = Tensor::randn(&[8, 1, 10, 10], &mut rng);
+    let calibrated = CalibratedNetwork::calibrate(&network, &calib).unwrap();
+
+    for format in [
+        FixedPointFormat::new(8, 3).unwrap(),
+        FixedPointFormat::new(16, 6).unwrap(),
+    ] {
+        let mut plan = calibrated.plan(format).unwrap();
+        plan.set_executor(Executor::sequential());
+        let inputs = Tensor::randn(&[4, 1, 10, 10], &mut rng);
+        let mut out = Vec::new();
+
+        // Warm-up: sizes every arena buffer (slots, im2col scratch,
+        // accumulators, masks, softmax staging) and the output buffer.
+        plan.predict_probs_into(&inputs, 6, 2023, &mut out).unwrap();
+        let warm = out.clone();
+
+        // Steady state: bit-identical result, zero allocations.
+        let before = alloc_counter::allocation_count();
+        plan.predict_probs_into(&inputs, 6, 2023, &mut out).unwrap();
+        let allocations = alloc_counter::allocation_count() - before;
+        assert_eq!(
+            allocations, 0,
+            "steady-state planned predict_probs allocated {allocations} time(s) ({format})"
+        );
+        assert_eq!(out, warm, "steady-state result must not drift ({format})");
+
+        // A smaller batch stays inside the warmed arena too.
+        let small = Tensor::randn(&[2, 1, 10, 10], &mut rng);
+        plan.predict_probs_into(&small, 6, 2023, &mut out).unwrap();
+        let before = alloc_counter::allocation_count();
+        plan.predict_probs_into(&small, 6, 2023, &mut out).unwrap();
+        assert_eq!(
+            alloc_counter::allocation_count() - before,
+            0,
+            "smaller-batch steady state must not allocate ({format})"
+        );
+    }
+}

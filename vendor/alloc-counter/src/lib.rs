@@ -1,0 +1,59 @@
+//! A counting wrapper around the system allocator, for allocation-audit
+//! tests.
+//!
+//! Install it as the global allocator of a test binary and read
+//! [`allocation_count`] around the code under audit:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+//!
+//! let before = alloc_counter::allocation_count();
+//! run_steady_state();
+//! assert_eq!(alloc_counter::allocation_count(), before);
+//! ```
+//!
+//! Every `alloc`, `alloc_zeroed` and `realloc` increments a relaxed atomic
+//! counter; deallocation is not counted (an audit cares about acquiring
+//! memory, not releasing it). The counter is process-global, so audits must
+//! run in a dedicated test binary (Rust integration tests are separate
+//! binaries, which is exactly what `tests/allocation_audit.rs` relies on).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The counting allocator: delegates every operation to
+/// [`std::alloc::System`], counting allocation requests.
+pub struct CountingAllocator;
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract; the only addition is a relaxed counter increment,
+// which has no effect on allocation semantics.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Number of allocation requests (`alloc` + `alloc_zeroed` + `realloc`)
+/// since process start.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
