@@ -4,6 +4,7 @@
 #   make test       - full test suite (unit + integration + doctests)
 #   make test-doc   - documentation tests only (every rustdoc example)
 #   make test-st    - the same suite pinned to one thread (BNN_THREADS=1)
+#   make test-scalar- the same suite with SIMD disabled (BNN_SIMD=scalar)
 #   make bench      - run the criterion bench targets
 #   make bench-quant- run only the quantized-predict kernel benches
 #   make bench-save - run kernels + framework_phases benches and record the
@@ -21,7 +22,7 @@ CARGO ?= cargo
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test test-doc test-st test-plans bench bench-build bench-quant bench-save lint fmt doc clean ci
+.PHONY: all build test test-doc test-st test-scalar test-plans bench bench-build bench-quant bench-save lint fmt doc clean ci
 
 all: build
 
@@ -41,12 +42,18 @@ test-doc:
 test-st:
 	BNN_THREADS=1 $(CARGO) test -q
 
+# Integer kernels are bitwise identical on every SIMD backend; running the
+# suite with BNN_SIMD=scalar keeps the scalar fallback verified on hosts
+# where auto-detection would otherwise never leave the vector path.
+test-scalar:
+	BNN_SIMD=scalar $(CARGO) test -q
+
 # The execution-plan guarantees, pinned at both ends of the thread-count
 # range: zero steady-state allocations in planned predict_probs and bit-exact
 # planned-vs-unplanned parity across formats and modes.
 test-plans:
-	BNN_THREADS=1 $(CARGO) test -q --test allocation_audit --test planned_parity
-	BNN_THREADS=4 $(CARGO) test -q --test allocation_audit --test planned_parity
+	BNN_THREADS=1 $(CARGO) test -q --test allocation_audit --test planned_parity --test simd_parity
+	BNN_THREADS=4 $(CARGO) test -q --test allocation_audit --test planned_parity --test simd_parity
 
 bench:
 	$(CARGO) bench -p bnn-bench
@@ -82,4 +89,4 @@ doc:
 clean:
 	$(CARGO) clean
 
-ci: lint build test test-doc test-st test-plans bench-build doc
+ci: lint build test test-doc test-st test-scalar test-plans bench-build doc

@@ -145,16 +145,17 @@ impl McSampler {
     ///
     /// The deterministic backbone runs once; the (cheap) exit passes are
     /// independent given their seeded mask streams and fan out across the
-    /// sampler's executor. When the parallel fan-out engages, plannable
-    /// networks (no batch normalisation or residual blocks) execute on a
-    /// compiled [`bnn_models::MultiExitPlan`] — backbone and exits run in
-    /// preallocated arenas reused across passes, and worker replicas are
-    /// plan clones instead of per-worker spec rebuilds; sequential runs and
-    /// non-plannable networks take the layer chain, whose per-pass cost is
-    /// below the plan's one-off weight-packing compile on CPU-sized models.
-    /// The two paths are **bit-identical** (the plan reproduces every layer
-    /// kernel and mask stream exactly), as are all thread counts, including
-    /// the sequential path.
+    /// sampler's executor. Plannable networks (no batch normalisation or
+    /// residual blocks) execute on a compiled [`bnn_models::MultiExitPlan`]
+    /// **cached on the network** ([`MultiExitNetwork::cached_plan`]) —
+    /// backbone and exits run in preallocated arenas reused across passes
+    /// *and across predictions* (the lowering + weight-packing compile
+    /// reruns only after a weight mutation or input-shape change), and
+    /// worker replicas are plan clones instead of per-worker spec rebuilds;
+    /// non-plannable networks take the layer chain. The two paths are
+    /// **bit-identical** (the plan reproduces every layer kernel and mask
+    /// stream exactly), as are all thread counts, including the sequential
+    /// path.
     ///
     /// # Errors
     ///
@@ -168,13 +169,8 @@ impl McSampler {
         if n_exits == 0 {
             return Err(BayesError::Invalid("network has no exits".into()));
         }
-        let passes = self.config.passes_for(n_exits).max(1);
-        if self.executor.threads() > 1
-            && passes > 1
-            && !in_parallel_region()
-            && inputs.dims().len() >= 2
-        {
-            if let Ok(plan) = network.compile_plan(&inputs.dims()[1..]) {
+        if inputs.dims().len() >= 2 {
+            if let Ok(plan) = network.cached_plan(&inputs.dims()[1..]) {
                 return self.predict_planned(plan, inputs, n_exits);
             }
         }
@@ -182,10 +178,11 @@ impl McSampler {
     }
 
     /// The planned prediction path: one compiled plan, arenas reused across
-    /// passes, plan clones as worker replicas.
+    /// passes, plan clones as worker replicas. Borrows the network's cached
+    /// plan so nothing recompiles on a repeat prediction.
     fn predict_planned(
         &self,
-        mut plan: bnn_models::MultiExitPlan,
+        plan: &mut bnn_models::MultiExitPlan,
         inputs: &Tensor,
         n_exits: usize,
     ) -> Result<McPrediction, BayesError> {
@@ -199,12 +196,15 @@ impl McSampler {
             if self.executor.threads() > 1 && passes > 1 && !in_parallel_region() {
                 // One plan clone per *worker*, not per pass; worker w runs
                 // passes w, w+W, … and each pass reseeds from its own
-                // stream, so the assignment does not affect the result.
+                // stream, so the assignment does not affect the result. The
+                // cached plan itself serves the last worker, so only
+                // `workers - 1` clones are materialised.
                 let workers = self.executor.threads().min(passes);
-                let mut replicas: Vec<bnn_models::MultiExitPlan> = Vec::with_capacity(workers);
+                let mut clones: Vec<bnn_models::MultiExitPlan> = Vec::with_capacity(workers - 1);
                 for _ in 0..workers - 1 {
-                    replicas.push(plan.clone());
+                    clones.push(plan.clone());
                 }
+                let mut replicas: Vec<&mut bnn_models::MultiExitPlan> = clones.iter_mut().collect();
                 replicas.push(plan);
                 let per_worker: Vec<Vec<Vec<Tensor>>> = self
                     .executor
@@ -548,6 +548,48 @@ mod tests {
         // the public API behaves identically for it (covered by the other
         // tests, which use resnet18).
         assert!(small_net().compile_plan(&[3, 12, 12]).is_err());
+    }
+
+    #[test]
+    fn cached_plan_predictions_stay_bitwise_and_track_mutations() {
+        // Repeat predictions hit the network's cached plan (no recompile);
+        // the results must stay bitwise identical to the first call, and a
+        // weight mutation must invalidate the cache rather than serve stale
+        // packed weights.
+        let mut net = small_lenet();
+        let mut rng = bnn_tensor::rng::Xoshiro256StarStar::seed_from_u64(31);
+        let x = Tensor::randn(&[2, 1, 10, 10], &mut rng);
+        let sampler = McSampler::new(SamplingConfig::new(8)).with_executor(Executor::new(2));
+        let first = sampler.predict(&mut net, &x).unwrap();
+        let v_after_first = net.weight_version();
+        let second = sampler.predict(&mut net, &x).unwrap();
+        assert_eq!(net.weight_version(), v_after_first, "predict must not bump");
+        assert_eq!(first.mean_probs.as_slice(), second.mean_probs.as_slice());
+        for (a, b) in first.per_sample.iter().zip(&second.per_sample) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        // Mutate a weight through the public params_mut path.
+        {
+            use bnn_nn::network::Network as _;
+            let mut params = net.params_mut();
+            params[0].value.as_mut_slice()[0] += 0.5;
+        }
+        assert_ne!(net.weight_version(), v_after_first);
+        let third = sampler.predict(&mut net, &x).unwrap();
+        assert_ne!(first.mean_probs.as_slice(), third.mean_probs.as_slice());
+        // A freshly built network with the same mutation agrees with the
+        // post-mutation prediction, proving the cache was not stale.
+        let mut fresh = small_lenet();
+        {
+            use bnn_nn::network::Network as _;
+            let mut params = fresh.params_mut();
+            params[0].value.as_mut_slice()[0] += 0.5;
+        }
+        let fresh_pred = sampler.predict(&mut fresh, &x).unwrap();
+        assert_eq!(
+            third.mean_probs.as_slice(),
+            fresh_pred.mean_probs.as_slice()
+        );
     }
 
     #[test]

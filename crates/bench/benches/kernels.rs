@@ -8,7 +8,7 @@ use bnn_nn::layer::Mode;
 use bnn_nn::layers::conv2d::Conv2d;
 use bnn_nn::Layer;
 use bnn_quant::{CalibratedNetwork, FixedPointFormat};
-use bnn_tensor::int::{matmul_i16, matmul_i8};
+use bnn_tensor::int::{im2row_i16_into, matmul_i16, matmul_i8, requantize_i32_row_into};
 use bnn_tensor::linalg::{im2col, matmul, ConvGeometry};
 use bnn_tensor::rng::{Rng, Xoshiro256StarStar};
 use bnn_tensor::Tensor;
@@ -44,6 +44,23 @@ fn bench_kernels(c: &mut Criterion) {
     let wb: Vec<i16> = qb.iter().map(|&v| v as i16 * 97).collect();
     group.bench_function("matmul_i16_256x256x256", |b| {
         b.iter(|| matmul_i16(&wa, &wb, 256, 256, 256).unwrap())
+    });
+
+    // The requantize epilogue over one output row (shift + saturate into i16
+    // codes) and the i16 im2row fill of the planned conv — both dispatch to
+    // the runtime SIMD backend.
+    let acc: Vec<i32> = (0..4096).map(|_| rng.next_u64() as i32 >> 8).collect();
+    let mut requant_out = vec![0i16; 4096];
+    group.bench_function("requantize_row_4096", |b| {
+        b.iter(|| requantize_i32_row_into(&acc, 321, 7, -128, 127, &mut requant_out))
+    });
+    let im2row_geom = ConvGeometry::square(16, 16, 3, 1, 1);
+    let codes: Vec<i16> = (0..4 * 16 * 16 * 16)
+        .map(|_| (rng.next_u64() % 255) as i8 as i16)
+        .collect();
+    let mut packed = Vec::new();
+    group.bench_function("im2row_i16_4x16x16x16", |b| {
+        b.iter(|| im2row_i16_into(&codes, 4, 16, &im2row_geom, &mut packed).unwrap())
     });
 
     let mut conv = Conv2d::new(16, 32, 3, 1, 1, 0).unwrap();

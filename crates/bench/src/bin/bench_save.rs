@@ -67,8 +67,13 @@ fn parse_line(line: &str) -> Option<Entry> {
 }
 
 /// Serialises entries as JSON (no external dependencies: the shape is flat).
-fn to_json(entries: &[Entry]) -> String {
-    let mut out = String::from("{\n  \"generated_by\": \"make bench-save\",\n  \"entries\": [\n");
+/// `backend` records the SIMD backend the integer kernels dispatched to —
+/// bench_save runs in the same environment as the bench it parses (same
+/// host, same `BNN_SIMD`), so its own resolution is the run's provenance.
+fn to_json(entries: &[Entry], backend: &str) -> String {
+    let mut out = format!(
+        "{{\n  \"generated_by\": \"make bench-save\",\n  \"backend\": \"{backend}\",\n  \"entries\": [\n"
+    );
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
@@ -102,7 +107,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if entries.is_empty() {
         return Err("no benchmark lines found on stdin (did the bench run?)".into());
     }
-    std::fs::write(&target, to_json(&entries))?;
+    std::fs::write(
+        &target,
+        to_json(&entries, bnn_tensor::simd::active_backend().name()),
+    )?;
     eprintln!("bench_save: wrote {} entrie(s) to {target}", entries.len());
     Ok(())
 }
@@ -143,9 +151,10 @@ mod tests {
     #[test]
     fn json_shape_round_trips_key_fields() {
         let entries = vec![parse_line(SAMPLE).unwrap()];
-        let json = to_json(&entries);
+        let json = to_json(&entries, "avx2");
         assert!(json.contains("\"id\": \"kernels/conv2d_forward_4x16x16x16\""));
         assert!(json.contains("\"median_ns\": 772230.0"));
         assert!(json.contains("\"entries\": ["));
+        assert!(json.contains("\"backend\": \"avx2\""));
     }
 }

@@ -35,6 +35,13 @@ pub struct MultiExitNetwork {
     /// exit last.
     exits: Vec<(usize, Sequential)>,
     spec: NetworkSpec,
+    /// Bumped whenever mutable parameter references are handed out (see
+    /// [`Network::params_mut`]); keys the compiled-plan cache.
+    pub(crate) weight_version: u64,
+    /// Lazily compiled inference plan, reused across predictions until the
+    /// weights change or the input shape differs (see
+    /// [`MultiExitNetwork::cached_plan`]).
+    pub(crate) plan_cache: Option<crate::plan::PlanCache>,
 }
 
 impl MultiExitNetwork {
@@ -67,7 +74,31 @@ impl MultiExitNetwork {
             blocks,
             exits,
             spec: spec.clone(),
+            weight_version: 0,
+            plan_cache: None,
         })
+    }
+
+    /// A counter bumped every time mutable parameter references are handed
+    /// out ([`Network::params_mut`], and therefore optimizer steps and
+    /// checkpoint restores). The compiled-plan cache is keyed on it, so a
+    /// stale plan — which embeds packed copies of the weights — can never be
+    /// served after a mutation.
+    pub fn weight_version(&self) -> u64 {
+        self.weight_version
+    }
+
+    /// Collects parameter references without bumping the weight version —
+    /// the read-only path [`MultiExitNetwork::checkpoint`] uses.
+    fn collect_params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = Vec::new();
+        for block in &mut self.blocks {
+            params.extend(block.params_mut());
+        }
+        for (_, exit) in &mut self.exits {
+            params.extend(exit.params_mut());
+        }
+        params
     }
 
     /// The architecture specification this network was built from.
@@ -78,7 +109,13 @@ impl MultiExitNetwork {
     /// Captures a checkpoint of every trainable parameter and every layer's
     /// non-trainable state (e.g. batchnorm running statistics).
     pub fn checkpoint(&mut self) -> NetworkCheckpoint {
-        let params = self.params_mut().iter().map(|p| p.value.clone()).collect();
+        // Read-only parameter walk: does not bump the weight version, so
+        // checkpointing (e.g. for replication) keeps the plan cache warm.
+        let params = self
+            .collect_params_mut()
+            .iter()
+            .map(|p| p.value.clone())
+            .collect();
         let container_state = self
             .blocks
             .iter()
@@ -324,14 +361,11 @@ impl Network for MultiExitNetwork {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        let mut params = Vec::new();
-        for block in &mut self.blocks {
-            params.extend(block.params_mut());
-        }
-        for (_, exit) in &mut self.exits {
-            params.extend(exit.params_mut());
-        }
-        params
+        // Mutable references can rewrite weights, and a cached plan embeds
+        // packed weight copies — invalidate before handing them out.
+        self.weight_version = self.weight_version.wrapping_add(1);
+        self.plan_cache = None;
+        self.collect_params_mut()
     }
 
     fn num_exits(&self) -> usize {

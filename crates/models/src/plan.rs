@@ -32,6 +32,15 @@ pub struct MultiExitPlan {
     classes: usize,
 }
 
+/// A compiled plan memoised on its network, keyed by the weight version and
+/// input shape it was compiled for (see [`MultiExitNetwork::cached_plan`]).
+#[derive(Debug)]
+pub(crate) struct PlanCache {
+    version: u64,
+    in_dims: Vec<usize>,
+    plan: MultiExitPlan,
+}
+
 impl MultiExitNetwork {
     /// Compiles the inference plan of this network for per-sample inputs of
     /// shape `in_dims` (batch axis stripped).
@@ -61,6 +70,40 @@ impl MultiExitNetwork {
             exits,
             classes: self.num_classes(),
         })
+    }
+
+    /// The compiled plan for inputs of shape `in_dims`, memoised on the
+    /// network: recompiled only when the weights have changed since the last
+    /// call (tracked by [`MultiExitNetwork::weight_version`]) or when
+    /// `in_dims` differs. Repeated predictions on a trained network skip the
+    /// full lowering + weight-packing pass this way; the returned plan is
+    /// handed out mutably because executing it mutates its arenas and MC
+    /// streams, neither of which affects what a recompilation would produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Nn`] when the network has no bit-reproducible
+    /// flat plan (batch normalisation, residual blocks) — callers should
+    /// fall back to the unplanned forward path.
+    pub fn cached_plan(&mut self, in_dims: &[usize]) -> Result<&mut MultiExitPlan, ModelError> {
+        let version = self.weight_version();
+        let hit = matches!(
+            &self.plan_cache,
+            Some(c) if c.version == version && c.in_dims == in_dims
+        );
+        if !hit {
+            let plan = self.compile_plan(in_dims)?;
+            self.plan_cache = Some(PlanCache {
+                version,
+                in_dims: in_dims.to_vec(),
+                plan,
+            });
+        }
+        Ok(&mut self
+            .plan_cache
+            .as_mut()
+            .expect("plan cache populated above")
+            .plan)
     }
 }
 
@@ -191,6 +234,48 @@ mod tests {
                 assert_eq!(a.as_slice(), b.as_slice(), "seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn cached_plan_recompiles_only_on_mutation_or_shape_change() {
+        let mut net = lenet();
+        let v0 = net.weight_version();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(21);
+        let x = Tensor::randn(&[2, 1, 10, 10], &mut rng);
+
+        // First call compiles; the cached plan matches a fresh compile bitwise.
+        let mut fresh = net.compile_plan(&[1, 10, 10]).unwrap();
+        let acts_fresh = fresh.forward_backbone(&x, Mode::Eval).unwrap();
+        {
+            let plan = net.cached_plan(&[1, 10, 10]).unwrap();
+            let acts = plan.forward_backbone(&x, Mode::Eval).unwrap();
+            for (a, b) in acts_fresh.iter().zip(&acts) {
+                assert_eq!(a.as_slice(), b.as_slice());
+            }
+        }
+        // Unmutated repeat: same version, cache hit (version unchanged, and
+        // checkpointing — a read-only walk — must not invalidate).
+        let _ = net.checkpoint();
+        assert_eq!(net.weight_version(), v0);
+        {
+            let plan = net.cached_plan(&[1, 10, 10]).unwrap();
+            let acts = plan.forward_backbone(&x, Mode::Eval).unwrap();
+            for (a, b) in acts_fresh.iter().zip(&acts) {
+                assert_eq!(a.as_slice(), b.as_slice());
+            }
+        }
+
+        // Mutating a weight through params_mut bumps the version and the
+        // next cached_plan call picks up the new weights.
+        {
+            let mut params = net.params_mut();
+            let w = params[0].value.as_mut_slice();
+            w[0] += 1.0;
+        }
+        assert_ne!(net.weight_version(), v0);
+        let plan = net.cached_plan(&[1, 10, 10]).unwrap();
+        let acts_new = plan.forward_backbone(&x, Mode::Eval).unwrap();
+        assert_ne!(acts_new[0].as_slice(), acts_fresh[0].as_slice());
     }
 
     #[test]

@@ -40,7 +40,11 @@ use crate::qtensor::QuantData;
 use bnn_nn::layer::Mode;
 use bnn_nn::lowering::LayerLowering;
 use bnn_tensor::exec::Executor;
-use bnn_tensor::int::{im2row_i16_into, matmul_abt_i64_into, matmul_wide_i32_into, requantize};
+use bnn_tensor::int::{
+    im2row_i16_into, matmul_abt_i64_into, matmul_wide_i32_into, requantize,
+    requantize_i32_row_biased_into, requantize_i32_row_into, requantize_i64_row_biased_into,
+    requantize_i64_row_into,
+};
 use bnn_tensor::linalg::ConvGeometry;
 use bnn_tensor::ops::softmax_rows_into;
 use bnn_tensor::rng::{stream_seed, Rng, SplitMix64, Xoshiro256StarStar};
@@ -1059,10 +1063,14 @@ fn run_step(
                                 &acc[co * ncols + b * plane..co * ncols + (b + 1) * plane];
                             let start = (b * conv.out_c + co) * plane;
                             let dst_row = &mut dst[start..start + plane];
-                            let bias = conv.bias[co];
-                            for (d, &a) in dst_row.iter_mut().zip(src_row) {
-                                *d = requantize(a as i64 + bias, conv.shift, qmin, qmax) as i16;
-                            }
+                            requantize_i32_row_into(
+                                src_row,
+                                conv.bias[co],
+                                conv.shift,
+                                qmin,
+                                qmax,
+                                dst_row,
+                            );
                         }
                     }
                 }
@@ -1083,10 +1091,14 @@ fn run_step(
                                 &acc[co * ncols + b * plane..co * ncols + (b + 1) * plane];
                             let start = (b * conv.out_c + co) * plane;
                             let dst_row = &mut dst[start..start + plane];
-                            let bias = conv.bias[co];
-                            for (d, &a) in dst_row.iter_mut().zip(src_row) {
-                                *d = requantize(a + bias, conv.shift, qmin, qmax) as i16;
-                            }
+                            requantize_i64_row_into(
+                                src_row,
+                                conv.bias[co],
+                                conv.shift,
+                                qmin,
+                                qmax,
+                                dst_row,
+                            );
                         }
                     }
                 }
@@ -1110,9 +1122,18 @@ fn run_step(
                         dense.out_f,
                         acc,
                     )?;
-                    for (i, (d, &a)) in dst[..out_elems].iter_mut().zip(acc.iter()).enumerate() {
-                        let bias = dense.bias[i % dense.out_f];
-                        *d = requantize(a as i64 + bias, dense.shift, qmin, qmax) as i16;
+                    for (dst_row, acc_row) in dst[..out_elems]
+                        .chunks_exact_mut(dense.out_f)
+                        .zip(acc.chunks_exact(dense.out_f))
+                    {
+                        requantize_i32_row_biased_into(
+                            acc_row,
+                            &dense.bias,
+                            dense.shift,
+                            qmin,
+                            qmax,
+                            dst_row,
+                        );
                     }
                 }
                 IntWidth::W16 => {
@@ -1126,9 +1147,18 @@ fn run_step(
                         dense.out_f,
                         acc,
                     )?;
-                    for (i, (d, &a)) in dst[..out_elems].iter_mut().zip(acc.iter()).enumerate() {
-                        let bias = dense.bias[i % dense.out_f];
-                        *d = requantize(a + bias, dense.shift, qmin, qmax) as i16;
+                    for (dst_row, acc_row) in dst[..out_elems]
+                        .chunks_exact_mut(dense.out_f)
+                        .zip(acc.chunks_exact(dense.out_f))
+                    {
+                        requantize_i64_row_biased_into(
+                            acc_row,
+                            &dense.bias,
+                            dense.shift,
+                            qmin,
+                            qmax,
+                            dst_row,
+                        );
                     }
                 }
             }

@@ -27,8 +27,15 @@
 //!   output row blocks on a [`parpool::Executor`] exactly like the float
 //!   kernels, preserving the PR-3 threading contract (one writer per output
 //!   element, identical results for every thread count).
+//! * **SIMD dispatch.** The hot inner loops — the packed matmul kernels, the
+//!   requantize row helpers and the im2row fill — route through a runtime
+//!   backend selected once per process (see [`crate::simd`]). Because
+//!   accumulation is exact, every backend produces the same bits as the
+//!   scalar reference; the scalar kernels stay compiled in as the fallback
+//!   and as the oracle the parity suite checks vector backends against.
 
 use crate::linalg::{fill_row_blocks, ConvGeometry};
+use crate::simd::Backend;
 use crate::TensorError;
 use parpool::Executor;
 
@@ -103,6 +110,159 @@ pub fn requantize(value: i64, shift: i32, min: i64, max: i64) -> i64 {
         value.saturating_mul(1i64 << (-shift).min(62))
     };
     saturate(scaled, min, max)
+}
+
+/// Returns true when the whole-row requantize can take the SIMD path:
+/// a plain rounding right-shift (no scale-up) into bounds that fit the
+/// `i16` storage type the vector kernels narrow into.
+fn simd_requant_ok(backend: Backend, shift: i32, min: i64, max: i64) -> bool {
+    backend != Backend::Scalar
+        && shift >= 0
+        && min >= i16::MIN as i64
+        && max <= i16::MAX as i64
+        && min <= max
+}
+
+/// Requantizes a whole row of `i32` accumulators sharing one bias into `i16`
+/// storage: `out[i] = saturate(round_shift(acc[i] + bias, shift), min, max)`
+/// — the per-output-channel epilogue of a quantized convolution. Dispatches
+/// to the active SIMD backend when the parameters fit its contract
+/// (`shift >= 0`, bounds within `i16`), otherwise runs the scalar reference;
+/// both produce identical bits.
+///
+/// # Panics
+///
+/// Panics if `acc` and `out` differ in length.
+///
+/// # Example
+///
+/// ```
+/// use bnn_tensor::int::requantize_i32_row_into;
+///
+/// let acc = [10i32, -10, 1000];
+/// let mut out = [0i16; 3];
+/// requantize_i32_row_into(&acc, 0, 2, -128, 127, &mut out);
+/// assert_eq!(out, [3, -3, 127]);
+/// ```
+pub fn requantize_i32_row_into(
+    acc: &[i32],
+    bias: i64,
+    shift: i32,
+    min: i64,
+    max: i64,
+    out: &mut [i16],
+) {
+    assert_eq!(
+        acc.len(),
+        out.len(),
+        "requantize_i32_row_into length mismatch"
+    );
+    let backend = simdkern::active();
+    if simd_requant_ok(backend, shift, min, max) {
+        simdkern::requantize_i32_row(backend, acc, bias, shift as u32, min, max, out);
+    } else {
+        for (o, &a) in out.iter_mut().zip(acc) {
+            *o = requantize(a as i64 + bias, shift, min, max) as i16;
+        }
+    }
+}
+
+/// [`requantize_i32_row_into`] for `i64` accumulators (the wide-format
+/// convolution epilogue).
+///
+/// # Panics
+///
+/// Panics if `acc` and `out` differ in length.
+pub fn requantize_i64_row_into(
+    acc: &[i64],
+    bias: i64,
+    shift: i32,
+    min: i64,
+    max: i64,
+    out: &mut [i16],
+) {
+    assert_eq!(
+        acc.len(),
+        out.len(),
+        "requantize_i64_row_into length mismatch"
+    );
+    let backend = simdkern::active();
+    if simd_requant_ok(backend, shift, min, max) {
+        simdkern::requantize_i64_row(backend, acc, bias, shift as u32, min, max, out);
+    } else {
+        for (o, &a) in out.iter_mut().zip(acc) {
+            *o = requantize(a + bias, shift, min, max) as i16;
+        }
+    }
+}
+
+/// [`requantize_i32_row_into`] with one bias per element
+/// (`out[i] = saturate(round_shift(acc[i] + biases[i], shift), min, max)`)
+/// — the dense-layer epilogue, where each output feature carries its own
+/// bias.
+///
+/// # Panics
+///
+/// Panics if `acc`, `biases` and `out` differ in length.
+pub fn requantize_i32_row_biased_into(
+    acc: &[i32],
+    biases: &[i64],
+    shift: i32,
+    min: i64,
+    max: i64,
+    out: &mut [i16],
+) {
+    assert_eq!(
+        acc.len(),
+        out.len(),
+        "requantize_i32_row_biased_into length mismatch"
+    );
+    assert_eq!(
+        acc.len(),
+        biases.len(),
+        "requantize_i32_row_biased_into bias mismatch"
+    );
+    let backend = simdkern::active();
+    if simd_requant_ok(backend, shift, min, max) {
+        simdkern::requantize_i32_row_biased(backend, acc, biases, shift as u32, min, max, out);
+    } else {
+        for ((o, &a), &b) in out.iter_mut().zip(acc).zip(biases) {
+            *o = requantize(a as i64 + b, shift, min, max) as i16;
+        }
+    }
+}
+
+/// [`requantize_i32_row_biased_into`] for `i64` accumulators.
+///
+/// # Panics
+///
+/// Panics if `acc`, `biases` and `out` differ in length.
+pub fn requantize_i64_row_biased_into(
+    acc: &[i64],
+    biases: &[i64],
+    shift: i32,
+    min: i64,
+    max: i64,
+    out: &mut [i16],
+) {
+    assert_eq!(
+        acc.len(),
+        out.len(),
+        "requantize_i64_row_biased_into length mismatch"
+    );
+    assert_eq!(
+        acc.len(),
+        biases.len(),
+        "requantize_i64_row_biased_into bias mismatch"
+    );
+    let backend = simdkern::active();
+    if simd_requant_ok(backend, shift, min, max) {
+        simdkern::requantize_i64_row_biased(backend, acc, biases, shift as u32, min, max, out);
+    } else {
+        for ((o, &a), &b) in out.iter_mut().zip(acc).zip(biases) {
+            *o = requantize(a + b, shift, min, max) as i16;
+        }
+    }
 }
 
 fn check_matmul(
@@ -251,92 +411,123 @@ pub fn matmul_wide_i32_into(
         });
     }
     let a16 = &a16[..m * k];
+    let backend = effective_matmul_backend(k);
     fill_row_blocks(exec, out, m, n, |row0, chunk| {
-        // Register blocking: each transposed `b` row streams through the
-        // core once per 8 (then 4, then 1) output rows, cutting the
-        // bandwidth the plain dot layout needs while every reduction stays
-        // pmaddwd-friendly. Measured on the 256^3 bench shape this is what
-        // pushes the i8 kernel past the f32 axpy kernel.
         let rows = chunk.len() / n;
-        let mut i = 0;
-        while i + 8 <= rows {
-            let base = (row0 + i) * k;
-            let ar: [&[i16]; 8] = [
-                &a16[base..base + k],
-                &a16[base + k..base + 2 * k],
-                &a16[base + 2 * k..base + 3 * k],
-                &a16[base + 3 * k..base + 4 * k],
-                &a16[base + 4 * k..base + 5 * k],
-                &a16[base + 5 * k..base + 6 * k],
-                &a16[base + 6 * k..base + 7 * k],
-                &a16[base + 7 * k..base + 8 * k],
-            ];
-            for (j, bt_row) in bt16.chunks_exact(k).enumerate() {
-                let mut s = [0i32; 8];
-                for p in 0..k {
-                    let bv = bt_row[p] as i32;
-                    s[0] += ar[0][p] as i32 * bv;
-                    s[1] += ar[1][p] as i32 * bv;
-                    s[2] += ar[2][p] as i32 * bv;
-                    s[3] += ar[3][p] as i32 * bv;
-                    s[4] += ar[4][p] as i32 * bv;
-                    s[5] += ar[5][p] as i32 * bv;
-                    s[6] += ar[6][p] as i32 * bv;
-                    s[7] += ar[7][p] as i32 * bv;
-                }
-                for (r, &sv) in s.iter().enumerate() {
-                    chunk[(i + r) * n + j] = sv;
-                }
-            }
-            i += 8;
-        }
-        while i + 4 <= rows {
-            let base = (row0 + i) * k;
-            let a0 = &a16[base..base + k];
-            let a1 = &a16[base + k..base + 2 * k];
-            let a2 = &a16[base + 2 * k..base + 3 * k];
-            let a3 = &a16[base + 3 * k..base + 4 * k];
-            for (j, bt_row) in bt16.chunks_exact(k).enumerate() {
-                let (mut s0, mut s1, mut s2, mut s3) = (0i32, 0i32, 0i32, 0i32);
-                for p in 0..k {
-                    let bv = bt_row[p] as i32;
-                    s0 += a0[p] as i32 * bv;
-                    s1 += a1[p] as i32 * bv;
-                    s2 += a2[p] as i32 * bv;
-                    s3 += a3[p] as i32 * bv;
-                }
-                chunk[i * n + j] = s0;
-                chunk[(i + 1) * n + j] = s1;
-                chunk[(i + 2) * n + j] = s2;
-                chunk[(i + 3) * n + j] = s3;
-            }
-            i += 4;
-        }
-        // Remainder rows (1..=3) share a single pass over `bt` — small-`m`
-        // products (a few-output-channel convolution over a huge patch
-        // count) would otherwise re-stream the whole packed right-hand side
-        // once per row. Integer accumulation is exact, so the fused order
-        // produces the same bits as the row-at-a-time loop.
-        if i < rows {
-            let rem = rows - i;
-            let base = (row0 + i) * k;
-            let ar = &a16[base..base + rem * k];
-            for (j, bt_row) in bt16.chunks_exact(k).enumerate() {
-                let mut s = [0i32; 3];
-                for (r, a_row) in ar.chunks_exact(k).enumerate() {
-                    let mut acc = 0i32;
-                    for (&av, &bv) in a_row.iter().zip(bt_row) {
-                        acc += av as i32 * bv as i32;
-                    }
-                    s[r] = acc;
-                }
-                for (r, &sv) in s[..rem].iter().enumerate() {
-                    chunk[(i + r) * n + j] = sv;
-                }
-            }
+        let ablock = &a16[row0 * k..(row0 + rows) * k];
+        match backend {
+            Backend::Scalar => scalar_wide_i32_block(ablock, bt16, k, n, chunk),
+            b => simdkern::matmul_wide_i32(b, ablock, bt16, k, n, chunk),
         }
     });
     Ok(())
+}
+
+/// Minimum reduction length before the vector matmul kernels pay for
+/// themselves: each output element costs a horizontal accumulator sum plus
+/// a scalar tail of up to one vector width, so short dot products (e.g. the
+/// 25-tap first conv of LeNet) are faster on the register-blocked scalar
+/// core.
+const VECTOR_MATMUL_MIN_K: usize = 32;
+
+/// The backend the packed matmuls should actually run on: the active
+/// backend, demoted to scalar when the reduction is too short to amortize
+/// the vector kernels' per-output overhead. Bits are identical either way.
+fn effective_matmul_backend(k: usize) -> Backend {
+    if k < VECTOR_MATMUL_MIN_K {
+        Backend::Scalar
+    } else {
+        simdkern::active()
+    }
+}
+
+/// The scalar register-blocked core of [`matmul_wide_i32_into`], operating
+/// on one block of `a` rows (`chunk.len() / n` of them, relative-indexed).
+/// This is the bit-exactness reference the SIMD backends are checked
+/// against; `a16` must hold i8-range values.
+fn scalar_wide_i32_block(a16: &[i16], bt16: &[i16], k: usize, n: usize, chunk: &mut [i32]) {
+    // Register blocking: each transposed `b` row streams through the
+    // core once per 8 (then 4, then 1) output rows, cutting the
+    // bandwidth the plain dot layout needs while every reduction stays
+    // pmaddwd-friendly. Measured on the 256^3 bench shape this is what
+    // pushes the i8 kernel past the f32 axpy kernel.
+    let rows = chunk.len() / n;
+    let mut i = 0;
+    while i + 8 <= rows {
+        let base = i * k;
+        let ar: [&[i16]; 8] = [
+            &a16[base..base + k],
+            &a16[base + k..base + 2 * k],
+            &a16[base + 2 * k..base + 3 * k],
+            &a16[base + 3 * k..base + 4 * k],
+            &a16[base + 4 * k..base + 5 * k],
+            &a16[base + 5 * k..base + 6 * k],
+            &a16[base + 6 * k..base + 7 * k],
+            &a16[base + 7 * k..base + 8 * k],
+        ];
+        for (j, bt_row) in bt16.chunks_exact(k).enumerate() {
+            let mut s = [0i32; 8];
+            for p in 0..k {
+                let bv = bt_row[p] as i32;
+                s[0] += ar[0][p] as i32 * bv;
+                s[1] += ar[1][p] as i32 * bv;
+                s[2] += ar[2][p] as i32 * bv;
+                s[3] += ar[3][p] as i32 * bv;
+                s[4] += ar[4][p] as i32 * bv;
+                s[5] += ar[5][p] as i32 * bv;
+                s[6] += ar[6][p] as i32 * bv;
+                s[7] += ar[7][p] as i32 * bv;
+            }
+            for (r, &sv) in s.iter().enumerate() {
+                chunk[(i + r) * n + j] = sv;
+            }
+        }
+        i += 8;
+    }
+    while i + 4 <= rows {
+        let base = i * k;
+        let a0 = &a16[base..base + k];
+        let a1 = &a16[base + k..base + 2 * k];
+        let a2 = &a16[base + 2 * k..base + 3 * k];
+        let a3 = &a16[base + 3 * k..base + 4 * k];
+        for (j, bt_row) in bt16.chunks_exact(k).enumerate() {
+            let (mut s0, mut s1, mut s2, mut s3) = (0i32, 0i32, 0i32, 0i32);
+            for p in 0..k {
+                let bv = bt_row[p] as i32;
+                s0 += a0[p] as i32 * bv;
+                s1 += a1[p] as i32 * bv;
+                s2 += a2[p] as i32 * bv;
+                s3 += a3[p] as i32 * bv;
+            }
+            chunk[i * n + j] = s0;
+            chunk[(i + 1) * n + j] = s1;
+            chunk[(i + 2) * n + j] = s2;
+            chunk[(i + 3) * n + j] = s3;
+        }
+        i += 4;
+    }
+    // Remainder rows (1..=3) share a single pass over `bt` — small-`m`
+    // products (a few-output-channel convolution over a huge patch
+    // count) would otherwise re-stream the whole packed right-hand side
+    // once per row. Integer accumulation is exact, so the fused order
+    // produces the same bits as the row-at-a-time loop.
+    if i < rows {
+        let rem = rows - i;
+        let ar = &a16[i * k..(i + rem) * k];
+        for (j, bt_row) in bt16.chunks_exact(k).enumerate() {
+            let mut s = [0i32; 3];
+            for (r, a_row) in ar.chunks_exact(k).enumerate() {
+                let mut acc = 0i32;
+                for (&av, &bv) in a_row.iter().zip(bt_row) {
+                    acc += av as i32 * bv as i32;
+                }
+                s[r] = acc;
+            }
+            for (r, &sv) in s[..rem].iter().enumerate() {
+                chunk[(i + r) * n + j] = sv;
+            }
+        }
+    }
 }
 
 /// Multiplies `a` (`[m, k]` row-major `i16`) by the transpose of `bt`
@@ -367,34 +558,45 @@ pub fn matmul_abt_i64_into(
             op: "matmul_abt_i64_into",
         });
     }
+    let backend = effective_matmul_backend(k);
     fill_row_blocks(exec, out, m, n, |row0, chunk| {
-        // Four output rows per pass over `bt`: each packed right-hand-side
-        // row is streamed once per row *block* instead of once per row,
-        // which matters for the few-output-channel convolutions where the
-        // patch count dwarfs the channel count.
         let rows = chunk.len() / n;
-        let mut i = 0;
-        while i < rows {
-            let block = (rows - i).min(4);
-            let base = (row0 + i) * k;
-            let ar = &a[base..base + block * k];
-            for (j, bt_row) in bt.chunks_exact(k).enumerate() {
-                let mut s = [0i64; 4];
-                for (r, a_row) in ar.chunks_exact(k).enumerate() {
-                    let mut acc = 0i64;
-                    for (&av, &bv) in a_row.iter().zip(bt_row) {
-                        acc += av as i64 * bv as i64;
-                    }
-                    s[r] = acc;
-                }
-                for (r, &sv) in s[..block].iter().enumerate() {
-                    chunk[(i + r) * n + j] = sv;
-                }
-            }
-            i += block;
+        let ablock = &a[row0 * k..(row0 + rows) * k];
+        match backend {
+            Backend::Scalar => scalar_abt_i64_block(ablock, bt, k, n, chunk),
+            b => simdkern::matmul_abt_i64(b, ablock, bt, k, n, chunk),
         }
     });
     Ok(())
+}
+
+/// The scalar core of [`matmul_abt_i64_into`] on one relative-indexed block
+/// of `a` rows — the bit-exactness reference for the SIMD backends.
+fn scalar_abt_i64_block(a: &[i16], bt: &[i16], k: usize, n: usize, chunk: &mut [i64]) {
+    // Four output rows per pass over `bt`: each packed right-hand-side
+    // row is streamed once per row *block* instead of once per row,
+    // which matters for the few-output-channel convolutions where the
+    // patch count dwarfs the channel count.
+    let rows = chunk.len() / n;
+    let mut i = 0;
+    while i < rows {
+        let block = (rows - i).min(4);
+        let ar = &a[i * k..(i + block) * k];
+        for (j, bt_row) in bt.chunks_exact(k).enumerate() {
+            let mut s = [0i64; 4];
+            for (r, a_row) in ar.chunks_exact(k).enumerate() {
+                let mut acc = 0i64;
+                for (&av, &bv) in a_row.iter().zip(bt_row) {
+                    acc += av as i64 * bv as i64;
+                }
+                s[r] = acc;
+            }
+            for (r, &sv) in s[..block].iter().enumerate() {
+                chunk[(i + r) * n + j] = sv;
+            }
+        }
+        i += block;
+    }
 }
 
 /// Unfolds an NCHW `i16` code tensor directly into the **transposed** im2col
@@ -433,35 +635,66 @@ pub fn im2row_i16_into(
     if out.len() < rows * cols {
         out.resize(rows * cols, 0);
     }
-    // Patch-major fill: one contiguous `rows`-length patch per output
-    // position, every element written (padding taps write literal 0).
-    for b in 0..batch {
-        for oh in 0..out_h {
-            for ow in 0..out_w {
-                let col = (b * out_h + oh) * out_w + ow;
-                let patch = &mut out[col * rows..(col + 1) * rows];
-                let mut row = 0usize;
-                for c in 0..channels {
-                    for kh in 0..geom.kernel_h {
-                        let ih = (oh * geom.stride_h + kh) as isize - geom.pad_h as isize;
-                        for kw in 0..geom.kernel_w {
-                            let iw = (ow * geom.stride_w + kw) as isize - geom.pad_w as isize;
-                            patch[row] = if ih >= 0
-                                && iw >= 0
-                                && (ih as usize) < geom.in_h
-                                && (iw as usize) < geom.in_w
-                            {
-                                input[((b * channels + c) * geom.in_h + ih as usize) * geom.in_w
-                                    + iw as usize]
-                            } else {
-                                0
-                            };
-                            row += 1;
+    let backend = simdkern::active();
+    if backend == Backend::Scalar {
+        // Patch-major fill: one contiguous `rows`-length patch per output
+        // position, every element written (padding taps write literal 0).
+        for b in 0..batch {
+            for oh in 0..out_h {
+                for ow in 0..out_w {
+                    let col = (b * out_h + oh) * out_w + ow;
+                    let patch = &mut out[col * rows..(col + 1) * rows];
+                    let mut row = 0usize;
+                    for c in 0..channels {
+                        for kh in 0..geom.kernel_h {
+                            let ih = (oh * geom.stride_h + kh) as isize - geom.pad_h as isize;
+                            for kw in 0..geom.kernel_w {
+                                let iw = (ow * geom.stride_w + kw) as isize - geom.pad_w as isize;
+                                patch[row] = if ih >= 0
+                                    && iw >= 0
+                                    && (ih as usize) < geom.in_h
+                                    && (iw as usize) < geom.in_w
+                                {
+                                    input[((b * channels + c) * geom.in_h + ih as usize)
+                                        * geom.in_w
+                                        + iw as usize]
+                                } else {
+                                    0
+                                };
+                                row += 1;
+                            }
                         }
                     }
                 }
             }
         }
+    } else {
+        // Vector backends share the branch-hoisted fill for wide kernel
+        // rows (per-patch range splits + contiguous run copies instead of
+        // per-tap bounds checks); simdkern routes short kernel rows — the
+        // common 3x3/5x5 convs — back to the naive fill, where the
+        // predictable per-tap branch is cheaper than the range-split
+        // bookkeeping. Identical bits on every route.
+        let shape = simdkern::ConvShape {
+            in_h: geom.in_h,
+            in_w: geom.in_w,
+            kernel_h: geom.kernel_h,
+            kernel_w: geom.kernel_w,
+            stride_h: geom.stride_h,
+            stride_w: geom.stride_w,
+            pad_h: geom.pad_h,
+            pad_w: geom.pad_w,
+            out_h,
+            out_w,
+        };
+        simdkern::im2row_i16(
+            backend,
+            input,
+            batch,
+            channels,
+            &shape,
+            &mut out[..rows * cols],
+        );
     }
     Ok((rows, cols))
 }
@@ -489,6 +722,12 @@ pub fn matmul_i16(
 
 /// [`matmul_i16`] on an explicit executor.
 ///
+/// Transposes `b` once up front and runs the register-blocked
+/// [`matmul_abt_i64_into`] kernel — the same transposed-layout treatment the
+/// i8 path got, which replaces the old strided `ikj` walk with contiguous
+/// dot products (and picks up the SIMD backends for free). Integer
+/// accumulation is exact, so the repack changes no bits.
+///
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] on length mismatches.
@@ -501,22 +740,14 @@ pub fn matmul_i16_with(
     n: usize,
 ) -> Result<Vec<i64>, TensorError> {
     check_matmul(a.len(), b.len(), m, k, n, "matmul_i16")?;
-    let mut out = vec![0i64; m * n];
-    fill_row_blocks(exec, &mut out, m, n, |row0, chunk| {
-        for (local_i, out_row) in chunk.chunks_exact_mut(n).enumerate() {
-            let i = row0 + local_i;
-            for p in 0..k {
-                let a_ip = a[i * k + p] as i64;
-                if a_ip == 0 {
-                    continue;
-                }
-                let b_row = &b[p * n..(p + 1) * n];
-                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ip * b_pj as i64;
-                }
-            }
+    let mut bt = vec![0i16; n * k];
+    for (p, b_row) in b.chunks_exact(n.max(1)).enumerate() {
+        for (j, &v) in b_row.iter().enumerate() {
+            bt[j * k + p] = v;
         }
-    });
+    }
+    let mut out = vec![0i64; m * n];
+    matmul_abt_i64_into(exec, a, &bt, m, k, n, &mut out)?;
     Ok(out)
 }
 

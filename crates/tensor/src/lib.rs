@@ -18,7 +18,9 @@
 //! * [`int`] — `i8`/`i16` integer kernels with `i32`/`i64` accumulation and
 //!   explicit rounding/saturation helpers, the substrate of the true
 //!   fixed-point inference path in `bnn-quant` (same parallel split and
-//!   determinism contract as the float kernels).
+//!   determinism contract as the float kernels). Their inner loops dispatch
+//!   to runtime-detected SIMD backends — see [`simd`] for the selection
+//!   controls (`BNN_SIMD`) and the bitwise-equality contract.
 //!
 //! # Example
 //!
@@ -53,6 +55,7 @@ pub mod linalg;
 pub mod ops;
 pub mod rng;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use error::TensorError;

@@ -129,8 +129,9 @@ fn sampler_planned_path_matches_replica_prediction_bitwise() {
     let (mut network, _calib, eval) = trained_lenet5();
     // A replica rebuilt from spec + checkpoint (the pre-plan worker path).
     let mut replica = network.replicate().unwrap();
-    // A multi-threaded executor engages the planned fast path (plan clones
-    // as worker replicas); the sequential sampler takes the layer chain.
+    // Both samplers compile (and cache) plans for this plannable network;
+    // the executors differ, so this also pins the parallel fan-out (plan
+    // clones as worker replicas) to the sequential single-plan loop.
     let planned = McSampler::new(SamplingConfig::new(8)).with_executor(Executor::new(4));
     let layered = McSampler::new(SamplingConfig::new(8)).with_executor(Executor::sequential());
     let a = planned.predict(&mut network, &eval).unwrap();

@@ -1,0 +1,726 @@
+//! Runtime-dispatched SIMD kernels for the integer inference hot loops.
+//!
+//! The fixed-point path in `bnn-tensor`/`bnn-quant` spends almost all of its
+//! time in four loop families: the i8-range widened matmul (`i16` operands,
+//! `i32` accumulator), the full-range `i16` matmul (`i64` accumulator), the
+//! requantize loop (round-shift + saturate a whole accumulator row into
+//! `i16` codes), and the `i16` im2row fill. This crate provides explicit
+//! `core::arch` implementations of those loops for x86-64 (AVX2 and SSE4.1)
+//! and AArch64 (NEON, matmuls only), selected **once** at startup via
+//! [`Backend::detect`] (`is_x86_feature_detected!` under the hood) and the
+//! `BNN_SIMD` environment variable:
+//!
+//! | `BNN_SIMD`            | effect                                        |
+//! |-----------------------|-----------------------------------------------|
+//! | unset / `auto`        | best available backend for the host CPU       |
+//! | `scalar`              | force the scalar reference kernels            |
+//! | `avx2`, `sse4.1`, `neon` | force that backend *if available*, else scalar |
+//!
+//! Unrecognised or unavailable values fall back to `scalar` — the
+//! conservative choice; `make bench-save` records the active backend in the
+//! benchmark JSON so a silent fallback stays visible.
+//!
+//! # Bit-exactness contract
+//!
+//! Every kernel here computes mathematically exact integer results: products
+//! and partial sums provably fit their accumulator type (the callers enforce
+//! the `k < 2^17` bound of the widened kernel), so no reduction order can
+//! change a single bit, and the vector kernels are required to agree with
+//! the scalar reference **bitwise** for every backend, format, shape and
+//! thread count. `tests/simd_parity.rs` at the workspace root sweeps exactly
+//! that matrix; [`set_override`] is the hook it uses to force each backend
+//! in turn.
+//!
+//! # Unsafe scoping
+//!
+//! This is the only crate in the workspace allowed to use `unsafe` besides
+//! `alloc-counter` (see the workspace `forbid(unsafe_code)` lint and the
+//! note in this crate's `Cargo.toml`). The unsafe surface is confined to
+//! feature-gated intrinsic calls: dispatch clamps any requested backend to
+//! the host's detected capabilities (see [`Backend::clamped`]) before
+//! entering a `#[target_feature]` function, so the required ISA extension is
+//! always present, and in-bounds pointer arithmetic for vector loads/stores
+//! is established by the surrounding loop conditions.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+mod scalar;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+#[cfg(all(target_arch = "aarch64", target_feature = "neon"))]
+mod neon;
+
+/// Environment variable selecting the kernel backend (`auto`, `scalar`,
+/// `sse4.1`, `avx2`, `neon`).
+pub const SIMD_ENV_VAR: &str = "BNN_SIMD";
+
+/// A kernel backend. All variants exist on every architecture so that
+/// configuration and diagnostics code is portable; [`Backend::is_available`]
+/// reports whether the host can actually execute one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Backend {
+    /// The portable scalar reference kernels.
+    Scalar = 0,
+    /// x86-64 SSE4.1 (`pmaddwd`, `pmuldq`): vectorized matmul inner loops.
+    Sse41 = 1,
+    /// x86-64 AVX2: vectorized matmul, requantize and im2row loops.
+    Avx2 = 2,
+    /// AArch64 NEON: vectorized matmul inner loops.
+    Neon = 3,
+}
+
+impl Backend {
+    /// Every backend, in increasing preference order.
+    pub const ALL: [Backend; 4] = [
+        Backend::Scalar,
+        Backend::Sse41,
+        Backend::Avx2,
+        Backend::Neon,
+    ];
+
+    /// The best backend the host CPU can execute.
+    pub fn detect() -> Backend {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") {
+                return Backend::Avx2;
+            }
+            if is_x86_feature_detected!("sse4.1") {
+                return Backend::Sse41;
+            }
+        }
+        #[cfg(all(target_arch = "aarch64", target_feature = "neon"))]
+        {
+            return Backend::Neon;
+        }
+        #[allow(unreachable_code)]
+        Backend::Scalar
+    }
+
+    /// Whether the host CPU can execute this backend's kernels.
+    pub fn is_available(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Sse41 => is_x86_feature_detected!("sse4.1"),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => is_x86_feature_detected!("avx2"),
+            #[cfg(all(target_arch = "aarch64", target_feature = "neon"))]
+            Backend::Neon => true,
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+
+    /// This backend if the host supports it, otherwise [`Backend::Scalar`].
+    ///
+    /// Every dispatch function clamps through this, which is what makes the
+    /// public API sound: a `Backend` value is plain data, so safe code could
+    /// otherwise smuggle an unsupported backend into a kernel call.
+    pub fn clamped(self) -> Backend {
+        if self.is_available() {
+            self
+        } else {
+            Backend::Scalar
+        }
+    }
+
+    /// The canonical lower-case name (`scalar`, `sse4.1`, `avx2`, `neon`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Sse41 => "sse4.1",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+
+    /// Parses a backend name as accepted by the `BNN_SIMD` environment
+    /// variable (`sse41` is accepted as an alias of `sse4.1`).
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name {
+            "scalar" => Some(Backend::Scalar),
+            "sse4.1" | "sse41" => Some(Backend::Sse41),
+            "avx2" => Some(Backend::Avx2),
+            "neon" => Some(Backend::Neon),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Backend {
+        match v {
+            1 => Backend::Sse41,
+            2 => Backend::Avx2,
+            3 => Backend::Neon,
+            _ => Backend::Scalar,
+        }
+    }
+}
+
+/// The backends the host CPU can execute, scalar first.
+pub fn available() -> Vec<Backend> {
+    Backend::ALL
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+}
+
+/// Resolves a `BNN_SIMD`-style request against the host CPU: `None`, the
+/// empty string and `auto` auto-detect; anything else must name an available
+/// backend or the result is [`Backend::Scalar`].
+pub fn select(request: Option<&str>) -> Backend {
+    match request.map(str::trim) {
+        None | Some("") | Some("auto") => Backend::detect(),
+        Some(name) => match Backend::from_name(name) {
+            Some(b) if b.is_available() => b,
+            _ => Backend::Scalar,
+        },
+    }
+}
+
+/// `0` = no override; otherwise `Backend as u8 + 1`. Tests use this to force
+/// each backend in turn without re-reading the environment.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+/// The env-resolved backend, computed once on first use.
+static ENV_CHOICE: OnceLock<Backend> = OnceLock::new();
+
+/// The backend integer kernels currently dispatch to: the [`set_override`]
+/// value if one is set, otherwise the `BNN_SIMD`/auto-detected choice
+/// (resolved once per process).
+pub fn active() -> Backend {
+    match FORCED.load(Ordering::Relaxed) {
+        0 => *ENV_CHOICE.get_or_init(|| select(std::env::var(SIMD_ENV_VAR).ok().as_deref())),
+        v => Backend::from_u8(v - 1),
+    }
+}
+
+/// Forces (`Some`) or releases (`None`) the active backend, overriding the
+/// environment. Unavailable backends are clamped to scalar at dispatch time,
+/// so forcing one is safe but pointless; the parity tests iterate
+/// [`available`] instead. Process-global: concurrent tests must serialise
+/// around it.
+pub fn set_override(backend: Option<Backend>) {
+    FORCED.store(
+        match backend {
+            None => 0,
+            Some(b) => b as u8 + 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// Convolution/im2row geometry, mirroring `bnn-tensor`'s `ConvGeometry` plus
+/// the derived output extent (this crate sits below `bnn-tensor` in the
+/// dependency graph, so it cannot use that type directly).
+#[derive(Debug, Clone, Copy)]
+pub struct ConvShape {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Vertical stride.
+    pub stride_h: usize,
+    /// Horizontal stride.
+    pub stride_w: usize,
+    /// Vertical zero padding.
+    pub pad_h: usize,
+    /// Horizontal zero padding.
+    pub pad_w: usize,
+    /// Output height (already derived from the above).
+    pub out_h: usize,
+    /// Output width (already derived from the above).
+    pub out_w: usize,
+}
+
+fn check_matmul(a: &[i16], bt: &[i16], k: usize, n: usize, out_len: usize) -> usize {
+    assert!(n > 0 && k > 0, "simdkern matmul: empty reduction or width");
+    assert_eq!(
+        out_len % n,
+        0,
+        "simdkern matmul: out length not a row multiple"
+    );
+    let rows = out_len / n;
+    assert_eq!(a.len(), rows * k, "simdkern matmul: lhs length mismatch");
+    assert_eq!(bt.len(), n * k, "simdkern matmul: rhs length mismatch");
+    rows
+}
+
+/// Multiplies `a` (`rows x k`, i8-range values widened to `i16`) by the
+/// transpose of `bt` (`n x k`) into the exact `i32` accumulator block `out`
+/// (`rows x k`-derived `rows x n`, fully overwritten) — the inner block of
+/// `bnn_tensor::int::matmul_wide_i32_into`.
+///
+/// The caller guarantees i8-range operands and `k < 2^17` (the exact-`i32`
+/// bound); under that contract every backend produces identical bits.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `k`/`n`.
+pub fn matmul_wide_i32(
+    backend: Backend,
+    a: &[i16],
+    bt: &[i16],
+    k: usize,
+    n: usize,
+    out: &mut [i32],
+) {
+    check_matmul(a, bt, k, n, out.len());
+    match backend.clamped() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamped` returned this backend, so the required CPU
+        // features were runtime-detected on this host.
+        Backend::Avx2 => unsafe { x86::avx2::matmul_wide_i32(a, bt, k, n, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — SSE4.1 is available.
+        Backend::Sse41 => unsafe { x86::sse41::matmul_wide_i32(a, bt, k, n, out) },
+        #[cfg(all(target_arch = "aarch64", target_feature = "neon"))]
+        // SAFETY: NEON is a baseline feature of this build target.
+        Backend::Neon => unsafe { neon::matmul_wide_i32(a, bt, k, n, out) },
+        _ => scalar::matmul_wide_i32(a, bt, k, n, out),
+    }
+}
+
+/// Multiplies `a` (`rows x k`, full-range `i16`) by the transpose of `bt`
+/// (`n x k`) into the exact `i64` accumulator block `out` — the inner block
+/// of `bnn_tensor::int::matmul_abt_i64_into`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are inconsistent with `k`/`n`.
+pub fn matmul_abt_i64(
+    backend: Backend,
+    a: &[i16],
+    bt: &[i16],
+    k: usize,
+    n: usize,
+    out: &mut [i64],
+) {
+    check_matmul(a, bt, k, n, out.len());
+    match backend.clamped() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamped` guarantees AVX2 was runtime-detected.
+        Backend::Avx2 => unsafe { x86::avx2::matmul_abt_i64(a, bt, k, n, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamped` guarantees SSE4.1 was runtime-detected.
+        Backend::Sse41 => unsafe { x86::sse41::matmul_abt_i64(a, bt, k, n, out) },
+        #[cfg(all(target_arch = "aarch64", target_feature = "neon"))]
+        // SAFETY: NEON is a baseline feature of this build target.
+        Backend::Neon => unsafe { neon::matmul_abt_i64(a, bt, k, n, out) },
+        _ => scalar::matmul_abt_i64(a, bt, k, n, out),
+    }
+}
+
+fn check_requant(acc_len: usize, out_len: usize, qmin: i64, qmax: i64) {
+    assert_eq!(acc_len, out_len, "simdkern requantize: length mismatch");
+    assert!(
+        qmin >= i16::MIN as i64 && qmax <= i16::MAX as i64 && qmin <= qmax,
+        "simdkern requantize: bounds must fit i16"
+    );
+}
+
+/// Requantizes one `i32` accumulator row:
+/// `out[i] = clamp(round_shift(acc[i] + bias, shift), qmin, qmax)` with
+/// round-to-nearest, ties away from zero — the per-output-channel
+/// constant-bias loop of the quantized conv step. `shift` is non-negative by
+/// construction (the caller keeps the rare scale-up case on its scalar
+/// path).
+///
+/// # Panics
+///
+/// Panics if lengths differ or `[qmin, qmax]` does not fit `i16`.
+pub fn requantize_i32_row(
+    backend: Backend,
+    acc: &[i32],
+    bias: i64,
+    shift: u32,
+    qmin: i64,
+    qmax: i64,
+    out: &mut [i16],
+) {
+    check_requant(acc.len(), out.len(), qmin, qmax);
+    match backend.clamped() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamped` guarantees AVX2 was runtime-detected.
+        Backend::Avx2 => unsafe {
+            x86::avx2::requantize_i32_row(acc, bias, shift, qmin, qmax, out)
+        },
+        _ => scalar::requantize_i32_row(acc, bias, shift, qmin, qmax, out),
+    }
+}
+
+/// [`requantize_i32_row`] for `i64` accumulators (the wide-format path).
+///
+/// # Panics
+///
+/// Panics if lengths differ or `[qmin, qmax]` does not fit `i16`.
+pub fn requantize_i64_row(
+    backend: Backend,
+    acc: &[i64],
+    bias: i64,
+    shift: u32,
+    qmin: i64,
+    qmax: i64,
+    out: &mut [i16],
+) {
+    check_requant(acc.len(), out.len(), qmin, qmax);
+    match backend.clamped() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamped` guarantees AVX2 was runtime-detected.
+        Backend::Avx2 => unsafe {
+            x86::avx2::requantize_i64_row(acc, bias, shift, qmin, qmax, out)
+        },
+        _ => scalar::requantize_i64_row(acc, bias, shift, qmin, qmax, out),
+    }
+}
+
+/// Requantizes one `i32` accumulator row with a per-element bias
+/// (`biases.len() == acc.len()`) — the dense-layer loop, where each output
+/// feature has its own bias.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `[qmin, qmax]` does not fit `i16`.
+pub fn requantize_i32_row_biased(
+    backend: Backend,
+    acc: &[i32],
+    biases: &[i64],
+    shift: u32,
+    qmin: i64,
+    qmax: i64,
+    out: &mut [i16],
+) {
+    check_requant(acc.len(), out.len(), qmin, qmax);
+    assert_eq!(
+        acc.len(),
+        biases.len(),
+        "simdkern requantize: bias length mismatch"
+    );
+    match backend.clamped() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamped` guarantees AVX2 was runtime-detected.
+        Backend::Avx2 => unsafe {
+            x86::avx2::requantize_i32_row_biased(acc, biases, shift, qmin, qmax, out)
+        },
+        _ => scalar::requantize_i32_row_biased(acc, biases, shift, qmin, qmax, out),
+    }
+}
+
+/// [`requantize_i32_row_biased`] for `i64` accumulators.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `[qmin, qmax]` does not fit `i16`.
+pub fn requantize_i64_row_biased(
+    backend: Backend,
+    acc: &[i64],
+    biases: &[i64],
+    shift: u32,
+    qmin: i64,
+    qmax: i64,
+    out: &mut [i16],
+) {
+    check_requant(acc.len(), out.len(), qmin, qmax);
+    assert_eq!(
+        acc.len(),
+        biases.len(),
+        "simdkern requantize: bias length mismatch"
+    );
+    match backend.clamped() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamped` guarantees AVX2 was runtime-detected.
+        Backend::Avx2 => unsafe {
+            x86::avx2::requantize_i64_row_biased(acc, biases, shift, qmin, qmax, out)
+        },
+        _ => scalar::requantize_i64_row_biased(acc, biases, shift, qmin, qmax, out),
+    }
+}
+
+/// Fills the transposed im2row layout (`cols x rows` patches, one contiguous
+/// `rows`-length patch per output position, padding taps zero) from an NCHW
+/// `i16` code tensor — the inner fill of `bnn_tensor::int::im2row_i16_into`.
+///
+/// The vector backends hoist the bounds checks out of the tap loop, splitting
+/// every `(channel, kernel-row)` segment into zero-filled padding and one
+/// contiguous in-bounds copy; the scalar backend is the naive per-tap
+/// reference. Identical output either way.
+///
+/// # Panics
+///
+/// Panics if `input` or `out` is inconsistent with the shape.
+pub fn im2row_i16(
+    backend: Backend,
+    input: &[i16],
+    batch: usize,
+    channels: usize,
+    shape: &ConvShape,
+    out: &mut [i16],
+) {
+    let rows = channels * shape.kernel_h * shape.kernel_w;
+    let cols = batch * shape.out_h * shape.out_w;
+    assert_eq!(
+        input.len(),
+        batch * channels * shape.in_h * shape.in_w,
+        "simdkern im2row: input length mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        rows * cols,
+        "simdkern im2row: output length mismatch"
+    );
+    match backend.clamped() {
+        Backend::Scalar => scalar::im2row_i16(input, batch, channels, shape, out),
+        // The hoisted fill is plain safe code shared by every vector
+        // backend; the only SIMD in it is the run copy, which the element
+        // loop lowers to the widest available moves. Hoisting only pays
+        // when the per-(channel, kernel-row) run is long enough to
+        // amortize the range-split bookkeeping; for the 3x5-tap kernel
+        // rows of typical convs the naive fill's predictable per-tap
+        // branch is cheaper, so short rows stay on the scalar reference
+        // (identical bits either way).
+        _ if shape.kernel_w >= HOISTED_IM2ROW_MIN_KERNEL_W => {
+            hoisted_im2row_i16(input, batch, channels, shape, out)
+        }
+        _ => scalar::im2row_i16(input, batch, channels, shape, out),
+    }
+}
+
+/// Minimum kernel-row width (in taps) before the branch-hoisted im2row fill
+/// beats the naive per-tap loop; below this the range-split bookkeeping
+/// costs more than the predictable bounds branches it removes.
+const HOISTED_IM2ROW_MIN_KERNEL_W: usize = 16;
+
+/// The branch-hoisted im2row fill used by every non-scalar backend: per
+/// `(patch, channel, kernel-row)` segment, the in-bounds tap range is
+/// computed once and copied contiguously, and the padding prefix/suffix is
+/// zero-filled — no per-tap bounds checks.
+fn hoisted_im2row_i16(
+    input: &[i16],
+    batch: usize,
+    channels: usize,
+    s: &ConvShape,
+    out: &mut [i16],
+) {
+    let rows = channels * s.kernel_h * s.kernel_w;
+    for b in 0..batch {
+        for oh in 0..s.out_h {
+            for ow in 0..s.out_w {
+                let col = (b * s.out_h + oh) * s.out_w + ow;
+                let patch = &mut out[col * rows..(col + 1) * rows];
+                // Horizontal tap range with an in-bounds input column:
+                // kw in [kw_lo, kw_hi) <=> 0 <= ow*stride_w + kw - pad_w < in_w.
+                let iw0 = (ow * s.stride_w) as isize - s.pad_w as isize;
+                let kw_lo = (-iw0).clamp(0, s.kernel_w as isize) as usize;
+                let kw_hi = (s.in_w as isize - iw0).clamp(0, s.kernel_w as isize) as usize;
+                for c in 0..channels {
+                    let in_plane = &input[(b * channels + c) * s.in_h * s.in_w
+                        ..(b * channels + c + 1) * s.in_h * s.in_w];
+                    for kh in 0..s.kernel_h {
+                        let seg_base = (c * s.kernel_h + kh) * s.kernel_w;
+                        let seg = &mut patch[seg_base..seg_base + s.kernel_w];
+                        let ih = (oh * s.stride_h + kh) as isize - s.pad_h as isize;
+                        if ih < 0 || ih as usize >= s.in_h || kw_lo >= kw_hi {
+                            for v in seg.iter_mut() {
+                                *v = 0;
+                            }
+                            continue;
+                        }
+                        let in_row = &in_plane[ih as usize * s.in_w..(ih as usize + 1) * s.in_w];
+                        let start = (iw0 + kw_lo as isize) as usize;
+                        // Explicit element loops: kernel rows are a handful of
+                        // elements, where `copy_from_slice`/`fill`'s memcpy /
+                        // memset call overhead costs more than the copy itself.
+                        for v in seg[..kw_lo].iter_mut() {
+                            *v = 0;
+                        }
+                        for (v, &x) in seg[kw_lo..kw_hi].iter_mut().zip(&in_row[start..]) {
+                            *v = x;
+                        }
+                        for v in seg[kw_hi..].iter_mut() {
+                            *v = 0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deterministic_codes(n: usize, seed: u64) -> Vec<i16> {
+        // SplitMix64, inlined to keep this crate dependency-free.
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                (z ^ (z >> 31)) as i16
+            })
+            .collect()
+    }
+
+    fn i8_range(codes: &[i16]) -> Vec<i16> {
+        codes.iter().map(|&v| (v as i8) as i16).collect()
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_name("sse41"), Some(Backend::Sse41));
+        assert_eq!(Backend::from_name("mmx"), None);
+    }
+
+    #[test]
+    fn select_honours_requests_and_falls_back() {
+        assert_eq!(select(Some("scalar")), Backend::Scalar);
+        assert_eq!(select(Some("definitely-not-a-backend")), Backend::Scalar);
+        assert_eq!(select(None), Backend::detect());
+        assert_eq!(select(Some("auto")), Backend::detect());
+        assert_eq!(select(Some(" auto ")), Backend::detect());
+        // Scalar is always available and always first in the listing.
+        assert_eq!(available()[0], Backend::Scalar);
+    }
+
+    #[test]
+    fn vector_matmuls_match_scalar_bitwise() {
+        for &(m, k, n) in &[
+            (1usize, 7usize, 1usize),
+            (3, 16, 5),
+            (8, 33, 9),
+            (13, 40, 17),
+        ] {
+            let a = i8_range(&deterministic_codes(m * k, 1));
+            let bt = i8_range(&deterministic_codes(n * k, 2));
+            let mut reference = vec![0i32; m * n];
+            scalar::matmul_wide_i32(&a, &bt, k, n, &mut reference);
+            let aw = deterministic_codes(m * k, 3);
+            let btw = deterministic_codes(n * k, 4);
+            let mut reference64 = vec![0i64; m * n];
+            scalar::matmul_abt_i64(&aw, &btw, k, n, &mut reference64);
+            for backend in available() {
+                let mut out = vec![0i32; m * n];
+                matmul_wide_i32(backend, &a, &bt, k, n, &mut out);
+                assert_eq!(out, reference, "wide_i32 {backend:?} {m}x{k}x{n}");
+                let mut out64 = vec![0i64; m * n];
+                matmul_abt_i64(backend, &aw, &btw, k, n, &mut out64);
+                assert_eq!(out64, reference64, "abt_i64 {backend:?} {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_requantize_matches_scalar_bitwise() {
+        let acc32: Vec<i32> = deterministic_codes(1031, 5)
+            .iter()
+            .map(|&v| v as i32 * 40503)
+            .collect();
+        let acc64: Vec<i64> = acc32.iter().map(|&v| v as i64 * 3037).collect();
+        let biases: Vec<i64> = deterministic_codes(1031, 6)
+            .iter()
+            .map(|&v| v as i64)
+            .collect();
+        for shift in [0u32, 1, 7, 13] {
+            for &(qmin, qmax) in &[
+                (-128i64, 127i64),
+                (-8, 7),
+                (i16::MIN as i64, i16::MAX as i64),
+            ] {
+                let mut reference = vec![0i16; acc32.len()];
+                scalar::requantize_i32_row(&acc32, -3, shift, qmin, qmax, &mut reference);
+                let mut ref64 = vec![0i16; acc64.len()];
+                scalar::requantize_i64_row(&acc64, 11, shift, qmin, qmax, &mut ref64);
+                let mut ref_biased = vec![0i16; acc32.len()];
+                scalar::requantize_i32_row_biased(
+                    &acc32,
+                    &biases,
+                    shift,
+                    qmin,
+                    qmax,
+                    &mut ref_biased,
+                );
+                let mut ref64_biased = vec![0i16; acc64.len()];
+                scalar::requantize_i64_row_biased(
+                    &acc64,
+                    &biases,
+                    shift,
+                    qmin,
+                    qmax,
+                    &mut ref64_biased,
+                );
+                for backend in available() {
+                    let mut out = vec![0i16; acc32.len()];
+                    requantize_i32_row(backend, &acc32, -3, shift, qmin, qmax, &mut out);
+                    assert_eq!(out, reference, "{backend:?} shift={shift}");
+                    requantize_i64_row(backend, &acc64, 11, shift, qmin, qmax, &mut out);
+                    assert_eq!(out, ref64, "{backend:?} shift={shift} i64");
+                    requantize_i32_row_biased(
+                        backend, &acc32, &biases, shift, qmin, qmax, &mut out,
+                    );
+                    assert_eq!(out, ref_biased, "{backend:?} shift={shift} biased");
+                    requantize_i64_row_biased(
+                        backend, &acc64, &biases, shift, qmin, qmax, &mut out,
+                    );
+                    assert_eq!(out, ref64_biased, "{backend:?} shift={shift} i64 biased");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn requantize_rounds_ties_away_from_zero() {
+        // Direct check of the branchless identity the vector path uses:
+        // (v + 2^(s-1) - [v < 0]) >> s  ==  round-to-nearest, ties away.
+        let acc: Vec<i32> = (-64..=64).collect();
+        let mut out = vec![0i16; acc.len()];
+        for backend in available() {
+            requantize_i32_row(backend, &acc, 0, 2, -1000, 1000, &mut out);
+            for (&v, &o) in acc.iter().zip(&out) {
+                let expected = (v as f64 / 4.0).round() as i64;
+                assert_eq!(o as i64, expected, "{backend:?} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn hoisted_im2row_matches_scalar_bitwise() {
+        for &(kernel, stride, pad) in &[(1usize, 1usize, 0usize), (3, 1, 1), (3, 2, 0), (5, 2, 2)] {
+            let (in_h, in_w) = (9usize, 7usize);
+            let out_h = (in_h + 2 * pad - kernel) / stride + 1;
+            let out_w = (in_w + 2 * pad - kernel) / stride + 1;
+            let shape = ConvShape {
+                in_h,
+                in_w,
+                kernel_h: kernel,
+                kernel_w: kernel,
+                stride_h: stride,
+                stride_w: stride,
+                pad_h: pad,
+                pad_w: pad,
+                out_h,
+                out_w,
+            };
+            let (batch, channels) = (2usize, 3usize);
+            let input = deterministic_codes(batch * channels * in_h * in_w, 7);
+            let rows = channels * kernel * kernel;
+            let cols = batch * out_h * out_w;
+            let mut reference = vec![0i16; rows * cols];
+            scalar::im2row_i16(&input, batch, channels, &shape, &mut reference);
+            let mut hoisted = vec![-1i16; rows * cols];
+            hoisted_im2row_i16(&input, batch, channels, &shape, &mut hoisted);
+            assert_eq!(hoisted, reference, "k={kernel} s={stride} p={pad}");
+        }
+    }
+}

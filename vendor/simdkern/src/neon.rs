@@ -1,0 +1,61 @@
+//! AArch64 NEON matmul kernels (requantize and im2row use the shared
+//! portable paths on this architecture).
+//!
+//! NEON is a baseline feature of the `aarch64` targets this module is
+//! compiled for (`target_feature = "neon"` in the gate), which is the safety
+//! argument for the `#[target_feature]` functions. The widening
+//! multiply-accumulate (`smlal`) and pairwise add-long (`sadalp`) paths are
+//! integer-exact under the same operand contracts as the x86 kernels, so
+//! results are bitwise equal to the scalar reference.
+
+use core::arch::aarch64::*;
+
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn matmul_wide_i32(a: &[i16], bt: &[i16], k: usize, n: usize, out: &mut [i32]) {
+    for (i, out_row) in out.chunks_exact_mut(n).enumerate() {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, bt_row) in bt.chunks_exact(k).enumerate() {
+            let mut acc = vdupq_n_s32(0);
+            let mut p = 0usize;
+            while p + 8 <= k {
+                // SAFETY: `p + 8 <= k` bounds the 8-lane loads.
+                let av = vld1q_s16(a_row.as_ptr().add(p));
+                let bv = vld1q_s16(bt_row.as_ptr().add(p));
+                acc = vmlal_s16(acc, vget_low_s16(av), vget_low_s16(bv));
+                acc = vmlal_s16(acc, vget_high_s16(av), vget_high_s16(bv));
+                p += 8;
+            }
+            let mut s = vaddvq_s32(acc);
+            for (&av, &bv) in a_row[p..].iter().zip(&bt_row[p..]) {
+                s += av as i32 * bv as i32;
+            }
+            out_row[j] = s;
+        }
+    }
+}
+
+#[target_feature(enable = "neon")]
+pub(crate) unsafe fn matmul_abt_i64(a: &[i16], bt: &[i16], k: usize, n: usize, out: &mut [i64]) {
+    for (i, out_row) in out.chunks_exact_mut(n).enumerate() {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, bt_row) in bt.chunks_exact(k).enumerate() {
+            let mut acc = vdupq_n_s64(0);
+            let mut p = 0usize;
+            while p + 8 <= k {
+                // SAFETY: `p + 8 <= k` bounds the 8-lane loads.
+                let av = vld1q_s16(a_row.as_ptr().add(p));
+                let bv = vld1q_s16(bt_row.as_ptr().add(p));
+                let lo = vmull_s16(vget_low_s16(av), vget_low_s16(bv));
+                let hi = vmull_s16(vget_high_s16(av), vget_high_s16(bv));
+                acc = vpadalq_s32(acc, lo);
+                acc = vpadalq_s32(acc, hi);
+                p += 8;
+            }
+            let mut s = vaddvq_s64(acc);
+            for (&av, &bv) in a_row[p..].iter().zip(&bt_row[p..]) {
+                s += av as i64 * bv as i64;
+            }
+            out_row[j] = s;
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Portable scalar implementations of every kernel — the fallback of the
+//! dispatch layer and the in-crate bit-exactness reference.
+//!
+//! These intentionally mirror the reference loops in `bnn_tensor::int`
+//! (which remain the workspace-level ground truth): the matmuls are plain
+//! ascending-index dot products — integer accumulation is exact, so the
+//! blocked/vectorized orders elsewhere produce the same bits — and the
+//! requantize loop is the two-branch round-shift + clamp.
+
+use crate::ConvShape;
+
+pub(crate) fn matmul_wide_i32(a: &[i16], bt: &[i16], k: usize, n: usize, out: &mut [i32]) {
+    for (i, out_row) in out.chunks_exact_mut(n).enumerate() {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let bt_row = &bt[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for (&av, &bv) in a_row.iter().zip(bt_row) {
+                acc += av as i32 * bv as i32;
+            }
+            *o = acc;
+        }
+    }
+}
+
+pub(crate) fn matmul_abt_i64(a: &[i16], bt: &[i16], k: usize, n: usize, out: &mut [i64]) {
+    for (i, out_row) in out.chunks_exact_mut(n).enumerate() {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let bt_row = &bt[j * k..(j + 1) * k];
+            let mut acc = 0i64;
+            for (&av, &bv) in a_row.iter().zip(bt_row) {
+                acc += av as i64 * bv as i64;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Round-to-nearest (ties away from zero) shift + clamp of one value — the
+/// same arithmetic as `bnn_tensor::int::requantize` for non-negative shifts.
+pub(crate) fn requantize_one(value: i64, shift: u32, qmin: i64, qmax: i64) -> i16 {
+    let scaled = if shift == 0 {
+        value
+    } else {
+        let bias = 1i64 << (shift - 1);
+        if value >= 0 {
+            (value + bias) >> shift
+        } else {
+            -((-value + bias) >> shift)
+        }
+    };
+    scaled.clamp(qmin, qmax) as i16
+}
+
+pub(crate) fn requantize_i32_row(
+    acc: &[i32],
+    bias: i64,
+    shift: u32,
+    qmin: i64,
+    qmax: i64,
+    out: &mut [i16],
+) {
+    for (o, &a) in out.iter_mut().zip(acc) {
+        *o = requantize_one(a as i64 + bias, shift, qmin, qmax);
+    }
+}
+
+pub(crate) fn requantize_i64_row(
+    acc: &[i64],
+    bias: i64,
+    shift: u32,
+    qmin: i64,
+    qmax: i64,
+    out: &mut [i16],
+) {
+    for (o, &a) in out.iter_mut().zip(acc) {
+        *o = requantize_one(a + bias, shift, qmin, qmax);
+    }
+}
+
+pub(crate) fn requantize_i32_row_biased(
+    acc: &[i32],
+    biases: &[i64],
+    shift: u32,
+    qmin: i64,
+    qmax: i64,
+    out: &mut [i16],
+) {
+    for ((o, &a), &b) in out.iter_mut().zip(acc).zip(biases) {
+        *o = requantize_one(a as i64 + b, shift, qmin, qmax);
+    }
+}
+
+pub(crate) fn requantize_i64_row_biased(
+    acc: &[i64],
+    biases: &[i64],
+    shift: u32,
+    qmin: i64,
+    qmax: i64,
+    out: &mut [i16],
+) {
+    for ((o, &a), &b) in out.iter_mut().zip(acc).zip(biases) {
+        *o = requantize_one(a + b, shift, qmin, qmax);
+    }
+}
+
+pub(crate) fn im2row_i16(
+    input: &[i16],
+    batch: usize,
+    channels: usize,
+    s: &ConvShape,
+    out: &mut [i16],
+) {
+    let rows = channels * s.kernel_h * s.kernel_w;
+    for b in 0..batch {
+        for oh in 0..s.out_h {
+            for ow in 0..s.out_w {
+                let col = (b * s.out_h + oh) * s.out_w + ow;
+                let patch = &mut out[col * rows..(col + 1) * rows];
+                let mut row = 0usize;
+                for c in 0..channels {
+                    for kh in 0..s.kernel_h {
+                        let ih = (oh * s.stride_h + kh) as isize - s.pad_h as isize;
+                        for kw in 0..s.kernel_w {
+                            let iw = (ow * s.stride_w + kw) as isize - s.pad_w as isize;
+                            patch[row] = if ih >= 0
+                                && iw >= 0
+                                && (ih as usize) < s.in_h
+                                && (iw as usize) < s.in_w
+                            {
+                                input[((b * channels + c) * s.in_h + ih as usize) * s.in_w
+                                    + iw as usize]
+                            } else {
+                                0
+                            };
+                            row += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

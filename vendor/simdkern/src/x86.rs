@@ -1,0 +1,515 @@
+//! x86-64 vector kernels: AVX2 (matmul + requantize) and SSE4.1 (matmul).
+//!
+//! Every function here is `#[target_feature]`-gated and therefore `unsafe`
+//! to call; the dispatch layer in `lib.rs` only enters them after clamping
+//! the requested backend against `is_x86_feature_detected!`, which is the
+//! safety argument for the feature gates. The remaining unsafe surface is
+//! unaligned vector loads/stores whose in-bounds-ness is established by the
+//! surrounding loop conditions (noted per loop, not per intrinsic).
+//!
+//! # Why these instruction selections are exact
+//!
+//! * `pmaddwd` (`_mm{,256}_madd_epi16`) multiplies `i16` pairs and adds the
+//!   two `i32` products; its only saturation case is both operand pairs at
+//!   `-2^15 * -2^15`, which the widened kernel's **i8-range contract** rules
+//!   out (|product| <= 2^14, pair sum <= 2^15). With `k < 2^17` each vector
+//!   lane accumulates at most `2^13` pair sums, staying below `2^28`; the
+//!   horizontal sum reproduces the exact dot product below `2^31`.
+//! * `pmuldq` (`_mm{,256}_mul_epi32`) sign-extends the low 32 bits of each
+//!   64-bit lane to an exact 64-bit product — full-range `i16` products fit
+//!   trivially after `pmovsxwd` widening.
+//! * The requantize round-shift uses the branchless identity
+//!   `round_shift(v, s) = (v + 2^(s-1) - [v < 0]) >> s` (arithmetic shift,
+//!   ties away from zero), with the arithmetic 64-bit shift emulated as a
+//!   logical shift OR a precomputed sign fill (AVX2 has no `vpsraq`), and
+//!   the `[qmin, qmax]` clamp emulated with `vpcmpgtq` + `vpblendvb` (AVX2
+//!   has no 64-bit min/max). All integer-exact, so bitwise equal to scalar.
+
+#![allow(clippy::missing_safety_doc)] // crate-internal; safety is documented at module level
+
+pub(crate) mod avx2 {
+    use core::arch::x86_64::*;
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epi32(v: __m256i) -> i32 {
+        let s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b00_00_11_10>(s));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b00_00_00_01>(s));
+        _mm_cvtsi128_si32(s)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epi64(v: __m256i) -> i64 {
+        let s = _mm_add_epi64(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
+        let s = _mm_add_epi64(s, _mm_unpackhi_epi64(s, s));
+        _mm_cvtsi128_si64(s)
+    }
+
+    /// The i8-range widened matmul block: mirrors the scalar kernel's
+    /// 8-row/4-row/fused-remainder register blocking, with the `k` loop
+    /// vectorized over 16 `i16` lanes via `pmaddwd`.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn matmul_wide_i32(
+        a: &[i16],
+        bt: &[i16],
+        k: usize,
+        n: usize,
+        out: &mut [i32],
+    ) {
+        let rows = out.len() / n;
+        let mut i = 0usize;
+        while i + 8 <= rows {
+            wide_i32_rows::<8>(a, bt, k, n, out, i, 8);
+            i += 8;
+        }
+        if i + 4 <= rows {
+            wide_i32_rows::<4>(a, bt, k, n, out, i, 4);
+            i += 4;
+        }
+        if i < rows {
+            let rem = rows - i;
+            wide_i32_rows::<3>(a, bt, k, n, out, i, rem);
+        }
+    }
+
+    /// One block of up to `R` output rows (`rem <= R` of them live), all
+    /// streamed against every `bt` row with per-row `i32` accumulators.
+    #[target_feature(enable = "avx2")]
+    unsafe fn wide_i32_rows<const R: usize>(
+        a: &[i16],
+        bt: &[i16],
+        k: usize,
+        n: usize,
+        out: &mut [i32],
+        i: usize,
+        rem: usize,
+    ) {
+        let ar: [&[i16]; R] = core::array::from_fn(|r| {
+            let row = i + r.min(rem - 1);
+            &a[row * k..(row + 1) * k]
+        });
+        for (j, bt_row) in bt.chunks_exact(k).enumerate() {
+            let mut acc = [_mm256_setzero_si256(); R];
+            let mut p = 0usize;
+            while p + 16 <= k {
+                // SAFETY: `p + 16 <= k` and every row slice has length `k`,
+                // so the 16-lane unaligned loads stay in bounds.
+                let bv = _mm256_loadu_si256(bt_row.as_ptr().add(p) as *const __m256i);
+                for (accr, row) in acc[..rem].iter_mut().zip(&ar) {
+                    let av = _mm256_loadu_si256(row.as_ptr().add(p) as *const __m256i);
+                    *accr = _mm256_add_epi32(*accr, _mm256_madd_epi16(av, bv));
+                }
+                p += 16;
+            }
+            for (r, (&accv, row)) in acc[..rem].iter().zip(&ar).enumerate() {
+                let mut s = hsum_epi32(accv);
+                for (&av, &bv) in row[p..].iter().zip(&bt_row[p..]) {
+                    s += av as i32 * bv as i32;
+                }
+                out[(i + r) * n + j] = s;
+            }
+        }
+    }
+
+    /// The full-range `i16` matmul block (`i64` accumulators): four-row
+    /// register blocking, `k` loop vectorized 8 lanes at a time with
+    /// `pmovsxwd` widening and even/odd `pmuldq` 64-bit products.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn matmul_abt_i64(
+        a: &[i16],
+        bt: &[i16],
+        k: usize,
+        n: usize,
+        out: &mut [i64],
+    ) {
+        let rows = out.len() / n;
+        let mut i = 0usize;
+        while i < rows {
+            let block = (rows - i).min(4);
+            let ar: [&[i16]; 4] = core::array::from_fn(|r| {
+                let row = i + r.min(block - 1);
+                &a[row * k..(row + 1) * k]
+            });
+            for (j, bt_row) in bt.chunks_exact(k).enumerate() {
+                let mut acc_e = [_mm256_setzero_si256(); 4];
+                let mut acc_o = [_mm256_setzero_si256(); 4];
+                let mut p = 0usize;
+                while p + 8 <= k {
+                    // SAFETY: `p + 8 <= k`; the 128-bit loads read 8 `i16`s
+                    // from slices of length `k`.
+                    let b128 = _mm_loadu_si128(bt_row.as_ptr().add(p) as *const __m128i);
+                    let bv = _mm256_cvtepi16_epi32(b128);
+                    let bh = _mm256_srli_epi64::<32>(bv);
+                    for ((acce, acco), row) in acc_e[..block].iter_mut().zip(&mut acc_o).zip(&ar) {
+                        let a128 = _mm_loadu_si128(row.as_ptr().add(p) as *const __m128i);
+                        let av = _mm256_cvtepi16_epi32(a128);
+                        *acce = _mm256_add_epi64(*acce, _mm256_mul_epi32(av, bv));
+                        *acco = _mm256_add_epi64(
+                            *acco,
+                            _mm256_mul_epi32(_mm256_srli_epi64::<32>(av), bh),
+                        );
+                    }
+                    p += 8;
+                }
+                for (r, ((&acce, &acco), row)) in
+                    acc_e[..block].iter().zip(&acc_o).zip(&ar).enumerate()
+                {
+                    let mut s = hsum_epi64(_mm256_add_epi64(acce, acco));
+                    for (&av, &bv) in row[p..].iter().zip(&bt_row[p..]) {
+                        s += av as i64 * bv as i64;
+                    }
+                    out[(i + r) * n + j] = s;
+                }
+            }
+            i += block;
+        }
+    }
+
+    /// Precomputed vector constants of one requantize row: rounding bias,
+    /// arithmetic-shift sign fill, shift count and clamp bounds.
+    #[derive(Clone, Copy)]
+    struct Requant {
+        round: __m256i,
+        fill: __m256i,
+        cnt: __m128i,
+        qmin: __m256i,
+        qmax: __m256i,
+        shifting: bool,
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn requant_consts(shift: u32, qmin: i64, qmax: i64) -> Requant {
+        let shifting = shift > 0;
+        Requant {
+            round: _mm256_set1_epi64x(if shifting { 1i64 << (shift - 1) } else { 0 }),
+            fill: _mm256_set1_epi64x(if shifting {
+                ((!0u64) << (64 - shift)) as i64
+            } else {
+                0
+            }),
+            cnt: _mm_cvtsi64_si128(shift as i64),
+            qmin: _mm256_set1_epi64x(qmin),
+            qmax: _mm256_set1_epi64x(qmax),
+            shifting,
+        }
+    }
+
+    /// `clamp(round_shift(v, s), qmin, qmax)` on four `i64` lanes, via the
+    /// branchless ties-away identity `(v + 2^(s-1) - [v < 0]) >> s` (module
+    /// docs); the arithmetic shift is a logical shift OR sign fill.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn requant_quad(c: Requant, v: __m256i) -> __m256i {
+        let zero = _mm256_setzero_si256();
+        let shifted = if c.shifting {
+            let neg = _mm256_cmpgt_epi64(zero, v);
+            let t = _mm256_add_epi64(v, _mm256_add_epi64(c.round, neg));
+            let tneg = _mm256_cmpgt_epi64(zero, t);
+            _mm256_or_si256(_mm256_srl_epi64(t, c.cnt), _mm256_and_si256(tneg, c.fill))
+        } else {
+            v
+        };
+        let over = _mm256_cmpgt_epi64(shifted, c.qmax);
+        let s = _mm256_blendv_epi8(shifted, c.qmax, over);
+        let under = _mm256_cmpgt_epi64(c.qmin, s);
+        _mm256_blendv_epi8(s, c.qmin, under)
+    }
+
+    /// Narrows two quads of already-clamped `i64` lanes into eight `i16`
+    /// codes. The saturating pack is value-preserving: inputs were clamped
+    /// into `[qmin, qmax] ⊆ i16`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn pack_store8(dst: *mut i16, a: __m256i, b: __m256i) {
+        let idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+        let pa = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(a, idx));
+        let pb = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(b, idx));
+        // SAFETY: the caller guarantees `dst` points at >= 8 writable i16s.
+        _mm_storeu_si128(dst as *mut __m128i, _mm_packs_epi32(pa, pb));
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn requantize_i32_row(
+        acc: &[i32],
+        bias: i64,
+        shift: u32,
+        qmin: i64,
+        qmax: i64,
+        out: &mut [i16],
+    ) {
+        if shift >= 63 {
+            // Degenerate shift: the sign-fill precompute would overflow.
+            return crate::scalar::requantize_i32_row(acc, bias, shift, qmin, qmax, out);
+        }
+        let c = requant_consts(shift, qmin, qmax);
+        let biasv = _mm256_set1_epi64x(bias);
+        let len = acc.len();
+        let mut p = 0usize;
+        while p + 8 <= len {
+            // SAFETY: `p + 8 <= len == out.len()` (checked by the dispatch
+            // layer), covering the 8-lane load and the 8-code store.
+            let v32 = _mm256_loadu_si256(acc.as_ptr().add(p) as *const __m256i);
+            let lo = _mm256_add_epi64(_mm256_cvtepi32_epi64(_mm256_castsi256_si128(v32)), biasv);
+            let hi = _mm256_add_epi64(
+                _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(v32)),
+                biasv,
+            );
+            pack_store8(
+                out.as_mut_ptr().add(p),
+                requant_quad(c, lo),
+                requant_quad(c, hi),
+            );
+            p += 8;
+        }
+        crate::scalar::requantize_i32_row(&acc[p..], bias, shift, qmin, qmax, &mut out[p..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn requantize_i64_row(
+        acc: &[i64],
+        bias: i64,
+        shift: u32,
+        qmin: i64,
+        qmax: i64,
+        out: &mut [i16],
+    ) {
+        if shift >= 63 {
+            return crate::scalar::requantize_i64_row(acc, bias, shift, qmin, qmax, out);
+        }
+        let c = requant_consts(shift, qmin, qmax);
+        let biasv = _mm256_set1_epi64x(bias);
+        let len = acc.len();
+        let mut p = 0usize;
+        while p + 8 <= len {
+            // SAFETY: `p + 8 <= len == out.len()`, covering both 4-lane
+            // loads and the 8-code store.
+            let lo = _mm256_add_epi64(
+                _mm256_loadu_si256(acc.as_ptr().add(p) as *const __m256i),
+                biasv,
+            );
+            let hi = _mm256_add_epi64(
+                _mm256_loadu_si256(acc.as_ptr().add(p + 4) as *const __m256i),
+                biasv,
+            );
+            pack_store8(
+                out.as_mut_ptr().add(p),
+                requant_quad(c, lo),
+                requant_quad(c, hi),
+            );
+            p += 8;
+        }
+        crate::scalar::requantize_i64_row(&acc[p..], bias, shift, qmin, qmax, &mut out[p..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn requantize_i32_row_biased(
+        acc: &[i32],
+        biases: &[i64],
+        shift: u32,
+        qmin: i64,
+        qmax: i64,
+        out: &mut [i16],
+    ) {
+        if shift >= 63 {
+            return crate::scalar::requantize_i32_row_biased(acc, biases, shift, qmin, qmax, out);
+        }
+        let c = requant_consts(shift, qmin, qmax);
+        let len = acc.len();
+        let mut p = 0usize;
+        while p + 8 <= len {
+            // SAFETY: `p + 8 <= len`, and `biases`/`out` have length `len`
+            // (checked by the dispatch layer).
+            let v32 = _mm256_loadu_si256(acc.as_ptr().add(p) as *const __m256i);
+            let blo = _mm256_loadu_si256(biases.as_ptr().add(p) as *const __m256i);
+            let bhi = _mm256_loadu_si256(biases.as_ptr().add(p + 4) as *const __m256i);
+            let lo = _mm256_add_epi64(_mm256_cvtepi32_epi64(_mm256_castsi256_si128(v32)), blo);
+            let hi = _mm256_add_epi64(
+                _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(v32)),
+                bhi,
+            );
+            pack_store8(
+                out.as_mut_ptr().add(p),
+                requant_quad(c, lo),
+                requant_quad(c, hi),
+            );
+            p += 8;
+        }
+        crate::scalar::requantize_i32_row_biased(
+            &acc[p..],
+            &biases[p..],
+            shift,
+            qmin,
+            qmax,
+            &mut out[p..],
+        );
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn requantize_i64_row_biased(
+        acc: &[i64],
+        biases: &[i64],
+        shift: u32,
+        qmin: i64,
+        qmax: i64,
+        out: &mut [i16],
+    ) {
+        if shift >= 63 {
+            return crate::scalar::requantize_i64_row_biased(acc, biases, shift, qmin, qmax, out);
+        }
+        let c = requant_consts(shift, qmin, qmax);
+        let len = acc.len();
+        let mut p = 0usize;
+        while p + 8 <= len {
+            // SAFETY: `p + 8 <= len`, and `biases`/`out` have length `len`.
+            let lo = _mm256_add_epi64(
+                _mm256_loadu_si256(acc.as_ptr().add(p) as *const __m256i),
+                _mm256_loadu_si256(biases.as_ptr().add(p) as *const __m256i),
+            );
+            let hi = _mm256_add_epi64(
+                _mm256_loadu_si256(acc.as_ptr().add(p + 4) as *const __m256i),
+                _mm256_loadu_si256(biases.as_ptr().add(p + 4) as *const __m256i),
+            );
+            pack_store8(
+                out.as_mut_ptr().add(p),
+                requant_quad(c, lo),
+                requant_quad(c, hi),
+            );
+            p += 8;
+        }
+        crate::scalar::requantize_i64_row_biased(
+            &acc[p..],
+            &biases[p..],
+            shift,
+            qmin,
+            qmax,
+            &mut out[p..],
+        );
+    }
+}
+
+pub(crate) mod sse41 {
+    use core::arch::x86_64::*;
+
+    #[inline]
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn hsum_epi32(v: __m128i) -> i32 {
+        let s = _mm_add_epi32(v, _mm_shuffle_epi32::<0b00_00_11_10>(v));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b00_00_00_01>(s));
+        _mm_cvtsi128_si32(s)
+    }
+
+    /// The i8-range widened matmul block on 128-bit vectors (`pmaddwd` over
+    /// 8 `i16` lanes), same 8/4/fused-remainder blocking as AVX2.
+    #[target_feature(enable = "sse4.1")]
+    pub(crate) unsafe fn matmul_wide_i32(
+        a: &[i16],
+        bt: &[i16],
+        k: usize,
+        n: usize,
+        out: &mut [i32],
+    ) {
+        let rows = out.len() / n;
+        let mut i = 0usize;
+        while i + 8 <= rows {
+            wide_i32_rows::<8>(a, bt, k, n, out, i, 8);
+            i += 8;
+        }
+        if i + 4 <= rows {
+            wide_i32_rows::<4>(a, bt, k, n, out, i, 4);
+            i += 4;
+        }
+        if i < rows {
+            let rem = rows - i;
+            wide_i32_rows::<3>(a, bt, k, n, out, i, rem);
+        }
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn wide_i32_rows<const R: usize>(
+        a: &[i16],
+        bt: &[i16],
+        k: usize,
+        n: usize,
+        out: &mut [i32],
+        i: usize,
+        rem: usize,
+    ) {
+        let ar: [&[i16]; R] = core::array::from_fn(|r| {
+            let row = i + r.min(rem - 1);
+            &a[row * k..(row + 1) * k]
+        });
+        for (j, bt_row) in bt.chunks_exact(k).enumerate() {
+            let mut acc = [_mm_setzero_si128(); R];
+            let mut p = 0usize;
+            while p + 8 <= k {
+                // SAFETY: `p + 8 <= k` bounds the 8-lane loads.
+                let bv = _mm_loadu_si128(bt_row.as_ptr().add(p) as *const __m128i);
+                for (accr, row) in acc[..rem].iter_mut().zip(&ar) {
+                    let av = _mm_loadu_si128(row.as_ptr().add(p) as *const __m128i);
+                    *accr = _mm_add_epi32(*accr, _mm_madd_epi16(av, bv));
+                }
+                p += 8;
+            }
+            for (r, (&accv, row)) in acc[..rem].iter().zip(&ar).enumerate() {
+                let mut s = hsum_epi32(accv);
+                for (&av, &bv) in row[p..].iter().zip(&bt_row[p..]) {
+                    s += av as i32 * bv as i32;
+                }
+                out[(i + r) * n + j] = s;
+            }
+        }
+    }
+
+    /// The full-range `i16` matmul block: 4 `i16`s widened per step
+    /// (`pmovsxwd`), even/odd `pmuldq` products into two 2-lane `i64`
+    /// accumulators, four-row blocking.
+    #[target_feature(enable = "sse4.1")]
+    pub(crate) unsafe fn matmul_abt_i64(
+        a: &[i16],
+        bt: &[i16],
+        k: usize,
+        n: usize,
+        out: &mut [i64],
+    ) {
+        let rows = out.len() / n;
+        let mut i = 0usize;
+        while i < rows {
+            let block = (rows - i).min(4);
+            let ar: [&[i16]; 4] = core::array::from_fn(|r| {
+                let row = i + r.min(block - 1);
+                &a[row * k..(row + 1) * k]
+            });
+            for (j, bt_row) in bt.chunks_exact(k).enumerate() {
+                let mut acc_e = [_mm_setzero_si128(); 4];
+                let mut acc_o = [_mm_setzero_si128(); 4];
+                let mut p = 0usize;
+                while p + 4 <= k {
+                    // SAFETY: `p + 4 <= k` bounds the 64-bit (4 x i16) loads.
+                    let b64 = _mm_loadl_epi64(bt_row.as_ptr().add(p) as *const __m128i);
+                    let bv = _mm_cvtepi16_epi32(b64);
+                    let bh = _mm_srli_epi64::<32>(bv);
+                    for ((acce, acco), row) in acc_e[..block].iter_mut().zip(&mut acc_o).zip(&ar) {
+                        let a64 = _mm_loadl_epi64(row.as_ptr().add(p) as *const __m128i);
+                        let av = _mm_cvtepi16_epi32(a64);
+                        *acce = _mm_add_epi64(*acce, _mm_mul_epi32(av, bv));
+                        *acco = _mm_add_epi64(*acco, _mm_mul_epi32(_mm_srli_epi64::<32>(av), bh));
+                    }
+                    p += 4;
+                }
+                for (r, ((&acce, &acco), row)) in
+                    acc_e[..block].iter().zip(&acc_o).zip(&ar).enumerate()
+                {
+                    let t = _mm_add_epi64(acce, acco);
+                    let mut s = _mm_cvtsi128_si64(_mm_add_epi64(t, _mm_unpackhi_epi64(t, t)));
+                    for (&av, &bv) in row[p..].iter().zip(&bt_row[p..]) {
+                        s += av as i64 * bv as i64;
+                    }
+                    out[(i + r) * n + j] = s;
+                }
+            }
+            i += block;
+        }
+    }
+}
