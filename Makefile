@@ -11,6 +11,10 @@
 #                     results as BENCH_kernels.json / BENCH_phases.json
 #   make test-plans - allocation-audit + planned-vs-unplanned parity suites,
 #                     under BNN_THREADS=1 and 4
+#   make test-serving - serving smoke + determinism suites, under
+#                     BNN_THREADS=1 and 4
+#   make bench-serving - replay the serving harness and record the results
+#                     as BENCH_serving.json
 #   make lint       - rustfmt check + clippy with warnings denied
 #   make doc        - rustdoc with warnings denied
 #   make ci         - everything the merge gate runs
@@ -22,7 +26,7 @@ CARGO ?= cargo
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test test-doc test-st test-scalar test-plans bench bench-build bench-quant bench-save lint fmt doc clean ci
+.PHONY: all build test test-doc test-st test-scalar test-plans test-serving bench bench-build bench-quant bench-save bench-serving lint fmt doc clean ci
 
 all: build
 
@@ -55,6 +59,14 @@ test-plans:
 	BNN_THREADS=1 $(CARGO) test -q --test allocation_audit --test planned_parity --test simd_parity
 	BNN_THREADS=4 $(CARGO) test -q --test allocation_audit --test planned_parity --test simd_parity
 
+# The serving-layer guarantees at both ends of the thread-count range: every
+# replayed request delivered and bit-exact with direct plan calls, outputs
+# invariant to batch boundaries and worker counts, and cache invalidation
+# safe under concurrent mutation.
+test-serving:
+	BNN_THREADS=1 $(CARGO) test -q --test serving_smoke --test serving_determinism
+	BNN_THREADS=4 $(CARGO) test -q --test serving_smoke --test serving_determinism
+
 bench:
 	$(CARGO) bench -p bnn-bench
 
@@ -76,6 +88,12 @@ bench-save:
 	$(CARGO) bench -p bnn-bench --bench framework_phases \
 		| $(CARGO) run --release -q -p bnn-bench --bin bench_save -- BENCH_phases.json
 
+# Replay seeded open-loop traffic against the dynamic-batching server (two
+# batching configs on the LeNet-5 8-bit plan) and record requests/sec,
+# p50/p99 latency and batch occupancy as machine-readable JSON.
+bench-serving:
+	$(CARGO) run --release -p bnn-bench --bin bench_serving -- BENCH_serving.json
+
 lint:
 	$(CARGO) fmt --check
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
@@ -89,4 +107,4 @@ doc:
 clean:
 	$(CARGO) clean
 
-ci: lint build test test-doc test-st test-scalar test-plans bench-build doc
+ci: lint build test test-doc test-st test-scalar test-plans test-serving bench-build doc

@@ -9,87 +9,14 @@
 //!     | cargo run --release -p bnn-bench --bin bench_save -- BENCH_kernels.json
 //! ```
 //!
-//! Every input line is echoed to stderr (so the run stays observable) and
-//! lines of the form
-//!
-//! ```text
-//! group/id    median 772.23 µs   mean 781.10 µs   min 765.00 µs   (20 samples x 1 iters)
-//! ```
-//!
-//! become `{"id", "median_ns", "mean_ns", "min_ns", "samples",
-//! "iters_per_sample"}` entries.
+//! Every input line is echoed to stderr (so the run stays observable);
+//! benchmark lines become `{"id", "median_ns", "mean_ns", "min_ns",
+//! "samples", "iters_per_sample"}` entries. The parsing and rendering live
+//! in [`bnn_bench::save`], shared with the serving harness
+//! (`bench_serving`).
 
+use bnn_bench::save::{json_str, parse_criterion_line, render_report};
 use std::io::BufRead;
-
-/// One parsed benchmark line.
-struct Entry {
-    id: String,
-    median_ns: f64,
-    mean_ns: f64,
-    min_ns: f64,
-    samples: u64,
-    iters_per_sample: u64,
-}
-
-/// Converts a `(value, unit)` duration token pair to nanoseconds.
-fn to_ns(value: f64, unit: &str) -> Option<f64> {
-    let scale = match unit {
-        "ns" => 1.0,
-        "µs" | "us" => 1e3,
-        "ms" => 1e6,
-        "s" => 1e9,
-        _ => return None,
-    };
-    Some(value * scale)
-}
-
-/// Parses one vendored-criterion report line, if it is a benchmark line.
-fn parse_line(line: &str) -> Option<Entry> {
-    let tokens: Vec<&str> = line.split_whitespace().collect();
-    // id median V U mean V U min V U (N samples x K iters)
-    if tokens.len() != 15 || tokens[1] != "median" || tokens[4] != "mean" || tokens[7] != "min" {
-        return None;
-    }
-    let duration = |value_idx: usize| -> Option<f64> {
-        to_ns(
-            tokens[value_idx].parse::<f64>().ok()?,
-            tokens[value_idx + 1],
-        )
-    };
-    Some(Entry {
-        id: tokens[0].to_string(),
-        median_ns: duration(2)?,
-        mean_ns: duration(5)?,
-        min_ns: duration(8)?,
-        samples: tokens[10].strip_prefix('(')?.parse().ok()?,
-        iters_per_sample: tokens[13].parse().ok()?,
-    })
-}
-
-/// Serialises entries as JSON (no external dependencies: the shape is flat).
-/// `backend` records the SIMD backend the integer kernels dispatched to —
-/// bench_save runs in the same environment as the bench it parses (same
-/// host, same `BNN_SIMD`), so its own resolution is the run's provenance.
-fn to_json(entries: &[Entry], backend: &str) -> String {
-    let mut out = format!(
-        "{{\n  \"generated_by\": \"make bench-save\",\n  \"backend\": \"{backend}\",\n  \"entries\": [\n"
-    );
-    for (i, e) in entries.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
-             \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
-            e.id.replace('"', "\\\""),
-            e.median_ns,
-            e.mean_ns,
-            e.min_ns,
-            e.samples,
-            e.iters_per_sample,
-            if i + 1 < entries.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target = std::env::args()
@@ -100,61 +27,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in stdin.lock().lines() {
         let line = line?;
         eprintln!("{line}");
-        if let Some(entry) = parse_line(&line) {
-            entries.push(entry);
+        if let Some(entry) = parse_criterion_line(&line) {
+            entries.push(entry.to_json());
         }
     }
     if entries.is_empty() {
         return Err("no benchmark lines found on stdin (did the bench run?)".into());
     }
-    std::fs::write(
-        &target,
-        to_json(&entries, bnn_tensor::simd::active_backend().name()),
-    )?;
+    // bench_save runs in the same environment as the bench it parses (same
+    // host, same BNN_SIMD), so its own backend resolution is the run's
+    // provenance.
+    let json = render_report(
+        &[
+            ("generated_by", json_str("make bench-save")),
+            (
+                "backend",
+                json_str(bnn_tensor::simd::active_backend().name()),
+            ),
+        ],
+        "entries",
+        &entries,
+    );
+    std::fs::write(&target, json)?;
     eprintln!("bench_save: wrote {} entrie(s) to {target}", entries.len());
     Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const SAMPLE: &str = "kernels/conv2d_forward_4x16x16x16                median  772.23 µs   \
-                          mean  781.10 µs   min  765.00 µs   (20 samples x 1 iters)";
-
-    #[test]
-    fn parses_report_line() {
-        let entry = parse_line(SAMPLE).expect("line parses");
-        assert_eq!(entry.id, "kernels/conv2d_forward_4x16x16x16");
-        assert!((entry.median_ns - 772_230.0).abs() < 0.5);
-        assert!((entry.mean_ns - 781_100.0).abs() < 0.5);
-        assert!((entry.min_ns - 765_000.0).abs() < 0.5);
-        assert_eq!(entry.samples, 20);
-        assert_eq!(entry.iters_per_sample, 1);
-    }
-
-    #[test]
-    fn ignores_non_benchmark_lines() {
-        assert!(parse_line("").is_none());
-        assert!(parse_line("running 3 benches").is_none());
-        assert!(parse_line("kernels/x (no samples collected)").is_none());
-    }
-
-    #[test]
-    fn unit_conversion() {
-        assert_eq!(to_ns(1.5, "ms"), Some(1_500_000.0));
-        assert_eq!(to_ns(2.0, "s"), Some(2e9));
-        assert_eq!(to_ns(3.0, "ns"), Some(3.0));
-        assert_eq!(to_ns(3.0, "fortnights"), None);
-    }
-
-    #[test]
-    fn json_shape_round_trips_key_fields() {
-        let entries = vec![parse_line(SAMPLE).unwrap()];
-        let json = to_json(&entries, "avx2");
-        assert!(json.contains("\"id\": \"kernels/conv2d_forward_4x16x16x16\""));
-        assert!(json.contains("\"median_ns\": 772230.0"));
-        assert!(json.contains("\"entries\": ["));
-        assert!(json.contains("\"backend\": \"avx2\""));
-    }
 }

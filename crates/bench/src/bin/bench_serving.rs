@@ -1,0 +1,202 @@
+//! The serving replay harness behind `make bench-serving`: drives seeded
+//! open-loop synthetic load against the dynamic-batching server on the
+//! LeNet-5 8-bit integer plan and records requests/sec, p50/p99 latency and
+//! mean batch occupancy into `BENCH_serving.json`.
+//!
+//! ```text
+//! cargo run --release -p bnn-bench --bin bench_serving -- BENCH_serving.json
+//! ```
+//!
+//! Two batching configs are measured on identical request streams:
+//! latency-biased (small batches, short deadline) and throughput-biased
+//! (large batches, long deadline). The offered rate is sized from a quick
+//! single-sample service-time estimate, so the comparison stays in the
+//! regime where the batching policy matters (neither idle nor saturated).
+//! Response contents are deterministic (batch-boundary-invariant engine,
+//! fixed seeds); the recorded latencies are wall-clock measurements.
+
+use bnn_bench::save::{json_str, render_report};
+use bnn_data::{DatasetSpec, SyntheticConfig};
+use bnn_models::{zoo, ModelConfig};
+use bnn_quant::{CalibratedNetwork, FixedPointFormat, QuantPlan};
+use bnn_serve::replay::{replay, ReplayConfig};
+use bnn_serve::{BatchEngine, InferenceServer, QuantEngine, ServerConfig};
+use bnn_tensor::exec::Executor;
+use std::time::{Duration, Instant};
+
+/// MC samples per prediction (matches the kernels bench).
+const MC_SAMPLES: usize = 8;
+/// Master seed every request is evaluated under.
+const MC_SEED: u64 = 2023;
+/// Requests per batching config.
+const REQUESTS: usize = 1200;
+
+/// Duration in nanoseconds, for JSON.
+fn ns(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e9
+}
+
+/// The single-sample request pool the replay cycles through.
+type RequestPool = Vec<Vec<f32>>;
+
+/// The LeNet-5 plan of the kernels bench: MNIST-like at 12x12, width/4,
+/// exits after every block with MC-dropout 0.25, quantized at 8 bits.
+fn build_plan() -> Result<(QuantPlan, RequestPool), Box<dyn std::error::Error>> {
+    let spec = zoo::lenet5(
+        &ModelConfig::mnist()
+            .with_resolution(12, 12)
+            .with_width_divisor(4),
+    )
+    .with_exits_after_every_block()?
+    .with_exit_mcd(0.25)?;
+    let net = spec.build(7)?;
+    let data = SyntheticConfig::new(DatasetSpec::new("mnist-12", 1, 12, 12, 10))
+        .with_samples(16, 64)
+        .generate(3)?;
+    let calibrated = CalibratedNetwork::calibrate(&net, data.train.inputs())?;
+    let mut plan = calibrated.plan(FixedPointFormat::new(8, 3)?)?;
+    // Workers run strictly allocation-free on their own thread each.
+    plan.set_executor(Executor::sequential());
+    let per: usize = plan.in_dims().iter().product();
+    let pool: Vec<Vec<f32>> = data
+        .test
+        .inputs()
+        .as_slice()
+        .chunks_exact(per)
+        .map(|c| c.to_vec())
+        .collect();
+    Ok((plan, pool))
+}
+
+/// Mean single-sample service time of the engine (warm arena).
+fn estimate_service_time(engine: &QuantEngine, pool: &[Vec<f32>]) -> Duration {
+    let mut engine = engine.clone();
+    engine.ensure_batch(1);
+    let per = pool[0].len();
+    let mut out = Vec::new();
+    let reps = 32usize;
+    // Warm-up pass, then the timed passes.
+    for phase in 0..2 {
+        let start = Instant::now();
+        for i in 0..reps {
+            let t = bnn_tensor::Tensor::from_vec(pool[i % pool.len()].clone(), &[1, 1, 12, 12])
+                .expect("pool samples are well-formed");
+            assert_eq!(t.len(), per);
+            engine
+                .predict_batch_into(&t, MC_SAMPLES, MC_SEED, &mut out)
+                .expect("estimate predict");
+        }
+        if phase == 1 {
+            return start.elapsed() / reps as u32;
+        }
+    }
+    unreachable!()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serving.json".into());
+    let (plan, pool) = build_plan()?;
+    let prototype = QuantEngine::new(plan);
+
+    let workers = Executor::global().threads().clamp(1, 4);
+    let service = estimate_service_time(&prototype, &pool);
+    // Offer ~40% of the pool's aggregate single-sample capacity: enough load
+    // that the batcher actually batches, below the open-loop saturation
+    // point where every queue grows without bound (the driver and collector
+    // threads share cores with the workers, so headroom matters).
+    let rate = 0.4 * workers as f64 / service.as_secs_f64().max(1e-9);
+    eprintln!(
+        "bench_serving: {workers} workers, single-sample service {:.1} us, offering {:.0} rps",
+        service.as_secs_f64() * 1e6,
+        rate
+    );
+
+    let configs = [
+        (
+            "latency_biased",
+            ServerConfig {
+                workers,
+                max_batch: 4,
+                max_delay: Duration::from_micros(200),
+                mc_samples: MC_SAMPLES,
+                seed: MC_SEED,
+            },
+        ),
+        (
+            "throughput_biased",
+            ServerConfig {
+                workers,
+                max_batch: 32,
+                max_delay: Duration::from_millis(2),
+                mc_samples: MC_SAMPLES,
+                seed: MC_SEED,
+            },
+        ),
+    ];
+
+    let mut entries = Vec::new();
+    for (id, config) in configs {
+        let server = InferenceServer::start(Box::new(prototype.clone()), config.clone())?;
+        let outcome = replay(
+            &server,
+            &pool,
+            &ReplayConfig {
+                requests: REQUESTS,
+                rate_per_sec: rate,
+                seed: 7,
+            },
+        )?;
+        let stats = server.shutdown();
+        let r = &outcome.report;
+        eprintln!(
+            "bench_serving: {id}: {:.0} rps, p50 {:.1} us, p99 {:.1} us, occupancy {:.2}",
+            r.throughput_rps,
+            r.p50_latency.as_secs_f64() * 1e6,
+            r.p99_latency.as_secs_f64() * 1e6,
+            stats.mean_occupancy()
+        );
+        entries.push(format!(
+            "{{\"id\": \"{id}\", \"requests\": {}, \"offered_rps\": {:.1}, \
+             \"throughput_rps\": {:.1}, \"mean_ns\": {:.1}, \"p50_ns\": {:.1}, \
+             \"p99_ns\": {:.1}, \"mean_batch_occupancy\": {:.3}, \
+             \"max_batch_seen\": {}, \"max_batch\": {}, \"max_delay_us\": {}, \
+             \"workers\": {}}}",
+            r.requests,
+            rate,
+            r.throughput_rps,
+            ns(r.mean_latency),
+            ns(r.p50_latency),
+            ns(r.p99_latency),
+            stats.mean_occupancy(),
+            stats.max_batch_seen,
+            config.max_batch,
+            config.max_delay.as_micros(),
+            config.workers,
+        ));
+    }
+
+    let json = render_report(
+        &[
+            ("generated_by", json_str("make bench-serving")),
+            (
+                "backend",
+                json_str(bnn_tensor::simd::active_backend().name()),
+            ),
+            ("threads", workers.to_string()),
+            ("model", json_str("lenet5-mnist-12x12-div4-2exit-mcd0.25")),
+            ("format", json_str("8.3")),
+            ("mc_samples", MC_SAMPLES.to_string()),
+            ("single_sample_service_ns", format!("{:.1}", ns(service))),
+        ],
+        "entries",
+        &entries,
+    );
+    std::fs::write(&target, json)?;
+    eprintln!(
+        "bench_serving: wrote {} config(s) to {target}",
+        entries.len()
+    );
+    Ok(())
+}

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod save;
 pub mod table;
 
 pub use table::TextTable;

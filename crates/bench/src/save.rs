@@ -1,0 +1,182 @@
+//! Machine-readable benchmark records (`BENCH_*.json`): the shared JSON
+//! machinery behind `make bench-save` (criterion-report parsing) and
+//! `make bench-serving` (the serving replay harness).
+//!
+//! The workspace has no JSON dependency and the shapes are flat, so records
+//! are rendered by hand: a header of provenance fields (`generated_by`, the
+//! SIMD `backend`, ...) followed by one array of flat entry objects. Keeping
+//! the renderer here means every `BENCH_*.json` stays structurally identical
+//! and diffable across PRs.
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `s` as a JSON string literal (quoted and escaped).
+pub fn json_str(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Renders a flat `BENCH_*.json` report: `header` fields in order (values
+/// must already be valid JSON — use [`json_str`] for strings), then
+/// `entries_key` holding one pre-rendered object per line.
+pub fn render_report(header: &[(&str, String)], entries_key: &str, entries: &[String]) -> String {
+    let mut out = String::from("{\n");
+    for (key, value) in header {
+        out.push_str(&format!("  \"{key}\": {value},\n"));
+    }
+    out.push_str(&format!("  \"{entries_key}\": [\n"));
+    for (i, entry) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {entry}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One parsed vendored-criterion benchmark line.
+pub struct CriterionEntry {
+    /// The `group/id` benchmark identifier.
+    pub id: String,
+    /// Median duration in nanoseconds.
+    pub median_ns: f64,
+    /// Mean duration in nanoseconds.
+    pub mean_ns: f64,
+    /// Minimum duration in nanoseconds.
+    pub min_ns: f64,
+    /// Number of measurement samples.
+    pub samples: u64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+impl CriterionEntry {
+    /// Renders this entry as one flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+            escape(&self.id),
+            self.median_ns,
+            self.mean_ns,
+            self.min_ns,
+            self.samples,
+            self.iters_per_sample,
+        )
+    }
+}
+
+/// Converts a `(value, unit)` duration token pair to nanoseconds.
+pub fn to_ns(value: f64, unit: &str) -> Option<f64> {
+    let scale = match unit {
+        "ns" => 1.0,
+        "µs" | "us" => 1e3,
+        "ms" => 1e6,
+        "s" => 1e9,
+        _ => return None,
+    };
+    Some(value * scale)
+}
+
+/// Parses one vendored-criterion report line of the form
+///
+/// ```text
+/// group/id    median 772.23 µs   mean 781.10 µs   min 765.00 µs   (20 samples x 1 iters)
+/// ```
+///
+/// returning `None` for any other line.
+pub fn parse_criterion_line(line: &str) -> Option<CriterionEntry> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    // id median V U mean V U min V U (N samples x K iters)
+    if tokens.len() != 15 || tokens[1] != "median" || tokens[4] != "mean" || tokens[7] != "min" {
+        return None;
+    }
+    let duration = |value_idx: usize| -> Option<f64> {
+        to_ns(
+            tokens[value_idx].parse::<f64>().ok()?,
+            tokens[value_idx + 1],
+        )
+    };
+    Some(CriterionEntry {
+        id: tokens[0].to_string(),
+        median_ns: duration(2)?,
+        mean_ns: duration(5)?,
+        min_ns: duration(8)?,
+        samples: tokens[10].strip_prefix('(')?.parse().ok()?,
+        iters_per_sample: tokens[13].parse().ok()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "kernels/conv2d_forward_4x16x16x16                median  772.23 µs   \
+                          mean  781.10 µs   min  765.00 µs   (20 samples x 1 iters)";
+
+    #[test]
+    fn parses_report_line() {
+        let entry = parse_criterion_line(SAMPLE).expect("line parses");
+        assert_eq!(entry.id, "kernels/conv2d_forward_4x16x16x16");
+        assert!((entry.median_ns - 772_230.0).abs() < 0.5);
+        assert!((entry.mean_ns - 781_100.0).abs() < 0.5);
+        assert!((entry.min_ns - 765_000.0).abs() < 0.5);
+        assert_eq!(entry.samples, 20);
+        assert_eq!(entry.iters_per_sample, 1);
+    }
+
+    #[test]
+    fn ignores_non_benchmark_lines() {
+        assert!(parse_criterion_line("").is_none());
+        assert!(parse_criterion_line("running 3 benches").is_none());
+        assert!(parse_criterion_line("kernels/x (no samples collected)").is_none());
+    }
+
+    #[test]
+    fn unit_conversion() {
+        assert_eq!(to_ns(1.5, "ms"), Some(1_500_000.0));
+        assert_eq!(to_ns(2.0, "s"), Some(2e9));
+        assert_eq!(to_ns(3.0, "ns"), Some(3.0));
+        assert_eq!(to_ns(3.0, "fortnights"), None);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_str("x"), "\"x\"");
+        assert_eq!(escape("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn report_shape_round_trips_key_fields() {
+        let entries = vec![parse_criterion_line(SAMPLE).unwrap().to_json()];
+        let json = render_report(
+            &[
+                ("generated_by", json_str("make bench-save")),
+                ("backend", json_str("avx2")),
+            ],
+            "entries",
+            &entries,
+        );
+        assert!(json.contains("\"id\": \"kernels/conv2d_forward_4x16x16x16\""));
+        assert!(json.contains("\"median_ns\": 772230.0"));
+        assert!(json.contains("\"entries\": ["));
+        assert!(json.contains("\"backend\": \"avx2\""));
+        assert!(json.ends_with("  ]\n}\n"));
+    }
+}

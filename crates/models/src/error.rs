@@ -15,6 +15,9 @@ pub enum ModelError {
     /// The architecture specification is inconsistent (bad exit index, shape
     /// that does not propagate, ...).
     InvalidSpec(String),
+    /// A caller-supplied inference input was malformed: empty batch, or a
+    /// shape that does not match what the plan was compiled for.
+    InvalidInput(String),
 }
 
 impl fmt::Display for ModelError {
@@ -23,6 +26,7 @@ impl fmt::Display for ModelError {
             ModelError::Nn(e) => write!(f, "layer error: {e}"),
             ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
             ModelError::InvalidSpec(msg) => write!(f, "invalid architecture spec: {msg}"),
+            ModelError::InvalidInput(msg) => write!(f, "invalid inference input: {msg}"),
         }
     }
 }
@@ -32,7 +36,7 @@ impl Error for ModelError {
         match self {
             ModelError::Nn(e) => Some(e),
             ModelError::Tensor(e) => Some(e),
-            ModelError::InvalidSpec(_) => None,
+            ModelError::InvalidSpec(_) | ModelError::InvalidInput(_) => None,
         }
     }
 }
@@ -63,5 +67,8 @@ mod tests {
         assert!(e.source().is_some());
         let e = ModelError::from(TensorError::InvalidArgument("z".into()));
         assert!(e.source().is_some());
+        let e = ModelError::InvalidInput("empty batch".into());
+        assert!(e.to_string().contains("empty batch"));
+        assert!(e.source().is_none());
     }
 }

@@ -16,7 +16,8 @@ use crate::multi_exit::MultiExitNetwork;
 use bnn_nn::layer::Mode;
 use bnn_nn::network::Network;
 use bnn_nn::{InferencePlan, Layer};
-use bnn_tensor::rng::SplitMix64;
+use bnn_tensor::ops::softmax_rows_into;
+use bnn_tensor::rng::{stream_seed, SplitMix64};
 use bnn_tensor::Tensor;
 
 /// Compiled plans of every backbone block and exit branch of a multi-exit
@@ -30,6 +31,7 @@ pub struct MultiExitPlan {
     blocks: Vec<InferencePlan>,
     exits: Vec<(usize, InferencePlan)>,
     classes: usize,
+    in_dims: Vec<usize>,
 }
 
 /// A compiled plan memoised on its network, keyed by the weight version and
@@ -69,6 +71,7 @@ impl MultiExitNetwork {
             blocks,
             exits,
             classes: self.num_classes(),
+            in_dims: in_dims.to_vec(),
         })
     }
 
@@ -116,6 +119,24 @@ impl MultiExitPlan {
     /// Number of predicted classes.
     pub fn num_classes(&self) -> usize {
         self.classes
+    }
+
+    /// Per-sample input dims the plan was compiled for (batch axis
+    /// stripped): inputs must be shaped `[batch, ..in_dims]`.
+    pub fn in_dims(&self) -> &[usize] {
+        &self.in_dims
+    }
+
+    /// Pre-sizes every block and exit arena for `max_batch` samples, so a
+    /// serving worker pays all plan allocations up front. Monotone: never
+    /// shrinks.
+    pub fn ensure_batch(&mut self, max_batch: usize) {
+        for block in &mut self.blocks {
+            block.ensure_batch(max_batch);
+        }
+        for (_, exit) in &mut self.exits {
+            exit.ensure_batch(max_batch);
+        }
     }
 
     /// Reseeds every MC-dropout stream from `master_seed`, walking blocks
@@ -179,6 +200,100 @@ impl MultiExitPlan {
             outputs.push(branch.forward(&activations[*after_block], mode)?);
         }
         Ok(outputs)
+    }
+
+    /// Seeded Monte-Carlo prediction with **batch-boundary-invariant**
+    /// outputs, the float counterpart of
+    /// `bnn_quant::QuantPlan::predict_probs_batch_into`: the backbone runs
+    /// once in [`Mode::Eval`], each pass reseeds the mask streams from
+    /// `stream_seed(seed, pass)` and re-runs the exits with per-sample
+    /// dropout masks broadcast across the batch
+    /// ([`InferencePlan::forward_shared_mask`]), and the first `n_samples`
+    /// per-sample softmax tensors are averaged into `out`
+    /// (`[batch, classes]`, resized). Because the masks are per-sample, every
+    /// row of the result is bit-exact with a single-sample call at the same
+    /// seed, however the samples are grouped into batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] for an empty batch or an input
+    /// shape mismatch, [`ModelError::InvalidSpec`] for a plan without exits,
+    /// or propagates execution errors.
+    pub fn predict_probs_batch_into(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize), ModelError> {
+        let n_exits = self.exits.len();
+        if n_exits == 0 {
+            return Err(ModelError::InvalidSpec("plan has no exits".into()));
+        }
+        if inputs.dims().len() != self.in_dims.len() + 1 || inputs.dims()[1..] != self.in_dims[..] {
+            return Err(ModelError::InvalidInput(format!(
+                "plan expects input dims [batch, {:?}], got {:?}",
+                self.in_dims,
+                inputs.dims()
+            )));
+        }
+        if inputs.dims()[0] == 0 {
+            return Err(ModelError::InvalidInput("empty input batch".into()));
+        }
+        let batch = inputs.dims()[0];
+        let activations = self.forward_backbone(inputs, Mode::Eval)?;
+        let passes = n_samples.div_ceil(n_exits).max(1);
+        let kept = if n_samples == 0 {
+            passes * n_exits
+        } else {
+            n_samples.min(passes * n_exits)
+        };
+        let elems = batch * self.classes;
+        if out.len() != elems {
+            out.clear();
+            out.resize(elems, 0.0);
+        } else {
+            out.fill(0.0);
+        }
+        let mut probs = vec![0.0f32; elems];
+        let mut sample = 0usize;
+        'passes: for pass in 0..passes {
+            self.reseed_mc_streams(stream_seed(seed, pass as u64));
+            for e in 0..n_exits {
+                if sample >= kept {
+                    break 'passes;
+                }
+                let (after_block, branch) = &mut self.exits[e];
+                let logits =
+                    branch.forward_shared_mask(&activations[*after_block], Mode::McSample)?;
+                softmax_rows_into(logits.as_slice(), batch, self.classes, &mut probs)?;
+                for (o, &p) in out.iter_mut().zip(&probs) {
+                    *o += p;
+                }
+                sample += 1;
+            }
+        }
+        let inv = 1.0 / kept as f32;
+        for o in out.iter_mut() {
+            *o *= inv;
+        }
+        Ok((batch, self.classes))
+    }
+
+    /// [`MultiExitPlan::predict_probs_batch_into`] returning a fresh tensor.
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiExitPlan::predict_probs_batch_into`].
+    pub fn predict_probs_batch(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+    ) -> Result<Tensor, ModelError> {
+        let mut out = Vec::new();
+        let (batch, classes) = self.predict_probs_batch_into(inputs, n_samples, seed, &mut out)?;
+        Ok(Tensor::from_vec(out, &[batch, classes])?)
     }
 }
 
@@ -276,6 +391,49 @@ mod tests {
         let plan = net.cached_plan(&[1, 10, 10]).unwrap();
         let acts_new = plan.forward_backbone(&x, Mode::Eval).unwrap();
         assert_ne!(acts_new[0].as_slice(), acts_fresh[0].as_slice());
+    }
+
+    #[test]
+    fn batched_predict_is_concat_of_single_sample_calls() {
+        let net = lenet();
+        let mut plan = net.compile_plan(&[1, 10, 10]).unwrap();
+        plan.ensure_batch(3);
+        assert_eq!(plan.in_dims(), &[1, 10, 10]);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(14);
+        let x = Tensor::randn(&[3, 1, 10, 10], &mut rng);
+        let all = plan.predict_probs_batch(&x, 5, 2023).unwrap();
+        let per = 100usize;
+        for b in 0..3 {
+            let sample = Tensor::from_vec(
+                x.as_slice()[b * per..(b + 1) * per].to_vec(),
+                &[1, 1, 10, 10],
+            )
+            .unwrap();
+            let one = plan.predict_probs_batch(&sample, 5, 2023).unwrap();
+            assert_eq!(&all.as_slice()[b * 4..(b + 1) * 4], one.as_slice(), "{b}");
+        }
+        // rows are simplexes
+        for row in all.as_slice().chunks(4) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        let net = lenet();
+        let mut plan = net.compile_plan(&[1, 10, 10]).unwrap();
+        let empty = Tensor::from_vec(Vec::new(), &[0, 1, 10, 10]).unwrap();
+        assert!(matches!(
+            plan.predict_probs_batch(&empty, 4, 1),
+            Err(ModelError::InvalidInput(_))
+        ));
+        let mut rng = Xoshiro256StarStar::seed_from_u64(15);
+        let wrong = Tensor::randn(&[2, 1, 9, 9], &mut rng);
+        assert!(matches!(
+            plan.predict_probs_batch(&wrong, 4, 1),
+            Err(ModelError::InvalidInput(_))
+        ));
     }
 
     #[test]

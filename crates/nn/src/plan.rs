@@ -299,6 +299,11 @@ impl InferencePlan {
         Ok(())
     }
 
+    /// Per-sample input dims (batch axis stripped).
+    pub fn in_dims(&self) -> &[usize] {
+        &self.in_dims
+    }
+
     /// Per-sample output dims (batch axis stripped).
     pub fn out_dims(&self) -> &[usize] {
         &self.out_dims
@@ -333,6 +338,12 @@ impl InferencePlan {
         }
     }
 
+    /// Pre-sizes the arena for `max_batch` samples so later runs with any
+    /// batch up to `max_batch` resize nothing. Monotone: never shrinks.
+    pub fn ensure_batch(&mut self, max_batch: usize) {
+        self.ensure(max_batch.max(1));
+    }
+
     /// Runs the plan on a batched input, bit-identical to folding the
     /// original layers with [`Layer::forward`](crate::Layer::forward).
     ///
@@ -341,6 +352,31 @@ impl InferencePlan {
     /// Returns [`NnError::InvalidConfig`] if the input shape does not match
     /// the compiled per-sample dims, or propagates kernel errors.
     pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
+        self.forward_impl(input, mode, false)
+    }
+
+    /// [`InferencePlan::forward`] with MC-dropout masks drawn at
+    /// **per-sample** granularity and broadcast across the batch: one
+    /// sample's worth of mask draws per step, applied to every sample. Every
+    /// other kernel already computes each output element from one sample
+    /// alone, so under shared masks a batched run is bit-exact with running
+    /// the samples one at a time — the batch-boundary invariance the serving
+    /// layer relies on. For `batch == 1` (and in [`Mode::Eval`] at any
+    /// batch) it is bit-exact with [`InferencePlan::forward`] itself.
+    ///
+    /// # Errors
+    ///
+    /// See [`InferencePlan::forward`].
+    pub fn forward_shared_mask(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor, NnError> {
+        self.forward_impl(input, mode, true)
+    }
+
+    fn forward_impl(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        shared_mask: bool,
+    ) -> Result<Tensor, NnError> {
         if input.dims().len() != self.in_dims.len() + 1 || input.dims()[1..] != self.in_dims[..] {
             return Err(NnError::InvalidConfig(format!(
                 "plan expects input dims [batch, {:?}], got {:?}",
@@ -353,7 +389,14 @@ impl InferencePlan {
         let in_elems = input.len();
         self.slots[self.input_slot][..in_elems].copy_from_slice(input.as_slice());
         for step in &mut self.steps {
-            run_step(step, &mut self.slots, &mut self.mask, batch, mode)?;
+            run_step(
+                step,
+                &mut self.slots,
+                &mut self.mask,
+                batch,
+                mode,
+                shared_mask,
+            )?;
         }
         let out_elems: usize = self.out_dims.iter().product::<usize>() * batch;
         let mut dims = Vec::with_capacity(self.out_dims.len() + 1);
@@ -383,6 +426,7 @@ fn run_step(
     mask: &mut [f32],
     batch: usize,
     mode: Mode,
+    shared_mask: bool,
 ) -> Result<(), NnError> {
     let in_elems = step.in_dims.iter().product::<usize>() * batch;
     match &mut step.kind {
@@ -514,22 +558,30 @@ fn run_step(
             let buf = &mut slots[step.dst][..in_elems];
             // Draw the mask exactly like `McDropout::sample_mask`:
             // filter-wise for NCHW (rank-3 per-sample dims), element-wise
-            // otherwise — then multiply element by element.
+            // otherwise — then multiply element by element. Shared-mask mode
+            // draws one sample's worth and tiles it across the batch
+            // (`% draws`); for batch 1 the two modes are identical.
             if step.in_dims.len() == 3 {
                 let c = step.in_dims[0];
                 let plane = step.in_dims[1] * step.in_dims[2];
-                for m in mask[..batch * c].iter_mut() {
+                let draws = if shared_mask { c } else { batch * c };
+                for m in mask[..draws].iter_mut() {
                     *m = if rng.bernoulli(keep) { scale } else { 0.0 };
                 }
                 for (i, v) in buf.iter_mut().enumerate() {
-                    *v *= mask[i / plane];
+                    *v *= mask[(i / plane) % draws];
                 }
             } else {
-                for m in mask[..in_elems].iter_mut() {
+                let draws = if shared_mask {
+                    in_elems / batch
+                } else {
+                    in_elems
+                };
+                for m in mask[..draws].iter_mut() {
                     *m = if rng.bernoulli(keep) { scale } else { 0.0 };
                 }
-                for (v, &m) in buf.iter_mut().zip(mask.iter()) {
-                    *v *= m;
+                for (i, v) in buf.iter_mut().enumerate() {
+                    *v *= mask[i % draws];
                 }
             }
         }

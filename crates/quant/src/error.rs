@@ -20,6 +20,12 @@ pub enum QuantError {
     /// An internal shape or tensor-operation failure while executing the
     /// quantized graph.
     Internal(String),
+    /// A caller-supplied input batch was malformed: empty, or its shape does
+    /// not match the input shape the plan was compiled for. This is the
+    /// serving-path error — malformed requests must surface as a typed,
+    /// recoverable error rather than a panic or a silently mis-shaped
+    /// output.
+    InvalidInput(String),
 }
 
 impl fmt::Display for QuantError {
@@ -30,6 +36,7 @@ impl fmt::Display for QuantError {
             QuantError::Unsupported(msg) => write!(f, "unsupported integer lowering: {msg}"),
             QuantError::NonFinite(msg) => write!(f, "non-finite value: {msg}"),
             QuantError::Internal(msg) => write!(f, "internal quantization error: {msg}"),
+            QuantError::InvalidInput(msg) => write!(f, "invalid inference input: {msg}"),
         }
     }
 }
@@ -74,6 +81,9 @@ mod tests {
         assert!(QuantError::Internal("shape".into())
             .to_string()
             .contains("shape"));
+        assert!(QuantError::InvalidInput("empty batch".into())
+            .to_string()
+            .contains("empty batch"));
     }
 
     #[test]

@@ -153,6 +153,23 @@ struct PlanExit {
     out_dims: Vec<usize>,
 }
 
+/// How MC-dropout masks index into the batch.
+///
+/// [`MaskGranularity::PerBatch`] is the unplanned network's semantics: one
+/// stream draw per (batch, channel), so a batch of N consumes N times the
+/// draws and batched output differs from N single-sample calls.
+/// [`MaskGranularity::PerSample`] draws one per-sample mask per pass and
+/// broadcasts it across the batch: every kernel in the plan computes each
+/// output element from one sample alone, so per-sample masks make a batched
+/// call bit-exact with the concatenation of single-sample calls — the
+/// batch-boundary invariance dynamic batching needs. For `batch == 1` the
+/// two modes draw and apply identical masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MaskGranularity {
+    PerBatch,
+    PerSample,
+}
+
 /// The preallocated tensor arena: activation slots plus the shared scratch
 /// buffers. All sizes grow monotonically with the largest batch seen, so the
 /// steady state of repeated same-batch calls never reallocates.
@@ -734,6 +751,19 @@ impl QuantPlan {
         self.classes
     }
 
+    /// Per-sample input dims the plan was compiled for (batch axis
+    /// stripped): inputs must be shaped `[batch, ..in_dims]`.
+    pub fn in_dims(&self) -> &[usize] {
+        &self.in_dims
+    }
+
+    /// Pre-sizes the arena for `max_batch` samples, so a serving worker can
+    /// pay every allocation up front and subsequent calls with any batch up
+    /// to `max_batch` stay allocation-free. Monotone: never shrinks.
+    pub fn ensure_batch(&mut self, max_batch: usize) {
+        self.ensure_arena(max_batch.max(1));
+    }
+
     /// Number of flattened steps (backbone plus all exits).
     pub fn num_steps(&self) -> usize {
         self.backbone.len() + self.exits.iter().map(|e| e.steps.len()).sum::<usize>()
@@ -810,11 +840,14 @@ impl QuantPlan {
     /// Quantizes the float input batch into the input slot.
     fn load_input(&mut self, inputs: &Tensor) -> Result<usize, QuantError> {
         if inputs.dims().len() != self.in_dims.len() + 1 || inputs.dims()[1..] != self.in_dims[..] {
-            return Err(QuantError::Internal(format!(
+            return Err(QuantError::InvalidInput(format!(
                 "plan expects input dims [batch, {:?}], got {:?}",
                 self.in_dims,
                 inputs.dims()
             )));
+        }
+        if inputs.dims()[0] == 0 {
+            return Err(QuantError::InvalidInput("empty input batch".into()));
         }
         let batch = inputs.dims()[0];
         self.ensure_arena(batch);
@@ -833,9 +866,10 @@ impl QuantPlan {
         exec: Option<Executor>,
         batch: usize,
         mode: Mode,
+        masks: MaskGranularity,
     ) -> Result<(), QuantError> {
         for step in steps {
-            run_step(step, arena, width, exec, batch, mode)?;
+            run_step(step, arena, width, exec, batch, mode, masks)?;
         }
         Ok(())
     }
@@ -863,10 +897,19 @@ impl QuantPlan {
             exec,
             batch,
             Mode::Eval,
+            MaskGranularity::PerBatch,
         )?;
         let mut outputs = Vec::with_capacity(self.exits.len());
         for exit in &mut self.exits {
-            Self::run_steps(&mut exit.steps, &mut self.arena, width, exec, batch, mode)?;
+            Self::run_steps(
+                &mut exit.steps,
+                &mut self.arena,
+                width,
+                exec,
+                batch,
+                mode,
+                MaskGranularity::PerBatch,
+            )?;
             let elems: usize = exit.out_dims.iter().product::<usize>() * batch;
             let scale = exit.out_params.scale();
             let data: Vec<f32> = self.arena.slots[exit.out_slot][..elems]
@@ -900,6 +943,60 @@ impl QuantPlan {
         seed: u64,
         out: &mut Vec<f32>,
     ) -> Result<(usize, usize), QuantError> {
+        self.predict_probs_impl(inputs, n_samples, seed, out, MaskGranularity::PerBatch)
+    }
+
+    /// The batch-boundary-invariant counterpart of
+    /// [`QuantPlan::predict_probs_into`]: each MC pass draws its dropout
+    /// masks at **per-sample** granularity and broadcasts them across the
+    /// batch, so the result for every sample is bit-exact with a
+    /// single-sample call at the same seed — regardless of how requests were
+    /// grouped into batches. This is the serving entry point: a dynamic
+    /// batcher may split the same requests `[a, b, c]` as `[a] + [b, c]` or
+    /// `[a, b, c]` and every response stays identical. For `batch == 1` it
+    /// is bit-exact with [`QuantPlan::predict_probs_into`] itself.
+    ///
+    /// Zero steady-state heap allocation once the arena is warm for the
+    /// batch (sequential executor); see [`QuantPlan::ensure_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidInput`] for an empty batch or an input
+    /// shape mismatch, or propagates execution errors.
+    pub fn predict_probs_batch_into(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize), QuantError> {
+        self.predict_probs_impl(inputs, n_samples, seed, out, MaskGranularity::PerSample)
+    }
+
+    /// [`QuantPlan::predict_probs_batch_into`] returning a fresh tensor.
+    ///
+    /// # Errors
+    ///
+    /// See [`QuantPlan::predict_probs_batch_into`].
+    pub fn predict_probs_batch(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+    ) -> Result<Tensor, QuantError> {
+        let mut out = Vec::new();
+        let (batch, classes) = self.predict_probs_batch_into(inputs, n_samples, seed, &mut out)?;
+        Ok(Tensor::from_vec(out, &[batch, classes])?)
+    }
+
+    fn predict_probs_impl(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+        out: &mut Vec<f32>,
+        masks: MaskGranularity,
+    ) -> Result<(usize, usize), QuantError> {
         let n_exits = self.exits.len();
         if n_exits == 0 {
             return Err(QuantError::Internal("plan has no exits".into()));
@@ -914,6 +1011,7 @@ impl QuantPlan {
             exec,
             batch,
             Mode::Eval,
+            masks,
         )?;
         let passes = n_samples.div_ceil(n_exits).max(1);
         let kept = if n_samples == 0 {
@@ -945,6 +1043,7 @@ impl QuantPlan {
                     exec,
                     batch,
                     Mode::McSample,
+                    masks,
                 )?;
                 let (out_slot, out_params) = (self.exits[e].out_slot, self.exits[e].out_params);
                 let n: usize = self.exits[e].out_dims.iter().product::<usize>() * batch;
@@ -1014,6 +1113,7 @@ fn run_step(
     exec: Option<Executor>,
     batch: usize,
     mode: Mode,
+    masks: MaskGranularity,
 ) -> Result<(), QuantError> {
     let in_elems = step.in_elems() * batch;
     let out_elems = step.out_elems() * batch;
@@ -1292,11 +1392,25 @@ fn run_step(
             }
             let keep = 1.0 - *rate;
             // Filter-wise for NCHW (per-sample dims of rank 3), element-wise
-            // otherwise — the same draw order as `draw_keep_mask`.
+            // otherwise — the same draw order as `draw_keep_mask`. Per-sample
+            // granularity draws one sample's worth of masks and tiles them
+            // across the batch (`% draws`); for batch 1 the draw count and
+            // the applied mask are identical in both modes.
             let (draws, plane) = if step.in_dims.len() == 3 {
-                (batch * step.in_dims[0], step.in_dims[1] * step.in_dims[2])
+                let per_sample = match masks {
+                    MaskGranularity::PerBatch => batch,
+                    MaskGranularity::PerSample => 1,
+                };
+                (
+                    per_sample * step.in_dims[0],
+                    step.in_dims[1] * step.in_dims[2],
+                )
             } else {
-                (in_elems, 1)
+                let per_sample = match masks {
+                    MaskGranularity::PerBatch => in_elems,
+                    MaskGranularity::PerSample => in_elems / batch,
+                };
+                (per_sample, 1)
             };
             for m in arena.mask[..draws].iter_mut() {
                 *m = rng.bernoulli(keep);
@@ -1314,7 +1428,7 @@ fn run_step(
             if step.src == step.dst {
                 let mut buf = std::mem::take(&mut arena.slots[step.dst]);
                 for (i, v) in buf[..in_elems].iter_mut().enumerate() {
-                    *v = drop_one(*v as i64, mask[i / plane]);
+                    *v = drop_one(*v as i64, mask[(i / plane) % draws]);
                 }
                 arena.slots[step.dst] = buf;
             } else {
@@ -1324,7 +1438,7 @@ fn run_step(
                     .zip(&arena.slots[step.src][..in_elems])
                     .enumerate()
                 {
-                    *d = drop_one(s as i64, mask[i / plane]);
+                    *d = drop_one(s as i64, mask[(i / plane) % draws]);
                 }
                 arena.slots[step.dst] = dst;
             }
@@ -1476,6 +1590,65 @@ mod tests {
             let b = plan.predict_probs(&x, 4, 99).unwrap();
             assert_eq!(a.as_slice(), b.as_slice(), "{format} predict");
         }
+    }
+
+    #[test]
+    fn batched_predict_is_concat_of_single_sample_calls() {
+        let net = lenet(21);
+        let calib = calib_batch(&[6, 1, 10, 10], 22);
+        let calibrated = CalibratedNetwork::calibrate(&net, &calib).unwrap();
+        let batch = 3usize;
+        let x = calib_batch(&[batch, 1, 10, 10], 23);
+        let per = 100usize;
+        for format in [fmt(4, 2), fmt(8, 3), fmt(16, 6)] {
+            let mut plan = calibrated.plan(format).unwrap();
+            let all = plan.predict_probs_batch(&x, 5, 2023).unwrap();
+            for b in 0..batch {
+                let sample = Tensor::from_vec(
+                    x.as_slice()[b * per..(b + 1) * per].to_vec(),
+                    &[1, 1, 10, 10],
+                )
+                .unwrap();
+                let one = plan.predict_probs_batch(&sample, 5, 2023).unwrap();
+                assert_eq!(
+                    &all.as_slice()[b * 4..(b + 1) * 4],
+                    one.as_slice(),
+                    "{format} sample {b}"
+                );
+                // Single-sample batched calls are bit-exact with the
+                // unbatched entry point (same draws, same indexing).
+                let plain = plan.predict_probs(&sample, 5, 2023).unwrap();
+                assert_eq!(one.as_slice(), plain.as_slice(), "{format} sample {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        let net = lenet(31);
+        let calib = calib_batch(&[4, 1, 10, 10], 32);
+        let calibrated = CalibratedNetwork::calibrate(&net, &calib).unwrap();
+        let mut plan = calibrated.plan(fmt(8, 3)).unwrap();
+        assert_eq!(plan.in_dims(), &[1, 10, 10]);
+        let empty = Tensor::from_vec(Vec::new(), &[0, 1, 10, 10]).unwrap();
+        assert!(matches!(
+            plan.predict_probs(&empty, 4, 1),
+            Err(QuantError::InvalidInput(_))
+        ));
+        let wrong = calib_batch(&[2, 1, 9, 9], 33);
+        assert!(matches!(
+            plan.predict_probs(&wrong, 4, 1),
+            Err(QuantError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            plan.predict_probs_batch(&wrong, 4, 1),
+            Err(QuantError::InvalidInput(_))
+        ));
+        let no_batch_axis = calib_batch(&[1, 10, 10], 34);
+        assert!(matches!(
+            plan.predict_probs(&no_batch_axis, 4, 1),
+            Err(QuantError::InvalidInput(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! The engine abstraction the server batches over.
+//!
+//! A [`BatchEngine`] is anything that can run **batch-boundary-invariant**
+//! Monte-Carlo prediction: the result row for each sample must be bit-exact
+//! with a single-sample call at the same `(n_samples, seed)`, however the
+//! dynamic batcher happens to group requests. Both compiled plan families
+//! provide exactly that entry point — [`QuantEngine`] wraps the integer
+//! [`bnn_quant::QuantPlan`] (`predict_probs_batch_into`), [`FloatEngine`]
+//! wraps the float [`bnn_models::MultiExitPlan`]
+//! (`predict_probs_batch_into`) — so a worker can serve any mix of batch
+//! sizes without changing a single response bit.
+
+use crate::error::ServeError;
+use bnn_models::MultiExitPlan;
+use bnn_quant::QuantPlan;
+use bnn_tensor::Tensor;
+
+/// A batch-capable inference engine a serving worker can own.
+///
+/// Contract: `predict_batch_into` must be **batch-boundary invariant** (each
+/// output row bit-exact with a single-sample call at the same seed) and must
+/// not allocate in the steady state after [`BatchEngine::ensure_batch`]
+/// warmed the arena for the largest batch it will see (output-buffer growth
+/// aside).
+pub trait BatchEngine: Send {
+    /// Per-sample input dims (batch axis stripped): submitted samples carry
+    /// `in_dims().iter().product()` elements.
+    fn in_dims(&self) -> &[usize];
+
+    /// Number of predicted classes (the per-request response length).
+    fn num_classes(&self) -> usize;
+
+    /// Pre-sizes internal arenas for batches up to `max_batch`.
+    fn ensure_batch(&mut self, max_batch: usize);
+
+    /// Seeded MC prediction of a `[batch, ..in_dims]` tensor into `out`
+    /// (`[batch, classes]`, resized), batch-boundary invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] for malformed inputs or
+    /// [`ServeError::Engine`] on execution failures.
+    fn predict_batch_into(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+        out: &mut Vec<f32>,
+    ) -> Result<(), ServeError>;
+
+    /// An independent replica of this engine for another worker thread
+    /// (packed weights and arenas are copied, no model rebuild).
+    fn fork(&self) -> Box<dyn BatchEngine>;
+}
+
+/// [`BatchEngine`] over the integer [`QuantPlan`] — the production path:
+/// allocation-free in steady state and SIMD-dispatched.
+#[derive(Debug, Clone)]
+pub struct QuantEngine {
+    plan: QuantPlan,
+}
+
+impl QuantEngine {
+    /// Wraps a compiled integer plan. Pin the plan to
+    /// `Executor::sequential()` first if the worker should stay strictly
+    /// allocation-free (results are bitwise identical either way).
+    pub fn new(plan: QuantPlan) -> Self {
+        QuantEngine { plan }
+    }
+}
+
+impl BatchEngine for QuantEngine {
+    fn in_dims(&self) -> &[usize] {
+        self.plan.in_dims()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.plan.num_classes()
+    }
+
+    fn ensure_batch(&mut self, max_batch: usize) {
+        self.plan.ensure_batch(max_batch);
+    }
+
+    fn predict_batch_into(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+        out: &mut Vec<f32>,
+    ) -> Result<(), ServeError> {
+        self.plan
+            .predict_probs_batch_into(inputs, n_samples, seed, out)?;
+        Ok(())
+    }
+
+    fn fork(&self) -> Box<dyn BatchEngine> {
+        Box::new(self.clone())
+    }
+}
+
+/// [`BatchEngine`] over the float [`MultiExitPlan`] — the reference path for
+/// networks that are not quantized (or not quantizable).
+#[derive(Debug, Clone)]
+pub struct FloatEngine {
+    plan: MultiExitPlan,
+}
+
+impl FloatEngine {
+    /// Wraps a compiled float multi-exit plan.
+    pub fn new(plan: MultiExitPlan) -> Self {
+        FloatEngine { plan }
+    }
+}
+
+impl BatchEngine for FloatEngine {
+    fn in_dims(&self) -> &[usize] {
+        self.plan.in_dims()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.plan.num_classes()
+    }
+
+    fn ensure_batch(&mut self, max_batch: usize) {
+        self.plan.ensure_batch(max_batch);
+    }
+
+    fn predict_batch_into(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+        out: &mut Vec<f32>,
+    ) -> Result<(), ServeError> {
+        self.plan
+            .predict_probs_batch_into(inputs, n_samples, seed, out)?;
+        Ok(())
+    }
+
+    fn fork(&self) -> Box<dyn BatchEngine> {
+        Box::new(self.clone())
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the serving layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by server construction, request submission and batch
+/// execution.
+///
+/// `Clone` is load-bearing: when a batched engine call fails, every request
+/// in the batch receives its own copy of the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server or replay configuration is invalid (zero workers, zero
+    /// batch size, non-positive arrival rate, ...).
+    InvalidConfig(String),
+    /// A submitted request is malformed: its element count does not match
+    /// the per-sample input shape the engine was compiled for.
+    InvalidRequest(String),
+    /// The server is shutting down (or has shut down) and no longer accepts
+    /// requests; in-flight requests at shutdown receive this too if their
+    /// worker exits before serving them.
+    ShuttingDown,
+    /// The underlying inference engine failed while executing a batch.
+    Engine(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serving configuration: {msg}"),
+            ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Engine(msg) => write!(f, "inference engine error: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<bnn_quant::QuantError> for ServeError {
+    fn from(e: bnn_quant::QuantError) -> Self {
+        match e {
+            bnn_quant::QuantError::InvalidInput(msg) => ServeError::InvalidRequest(msg),
+            other => ServeError::Engine(other.to_string()),
+        }
+    }
+}
+
+impl From<bnn_models::ModelError> for ServeError {
+    fn from(e: bnn_models::ModelError) -> Self {
+        match e {
+            bnn_models::ModelError::InvalidInput(msg) => ServeError::InvalidRequest(msg),
+            other => ServeError::Engine(other.to_string()),
+        }
+    }
+}
+
+impl From<bnn_tensor::TensorError> for ServeError {
+    fn from(e: bnn_tensor::TensorError) -> Self {
+        ServeError::Engine(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ServeError::InvalidConfig("w".into())
+            .to_string()
+            .contains("w"));
+        assert!(ServeError::InvalidRequest("n".into())
+            .to_string()
+            .contains("n"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+        assert!(ServeError::Engine("e".into()).to_string().contains("e"));
+    }
+
+    #[test]
+    fn invalid_input_maps_to_invalid_request() {
+        let e = ServeError::from(bnn_quant::QuantError::InvalidInput("empty".into()));
+        assert!(matches!(e, ServeError::InvalidRequest(_)));
+        let e = ServeError::from(bnn_quant::QuantError::Internal("x".into()));
+        assert!(matches!(e, ServeError::Engine(_)));
+        let e = ServeError::from(bnn_models::ModelError::InvalidInput("empty".into()));
+        assert!(matches!(e, ServeError::InvalidRequest(_)));
+        let e = ServeError::from(bnn_models::ModelError::InvalidSpec("x".into()));
+        assert!(matches!(e, ServeError::Engine(_)));
+    }
+}

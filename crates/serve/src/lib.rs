@@ -1,0 +1,70 @@
+//! # bnn-serve
+//!
+//! Dynamic-batching inference serving on compiled plans: the subsystem that
+//! turns the repo's allocate-once/run-many inference substrate into a
+//! server. Single-sample requests enter a queue, workers assemble batches
+//! (fired by **size or deadline**, whichever comes first) and run them on
+//! pinned plan replicas with arenas pre-sized for the maximum batch.
+//!
+//! The load-bearing property is **batch-boundary invariance**: engines
+//! (see [`BatchEngine`]) draw their MC-dropout masks at per-sample
+//! granularity, so the response to a request is bit-exact with a
+//! single-sample call at the server's `(mc_samples, seed)` — no matter how
+//! the batcher grouped it, which worker served it, or what `BNN_THREADS`
+//! is. Batching is purely a throughput knob, never a correctness one.
+//!
+//! No network dependencies: the queue is `Mutex<VecDeque>` + `Condvar`, the
+//! workers are std threads, and the traffic-replay harness
+//! ([`replay::replay`]) drives seeded open-loop load in-process.
+//!
+//! # Example
+//!
+//! ```
+//! use bnn_models::{zoo, ModelConfig};
+//! use bnn_quant::{CalibratedNetwork, FixedPointFormat};
+//! use bnn_serve::{InferenceServer, QuantEngine, ServerConfig};
+//! use bnn_tensor::rng::Xoshiro256StarStar;
+//! use bnn_tensor::Tensor;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small quantized multi-exit network, compiled to a plan.
+//! let spec = zoo::lenet5(&ModelConfig::mnist().with_resolution(10, 10).with_width_divisor(8))
+//!     .with_exits_after_every_block()?
+//!     .with_exit_mcd(0.25)?;
+//! let net = spec.build(7)?;
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+//! let calib = Tensor::randn(&[4, 1, 10, 10], &mut rng);
+//! let calibrated = CalibratedNetwork::calibrate(&net, &calib)?;
+//! let plan = calibrated.plan(FixedPointFormat::new(8, 3)?)?;
+//!
+//! // Serve it: 2 workers, batches of up to 4 or 200us, whichever first.
+//! let server = InferenceServer::start(
+//!     Box::new(QuantEngine::new(plan)),
+//!     ServerConfig {
+//!         workers: 2,
+//!         max_batch: 4,
+//!         max_delay: Duration::from_micros(200),
+//!         mc_samples: 6,
+//!         seed: 2023,
+//!     },
+//! )?;
+//! let sample = Tensor::randn(&[1, 1, 10, 10], &mut rng);
+//! let handle = server.submit(sample.as_slice())?;
+//! let probs = handle.wait()?;
+//! assert_eq!(probs.len(), server.num_classes());
+//! assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod replay;
+pub mod server;
+
+pub use engine::{BatchEngine, FloatEngine, QuantEngine};
+pub use error::ServeError;
+pub use replay::{ReplayConfig, ReplayOutcome, ReplayReport};
+pub use server::{InferenceServer, ResponseHandle, ServeStats, ServerConfig};

@@ -1,0 +1,201 @@
+//! Open-loop traffic replay against a running [`InferenceServer`].
+//!
+//! The arrival process is a seeded Poisson stream: inter-arrival gaps are
+//! drawn `-ln(1-u)/rate` from a [`Xoshiro256StarStar`] stream, so the
+//! *schedule* of a replay is exactly reproducible from
+//! [`ReplayConfig::seed`]. The load is **open-loop**: requests are submitted
+//! at their scheduled times whether or not earlier responses have arrived,
+//! which is what exposes queueing delay and tail latency under overload
+//! (a closed loop would throttle itself to the server's pace and hide both).
+//!
+//! Response *contents* are fully deterministic — each request's output is a
+//! pure function of its sample and the server's `(mc_samples, seed)` config,
+//! independent of batching (see [`crate::server`]). Latency and throughput
+//! are wall-clock measurements by nature and vary run to run.
+
+use crate::error::ServeError;
+use crate::server::InferenceServer;
+use bnn_tensor::rng::{Rng, Xoshiro256StarStar};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Replay configuration: how many requests, how fast, and the arrival seed.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Total requests to submit.
+    pub requests: usize,
+    /// Mean arrival rate (requests per second) of the Poisson stream.
+    pub rate_per_sec: f64,
+    /// Seed of the inter-arrival stream (fixes the submission schedule).
+    pub seed: u64,
+}
+
+/// Aggregate measurements of one replay run.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Requests submitted and served.
+    pub requests: usize,
+    /// First submission to last delivery.
+    pub elapsed: Duration,
+    /// `requests / elapsed`.
+    pub throughput_rps: f64,
+    /// Mean submit-to-delivery latency.
+    pub mean_latency: Duration,
+    /// Median submit-to-delivery latency.
+    pub p50_latency: Duration,
+    /// 99th-percentile submit-to-delivery latency (nearest-rank).
+    pub p99_latency: Duration,
+}
+
+/// A replay's measurements plus every response, in request order.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Aggregate latency/throughput measurements.
+    pub report: ReplayReport,
+    /// Per-request class-probability outputs (`outputs[i]` answers request
+    /// `i`, which carried `pool[i % pool.len()]`).
+    pub outputs: Vec<Vec<f32>>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Drives `config.requests` single-sample requests from `pool` (cycled)
+/// against `server` on the seeded open-loop schedule, and waits for every
+/// response. Submission happens on the calling thread; a collector thread
+/// records each response at its delivery timestamp, so a slow collector
+/// cannot inflate latency.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] for zero requests, an empty pool or
+/// a non-positive/non-finite rate; propagates the first failed response
+/// otherwise.
+pub fn replay(
+    server: &InferenceServer,
+    pool: &[Vec<f32>],
+    config: &ReplayConfig,
+) -> Result<ReplayOutcome, ServeError> {
+    if config.requests == 0 {
+        return Err(ServeError::InvalidConfig("requests must be >= 1".into()));
+    }
+    if pool.is_empty() {
+        return Err(ServeError::InvalidConfig("input pool is empty".into()));
+    }
+    if !(config.rate_per_sec.is_finite() && config.rate_per_sec > 0.0) {
+        return Err(ServeError::InvalidConfig(format!(
+            "arrival rate must be positive and finite, got {}",
+            config.rate_per_sec
+        )));
+    }
+    let n = config.requests;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed);
+    let (tx, rx) = mpsc::channel();
+
+    let collected = std::thread::scope(|scope| {
+        let collector = scope.spawn(move || -> Result<_, ServeError> {
+            let mut outputs: Vec<Vec<f32>> = vec![Vec::new(); n];
+            let mut latencies: Vec<Duration> = Vec::with_capacity(n);
+            let mut last_delivery: Option<Instant> = None;
+            for (idx, t0, handle) in rx.iter() {
+                let handle: crate::server::ResponseHandle = handle;
+                let (result, delivered_at) = handle.wait_at();
+                let t0: Instant = t0;
+                outputs[idx] = result?;
+                latencies.push(delivered_at.saturating_duration_since(t0));
+                last_delivery = Some(match last_delivery {
+                    Some(prev) => prev.max(delivered_at),
+                    None => delivered_at,
+                });
+            }
+            Ok((outputs, latencies, last_delivery))
+        });
+
+        let start = Instant::now();
+        let mut offset = Duration::ZERO;
+        let mut submit_err = None;
+        for i in 0..n {
+            // Absolute target times (start + cumulative offset): the
+            // schedule never drifts with per-request jitter, keeping the
+            // load open-loop.
+            let target = start + offset;
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+            let sample = &pool[i % pool.len()];
+            match server.submit(sample) {
+                Ok(handle) => {
+                    if tx.send((i, Instant::now(), handle)).is_err() {
+                        break; // collector died on a failed response
+                    }
+                }
+                Err(e) => {
+                    submit_err = Some(e);
+                    break;
+                }
+            }
+            let gap = -(1.0 - rng.next_f64()).ln() / config.rate_per_sec;
+            offset += Duration::from_secs_f64(gap);
+        }
+        drop(tx);
+        let collected = collector.join().expect("collector thread panicked");
+        match submit_err {
+            Some(e) => Err(e),
+            None => collected.map(|c| (start, c)),
+        }
+    });
+
+    let (start, (outputs, mut latencies, last_delivery)) = collected?;
+    latencies.sort_unstable();
+    let elapsed = last_delivery
+        .map(|at| at.saturating_duration_since(start))
+        .unwrap_or_default();
+    let sum: Duration = latencies.iter().sum();
+    let report = ReplayReport {
+        requests: n,
+        elapsed,
+        throughput_rps: if elapsed.is_zero() {
+            0.0
+        } else {
+            n as f64 / elapsed.as_secs_f64()
+        },
+        mean_latency: sum / n as u32,
+        p50_latency: percentile(&latencies, 50.0),
+        p99_latency: percentile(&latencies, 99.0),
+    };
+    Ok(ReplayOutcome { report, outputs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 50.0), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 99.0), Duration::from_millis(99));
+        assert_eq!(percentile(&ms, 100.0), Duration::from_millis(100));
+        let one = [Duration::from_millis(7)];
+        assert_eq!(percentile(&one, 50.0), Duration::from_millis(7));
+        assert_eq!(percentile(&one, 99.0), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn arrival_schedule_is_seed_deterministic() {
+        let gaps = |seed: u64| -> Vec<f64> {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            (0..8)
+                .map(|_| -(1.0 - rng.next_f64()).ln() / 500.0)
+                .collect()
+        };
+        assert_eq!(gaps(42), gaps(42));
+        assert_ne!(gaps(42), gaps(43));
+        assert!(gaps(42).iter().all(|&g| g.is_finite() && g >= 0.0));
+    }
+}

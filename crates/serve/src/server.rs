@@ -1,0 +1,421 @@
+//! The dynamic-batching inference server: queue → batcher → worker pool.
+//!
+//! ```text
+//! submit() ──► request queue (Mutex<VecDeque> + Condvar)
+//!                   │   batch fires on size OR deadline,
+//!                   │   whichever comes first
+//!                   ▼
+//!            worker 0 .. worker N-1      (std threads)
+//!            each owns: a forked engine replica,
+//!                       an arena pre-sized for max_batch,
+//!                       a reusable staging buffer
+//!                   │
+//!                   ▼
+//!            ResponseHandle::wait()      (per-request rendezvous)
+//! ```
+//!
+//! Batching never changes a response: engines are batch-boundary invariant
+//! (see [`crate::BatchEngine`]), and every request is evaluated under the
+//! single server-wide `(mc_samples, seed)` configuration — so the response
+//! to a sample is a pure function of the sample, no matter which worker
+//! served it, how requests were grouped, or what `BNN_THREADS` is.
+
+use crate::engine::BatchEngine;
+use crate::error::ServeError;
+use bnn_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration: worker count, batching policy and the MC sampling
+/// parameters every request is evaluated under.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of worker threads, each owning an engine replica.
+    pub workers: usize,
+    /// A batch fires as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// A batch fires once the oldest queued request has waited this long,
+    /// even if smaller than `max_batch`. `Duration::ZERO` serves whatever is
+    /// queued immediately (the latency-biased extreme).
+    pub max_delay: Duration,
+    /// Monte-Carlo samples per prediction (see
+    /// `QuantPlan::predict_probs_into` for the pass/exit semantics).
+    pub mc_samples: usize,
+    /// Master seed for the MC mask streams. Together with `mc_samples` this
+    /// fixes every response bit.
+    pub seed: u64,
+}
+
+impl ServerConfig {
+    /// A latency-biased starting point: small batches, short deadline.
+    pub fn latency_biased(workers: usize, mc_samples: usize, seed: u64) -> Self {
+        ServerConfig {
+            workers,
+            max_batch: 4,
+            max_delay: Duration::from_micros(200),
+            mc_samples,
+            seed,
+        }
+    }
+
+    /// A throughput-biased starting point: large batches, long deadline.
+    pub fn throughput_biased(workers: usize, mc_samples: usize, seed: u64) -> Self {
+        ServerConfig {
+            workers,
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+            mc_samples,
+            seed,
+        }
+    }
+}
+
+/// Counters the worker pool accumulates while serving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests served (responses delivered, success or engine error).
+    pub completed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Largest batch any worker assembled.
+    pub max_batch_seen: usize,
+}
+
+impl ServeStats {
+    /// Mean samples per executed batch — the batch occupancy the batching
+    /// policy actually achieved under the offered load.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A delivered response: the result plus the instant its worker delivered it.
+type Delivery = (Result<Vec<f32>, ServeError>, Instant);
+
+/// One request's reply cell: the worker delivers exactly once, the handle
+/// waits and takes.
+struct ReplyCell {
+    slot: Mutex<Option<Delivery>>,
+    cv: Condvar,
+}
+
+impl ReplyCell {
+    fn new() -> Self {
+        ReplyCell {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn deliver(&self, result: Result<Vec<f32>, ServeError>) {
+        let mut slot = self.slot.lock().unwrap();
+        *slot = Some((result, Instant::now()));
+        self.cv.notify_all();
+    }
+}
+
+/// The caller's side of one submitted request: block on
+/// [`ResponseHandle::wait`] for the class-probability vector.
+pub struct ResponseHandle {
+    cell: Arc<ReplyCell>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the request was served and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Engine`] if the batch this request rode in
+    /// failed to execute.
+    pub fn wait(self) -> Result<Vec<f32>, ServeError> {
+        self.wait_at().0
+    }
+
+    /// [`ResponseHandle::wait`], also returning the instant the response was
+    /// delivered by its worker (not the instant this call observed it) — the
+    /// correct end timestamp for latency measurement even when the waiter
+    /// runs behind the server.
+    pub fn wait_at(self) -> (Result<Vec<f32>, ServeError>, Instant) {
+        let mut slot = self.cell.slot.lock().unwrap();
+        loop {
+            if let Some(delivered) = slot.take() {
+                return delivered;
+            }
+            slot = self.cell.cv.wait(slot).unwrap();
+        }
+    }
+}
+
+/// One queued request.
+struct Job {
+    input: Vec<f32>,
+    reply: Arc<ReplyCell>,
+    enqueued: Instant,
+}
+
+/// Queue state behind the mutex.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+    stats: Mutex<ServeStats>,
+}
+
+/// The dynamic-batching server. Build with [`InferenceServer::start`],
+/// submit single samples with [`InferenceServer::submit`], stop with
+/// [`InferenceServer::shutdown`] (drains the queue: every accepted request
+/// is served before the workers exit).
+pub struct InferenceServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    per_elems: usize,
+    classes: usize,
+    config: ServerConfig,
+}
+
+impl InferenceServer {
+    /// Spawns the worker pool, forking one engine replica per worker; each
+    /// replica's arena is pre-sized for `config.max_batch` before it serves
+    /// its first request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for zero workers or a zero
+    /// batch size.
+    pub fn start(engine: Box<dyn BatchEngine>, config: ServerConfig) -> Result<Self, ServeError> {
+        if config.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be >= 1".into()));
+        }
+        if config.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
+        }
+        let per_elems: usize = engine.in_dims().iter().product();
+        let classes = engine.num_classes();
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            stats: Mutex::new(ServeStats::default()),
+        });
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let replica = engine.fork();
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("bnn-serve-{i}"))
+                .spawn(move || worker_loop(replica, shared, config))
+                .map_err(|e| ServeError::InvalidConfig(format!("spawn failed: {e}")))?;
+            workers.push(handle);
+        }
+        Ok(InferenceServer {
+            shared,
+            workers,
+            per_elems,
+            classes,
+            config,
+        })
+    }
+
+    /// Per-sample element count a request must carry.
+    pub fn sample_elems(&self) -> usize {
+        self.per_elems
+    }
+
+    /// Number of classes in every response.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Enqueues one flattened sample (`in_dims().iter().product()` floats)
+    /// and returns the handle its response arrives on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] if `sample` has the wrong
+    /// element count (the queue refuses malformed requests up front, before
+    /// they can poison a batch) or [`ServeError::ShuttingDown`] after
+    /// [`InferenceServer::shutdown`] began.
+    pub fn submit(&self, sample: &[f32]) -> Result<ResponseHandle, ServeError> {
+        if sample.len() != self.per_elems {
+            return Err(ServeError::InvalidRequest(format!(
+                "sample has {} elements, engine expects {}",
+                sample.len(),
+                self.per_elems
+            )));
+        }
+        let cell = Arc::new(ReplyCell::new());
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            q.jobs.push_back(Job {
+                input: sample.to_vec(),
+                reply: Arc::clone(&cell),
+                enqueued: Instant::now(),
+            });
+        }
+        self.shared.cv.notify_one();
+        Ok(ResponseHandle { cell })
+    }
+
+    /// A snapshot of the serving counters so far.
+    pub fn stats(&self) -> ServeStats {
+        *self.shared.stats.lock().unwrap()
+    }
+
+    /// Stops accepting requests, waits for the workers to drain and serve
+    /// everything already queued, joins them, and returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One worker: assemble a batch (size or deadline, whichever first), run the
+/// engine, deliver per-request responses. The staging buffer round-trips
+/// through the input tensor (`from_vec`/`into_vec`) so the hot loop reuses
+/// one allocation.
+fn worker_loop(mut engine: Box<dyn BatchEngine>, shared: Arc<Shared>, config: ServerConfig) {
+    let per_elems: usize = engine.in_dims().iter().product();
+    let classes = engine.num_classes();
+    engine.ensure_batch(config.max_batch);
+    let mut dims = Vec::with_capacity(engine.in_dims().len() + 1);
+    dims.push(0usize);
+    dims.extend_from_slice(engine.in_dims());
+    let mut staging: Vec<f32> = Vec::with_capacity(per_elems * config.max_batch);
+    let mut probs: Vec<f32> = Vec::new();
+    let mut batch_jobs: Vec<Job> = Vec::with_capacity(config.max_batch);
+    loop {
+        {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if q.jobs.len() >= config.max_batch || q.shutdown {
+                    break;
+                }
+                match q.jobs.front() {
+                    Some(front) => {
+                        // Deadline batching: serve the partial batch once the
+                        // oldest request has waited max_delay.
+                        let deadline = front.enqueued + config.max_delay;
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        let (guard, _) = shared.cv.wait_timeout(q, deadline - now).unwrap();
+                        q = guard;
+                    }
+                    None => {
+                        q = shared.cv.wait(q).unwrap();
+                    }
+                }
+            }
+            if q.jobs.is_empty() {
+                if q.shutdown {
+                    return;
+                }
+                continue;
+            }
+            let n = q.jobs.len().min(config.max_batch);
+            batch_jobs.extend(q.jobs.drain(..n));
+            if !q.jobs.is_empty() {
+                // More work is queued than this batch takes: hand it to a
+                // sibling instead of letting it wait out the full deadline.
+                shared.cv.notify_one();
+            }
+        }
+
+        let batch = batch_jobs.len();
+        staging.clear();
+        for job in &batch_jobs {
+            staging.extend_from_slice(&job.input);
+        }
+        dims[0] = batch;
+        let outcome = match Tensor::from_vec(std::mem::take(&mut staging), &dims) {
+            Ok(tensor) => {
+                let run =
+                    engine.predict_batch_into(&tensor, config.mc_samples, config.seed, &mut probs);
+                staging = tensor.into_vec();
+                run
+            }
+            Err(e) => Err(ServeError::from(e)),
+        };
+        match outcome {
+            Ok(()) => {
+                for (i, job) in batch_jobs.drain(..).enumerate() {
+                    job.reply
+                        .deliver(Ok(probs[i * classes..(i + 1) * classes].to_vec()));
+                }
+            }
+            Err(e) => {
+                for job in batch_jobs.drain(..) {
+                    job.reply.deliver(Err(e.clone()));
+                }
+            }
+        }
+        let mut stats = shared.stats.lock().unwrap();
+        stats.completed += batch as u64;
+        stats.batches += 1;
+        stats.max_batch_seen = stats.max_batch_seen.max(batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_presets_are_ordered() {
+        let lat = ServerConfig::latency_biased(2, 8, 1);
+        let thr = ServerConfig::throughput_biased(2, 8, 1);
+        assert!(lat.max_batch < thr.max_batch);
+        assert!(lat.max_delay < thr.max_delay);
+    }
+
+    #[test]
+    fn stats_occupancy() {
+        let s = ServeStats {
+            completed: 12,
+            batches: 3,
+            max_batch_seen: 6,
+        };
+        assert!((s.mean_occupancy() - 4.0).abs() < 1e-12);
+        assert_eq!(ServeStats::default().mean_occupancy(), 0.0);
+    }
+}

@@ -39,6 +39,9 @@ pub use bnn_bayes as bayes;
 /// Fixed-point quantization ([`bnn_quant`]).
 pub use bnn_quant as quant;
 
+/// Batched inference serving on compiled plans ([`bnn_serve`]).
+pub use bnn_serve as serve;
+
 /// Analytic FPGA hardware model ([`bnn_hw`]).
 pub use bnn_hw as hw;
 

@@ -17,8 +17,13 @@ use bayesnn_fpga::tensor::Tensor;
 #[global_allocator]
 static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
 
+/// The allocation counter is process-global, so the audits in this binary
+/// must not run concurrently — each holds this lock while measuring.
+static AUDIT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn planned_predict_probs_is_allocation_free_after_warmup() {
+    let _guard = AUDIT_LOCK.lock().unwrap();
     // The counter must be live: an ordinary allocation registers.
     let before = alloc_counter::allocation_count();
     let probe = vec![0u8; 4096];
@@ -76,6 +81,70 @@ fn planned_predict_probs_is_allocation_free_after_warmup() {
             alloc_counter::allocation_count() - before,
             0,
             "smaller-batch steady state must not allocate ({format})"
+        );
+    }
+}
+
+/// The serving path's batched entry point gets the same guarantee: after
+/// `ensure_batch(N)` and one warm-up call, `predict_probs_batch_into` at
+/// batch N (and below) performs zero heap allocations — this is what lets
+/// serving workers run allocation-free at their configured max batch.
+#[test]
+fn batched_predict_is_allocation_free_at_max_batch() {
+    let _guard = AUDIT_LOCK.lock().unwrap();
+    const MAX_BATCH: usize = 4;
+    let spec = zoo::lenet5(
+        &ModelConfig::mnist()
+            .with_resolution(10, 10)
+            .with_width_divisor(8)
+            .with_classes(4),
+    )
+    .with_exits_after_every_block()
+    .unwrap()
+    .with_exit_mcd(0.25)
+    .unwrap();
+    let network = spec.build(3).unwrap();
+    let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+    let calib = Tensor::randn(&[8, 1, 10, 10], &mut rng);
+    let calibrated = CalibratedNetwork::calibrate(&network, &calib).unwrap();
+
+    for format in [
+        FixedPointFormat::new(8, 3).unwrap(),
+        FixedPointFormat::new(16, 6).unwrap(),
+    ] {
+        let mut plan = calibrated.plan(format).unwrap();
+        plan.set_executor(Executor::sequential());
+        plan.ensure_batch(MAX_BATCH);
+        let inputs = Tensor::randn(&[MAX_BATCH, 1, 10, 10], &mut rng);
+        let mut out = Vec::new();
+
+        // Warm-up sizes the remaining per-call staging and the output.
+        plan.predict_probs_batch_into(&inputs, 6, 2023, &mut out)
+            .unwrap();
+        let warm = out.clone();
+
+        let before = alloc_counter::allocation_count();
+        plan.predict_probs_batch_into(&inputs, 6, 2023, &mut out)
+            .unwrap();
+        let allocations = alloc_counter::allocation_count() - before;
+        assert_eq!(
+            allocations, 0,
+            "steady-state batched predict allocated {allocations} time(s) ({format})"
+        );
+        assert_eq!(out, warm, "steady-state batched result drifted ({format})");
+
+        // Partial batches — what the deadline-fired server path produces —
+        // stay inside the arena sized for the max batch.
+        let small = Tensor::randn(&[MAX_BATCH - 2, 1, 10, 10], &mut rng);
+        plan.predict_probs_batch_into(&small, 6, 2023, &mut out)
+            .unwrap();
+        let before = alloc_counter::allocation_count();
+        plan.predict_probs_batch_into(&small, 6, 2023, &mut out)
+            .unwrap();
+        assert_eq!(
+            alloc_counter::allocation_count() - before,
+            0,
+            "partial-batch steady state must not allocate ({format})"
         );
     }
 }

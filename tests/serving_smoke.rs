@@ -1,0 +1,107 @@
+//! Fast serving smoke test for `make ci`: a few hundred replayed requests
+//! against a small quantized model on a real multi-worker server, asserting
+//! that every response is delivered, correct (bit-exact with direct plan
+//! calls), and that the replay report is internally consistent. Sized to
+//! finish in a few seconds.
+
+use bayesnn_fpga::models::{zoo, ModelConfig};
+use bayesnn_fpga::quant::{CalibratedNetwork, FixedPointFormat};
+use bayesnn_fpga::serve::replay::{replay, ReplayConfig};
+use bayesnn_fpga::serve::{InferenceServer, QuantEngine, ServeError, ServerConfig};
+use bayesnn_fpga::tensor::exec::Executor;
+use bayesnn_fpga::tensor::rng::Xoshiro256StarStar;
+use bayesnn_fpga::tensor::Tensor;
+use std::time::Duration;
+
+#[test]
+fn replayed_requests_are_all_served_and_correct() {
+    const REQUESTS: usize = 300;
+    const MC_SAMPLES: usize = 4;
+    const MC_SEED: u64 = 2023;
+
+    let network = zoo::lenet5(
+        &ModelConfig::mnist()
+            .with_resolution(10, 10)
+            .with_width_divisor(8)
+            .with_classes(4),
+    )
+    .with_exits_after_every_block()
+    .unwrap()
+    .with_exit_mcd(0.25)
+    .unwrap()
+    .build(3)
+    .unwrap();
+    let mut rng = Xoshiro256StarStar::seed_from_u64(13);
+    let calib = Tensor::randn(&[8, 1, 10, 10], &mut rng);
+    let calibrated = CalibratedNetwork::calibrate(&network, &calib).unwrap();
+    let mut plan = calibrated
+        .plan(FixedPointFormat::new(8, 3).unwrap())
+        .unwrap();
+    plan.set_executor(Executor::sequential());
+
+    let pool: Vec<Vec<f32>> = Tensor::randn(&[8, 1, 10, 10], &mut rng)
+        .as_slice()
+        .chunks_exact(100)
+        .map(<[f32]>::to_vec)
+        .collect();
+    let reference: Vec<Vec<f32>> = pool
+        .iter()
+        .map(|s| {
+            let t = Tensor::from_vec(s.clone(), &[1, 1, 10, 10]).unwrap();
+            plan.predict_probs_batch(&t, MC_SAMPLES, MC_SEED)
+                .unwrap()
+                .as_slice()
+                .to_vec()
+        })
+        .collect();
+
+    let server = InferenceServer::start(
+        Box::new(QuantEngine::new(plan)),
+        ServerConfig {
+            workers: 2,
+            max_batch: 8,
+            max_delay: Duration::from_micros(500),
+            mc_samples: MC_SAMPLES,
+            seed: MC_SEED,
+        },
+    )
+    .unwrap();
+
+    // Malformed submissions are rejected up front with typed errors.
+    assert!(matches!(
+        server.submit(&[0.0; 7]),
+        Err(ServeError::InvalidRequest(_))
+    ));
+
+    let outcome = replay(
+        &server,
+        &pool,
+        &ReplayConfig {
+            requests: REQUESTS,
+            rate_per_sec: 30_000.0,
+            seed: 3,
+        },
+    )
+    .unwrap();
+    let stats = server.shutdown();
+
+    assert_eq!(outcome.outputs.len(), REQUESTS);
+    assert_eq!(
+        stats.completed as usize, REQUESTS,
+        "all responses delivered"
+    );
+    assert!(stats.batches > 0 && stats.max_batch_seen <= 8);
+    for (i, output) in outcome.outputs.iter().enumerate() {
+        assert_eq!(
+            &output[..],
+            &reference[i % pool.len()][..],
+            "request {i}: served output differs from the direct plan call"
+        );
+    }
+
+    let r = &outcome.report;
+    assert_eq!(r.requests, REQUESTS);
+    assert!(r.throughput_rps > 0.0);
+    assert!(r.p50_latency <= r.p99_latency);
+    assert!(!r.elapsed.is_zero());
+}
