@@ -13,6 +13,8 @@
 #                     under BNN_THREADS=1 and 4
 #   make test-serving - serving smoke + determinism suites, under
 #                     BNN_THREADS=1 and 4
+#   make test-adaptive - adaptive early-exit parity + allocation audit,
+#                     under BNN_THREADS=1 and 4
 #   make bench-serving - replay the serving harness and record the results
 #                     as BENCH_serving.json
 #   make lint       - rustfmt check + clippy with warnings denied
@@ -26,7 +28,7 @@ CARGO ?= cargo
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test test-doc test-st test-scalar test-plans test-serving bench bench-build bench-quant bench-save bench-serving lint fmt doc clean ci
+.PHONY: all build test test-doc test-st test-scalar test-plans test-serving test-adaptive bench bench-build bench-quant bench-save bench-serving lint fmt doc clean ci
 
 all: build
 
@@ -66,6 +68,14 @@ test-plans:
 test-serving:
 	BNN_THREADS=1 $(CARGO) test -q --test serving_smoke --test serving_determinism
 	BNN_THREADS=4 $(CARGO) test -q --test serving_smoke --test serving_determinism
+
+# The adaptive early-exit guarantees at both ends of the thread-count range:
+# adaptive-batch prediction bit-exact with per-sample evaluation across all
+# formats/policies/executors, `Never` identical to the fixed-depth path, and
+# zero steady-state allocations through retirement + survivor compaction.
+test-adaptive:
+	BNN_THREADS=1 $(CARGO) test -q --test adaptive_exit_parity --test allocation_audit
+	BNN_THREADS=4 $(CARGO) test -q --test adaptive_exit_parity --test allocation_audit
 
 bench:
 	$(CARGO) bench -p bnn-bench
@@ -107,4 +117,4 @@ doc:
 clean:
 	$(CARGO) clean
 
-ci: lint build test test-doc test-st test-scalar test-plans test-serving bench-build doc
+ci: lint build test test-doc test-st test-scalar test-plans test-serving test-adaptive bench-build doc

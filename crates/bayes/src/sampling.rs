@@ -10,8 +10,15 @@
 //! * [`McSampler::predict_single_exit`] — the vanilla MCD baseline that
 //!   re-runs the whole network for every sample (paper Eq. 1).
 //!
-//! Confidence-threshold early exiting (used for the ECE-optimal rows of
-//! Table I) is provided by [`McSampler::confidence_exit_predict`].
+//! Threshold-based early exiting (used for the ECE-optimal rows of
+//! Table I) is provided by [`McSampler::adaptive_exit_predict`], with
+//! [`McSampler::confidence_exit_predict`] and
+//! [`McSampler::entropy_exit_predict`] as the two policy shorthands. When
+//! the network compiles to a [`bnn_models::MultiExitPlan`], early exiting
+//! runs on the plan's adaptive batched path — stragglers are compacted into
+//! a shrinking dense batch and easy samples stop paying for deeper blocks —
+//! and falls back to a full-depth layer-chain sweep otherwise. The two
+//! paths are bit-identical.
 //!
 //! # Determinism and parallelism
 //!
@@ -26,7 +33,7 @@
 //! single-threaded run.
 
 use crate::BayesError;
-use bnn_models::MultiExitNetwork;
+use bnn_models::{ExitPolicy, MultiExitNetwork};
 use bnn_nn::layer::Mode;
 use bnn_nn::network::Network;
 use bnn_tensor::exec::{in_parallel_region, Executor};
@@ -368,9 +375,9 @@ impl McSampler {
     /// Confidence-threshold early exiting using the running ensemble of exits
     /// (the "largest possible ensemble at each exit" variant of the paper).
     ///
-    /// For each sample, exits are consulted in order; the running equally
-    /// weighted ensemble of the exits seen so far is used, and the sample stops
-    /// at the first exit whose ensemble confidence exceeds `threshold`.
+    /// Shorthand for [`McSampler::adaptive_exit_predict`] with
+    /// [`ExitPolicy::Confidence`]: each sample stops at the first exit whose
+    /// running-ensemble top-class probability reaches `threshold`.
     ///
     /// # Errors
     ///
@@ -381,30 +388,108 @@ impl McSampler {
         inputs: &Tensor,
         threshold: f64,
     ) -> Result<EarlyExitPrediction, BayesError> {
-        if !(0.0..=1.0).contains(&threshold) {
-            return Err(BayesError::Invalid(format!(
-                "confidence threshold must be in [0, 1], got {threshold}"
-            )));
+        self.adaptive_exit_predict(network, inputs, &ExitPolicy::Confidence { threshold })
+    }
+
+    /// Entropy-threshold early exiting: each sample stops at the first exit
+    /// whose running-ensemble *normalized* predictive entropy drops to
+    /// `threshold` or below (shorthand for [`McSampler::adaptive_exit_predict`]
+    /// with [`ExitPolicy::Entropy`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors or an invalid threshold.
+    pub fn entropy_exit_predict(
+        &self,
+        network: &mut MultiExitNetwork,
+        inputs: &Tensor,
+        threshold: f64,
+    ) -> Result<EarlyExitPrediction, BayesError> {
+        self.adaptive_exit_predict(network, inputs, &ExitPolicy::Entropy { threshold })
+    }
+
+    /// Policy-driven early exiting using the running ensemble of exits.
+    ///
+    /// For each sample, exits are consulted in order; the running equally
+    /// weighted ensemble of the exits seen so far is scored by `policy`
+    /// ([`ExitPolicy::retires`]) and the sample stops at the first exit the
+    /// policy accepts — or at the last exit unconditionally.
+    ///
+    /// Plannable networks execute on the compiled plan's adaptive batched
+    /// path ([`bnn_models::MultiExitPlan::predict_adaptive_batch_into`]):
+    /// retired samples leave the batch mid-flight and survivors are
+    /// compacted into a dense smaller batch, so deeper blocks only ever see
+    /// the stragglers. Networks that cannot plan (batch normalisation,
+    /// residual blocks) fall back to a full-depth layer-chain sweep with the
+    /// same per-row decisions; the returned bits are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors or an invalid policy threshold.
+    pub fn adaptive_exit_predict(
+        &self,
+        network: &mut MultiExitNetwork,
+        inputs: &Tensor,
+        policy: &ExitPolicy,
+    ) -> Result<EarlyExitPrediction, BayesError> {
+        policy.validate().map_err(BayesError::Invalid)?;
+        let n_exits = network.num_exits();
+        if n_exits == 0 {
+            return Err(BayesError::Invalid("network has no exits".into()));
         }
+        let cumulative = exit_cumulative_flops_fraction(network)?;
+        if inputs.dims().len() >= 2 {
+            let planned = match network.cached_plan(&inputs.dims()[1..]) {
+                Ok(plan) => {
+                    let mut out = Vec::new();
+                    let mut exit_taken = Vec::new();
+                    // n_samples = 0: one deterministic (dropout-disabled)
+                    // consult per exit — the historical early-exit
+                    // semantics. The seed is unused in that mode.
+                    let stats = plan.predict_adaptive_batch_into(
+                        inputs,
+                        0,
+                        0,
+                        policy,
+                        &mut out,
+                        &mut exit_taken,
+                    )?;
+                    Some((out, exit_taken, stats.batch, stats.classes))
+                }
+                Err(_) => None,
+            };
+            if let Some((out, exit_taken, batch, classes)) = planned {
+                let flops_sum: f64 = exit_taken.iter().map(|&e| cumulative[e]).sum();
+                return Ok(EarlyExitPrediction {
+                    probs: Tensor::from_vec(out, &[batch, classes])?,
+                    exit_taken,
+                    mean_flops_fraction: flops_sum / batch.max(1) as f64,
+                });
+            }
+        }
+        self.adaptive_exit_layered(network, inputs, policy, n_exits, &cumulative)
+    }
+
+    /// The unplanned early-exit path: every exit of the layer chain runs at
+    /// full depth, then the per-row policy sweep picks each sample's exit.
+    /// Bit-identical to the plan's adaptive path (same kernels, same softmax
+    /// rows, same accumulation order, same [`ExitPolicy::retires`] bits) —
+    /// it just cannot skip the deeper blocks.
+    fn adaptive_exit_layered(
+        &self,
+        network: &mut MultiExitNetwork,
+        inputs: &Tensor,
+        policy: &ExitPolicy,
+        n_exits: usize,
+        cumulative: &[f64],
+    ) -> Result<EarlyExitPrediction, BayesError> {
         let exits = network.forward_exits(inputs, Mode::Eval)?;
-        let n_exits = exits.len();
         let probs_per_exit: Result<Vec<Tensor>, BayesError> = exits
             .iter()
             .map(|e| softmax(e).map_err(BayesError::from))
             .collect();
         let probs_per_exit = probs_per_exit?;
         let (batch, classes) = probs_per_exit[0].shape().as_matrix()?;
-
-        // Cumulative FLOPs fraction consumed when stopping at exit i.
-        let report = network.spec().flop_report()?;
-        let full = report.total().max(1) as f64;
-        let block_flops = backbone_cumulative_flops(network)?;
-        let mut cumulative = Vec::with_capacity(n_exits);
-        let mut exit_acc = 0u64;
-        for (i, exit_spec) in network.spec().exits.iter().enumerate() {
-            exit_acc += report.exits[i];
-            cumulative.push((block_flops[exit_spec.after_block] + exit_acc) as f64 / full);
-        }
 
         let mut out = vec![0.0f32; batch * classes];
         let mut exit_taken = vec![0usize; batch];
@@ -418,8 +503,7 @@ impl McSampler {
                     *acc += p;
                 }
                 let denom = (i + 1) as f32;
-                let confidence = running.iter().copied().fold(f32::NEG_INFINITY, f32::max) / denom;
-                if confidence as f64 >= threshold || i == n_exits - 1 {
+                if policy.retires(&running, denom) || i == n_exits - 1 {
                     chosen = i;
                     for c in 0..classes {
                         out[b * classes + c] = running[c] / denom;
@@ -436,6 +520,22 @@ impl McSampler {
             mean_flops_fraction: flops_sum / batch.max(1) as f64,
         })
     }
+}
+
+/// Cumulative FLOPs fraction of the full network consumed when a sample
+/// stops at each exit (backbone blocks up to the exit's attachment point
+/// plus every exit head consulted along the way).
+fn exit_cumulative_flops_fraction(network: &MultiExitNetwork) -> Result<Vec<f64>, BayesError> {
+    let report = network.spec().flop_report()?;
+    let full = report.total().max(1) as f64;
+    let block_flops = backbone_cumulative_flops(network)?;
+    let mut cumulative = Vec::with_capacity(network.spec().exits.len());
+    let mut exit_acc = 0u64;
+    for (i, exit_spec) in network.spec().exits.iter().enumerate() {
+        exit_acc += report.exits[i];
+        cumulative.push((block_flops[exit_spec.after_block] + exit_acc) as f64 / full);
+    }
+    Ok(cumulative)
 }
 
 /// Cumulative backbone FLOPs up to and including each block (batch size 1).
@@ -657,6 +757,62 @@ mod tests {
         assert!(eager.mean_flops_fraction > 0.0);
         assert!(strict.mean_flops_fraction <= 1.0 + 1e-9);
         assert!(sampler.confidence_exit_predict(&mut net, &x, 1.5).is_err());
+    }
+
+    #[test]
+    fn adaptive_plan_path_matches_layered_fallback_bitwise() {
+        // LeNet compiles, so the public API takes the plan's adaptive
+        // batched path (with mid-flight compaction); forcing the layered
+        // full-depth sweep must give the same bits, exits and FLOPs.
+        let mut rng = bnn_tensor::rng::Xoshiro256StarStar::seed_from_u64(41);
+        let x = Tensor::randn(&[5, 1, 10, 10], &mut rng);
+        let sampler = McSampler::default();
+        for policy in [
+            ExitPolicy::Never,
+            ExitPolicy::Confidence { threshold: 0.3 },
+            ExitPolicy::Confidence { threshold: 0.0 },
+            ExitPolicy::Entropy { threshold: 0.97 },
+        ] {
+            let mut net = small_lenet();
+            let planned = sampler
+                .adaptive_exit_predict(&mut net, &x, &policy)
+                .unwrap();
+            let mut net_layered = small_lenet();
+            let n_exits = net_layered.num_exits();
+            let cumulative = exit_cumulative_flops_fraction(&net_layered).unwrap();
+            let layered = sampler
+                .adaptive_exit_layered(&mut net_layered, &x, &policy, n_exits, &cumulative)
+                .unwrap();
+            assert_eq!(
+                planned.probs.as_slice(),
+                layered.probs.as_slice(),
+                "policy {policy}"
+            );
+            assert_eq!(planned.exit_taken, layered.exit_taken, "policy {policy}");
+            assert_eq!(
+                planned.mean_flops_fraction, layered.mean_flops_fraction,
+                "policy {policy}"
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_exit_mirrors_confidence_behaviour() {
+        // Normalized entropy is always <= 1 and > 0 for non-degenerate
+        // rows, so threshold 1 retires everything at exit 0 and threshold 0
+        // runs everything to the last exit.
+        let mut net = small_net();
+        let sampler = McSampler::default();
+        let x = Tensor::ones(&[4, 3, 12, 12]);
+        let eager = sampler.entropy_exit_predict(&mut net, &x, 1.0).unwrap();
+        let strict = sampler.entropy_exit_predict(&mut net, &x, 0.0).unwrap();
+        assert!(eager.exit_taken.iter().all(|&e| e == 0));
+        assert!(strict.exit_taken.iter().all(|&e| e == net.num_exits() - 1));
+        assert!(eager.mean_flops_fraction < strict.mean_flops_fraction);
+        assert!(sampler
+            .entropy_exit_predict(&mut net, &x, f64::NAN)
+            .is_err());
+        assert!(sampler.entropy_exit_predict(&mut net, &x, -0.5).is_err());
     }
 
     #[test]

@@ -1,27 +1,39 @@
 //! The serving replay harness behind `make bench-serving`: drives seeded
 //! open-loop synthetic load against the dynamic-batching server on the
-//! LeNet-5 8-bit integer plan and records requests/sec, p50/p99 latency and
-//! mean batch occupancy into `BENCH_serving.json`.
+//! LeNet-5 8-bit integer plan and records requests/sec, p50/p99 latency,
+//! mean batch occupancy and — for adaptive early-exit configs — the
+//! per-exit retirement mix and integer-ops saved into `BENCH_serving.json`.
 //!
 //! ```text
 //! cargo run --release -p bnn-bench --bin bench_serving -- BENCH_serving.json
 //! ```
 //!
-//! Two batching configs are measured on identical request streams:
-//! latency-biased (small batches, short deadline) and throughput-biased
-//! (large batches, long deadline). The offered rate is sized from a quick
-//! single-sample service-time estimate, so the comparison stays in the
-//! regime where the batching policy matters (neither idle nor saturated).
-//! Response contents are deterministic (batch-boundary-invariant engine,
-//! fixed seeds); the recorded latencies are wall-clock measurements.
+//! Four configs are measured on identical request streams: fixed-depth
+//! latency-biased (small batches, short deadline), fixed-depth
+//! throughput-biased (large batches, long deadline), and two adaptive
+//! configs (confidence- and entropy-threshold early exit) on the
+//! throughput-biased batching so the only difference is the policy. The
+//! request pool is **mixed-difficulty**: the clean synthetic test set plus
+//! its severity-3 corruption shifts (`bnn-data`), and the thresholds are
+//! calibrated to the pool's median first-exit score, so about half the
+//! requests retire at the first exit and the rest ride to full depth — a
+//! guaranteed mixed retirement pattern whose integer-op savings the report
+//! records.
+//!
+//! The offered rate is sized from a quick single-sample service-time
+//! estimate, so the comparison stays in the regime where the batching
+//! policy matters (neither idle nor saturated). Response contents are
+//! deterministic (batch-boundary-invariant engines, fixed seeds); the
+//! recorded latencies are wall-clock measurements.
 
 use bnn_bench::save::{json_str, render_report};
-use bnn_data::{DatasetSpec, SyntheticConfig};
-use bnn_models::{zoo, ModelConfig};
+use bnn_data::{Corruption, Dataset, DatasetSpec, SyntheticConfig};
+use bnn_models::{zoo, ExitPolicy, ModelConfig};
 use bnn_quant::{CalibratedNetwork, FixedPointFormat, QuantPlan};
 use bnn_serve::replay::{replay, ReplayConfig};
 use bnn_serve::{BatchEngine, InferenceServer, QuantEngine, ServerConfig};
 use bnn_tensor::exec::Executor;
+use bnn_tensor::Tensor;
 use std::time::{Duration, Instant};
 
 /// MC samples per prediction (matches the kernels bench).
@@ -30,6 +42,8 @@ const MC_SAMPLES: usize = 8;
 const MC_SEED: u64 = 2023;
 /// Requests per batching config.
 const REQUESTS: usize = 1200;
+/// Corruption severity of the shifted half of the request pool.
+const SHIFT_SEVERITY: usize = 3;
 
 /// Duration in nanoseconds, for JSON.
 fn ns(d: Duration) -> f64 {
@@ -39,8 +53,10 @@ fn ns(d: Duration) -> f64 {
 /// The single-sample request pool the replay cycles through.
 type RequestPool = Vec<Vec<f32>>;
 
-/// The LeNet-5 plan of the kernels bench: MNIST-like at 12x12, width/4,
-/// exits after every block with MC-dropout 0.25, quantized at 8 bits.
+/// The LeNet-5 plan of the kernels bench — MNIST-like at 12x12, width/4,
+/// exits after every block with MC-dropout 0.25, quantized at 8 bits —
+/// plus the mixed-difficulty request pool: the clean test set followed by
+/// its severity-ladder corruption shifts.
 fn build_plan() -> Result<(QuantPlan, RequestPool), Box<dyn std::error::Error>> {
     let spec = zoo::lenet5(
         &ModelConfig::mnist()
@@ -57,15 +73,73 @@ fn build_plan() -> Result<(QuantPlan, RequestPool), Box<dyn std::error::Error>> 
     let mut plan = calibrated.plan(FixedPointFormat::new(8, 3)?)?;
     // Workers run strictly allocation-free on their own thread each.
     plan.set_executor(Executor::sequential());
+
     let per: usize = plan.in_dims().iter().product();
-    let pool: Vec<Vec<f32>> = data
-        .test
-        .inputs()
-        .as_slice()
-        .chunks_exact(per)
-        .map(|c| c.to_vec())
-        .collect();
+    let as_rows = |d: &Dataset| -> Vec<Vec<f32>> {
+        d.inputs()
+            .as_slice()
+            .chunks_exact(per)
+            .map(|c| c.to_vec())
+            .collect()
+    };
+    let mut pool: RequestPool = as_rows(&data.test);
+    for (i, corruption) in Corruption::severity_ladder(SHIFT_SEVERITY)
+        .iter()
+        .enumerate()
+    {
+        let shifted = corruption.apply(&data.test, 100 + i as u64)?;
+        pool.extend(as_rows(&shifted));
+    }
     Ok((plan, pool))
+}
+
+/// Median of an unsorted sequence of finite scores.
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Calibrates the confidence and entropy thresholds to the pool's median
+/// first-exit ensemble score: by construction about half the mixed pool
+/// retires at exit 0 under either policy, so the adaptive configs always
+/// measure a genuinely mixed depth distribution.
+fn calibrate_thresholds(
+    plan: &mut QuantPlan,
+    pool: &[Vec<f32>],
+) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+    let n = pool.len().min(256);
+    let mut flat = Vec::with_capacity(n * pool[0].len());
+    for row in &pool[..n] {
+        flat.extend_from_slice(row);
+    }
+    let inputs = Tensor::from_vec(flat, &[n, 1, 12, 12])?;
+    // Threshold 0 retires everything at exit 0, so the returned rows are
+    // exactly the first-exit MC ensembles the serving policies will score.
+    let first_exit = plan.predict_adaptive_batch(
+        &inputs,
+        MC_SAMPLES,
+        MC_SEED,
+        &ExitPolicy::Confidence { threshold: 0.0 },
+    )?;
+    let classes = first_exit.stats.classes;
+    let rows = first_exit.probs.as_slice();
+    let mut confidences = Vec::with_capacity(n);
+    let mut entropies = Vec::with_capacity(n);
+    for row in rows.chunks_exact(classes) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        confidences.push(f64::from(max));
+        let mut entropy = 0.0f32;
+        for &p in row {
+            if p > 1e-12 {
+                entropy -= p * p.ln();
+            }
+        }
+        entropies.push(f64::from(entropy / (classes as f32).ln()));
+    }
+    Ok((
+        median(confidences).clamp(0.0, 1.0),
+        median(entropies).clamp(0.0, 1.0),
+    ))
 }
 
 /// Mean single-sample service time of the engine (warm arena).
@@ -97,7 +171,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_serving.json".into());
-    let (plan, pool) = build_plan()?;
+    let (mut plan, pool) = build_plan()?;
+    let (conf_threshold, ent_threshold) = calibrate_thresholds(&mut plan, &pool)?;
+    eprintln!(
+        "bench_serving: calibrated thresholds: confidence {conf_threshold:.4}, \
+         entropy {ent_threshold:.4}"
+    );
     let prototype = QuantEngine::new(plan);
 
     let workers = Executor::global().threads().clamp(1, 4);
@@ -113,26 +192,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rate
     );
 
+    let throughput_batching = ServerConfig {
+        workers,
+        max_batch: 32,
+        max_delay: Duration::from_millis(2),
+        mc_samples: MC_SAMPLES,
+        seed: MC_SEED,
+        policy: ExitPolicy::Never,
+    };
     let configs = [
         (
             "latency_biased",
             ServerConfig {
-                workers,
                 max_batch: 4,
                 max_delay: Duration::from_micros(200),
-                mc_samples: MC_SAMPLES,
-                seed: MC_SEED,
+                ..throughput_batching.clone()
             },
         ),
+        ("throughput_biased", throughput_batching.clone()),
         (
-            "throughput_biased",
-            ServerConfig {
-                workers,
-                max_batch: 32,
-                max_delay: Duration::from_millis(2),
-                mc_samples: MC_SAMPLES,
-                seed: MC_SEED,
-            },
+            "adaptive_confidence",
+            throughput_batching
+                .clone()
+                .with_policy(ExitPolicy::Confidence {
+                    threshold: conf_threshold,
+                }),
+        ),
+        (
+            "adaptive_entropy",
+            throughput_batching
+                .clone()
+                .with_policy(ExitPolicy::Entropy {
+                    threshold: ent_threshold,
+                }),
         ),
     ];
 
@@ -150,19 +242,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         let stats = server.shutdown();
         let r = &outcome.report;
+        let ops_per_request = stats.ops_executed as f64 / stats.completed.max(1) as f64;
+        let fixed_per_request = stats.ops_fixed as f64 / stats.completed.max(1) as f64;
+        let exit_fractions = stats
+            .exit_fractions()
+            .iter()
+            .map(|f| format!("{f:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         eprintln!(
-            "bench_serving: {id}: {:.0} rps, p50 {:.1} us, p99 {:.1} us, occupancy {:.2}",
+            "bench_serving: {id}: {:.0} rps, p50 {:.1} us, p99 {:.1} us, occupancy {:.2}, \
+             exits [{exit_fractions}], ops saved {:.1}%",
             r.throughput_rps,
             r.p50_latency.as_secs_f64() * 1e6,
             r.p99_latency.as_secs_f64() * 1e6,
-            stats.mean_occupancy()
+            stats.mean_occupancy(),
+            100.0 * stats.ops_saved_fraction(),
         );
         entries.push(format!(
             "{{\"id\": \"{id}\", \"requests\": {}, \"offered_rps\": {:.1}, \
              \"throughput_rps\": {:.1}, \"mean_ns\": {:.1}, \"p50_ns\": {:.1}, \
              \"p99_ns\": {:.1}, \"mean_batch_occupancy\": {:.3}, \
              \"max_batch_seen\": {}, \"max_batch\": {}, \"max_delay_us\": {}, \
-             \"workers\": {}}}",
+             \"workers\": {}, \"policy\": \"{}\", \"threshold\": {}, \
+             \"exit_fractions\": [{exit_fractions}], \
+             \"ops_per_request\": {ops_per_request:.1}, \
+             \"ops_fixed_per_request\": {fixed_per_request:.1}, \
+             \"ops_saved_fraction\": {:.4}}}",
             r.requests,
             rate,
             r.throughput_rps,
@@ -174,6 +280,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             config.max_batch,
             config.max_delay.as_micros(),
             config.workers,
+            config.policy.name(),
+            config
+                .policy
+                .threshold()
+                .map_or("null".into(), |t| format!("{t:.6}")),
+            stats.ops_saved_fraction(),
         ));
     }
 
@@ -188,6 +300,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("model", json_str("lenet5-mnist-12x12-div4-2exit-mcd0.25")),
             ("format", json_str("8.3")),
             ("mc_samples", MC_SAMPLES.to_string()),
+            ("pool", json_str("clean + severity-3 corruption shifts")),
             ("single_sample_service_ns", format!("{:.1}", ns(service))),
         ],
         "entries",

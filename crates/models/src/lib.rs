@@ -37,6 +37,7 @@ pub mod config;
 pub mod error;
 pub mod multi_exit;
 pub mod plan;
+pub mod policy;
 pub mod residual;
 pub mod spec;
 pub mod zoo;
@@ -45,5 +46,6 @@ pub use config::ModelConfig;
 pub use error::ModelError;
 pub use multi_exit::{MultiExitNetwork, NetworkCheckpoint};
 pub use plan::MultiExitPlan;
+pub use policy::{AdaptivePrediction, AdaptiveStats, ExitPolicy};
 pub use residual::ResidualBlock;
 pub use spec::{ExitSpec, LayerSpec, NetworkSpec};

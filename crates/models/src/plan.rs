@@ -13,6 +13,7 @@
 
 use crate::error::ModelError;
 use crate::multi_exit::MultiExitNetwork;
+use crate::policy::{AdaptivePrediction, AdaptiveStats, ExitPolicy};
 use bnn_nn::layer::Mode;
 use bnn_nn::network::Network;
 use bnn_nn::{InferencePlan, Layer};
@@ -295,6 +296,265 @@ impl MultiExitPlan {
         let (batch, classes) = self.predict_probs_batch_into(inputs, n_samples, seed, &mut out)?;
         Ok(Tensor::from_vec(out, &[batch, classes])?)
     }
+
+    /// Static cost of the fixed-depth path
+    /// ([`MultiExitPlan::predict_probs_batch_into`]) for a `batch`-sample
+    /// call at `n_samples` MC samples: `(step_invocations, ops)` where ops
+    /// scale with the batch but invocations do not (each invocation runs the
+    /// whole batch). This is the `ops_fixed` baseline the adaptive path
+    /// reports its savings against.
+    pub fn fixed_cost(&self, batch: usize, n_samples: usize) -> (u64, u64) {
+        let n_exits = self.exits.len().max(1);
+        let passes = n_samples.div_ceil(n_exits).max(1);
+        let kept = if n_samples == 0 {
+            passes * n_exits
+        } else {
+            n_samples.min(passes * n_exits)
+        };
+        let mut steps = 0u64;
+        let mut unit_ops = 0u64;
+        for block in &self.blocks {
+            steps += block.num_steps() as u64;
+            unit_ops += block.unit_ops();
+        }
+        for (e, (_, branch)) in self.exits.iter().enumerate() {
+            let runs = if e < kept {
+                ((kept - e - 1) / n_exits + 1) as u64
+            } else {
+                0
+            };
+            steps += runs * branch.num_steps() as u64;
+            unit_ops += runs * branch.unit_ops();
+        }
+        (steps, unit_ops * batch as u64)
+    }
+
+    /// Policy-driven adaptive batched prediction: the step list is executed
+    /// in exit-boundary segments, and after each exit head's ensemble joins
+    /// the live rows, `policy` retires the confident samples and the
+    /// surviving rows are **compacted into a dense smaller batch** that alone
+    /// pays for the deeper blocks.
+    ///
+    /// Execution order per exit `e`: run the backbone blocks up to the
+    /// exit's attachment point once in [`Mode::Eval`] on the live rows, then
+    /// draw `ceil(n_samples / n_exits)` MC samples from exit `e` (pass `p`
+    /// reseeds every mask stream from `stream_seed(seed, p)`, exactly the
+    /// fixed path's assignment, with per-sample masks broadcast across the
+    /// batch). Each sample's output row is the running equally-weighted
+    /// ensemble mean over all exits consulted before it retired. Because
+    /// masks are per-sample and every retirement decision is row-local,
+    /// each row — probabilities *and* exit choice — is bit-exact with
+    /// evaluating that sample alone under the same policy, regardless of
+    /// which other samples shared its batch or when they retired.
+    ///
+    /// With `n_samples == 0` the exits are consulted deterministically in
+    /// [`Mode::Eval`] (one consult per exit), matching the historical
+    /// `McSampler::confidence_exit_predict` semantics. With
+    /// [`ExitPolicy::Never`] and `n_samples > 0` the call delegates to
+    /// [`MultiExitPlan::predict_probs_batch_into`] and is bit-exact with it.
+    ///
+    /// `out` is resized to `[batch * classes]` and `exit_taken` to `batch`
+    /// (the exit index each sample retired at). Returns the execution
+    /// accounting, including the fixed-depth op baseline for the same call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] for an invalid policy threshold,
+    /// an empty batch or a shape mismatch, [`ModelError::InvalidSpec`] for a
+    /// plan without exits or with exits attached out of depth order, or
+    /// propagates execution errors.
+    pub fn predict_adaptive_batch_into(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+        policy: &ExitPolicy,
+        out: &mut Vec<f32>,
+        exit_taken: &mut Vec<usize>,
+    ) -> Result<AdaptiveStats, ModelError> {
+        policy.validate().map_err(ModelError::InvalidInput)?;
+        let n_exits = self.exits.len();
+        if n_exits == 0 {
+            return Err(ModelError::InvalidSpec("plan has no exits".into()));
+        }
+        if self.exits.windows(2).any(|w| w[0].0 > w[1].0) {
+            return Err(ModelError::InvalidSpec(
+                "adaptive execution requires exits in ascending block order".into(),
+            ));
+        }
+        if inputs.dims().len() != self.in_dims.len() + 1 || inputs.dims()[1..] != self.in_dims[..] {
+            return Err(ModelError::InvalidInput(format!(
+                "plan expects input dims [batch, {:?}], got {:?}",
+                self.in_dims,
+                inputs.dims()
+            )));
+        }
+        let batch = inputs.dims()[0];
+        if batch == 0 {
+            return Err(ModelError::InvalidInput("empty input batch".into()));
+        }
+        let spe = if n_samples == 0 {
+            1
+        } else {
+            n_samples.div_ceil(n_exits)
+        };
+        let (fixed_steps, fixed_ops) = self.fixed_cost(batch, n_samples);
+
+        // `Never` with MC samples is exactly the fixed-depth path; delegate
+        // so the accumulation order (pass-major) — and therefore every f32
+        // bit — matches `predict_probs_batch_into`. The deterministic
+        // `n_samples == 0` variant consults each exit once in Eval mode,
+        // which the generic loop below expresses directly.
+        if policy.is_never() && n_samples > 0 {
+            self.predict_probs_batch_into(inputs, n_samples, seed, out)?;
+            exit_taken.clear();
+            exit_taken.resize(batch, n_exits - 1);
+            return Ok(AdaptiveStats {
+                batch,
+                classes: self.classes,
+                samples_per_exit: spe,
+                steps_executed: fixed_steps,
+                ops_executed: fixed_ops,
+                ops_fixed: fixed_ops,
+            });
+        }
+
+        let mode = if n_samples == 0 {
+            Mode::Eval
+        } else {
+            Mode::McSample
+        };
+        let classes = self.classes;
+        let elems = batch * classes;
+        out.clear();
+        out.resize(elems, 0.0);
+        exit_taken.clear();
+        exit_taken.resize(batch, 0);
+
+        // Live-row state: rows 0..live of `acc` (and of the frontier
+        // activation `cur`) belong to original samples `live_idx[0..live]`.
+        let mut acc = vec![0.0f32; elems];
+        let mut probs = vec![0.0f32; elems];
+        let mut live_idx: Vec<usize> = (0..batch).collect();
+        let mut live = batch;
+        let mut cur: Option<Tensor> = None;
+        let mut next_block = 0usize;
+        let mut steps_executed = 0u64;
+        let mut ops_executed = 0u64;
+
+        for e in 0..n_exits {
+            let target_block = self.exits[e].0;
+            while next_block <= target_block {
+                let block = &mut self.blocks[next_block];
+                let src = cur.as_ref().unwrap_or(inputs);
+                let next = block.forward(src, Mode::Eval)?;
+                steps_executed += block.num_steps() as u64;
+                ops_executed += block.unit_ops() * live as u64;
+                cur = Some(next);
+                next_block += 1;
+            }
+            for p in 0..spe {
+                if matches!(mode, Mode::McSample) {
+                    // Reseeding assigns every stream from the master seed, so
+                    // running only exit `e` afterwards draws the identical
+                    // masks the fixed path draws for this exit on pass `p`.
+                    self.reseed_mc_streams(stream_seed(seed, p as u64));
+                }
+                let act = cur.as_ref().expect("exits attach after at least one block");
+                let (_, branch) = &mut self.exits[e];
+                let logits = branch.forward_shared_mask(act, mode)?;
+                steps_executed += branch.num_steps() as u64;
+                ops_executed += branch.unit_ops() * live as u64;
+                let n = live * classes;
+                softmax_rows_into(logits.as_slice(), live, classes, &mut probs[..n])?;
+                for (a, &p) in acc[..n].iter_mut().zip(&probs[..n]) {
+                    *a += p;
+                }
+            }
+            let consulted = ((e + 1) * spe) as f32;
+            let last = e + 1 == n_exits;
+
+            // Retire-or-compact pass: retired rows scatter their ensemble
+            // mean to their original output slot; survivors slide forward in
+            // `acc`/`live_idx` and their frontier activation rows are
+            // gathered into a dense batch.
+            let act = cur.as_ref().expect("exits attach after at least one block");
+            let act_slice = act.as_slice();
+            let unit: usize = act.dims()[1..].iter().product();
+            let mut gathered: Vec<f32> = Vec::new();
+            let mut keep = 0usize;
+            for r in 0..live {
+                let start = r * classes;
+                let retire = last || policy.retires(&acc[start..start + classes], consulted);
+                if retire {
+                    let orig = live_idx[r];
+                    for c in 0..classes {
+                        out[orig * classes + c] = acc[start + c] / consulted;
+                    }
+                    exit_taken[orig] = e;
+                } else {
+                    if !last {
+                        gathered.extend_from_slice(&act_slice[r * unit..(r + 1) * unit]);
+                    }
+                    if keep != r {
+                        acc.copy_within(start..start + classes, keep * classes);
+                        live_idx[keep] = live_idx[r];
+                    }
+                    keep += 1;
+                }
+            }
+            if keep == 0 {
+                live = 0;
+                break;
+            }
+            if keep < live {
+                let mut dims = act.dims().to_vec();
+                dims[0] = keep;
+                cur = Some(Tensor::from_vec(gathered, &dims)?);
+            }
+            live = keep;
+        }
+        debug_assert_eq!(live, 0, "every sample retires by the last exit");
+
+        Ok(AdaptiveStats {
+            batch,
+            classes,
+            samples_per_exit: spe,
+            steps_executed,
+            ops_executed,
+            ops_fixed: fixed_ops,
+        })
+    }
+
+    /// [`MultiExitPlan::predict_adaptive_batch_into`] returning owned
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiExitPlan::predict_adaptive_batch_into`].
+    pub fn predict_adaptive_batch(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+        policy: &ExitPolicy,
+    ) -> Result<AdaptivePrediction, ModelError> {
+        let mut out = Vec::new();
+        let mut exit_taken = Vec::new();
+        let stats = self.predict_adaptive_batch_into(
+            inputs,
+            n_samples,
+            seed,
+            policy,
+            &mut out,
+            &mut exit_taken,
+        )?;
+        Ok(AdaptivePrediction {
+            probs: Tensor::from_vec(out, &[stats.batch, stats.classes])?,
+            exit_taken,
+            stats,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -416,6 +676,89 @@ mod tests {
         for row in all.as_slice().chunks(4) {
             let s: f32 = row.iter().sum();
             assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn adaptive_never_matches_fixed_batch_bitwise() {
+        let net = lenet();
+        let mut plan = net.compile_plan(&[1, 10, 10]).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(31);
+        let x = Tensor::randn(&[3, 1, 10, 10], &mut rng);
+        let fixed = plan.predict_probs_batch(&x, 6, 2023).unwrap();
+        let adaptive = plan
+            .predict_adaptive_batch(&x, 6, 2023, &ExitPolicy::Never)
+            .unwrap();
+        assert_eq!(fixed.as_slice(), adaptive.probs.as_slice());
+        assert_eq!(adaptive.exit_taken, vec![plan.num_exits() - 1; 3]);
+        assert_eq!(adaptive.stats.ops_executed, adaptive.stats.ops_fixed);
+        assert!(adaptive.stats.ops_fixed > 0);
+    }
+
+    #[test]
+    fn adaptive_rows_match_single_sample_evaluation() {
+        let net = lenet();
+        let mut plan = net.compile_plan(&[1, 10, 10]).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(33);
+        let x = Tensor::randn(&[4, 1, 10, 10], &mut rng);
+        let per = 100usize;
+        for policy in [
+            ExitPolicy::Confidence { threshold: 0.3 },
+            ExitPolicy::Entropy { threshold: 0.97 },
+            ExitPolicy::Confidence { threshold: 0.0 }, // everyone retires at exit 0
+            ExitPolicy::Confidence { threshold: 1.0 }, // nobody retires early
+        ] {
+            for n_samples in [0usize, 6] {
+                let all = plan
+                    .predict_adaptive_batch(&x, n_samples, 2023, &policy)
+                    .unwrap();
+                for b in 0..4 {
+                    let sample = Tensor::from_vec(
+                        x.as_slice()[b * per..(b + 1) * per].to_vec(),
+                        &[1, 1, 10, 10],
+                    )
+                    .unwrap();
+                    let one = plan
+                        .predict_adaptive_batch(&sample, n_samples, 2023, &policy)
+                        .unwrap();
+                    assert_eq!(
+                        &all.probs.as_slice()[b * 4..(b + 1) * 4],
+                        one.probs.as_slice(),
+                        "{policy} n={n_samples} row {b}"
+                    );
+                    assert_eq!(
+                        all.exit_taken[b], one.exit_taken[0],
+                        "{policy} n={n_samples} row {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_saves_ops_when_samples_retire_early() {
+        let net = lenet();
+        let mut plan = net.compile_plan(&[1, 10, 10]).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(35);
+        let x = Tensor::randn(&[4, 1, 10, 10], &mut rng);
+        let all_early = plan
+            .predict_adaptive_batch(&x, 6, 2023, &ExitPolicy::Confidence { threshold: 0.0 })
+            .unwrap();
+        assert_eq!(all_early.exit_taken, vec![0; 4]);
+        assert!(all_early.stats.ops_executed < all_early.stats.ops_fixed);
+        assert!(all_early.stats.ops_saved_fraction() > 0.0);
+    }
+
+    #[test]
+    fn adaptive_rejects_invalid_policy() {
+        let net = lenet();
+        let mut plan = net.compile_plan(&[1, 10, 10]).unwrap();
+        let x = Tensor::ones(&[1, 1, 10, 10]);
+        for bad in [f64::NAN, -0.5, 1.5] {
+            assert!(matches!(
+                plan.predict_adaptive_batch(&x, 4, 1, &ExitPolicy::Confidence { threshold: bad }),
+                Err(ModelError::InvalidInput(_))
+            ));
         }
     }
 

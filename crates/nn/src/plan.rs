@@ -97,6 +97,10 @@ pub struct InferencePlan {
     out_slot: usize,
     in_dims: Vec<usize>,
     out_dims: Vec<usize>,
+    /// Static per-sample op estimate of one full run (MACs for conv/dense,
+    /// touched elements otherwise) — the float twin of the quant plan's
+    /// integer-op counter, used for adaptive-execution accounting.
+    unit_ops: u64,
 }
 
 impl InferencePlan {
@@ -130,6 +134,7 @@ impl InferencePlan {
             out_slot: 0,
             in_dims: in_dims.to_vec(),
             out_dims: in_dims.to_vec(),
+            unit_ops: 0,
         };
         let mut cur_slot = 0usize;
         let mut cur_dims = in_dims.to_vec();
@@ -159,6 +164,7 @@ impl InferencePlan {
             1 - src
         };
         self.slot_elems[dst] = self.slot_elems[dst].max(out_dims.iter().product());
+        self.unit_ops += step_unit_ops(&kind, cur_dims, &out_dims);
         self.steps.push(Step {
             kind,
             src,
@@ -314,6 +320,13 @@ impl InferencePlan {
         self.steps.len()
     }
 
+    /// Static per-sample op estimate of one full run: multiply-accumulates
+    /// for convolution/dense steps, touched output elements for the rest.
+    /// Multiply by the batch to price a batched invocation.
+    pub fn unit_ops(&self) -> u64 {
+        self.unit_ops
+    }
+
     /// Reseeds every MC-dropout stream from `streams` in step order — the
     /// same stream assignment as
     /// [`Layer::reseed_mc_streams`](crate::Layer::reseed_mc_streams) on the
@@ -406,6 +419,23 @@ impl InferencePlan {
             self.slots[self.out_slot][..out_elems].to_vec(),
             &dims,
         )?)
+    }
+}
+
+/// Per-sample op estimate of one step — MACs for conv/dense, touched output
+/// (or input, for reductions) elements otherwise. Mirrors the quant plan's
+/// integer step accounting so the two plan families price work the same way.
+fn step_unit_ops(kind: &StepKind, in_dims: &[usize], out_dims: &[usize]) -> u64 {
+    let in_elems: usize = in_dims.iter().product();
+    let out_elems: usize = out_dims.iter().product();
+    match kind {
+        StepKind::Conv(conv) => (conv.in_c * conv.kernel * conv.kernel * out_elems) as u64,
+        StepKind::Dense(dense) => (dense.in_f * dense.out_f) as u64,
+        StepKind::MaxPool { kernel, .. } | StepKind::AvgPool { kernel, .. } => {
+            (kernel * kernel * out_elems) as u64
+        }
+        StepKind::GlobalAvgPool => in_elems as u64,
+        StepKind::Relu | StepKind::McDropout { .. } => out_elems as u64,
     }
 }
 

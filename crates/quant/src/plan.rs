@@ -37,6 +37,7 @@ use crate::fixed::FixedPointFormat;
 use crate::net::{div_round, dropout_scale_q, quantize_affine, quantize_weights, MUL_FRAC};
 use crate::params::{IntWidth, QuantParams};
 use crate::qtensor::QuantData;
+use bnn_models::{AdaptivePrediction, AdaptiveStats, ExitPolicy};
 use bnn_nn::layer::Mode;
 use bnn_nn::lowering::LayerLowering;
 use bnn_tensor::exec::Executor;
@@ -132,6 +133,9 @@ struct Step {
     in_dims: Vec<usize>,
     /// Per-sample dims of the output activation.
     out_dims: Vec<usize>,
+    /// Static per-sample integer-op estimate (MACs for conv/dense, touched
+    /// elements otherwise); multiply by the batch to price an invocation.
+    ops: u64,
 }
 
 impl Step {
@@ -151,6 +155,9 @@ struct PlanExit {
     out_slot: usize,
     out_params: QuantParams,
     out_dims: Vec<usize>,
+    /// Backbone block this exit reads from (attachment point) — the
+    /// segmentation boundary for adaptive execution.
+    after_block: usize,
 }
 
 /// How MC-dropout masks index into the batch.
@@ -182,6 +189,11 @@ struct Arena {
     mask: Vec<bool>,
     logits: Vec<f32>,
     probs: Vec<f32>,
+    /// Adaptive execution: running per-sample softmax ensembles
+    /// (`[batch, classes]`, live rows packed at the front).
+    acc: Vec<f32>,
+    /// Adaptive execution: original sample index of each live row.
+    live_idx: Vec<usize>,
 }
 
 /// A compiled, arena-allocated execution plan for the integer inference of
@@ -225,6 +237,16 @@ pub struct QuantPlan {
     input_slot: usize,
     backbone: Vec<Step>,
     exits: Vec<PlanExit>,
+    /// Backbone step count after each block — segmentation boundaries for
+    /// adaptive execution (`backbone[..block_bounds[b]]` runs blocks
+    /// `0..=b`).
+    block_bounds: Vec<usize>,
+    /// Arena slot holding each block's boundary value (pinned: never reused
+    /// by later steps, so compacting it between exits is safe).
+    block_slots: Vec<usize>,
+    /// Per-sample element count of each block's boundary value — the gather
+    /// unit for batch compaction.
+    block_units: Vec<usize>,
     /// Per-slot per-sample element capacity (max over the values sharing it).
     slot_elems: Vec<usize>,
     /// Per-sample scratch capacities.
@@ -295,6 +317,7 @@ impl PlanBuilder {
     ) -> usize {
         let dst = self.new_value(out_dims.clone());
         let in_dims = self.dims(src);
+        let ops = step_unit_ops(&kind, &in_dims, &out_dims);
         self.steps.push(Step {
             kind,
             src,
@@ -302,6 +325,7 @@ impl PlanBuilder {
             dst,
             in_dims,
             out_dims,
+            ops,
         });
         dst
     }
@@ -544,6 +568,24 @@ impl PlanBuilder {
     }
 }
 
+/// Static per-sample integer-op estimate of one step: multiply-accumulates
+/// for conv/dense, touched elements for pools/element-wise steps, two
+/// requantize-adds per element for a residual merge.
+fn step_unit_ops(kind: &StepKind, in_dims: &[usize], out_dims: &[usize]) -> u64 {
+    let in_elems: usize = in_dims.iter().product();
+    let out_elems: usize = out_dims.iter().product();
+    match kind {
+        StepKind::Conv(c) => (c.in_c * c.kernel * c.kernel * out_elems) as u64,
+        StepKind::Dense(d) => (d.in_f * d.out_f) as u64,
+        StepKind::MaxPool { kernel, .. } | StepKind::AvgPool { kernel, .. } => {
+            (kernel * kernel * out_elems) as u64
+        }
+        StepKind::GlobalAvgPool => in_elems as u64,
+        StepKind::Relu | StepKind::Affine(_) | StepKind::McDropout { .. } => out_elems as u64,
+        StepKind::Merge { .. } => 2 * out_elems as u64,
+    }
+}
+
 /// Elementwise steps may run in place when their input dies at the step.
 fn aliasable(kind: &StepKind) -> bool {
     matches!(
@@ -582,6 +624,7 @@ impl QuantPlan {
         let mut cur = input_value;
         let mut block_values = Vec::with_capacity(calibrated.blocks.len());
         let mut block_params = Vec::with_capacity(calibrated.blocks.len());
+        let mut block_bounds = Vec::with_capacity(calibrated.blocks.len());
         for (lowering, record) in &calibrated.blocks {
             let mut cursor = RecordCursor::new(&record.ops);
             builder.emit(lowering, &mut cursor, &mut params, &mut cur)?;
@@ -590,6 +633,7 @@ impl QuantPlan {
             builder.values[root].pinned = true;
             block_values.push(cur);
             block_params.push(params);
+            block_bounds.push(builder.steps.len());
         }
         let backbone_len = builder.steps.len();
 
@@ -602,7 +646,7 @@ impl QuantPlan {
             let start = builder.steps.len();
             builder.emit(lowering, &mut cursor, &mut exit_params, &mut exit_cur)?;
             cursor.finish()?;
-            exit_meta.push((start, exit_cur, exit_params));
+            exit_meta.push((start, exit_cur, exit_params, *after_block));
         }
 
         // Liveness over the flat step list, then linear-scan slot assignment
@@ -696,10 +740,10 @@ impl QuantPlan {
         let total = steps.len();
         let mut exits = Vec::with_capacity(exit_meta.len());
         let mut logit_unit = 0usize;
-        for (i, (start, out_value, out_params)) in exit_meta.iter().enumerate() {
+        for (i, (start, out_value, out_params, after_block)) in exit_meta.iter().enumerate() {
             let end = exit_meta
                 .get(i + 1)
-                .map(|(next_start, _, _)| *next_start)
+                .map(|(next_start, _, _, _)| *next_start)
                 .unwrap_or(total);
             let exit_steps = steps[*start..end].to_vec();
             let out_root = builder.values[*out_value].alias_of.unwrap_or(*out_value);
@@ -710,10 +754,23 @@ impl QuantPlan {
                 out_slot: slot_of[out_root],
                 out_params: *out_params,
                 out_dims,
+                after_block: *after_block,
             });
         }
         steps.truncate(backbone_len);
         let backbone = steps;
+
+        // Block-boundary metadata for adaptive execution: the pinned slot
+        // holding each block's output and its per-sample element count (the
+        // compaction gather unit — rows are packed at the value's own dims).
+        let block_slots: Vec<usize> = block_values
+            .iter()
+            .map(|&v| slot_of[builder.values[v].alias_of.unwrap_or(v)])
+            .collect();
+        let block_units: Vec<usize> = block_values
+            .iter()
+            .map(|&v| builder.values[v].dims.iter().product())
+            .collect();
 
         let mut arena = Arena::default();
         arena.slots.resize(slot_elems.len(), Vec::new());
@@ -726,6 +783,9 @@ impl QuantPlan {
             input_slot: slot_of[input_value],
             backbone,
             exits,
+            block_bounds,
+            block_slots,
+            block_units,
             slot_elems,
             cols_unit: builder.cols_unit,
             acc_unit: builder.acc_unit,
@@ -835,6 +895,12 @@ impl QuantPlan {
         if self.arena.probs.len() < self.logit_unit * batch {
             self.arena.probs.resize(self.logit_unit * batch, 0.0);
         }
+        if self.arena.acc.len() < self.classes * batch {
+            self.arena.acc.resize(self.classes * batch, 0.0);
+        }
+        if self.arena.live_idx.len() < batch {
+            self.arena.live_idx.resize(batch, 0);
+        }
     }
 
     /// Quantizes the float input batch into the input slot.
@@ -859,6 +925,9 @@ impl QuantPlan {
         Ok(batch)
     }
 
+    /// Runs a step slice at `batch` live rows, returning
+    /// `(invocations, ops)` where ops is the static per-sample estimate
+    /// summed over the slice and scaled by the batch.
     fn run_steps(
         steps: &mut [Step],
         arena: &mut Arena,
@@ -867,11 +936,14 @@ impl QuantPlan {
         batch: usize,
         mode: Mode,
         masks: MaskGranularity,
-    ) -> Result<(), QuantError> {
-        for step in steps {
+    ) -> Result<(u64, u64), QuantError> {
+        let invocations = steps.len() as u64;
+        let mut ops = 0u64;
+        for step in steps.iter_mut() {
             run_step(step, arena, width, exec, batch, mode, masks)?;
+            ops += step.ops * batch as u64;
         }
-        Ok(())
+        Ok((invocations, ops))
     }
 
     /// Runs the backbone deterministically and the exit branches in `mode`,
@@ -1088,6 +1160,280 @@ impl QuantPlan {
         let mut out = Vec::new();
         let (batch, classes) = self.predict_probs_into(inputs, n_samples, seed, &mut out)?;
         Ok(Tensor::from_vec(out, &[batch, classes])?)
+    }
+
+    /// Static cost of the fixed-depth path
+    /// ([`QuantPlan::predict_probs_batch_into`]) for a `batch`-sample call
+    /// at `n_samples` MC samples: `(step_invocations, ops)` where ops scale
+    /// with the batch but invocations do not. This is the `ops_fixed`
+    /// baseline adaptive execution reports its savings against.
+    pub fn fixed_cost(&self, batch: usize, n_samples: usize) -> (u64, u64) {
+        let n_exits = self.exits.len().max(1);
+        let passes = n_samples.div_ceil(n_exits).max(1);
+        let kept = if n_samples == 0 {
+            passes * n_exits
+        } else {
+            n_samples.min(passes * n_exits)
+        };
+        let mut steps = self.backbone.len() as u64;
+        let mut unit_ops: u64 = self.backbone.iter().map(|s| s.ops).sum();
+        for (e, exit) in self.exits.iter().enumerate() {
+            let runs = if e < kept {
+                ((kept - e - 1) / n_exits + 1) as u64
+            } else {
+                0
+            };
+            steps += runs * exit.steps.len() as u64;
+            unit_ops += runs * exit.steps.iter().map(|s| s.ops).sum::<u64>();
+        }
+        (steps, unit_ops * batch as u64)
+    }
+
+    /// Policy-driven adaptive batched prediction on the integer path: the
+    /// flattened step list is executed in exit-boundary segments, and after
+    /// each exit head's ensemble joins the live rows, `policy` retires the
+    /// confident samples and the arena **compacts the surviving rows into a
+    /// dense smaller batch** — a gather on the pinned block-boundary slot
+    /// (which later steps never clobber) plus the live-index map, so only
+    /// the stragglers pay for the deeper blocks.
+    ///
+    /// Execution order per exit `e`: run the backbone segment up to the
+    /// exit's attachment block once in [`Mode::Eval`] on the live rows, then
+    /// draw `ceil(n_samples / n_exits)` MC samples from exit `e` — pass `p`
+    /// reseeds every mask stream from `stream_seed(seed, p)` (the fixed
+    /// path's assignment) with per-sample masks broadcast across the batch.
+    /// Each sample's output row is its running equally-weighted ensemble
+    /// mean over the exits consulted before it retired. Because masks are
+    /// per-sample and retirement decisions are row-local, every row —
+    /// probabilities *and* exit choice — is bit-exact with evaluating that
+    /// sample alone under the same policy, regardless of which samples
+    /// shared its batch or when they retired.
+    ///
+    /// With `n_samples == 0` the exits are consulted deterministically in
+    /// [`Mode::Eval`] (one consult per exit). With [`ExitPolicy::Never`] and
+    /// `n_samples > 0` the call delegates to
+    /// [`QuantPlan::predict_probs_batch_into`] and is bit-exact with it.
+    ///
+    /// Zero steady-state heap allocation once the arena is warm for the
+    /// batch (sequential executor); see [`QuantPlan::ensure_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidInput`] for an invalid policy threshold,
+    /// an empty batch or a shape mismatch, [`QuantError::Internal`] for a
+    /// plan without exits or with exits attached out of depth order, or
+    /// propagates execution errors.
+    pub fn predict_adaptive_batch_into(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+        policy: &ExitPolicy,
+        out: &mut Vec<f32>,
+        exit_taken: &mut Vec<usize>,
+    ) -> Result<AdaptiveStats, QuantError> {
+        policy.validate().map_err(QuantError::InvalidInput)?;
+        let n_exits = self.exits.len();
+        if n_exits == 0 {
+            return Err(QuantError::Internal("plan has no exits".into()));
+        }
+        if self
+            .exits
+            .windows(2)
+            .any(|w| w[0].after_block > w[1].after_block)
+        {
+            return Err(QuantError::Internal(
+                "adaptive execution requires exits in ascending block order".into(),
+            ));
+        }
+        let spe = if n_samples == 0 {
+            1
+        } else {
+            n_samples.div_ceil(n_exits)
+        };
+
+        // `Never` with MC samples is exactly the fixed-depth path; delegate
+        // so the accumulation order (pass-major) — and therefore every f32
+        // bit — matches `predict_probs_batch_into`. The deterministic
+        // `n_samples == 0` variant consults each exit once in Eval mode,
+        // which the generic loop below expresses directly.
+        if policy.is_never() && n_samples > 0 {
+            let (batch, classes) = self.predict_probs_batch_into(inputs, n_samples, seed, out)?;
+            exit_taken.clear();
+            exit_taken.resize(batch, n_exits - 1);
+            let (fixed_steps, fixed_ops) = self.fixed_cost(batch, n_samples);
+            return Ok(AdaptiveStats {
+                batch,
+                classes,
+                samples_per_exit: spe,
+                steps_executed: fixed_steps,
+                ops_executed: fixed_ops,
+                ops_fixed: fixed_ops,
+            });
+        }
+
+        let mode = if n_samples == 0 {
+            Mode::Eval
+        } else {
+            Mode::McSample
+        };
+        let batch = self.load_input(inputs)?;
+        let classes = self.classes;
+        let (_, fixed_ops) = self.fixed_cost(batch, n_samples);
+        let elems = batch * classes;
+        if out.len() != elems {
+            out.clear();
+            out.resize(elems, 0.0);
+        }
+        exit_taken.clear();
+        exit_taken.resize(batch, 0);
+        for (i, v) in self.arena.live_idx[..batch].iter_mut().enumerate() {
+            *v = i;
+        }
+        self.arena.acc[..elems].fill(0.0);
+
+        let exec = self.exec;
+        let width = self.width;
+        let mut live = batch;
+        let mut next_bound = 0usize;
+        let mut steps_executed = 0u64;
+        let mut ops_executed = 0u64;
+
+        for e in 0..n_exits {
+            let after_block = self.exits[e].after_block;
+            let bound = self.block_bounds[after_block];
+            if bound > next_bound {
+                let (s, o) = Self::run_steps(
+                    &mut self.backbone[next_bound..bound],
+                    &mut self.arena,
+                    width,
+                    exec,
+                    live,
+                    Mode::Eval,
+                    MaskGranularity::PerSample,
+                )?;
+                steps_executed += s;
+                ops_executed += o;
+                next_bound = bound;
+            }
+            for p in 0..spe {
+                if matches!(mode, Mode::McSample) {
+                    // Reseeding assigns every stream from the master seed, so
+                    // running only exit `e` afterwards draws the identical
+                    // masks the fixed path draws for this exit on pass `p`.
+                    self.reseed_mc_streams(stream_seed(seed, p as u64));
+                }
+                let (s, o) = Self::run_steps(
+                    &mut self.exits[e].steps,
+                    &mut self.arena,
+                    width,
+                    exec,
+                    live,
+                    mode,
+                    MaskGranularity::PerSample,
+                )?;
+                steps_executed += s;
+                ops_executed += o;
+                let (out_slot, out_params) = (self.exits[e].out_slot, self.exits[e].out_params);
+                let n: usize = self.exits[e].out_dims.iter().product::<usize>() * live;
+                let scale = out_params.scale();
+                for (l, &c) in self.arena.logits[..n]
+                    .iter_mut()
+                    .zip(&self.arena.slots[out_slot][..n])
+                {
+                    *l = c as f32 * scale;
+                }
+                softmax_rows_into(
+                    &self.arena.logits[..n],
+                    live,
+                    classes,
+                    &mut self.arena.probs[..n],
+                )?;
+                for (a, &p) in self.arena.acc[..n].iter_mut().zip(&self.arena.probs[..n]) {
+                    *a += p;
+                }
+            }
+            let consulted = ((e + 1) * spe) as f32;
+            let last = e + 1 == n_exits;
+
+            // Retire-or-compact pass: retired rows scatter their ensemble
+            // mean to their original output slot; survivors slide forward in
+            // the accumulator, the live-index map and the frontier block
+            // slot. The frontier slot is pinned — no backbone or exit step
+            // reuses it — so the gathered rows are exactly the block outputs
+            // the deeper segments read.
+            let frontier = self.block_slots[after_block];
+            let unit = self.block_units[after_block];
+            let arena = &mut self.arena;
+            let mut keep = 0usize;
+            for r in 0..live {
+                let start = r * classes;
+                let retire = last || policy.retires(&arena.acc[start..start + classes], consulted);
+                if retire {
+                    let orig = arena.live_idx[r];
+                    for c in 0..classes {
+                        out[orig * classes + c] = arena.acc[start + c] / consulted;
+                    }
+                    exit_taken[orig] = e;
+                } else {
+                    if keep != r {
+                        arena
+                            .acc
+                            .copy_within(start..start + classes, keep * classes);
+                        arena.live_idx[keep] = arena.live_idx[r];
+                        if !last {
+                            arena.slots[frontier]
+                                .copy_within(r * unit..(r + 1) * unit, keep * unit);
+                        }
+                    }
+                    keep += 1;
+                }
+            }
+            if keep == 0 {
+                live = 0;
+                break;
+            }
+            live = keep;
+        }
+        debug_assert_eq!(live, 0, "every sample retires by the last exit");
+
+        Ok(AdaptiveStats {
+            batch,
+            classes,
+            samples_per_exit: spe,
+            steps_executed,
+            ops_executed,
+            ops_fixed: fixed_ops,
+        })
+    }
+
+    /// [`QuantPlan::predict_adaptive_batch_into`] returning owned values.
+    ///
+    /// # Errors
+    ///
+    /// See [`QuantPlan::predict_adaptive_batch_into`].
+    pub fn predict_adaptive_batch(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+        policy: &ExitPolicy,
+    ) -> Result<AdaptivePrediction, QuantError> {
+        let mut out = Vec::new();
+        let mut exit_taken = Vec::new();
+        let stats = self.predict_adaptive_batch_into(
+            inputs,
+            n_samples,
+            seed,
+            policy,
+            &mut out,
+            &mut exit_taken,
+        )?;
+        Ok(AdaptivePrediction {
+            probs: Tensor::from_vec(out, &[stats.batch, stats.classes])?,
+            exit_taken,
+            stats,
+        })
     }
 }
 
@@ -1620,6 +1966,104 @@ mod tests {
                 let plain = plan.predict_probs(&sample, 5, 2023).unwrap();
                 assert_eq!(one.as_slice(), plain.as_slice(), "{format} sample {b}");
             }
+        }
+    }
+
+    #[test]
+    fn adaptive_never_matches_fixed_batch_bitwise() {
+        let net = lenet(41);
+        let calib = calib_batch(&[6, 1, 10, 10], 42);
+        let calibrated = CalibratedNetwork::calibrate(&net, &calib).unwrap();
+        let x = calib_batch(&[3, 1, 10, 10], 43);
+        for format in [fmt(4, 2), fmt(8, 3), fmt(16, 6)] {
+            let mut plan = calibrated.plan(format).unwrap();
+            let fixed = plan.predict_probs_batch(&x, 6, 2023).unwrap();
+            let adaptive = plan
+                .predict_adaptive_batch(&x, 6, 2023, &ExitPolicy::Never)
+                .unwrap();
+            assert_eq!(fixed.as_slice(), adaptive.probs.as_slice(), "{format}");
+            assert_eq!(adaptive.exit_taken, vec![1; 3], "{format}");
+            assert_eq!(adaptive.stats.ops_executed, adaptive.stats.ops_fixed);
+            assert!(adaptive.stats.ops_fixed > 0);
+        }
+    }
+
+    #[test]
+    fn adaptive_rows_match_single_sample_evaluation() {
+        let net = lenet(45);
+        let calib = calib_batch(&[6, 1, 10, 10], 46);
+        let calibrated = CalibratedNetwork::calibrate(&net, &calib).unwrap();
+        let batch = 4usize;
+        let x = calib_batch(&[batch, 1, 10, 10], 47);
+        let per = 100usize;
+        for format in [fmt(4, 2), fmt(8, 3), fmt(16, 6)] {
+            let mut plan = calibrated.plan(format).unwrap();
+            for policy in [
+                ExitPolicy::Confidence { threshold: 0.3 },
+                ExitPolicy::Entropy { threshold: 0.97 },
+                ExitPolicy::Confidence { threshold: 0.0 }, // all retire at exit 0
+                ExitPolicy::Confidence { threshold: 1.0 }, // none retire early
+            ] {
+                for n_samples in [0usize, 6] {
+                    let all = plan
+                        .predict_adaptive_batch(&x, n_samples, 2023, &policy)
+                        .unwrap();
+                    for b in 0..batch {
+                        let sample = Tensor::from_vec(
+                            x.as_slice()[b * per..(b + 1) * per].to_vec(),
+                            &[1, 1, 10, 10],
+                        )
+                        .unwrap();
+                        let one = plan
+                            .predict_adaptive_batch(&sample, n_samples, 2023, &policy)
+                            .unwrap();
+                        assert_eq!(
+                            &all.probs.as_slice()[b * 4..(b + 1) * 4],
+                            one.probs.as_slice(),
+                            "{format} {policy} n={n_samples} row {b}"
+                        );
+                        assert_eq!(
+                            all.exit_taken[b], one.exit_taken[0],
+                            "{format} {policy} n={n_samples} row {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_saves_ops_when_samples_retire_early() {
+        let net = lenet(51);
+        let calib = calib_batch(&[6, 1, 10, 10], 52);
+        let calibrated = CalibratedNetwork::calibrate(&net, &calib).unwrap();
+        let mut plan = calibrated.plan(fmt(8, 3)).unwrap();
+        let x = calib_batch(&[4, 1, 10, 10], 53);
+        let all_early = plan
+            .predict_adaptive_batch(&x, 6, 2023, &ExitPolicy::Confidence { threshold: 0.0 })
+            .unwrap();
+        assert_eq!(all_early.exit_taken, vec![0; 4]);
+        assert!(all_early.stats.ops_executed < all_early.stats.ops_fixed);
+        assert!(all_early.stats.ops_saved_fraction() > 0.0);
+        // Never pays full freight.
+        let never = plan
+            .predict_adaptive_batch(&x, 6, 2023, &ExitPolicy::Never)
+            .unwrap();
+        assert_eq!(never.stats.ops_saved_fraction(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_rejects_invalid_policy() {
+        let net = lenet(55);
+        let calib = calib_batch(&[4, 1, 10, 10], 56);
+        let calibrated = CalibratedNetwork::calibrate(&net, &calib).unwrap();
+        let mut plan = calibrated.plan(fmt(8, 3)).unwrap();
+        let x = Tensor::ones(&[1, 1, 10, 10]);
+        for bad in [f64::NAN, f64::INFINITY, -0.5, 1.5] {
+            assert!(matches!(
+                plan.predict_adaptive_batch(&x, 4, 1, &ExitPolicy::Entropy { threshold: bad }),
+                Err(QuantError::InvalidInput(_))
+            ));
         }
     }
 

@@ -11,7 +11,7 @@
 //! sizes without changing a single response bit.
 
 use crate::error::ServeError;
-use bnn_models::MultiExitPlan;
+use bnn_models::{AdaptiveStats, ExitPolicy, MultiExitPlan};
 use bnn_quant::QuantPlan;
 use bnn_tensor::Tensor;
 
@@ -30,6 +30,15 @@ pub trait BatchEngine: Send {
     /// Number of predicted classes (the per-request response length).
     fn num_classes(&self) -> usize;
 
+    /// Number of exit heads the plan carries (adaptive requests can retire
+    /// at exits `0..num_exits()`).
+    fn num_exits(&self) -> usize;
+
+    /// The plan's static integer-op estimate for ONE sample served at fixed
+    /// (full) depth with `n_samples` MC samples — the per-request baseline
+    /// adaptive savings are measured against.
+    fn fixed_unit_ops(&self, n_samples: usize) -> u64;
+
     /// Pre-sizes internal arenas for batches up to `max_batch`.
     fn ensure_batch(&mut self, max_batch: usize);
 
@@ -47,6 +56,30 @@ pub trait BatchEngine: Send {
         seed: u64,
         out: &mut Vec<f32>,
     ) -> Result<(), ServeError>;
+
+    /// Adaptive (early-exit) variant of
+    /// [`BatchEngine::predict_batch_into`]: after each exit head the
+    /// `policy` retires confident samples and the surviving rows are
+    /// compacted into a dense smaller batch, so deeper blocks only see the
+    /// stragglers. Fills `exit_taken[i]` with the exit request `i` retired
+    /// at and returns the execution accounting. Per-row results stay
+    /// batch-boundary invariant (bit-exact with a single-sample call under
+    /// the same policy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidRequest`] for malformed inputs or an
+    /// out-of-range policy threshold, [`ServeError::Engine`] on execution
+    /// failures.
+    fn predict_adaptive_batch_into(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+        policy: &ExitPolicy,
+        out: &mut Vec<f32>,
+        exit_taken: &mut Vec<usize>,
+    ) -> Result<AdaptiveStats, ServeError>;
 
     /// An independent replica of this engine for another worker thread
     /// (packed weights and arenas are copied, no model rebuild).
@@ -78,6 +111,14 @@ impl BatchEngine for QuantEngine {
         self.plan.num_classes()
     }
 
+    fn num_exits(&self) -> usize {
+        self.plan.num_exits()
+    }
+
+    fn fixed_unit_ops(&self, n_samples: usize) -> u64 {
+        self.plan.fixed_cost(1, n_samples).1
+    }
+
     fn ensure_batch(&mut self, max_batch: usize) {
         self.plan.ensure_batch(max_batch);
     }
@@ -92,6 +133,20 @@ impl BatchEngine for QuantEngine {
         self.plan
             .predict_probs_batch_into(inputs, n_samples, seed, out)?;
         Ok(())
+    }
+
+    fn predict_adaptive_batch_into(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+        policy: &ExitPolicy,
+        out: &mut Vec<f32>,
+        exit_taken: &mut Vec<usize>,
+    ) -> Result<AdaptiveStats, ServeError> {
+        Ok(self
+            .plan
+            .predict_adaptive_batch_into(inputs, n_samples, seed, policy, out, exit_taken)?)
     }
 
     fn fork(&self) -> Box<dyn BatchEngine> {
@@ -122,6 +177,14 @@ impl BatchEngine for FloatEngine {
         self.plan.num_classes()
     }
 
+    fn num_exits(&self) -> usize {
+        self.plan.num_exits()
+    }
+
+    fn fixed_unit_ops(&self, n_samples: usize) -> u64 {
+        self.plan.fixed_cost(1, n_samples).1
+    }
+
     fn ensure_batch(&mut self, max_batch: usize) {
         self.plan.ensure_batch(max_batch);
     }
@@ -136,6 +199,20 @@ impl BatchEngine for FloatEngine {
         self.plan
             .predict_probs_batch_into(inputs, n_samples, seed, out)?;
         Ok(())
+    }
+
+    fn predict_adaptive_batch_into(
+        &mut self,
+        inputs: &Tensor,
+        n_samples: usize,
+        seed: u64,
+        policy: &ExitPolicy,
+        out: &mut Vec<f32>,
+        exit_taken: &mut Vec<usize>,
+    ) -> Result<AdaptiveStats, ServeError> {
+        Ok(self
+            .plan
+            .predict_adaptive_batch_into(inputs, n_samples, seed, policy, out, exit_taken)?)
     }
 
     fn fork(&self) -> Box<dyn BatchEngine> {

@@ -17,10 +17,17 @@
 //! workers are std threads, and the traffic-replay harness
 //! ([`replay::replay`]) drives seeded open-loop load in-process.
 //!
+//! Servers can run **adaptively**: configure an [`ExitPolicy`]
+//! (`ServerConfig::with_policy`) and each batch runs the engines' early-exit
+//! compacting path — confident samples retire at shallow exits, stragglers
+//! are served to full depth — with every [`Reply`] reporting the exit taken
+//! and the MC evidence behind it, and [`ServeStats`] tracking the depth mix
+//! and integer-ops saved.
+//!
 //! # Example
 //!
 //! ```
-//! use bnn_models::{zoo, ModelConfig};
+//! use bnn_models::{zoo, ExitPolicy, ModelConfig};
 //! use bnn_quant::{CalibratedNetwork, FixedPointFormat};
 //! use bnn_serve::{InferenceServer, QuantEngine, ServerConfig};
 //! use bnn_tensor::rng::Xoshiro256StarStar;
@@ -47,13 +54,16 @@
 //!         max_delay: Duration::from_micros(200),
 //!         mc_samples: 6,
 //!         seed: 2023,
+//!         // adaptive: confident samples retire at shallow exits
+//!         policy: ExitPolicy::Confidence { threshold: 0.5 },
 //!     },
 //! )?;
 //! let sample = Tensor::randn(&[1, 1, 10, 10], &mut rng);
 //! let handle = server.submit(sample.as_slice())?;
-//! let probs = handle.wait()?;
-//! assert_eq!(probs.len(), server.num_classes());
-//! assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+//! let reply = handle.wait()?;
+//! assert_eq!(reply.probs.len(), server.num_classes());
+//! assert!((reply.probs.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+//! assert!(reply.exit_taken < 2 && reply.mc_samples >= 3);
 //! server.shutdown();
 //! # Ok(())
 //! # }
@@ -64,7 +74,8 @@ pub mod error;
 pub mod replay;
 pub mod server;
 
+pub use bnn_models::ExitPolicy;
 pub use engine::{BatchEngine, FloatEngine, QuantEngine};
 pub use error::ServeError;
 pub use replay::{ReplayConfig, ReplayOutcome, ReplayReport};
-pub use server::{InferenceServer, ResponseHandle, ServeStats, ServerConfig};
+pub use server::{InferenceServer, Reply, ResponseHandle, ServeStats, ServerConfig};

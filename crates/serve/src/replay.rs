@@ -14,7 +14,7 @@
 //! are wall-clock measurements by nature and vary run to run.
 
 use crate::error::ServeError;
-use crate::server::InferenceServer;
+use crate::server::{InferenceServer, Reply};
 use bnn_tensor::rng::{Rng, Xoshiro256StarStar};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -52,9 +52,10 @@ pub struct ReplayReport {
 pub struct ReplayOutcome {
     /// Aggregate latency/throughput measurements.
     pub report: ReplayReport,
-    /// Per-request class-probability outputs (`outputs[i]` answers request
-    /// `i`, which carried `pool[i % pool.len()]`).
-    pub outputs: Vec<Vec<f32>>,
+    /// Per-request replies (`outputs[i]` answers request `i`, which carried
+    /// `pool[i % pool.len()]`): class probabilities plus the exit each
+    /// sample retired at and the MC evidence behind it.
+    pub outputs: Vec<Reply>,
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice.
@@ -98,7 +99,7 @@ pub fn replay(
 
     let collected = std::thread::scope(|scope| {
         let collector = scope.spawn(move || -> Result<_, ServeError> {
-            let mut outputs: Vec<Vec<f32>> = vec![Vec::new(); n];
+            let mut outputs: Vec<Reply> = vec![Reply::default(); n];
             let mut latencies: Vec<Duration> = Vec::with_capacity(n);
             let mut last_delivery: Option<Instant> = None;
             for (idx, t0, handle) in rx.iter() {

@@ -22,6 +22,7 @@
 
 use crate::engine::BatchEngine;
 use crate::error::ServeError;
+use bnn_models::ExitPolicy;
 use bnn_tensor::Tensor;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -46,6 +47,15 @@ pub struct ServerConfig {
     /// Master seed for the MC mask streams. Together with `mc_samples` this
     /// fixes every response bit.
     pub seed: u64,
+    /// Early-exit policy every request is served under.
+    /// [`ExitPolicy::Never`] (the preset default) is the fixed-depth
+    /// server; any other policy engages the engines' adaptive batched path:
+    /// confident samples retire at shallow exits and the surviving
+    /// stragglers are compacted into a dense smaller batch for the deeper
+    /// blocks. Responses stay a pure function of the sample either way —
+    /// the policy decision is row-local, so batching still never changes a
+    /// bit.
+    pub policy: ExitPolicy,
 }
 
 impl ServerConfig {
@@ -57,6 +67,7 @@ impl ServerConfig {
             max_delay: Duration::from_micros(200),
             mc_samples,
             seed,
+            policy: ExitPolicy::Never,
         }
     }
 
@@ -68,12 +79,19 @@ impl ServerConfig {
             max_delay: Duration::from_millis(2),
             mc_samples,
             seed,
+            policy: ExitPolicy::Never,
         }
+    }
+
+    /// Replaces the early-exit policy (builder-style).
+    pub fn with_policy(mut self, policy: ExitPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 }
 
 /// Counters the worker pool accumulates while serving.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests served (responses delivered, success or engine error).
     pub completed: u64,
@@ -81,6 +99,15 @@ pub struct ServeStats {
     pub batches: u64,
     /// Largest batch any worker assembled.
     pub max_batch_seen: usize,
+    /// Requests that retired at each exit (`exit_counts[e]` = requests
+    /// answered from exit `e`). Under [`ExitPolicy::Never`] every request
+    /// lands on the last exit.
+    pub exit_counts: Vec<u64>,
+    /// Static integer-op estimate actually spent across all served requests.
+    pub ops_executed: u64,
+    /// Static integer-op estimate the same requests would have cost at
+    /// fixed (full) depth.
+    pub ops_fixed: u64,
 }
 
 impl ServeStats {
@@ -93,10 +120,47 @@ impl ServeStats {
             self.completed as f64 / self.batches as f64
         }
     }
+
+    /// Fraction of requests that retired at each exit (empty before any
+    /// batch completed).
+    pub fn exit_fractions(&self) -> Vec<f64> {
+        let total: u64 = self.exit_counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.exit_counts.len()];
+        }
+        self.exit_counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Fraction of the fixed-depth op budget the adaptive policy avoided
+    /// (`0.0` for a fixed-depth server or before any batch completed).
+    pub fn ops_saved_fraction(&self) -> f64 {
+        if self.ops_fixed == 0 {
+            0.0
+        } else {
+            1.0 - self.ops_executed as f64 / self.ops_fixed as f64
+        }
+    }
+}
+
+/// One served request's response: the class probabilities plus the
+/// early-exit metadata the reply rode out with.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Reply {
+    /// Class-probability vector (`num_classes` floats summing to one).
+    pub probs: Vec<f32>,
+    /// Exit head this request's sample retired at (always the last exit
+    /// under [`ExitPolicy::Never`]).
+    pub exit_taken: usize,
+    /// MC samples in the ensemble behind `probs` — how much Monte-Carlo
+    /// evidence this answer carries (shallow retirements carry less).
+    pub mc_samples: usize,
 }
 
 /// A delivered response: the result plus the instant its worker delivered it.
-type Delivery = (Result<Vec<f32>, ServeError>, Instant);
+type Delivery = (Result<Reply, ServeError>, Instant);
 
 /// One request's reply cell: the worker delivers exactly once, the handle
 /// waits and takes.
@@ -113,7 +177,7 @@ impl ReplyCell {
         }
     }
 
-    fn deliver(&self, result: Result<Vec<f32>, ServeError>) {
+    fn deliver(&self, result: Result<Reply, ServeError>) {
         let mut slot = self.slot.lock().unwrap();
         *slot = Some((result, Instant::now()));
         self.cv.notify_all();
@@ -121,7 +185,8 @@ impl ReplyCell {
 }
 
 /// The caller's side of one submitted request: block on
-/// [`ResponseHandle::wait`] for the class-probability vector.
+/// [`ResponseHandle::wait`] for the [`Reply`] (probabilities plus exit
+/// metadata).
 pub struct ResponseHandle {
     cell: Arc<ReplyCell>,
 }
@@ -133,7 +198,7 @@ impl ResponseHandle {
     ///
     /// Returns [`ServeError::Engine`] if the batch this request rode in
     /// failed to execute.
-    pub fn wait(self) -> Result<Vec<f32>, ServeError> {
+    pub fn wait(self) -> Result<Reply, ServeError> {
         self.wait_at().0
     }
 
@@ -141,7 +206,7 @@ impl ResponseHandle {
     /// delivered by its worker (not the instant this call observed it) — the
     /// correct end timestamp for latency measurement even when the waiter
     /// runs behind the server.
-    pub fn wait_at(self) -> (Result<Vec<f32>, ServeError>, Instant) {
+    pub fn wait_at(self) -> (Result<Reply, ServeError>, Instant) {
         let mut slot = self.cell.slot.lock().unwrap();
         loop {
             if let Some(delivered) = slot.take() {
@@ -191,7 +256,9 @@ impl InferenceServer {
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] for zero workers or a zero
-    /// batch size.
+    /// batch size, and [`ServeError::InvalidRequest`] for an adaptive
+    /// policy whose threshold is non-finite or outside `[0, 1]` (rejected
+    /// up front, before it can fail every batch).
     pub fn start(engine: Box<dyn BatchEngine>, config: ServerConfig) -> Result<Self, ServeError> {
         if config.workers == 0 {
             return Err(ServeError::InvalidConfig("workers must be >= 1".into()));
@@ -199,6 +266,10 @@ impl InferenceServer {
         if config.max_batch == 0 {
             return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
         }
+        config
+            .policy
+            .validate()
+            .map_err(ServeError::InvalidRequest)?;
         let per_elems: usize = engine.in_dims().iter().product();
         let classes = engine.num_classes();
         let shared = Arc::new(Shared {
@@ -279,7 +350,7 @@ impl InferenceServer {
 
     /// A snapshot of the serving counters so far.
     pub fn stats(&self) -> ServeStats {
-        *self.shared.stats.lock().unwrap()
+        self.shared.stats.lock().unwrap().clone()
     }
 
     /// Stops accepting requests, waits for the workers to drain and serve
@@ -315,12 +386,16 @@ impl Drop for InferenceServer {
 fn worker_loop(mut engine: Box<dyn BatchEngine>, shared: Arc<Shared>, config: ServerConfig) {
     let per_elems: usize = engine.in_dims().iter().product();
     let classes = engine.num_classes();
+    let n_exits = engine.num_exits();
+    let fixed_ops_per_request = engine.fixed_unit_ops(config.mc_samples);
     engine.ensure_batch(config.max_batch);
     let mut dims = Vec::with_capacity(engine.in_dims().len() + 1);
     dims.push(0usize);
     dims.extend_from_slice(engine.in_dims());
     let mut staging: Vec<f32> = Vec::with_capacity(per_elems * config.max_batch);
     let mut probs: Vec<f32> = Vec::new();
+    let mut exit_taken: Vec<usize> = Vec::new();
+    let mut exit_tally: Vec<u64> = vec![0; n_exits];
     let mut batch_jobs: Vec<Job> = Vec::with_capacity(config.max_batch);
     loop {
         {
@@ -369,18 +444,56 @@ fn worker_loop(mut engine: Box<dyn BatchEngine>, shared: Arc<Shared>, config: Se
         dims[0] = batch;
         let outcome = match Tensor::from_vec(std::mem::take(&mut staging), &dims) {
             Ok(tensor) => {
-                let run =
-                    engine.predict_batch_into(&tensor, config.mc_samples, config.seed, &mut probs);
+                // Fixed-depth configs take the plain batched path (no
+                // per-exit bookkeeping to pay for); any real policy runs
+                // the engine's adaptive compacting path.
+                let run = if config.policy.is_never() {
+                    engine
+                        .predict_batch_into(&tensor, config.mc_samples, config.seed, &mut probs)
+                        .map(|()| None)
+                } else {
+                    engine
+                        .predict_adaptive_batch_into(
+                            &tensor,
+                            config.mc_samples,
+                            config.seed,
+                            &config.policy,
+                            &mut probs,
+                            &mut exit_taken,
+                        )
+                        .map(Some)
+                };
                 staging = tensor.into_vec();
                 run
             }
             Err(e) => Err(ServeError::from(e)),
         };
+        let mut batch_ops = (0u64, 0u64);
         match outcome {
-            Ok(()) => {
+            Ok(adaptive) => {
+                batch_ops = match &adaptive {
+                    Some(stats) => (stats.ops_executed, stats.ops_fixed),
+                    None => {
+                        let fixed = fixed_ops_per_request * batch as u64;
+                        (fixed, fixed)
+                    }
+                };
                 for (i, job) in batch_jobs.drain(..).enumerate() {
-                    job.reply
-                        .deliver(Ok(probs[i * classes..(i + 1) * classes].to_vec()));
+                    let exit = match &adaptive {
+                        Some(_) => exit_taken[i],
+                        None => n_exits - 1,
+                    };
+                    exit_tally[exit] += 1;
+                    job.reply.deliver(Ok(Reply {
+                        probs: probs[i * classes..(i + 1) * classes].to_vec(),
+                        exit_taken: exit,
+                        mc_samples: ensemble_size(
+                            config.mc_samples,
+                            n_exits,
+                            exit,
+                            adaptive.is_some(),
+                        ),
+                    }));
                 }
             }
             Err(e) => {
@@ -393,7 +506,32 @@ fn worker_loop(mut engine: Box<dyn BatchEngine>, shared: Arc<Shared>, config: Se
         stats.completed += batch as u64;
         stats.batches += 1;
         stats.max_batch_seen = stats.max_batch_seen.max(batch);
+        if stats.exit_counts.len() < n_exits {
+            stats.exit_counts.resize(n_exits, 0);
+        }
+        for (total, tally) in stats.exit_counts.iter_mut().zip(exit_tally.iter_mut()) {
+            *total += *tally;
+            *tally = 0;
+        }
+        stats.ops_executed += batch_ops.0;
+        stats.ops_fixed += batch_ops.1;
     }
+}
+
+/// Number of MC samples in the ensemble behind a reply that retired at
+/// `exit`: the adaptive path accumulates `ceil(n_samples / n_exits)`
+/// samples per consulted exit (one deterministic consult when
+/// `n_samples == 0`); the fixed path always serves the full ensemble.
+fn ensemble_size(n_samples: usize, n_exits: usize, exit: usize, adaptive: bool) -> usize {
+    if !adaptive {
+        return if n_samples == 0 { n_exits } else { n_samples };
+    }
+    let spe = if n_samples == 0 {
+        1
+    } else {
+        n_samples.div_ceil(n_exits)
+    };
+    spe * (exit + 1)
 }
 
 #[cfg(test)]
@@ -414,8 +552,45 @@ mod tests {
             completed: 12,
             batches: 3,
             max_batch_seen: 6,
+            ..Default::default()
         };
         assert!((s.mean_occupancy() - 4.0).abs() < 1e-12);
         assert_eq!(ServeStats::default().mean_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn stats_exit_fractions_and_ops_saved() {
+        let s = ServeStats {
+            completed: 4,
+            batches: 1,
+            max_batch_seen: 4,
+            exit_counts: vec![3, 1],
+            ops_executed: 600,
+            ops_fixed: 1000,
+        };
+        assert_eq!(s.exit_fractions(), vec![0.75, 0.25]);
+        assert!((s.ops_saved_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(ServeStats::default().ops_saved_fraction(), 0.0);
+        assert!(ServeStats::default().exit_fractions().is_empty());
+    }
+
+    #[test]
+    fn ensemble_size_arithmetic() {
+        // fixed depth: the whole requested ensemble (n_exits deterministic
+        // consults when sampling is off)
+        assert_eq!(ensemble_size(8, 2, 1, false), 8);
+        assert_eq!(ensemble_size(0, 2, 1, false), 2);
+        // adaptive: ceil(8/2) = 4 samples per consulted exit
+        assert_eq!(ensemble_size(8, 2, 0, true), 4);
+        assert_eq!(ensemble_size(8, 2, 1, true), 8);
+        assert_eq!(ensemble_size(0, 3, 1, true), 2);
+    }
+
+    #[test]
+    fn preset_policy_is_fixed_depth() {
+        assert!(ServerConfig::latency_biased(1, 4, 0).policy.is_never());
+        let adaptive = ServerConfig::throughput_biased(1, 4, 0)
+            .with_policy(ExitPolicy::Confidence { threshold: 0.5 });
+        assert_eq!(adaptive.policy, ExitPolicy::Confidence { threshold: 0.5 });
     }
 }

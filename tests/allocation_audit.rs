@@ -8,7 +8,7 @@
 //! This lives in its own integration-test binary because the counting
 //! allocator is process-global.
 
-use bayesnn_fpga::models::{zoo, ModelConfig};
+use bayesnn_fpga::models::{zoo, ExitPolicy, ModelConfig};
 use bayesnn_fpga::quant::{CalibratedNetwork, FixedPointFormat};
 use bayesnn_fpga::tensor::exec::Executor;
 use bayesnn_fpga::tensor::rng::Xoshiro256StarStar;
@@ -145,6 +145,101 @@ fn batched_predict_is_allocation_free_at_max_batch() {
             alloc_counter::allocation_count() - before,
             0,
             "partial-batch steady state must not allocate ({format})"
+        );
+    }
+}
+
+/// The adaptive early-exit path keeps the zero-allocation guarantee:
+/// retirement scatters and survivor compaction run entirely inside the
+/// arena (`acc`, `live_idx` and the frontier slot are all pre-sized by
+/// `ensure_batch` + warm-up), so a mixed retire pattern — some rows out at
+/// the first exit, stragglers compacted and served to full depth — costs
+/// zero steady-state heap allocations.
+#[test]
+fn adaptive_batched_predict_is_allocation_free_after_warmup() {
+    let _guard = AUDIT_LOCK.lock().unwrap();
+    const MAX_BATCH: usize = 4;
+    let spec = zoo::lenet5(
+        &ModelConfig::mnist()
+            .with_resolution(10, 10)
+            .with_width_divisor(8)
+            .with_classes(4),
+    )
+    .with_exits_after_every_block()
+    .unwrap()
+    .with_exit_mcd(0.25)
+    .unwrap();
+    let network = spec.build(3).unwrap();
+    let mut rng = Xoshiro256StarStar::seed_from_u64(17);
+    let calib = Tensor::randn(&[8, 1, 10, 10], &mut rng);
+    let calibrated = CalibratedNetwork::calibrate(&network, &calib).unwrap();
+
+    for format in [
+        FixedPointFormat::new(8, 3).unwrap(),
+        FixedPointFormat::new(16, 6).unwrap(),
+    ] {
+        let mut plan = calibrated.plan(format).unwrap();
+        plan.set_executor(Executor::sequential());
+        plan.ensure_batch(MAX_BATCH);
+        let inputs = Tensor::randn(&[MAX_BATCH, 1, 10, 10], &mut rng);
+        let mut out = Vec::new();
+        let mut exits = Vec::new();
+
+        // Calibrate a threshold that yields a mixed retire pattern: the
+        // midpoint of the batch's first-exit confidences retires some rows
+        // at exit 0 and compacts the rest to full depth.
+        let policy = {
+            let probe = ExitPolicy::Confidence { threshold: 0.0 };
+            plan.predict_adaptive_batch_into(&inputs, 6, 2023, &probe, &mut out, &mut exits)
+                .unwrap();
+            let classes = out.len() / MAX_BATCH;
+            let confs: Vec<f32> = out
+                .chunks_exact(classes)
+                .map(|r| r.iter().copied().fold(f32::NEG_INFINITY, f32::max))
+                .collect();
+            let min = confs.iter().copied().fold(f32::INFINITY, f32::min);
+            let max = confs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            assert!(min < max, "probe confidences are degenerate ({format})");
+            ExitPolicy::Confidence {
+                threshold: f64::from((min + max) / 2.0),
+            }
+        };
+
+        // Warm-up sizes the staging, output and exit buffers.
+        plan.predict_adaptive_batch_into(&inputs, 6, 2023, &policy, &mut out, &mut exits)
+            .unwrap();
+        let warm = out.clone();
+        let warm_exits = exits.clone();
+        assert!(
+            warm_exits.contains(&0) && warm_exits.iter().any(|&e| e != 0),
+            "retire pattern must be mixed for a meaningful audit ({format}): {warm_exits:?}"
+        );
+
+        let before = alloc_counter::allocation_count();
+        plan.predict_adaptive_batch_into(&inputs, 6, 2023, &policy, &mut out, &mut exits)
+            .unwrap();
+        let allocations = alloc_counter::allocation_count() - before;
+        assert_eq!(
+            allocations, 0,
+            "steady-state adaptive predict allocated {allocations} time(s) ({format})"
+        );
+        assert_eq!(out, warm, "steady-state adaptive result drifted ({format})");
+        assert_eq!(
+            exits, warm_exits,
+            "steady-state exit choices drifted ({format})"
+        );
+
+        // Partial batches stay inside the warmed arena too.
+        let small = Tensor::randn(&[MAX_BATCH - 2, 1, 10, 10], &mut rng);
+        plan.predict_adaptive_batch_into(&small, 6, 2023, &policy, &mut out, &mut exits)
+            .unwrap();
+        let before = alloc_counter::allocation_count();
+        plan.predict_adaptive_batch_into(&small, 6, 2023, &policy, &mut out, &mut exits)
+            .unwrap();
+        assert_eq!(
+            alloc_counter::allocation_count() - before,
+            0,
+            "partial-batch adaptive steady state must not allocate ({format})"
         );
     }
 }

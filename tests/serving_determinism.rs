@@ -17,7 +17,7 @@
 use bayesnn_fpga::models::{zoo, ModelConfig};
 use bayesnn_fpga::quant::{CalibratedNetwork, FixedPointFormat};
 use bayesnn_fpga::serve::replay::{replay, ReplayConfig};
-use bayesnn_fpga::serve::{InferenceServer, QuantEngine, ServerConfig};
+use bayesnn_fpga::serve::{ExitPolicy, InferenceServer, QuantEngine, ServerConfig};
 use bayesnn_fpga::tensor::exec::Executor;
 use bayesnn_fpga::tensor::rng::Xoshiro256StarStar;
 use bayesnn_fpga::tensor::Tensor;
@@ -248,6 +248,7 @@ fn server_outputs_are_invariant_to_batching_and_workers() {
                 max_delay,
                 mc_samples: MC_SAMPLES,
                 seed: MC_SEED,
+                policy: ExitPolicy::Never,
             },
         )
         .unwrap();
@@ -265,7 +266,7 @@ fn server_outputs_are_invariant_to_batching_and_workers() {
         assert_eq!(stats.completed, 48, "every request must be served");
         for (i, output) in outcome.outputs.iter().enumerate() {
             assert_eq!(
-                &output[..],
+                &output.probs[..],
                 &reference[i % pool.len()][..],
                 "workers={workers} max_batch={max_batch}: request {i} output \
                  depends on batch boundaries"

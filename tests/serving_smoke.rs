@@ -7,7 +7,7 @@
 use bayesnn_fpga::models::{zoo, ModelConfig};
 use bayesnn_fpga::quant::{CalibratedNetwork, FixedPointFormat};
 use bayesnn_fpga::serve::replay::{replay, ReplayConfig};
-use bayesnn_fpga::serve::{InferenceServer, QuantEngine, ServeError, ServerConfig};
+use bayesnn_fpga::serve::{ExitPolicy, InferenceServer, QuantEngine, ServeError, ServerConfig};
 use bayesnn_fpga::tensor::exec::Executor;
 use bayesnn_fpga::tensor::rng::Xoshiro256StarStar;
 use bayesnn_fpga::tensor::Tensor;
@@ -63,9 +63,26 @@ fn replayed_requests_are_all_served_and_correct() {
             max_delay: Duration::from_micros(500),
             mc_samples: MC_SAMPLES,
             seed: MC_SEED,
+            policy: ExitPolicy::Never,
         },
     )
     .unwrap();
+
+    // Out-of-range adaptive thresholds are rejected up front, typed.
+    let reject_plan = calibrated
+        .plan(FixedPointFormat::new(8, 3).unwrap())
+        .unwrap();
+    for bad in [f64::NAN, f64::INFINITY, -0.5, 1.5] {
+        let config = ServerConfig::latency_biased(1, MC_SAMPLES, MC_SEED)
+            .with_policy(ExitPolicy::Confidence { threshold: bad });
+        assert!(
+            matches!(
+                InferenceServer::start(Box::new(QuantEngine::new(reject_plan.clone())), config),
+                Err(ServeError::InvalidRequest(_))
+            ),
+            "threshold {bad} must be rejected"
+        );
+    }
 
     // Malformed submissions are rejected up front with typed errors.
     assert!(matches!(
@@ -91,12 +108,20 @@ fn replayed_requests_are_all_served_and_correct() {
         "all responses delivered"
     );
     assert!(stats.batches > 0 && stats.max_batch_seen <= 8);
+    // Fixed-depth serving reports full-depth metadata on every reply.
+    let n_exits = stats.exit_counts.len();
+    assert!(n_exits >= 2);
+    assert_eq!(stats.exit_counts[n_exits - 1] as usize, REQUESTS);
+    assert_eq!(stats.ops_executed, stats.ops_fixed);
+    assert!(stats.ops_fixed > 0);
     for (i, output) in outcome.outputs.iter().enumerate() {
         assert_eq!(
-            &output[..],
+            &output.probs[..],
             &reference[i % pool.len()][..],
             "request {i}: served output differs from the direct plan call"
         );
+        assert_eq!(output.exit_taken, n_exits - 1);
+        assert_eq!(output.mc_samples, MC_SAMPLES);
     }
 
     let r = &outcome.report;
