@@ -15,6 +15,8 @@
 #                     BNN_THREADS=1 and 4
 #   make test-adaptive - adaptive early-exit parity + allocation audit,
 #                     under BNN_THREADS=1 and 4
+#   make test-hls   - HLS codegen golden-file snapshots + sim-vs-plan
+#                     differential suites, under BNN_THREADS=1 and 4
 #   make bench-serving - replay the serving harness and record the results
 #                     as BENCH_serving.json
 #   make lint       - rustfmt check + clippy with warnings denied
@@ -28,7 +30,7 @@ CARGO ?= cargo
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test test-doc test-st test-scalar test-plans test-serving test-adaptive bench bench-build bench-quant bench-save bench-serving lint fmt doc clean ci
+.PHONY: all build test test-doc test-st test-scalar test-plans test-serving test-adaptive test-hls bench bench-build bench-quant bench-save bench-serving lint fmt doc clean ci
 
 all: build
 
@@ -77,6 +79,15 @@ test-adaptive:
 	BNN_THREADS=1 $(CARGO) test -q --test adaptive_exit_parity --test allocation_audit
 	BNN_THREADS=4 $(CARGO) test -q --test adaptive_exit_parity --test allocation_audit
 
+# The HLS codegen guarantees at both ends of the thread-count range: emitted
+# defines.h/top.cpp pinned against the checked-in goldens (regenerate with
+# UPDATE_GOLDEN=1, see tests/hls_golden_files.rs), and the golden-reference
+# simulator bit-exact with the compiled integer plan across every zoo model
+# × searched format.
+test-hls:
+	BNN_THREADS=1 $(CARGO) test -q --test hls_golden_files --test hls_golden_sim
+	BNN_THREADS=4 $(CARGO) test -q --test hls_golden_files --test hls_golden_sim
+
 bench:
 	$(CARGO) bench -p bnn-bench
 
@@ -117,4 +128,4 @@ doc:
 clean:
 	$(CARGO) clean
 
-ci: lint build test test-doc test-st test-scalar test-plans test-serving test-adaptive bench-build doc
+ci: lint build test test-doc test-st test-scalar test-plans test-serving test-adaptive test-hls bench-build doc

@@ -133,4 +133,15 @@ mod tests {
         let e = FrameworkError::from(HwError::InvalidConfig("h".into()));
         assert!(e.source().is_some());
     }
+
+    #[test]
+    fn hls_unsupported_keeps_its_message_through_the_framework_error() {
+        // A lowered node with no HLS emission rule is a typed error, not a
+        // panic or a silent global-width fallback — and the node name must
+        // survive the conversion so pipeline callers can report it.
+        let e = FrameworkError::from(HlsError::Unsupported("exotic_op".into()));
+        assert!(e.to_string().contains("exotic_op"));
+        assert!(e.source().is_some());
+        assert!(matches!(e, FrameworkError::Hls(HlsError::Unsupported(_))));
+    }
 }

@@ -1,10 +1,14 @@
 //! Phase 3 — algorithm and hardware co-exploration.
 //!
-//! Grid search over the datapath bitwidth ({4, 6, 8, 16} bits), the channel
-//! scaling ({C, C/2, C/4, C/8}) and the per-layer reuse factor, constrained to
-//! not degrade algorithmic quality relative to the full-precision reference
-//! (the paper's requirement) while minimising the hardware cost for the chosen
-//! priority.
+//! Grid search over exactly two axes: the datapath bitwidth ({4, 6, 8, 16}
+//! bits, [`bnn_quant::FixedPointFormat::search_space`]) and the per-layer
+//! reuse factor, constrained to not degrade algorithmic quality relative to
+//! the full-precision reference (the paper's requirement) while minimising
+//! the hardware cost for the chosen priority. The paper's third axis —
+//! channel scaling ({C, C/2, C/4, C/8}) — is **not searched here**: channel
+//! width is fixed by Phase 1's `width_divisor` before training, and every
+//! Phase 3 candidate scores that same architecture. Re-opening channel width
+//! would require retraining per candidate, which this phase never does.
 //!
 //! Algorithmic quality of a bitwidth is measured by post-training
 //! quantization of the trained Phase 1 model (`bnn-quant`). By default every
@@ -18,11 +22,7 @@
 //! accumulation and saturation — the arithmetic the generated accelerator
 //! actually performs. The legacy weights-only fake quantization (float
 //! kernels) remains available behind [`QuantExecution::FakeQuantFloat`] for
-//! A/B comparisons; formats wider than 16 bits always use it. Channel
-//! scaling changes the architecture itself, so each scaled candidate is
-//! retrained only when a training budget is provided; otherwise the
-//! exploration keeps the Phase 1 channel configuration (documented in the
-//! result).
+//! A/B comparisons; formats wider than 16 bits always use it.
 
 use crate::constraints::{OptPriority, UserConstraints};
 use crate::error::FrameworkError;
@@ -40,7 +40,7 @@ use bnn_tensor::Tensor;
 
 /// Number of training samples used to calibrate activation ranges when a
 /// design point is scored on the integer path.
-const CALIBRATION_SAMPLES: usize = 32;
+pub(crate) const CALIBRATION_SAMPLES: usize = 32;
 
 /// How Phase 3 evaluates the algorithmic quality of a bitwidth candidate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]

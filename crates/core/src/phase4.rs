@@ -1,38 +1,59 @@
 //! Phase 4 — generation of the HLS-based BayesNN accelerator.
 //!
 //! Combines the Phase 1 network, the Phase 2 mapping and the Phase 3
-//! bitwidth/reuse choice into an emitted HLS project (`bnn-hls`) plus the
+//! bitwidth/reuse choice into emitted HLS projects (`bnn-hls`) plus the
 //! predicted implementation report (`bnn-hw`), the artefacts a user would hand
 //! to Vivado-HLS / Vivado for synthesis, place-and-route and onboard testing.
+//!
+//! Two projects are emitted when the winning format fits the integer path
+//! (≤ 16 bits): the spec-driven structural project ([`HlsProject`]) and the
+//! calibrated per-tensor [`LoweredDesign`], generated from the same compiled
+//! [`bnn_quant::QuantPlan`] the Phase 3 winner was scored on — per-tensor
+//! `ap_fixed` typedefs, packed integer weight codes and a `top()` that walks
+//! the identical flattened step list. The lowered design carries a
+//! [`bnn_hls::StaticSchedule`] summary whose MAC count equals
+//! [`bnn_hw::network_macs`] for the same spec, the invariant the golden
+//! tests pin.
 
 use crate::error::FrameworkError;
-use crate::phase3::Phase3Artifact;
+use crate::phase3::{Phase3Artifact, CALIBRATION_SAMPLES};
 use crate::pipeline::{NoopObserver, PhaseId, PipelineContext, PipelineObserver};
-use bnn_hls::{HlsConfig, HlsProject};
+use bnn_hls::{HlsConfig, HlsProject, LoweredDesign};
 use bnn_hw::accelerator::{AcceleratorConfig, AcceleratorModel, AcceleratorReport};
 use bnn_models::NetworkSpec;
-use bnn_quant::FixedPointFormat;
+use bnn_quant::{CalibratedNetwork, FixedPointFormat};
 use std::path::Path;
 
 /// Output of Phase 4: the generated project and its predicted implementation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Phase4Output {
-    /// The generated HLS project.
+    /// The generated spec-driven HLS project.
     pub project: HlsProject,
     /// The predicted post-implementation report.
     pub report: AcceleratorReport,
     /// The HLS generation configuration that was used.
     pub hls_config: HlsConfig,
+    /// The calibrated per-tensor design lowered from the winner's compiled
+    /// integer plan. `None` when the winning format is wider than the 16-bit
+    /// integer path (scored by fake-quant float, so there is no plan to
+    /// lower) or when the output was produced by the spec-only
+    /// [`generate`] entry point, which has no calibration data.
+    pub lowered: Option<LoweredDesign>,
 }
 
 impl Phase4Output {
-    /// Writes the generated project under `root`.
+    /// Writes the generated project under `root`. When a calibrated
+    /// [`LoweredDesign`] is present, its project is written under
+    /// `root/lowered`.
     ///
     /// # Errors
     ///
     /// Propagates file-system errors.
     pub fn write_project(&self, root: &Path) -> Result<(), FrameworkError> {
         self.project.write_to_dir(root)?;
+        if let Some(lowered) = &self.lowered {
+            lowered.project().write_to_dir(&root.join("lowered"))?;
+        }
         Ok(())
     }
 }
@@ -100,21 +121,44 @@ impl Phase4Stage {
             .with_mapping(input.mapping())
             .with_bits(input.format().total_bits())
             .with_reuse_factor(input.reuse_factor());
-        let output = generate(
+        let mut output = generate(
             input.phase2.phase1.best_spec(),
             &ctx.project_name,
             &final_config,
             input.format(),
         )?;
+        // Lower the winner's compiled integer plan into the calibrated
+        // per-tensor design, re-using Phase 3's calibration protocol: a
+        // representative batch of *training* inputs. Formats wider than the
+        // integer path carry no plan and skip this.
+        if input.format().total_bits() <= 16 {
+            let trained = input.phase2.phase1.instantiate_best()?;
+            let train = &input.phase2.phase1.data.train;
+            let calib = train
+                .take(CALIBRATION_SAMPLES.min(train.len()))?
+                .inputs()
+                .clone();
+            let calibrated = CalibratedNetwork::calibrate(&trained, &calib)?;
+            output.lowered = Some(LoweredDesign::generate(&calibrated, &output.hls_config)?);
+        }
+        let lowered_note = match &output.lowered {
+            Some(design) => format!(
+                ", lowered design: {} stages / {} MACs",
+                design.summary().steps,
+                design.summary().macs
+            ),
+            None => String::new(),
+        };
         observer.on_candidate(
             PhaseId::Phase4,
             0,
             &format!(
-                "project {} ({} files): latency {:.4} ms, fits {}",
+                "project {} ({} files): latency {:.4} ms, fits {}{}",
                 ctx.project_name,
                 output.project.paths().len(),
                 output.report.latency_ms,
-                output.report.fits
+                output.report.fits,
+                lowered_note
             ),
         );
         Ok(Phase4Artifact {
@@ -127,6 +171,11 @@ impl Phase4Stage {
 /// Generates the accelerator for a network spec with a fully decided
 /// accelerator configuration (the standalone entry point behind
 /// [`Phase4Stage`]).
+///
+/// This entry point has no calibration data, so the returned output's
+/// `lowered` field is `None`; [`Phase4Stage::run_observed`] fills it from
+/// the pipeline's training set, and [`generate_lowered`] does the same for
+/// a standalone [`CalibratedNetwork`].
 ///
 /// # Errors
 ///
@@ -148,14 +197,76 @@ pub fn generate(
         project,
         report,
         hls_config,
+        lowered: None,
     })
+}
+
+/// Lowers a calibrated network's compiled integer plan into the per-tensor
+/// HLS design — the standalone spelling of what [`Phase4Stage::run_observed`]
+/// does with the pipeline's own calibration batch.
+///
+/// # Errors
+///
+/// Surfaces [`bnn_hls::HlsError::Unsupported`] (via
+/// [`FrameworkError::Hls`]) when the configured format is wider than the
+/// 16-bit integer path or a lowered node has no HLS emission rule, and
+/// propagates plan-compilation errors.
+pub fn generate_lowered(
+    calibrated: &CalibratedNetwork,
+    hls_config: &HlsConfig,
+) -> Result<LoweredDesign, FrameworkError> {
+    Ok(LoweredDesign::generate(calibrated, hls_config)?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bnn_hls::HlsError;
     use bnn_hw::{FpgaDevice, MappingStrategy};
     use bnn_models::{zoo, ModelConfig};
+    use bnn_tensor::rng::Xoshiro256StarStar;
+    use bnn_tensor::Tensor;
+
+    fn calibrated_lenet() -> (NetworkSpec, CalibratedNetwork) {
+        let spec = zoo::lenet5(
+            &ModelConfig::mnist()
+                .with_resolution(10, 10)
+                .with_width_divisor(8)
+                .with_classes(4),
+        )
+        .with_exits_after_every_block()
+        .unwrap()
+        .with_exit_mcd(0.25)
+        .unwrap();
+        let net = spec.build(3).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let calib = Tensor::randn(&[6, 1, 10, 10], &mut rng);
+        let calibrated = CalibratedNetwork::calibrate(&net, &calib).unwrap();
+        (spec, calibrated)
+    }
+
+    #[test]
+    fn lowered_design_macs_match_the_hw_model() {
+        let (spec, calibrated) = calibrated_lenet();
+        let config = HlsConfig::new("lenet").with_format(FixedPointFormat::new(8, 3).unwrap());
+        let design = generate_lowered(&calibrated, &config).unwrap();
+        // The static schedule of the emitted design and the analytic hw
+        // model price the same machine: exact MAC agreement, no tolerance.
+        assert_eq!(design.summary().macs, bnn_hw::network_macs(&spec).unwrap());
+        assert!(design.summary().macs > 0);
+    }
+
+    #[test]
+    fn wide_formats_surface_a_typed_unsupported_error() {
+        let (_, calibrated) = calibrated_lenet();
+        let config = HlsConfig::new("lenet").with_format(FixedPointFormat::new(24, 8).unwrap());
+        match generate_lowered(&calibrated, &config) {
+            Err(FrameworkError::Hls(HlsError::Unsupported(msg))) => {
+                assert!(msg.contains("16"), "message should name the limit: {msg}");
+            }
+            other => panic!("expected FrameworkError::Hls(Unsupported), got {other:?}"),
+        }
+    }
 
     #[test]
     fn generates_project_and_report() {

@@ -14,6 +14,14 @@ pub enum HlsError {
     Quant(QuantError),
     /// The generator configuration is invalid.
     InvalidConfig(String),
+    /// A lowered node (or the requested format) has no HLS emission rule —
+    /// e.g. a layer without an inference lowering or a format wider than the
+    /// 16-bit integer path. Raised instead of silently falling back to the
+    /// global-width emitter.
+    Unsupported(String),
+    /// The golden-reference simulator rejected its input (shape mismatch,
+    /// empty batch, or a design without exits).
+    Sim(String),
     /// Writing the project to disk failed.
     Io(String),
 }
@@ -24,6 +32,8 @@ impl fmt::Display for HlsError {
             HlsError::Model(e) => write!(f, "model error: {e}"),
             HlsError::Quant(e) => write!(f, "quantization error: {e}"),
             HlsError::InvalidConfig(msg) => write!(f, "invalid HLS configuration: {msg}"),
+            HlsError::Unsupported(msg) => write!(f, "no HLS emission rule: {msg}"),
+            HlsError::Sim(msg) => write!(f, "HLS golden simulation error: {msg}"),
             HlsError::Io(msg) => write!(f, "failed to write HLS project: {msg}"),
         }
     }
@@ -67,6 +77,12 @@ mod tests {
             .to_string()
             .contains("x"));
         assert!(HlsError::Io("y".into()).to_string().contains("y"));
+        let e = HlsError::Unsupported("exotic_layer".into());
+        assert!(e.to_string().contains("no HLS emission rule"));
+        assert!(e.to_string().contains("exotic_layer"));
+        assert!(HlsError::Sim("empty batch".into())
+            .to_string()
+            .contains("empty batch"));
         let e = HlsError::from(ModelError::InvalidSpec("z".into()));
         assert!(e.source().is_some());
         let e = HlsError::from(QuantError::InvalidFormat("q".into()));

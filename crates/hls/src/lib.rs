@@ -26,9 +26,20 @@
 //! software integer path therefore doubles as the C-simulation reference a
 //! real HLS flow would diff its RTL against — a design point whose accuracy
 //! Phase 3 measured on the integer path is the design point this crate
-//! emits. (Per-tensor calibrated `<W, I>` splits are not yet propagated
-//! into `defines.h`; the emitted project uses the candidate's global
-//! format. See the ROADMAP open item.)
+//! emits.
+//!
+//! Two generators coexist:
+//!
+//! * [`HlsProject::generate`] renders from the architecture spec with one
+//!   global `data_t` — the quick, calibration-free structural view.
+//! * [`LoweredDesign::generate`] (module [`lowered`]) renders from a
+//!   calibrated network's compiled [`bnn_quant::QuantPlan`]: one
+//!   `ap_fixed<W,I>` typedef **per tensor**, the packed integer weight/bias
+//!   codes, and a `top()` generated from the identical flattened step list
+//!   the integer path executes. [`sim::HlsSimulator`] interprets that
+//!   emitted schedule in pure Rust integer arithmetic, bit-exact with
+//!   [`bnn_quant::QuantPlan::predict_probs`] — the golden reference the
+//!   differential tests pin codegen against.
 //!
 //! One deliberate difference, documented in the dropout template: the
 //! paper's Algorithm 1 scales kept activations by `keep_rate` in hardware,
@@ -75,9 +86,13 @@
 
 pub mod config;
 pub mod error;
+pub mod lowered;
 pub mod project;
+pub mod sim;
 pub mod templates;
 
 pub use config::HlsConfig;
 pub use error::HlsError;
+pub use lowered::{LoweredDesign, StaticSchedule};
 pub use project::HlsProject;
+pub use sim::{HlsSimulator, SimMode};

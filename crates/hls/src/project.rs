@@ -52,6 +52,12 @@ impl HlsProject {
         Ok(HlsProject { files, name })
     }
 
+    /// Assembles a project from pre-rendered files (the lowered-graph
+    /// emitter builds its file set step by step).
+    pub(crate) fn from_files(name: String, files: BTreeMap<String, String>) -> Self {
+        HlsProject { files, name }
+    }
+
     /// Project name (top-level function name).
     pub fn name(&self) -> &str {
         &self.name
@@ -265,7 +271,7 @@ fn weights_header(spec: &NetworkSpec, config: &HlsConfig) -> String {
     out
 }
 
-fn build_tcl(config: &HlsConfig) -> String {
+pub(crate) fn build_tcl(config: &HlsConfig) -> String {
     let engines = match config.mapping {
         MappingStrategy::Spatial => "spatial",
         MappingStrategy::Temporal => "temporal",

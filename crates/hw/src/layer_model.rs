@@ -8,9 +8,10 @@
 //! RNG, a comparator and a multiplier — and, notably, **no BRAM**, which is why
 //! Fig. 5 shows flat BRAM across MCD-layer counts.
 
+use crate::error::HwError;
 use crate::resource::ResourceUsage;
 use crate::rng::Lfsr32;
-use bnn_models::LayerSpec;
+use bnn_models::{LayerSpec, NetworkSpec};
 use bnn_tensor::Shape;
 
 /// Hardware estimate of a single layer instance.
@@ -88,6 +89,95 @@ fn weight_bram(params: u64, bits: u32) -> u64 {
     }
 }
 
+/// Output height/width of a square convolution over `input` (NCHW), with
+/// the `(1, 1)` fallback the resource model uses for malformed shapes.
+fn conv_out_hw(input: &Shape, kernel: usize, stride: usize, padding: usize) -> (u64, u64) {
+    match input.as_nchw() {
+        Ok((_, _, h, w)) => {
+            let oh = (h + 2 * padding).saturating_sub(kernel) / stride + 1;
+            let ow = (w + 2 * padding).saturating_sub(kernel) / stride + 1;
+            (oh as u64, ow as u64)
+        }
+        Err(_) => (1, 1),
+    }
+}
+
+/// Per-sample multiply-accumulates of one layer at `input` (batch 1) — the
+/// figure the multiplier sizing below divides by the reuse factor, and the
+/// same figure the compiled integer plan's per-step cost accounting uses
+/// for conv/dense. Only conv and dense are MAC-counted (batch-norm folds
+/// into a per-channel affine, pools and activations are add/compare only);
+/// residual blocks recurse with shape propagation.
+pub fn layer_macs(layer: &LayerSpec, input: &Shape) -> u64 {
+    match layer {
+        LayerSpec::Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        } => {
+            let (oh, ow) = conv_out_hw(input, *kernel, *stride, *padding);
+            (kernel * kernel * in_channels * out_channels) as u64 * oh * ow
+        }
+        LayerSpec::Dense {
+            in_features,
+            out_features,
+        } => (in_features * out_features) as u64,
+        LayerSpec::Residual { main, shortcut } => {
+            let mut total = 0u64;
+            let mut shape = input.clone();
+            for l in main {
+                total += layer_macs(l, &shape);
+                if let Ok(next) = l.output_shape(&shape) {
+                    shape = next;
+                }
+            }
+            let mut short_shape = input.clone();
+            for l in shortcut {
+                total += layer_macs(l, &short_shape);
+                if let Ok(next) = l.output_shape(&short_shape) {
+                    short_shape = next;
+                }
+            }
+            total
+        }
+        _ => 0,
+    }
+}
+
+/// Total per-sample MACs of a whole spec: backbone blocks plus every exit
+/// branch, with shapes propagated from the spec's input. This is the static
+/// figure an emitted HLS design's schedule must agree with — the
+/// cross-check that keeps phase-2/3 scores and generated code from
+/// drifting apart.
+///
+/// # Errors
+///
+/// Returns [`HwError::Model`] when a layer's output shape cannot be derived.
+pub fn network_macs(spec: &NetworkSpec) -> Result<u64, HwError> {
+    let mut total = 0u64;
+    let mut shape = spec.input_shape(1);
+    for block in &spec.blocks {
+        for layer in block {
+            total += layer_macs(layer, &shape);
+            shape = layer.output_shape(&shape)?;
+        }
+    }
+    let block_shapes = spec.block_output_shapes()?;
+    for exit in &spec.exits {
+        let mut s = block_shapes
+            .get(exit.after_block)
+            .cloned()
+            .unwrap_or_else(|| spec.input_shape(1));
+        for layer in &exit.layers {
+            total += layer_macs(layer, &s);
+            s = layer.output_shape(&s)?;
+        }
+    }
+    Ok(total)
+}
+
 /// Estimates the hardware of one layer given its input shape (batch size 1).
 pub fn estimate_layer(
     layer: &LayerSpec,
@@ -105,14 +195,7 @@ pub fn estimate_layer(
             stride,
             padding,
         } => {
-            let (oh, ow) = match input.as_nchw() {
-                Ok((_, _, h, w)) => {
-                    let oh = (h + 2 * padding).saturating_sub(*kernel) / stride + 1;
-                    let ow = (w + 2 * padding).saturating_sub(*kernel) / stride + 1;
-                    (oh as u64, ow as u64)
-                }
-                Err(_) => (1, 1),
-            };
+            let (oh, ow) = conv_out_hw(input, *kernel, *stride, *padding);
             let macs_per_pixel = (kernel * kernel * in_channels * out_channels) as u64;
             let multipliers = div_ceil(macs_per_pixel, reuse);
             let mut res = mac_array(multipliers, bits);
@@ -268,6 +351,64 @@ mod tests {
             stride: 1,
             padding: 1,
         }
+    }
+
+    #[test]
+    fn conv_macs_follow_the_textbook_formula() {
+        // 3x3 conv, pad 1, stride 1 over 16x16: oh = ow = 16.
+        let shape = Shape::new(vec![1, 16, 16, 16]);
+        assert_eq!(
+            layer_macs(&conv(16, 32), &shape),
+            (3 * 3 * 16 * 32 * 16 * 16) as u64
+        );
+        let dense = LayerSpec::Dense {
+            in_features: 120,
+            out_features: 84,
+        };
+        assert_eq!(layer_macs(&dense, &shape), 120 * 84);
+        assert_eq!(layer_macs(&LayerSpec::Relu, &shape), 0);
+        assert_eq!(layer_macs(&LayerSpec::McDropout { rate: 0.25 }, &shape), 0);
+    }
+
+    #[test]
+    fn residual_macs_sum_main_and_shortcut() {
+        let shape = Shape::new(vec![1, 16, 8, 8]);
+        let main = vec![conv(16, 16), LayerSpec::Relu, conv(16, 16)];
+        let shortcut = vec![conv(16, 16)];
+        let block = LayerSpec::Residual {
+            main: main.clone(),
+            shortcut: shortcut.clone(),
+        };
+        let expect: u64 = main
+            .iter()
+            .chain(shortcut.iter())
+            .map(|l| layer_macs(l, &shape))
+            .sum();
+        assert!(expect > 0);
+        assert_eq!(layer_macs(&block, &shape), expect);
+    }
+
+    #[test]
+    fn network_macs_cover_backbone_and_exits() {
+        let spec = bnn_models::zoo::lenet5(
+            &bnn_models::ModelConfig::mnist()
+                .with_resolution(10, 10)
+                .with_width_divisor(8)
+                .with_classes(4),
+        )
+        .with_exits_after_every_block()
+        .unwrap();
+        let total = network_macs(&spec).unwrap();
+        // Backbone alone must be strictly below the total: every exit head
+        // ends in a dense classifier that contributes MACs.
+        let mut backbone = 0u64;
+        let mut shape = spec.input_shape(1);
+        for layer in spec.blocks.iter().flatten() {
+            backbone += layer_macs(layer, &shape);
+            shape = layer.output_shape(&shape).unwrap();
+        }
+        assert!(backbone > 0);
+        assert!(total > backbone);
     }
 
     #[test]

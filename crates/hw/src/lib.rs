@@ -86,6 +86,7 @@ pub mod rng;
 pub use accelerator::{AcceleratorConfig, AcceleratorModel, AcceleratorReport};
 pub use device::FpgaDevice;
 pub use error::HwError;
+pub use layer_model::{layer_macs, network_macs};
 pub use mapping::MappingStrategy;
 pub use power::PowerBreakdown;
 pub use resource::ResourceUsage;

@@ -6,8 +6,11 @@
 //! what an inference backend needs: weights, geometry, folded normalisation
 //! constants and dropout rates. `bnn-quant` consumes these descriptions to
 //! build the true fixed-point integer inference path (calibrated
-//! `QuantizedNetwork`s), and the same descriptions are what an HLS code
-//! generator would walk.
+//! `QuantizedNetwork`s), and the same descriptions — via the compiled plan's
+//! exported step schedule — are what `bnn-hls`'s lowered code generator
+//! walks to emit per-tensor `ap_fixed` types and packed integer weights. A
+//! lowering with no quantized emission rule is a typed error
+//! (`Unsupported`) on that path, never a silent fallback.
 //!
 //! The enum intentionally describes *inference* semantics only:
 //!

@@ -70,6 +70,7 @@ pub mod net;
 pub mod params;
 pub mod plan;
 pub mod qtensor;
+pub mod schedule;
 
 pub use bitwidth::{BitwidthSearch, CandidateResult};
 pub use calib::{CalibratedNetwork, GraphCalibration};
@@ -80,3 +81,4 @@ pub use net::{QuantizedMultiExitNetwork, QuantizedSequential};
 pub use params::{IntWidth, QuantParams};
 pub use plan::QuantPlan;
 pub use qtensor::{QuantData, QuantizedTensor};
+pub use schedule::{PlanSchedule, ScheduleExit, ScheduleOp, ScheduleStep};

@@ -37,6 +37,7 @@ use crate::fixed::FixedPointFormat;
 use crate::net::{div_round, dropout_scale_q, quantize_affine, quantize_weights, MUL_FRAC};
 use crate::params::{IntWidth, QuantParams};
 use crate::qtensor::QuantData;
+use crate::schedule::{PlanSchedule, ScheduleExit, ScheduleOp, ScheduleStep};
 use bnn_models::{AdaptivePrediction, AdaptiveStats, ExitPolicy};
 use bnn_nn::layer::Mode;
 use bnn_nn::lowering::LayerLowering;
@@ -67,6 +68,9 @@ struct PlanConv {
     stride: usize,
     padding: usize,
     shift: i32,
+    /// Fractional bits of the weight codes (carried for schedule export;
+    /// execution only needs `shift`).
+    w_frac: u32,
     out: QuantParams,
 }
 
@@ -78,6 +82,8 @@ struct PlanDense {
     in_f: usize,
     out_f: usize,
     shift: i32,
+    /// Fractional bits of the weight codes (carried for schedule export).
+    w_frac: u32,
     out: QuantParams,
 }
 
@@ -408,6 +414,7 @@ impl PlanBuilder {
                         stride: *stride,
                         padding: *padding,
                         shift: w.shift,
+                        w_frac: w.w_frac,
                         out,
                     })),
                     *cur,
@@ -441,6 +448,7 @@ impl PlanBuilder {
                         in_f,
                         out_f,
                         shift: w.shift,
+                        w_frac: w.w_frac,
                         out,
                     })),
                     *cur,
@@ -838,6 +846,102 @@ impl QuantPlan {
     /// order.
     pub fn exit_out_params(&self) -> Vec<QuantParams> {
         self.exits.iter().map(|e| e.out_params).collect()
+    }
+
+    /// Exports the plan's flattened step list as a backend-readable
+    /// [`PlanSchedule`]: the same steps, constants, shifts and slot
+    /// assignments this plan executes, with the runtime state (RNG streams,
+    /// arena, executor) stripped. See [`crate::schedule`].
+    pub fn schedule(&self) -> PlanSchedule {
+        fn export_step(step: &Step) -> ScheduleStep {
+            let op = match &step.kind {
+                StepKind::Conv(c) => ScheduleOp::Conv {
+                    weights: c.w16.clone(),
+                    bias: c.bias.clone(),
+                    out_c: c.out_c,
+                    in_c: c.in_c,
+                    kernel: c.kernel,
+                    stride: c.stride,
+                    padding: c.padding,
+                    shift: c.shift,
+                    w_frac: c.w_frac,
+                    out: c.out,
+                },
+                StepKind::Dense(d) => ScheduleOp::Dense {
+                    weights_t: d.wt16.clone(),
+                    bias: d.bias.clone(),
+                    in_f: d.in_f,
+                    out_f: d.out_f,
+                    shift: d.shift,
+                    w_frac: d.w_frac,
+                    out: d.out,
+                },
+                StepKind::Relu => ScheduleOp::Relu,
+                StepKind::MaxPool { kernel, stride } => ScheduleOp::MaxPool {
+                    kernel: *kernel,
+                    stride: *stride,
+                },
+                StepKind::AvgPool { kernel, stride } => ScheduleOp::AvgPool {
+                    kernel: *kernel,
+                    stride: *stride,
+                },
+                StepKind::GlobalAvgPool => ScheduleOp::GlobalAvgPool,
+                StepKind::Affine(a) => ScheduleOp::Affine {
+                    m: a.m.clone(),
+                    b: a.b.clone(),
+                    out: a.out,
+                },
+                StepKind::McDropout {
+                    rate,
+                    scale_q,
+                    params,
+                    rng: _,
+                } => ScheduleOp::McDropout {
+                    rate: *rate,
+                    scale_q: *scale_q,
+                    params: *params,
+                },
+                StepKind::Merge {
+                    m_shift,
+                    s_shift,
+                    out,
+                } => ScheduleOp::Merge {
+                    m_shift: *m_shift,
+                    s_shift: *s_shift,
+                    out: *out,
+                },
+            };
+            ScheduleStep {
+                op,
+                src: step.src,
+                src2: step.src2,
+                dst: step.dst,
+                in_dims: step.in_dims.clone(),
+                out_dims: step.out_dims.clone(),
+                unit_ops: step.ops,
+            }
+        }
+
+        PlanSchedule {
+            format: self.format,
+            classes: self.classes,
+            in_params: self.in_params,
+            in_dims: self.in_dims.clone(),
+            input_slot: self.input_slot,
+            backbone: self.backbone.iter().map(export_step).collect(),
+            exits: self
+                .exits
+                .iter()
+                .map(|e| ScheduleExit {
+                    steps: e.steps.iter().map(export_step).collect(),
+                    out_slot: e.out_slot,
+                    out_params: e.out_params,
+                    out_dims: e.out_dims.clone(),
+                    after_block: e.after_block,
+                })
+                .collect(),
+            slot_elems: self.slot_elems.clone(),
+        }
     }
 
     /// Pins every kernel in this plan to `exec` instead of the work-size

@@ -55,6 +55,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for path in outcome.phase4.project.paths() {
         println!("  {path}");
     }
+    if let Some(lowered) = &outcome.phase4.lowered {
+        println!(
+            "\nCalibrated per-tensor design written to {}/lowered ({} stages, {} MACs):",
+            out_dir.display(),
+            lowered.summary().steps,
+            lowered.summary().macs
+        );
+        for path in lowered.project().paths() {
+            println!("  lowered/{path}");
+        }
+    }
     println!(
         "\nOpen {}/build_prj.tcl with Vivado-HLS to synthesise the design.",
         out_dir.display()

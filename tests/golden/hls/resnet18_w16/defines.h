@@ -1,0 +1,91 @@
+#ifndef DEFINES_H_
+#define DEFINES_H_
+
+#include "ap_fixed.h"
+#include "ap_int.h"
+
+// Per-tensor calibrated fixed-point formats (one typedef per value).
+typedef ap_fixed<16,3> input_t; // calibrated input, scale 2^-13
+typedef ap_fixed<16,4> v0_t; // step 0 conv2d out, scale 2^-12
+typedef ap_fixed<16,4> v1_t; // step 1 affine out, scale 2^-12
+typedef ap_fixed<16,4> v2_t; // step 2 relu out, scale 2^-12
+typedef ap_fixed<16,4> v3_t; // step 3 conv2d out, scale 2^-12
+typedef ap_fixed<16,4> v4_t; // step 4 affine out, scale 2^-12
+typedef ap_fixed<16,4> v5_t; // step 5 relu out, scale 2^-12
+typedef ap_fixed<16,4> v6_t; // step 6 conv2d out, scale 2^-12
+typedef ap_fixed<16,4> v7_t; // step 7 affine out, scale 2^-12
+typedef ap_fixed<16,4> v8_t; // step 8 merge out, scale 2^-12
+typedef ap_fixed<16,5> v9_t; // step 9 conv2d out, scale 2^-11
+typedef ap_fixed<16,5> v10_t; // step 10 affine out, scale 2^-11
+typedef ap_fixed<16,5> v11_t; // step 11 relu out, scale 2^-11
+typedef ap_fixed<16,5> v12_t; // step 12 conv2d out, scale 2^-11
+typedef ap_fixed<16,5> v13_t; // step 13 affine out, scale 2^-11
+typedef ap_fixed<16,5> v14_t; // step 14 merge out, scale 2^-11
+typedef ap_fixed<16,4> v15_t; // step 15 conv2d out, scale 2^-12
+typedef ap_fixed<16,4> v16_t; // step 16 affine out, scale 2^-12
+typedef ap_fixed<16,4> v17_t; // step 17 relu out, scale 2^-12
+typedef ap_fixed<16,4> v18_t; // step 18 conv2d out, scale 2^-12
+typedef ap_fixed<16,4> v19_t; // step 19 affine out, scale 2^-12
+typedef ap_fixed<16,5> v20_t; // step 20 conv2d out, scale 2^-11
+typedef ap_fixed<16,5> v21_t; // step 21 affine out, scale 2^-11
+typedef ap_fixed<16,4> v22_t; // step 22 merge out, scale 2^-12
+typedef ap_fixed<16,4> v23_t; // step 23 conv2d out, scale 2^-12
+typedef ap_fixed<16,4> v24_t; // step 24 affine out, scale 2^-12
+typedef ap_fixed<16,4> v25_t; // step 25 relu out, scale 2^-12
+typedef ap_fixed<16,4> v26_t; // step 26 conv2d out, scale 2^-12
+typedef ap_fixed<16,4> v27_t; // step 27 affine out, scale 2^-12
+typedef ap_fixed<16,4> v28_t; // step 28 merge out, scale 2^-12
+typedef ap_fixed<16,4> v29_t; // step 29 conv2d out, scale 2^-12
+typedef ap_fixed<16,4> v30_t; // step 30 affine out, scale 2^-12
+typedef ap_fixed<16,4> v31_t; // step 31 relu out, scale 2^-12
+typedef ap_fixed<16,4> v32_t; // step 32 conv2d out, scale 2^-12
+typedef ap_fixed<16,4> v33_t; // step 33 affine out, scale 2^-12
+typedef ap_fixed<16,4> v34_t; // step 34 conv2d out, scale 2^-12
+typedef ap_fixed<16,4> v35_t; // step 35 affine out, scale 2^-12
+typedef ap_fixed<16,5> v36_t; // step 36 merge out, scale 2^-11
+typedef ap_fixed<16,4> v37_t; // step 37 conv2d out, scale 2^-12
+typedef ap_fixed<16,4> v38_t; // step 38 affine out, scale 2^-12
+typedef ap_fixed<16,4> v39_t; // step 39 relu out, scale 2^-12
+typedef ap_fixed<16,4> v40_t; // step 40 conv2d out, scale 2^-12
+typedef ap_fixed<16,4> v41_t; // step 41 affine out, scale 2^-12
+typedef ap_fixed<16,5> v42_t; // step 42 merge out, scale 2^-11
+typedef ap_fixed<16,5> v43_t; // step 43 conv2d out, scale 2^-11
+typedef ap_fixed<16,5> v44_t; // step 44 affine out, scale 2^-11
+typedef ap_fixed<16,5> v45_t; // step 45 relu out, scale 2^-11
+typedef ap_fixed<16,5> v46_t; // step 46 conv2d out, scale 2^-11
+typedef ap_fixed<16,5> v47_t; // step 47 affine out, scale 2^-11
+typedef ap_fixed<16,6> v48_t; // step 48 conv2d out, scale 2^-10
+typedef ap_fixed<16,6> v49_t; // step 49 affine out, scale 2^-10
+typedef ap_fixed<16,5> v50_t; // step 50 merge out, scale 2^-11
+typedef ap_fixed<16,5> v51_t; // step 51 conv2d out, scale 2^-11
+typedef ap_fixed<16,5> v52_t; // step 52 affine out, scale 2^-11
+typedef ap_fixed<16,5> v53_t; // step 53 relu out, scale 2^-11
+typedef ap_fixed<16,5> v54_t; // step 54 conv2d out, scale 2^-11
+typedef ap_fixed<16,5> v55_t; // step 55 affine out, scale 2^-11
+typedef ap_fixed<16,6> v56_t; // step 56 merge out, scale 2^-10
+typedef ap_fixed<16,5> v57_t; // step 57 mc_dropout out, scale 2^-11
+typedef ap_fixed<16,5> v58_t; // step 58 global_avg_pool2d out, scale 2^-11
+typedef ap_fixed<16,2> v59_t; // step 59 dense out, scale 2^-14
+typedef ap_fixed<16,4> v60_t; // step 60 mc_dropout out, scale 2^-12
+typedef ap_fixed<16,4> v61_t; // step 61 global_avg_pool2d out, scale 2^-12
+typedef ap_fixed<16,3> v62_t; // step 62 dense out, scale 2^-13
+typedef ap_fixed<16,5> v63_t; // step 63 mc_dropout out, scale 2^-11
+typedef ap_fixed<16,5> v64_t; // step 64 global_avg_pool2d out, scale 2^-11
+typedef ap_fixed<16,5> v65_t; // step 65 dense out, scale 2^-11
+typedef ap_fixed<16,6> v66_t; // step 66 mc_dropout out, scale 2^-10
+typedef ap_fixed<16,6> v67_t; // step 67 global_avg_pool2d out, scale 2^-10
+typedef ap_fixed<16,5> v68_t; // step 68 dense out, scale 2^-11
+
+typedef v59_t exit0_out_t; // logits of exit 0 (v59)
+typedef v62_t exit1_out_t; // logits of exit 1 (v62)
+typedef v65_t exit2_out_t; // logits of exit 2 (v65)
+typedef v68_t exit3_out_t; // logits of exit 3 (v68)
+
+#define NUM_EXITS 4
+#define MC_SAMPLES 3
+#define N_CLASSES 10
+#define INPUT_SIZE 432
+#define NUM_SLOTS 9
+#define ARENA_ELEMS 3344
+
+#endif

@@ -1,0 +1,170 @@
+//! Golden-file snapshot tests for the lowered per-tensor HLS generator.
+//!
+//! Every zoo model × searched format pins its emitted `firmware/defines.h`
+//! (the per-tensor `ap_fixed` typedefs) and top-level `.cpp` (the layer
+//! pipeline walked from the compiled plan's step schedule) against checked-in
+//! golden files under `tests/golden/hls/`. Any codegen change — intended or
+//! not — shows up as a readable text diff in review instead of a silent
+//! drift.
+//!
+//! To regenerate the goldens after an intentional generator change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test hls_golden_files
+//! ```
+//!
+//! then review the diff of `tests/golden/hls/` before committing. The
+//! emitted text is deterministic: untrained seeded weights, a seeded
+//! calibration batch, and integer-only scale comments — so the snapshots are
+//! stable across thread counts and SIMD backends.
+
+use bayesnn_fpga::hls::{HlsConfig, LoweredDesign};
+use bayesnn_fpga::models::{zoo, ModelConfig, NetworkSpec};
+use bayesnn_fpga::quant::{CalibratedNetwork, FixedPointFormat};
+use bayesnn_fpga::tensor::rng::Xoshiro256StarStar;
+use bayesnn_fpga::tensor::Tensor;
+use std::path::PathBuf;
+
+/// One snapshot subject: a calibrated zoo model under a project name.
+struct Subject {
+    name: &'static str,
+    spec: NetworkSpec,
+    calibrated: CalibratedNetwork,
+}
+
+fn lenet_subject() -> Subject {
+    let spec = zoo::lenet5(
+        &ModelConfig::mnist()
+            .with_resolution(10, 10)
+            .with_width_divisor(8)
+            .with_classes(4),
+    )
+    .with_exits_after_every_block()
+    .unwrap()
+    .with_exit_mcd(0.25)
+    .unwrap();
+    let net = spec.build(3).unwrap();
+    let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+    let calib = Tensor::randn(&[6, 1, 10, 10], &mut rng);
+    let calibrated = CalibratedNetwork::calibrate(&net, &calib).unwrap();
+    Subject {
+        name: "lenet5",
+        spec,
+        calibrated,
+    }
+}
+
+fn resnet_subject() -> Subject {
+    let spec = zoo::resnet18(
+        &ModelConfig::cifar10()
+            .with_resolution(12, 12)
+            .with_width_divisor(16),
+    )
+    .with_exits_after_every_block()
+    .unwrap()
+    .with_exit_mcd(0.3)
+    .unwrap();
+    let net = spec.build(11).unwrap();
+    let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+    let calib = Tensor::randn(&[4, 3, 12, 12], &mut rng);
+    let calibrated = CalibratedNetwork::calibrate(&net, &calib).unwrap();
+    Subject {
+        name: "resnet18",
+        spec,
+        calibrated,
+    }
+}
+
+fn golden_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("hls")
+}
+
+/// Compares `actual` against the checked-in golden file, or rewrites the
+/// golden when `UPDATE_GOLDEN=1` is set.
+fn check_golden(case: &str, file: &str, actual: &str) {
+    let path = golden_root().join(case).join(file);
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test hls_golden_files`",
+            path.display()
+        )
+    });
+    if expected != actual {
+        // Point at the first differing line so the failure is readable
+        // without a manual diff.
+        let mismatch = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map(|i| format!("first differing line {}", i + 1))
+            .unwrap_or_else(|| "files differ in length".into());
+        panic!(
+            "{case}/{file} drifted from its golden ({mismatch}); if the codegen \
+             change is intentional, run `UPDATE_GOLDEN=1 cargo test --test \
+             hls_golden_files` and review the diff"
+        );
+    }
+}
+
+fn snapshot_subject(subject: &Subject) {
+    for format in FixedPointFormat::search_space() {
+        let config = HlsConfig::new(subject.name).with_format(format);
+        let design = LoweredDesign::generate(&subject.calibrated, &config).unwrap();
+        let case = format!("{}_w{}", subject.name, format.total_bits());
+        let defines = design
+            .project()
+            .file("firmware/defines.h")
+            .expect("lowered project has defines.h");
+        check_golden(&case, "defines.h", defines);
+        let top = design
+            .project()
+            .file(&format!("firmware/{}.cpp", subject.name))
+            .expect("lowered project has a top-level cpp");
+        check_golden(&case, "top.cpp", top);
+        // The snapshot covers the text; the summary guards the quantities a
+        // reviewer cannot eyeball from the diff.
+        assert_eq!(
+            design.summary().macs,
+            bayesnn_fpga::hw::network_macs(&subject.spec).unwrap(),
+            "{case}: emitted MACs must match the hw model"
+        );
+    }
+}
+
+#[test]
+fn lenet5_snapshots_are_stable_across_formats() {
+    snapshot_subject(&lenet_subject());
+}
+
+#[test]
+fn resnet18_snapshots_are_stable_across_formats() {
+    snapshot_subject(&resnet_subject());
+}
+
+#[test]
+fn snapshots_cover_per_tensor_types_not_one_global_width() {
+    // The lowered generator's defining property vs the spec-driven one: more
+    // than one distinct ap_fixed typedef in defines.h (per-tensor integer
+    // widths follow the calibrated ranges).
+    let subject = lenet_subject();
+    let config = HlsConfig::new(subject.name).with_format(FixedPointFormat::new(8, 3).unwrap());
+    let design = LoweredDesign::generate(&subject.calibrated, &config).unwrap();
+    let defines = design.project().file("firmware/defines.h").unwrap();
+    let distinct: std::collections::BTreeSet<&str> = defines
+        .lines()
+        .filter(|l| l.contains("ap_fixed<"))
+        .filter_map(|l| l.split_whitespace().find(|t| t.starts_with("ap_fixed<")))
+        .collect();
+    assert!(
+        distinct.len() > 1,
+        "expected per-tensor ap_fixed types, found only {distinct:?}"
+    );
+}
