@@ -13,6 +13,9 @@
 #                     under BNN_THREADS=1 and 4
 #   make test-serving - serving smoke + determinism suites, under
 #                     BNN_THREADS=1 and 4
+#   make test-robust - serving fault-tolerance suite (panic isolation,
+#                     deadlines, backpressure, degradation, chaos), under
+#                     BNN_THREADS=1 and 4
 #   make test-adaptive - adaptive early-exit parity + allocation audit,
 #                     under BNN_THREADS=1 and 4
 #   make test-hls   - HLS codegen golden-file snapshots + sim-vs-plan
@@ -30,7 +33,7 @@ CARGO ?= cargo
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test test-doc test-st test-scalar test-plans test-serving test-adaptive test-hls bench bench-build bench-quant bench-save bench-serving lint fmt doc clean ci
+.PHONY: all build test test-doc test-st test-scalar test-plans test-serving test-robust test-adaptive test-hls bench bench-build bench-quant bench-save bench-serving lint fmt doc clean ci
 
 all: build
 
@@ -70,6 +73,15 @@ test-plans:
 test-serving:
 	BNN_THREADS=1 $(CARGO) test -q --test serving_smoke --test serving_determinism
 	BNN_THREADS=4 $(CARGO) test -q --test serving_smoke --test serving_determinism
+
+# The fault-tolerance guarantees at both ends of the thread-count range:
+# worker panics isolated to their batch (typed replies, supervisor respawn,
+# no hung handles), deadline eviction, bounded-queue backpressure, the
+# degradation ladder stepping down and recovering, and the seeded chaos run
+# (2 of 4 workers panic mid-run under Poisson load, survivors bit-exact).
+test-robust:
+	BNN_THREADS=1 $(CARGO) test -q --test serving_faults
+	BNN_THREADS=4 $(CARGO) test -q --test serving_faults
 
 # The adaptive early-exit guarantees at both ends of the thread-count range:
 # adaptive-batch prediction bit-exact with per-sample evaluation across all
@@ -128,4 +140,4 @@ doc:
 clean:
 	$(CARGO) clean
 
-ci: lint build test test-doc test-st test-scalar test-plans test-serving test-adaptive test-hls bench-build doc
+ci: lint build test test-doc test-st test-scalar test-plans test-serving test-robust test-adaptive test-hls bench-build doc

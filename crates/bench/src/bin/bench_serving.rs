@@ -8,11 +8,15 @@
 //! cargo run --release -p bnn-bench --bin bench_serving -- BENCH_serving.json
 //! ```
 //!
-//! Four configs are measured on identical request streams: fixed-depth
-//! latency-biased (small batches, short deadline), fixed-depth
-//! throughput-biased (large batches, long deadline), and two adaptive
-//! configs (confidence- and entropy-threshold early exit) on the
-//! throughput-biased batching so the only difference is the policy. The
+//! Five configs are measured: fixed-depth latency-biased (small batches,
+//! short deadline), fixed-depth throughput-biased (large batches, long
+//! deadline), two adaptive configs (confidence- and entropy-threshold early
+//! exit) on the throughput-biased batching so the only difference is the
+//! policy — all on identical request streams — plus an `overload_degraded`
+//! config driven at ~7x the others' offered rate with a bounded queue,
+//! per-request deadlines and a two-step degradation ladder, recording how
+//! much traffic was shed, missed its deadline, or was served degraded
+//! (per-tier mix) while the server rode out the overload. The
 //! request pool is **mixed-difficulty**: the clean synthetic test set plus
 //! its severity-3 corruption shifts (`bnn-data`), and the thresholds are
 //! calibrated to the pool's median first-exit score, so about half the
@@ -30,8 +34,10 @@ use bnn_bench::save::{json_str, render_report};
 use bnn_data::{Corruption, Dataset, DatasetSpec, SyntheticConfig};
 use bnn_models::{zoo, ExitPolicy, ModelConfig};
 use bnn_quant::{CalibratedNetwork, FixedPointFormat, QuantPlan};
-use bnn_serve::replay::{replay, ReplayConfig};
-use bnn_serve::{BatchEngine, InferenceServer, QuantEngine, ServerConfig};
+use bnn_serve::replay::{replay, replay_under_faults, ReplayConfig, ReplayReport};
+use bnn_serve::{
+    BatchEngine, DegradeConfig, InferenceServer, QuantEngine, ServeStats, ServerConfig,
+};
 use bnn_tensor::exec::Executor;
 use bnn_tensor::Tensor;
 use std::time::{Duration, Instant};
@@ -142,6 +148,74 @@ fn calibrate_thresholds(
     ))
 }
 
+/// One JSON entry of the report. `delivered`/`failed` come from the replay
+/// outcome (the report's latency percentiles cover delivered requests
+/// only); shed, deadline-miss, crash/respawn and quality-tier columns come
+/// from the server's own counters so the happy-path configs record zeros
+/// for them.
+#[allow(clippy::too_many_arguments)]
+fn entry_json(
+    id: &str,
+    config: &ServerConfig,
+    r: &ReplayReport,
+    stats: &ServeStats,
+    offered_rps: f64,
+    requests: usize,
+    delivered: usize,
+    failed: usize,
+) -> String {
+    let ops_per_request = stats.ops_executed as f64 / stats.completed.max(1) as f64;
+    let fixed_per_request = stats.ops_fixed as f64 / stats.completed.max(1) as f64;
+    let exit_fractions = stats
+        .exit_fractions()
+        .iter()
+        .map(|f| format!("{f:.4}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let tier_total = stats.tier_counts.iter().sum::<u64>().max(1) as f64;
+    let tier_fractions = stats
+        .tier_counts
+        .iter()
+        .map(|&c| format!("{:.4}", c as f64 / tier_total))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"id\": \"{id}\", \"requests\": {requests}, \"offered_rps\": {offered_rps:.1}, \
+         \"throughput_rps\": {:.1}, \"mean_ns\": {:.1}, \"p50_ns\": {:.1}, \
+         \"p99_ns\": {:.1}, \"mean_batch_occupancy\": {:.3}, \
+         \"max_batch_seen\": {}, \"max_batch\": {}, \"max_delay_us\": {}, \
+         \"workers\": {}, \"policy\": \"{}\", \"threshold\": {}, \
+         \"exit_fractions\": [{exit_fractions}], \
+         \"ops_per_request\": {ops_per_request:.1}, \
+         \"ops_fixed_per_request\": {fixed_per_request:.1}, \
+         \"ops_saved_fraction\": {:.4}, \
+         \"delivered\": {delivered}, \"failed\": {failed}, \"shed\": {}, \
+         \"deadline_missed\": {}, \"crashes\": {}, \"respawns\": {}, \
+         \"tier_fractions\": [{tier_fractions}], \
+         \"degraded_fraction\": {:.4}}}",
+        r.throughput_rps,
+        ns(r.mean_latency),
+        ns(r.p50_latency),
+        ns(r.p99_latency),
+        stats.mean_occupancy(),
+        stats.max_batch_seen,
+        config.max_batch,
+        config.max_delay.as_micros(),
+        config.workers,
+        config.policy.name(),
+        config
+            .policy
+            .threshold()
+            .map_or("null".into(), |t| format!("{t:.6}")),
+        stats.ops_saved_fraction(),
+        stats.rejected,
+        stats.deadline_missed,
+        stats.crashes,
+        stats.respawns,
+        stats.degraded_fraction(),
+    )
+}
+
 /// Mean single-sample service time of the engine (warm arena).
 fn estimate_service_time(engine: &QuantEngine, pool: &[Vec<f32>]) -> Duration {
     let mut engine = engine.clone();
@@ -199,6 +273,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mc_samples: MC_SAMPLES,
         seed: MC_SEED,
         policy: ExitPolicy::Never,
+        ..ServerConfig::default()
     };
     let configs = [
         (
@@ -242,52 +317,72 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         let stats = server.shutdown();
         let r = &outcome.report;
-        let ops_per_request = stats.ops_executed as f64 / stats.completed.max(1) as f64;
-        let fixed_per_request = stats.ops_fixed as f64 / stats.completed.max(1) as f64;
-        let exit_fractions = stats
-            .exit_fractions()
-            .iter()
-            .map(|f| format!("{f:.4}"))
-            .collect::<Vec<_>>()
-            .join(", ");
         eprintln!(
             "bench_serving: {id}: {:.0} rps, p50 {:.1} us, p99 {:.1} us, occupancy {:.2}, \
-             exits [{exit_fractions}], ops saved {:.1}%",
+             ops saved {:.1}%",
             r.throughput_rps,
             r.p50_latency.as_secs_f64() * 1e6,
             r.p99_latency.as_secs_f64() * 1e6,
             stats.mean_occupancy(),
             100.0 * stats.ops_saved_fraction(),
         );
-        entries.push(format!(
-            "{{\"id\": \"{id}\", \"requests\": {}, \"offered_rps\": {:.1}, \
-             \"throughput_rps\": {:.1}, \"mean_ns\": {:.1}, \"p50_ns\": {:.1}, \
-             \"p99_ns\": {:.1}, \"mean_batch_occupancy\": {:.3}, \
-             \"max_batch_seen\": {}, \"max_batch\": {}, \"max_delay_us\": {}, \
-             \"workers\": {}, \"policy\": \"{}\", \"threshold\": {}, \
-             \"exit_fractions\": [{exit_fractions}], \
-             \"ops_per_request\": {ops_per_request:.1}, \
-             \"ops_fixed_per_request\": {fixed_per_request:.1}, \
-             \"ops_saved_fraction\": {:.4}}}",
-            r.requests,
-            rate,
-            r.throughput_rps,
-            ns(r.mean_latency),
-            ns(r.p50_latency),
-            ns(r.p99_latency),
-            stats.mean_occupancy(),
-            stats.max_batch_seen,
-            config.max_batch,
-            config.max_delay.as_micros(),
-            config.workers,
-            config.policy.name(),
-            config
-                .policy
-                .threshold()
-                .map_or("null".into(), |t| format!("{t:.6}")),
-            stats.ops_saved_fraction(),
+        entries.push(entry_json(
+            id, &config, r, &stats, rate, REQUESTS, REQUESTS, 0,
         ));
     }
+
+    // Overload config: ~7x the offered rate of the other configs against a
+    // bounded queue, per-request deadlines and a two-step quality ladder
+    // (half the MC samples, then quarter samples with aggressive early
+    // exit). Measures graceful degradation: how much traffic is shed or
+    // expires versus served degraded, instead of the queue growing without
+    // bound.
+    let overload_rate = 3.0 * workers as f64 / service.as_secs_f64().max(1e-9);
+    let overload = throughput_batching
+        .clone()
+        .with_queue_limit(256)
+        .with_deadline(Duration::from_millis(2))
+        .with_degrade(
+            DegradeConfig::new(64, 8)
+                .with_step(MC_SAMPLES / 2, ExitPolicy::Never)
+                .with_step(
+                    (MC_SAMPLES / 4).max(1),
+                    ExitPolicy::Confidence {
+                        threshold: conf_threshold,
+                    },
+                ),
+        );
+    let server = InferenceServer::start(Box::new(prototype.clone()), overload.clone())?;
+    let outcome = replay_under_faults(
+        &server,
+        &pool,
+        &ReplayConfig {
+            requests: REQUESTS,
+            rate_per_sec: overload_rate,
+            seed: 7,
+        },
+        Duration::from_secs(30),
+    )?;
+    let stats = server.shutdown();
+    eprintln!(
+        "bench_serving: overload_degraded: offered {overload_rate:.0} rps, delivered {}, \
+         shed {}, deadline missed {}, degraded {:.1}%, tiers {:?}",
+        outcome.delivered,
+        stats.rejected,
+        stats.deadline_missed,
+        100.0 * stats.degraded_fraction(),
+        stats.tier_counts,
+    );
+    entries.push(entry_json(
+        "overload_degraded",
+        &overload,
+        &outcome.report,
+        &stats,
+        overload_rate,
+        REQUESTS,
+        outcome.delivered,
+        outcome.failed,
+    ));
 
     let json = render_report(
         &[

@@ -11,17 +11,46 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The server or replay configuration is invalid (zero workers, zero
-    /// batch size, non-positive arrival rate, ...).
+    /// batch size, non-positive arrival rate, an empty degrade ladder, ...).
     InvalidConfig(String),
     /// A submitted request is malformed: its element count does not match
     /// the per-sample input shape the engine was compiled for.
     InvalidRequest(String),
-    /// The server is shutting down (or has shut down) and no longer accepts
-    /// requests; in-flight requests at shutdown receive this too if their
-    /// worker exits before serving them.
+    /// Returned by `submit` once [`InferenceServer::shutdown`] has begun:
+    /// the server no longer *accepts* requests. Requests accepted **before**
+    /// shutdown are never answered with this — shutdown drains the queue and
+    /// serves every accepted request before the workers exit (an already
+    /// expired deadline still answers [`ServeError::DeadlineExceeded`], and
+    /// a fully crashed-out worker pool answers
+    /// [`ServeError::WorkerCrashed`]).
+    ///
+    /// [`InferenceServer::shutdown`]: crate::InferenceServer::shutdown
     ShuttingDown,
-    /// The underlying inference engine failed while executing a batch.
+    /// The underlying inference engine failed while executing a batch; every
+    /// request in that batch receives a copy.
     Engine(String),
+    /// The worker serving this request's batch panicked (the payload is the
+    /// panic message). The batch's requests all receive a copy, the worker
+    /// is torn down, and the supervisor respawns a replacement from a fresh
+    /// engine fork while the respawn budget lasts. Also returned by `submit`
+    /// once the whole pool has crashed out (respawn budget exhausted).
+    WorkerCrashed(String),
+    /// The request's deadline expired while it was still queued: it was
+    /// evicted at batch assembly without being executed.
+    DeadlineExceeded,
+    /// The bounded queue was full at submission: the request was shed at the
+    /// submit boundary and never enqueued (typed backpressure — callers can
+    /// retry, route elsewhere, or downgrade).
+    Overloaded,
+    /// [`ResponseHandle::wait_timeout`] gave up before the response was
+    /// delivered. The request itself is unaffected — its worker may still
+    /// deliver into the (now unobserved) reply cell.
+    ///
+    /// [`ResponseHandle::wait_timeout`]: crate::ResponseHandle::wait_timeout
+    WaitTimeout,
+    /// A serving-harness thread (e.g. the replay collector) failed
+    /// unexpectedly; the payload describes the failure.
+    Internal(String),
 }
 
 impl fmt::Display for ServeError {
@@ -31,6 +60,13 @@ impl fmt::Display for ServeError {
             ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Engine(msg) => write!(f, "inference engine error: {msg}"),
+            ServeError::WorkerCrashed(msg) => write!(f, "serving worker crashed: {msg}"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline expired before batch assembly")
+            }
+            ServeError::Overloaded => write!(f, "server overloaded: request queue is full"),
+            ServeError::WaitTimeout => write!(f, "timed out waiting for the response"),
+            ServeError::Internal(msg) => write!(f, "serving harness failure: {msg}"),
         }
     }
 }
@@ -75,6 +111,15 @@ mod tests {
             .contains("n"));
         assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
         assert!(ServeError::Engine("e".into()).to_string().contains("e"));
+        assert!(ServeError::WorkerCrashed("p".into())
+            .to_string()
+            .contains("p"));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(ServeError::Overloaded.to_string().contains("overloaded"));
+        assert!(ServeError::WaitTimeout.to_string().contains("timed out"));
+        assert!(ServeError::Internal("c".into()).to_string().contains("c"));
     }
 
     #[test]

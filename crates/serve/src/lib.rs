@@ -17,6 +17,21 @@
 //! workers are std threads, and the traffic-replay harness
 //! ([`replay::replay`]) drives seeded open-loop load in-process.
 //!
+//! The server is **fault-tolerant** (see [`server`] and [`fault`]): worker
+//! panics are caught at the batch boundary, the failed batch is answered
+//! with typed [`ServeError::WorkerCrashed`] replies (no handle ever hangs)
+//! and a supervisor respawns the worker from a fresh engine fork; requests
+//! carry optional deadlines (expired ones are evicted as
+//! [`ServeError::DeadlineExceeded`]); the queue can be bounded
+//! ([`ServeError::Overloaded`] backpressure at the submit boundary); and a
+//! [`DegradeConfig`] quality ladder sheds *depth* before requests — under
+//! sustained queue pressure the server steps down to fewer MC samples and
+//! more aggressive early exit, recovering when pressure clears, with every
+//! [`Reply`] reporting the `quality_tier` it was served at. The seeded
+//! [`FaultyEngine`]/[`FaultPlan`] wrapper injects panics, engine errors and
+//! latency deterministically, and [`replay::replay_under_faults`] drives
+//! chaos schedules that record per-request outcomes instead of aborting.
+//!
 //! Servers can run **adaptively**: configure an [`ExitPolicy`]
 //! (`ServerConfig::with_policy`) and each batch runs the engines' early-exit
 //! compacting path — confident samples retire at shallow exits, stragglers
@@ -56,6 +71,9 @@
 //!         seed: 2023,
 //!         // adaptive: confident samples retire at shallow exits
 //!         policy: ExitPolicy::Confidence { threshold: 0.5 },
+//!         // fault-tolerance knobs (queue bound, deadlines, respawn
+//!         // budget, degradation ladder) at their permissive defaults
+//!         ..ServerConfig::default()
 //!     },
 //! )?;
 //! let sample = Tensor::randn(&[1, 1, 10, 10], &mut rng);
@@ -69,13 +87,18 @@
 //! # }
 //! ```
 
+pub mod degrade;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod replay;
 pub mod server;
+mod sync;
 
 pub use bnn_models::ExitPolicy;
+pub use degrade::{DegradeConfig, QualityStep};
 pub use engine::{BatchEngine, FloatEngine, QuantEngine};
 pub use error::ServeError;
-pub use replay::{ReplayConfig, ReplayOutcome, ReplayReport};
+pub use fault::{FaultAction, FaultPlan, FaultSpec, FaultyEngine};
+pub use replay::{FaultReplayOutcome, ReplayConfig, ReplayOutcome, ReplayReport};
 pub use server::{InferenceServer, Reply, ResponseHandle, ServeStats, ServerConfig};

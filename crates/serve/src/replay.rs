@@ -9,12 +9,25 @@
 //! (a closed loop would throttle itself to the server's pace and hide both).
 //!
 //! Response *contents* are fully deterministic — each request's output is a
-//! pure function of its sample and the server's `(mc_samples, seed)` config,
-//! independent of batching (see [`crate::server`]). Latency and throughput
-//! are wall-clock measurements by nature and vary run to run.
+//! pure function of its sample and its quality tier's `(mc_samples, seed,
+//! policy)` config, independent of batching (see [`crate::server`]).
+//! Latency and throughput are wall-clock measurements by nature and vary
+//! run to run.
+//!
+//! Two entry points share the machinery:
+//!
+//! * [`replay`] — the happy-path harness: every submission must be accepted
+//!   and every response `Ok`; the first failure aborts with its error.
+//! * [`replay_under_faults`] — the chaos harness: submission rejections
+//!   (backpressure) and failed responses (crashes, deadlines, engine
+//!   errors) are *recorded per request* instead of aborting, waits are
+//!   bounded so a delivery bug fails fast instead of hanging the test, and
+//!   the outcome tallies delivered/failed/rejected/timed-out alongside the
+//!   latency report over the successful deliveries.
 
 use crate::error::ServeError;
 use crate::server::{InferenceServer, Reply};
+use crate::sync::panic_message;
 use bnn_tensor::rng::{Rng, Xoshiro256StarStar};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -54,8 +67,32 @@ pub struct ReplayOutcome {
     pub report: ReplayReport,
     /// Per-request replies (`outputs[i]` answers request `i`, which carried
     /// `pool[i % pool.len()]`): class probabilities plus the exit each
-    /// sample retired at and the MC evidence behind it.
+    /// sample retired at, the MC evidence behind it and the quality tier it
+    /// was served at.
     pub outputs: Vec<Reply>,
+}
+
+/// A fault-tolerant replay's outcome: per-request results (success or typed
+/// failure) plus the failure tallies and a latency report over the
+/// successful deliveries.
+#[derive(Debug, Clone)]
+pub struct FaultReplayOutcome {
+    /// Latency/throughput over the **delivered `Ok`** replies only
+    /// (`report.requests` = [`FaultReplayOutcome::delivered`]).
+    pub report: ReplayReport,
+    /// `outcomes[i]` resolves request `i`: the reply, the submit rejection
+    /// (e.g. [`ServeError::Overloaded`]), or the delivered failure (e.g.
+    /// [`ServeError::WorkerCrashed`], [`ServeError::DeadlineExceeded`]).
+    pub outcomes: Vec<Result<Reply, ServeError>>,
+    /// Requests answered with an `Ok` reply.
+    pub delivered: usize,
+    /// Requests accepted but answered with an error.
+    pub failed: usize,
+    /// Requests rejected at the submit boundary (never enqueued).
+    pub rejected: usize,
+    /// Waits that hit the per-request wait bound — `0` whenever the
+    /// server's exactly-one-reply guarantee holds.
+    pub timed_out: usize,
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice.
@@ -65,22 +102,15 @@ fn percentile(sorted: &[Duration], q: f64) -> Duration {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// Drives `config.requests` single-sample requests from `pool` (cycled)
-/// against `server` on the seeded open-loop schedule, and waits for every
-/// response. Submission happens on the calling thread; a collector thread
-/// records each response at its delivery timestamp, so a slow collector
-/// cannot inflate latency.
-///
-/// # Errors
-///
-/// Returns [`ServeError::InvalidConfig`] for zero requests, an empty pool or
-/// a non-positive/non-finite rate; propagates the first failed response
-/// otherwise.
-pub fn replay(
-    server: &InferenceServer,
-    pool: &[Vec<f32>],
-    config: &ReplayConfig,
-) -> Result<ReplayOutcome, ServeError> {
+/// Everything a replay run collects before aggregation.
+struct CoreRun {
+    start: Instant,
+    outcomes: Vec<Result<Reply, ServeError>>,
+    latencies: Vec<Duration>,
+    last_delivery: Option<Instant>,
+}
+
+fn validate(pool: &[Vec<f32>], config: &ReplayConfig) -> Result<(), ServeError> {
     if config.requests == 0 {
         return Err(ServeError::InvalidConfig("requests must be >= 1".into()));
     }
@@ -93,32 +123,54 @@ pub fn replay(
             config.rate_per_sec
         )));
     }
+    Ok(())
+}
+
+/// Drives the seeded open-loop schedule and collects every per-request
+/// outcome. Submission happens on the calling thread; a collector thread
+/// records each response at its delivery timestamp, so a slow collector
+/// cannot inflate latency. With `wait_timeout` set, each wait is bounded
+/// (expiring as [`ServeError::WaitTimeout`]); `stop_on_reject` makes the
+/// driver stop submitting after the first rejected submission (requests
+/// never submitted resolve as that rejection's clone).
+fn replay_core(
+    server: &InferenceServer,
+    pool: &[Vec<f32>],
+    config: &ReplayConfig,
+    wait_timeout: Option<Duration>,
+    stop_on_reject: bool,
+) -> Result<CoreRun, ServeError> {
     let n = config.requests;
     let mut rng = Xoshiro256StarStar::seed_from_u64(config.seed);
     let (tx, rx) = mpsc::channel();
 
-    let collected = std::thread::scope(|scope| {
-        let collector = scope.spawn(move || -> Result<_, ServeError> {
-            let mut outputs: Vec<Reply> = vec![Reply::default(); n];
+    let (start, mut outcomes) = std::thread::scope(|scope| {
+        let collector = scope.spawn(move || {
+            let mut delivered: Vec<(usize, Result<Reply, ServeError>)> = Vec::new();
             let mut latencies: Vec<Duration> = Vec::with_capacity(n);
             let mut last_delivery: Option<Instant> = None;
             for (idx, t0, handle) in rx.iter() {
                 let handle: crate::server::ResponseHandle = handle;
-                let (result, delivered_at) = handle.wait_at();
+                let (result, delivered_at) = match wait_timeout {
+                    Some(timeout) => handle.wait_timeout_at(timeout),
+                    None => handle.wait_at(),
+                };
                 let t0: Instant = t0;
-                outputs[idx] = result?;
-                latencies.push(delivered_at.saturating_duration_since(t0));
-                last_delivery = Some(match last_delivery {
-                    Some(prev) => prev.max(delivered_at),
-                    None => delivered_at,
-                });
+                if result.is_ok() {
+                    latencies.push(delivered_at.saturating_duration_since(t0));
+                    last_delivery = Some(match last_delivery {
+                        Some(prev) => prev.max(delivered_at),
+                        None => delivered_at,
+                    });
+                }
+                delivered.push((idx, result));
             }
-            Ok((outputs, latencies, last_delivery))
+            (delivered, latencies, last_delivery)
         });
 
         let start = Instant::now();
         let mut offset = Duration::ZERO;
-        let mut submit_err = None;
+        let mut rejections: Vec<(usize, ServeError)> = Vec::new();
         for i in 0..n {
             // Absolute target times (start + cumulative offset): the
             // schedule never drifts with per-request jitter, keeping the
@@ -131,45 +183,153 @@ pub fn replay(
             let sample = &pool[i % pool.len()];
             match server.submit(sample) {
                 Ok(handle) => {
-                    if tx.send((i, Instant::now(), handle)).is_err() {
-                        break; // collector died on a failed response
-                    }
+                    let _ = tx.send((i, Instant::now(), handle));
                 }
                 Err(e) => {
-                    submit_err = Some(e);
-                    break;
+                    let fatal = stop_on_reject;
+                    rejections.push((i, e));
+                    if fatal {
+                        break;
+                    }
                 }
             }
             let gap = -(1.0 - rng.next_f64()).ln() / config.rate_per_sec;
             offset += Duration::from_secs_f64(gap);
         }
         drop(tx);
-        let collected = collector.join().expect("collector thread panicked");
-        match submit_err {
-            Some(e) => Err(e),
-            None => collected.map(|c| (start, c)),
+        let (delivered, latencies, last_delivery) = collector.join().map_err(|payload| {
+            ServeError::Internal(format!(
+                "replay collector thread panicked: {}",
+                panic_message(&*payload)
+            ))
+        })?;
+        let mut outcomes: Vec<Result<Reply, ServeError>> =
+            vec![Err(ServeError::Internal("request never submitted".into())); n];
+        for (idx, result) in delivered {
+            outcomes[idx] = result;
         }
-    });
+        for (idx, e) in rejections {
+            outcomes[idx] = Err(e);
+        }
+        Ok::<_, ServeError>((
+            start,
+            CoreRun {
+                start,
+                outcomes,
+                latencies,
+                last_delivery,
+            },
+        ))
+    })?;
+    outcomes.start = start;
+    Ok(outcomes)
+}
 
-    let (start, (outputs, mut latencies, last_delivery)) = collected?;
-    latencies.sort_unstable();
-    let elapsed = last_delivery
-        .map(|at| at.saturating_duration_since(start))
+/// Aggregates a latency report over `latencies` (the successful
+/// deliveries).
+fn build_report(run: &mut CoreRun, delivered: usize) -> ReplayReport {
+    run.latencies.sort_unstable();
+    let elapsed = run
+        .last_delivery
+        .map(|at| at.saturating_duration_since(run.start))
         .unwrap_or_default();
-    let sum: Duration = latencies.iter().sum();
-    let report = ReplayReport {
-        requests: n,
+    let sum: Duration = run.latencies.iter().sum();
+    ReplayReport {
+        requests: delivered,
         elapsed,
         throughput_rps: if elapsed.is_zero() {
             0.0
         } else {
-            n as f64 / elapsed.as_secs_f64()
+            delivered as f64 / elapsed.as_secs_f64()
         },
-        mean_latency: sum / n as u32,
-        p50_latency: percentile(&latencies, 50.0),
-        p99_latency: percentile(&latencies, 99.0),
-    };
+        mean_latency: if delivered == 0 {
+            Duration::ZERO
+        } else {
+            sum / delivered as u32
+        },
+        p50_latency: if run.latencies.is_empty() {
+            Duration::ZERO
+        } else {
+            percentile(&run.latencies, 50.0)
+        },
+        p99_latency: if run.latencies.is_empty() {
+            Duration::ZERO
+        } else {
+            percentile(&run.latencies, 99.0)
+        },
+    }
+}
+
+/// Drives `config.requests` single-sample requests from `pool` (cycled)
+/// against `server` on the seeded open-loop schedule, and waits for every
+/// response.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] for zero requests, an empty pool or
+/// a non-positive/non-finite rate; propagates the first rejected submission
+/// or failed response otherwise (use [`replay_under_faults`] to record
+/// failures instead of aborting), and [`ServeError::Internal`] if the
+/// collector thread itself dies.
+pub fn replay(
+    server: &InferenceServer,
+    pool: &[Vec<f32>],
+    config: &ReplayConfig,
+) -> Result<ReplayOutcome, ServeError> {
+    validate(pool, config)?;
+    let mut run = replay_core(server, pool, config, None, true)?;
+    let mut outputs = Vec::with_capacity(run.outcomes.len());
+    for outcome in std::mem::take(&mut run.outcomes) {
+        outputs.push(outcome?);
+    }
+    let report = build_report(&mut run, config.requests);
     Ok(ReplayOutcome { report, outputs })
+}
+
+/// The chaos-harness replay: same seeded open-loop schedule as [`replay`],
+/// but rejections and failed responses are **recorded**, not fatal — every
+/// request resolves to a typed outcome. Each response wait is bounded by
+/// `wait_timeout`, so a violated delivery guarantee surfaces as
+/// [`ServeError::WaitTimeout`] outcomes (tallied in
+/// [`FaultReplayOutcome::timed_out`]) instead of a hung harness.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] for an invalid replay config and
+/// [`ServeError::Internal`] if the collector thread itself dies. Serving
+/// failures land in [`FaultReplayOutcome::outcomes`].
+pub fn replay_under_faults(
+    server: &InferenceServer,
+    pool: &[Vec<f32>],
+    config: &ReplayConfig,
+    wait_timeout: Duration,
+) -> Result<FaultReplayOutcome, ServeError> {
+    validate(pool, config)?;
+    let mut run = replay_core(server, pool, config, Some(wait_timeout), false)?;
+    let mut delivered = 0usize;
+    let mut failed = 0usize;
+    let mut rejected = 0usize;
+    let mut timed_out = 0usize;
+    for outcome in &run.outcomes {
+        match outcome {
+            Ok(_) => delivered += 1,
+            Err(ServeError::WaitTimeout) => {
+                timed_out += 1;
+                failed += 1;
+            }
+            Err(ServeError::Overloaded | ServeError::ShuttingDown) => rejected += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    let report = build_report(&mut run, delivered);
+    Ok(FaultReplayOutcome {
+        report,
+        outcomes: run.outcomes,
+        delivered,
+        failed,
+        rejected,
+        timed_out,
+    })
 }
 
 #[cfg(test)]
@@ -198,5 +358,20 @@ mod tests {
         assert_eq!(gaps(42), gaps(42));
         assert_ne!(gaps(42), gaps(43));
         assert!(gaps(42).iter().all(|&g| g.is_finite() && g >= 0.0));
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let mut run = CoreRun {
+            start: Instant::now(),
+            outcomes: Vec::new(),
+            latencies: Vec::new(),
+            last_delivery: None,
+        };
+        let report = build_report(&mut run, 0);
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.mean_latency, Duration::ZERO);
+        assert_eq!(report.p99_latency, Duration::ZERO);
+        assert_eq!(report.throughput_rps, 0.0);
     }
 }

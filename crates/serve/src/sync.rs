@@ -1,0 +1,90 @@
+//! Poison-recovering lock primitives for the serving layer.
+//!
+//! A worker panic must never take the server down with it: panics are
+//! caught at the batch boundary (see [`crate::server`]), but the panicking
+//! thread may still have been holding the queue, stats or reply-cell mutex
+//! when it unwound, which marks the mutex poisoned. Every lock acquisition
+//! in this crate goes through these helpers, which recover the guard from a
+//! poisoned lock instead of propagating the panic — the protected state is
+//! only ever mutated under invariant-preserving critical sections (counter
+//! bumps, queue push/drain, slot writes), so a poisoned guard is safe to
+//! reuse.
+
+use std::any::Any;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// [`Mutex::lock`] that recovers from poisoning.
+pub(crate) fn lock_ok<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`Condvar::wait`] that recovers from poisoning.
+pub(crate) fn wait_ok<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`Condvar::wait_timeout`] that recovers from poisoning. The flag is
+/// `true` when the wait timed out.
+pub(crate) fn wait_timeout_ok<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    let (guard, result) = cv
+        .wait_timeout(guard, timeout)
+        .unwrap_or_else(|e| e.into_inner());
+    (guard, result.timed_out())
+}
+
+/// Renders a caught panic payload (the `Box<dyn Any>` from `catch_unwind`
+/// or `JoinHandle::join`) into the human-readable message, when it carries
+/// one.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_ok_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = catch_unwind(AssertUnwindSafe(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_ok(&m), 7);
+        *lock_ok(&m) = 8;
+        assert_eq!(*lock_ok(&m), 8);
+    }
+
+    #[test]
+    fn wait_timeout_ok_reports_timeout() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let (_g, timed_out) = wait_timeout_ok(&cv, lock_ok(&m), Duration::from_millis(1));
+        assert!(timed_out);
+    }
+
+    #[test]
+    fn panic_messages_are_extracted() {
+        let p = catch_unwind(|| panic!("boom")).unwrap_err();
+        assert_eq!(panic_message(&*p), "boom");
+        let p = catch_unwind(|| panic!("{} {}", "with", "args")).unwrap_err();
+        assert_eq!(panic_message(&*p), "with args");
+        let p = catch_unwind(|| std::panic::panic_any(42u64)).unwrap_err();
+        assert_eq!(panic_message(&*p), "opaque panic payload");
+    }
+}

@@ -249,6 +249,7 @@ fn server_outputs_are_invariant_to_batching_and_workers() {
                 mc_samples: MC_SAMPLES,
                 seed: MC_SEED,
                 policy: ExitPolicy::Never,
+                ..ServerConfig::default()
             },
         )
         .unwrap();

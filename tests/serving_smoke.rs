@@ -64,6 +64,7 @@ fn replayed_requests_are_all_served_and_correct() {
             mc_samples: MC_SAMPLES,
             seed: MC_SEED,
             policy: ExitPolicy::Never,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -107,6 +108,14 @@ fn replayed_requests_are_all_served_and_correct() {
         stats.completed as usize, REQUESTS,
         "all responses delivered"
     );
+    // Happy path: nothing failed, shed, expired, crashed or degraded.
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.deadline_missed, 0);
+    assert_eq!(stats.crashes, 0);
+    assert_eq!(stats.respawns, 0);
+    assert_eq!(stats.quality_tier, 0);
+    assert!(outcome.outputs.iter().all(|o| o.quality_tier == 0));
     assert!(stats.batches > 0 && stats.max_batch_seen <= 8);
     // Fixed-depth serving reports full-depth metadata on every reply.
     let n_exits = stats.exit_counts.len();
